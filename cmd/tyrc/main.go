@@ -1,0 +1,193 @@
+// Command tyrc compiles and runs programs written in the IR's concrete
+// syntax (see prog.Parse for the grammar; examples live in examples/lang).
+//
+// Usage:
+//
+//	tyrc [-sys tyr] [-tags 64] [-width 128] [-O] [-arg N]... [-emit asm|dot|ir] prog.tyr
+//
+// The program runs against its declared memory regions (zero-filled) and
+// the result plus machine metrics are printed. -emit stops after
+// compilation and prints the requested form. Results are cross-checked
+// against the reference interpreter unless -emit is used.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"repro/internal/compile"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/ordered"
+	"repro/internal/prog"
+	"repro/internal/seqdf"
+	"repro/internal/vn"
+)
+
+type argList []int64
+
+func (a *argList) String() string { return fmt.Sprint(*a) }
+func (a *argList) Set(s string) error {
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return err
+	}
+	*a = append(*a, v)
+	return nil
+}
+
+func main() {
+	sys := flag.String("sys", "tyr", "machine: vN, seqdf, ordered, unordered, tyr")
+	tags := flag.Int("tags", 64, "TYR tags per local tag space")
+	width := flag.Int("width", 128, "issue width")
+	optimize := flag.Bool("O", false, "run the optimizer (fold, simplify, DCE) before compiling")
+	emit := flag.String("emit", "", "emit a compiled form and exit: asm, dot, or ir")
+	var args argList
+	flag.Var(&args, "arg", "entry argument (repeatable)")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tyrc [flags] prog.tyr")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fail(err)
+	}
+	p, err := prog.Parse(string(src))
+	if err != nil {
+		fail(err)
+	}
+	if err := prog.Check(p); err != nil {
+		fail(err)
+	}
+	if *optimize {
+		p = prog.Optimize(p)
+	}
+
+	if *emit == "ir" {
+		fmt.Print(prog.Format(p))
+		return
+	}
+	if *emit == "asm" || *emit == "dot" {
+		var g interface {
+			MarshalText() ([]byte, error)
+			Dot() string
+		}
+		if *sys == "ordered" {
+			g2, err := compile.Ordered(p, compile.Options{EntryArgs: args})
+			if err != nil {
+				fail(err)
+			}
+			g = g2
+		} else {
+			g2, err := compile.Tagged(p, compile.Options{EntryArgs: args})
+			if err != nil {
+				fail(err)
+			}
+			g = g2
+		}
+		if *emit == "dot" {
+			fmt.Print(g.Dot())
+		} else {
+			text, err := g.MarshalText()
+			if err != nil {
+				fail(err)
+			}
+			os.Stdout.Write(text)
+		}
+		return
+	}
+
+	// Reference run first: the oracle for the machine result.
+	refIm := prog.DefaultImage(p)
+	ref, err := prog.Run(p, refIm, prog.RunConfig{Args: args})
+	if err != nil {
+		fail(err)
+	}
+
+	tb := &metrics.Table{}
+	var got int64
+	var okMem bool
+	switch *sys {
+	case "vN":
+		im := prog.DefaultImage(p)
+		res, err := vn.Run(p, im, vn.Config{Args: args})
+		if err != nil {
+			fail(err)
+		}
+		got, okMem = res.Ret, im.Equal(refIm)
+		addRow(tb, res.Cycles, res.Fired, res.PeakLive)
+	case "seqdf":
+		im := prog.DefaultImage(p)
+		res, err := seqdf.Run(p, im, seqdf.Config{Args: args, IssueWidth: *width})
+		if err != nil {
+			fail(err)
+		}
+		got, okMem = res.Ret, im.Equal(refIm)
+		addRow(tb, res.Cycles, res.Fired, res.PeakLive)
+	case "ordered":
+		g, err := compile.Ordered(p, compile.Options{EntryArgs: args})
+		if err != nil {
+			fail(err)
+		}
+		im := prog.DefaultImage(p)
+		res, err := ordered.Run(g, im, ordered.Config{IssueWidth: *width})
+		if err != nil {
+			fail(err)
+		}
+		got, okMem = res.ResultValue, im.Equal(refIm)
+		addRow(tb, res.Cycles, res.Fired, res.PeakLive)
+	case "tyr", "unordered":
+		g, err := compile.Tagged(p, compile.Options{EntryArgs: args})
+		if err != nil {
+			fail(err)
+		}
+		cfg := core.Config{IssueWidth: *width, CheckInvariants: true}
+		if *sys == "tyr" {
+			cfg.Policy = core.PolicyTyr
+			cfg.TagsPerBlock = *tags
+		} else {
+			cfg.Policy = core.PolicyGlobalUnlimited
+		}
+		im := prog.DefaultImage(p)
+		res, err := core.Run(g, im, cfg)
+		if err != nil {
+			fail(err)
+		}
+		if !res.Completed {
+			fail(fmt.Errorf("machine did not complete: %v", res.Deadlock))
+		}
+		got, okMem = res.ResultValue, im.Equal(refIm)
+		addRow(tb, res.Cycles, res.Fired, res.PeakLive)
+	default:
+		fail(fmt.Errorf("unknown system %q", *sys))
+	}
+
+	fmt.Printf("%s on %s: result = %d\n", p.Name, *sys, got)
+	fmt.Print(tb.String())
+	switch {
+	case got != ref.Ret:
+		fail(fmt.Errorf("MISMATCH: machine produced %d, reference %d", got, ref.Ret))
+	case !okMem:
+		fail(fmt.Errorf("MISMATCH: final memory differs from the reference"))
+	default:
+		fmt.Println("validated against the reference interpreter: OK")
+	}
+}
+
+func addRow(tb *metrics.Table, cycles, fired, peak int64) {
+	tb.Add("cycles", metrics.FormatCount(cycles))
+	tb.Add("dynamic instructions", metrics.FormatCount(fired))
+	if cycles > 0 {
+		tb.Add("mean IPC", fmt.Sprintf("%.2f", float64(fired)/float64(cycles)))
+	}
+	tb.Add("peak live state", metrics.FormatCount(peak))
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "tyrc: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,70 @@
+// Command tyrexp regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	tyrexp [-exp fig12] [-scale small] [-width 128] [-tags 64]
+//
+// With no -exp flag, all experiments run in paper order. Reports are
+// written to stdout; every run's outputs are validated against the native
+// reference before any number is printed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/harness"
+)
+
+func main() {
+	exp := flag.String("exp", "", "experiment to run (tab2, fig2, fig9, fig11, ..., fig18); empty = all")
+	scale := flag.String("scale", "small", "input scale: tiny, small, medium")
+	width := flag.Int("width", 128, "issue width (instructions per cycle)")
+	tags := flag.Int("tags", 64, "TYR tags per local tag space")
+	csvDir := flag.String("csv", "", "also write each experiment's raw data as CSV into this directory")
+	flag.Parse()
+
+	var sc apps.Scale
+	switch *scale {
+	case "tiny":
+		sc = apps.ScaleTiny
+	case "small":
+		sc = apps.ScaleSmall
+	case "medium":
+		sc = apps.ScaleMedium
+	default:
+		fmt.Fprintf(os.Stderr, "tyrexp: unknown scale %q (want tiny, small, medium)\n", *scale)
+		os.Exit(2)
+	}
+	cfg := harness.ExpConfig{Scale: sc, IssueWidth: *width, Tags: *tags}
+
+	names := harness.Experiments
+	if *exp != "" {
+		names = strings.Split(*exp, ",")
+	}
+	for i, name := range names {
+		if i > 0 {
+			fmt.Println(strings.Repeat("=", 78))
+		}
+		start := time.Now()
+		report, err := harness.RunExperiment(strings.TrimSpace(name), cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tyrexp: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Print(report)
+		if *csvDir != "" {
+			path, err := harness.ExportCSV(strings.TrimSpace(name), cfg, *csvDir)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "tyrexp: csv %s: %v\n", name, err)
+				os.Exit(1)
+			}
+			fmt.Printf("[raw data: %s]\n", path)
+		}
+		fmt.Printf("[%s completed in %v]\n", name, time.Since(start).Round(time.Millisecond))
+	}
+}

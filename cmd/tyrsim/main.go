@@ -1,0 +1,165 @@
+// Command tyrsim runs one workload on one architecture and prints its
+// metrics — the quick way to poke at a single configuration.
+//
+// Usage:
+//
+//	tyrsim -app spmspm -sys tyr [-scale small] [-width 128] [-tags 64]
+//	       [-global-tags 8] [-trace]
+//
+// -sys accepts vN, seqdf, ordered, unordered, tyr. With -global-tags N,
+// the unordered system uses a bounded global pool (the Fig. 11 deadlock
+// configuration). -trace prints the live-state-over-time plot.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/apps"
+	"repro/internal/compile"
+	"repro/internal/core"
+	"repro/internal/dfg"
+	"repro/internal/harness"
+	"repro/internal/metrics"
+)
+
+func main() {
+	appName := flag.String("app", "dmv", "workload: dmv, dmm, dconv, smv, spmspv, spmspm, tc")
+	sys := flag.String("sys", "tyr", "system: vN, seqdf, ordered, unordered, tyr")
+	scale := flag.String("scale", "small", "input scale: tiny, small, medium")
+	width := flag.Int("width", 128, "issue width")
+	tags := flag.Int("tags", 64, "TYR tags per local tag space")
+	globalTags := flag.Int("global-tags", 0, "bounded global tag pool for unordered (0 = unlimited)")
+	trace := flag.Bool("trace", false, "print the live-state trace plot")
+	dot := flag.Bool("dot", false, "print the compiled dataflow graph in Graphviz dot form and exit")
+	asm := flag.Bool("asm", false, "print the compiled dataflow graph in assembly form and exit")
+	list := flag.Bool("list", false, "list the available workloads and exit")
+	blocks := flag.Bool("blocks", false, "print per-block tag usage and live state (tyr/unordered only)")
+	flag.Parse()
+
+	if *list {
+		for _, a := range apps.Suite(apps.ScaleSmall) {
+			fmt.Printf("%-8s %s\n", a.Name, a.Description)
+		}
+		return
+	}
+
+	var sc apps.Scale
+	switch *scale {
+	case "tiny":
+		sc = apps.ScaleTiny
+	case "small":
+		sc = apps.ScaleSmall
+	case "medium":
+		sc = apps.ScaleMedium
+	default:
+		fmt.Fprintf(os.Stderr, "tyrsim: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+	app := apps.Find(apps.Suite(sc), *appName)
+	if app == nil {
+		fmt.Fprintf(os.Stderr, "tyrsim: unknown app %q\n", *appName)
+		os.Exit(2)
+	}
+
+	if *dot || *asm {
+		var g *dfg.Graph
+		var err error
+		if *sys == harness.SysOrdered {
+			g, err = compile.Ordered(app.Prog, compile.Options{EntryArgs: app.Args})
+		} else {
+			g, err = compile.Tagged(app.Prog, compile.Options{EntryArgs: app.Args})
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tyrsim: %v\n", err)
+			os.Exit(1)
+		}
+		if *dot {
+			fmt.Print(g.Dot())
+		} else {
+			text, err := g.MarshalText()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "tyrsim: %v\n", err)
+				os.Exit(1)
+			}
+			os.Stdout.Write(text)
+		}
+		return
+	}
+
+	cfg := harness.SysConfig{
+		IssueWidth: *width,
+		Tags:       *tags,
+		GlobalTags: *globalTags,
+		SkipCheck:  *globalTags > 0, // a deadlocked run has no output to validate
+	}
+	rs, err := harness.Run(app, *sys, cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tyrsim: %v\n", err)
+		os.Exit(1)
+	}
+
+	var spaces []core.SpaceStats
+	if *blocks && (*sys == harness.SysTyr || *sys == harness.SysUnordered) {
+		g, err := compile.Tagged(app.Prog, compile.Options{EntryArgs: app.Args})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tyrsim: %v\n", err)
+			os.Exit(1)
+		}
+		ecfg := core.Config{IssueWidth: *width, LoadLatency: 0}
+		if *sys == harness.SysTyr {
+			ecfg.Policy = core.PolicyTyr
+			ecfg.TagsPerBlock = *tags
+		} else if *globalTags > 0 {
+			ecfg.Policy = core.PolicyGlobalBounded
+			ecfg.GlobalTags = *globalTags
+		} else {
+			ecfg.Policy = core.PolicyGlobalUnlimited
+		}
+		res, err := core.Run(g, app.NewImage(), ecfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tyrsim: %v\n", err)
+			os.Exit(1)
+		}
+		spaces = res.Spaces
+	}
+
+	fmt.Printf("%s on %s (%s)\n", app.Name, rs.System, app.Description)
+	tb := &metrics.Table{}
+	tb.Add("completed", fmt.Sprint(rs.Completed))
+	if rs.Deadlocked {
+		tb.Add("deadlocked", rs.Note)
+	}
+	tb.Add("cycles", metrics.FormatCount(rs.Cycles))
+	tb.Add("dynamic instructions", metrics.FormatCount(rs.Fired))
+	tb.Add("mean IPC", fmt.Sprintf("%.2f", rs.IPC()))
+	tb.Add("peak live tokens", metrics.FormatCount(rs.PeakLive))
+	tb.Add("mean live tokens", fmt.Sprintf("%.1f", rs.MeanLive))
+	if rs.PeakTags > 0 {
+		tb.Add("peak tags in use", fmt.Sprint(rs.PeakTags))
+	}
+	fmt.Print(tb.String())
+
+	if len(spaces) > 0 {
+		bt := &metrics.Table{Headers: []string{"block", "tags", "peak tags used", "allocs", "peak live tokens"}}
+		for _, s := range spaces {
+			pool := fmt.Sprint(s.Tags)
+			if s.Tags == 0 {
+				pool = "unbounded"
+			}
+			bt.Add(s.Block, pool, fmt.Sprint(s.PeakInUse),
+				metrics.FormatCount(s.Allocs), metrics.FormatCount(s.PeakLiveTokens))
+		}
+		fmt.Println()
+		fmt.Print(bt.String())
+	}
+
+	if *trace && len(rs.Trace) > 0 {
+		fmt.Print(metrics.RenderTraces("live state over time",
+			[]metrics.Series{{Name: rs.System, Points: rs.Trace}}, 76, 16))
+	}
+	if rs.Completed {
+		fmt.Println("output validated against native reference: OK")
+	}
+}

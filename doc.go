@@ -1,0 +1,27 @@
+// Package repro reproduces "The TYR Dataflow Architecture: Improving
+// Locality by Taming Parallelism" (MICRO 2024): a general-purpose unordered
+// dataflow architecture that bounds live state by replacing the global tag
+// space of classic tagged dataflow with per-concurrent-block local tag
+// spaces.
+//
+// The root package carries the benchmark harness (bench_test.go), with one
+// benchmark per table and figure of the paper's evaluation. The library
+// lives under internal/:
+//
+//   - internal/prog     — structured mini-IR (the UDIR stand-in), checker,
+//     analyses, inliner, and the reference interpreter
+//   - internal/dfg      — the dataflow-graph ISA all machines execute
+//   - internal/compile  — tagged (TYR/unordered) and ordered lowerings
+//   - internal/core     — the tagged dataflow machine and tag policies
+//     (TYR local tag spaces; global unlimited/bounded)
+//   - internal/ordered  — the FIFO ordered-dataflow baseline
+//   - internal/vn, internal/seqdf — sequential baselines (cost models over
+//     the reference interpreter)
+//   - internal/sparse, internal/graphgen — input substrates
+//   - internal/apps     — the seven Table II workloads with native oracles
+//   - internal/harness  — per-figure experiment runners
+//   - internal/metrics, internal/mem — shared utilities
+//
+// See README.md for a walkthrough, DESIGN.md for the system inventory and
+// experiment index, and EXPERIMENTS.md for paper-vs-measured results.
+package repro

@@ -1,0 +1,168 @@
+package apps
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graphgen"
+	"repro/internal/mem"
+	"repro/internal/prog"
+	"repro/internal/sparse"
+)
+
+// Extra workloads beyond Table II, exercising the memory-ordering-class
+// machinery the paper's kernels avoid (their outputs are written exactly
+// once). Histogram is the classic scatter/read-modify-write pattern; Bfs
+// is a frontier-based traversal whose memory carries state between outer
+// iterations. Both serialize through their ordering classes, showing the
+// cost of must-order memory traffic on every architecture.
+
+// Histogram builds hist[data[i] % bins]++ over n random samples. The
+// read-modify-write chain on hist shares one ordering class, so updates
+// serialize; index computation and loads still parallelize.
+func Histogram(n, bins int, seed int64) *App {
+	rng := rand.New(rand.NewSource(seed))
+	data := make([]int64, n)
+	for i := range data {
+		data[i] = int64(rng.Intn(1 << 16))
+	}
+
+	p := prog.NewProgram("hist", "main")
+	p.DeclareMem("data", n)
+	p.DeclareMem("hist", bins)
+	p.AddFunc("main", nil, prog.C(0),
+		prog.ForRange("hist.scan", "i", prog.C(0), prog.C(int64(n)), nil,
+			prog.LetS("b", prog.Rem(prog.Ld("data", prog.V("i")), prog.C(int64(bins)))),
+			prog.StClass("hist", prog.V("b"),
+				prog.Add(prog.LdClass("hist", prog.V("b"), "h"), prog.C(1)), "h"),
+		),
+	)
+
+	im := prog.DefaultImage(p)
+	im.SetRegion("data", data)
+
+	want := make([]int64, bins)
+	for _, d := range data {
+		want[d%int64(bins)]++
+	}
+	return &App{
+		Name:        "hist",
+		Description: fmt.Sprintf("histogram, %d samples into %d bins (class-ordered RMW)", n, bins),
+		Prog:        p,
+		Image:       im,
+		Check: func(im *mem.Image, _ int64) error {
+			return checkRegion(im, "hist", want)
+		},
+		Inner: "hist.scan",
+		Outer: "hist.scan",
+	}
+}
+
+// Bfs builds a frontier-based breadth-first search over a small-world
+// graph, returning the sum of all distances (unreached nodes count -1).
+// dist is read-modify-written under class "d"; the frontier arrays carry
+// state across outer iterations under classes "fr" and "nx".
+func Bfs(nodes, k int, beta float64, seed int64, src int) *App {
+	g := graphgen.WattsStrogatz(nodes, k, beta, seed)
+
+	p := prog.NewProgram("bfs", "main")
+	p.DeclareMem("rowptr", len(g.RowPtr))
+	p.DeclareMem("col", g.NNZ())
+	p.DeclareMem("dist", nodes)
+	p.DeclareMem("fr", nodes)
+	p.DeclareMem("nx", nodes)
+	p.AddFunc("main", []string{"src"}, prog.V("sum"),
+		prog.StClass("dist", prog.V("src"), prog.C(0), "d"),
+		prog.StClass("fr", prog.C(0), prog.V("src"), "fr"),
+		prog.Loop("bfs.levels",
+			[]prog.LoopVar{prog.LV("fsize", prog.C(1)), prog.LV("level", prog.C(0))},
+			prog.Gt(prog.V("fsize"), prog.C(0)),
+			// Expand the current frontier into nx.
+			prog.ForRange("bfs.frontier", "fi", prog.C(0), prog.V("fsize"),
+				[]prog.LoopVar{prog.LV("nsize", prog.C(0))},
+				prog.LetS("u", prog.LdClass("fr", prog.V("fi"), "fr")),
+				prog.LetS("pend", prog.Ld("rowptr", prog.Add(prog.V("u"), prog.C(1)))),
+				prog.ForRange("bfs.neigh", "ptr", prog.Ld("rowptr", prog.V("u")), prog.V("pend"),
+					[]prog.LoopVar{prog.LV("nsize", prog.V("nsize"))},
+					prog.LetS("v", prog.Ld("col", prog.V("ptr"))),
+					prog.When(prog.Lt(prog.LdClass("dist", prog.V("v"), "d"), prog.C(0)),
+						prog.StClass("dist", prog.V("v"), prog.Add(prog.V("level"), prog.C(1)), "d"),
+						prog.StClass("nx", prog.V("nsize"), prog.V("v"), "nx"),
+						prog.Set("nsize", prog.Add(prog.V("nsize"), prog.C(1))),
+					),
+				),
+			),
+			// Promote nx to the next frontier.
+			prog.ForRange("bfs.copy", "ci", prog.C(0), prog.V("nsize"), nil,
+				prog.StClass("fr", prog.V("ci"), prog.LdClass("nx", prog.V("ci"), "nx"), "fr"),
+			),
+			prog.Set("fsize", prog.V("nsize")),
+			prog.Set("level", prog.Add(prog.V("level"), prog.C(1))),
+		),
+		// Sum the distance vector as the scalar result.
+		prog.ForRange("bfs.sum", "si", prog.C(0), prog.C(int64(nodes)),
+			[]prog.LoopVar{prog.LV("sum", prog.C(0))},
+			prog.Set("sum", prog.Add(prog.V("sum"), prog.LdClass("dist", prog.V("si"), "d"))),
+		),
+	)
+
+	im := prog.DefaultImage(p)
+	im.SetRegion("rowptr", g.RowPtr)
+	im.SetRegion("col", g.Col)
+	distInit := make([]int64, nodes)
+	for i := range distInit {
+		distInit[i] = -1
+	}
+	im.SetRegion("dist", distInit)
+
+	wantDist := bfsRef(g, src)
+	var wantSum int64
+	for _, d := range wantDist {
+		wantSum += d
+	}
+	return &App{
+		Name: "bfs",
+		Description: fmt.Sprintf("BFS from node %d over %d-node small world (%d edges)",
+			src, nodes, graphgen.NumEdges(g)),
+		Prog:  p,
+		Args:  []int64{int64(src)},
+		Image: im,
+		Check: func(im *mem.Image, ret int64) error {
+			if err := checkRegion(im, "dist", wantDist); err != nil {
+				return err
+			}
+			if ret != wantSum {
+				return fmt.Errorf("bfs distance sum %d, want %d", ret, wantSum)
+			}
+			return nil
+		},
+		Inner: "bfs.neigh",
+		Outer: "bfs.levels",
+	}
+}
+
+// bfsRef is the native oracle: distances from src, -1 for unreachable.
+func bfsRef(g *sparse.CSR, src int) []int64 {
+	dist := make([]int64, g.Rows)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	frontier := []int64{int64(src)}
+	level := int64(0)
+	for len(frontier) > 0 {
+		var next []int64
+		for _, u := range frontier {
+			for p := g.RowPtr[u]; p < g.RowPtr[u+1]; p++ {
+				v := g.Col[p]
+				if dist[v] < 0 {
+					dist[v] = level + 1
+					next = append(next, v)
+				}
+			}
+		}
+		frontier = next
+		level++
+	}
+	return dist
+}

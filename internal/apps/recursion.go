@@ -1,0 +1,80 @@
+package apps
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/prog"
+)
+
+// FibStack demonstrates the paper's Sec. V premise: general recursion is
+// transformed into tail recursion with an explicitly managed stack, moving
+// the unboundable state of the call tree from dataflow tokens into memory.
+// The kernel enumerates the fib(n) call tree with a work stack:
+//
+//	push n
+//	while stack non-empty:
+//	    v = pop
+//	    if v <= 2: acc++
+//	    else:      push v-1; push v-2
+//
+// All stack traffic shares one ordering class — the "memory ordering that
+// may limit parallelism" the paper mentions — so the loop is a serialized,
+// data-dependent worklist: the hardest case for parallel architectures and
+// a correctness stress for the tagged machines' memory ordering. TYR must
+// complete it with two tags per block (Theorem 1 assumes exactly this
+// transformed form).
+func FibStack(n int) *App {
+	stackSize := 4 * (n + 2)
+
+	p := prog.NewProgram("fibstack", "main")
+	p.DeclareMem("stack", stackSize)
+	p.AddFunc("main", []string{"n"}, prog.V("acc"),
+		prog.StClass("stack", prog.C(0), prog.V("n"), "stk"),
+		prog.Loop("fib.drive",
+			[]prog.LoopVar{prog.LV("sp", prog.C(1)), prog.LV("acc", prog.C(0))},
+			prog.Gt(prog.V("sp"), prog.C(0)),
+			prog.Set("sp", prog.Sub(prog.V("sp"), prog.C(1))),
+			prog.LetS("v", prog.LdClass("stack", prog.V("sp"), "stk")),
+			prog.IfS(prog.Le(prog.V("v"), prog.C(2)),
+				[]prog.Stmt{
+					prog.Set("acc", prog.Add(prog.V("acc"), prog.C(1))),
+				},
+				[]prog.Stmt{
+					prog.StClass("stack", prog.V("sp"), prog.Sub(prog.V("v"), prog.C(1)), "stk"),
+					prog.StClass("stack", prog.Add(prog.V("sp"), prog.C(1)), prog.Sub(prog.V("v"), prog.C(2)), "stk"),
+					prog.Set("sp", prog.Add(prog.V("sp"), prog.C(2))),
+				},
+			),
+		),
+	)
+
+	want := fibRef(n)
+	return &App{
+		Name:        "fibstack",
+		Description: fmt.Sprintf("fib(%d) via explicit work stack (recursion transformed per Sec. V)", n),
+		Prog:        p,
+		Args:        []int64{int64(n)},
+		Image:       prog.DefaultImage(p),
+		Check: func(_ *mem.Image, ret int64) error {
+			if ret != want {
+				return fmt.Errorf("fibstack returned %d, want fib(%d) = %d", ret, n, want)
+			}
+			return nil
+		},
+		Inner: "fib.drive",
+		Outer: "fib.drive",
+	}
+}
+
+// fibRef is the native oracle (fib(1) = fib(2) = 1).
+func fibRef(n int) int64 {
+	if n <= 2 {
+		return 1
+	}
+	a, b := int64(1), int64(1)
+	for i := 3; i <= n; i++ {
+		a, b = b, a+b
+	}
+	return b
+}

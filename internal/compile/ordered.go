@@ -1,0 +1,389 @@
+package compile
+
+import (
+	"fmt"
+
+	"repro/internal/dfg"
+	"repro/internal/prog"
+)
+
+// Ordered lowers a program to the untagged FIFO dataflow graph executed by
+// ordered dataflow architectures (RipTide-style). The program is fully
+// inlined first: without tags, a shared callee cannot disambiguate
+// interleaved activations from different call sites.
+//
+// Loops use the classic self-cleaning schema: each carried value enters
+// through a merge whose decider is the loop condition, with an initial
+// "false" token injected at program start; the final false condition of one
+// activation is left queued and selects the init value of the next
+// activation. Steers route merged values into the body (true) or out of the
+// loop (false).
+func Ordered(p *prog.Program, opts Options) (g *dfg.Graph, err error) {
+	defer recoverError(&err)
+	if cerr := prog.Check(p); cerr != nil {
+		return nil, cerr
+	}
+	inl, ierr := prog.Inline(p)
+	if ierr != nil {
+		return nil, ierr
+	}
+	if cerr := prog.Check(inl); cerr != nil {
+		return nil, fmt.Errorf("compile: inlined program fails Check: %w", cerr)
+	}
+	entry := inl.EntryFunc()
+	if len(opts.EntryArgs) != len(entry.Params) {
+		return nil, fmt.Errorf("compile: entry %q takes %d args, got %d",
+			entry.Name, len(entry.Params), len(opts.EntryArgs))
+	}
+	c := &ocompiler{
+		p:  inl,
+		g:  dfg.NewGraph(p.Name + ".ordered"),
+		fc: prog.FuncClasses(inl),
+	}
+	c.compileRoot(entry, opts.EntryArgs)
+	if verr := c.g.Validate(dfg.ModeOrdered); verr != nil {
+		return nil, fmt.Errorf("compile: ordered lowering produced invalid graph: %w", verr)
+	}
+	return c.g, nil
+}
+
+type ocompiler struct {
+	p  *prog.Program
+	g  *dfg.Graph
+	fc map[string][]string
+}
+
+func (c *ocompiler) node(op dfg.Op, nIn int, label string) dfg.NodeID {
+	return c.g.AddNode(op, 0, nIn, label)
+}
+
+func (c *ocompiler) gateW(trigger, val Wire, label string) Wire {
+	n := c.node(dfg.OpGate, 2, label)
+	connect(c.g, trigger, n, 0)
+	connect(c.g, val, n, 1)
+	return nWire(n, 0)
+}
+
+// oregion is the compilation context for statements executing once per
+// activation (program entry, a loop-body iteration, or a branch arm).
+type oregion struct {
+	c   *ocompiler
+	env map[string]Wire
+	// ctx yields exactly one token per activation of this region, used to
+	// materialize constants where a token is required.
+	ctx Wire
+}
+
+func (r *oregion) lookup(name string) Wire {
+	w, ok := r.env[name]
+	if !ok {
+		panic(errorf("internal: variable %q missing from ordered env", name))
+	}
+	return w
+}
+
+// token returns w as a token wire, materializing constants with a gate.
+func (r *oregion) token(w Wire, label string) Wire {
+	if w.IsConst() {
+		return r.c.gateW(r.ctx, w, label)
+	}
+	return w
+}
+
+func (c *ocompiler) compileRoot(f *prog.Func, args []int64) {
+	entry := c.node(dfg.OpForward, 1, "entry")
+	c.g.Inject(dfg.Port{Node: entry, In: 0}, 0)
+	r := &oregion{c: c, env: make(map[string]Wire), ctx: nWire(entry, 0)}
+	for i, p := range f.Params {
+		r.env[p] = kWire(args[i])
+	}
+	for _, cl := range c.fc[f.Name] {
+		r.env[classVar(cl)] = c.gateW(nWire(entry, 0), kWire(0), "class."+cl)
+	}
+	r.stmts(f.Body)
+	retW := kWire(0)
+	if f.Ret != nil {
+		retW = r.expr(f.Ret)
+	}
+	res := c.node(dfg.OpForward, 1, "result")
+	connect(c.g, r.token(retW, "result.const"), res, 0)
+	c.g.Result = res
+}
+
+func (r *oregion) stmts(stmts []prog.Stmt) {
+	for _, s := range stmts {
+		r.stmt(s)
+	}
+}
+
+func (r *oregion) stmt(s prog.Stmt) {
+	switch st := s.(type) {
+	case prog.Let:
+		r.env[st.Name] = r.expr(st.E)
+	case prog.Assign:
+		r.env[st.Name] = r.expr(st.E)
+	case prog.StoreStmt:
+		r.store(st)
+	case prog.If:
+		r.ifStmt(st)
+	case prog.While:
+		r.whileStmt(st)
+	case prog.ExprStmt:
+		r.expr(st.E) // result discarded; FIFO semantics need no barrier
+	default:
+		panic(errorf("unknown statement %T", s))
+	}
+}
+
+func (r *oregion) store(st prog.StoreStmt) {
+	c := r.c
+	addr := r.expr(st.Addr)
+	val := r.expr(st.Val)
+	region := c.g.MemRegion(st.Mem)
+	if st.Class != "" {
+		n := c.node(dfg.OpStore, 3, "store "+st.Mem)
+		c.g.Node(n).Region = region
+		connect(c.g, addr, n, 0)
+		connect(c.g, val, n, 1)
+		connect(c.g, r.lookup(classVar(st.Class)), n, 2)
+		r.env[classVar(st.Class)] = nWire(n, dfg.StoreCtrlOut)
+		return
+	}
+	if addr.IsConst() && val.IsConst() {
+		addr = r.token(addr, "store.addr "+st.Mem)
+	}
+	n := c.node(dfg.OpStore, 2, "store "+st.Mem)
+	c.g.Node(n).Region = region
+	connect(c.g, addr, n, 0)
+	connect(c.g, val, n, 1)
+}
+
+func (r *oregion) ifStmt(st prog.If) {
+	c := r.c
+	cw := r.expr(st.Cond)
+	if cw.IsConst() {
+		if cw.konst != 0 {
+			r.stmts(st.Then)
+		} else {
+			r.stmts(st.Else)
+		}
+		return
+	}
+
+	thenCls := prog.ClassesTouched(st.Then, nil, c.fc)
+	elseCls := prog.ClassesTouched(st.Else, nil, c.fc)
+	phiSet := unionSorted(
+		prog.WriteSet(st.Then, nil),
+		prog.WriteSet(st.Else, nil),
+		classVars(thenCls),
+		classVars(elseCls),
+	)
+	steerSet := unionSorted(
+		prog.ReadSet(st.Then, nil, nil),
+		prog.ReadSet(st.Else, nil, nil),
+		phiSet,
+	)
+
+	condSteer := c.node(dfg.OpSteer, 2, "if.cond")
+	connect(c.g, cw, condSteer, 0)
+	connect(c.g, cw, condSteer, 1)
+	thenCtx := nWire(condSteer, dfg.SteerTrueOut)
+	elseCtx := nWire(condSteer, dfg.SteerFalseOut)
+
+	thenEnv, elseEnv := copyEnv(r.env), copyEnv(r.env)
+	for _, name := range steerSet {
+		w, ok := r.env[name]
+		if !ok || w.IsConst() {
+			continue
+		}
+		s := c.node(dfg.OpSteer, 2, "steer "+name)
+		connect(c.g, cw, s, 0)
+		connect(c.g, w, s, 1)
+		thenEnv[name] = nWire(s, dfg.SteerTrueOut)
+		elseEnv[name] = nWire(s, dfg.SteerFalseOut)
+	}
+
+	thenR := &oregion{c: c, env: thenEnv, ctx: thenCtx}
+	thenR.stmts(st.Then)
+	elseR := &oregion{c: c, env: elseEnv, ctx: elseCtx}
+	elseR.stmts(st.Else)
+
+	for _, name := range phiSet {
+		if _, existed := r.env[name]; !existed {
+			continue // branch-local declaration, not a phi (see tagged.go)
+		}
+		tw := thenR.token(thenR.env[name], "phi.then "+name)
+		ew := elseR.token(elseR.env[name], "phi.else "+name)
+		m := c.node(dfg.OpMerge, 3, "phi "+name)
+		connect(c.g, cw, m, 0)
+		connect(c.g, ew, m, 1) // decider false -> else value
+		connect(c.g, tw, m, 2) // decider true  -> then value
+		r.env[name] = nWire(m, 0)
+	}
+}
+
+func (r *oregion) whileStmt(st prog.While) {
+	c := r.c
+
+	varNames := make([]string, len(st.Vars))
+	var list []carriedVal
+	for i, v := range st.Vars {
+		varNames[i] = v.Name
+		list = append(list, carriedVal{name: v.Name, init: r.expr(v.Init), exits: true})
+	}
+	for _, name := range prog.ReadSet(st.Body, []prog.Expr{st.Cond}, varNames) {
+		w := r.lookup(name)
+		if w.IsConst() {
+			continue
+		}
+		list = append(list, carriedVal{name: name, init: w})
+	}
+	for _, cl := range prog.ClassesTouched(st.Body, []prog.Expr{st.Cond}, c.fc) {
+		list = append(list, carriedVal{name: classVar(cl), init: r.lookup(classVar(cl)), exits: true})
+	}
+
+	label := st.Label
+	if label == "" {
+		label = fmt.Sprintf("loop@%d", c.g.NumNodes())
+	}
+
+	// Loop-entry merges: decider false selects the init (first iteration
+	// of an activation), true selects the backedge. Each decider FIFO is
+	// seeded with one false token; the final false condition of each
+	// activation re-arms the next (self-cleaning).
+	merges := make([]dfg.NodeID, len(list))
+	for i, cv := range list {
+		m := c.node(dfg.OpMerge, 3, label+".merge."+cv.name)
+		connect(c.g, r.token(cv.init, label+".init."+cv.name), m, 1)
+		c.g.Inject(dfg.Port{Node: m, In: 0}, 0)
+		merges[i] = m
+	}
+
+	L := &oregion{c: c, env: make(map[string]Wire)}
+	for k, v := range r.env {
+		if v.IsConst() {
+			L.env[k] = v
+		}
+	}
+	for i, cv := range list {
+		L.env[cv.name] = nWire(merges[i], 0)
+	}
+	// The merged values deliver one token per iteration; any of them can
+	// trigger constant materialization inside the condition. A loop with
+	// no carried token values would be degenerate (constant condition);
+	// fall back to the enclosing ctx in that case.
+	if len(list) > 0 {
+		L.ctx = nWire(merges[0], 0)
+	} else {
+		L.ctx = r.ctx
+	}
+
+	cw := L.expr(st.Cond)
+	if cw.IsConst() {
+		panic(errorf("ordered lowering: loop %q has a constant condition; FIFO deciders need a per-iteration condition token", label))
+	}
+	for _, m := range merges {
+		connect(c.g, cw, m, 0)
+	}
+
+	condSteer := c.node(dfg.OpSteer, 2, label+".steer.cond")
+	connect(c.g, cw, condSteer, 0)
+	connect(c.g, cw, condSteer, 1)
+	trueCtx := nWire(condSteer, dfg.SteerTrueOut)
+
+	steers := make([]dfg.NodeID, len(list))
+	for i, cv := range list {
+		s := c.node(dfg.OpSteer, 2, label+".steer."+cv.name)
+		connect(c.g, cw, s, 0)
+		connect(c.g, L.env[cv.name], s, 1)
+		steers[i] = s
+	}
+
+	B := &oregion{c: c, env: make(map[string]Wire), ctx: trueCtx}
+	for k, v := range L.env {
+		if v.IsConst() {
+			B.env[k] = v
+		}
+	}
+	for i, cv := range list {
+		B.env[cv.name] = nWire(steers[i], dfg.SteerTrueOut)
+	}
+	B.stmts(st.Body)
+
+	for i, cv := range list {
+		next := B.token(B.lookup(cv.name), label+".next."+cv.name)
+		connect(c.g, next, merges[i], 2)
+	}
+
+	// Exits: explicit vars and class tokens flow out on the false side;
+	// invariants keep the parent's wire (fan-out copied them in).
+	for i, cv := range list {
+		if cv.exits {
+			r.env[cv.name] = nWire(steers[i], dfg.SteerFalseOut)
+		}
+	}
+}
+
+func (r *oregion) expr(e prog.Expr) Wire {
+	c := r.c
+	switch ex := e.(type) {
+	case prog.Const:
+		return kWire(ex.V)
+	case prog.Var:
+		return r.lookup(ex.Name)
+	case prog.Bin:
+		a := r.expr(ex.A)
+		b := r.expr(ex.B)
+		if a.IsConst() && b.IsConst() {
+			v, err := dfg.EvalBin(ex.Op, a.konst, b.konst)
+			if err != nil {
+				panic(errorf("constant folding: %v", err))
+			}
+			return kWire(v)
+		}
+		n := c.node(dfg.OpBin, 2, ex.Op.String())
+		c.g.Node(n).Bin = ex.Op
+		connect(c.g, a, n, 0)
+		connect(c.g, b, n, 1)
+		return nWire(n, 0)
+	case prog.Select:
+		cond := r.expr(ex.Cond)
+		t := r.expr(ex.Then)
+		f := r.expr(ex.Else)
+		if cond.IsConst() {
+			// Arms are side-effect free here (calls were inlined away and
+			// loads have no value side effects in FIFO mode), so folding
+			// the unchosen arm simply leaves its tokens unconsumed, which
+			// ordered execution tolerates only if something pops them.
+			// Keep the select node to consume both arms.
+			cond = r.token(cond, "select.cond")
+		}
+		n := c.node(dfg.OpSelect, 3, "select")
+		connect(c.g, cond, n, 0)
+		connect(c.g, r.token(t, "select.t"), n, 1)
+		connect(c.g, r.token(f, "select.f"), n, 2)
+		return nWire(n, 0)
+	case prog.Load:
+		addr := r.expr(ex.Addr)
+		region := c.g.MemRegion(ex.Mem)
+		if ex.Class != "" {
+			n := c.node(dfg.OpLoad, 2, "load "+ex.Mem)
+			c.g.Node(n).Region = region
+			connect(c.g, addr, n, 0)
+			connect(c.g, r.lookup(classVar(ex.Class)), n, 1)
+			r.env[classVar(ex.Class)] = nWire(n, dfg.LoadValOut)
+			return nWire(n, dfg.LoadValOut)
+		}
+		if addr.IsConst() {
+			addr = r.token(addr, "load.addr "+ex.Mem)
+		}
+		n := c.node(dfg.OpLoad, 1, "load "+ex.Mem)
+		c.g.Node(n).Region = region
+		connect(c.g, addr, n, 0)
+		return nWire(n, 0)
+	case prog.Call:
+		panic(errorf("internal: call survived inlining"))
+	default:
+		panic(errorf("unknown expression %T", e))
+	}
+}

@@ -1,0 +1,823 @@
+package compile
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dfg"
+	"repro/internal/prog"
+)
+
+// Options parameterizes compilation.
+type Options struct {
+	// EntryArgs are bound to the entry function's parameters as
+	// compile-time constants (the paper's programs take their inputs
+	// through memory; scalar parameters are configuration).
+	EntryArgs []int64
+}
+
+// Tagged lowers a program to the tagged dataflow graph shared by TYR and
+// naive unordered dataflow. Loops and functions become concurrent blocks
+// with their own tag spaces, connected through transfer points (allocate +
+// changeTag in, changeTag out) and guarded by a free barrier: a join whose
+// transitive fan-in covers every instruction of the block (Sec. IV of the
+// paper).
+func Tagged(p *prog.Program, opts Options) (g *dfg.Graph, err error) {
+	defer recoverError(&err)
+	if cerr := prog.Check(p); cerr != nil {
+		return nil, cerr
+	}
+	entry := p.EntryFunc()
+	if len(opts.EntryArgs) != len(entry.Params) {
+		return nil, fmt.Errorf("compile: entry %q takes %d args, got %d",
+			entry.Name, len(entry.Params), len(opts.EntryArgs))
+	}
+	c := &tagged{
+		p:     p,
+		g:     dfg.NewGraph(p.Name),
+		fc:    prog.FuncClasses(p),
+		funcs: make(map[string]*funcInfo),
+	}
+	order, oerr := prog.CallOrder(p)
+	if oerr != nil {
+		return nil, oerr
+	}
+	reach := reachable(p)
+	for _, name := range order {
+		if name == p.Entry || !reach[name] {
+			continue
+		}
+		c.compileFunc(p.FindFunc(name))
+	}
+	c.compileRoot(entry, opts.EntryArgs)
+
+	if verr := c.g.Validate(dfg.ModeTagged); verr != nil {
+		return nil, fmt.Errorf("compile: tagged lowering produced invalid graph: %w", verr)
+	}
+	if derr := checkNoDangling(c.g); derr != nil {
+		return nil, derr
+	}
+	return c.g, nil
+}
+
+// reachable returns the functions reachable from the entry.
+func reachable(p *prog.Program) map[string]bool {
+	seen := map[string]bool{p.Entry: true}
+	work := []string{p.Entry}
+	for len(work) > 0 {
+		name := work[len(work)-1]
+		work = work[:len(work)-1]
+		f := p.FindFunc(name)
+		if f == nil {
+			continue
+		}
+		for _, callee := range prog.CallsIn(f.Body, []prog.Expr{f.Ret}) {
+			if !seen[callee] {
+				seen[callee] = true
+				work = append(work, callee)
+			}
+		}
+	}
+	return seen
+}
+
+type tagged struct {
+	p     *prog.Program
+	g     *dfg.Graph
+	fc    map[string][]string
+	funcs map[string]*funcInfo
+}
+
+// funcInfo records a compiled function's concurrent block and its entry
+// forwards, the static targets that every call site's changeTags feed.
+type funcInfo struct {
+	blk       dfg.BlockID
+	pt        dfg.NodeID            // parent tag (as data)
+	retDest   dfg.NodeID            // encoded landing port for the result
+	params    []dfg.NodeID          // one per parameter
+	classIn   map[string]dfg.NodeID // ordering token per touched class
+	classDest map[string]dfg.NodeID // encoded landing port per class token
+	classes   []string
+}
+
+func (c *tagged) node(op dfg.Op, blk dfg.BlockID, nIn int, label string) dfg.NodeID {
+	return c.g.AddNode(op, blk, nIn, label)
+}
+
+// joinOf funnels several exactly-once-per-context wires into one. A single
+// wire passes through; multiple wires get an n-input join.
+func (c *tagged) joinOf(blk dfg.BlockID, wires []Wire, label string) Wire {
+	if len(wires) == 0 {
+		panic(errorf("internal: joinOf with no wires (%s)", label))
+	}
+	if len(wires) == 1 {
+		return wires[0]
+	}
+	j := c.node(dfg.OpJoin, blk, len(wires), label)
+	for i, w := range wires {
+		connect(c.g, w, j, i)
+	}
+	return nWire(j, 0)
+}
+
+// gateW materializes a value (typically a constant) as one token per
+// firing of the trigger wire.
+func (c *tagged) gateW(blk dfg.BlockID, trigger, val Wire, label string) Wire {
+	n := c.node(dfg.OpGate, blk, 2, label)
+	connect(c.g, trigger, n, 0)
+	connect(c.g, val, n, 1)
+	return nWire(n, 0)
+}
+
+// region is the compilation context for a run of statements that executes
+// exactly once per firing of ctx (a concurrent-block body, or a branch arm
+// within one).
+type region struct {
+	c   *tagged
+	blk dfg.BlockID
+	env map[string]Wire
+	// ctx delivers exactly one token per execution of this region; it
+	// seeds allocate requests and constant materialization.
+	ctx Wire
+	// sinks are wires that fire exactly once per region execution and
+	// must reach the enclosing free barrier (steer controls, changeTag
+	// controls, store controls, discarded results, ...).
+	sinks []Wire
+	// owned tracks token wires bound by Let/Assign/phi in this region.
+	// Any of them left without a consumer at region end (dead values)
+	// must still reach the barrier, or their tokens would outlive the
+	// tag's free; sinkDead handles that.
+	owned []Wire
+	// ptCache holds the lazily created extractTag of ctx (the current
+	// context's tag as data, needed by transfer points).
+	ptCache Wire
+}
+
+// own records a region-created value wire for dead-value coverage.
+func (r *region) own(w Wire) {
+	if !w.IsConst() {
+		r.owned = append(r.owned, w)
+	}
+}
+
+// sinkDead adds owned wires that never got a consumer to the region's
+// sinks, one barrier input per whole wire (the wire's sources are
+// complementary per context, so exactly one token arrives). It must run
+// after every in-region consumer has been wired and before the sinks
+// themselves are joined (sink wiring happens at joinOf time, so unconsumed
+// sink entries still show zero destinations here).
+func (r *region) sinkDead() {
+	for _, w := range r.owned {
+		dead := true
+		for _, s := range w.srcs {
+			if len(r.c.g.Nodes[s.node].Outs[s.out]) > 0 {
+				dead = false
+				break
+			}
+		}
+		if dead {
+			r.sinks = append(r.sinks, w)
+		}
+	}
+	r.owned = nil
+}
+
+func (r *region) ptData() Wire {
+	if !r.ptCache.valid() {
+		n := r.c.node(dfg.OpExtractTag, r.blk, 1, "pt")
+		connect(r.c.g, r.ctx, n, 0)
+		r.ptCache = nWire(n, 0)
+	}
+	return r.ptCache
+}
+
+func (r *region) lookup(name string) Wire {
+	w, ok := r.env[name]
+	if !ok {
+		panic(errorf("internal: variable %q missing from env (checker should guarantee it)", name))
+	}
+	return w
+}
+
+// done returns a wire that fires exactly once per region execution after
+// everything in the region has completed.
+func (r *region) done(label string) Wire {
+	if len(r.sinks) == 0 {
+		return r.ctx
+	}
+	return r.c.joinOf(r.blk, r.sinks, label)
+}
+
+func copyEnv(env map[string]Wire) map[string]Wire {
+	out := make(map[string]Wire, len(env))
+	for k, v := range env {
+		out[k] = v
+	}
+	return out
+}
+
+// ---- function and root compilation ----
+
+func (c *tagged) compileFunc(f *prog.Func) {
+	classes := c.fc[f.Name]
+	blk := c.g.AddBlock(0, dfg.BlockFunc, f.Name, false)
+	fi := &funcInfo{
+		blk:       blk,
+		classIn:   make(map[string]dfg.NodeID),
+		classDest: make(map[string]dfg.NodeID),
+		classes:   classes,
+	}
+	fwd := func(label string) dfg.NodeID {
+		return c.node(dfg.OpForward, blk, 1, label)
+	}
+	fi.pt = fwd(f.Name + ".pt")
+	fi.retDest = fwd(f.Name + ".retdest")
+	for _, p := range f.Params {
+		fi.params = append(fi.params, fwd(f.Name+".arg."+p))
+	}
+	for _, cl := range classes {
+		fi.classIn[cl] = fwd(f.Name + ".class." + cl)
+		fi.classDest[cl] = fwd(f.Name + ".classdest." + cl)
+	}
+	c.funcs[f.Name] = fi
+
+	r := &region{c: c, blk: blk, env: make(map[string]Wire), ctx: nWire(fi.pt, 0)}
+	for i, p := range f.Params {
+		r.env[p] = nWire(fi.params[i], 0)
+	}
+	for _, cl := range classes {
+		r.env[classVar(cl)] = nWire(fi.classIn[cl], 0)
+	}
+	// Every entry forward fires exactly once per context; feeding them all
+	// into the barrier covers unused parameters and keeps the barrier's
+	// transitive fan-in complete.
+	entryFwds := append([]dfg.NodeID{fi.pt, fi.retDest}, fi.params...)
+	for _, cl := range classes {
+		entryFwds = append(entryFwds, fi.classIn[cl], fi.classDest[cl])
+	}
+	for _, n := range entryFwds {
+		r.sinks = append(r.sinks, nWire(n, 0))
+	}
+
+	r.stmts(f.Body)
+	retW := Wire{isK: true}
+	if f.Ret != nil {
+		retW = r.expr(f.Ret)
+	}
+
+	exit := func(data Wire, destFwd dfg.NodeID, label string) {
+		ct := c.node(dfg.OpChangeTagDyn, blk, 3, label)
+		connect(c.g, nWire(fi.pt, 0), ct, 0)
+		connect(c.g, data, ct, 1)
+		connect(c.g, nWire(destFwd, 0), ct, 2)
+		r.sinks = append(r.sinks, nWire(ct, dfg.CTCtrlOut))
+	}
+	exit(retW, fi.retDest, f.Name+".ret")
+	for _, cl := range classes {
+		exit(r.lookup(classVar(cl)), fi.classDest[cl], f.Name+".retclass."+cl)
+	}
+
+	r.sinkDead()
+	bar := r.done(f.Name + ".barrier")
+	fr := c.node(dfg.OpFree, blk, 1, f.Name+".free")
+	c.g.Node(fr).Space = blk
+	connect(c.g, bar, fr, 0)
+}
+
+func (c *tagged) compileRoot(f *prog.Func, args []int64) {
+	entry := c.node(dfg.OpForward, 0, 1, "entry")
+	c.g.Inject(dfg.Port{Node: entry, In: 0}, 0)
+
+	r := &region{c: c, blk: 0, env: make(map[string]Wire), ctx: nWire(entry, 0)}
+	r.sinks = append(r.sinks, r.ctx)
+	for i, p := range f.Params {
+		r.env[p] = kWire(args[i])
+	}
+	for _, cl := range c.fc[f.Name] {
+		r.env[classVar(cl)] = c.gateW(0, r.ctx, kWire(0), "class."+cl)
+	}
+
+	r.stmts(f.Body)
+	retW := kWire(0)
+	if f.Ret != nil {
+		retW = r.expr(f.Ret)
+	}
+	if retW.IsConst() {
+		retW = c.gateW(0, r.ctx, retW, "result.const")
+	}
+	res := c.node(dfg.OpForward, 0, 1, "result")
+	connect(c.g, retW, res, 0)
+	c.g.Result = res
+	r.sinks = append(r.sinks, nWire(res, 0))
+	for _, cl := range c.fc[f.Name] {
+		r.sinks = append(r.sinks, r.lookup(classVar(cl)))
+	}
+
+	r.sinkDead()
+	bar := r.done("root.barrier")
+	fr := c.node(dfg.OpFree, 0, 1, "root.free")
+	c.g.Node(fr).Space = 0
+	connect(c.g, bar, fr, 0)
+	c.g.RootFree = fr
+}
+
+// ---- statements ----
+
+func (r *region) stmts(stmts []prog.Stmt) {
+	for _, s := range stmts {
+		r.stmt(s)
+	}
+}
+
+func (r *region) stmt(s prog.Stmt) {
+	switch st := s.(type) {
+	case prog.Let:
+		w := r.expr(st.E)
+		r.own(w)
+		r.env[st.Name] = w
+	case prog.Assign:
+		w := r.expr(st.E)
+		r.own(w)
+		r.env[st.Name] = w
+	case prog.StoreStmt:
+		r.store(st)
+	case prog.If:
+		r.ifStmt(st)
+	case prog.While:
+		r.whileStmt(st)
+	case prog.ExprStmt:
+		w := r.expr(st.E)
+		if !w.IsConst() {
+			r.sinks = append(r.sinks, w)
+		}
+	default:
+		panic(errorf("unknown statement %T", s))
+	}
+}
+
+func (r *region) store(st prog.StoreStmt) {
+	c := r.c
+	addr := r.expr(st.Addr)
+	val := r.expr(st.Val)
+	region := c.g.MemRegion(st.Mem)
+	if st.Class != "" {
+		n := c.node(dfg.OpStore, r.blk, 3, "store "+st.Mem)
+		c.g.Node(n).Region = region
+		connect(c.g, addr, n, 0)
+		connect(c.g, val, n, 1)
+		connect(c.g, r.lookup(classVar(st.Class)), n, 2)
+		r.env[classVar(st.Class)] = nWire(n, dfg.StoreCtrlOut)
+		return
+	}
+	if addr.IsConst() && val.IsConst() {
+		addr = c.gateW(r.blk, r.ctx, addr, "store.addr "+st.Mem)
+	}
+	n := c.node(dfg.OpStore, r.blk, 2, "store "+st.Mem)
+	c.g.Node(n).Region = region
+	connect(c.g, addr, n, 0)
+	connect(c.g, val, n, 1)
+	r.sinks = append(r.sinks, nWire(n, dfg.StoreCtrlOut))
+}
+
+func (r *region) ifStmt(st prog.If) {
+	c := r.c
+	cw := r.expr(st.Cond)
+	if cw.IsConst() {
+		// Statically resolved branch: compile only the taken arm,
+		// unconditionally in this region.
+		if cw.konst != 0 {
+			r.stmts(st.Then)
+		} else {
+			r.stmts(st.Else)
+		}
+		return
+	}
+
+	thenCls := prog.ClassesTouched(st.Then, nil, c.fc)
+	elseCls := prog.ClassesTouched(st.Else, nil, c.fc)
+	phiSet := unionSorted(
+		prog.WriteSet(st.Then, nil),
+		prog.WriteSet(st.Else, nil),
+		classVars(thenCls),
+		classVars(elseCls),
+	)
+	steerSet := unionSorted(
+		prog.ReadSet(st.Then, nil, nil),
+		prog.ReadSet(st.Else, nil, nil),
+		phiSet,
+	)
+
+	condSteer := c.node(dfg.OpSteer, r.blk, 2, "if.cond")
+	connect(c.g, cw, condSteer, 0)
+	connect(c.g, cw, condSteer, 1)
+	r.sinks = append(r.sinks, nWire(condSteer, dfg.SteerCtrlOut))
+	thenCtx := nWire(condSteer, dfg.SteerTrueOut)
+	elseCtx := nWire(condSteer, dfg.SteerFalseOut)
+
+	thenEnv, elseEnv := copyEnv(r.env), copyEnv(r.env)
+	for _, name := range steerSet {
+		w, ok := r.env[name]
+		if !ok || w.IsConst() {
+			continue // constants flow everywhere; unknown names are branch-local
+		}
+		s := c.node(dfg.OpSteer, r.blk, 2, "steer "+name)
+		connect(c.g, cw, s, 0)
+		connect(c.g, w, s, 1)
+		r.sinks = append(r.sinks, nWire(s, dfg.SteerCtrlOut))
+		thenEnv[name] = nWire(s, dfg.SteerTrueOut)
+		elseEnv[name] = nWire(s, dfg.SteerFalseOut)
+	}
+
+	thenR := &region{c: c, blk: r.blk, env: thenEnv, ctx: thenCtx}
+	thenR.stmts(st.Then)
+	elseR := &region{c: c, blk: r.blk, env: elseEnv, ctx: elseCtx}
+	elseR.stmts(st.Else)
+
+	for _, name := range phiSet {
+		if _, existed := r.env[name]; !existed {
+			// A loop merge-out inside one arm can "write" a name that
+			// does not exist outside the branch; that is a branch-local
+			// declaration (it dies at the branch end), not a phi.
+			continue
+		}
+		tw, ok := thenR.env[name]
+		if !ok {
+			panic(errorf("internal: phi var %q missing from then env", name))
+		}
+		ew, ok := elseR.env[name]
+		if !ok {
+			panic(errorf("internal: phi var %q missing from else env", name))
+		}
+		if tw.IsConst() {
+			tw = c.gateW(r.blk, thenCtx, tw, "phi.then "+name)
+		}
+		if ew.IsConst() {
+			ew = c.gateW(r.blk, elseCtx, ew, "phi.else "+name)
+		}
+		// Each side of the phi fires only when its arm executes, so a
+		// dead phi must be covered per arm, not by the parent barrier.
+		// Owning both sides in their arms handles every case: a side
+		// with no consumer at arm end joins the arm's (conditional)
+		// done wire; consumed sides are skipped.
+		thenR.own(tw)
+		elseR.own(ew)
+		r.env[name] = mergeWires(tw, ew)
+	}
+
+	// Exactly one arm executes per context; merging each arm's done wire
+	// onto the same barrier input yields exactly one token per context.
+	// Dead values inside an arm join the arm's done wire, keeping the
+	// coverage conditional like the arm itself.
+	thenR.sinkDead()
+	elseR.sinkDead()
+	thenDone := thenR.done("if.then.done")
+	elseDone := elseR.done("if.else.done")
+	r.sinks = append(r.sinks, mergeWires(thenDone, elseDone))
+}
+
+// carriedVal is one value threaded through a loop's transfer points.
+type carriedVal struct {
+	name  string
+	init  Wire
+	exits bool // merged back out to the parent on loop exit
+}
+
+func (r *region) whileStmt(st prog.While) {
+	c := r.c
+
+	// Gather the carried set: explicit loop variables, loop-invariant
+	// token values read inside, and ordering tokens of touched classes.
+	varNames := make([]string, len(st.Vars))
+	var list []carriedVal
+	for i, v := range st.Vars {
+		varNames[i] = v.Name
+		list = append(list, carriedVal{name: v.Name, init: r.expr(v.Init), exits: true})
+	}
+	for _, name := range prog.ReadSet(st.Body, []prog.Expr{st.Cond}, varNames) {
+		w := r.lookup(name)
+		if w.IsConst() {
+			continue
+		}
+		list = append(list, carriedVal{name: name, init: w})
+	}
+	classes := prog.ClassesTouched(st.Body, []prog.Expr{st.Cond}, c.fc)
+	for _, cl := range classes {
+		list = append(list, carriedVal{name: classVar(cl), init: r.lookup(classVar(cl)), exits: true})
+	}
+
+	label := st.Label
+	if label == "" {
+		label = fmt.Sprintf("loop%d", len(c.g.Blocks))
+	}
+	blk := c.g.AddBlock(r.blk, dfg.BlockLoop, label, true)
+
+	// ---- entry transfer point (XP1), in the parent block ----
+	al1 := c.node(dfg.OpAllocate, r.blk, 2, label+".alloc.in")
+	c.g.Node(al1).Space = blk
+	c.g.Node(al1).External = true
+	connect(c.g, r.ctx, al1, 0)
+	var readyIns []Wire
+	for _, cv := range list {
+		if !cv.init.IsConst() {
+			readyIns = append(readyIns, cv.init)
+		}
+	}
+	if len(readyIns) == 0 {
+		readyIns = []Wire{r.ctx}
+	}
+	connect(c.g, c.joinOf(r.blk, readyIns, label+".args"), al1, 1)
+	nt1 := nWire(al1, dfg.AllocTagOut)
+	r.sinks = append(r.sinks, nWire(al1, dfg.AllocCtrlOut))
+
+	makeCT1 := func(data Wire, lbl string) dfg.NodeID {
+		ct := c.node(dfg.OpChangeTag, r.blk, 2, lbl)
+		connect(c.g, nt1, ct, 0)
+		connect(c.g, data, ct, 1)
+		r.sinks = append(r.sinks, nWire(ct, dfg.CTCtrlOut))
+		return ct
+	}
+	ct1pt := makeCT1(r.ptData(), label+".in.pt")
+	ct1 := make([]dfg.NodeID, len(list))
+	for i, cv := range list {
+		ct1[i] = makeCT1(cv.init, label+".in."+cv.name)
+	}
+
+	// ---- backedge transfer point (XP2) skeleton, in the loop block ----
+	al2 := c.node(dfg.OpAllocate, blk, 2, label+".alloc.back")
+	c.g.Node(al2).Space = blk
+	nt2 := nWire(al2, dfg.AllocTagOut)
+	makeCT2 := func(lbl string) dfg.NodeID {
+		ct := c.node(dfg.OpChangeTag, blk, 2, lbl)
+		connect(c.g, nt2, ct, 0)
+		return ct
+	}
+	ct2pt := makeCT2(label + ".back.pt")
+	ct2 := make([]dfg.NodeID, len(list))
+	for i, cv := range list {
+		ct2[i] = makeCT2(label + ".back." + cv.name)
+	}
+
+	// In-loop wires: both transfer points feed the same consumers; tags
+	// disambiguate contexts.
+	L := &region{c: c, blk: blk, env: make(map[string]Wire)}
+	for k, v := range r.env {
+		if v.IsConst() {
+			L.env[k] = v
+		}
+	}
+	for i, cv := range list {
+		L.env[cv.name] = mergeWires(nWire(ct1[i], dfg.CTDataOut), nWire(ct2[i], dfg.CTDataOut))
+	}
+	ptW := mergeWires(nWire(ct1pt, dfg.CTDataOut), nWire(ct2pt, dfg.CTDataOut))
+	L.ctx = ptW
+
+	cw := L.expr(st.Cond)
+
+	// Steer every carried value (and the parent-tag value) by the
+	// condition: true continues into the body, false exits.
+	steerOf := func(data Wire, lbl string) dfg.NodeID {
+		s := c.node(dfg.OpSteer, blk, 2, lbl)
+		connect(c.g, cw, s, 0)
+		connect(c.g, data, s, 1)
+		L.sinks = append(L.sinks, nWire(s, dfg.SteerCtrlOut))
+		return s
+	}
+	sPt := steerOf(ptW, label+".steer.pt")
+	truePt := nWire(sPt, dfg.SteerTrueOut)
+	falsePt := nWire(sPt, dfg.SteerFalseOut)
+	sVar := make([]dfg.NodeID, len(list))
+	for i, cv := range list {
+		sVar[i] = steerOf(L.env[cv.name], label+".steer."+cv.name)
+	}
+
+	// ---- body (conditional region on the continue side) ----
+	B := &region{c: c, blk: blk, env: make(map[string]Wire), ctx: truePt}
+	for k, v := range L.env {
+		if v.IsConst() {
+			B.env[k] = v
+		}
+	}
+	for i, cv := range list {
+		B.env[cv.name] = nWire(sVar[i], dfg.SteerTrueOut)
+	}
+	B.stmts(st.Body)
+
+	// Wire the backedge: next-iteration values into XP2.
+	connect(c.g, truePt, ct2pt, 1)
+	connect(c.g, truePt, al2, 0)
+	var readyBack []Wire
+	for i, cv := range list {
+		next := B.lookup(cv.name)
+		connect(c.g, next, ct2[i], 1)
+		if !next.IsConst() {
+			readyBack = append(readyBack, next)
+		}
+	}
+	if len(readyBack) == 0 {
+		readyBack = []Wire{truePt}
+	}
+	connect(c.g, c.joinOf(blk, readyBack, label+".backargs"), al2, 1)
+
+	B.sinkDead()
+	contSinks := append([]Wire{}, B.sinks...)
+	contSinks = append(contSinks, nWire(al2, dfg.AllocCtrlOut), nWire(ct2pt, dfg.CTCtrlOut))
+	for i := range list {
+		contSinks = append(contSinks, nWire(ct2[i], dfg.CTCtrlOut))
+	}
+	contDone := c.joinOf(blk, contSinks, label+".cont.done")
+
+	// ---- exit transfer point, on the false side ----
+	var exitSinks []Wire
+	makeExit := func(data Wire, lbl string) dfg.NodeID {
+		ct := c.node(dfg.OpChangeTag, blk, 2, lbl)
+		connect(c.g, falsePt, ct, 0)
+		connect(c.g, data, ct, 1)
+		exitSinks = append(exitSinks, nWire(ct, dfg.CTCtrlOut))
+		return ct
+	}
+	// The completion signal always exits, even for loops with no results:
+	// the parent must observe loop completion before freeing its own tag.
+	doneCT := makeExit(falsePt, label+".out.done")
+	r.sinks = append(r.sinks, nWire(doneCT, dfg.CTDataOut))
+	for i, cv := range list {
+		if !cv.exits {
+			continue
+		}
+		ct := makeExit(nWire(sVar[i], dfg.SteerFalseOut), label+".out."+cv.name)
+		r.env[cv.name] = nWire(ct, dfg.CTDataOut)
+		r.sinks = append(r.sinks, nWire(ct, dfg.CTDataOut))
+	}
+	exitDone := c.joinOf(blk, exitSinks, label+".exit.done")
+
+	// Exactly one of {continue, exit} happens per context.
+	L.sinks = append(L.sinks, mergeWires(contDone, exitDone))
+
+	bar := c.joinOf(blk, L.sinks, label+".barrier")
+	fr := c.node(dfg.OpFree, blk, 1, label+".free")
+	c.g.Node(fr).Space = blk
+	connect(c.g, bar, fr, 0)
+}
+
+// ---- expressions ----
+
+func (r *region) expr(e prog.Expr) Wire {
+	c := r.c
+	switch ex := e.(type) {
+	case prog.Const:
+		return kWire(ex.V)
+	case prog.Var:
+		return r.lookup(ex.Name)
+	case prog.Bin:
+		a := r.expr(ex.A)
+		b := r.expr(ex.B)
+		if a.IsConst() && b.IsConst() {
+			v, err := dfg.EvalBin(ex.Op, a.konst, b.konst)
+			if err != nil {
+				panic(errorf("constant folding: %v", err))
+			}
+			return kWire(v)
+		}
+		n := c.node(dfg.OpBin, r.blk, 2, ex.Op.String())
+		c.g.Node(n).Bin = ex.Op
+		connect(c.g, a, n, 0)
+		connect(c.g, b, n, 1)
+		return nWire(n, 0)
+	case prog.Select:
+		cond := r.expr(ex.Cond)
+		t := r.expr(ex.Then)
+		f := r.expr(ex.Else)
+		if cond.IsConst() {
+			// Both arms were evaluated eagerly (matching the reference
+			// semantics); keep the unchosen arm's token alive through
+			// the barrier, then yield the chosen one.
+			chosen, other := t, f
+			if cond.konst == 0 {
+				chosen, other = f, t
+			}
+			if !other.IsConst() {
+				r.sinks = append(r.sinks, other)
+			}
+			return chosen
+		}
+		if t.IsConst() && f.IsConst() && t.konst == f.konst {
+			// Degenerate select: value independent of the condition, but
+			// the condition token still needs consuming.
+			r.sinks = append(r.sinks, cond)
+			return t
+		}
+		n := c.node(dfg.OpSelect, r.blk, 3, "select")
+		connect(c.g, cond, n, 0)
+		connect(c.g, t, n, 1)
+		connect(c.g, f, n, 2)
+		return nWire(n, 0)
+	case prog.Load:
+		addr := r.expr(ex.Addr)
+		region := c.g.MemRegion(ex.Mem)
+		if ex.Class != "" {
+			n := c.node(dfg.OpLoad, r.blk, 2, "load "+ex.Mem)
+			c.g.Node(n).Region = region
+			connect(c.g, addr, n, 0)
+			connect(c.g, r.lookup(classVar(ex.Class)), n, 1)
+			// The loaded value doubles as the class's next ordering token.
+			r.env[classVar(ex.Class)] = nWire(n, dfg.LoadValOut)
+			return nWire(n, dfg.LoadValOut)
+		}
+		if addr.IsConst() {
+			addr = c.gateW(r.blk, r.ctx, addr, "load.addr "+ex.Mem)
+		}
+		n := c.node(dfg.OpLoad, r.blk, 1, "load "+ex.Mem)
+		c.g.Node(n).Region = region
+		connect(c.g, addr, n, 0)
+		return nWire(n, 0)
+	case prog.Call:
+		return r.call(ex)
+	default:
+		panic(errorf("unknown expression %T", e))
+	}
+}
+
+// call lowers a call site: a transfer point into the callee's block plus
+// landing forwards for the dynamically routed returns.
+func (r *region) call(ex prog.Call) Wire {
+	c := r.c
+	fi, ok := c.funcs[ex.Fn]
+	if !ok {
+		panic(errorf("internal: callee %q not compiled before caller", ex.Fn))
+	}
+	args := make([]Wire, len(ex.Args))
+	for i, a := range ex.Args {
+		args[i] = r.expr(a)
+	}
+
+	landRet := c.node(dfg.OpForward, r.blk, 1, ex.Fn+".land.ret")
+	r.sinks = append(r.sinks, nWire(landRet, 0))
+	landCls := make(map[string]dfg.NodeID, len(fi.classes))
+	for _, cl := range fi.classes {
+		landCls[cl] = c.node(dfg.OpForward, r.blk, 1, ex.Fn+".land."+cl)
+		r.sinks = append(r.sinks, nWire(landCls[cl], 0))
+	}
+
+	al := c.node(dfg.OpAllocate, r.blk, 2, ex.Fn+".alloc")
+	c.g.Node(al).Space = fi.blk
+	c.g.Node(al).External = true
+	connect(c.g, r.ctx, al, 0)
+	var readyIns []Wire
+	for _, a := range args {
+		if !a.IsConst() {
+			readyIns = append(readyIns, a)
+		}
+	}
+	for _, cl := range fi.classes {
+		readyIns = append(readyIns, r.lookup(classVar(cl)))
+	}
+	if len(readyIns) == 0 {
+		readyIns = []Wire{r.ctx}
+	}
+	connect(c.g, c.joinOf(r.blk, readyIns, ex.Fn+".argsready"), al, 1)
+	nt := nWire(al, dfg.AllocTagOut)
+	r.sinks = append(r.sinks, nWire(al, dfg.AllocCtrlOut))
+
+	makeCT := func(data Wire, dest dfg.NodeID, lbl string) {
+		ct := c.node(dfg.OpChangeTag, r.blk, 2, lbl)
+		connect(c.g, nt, ct, 0)
+		connect(c.g, data, ct, 1)
+		c.g.Connect(ct, dfg.CTDataOut, dest, 0)
+		r.sinks = append(r.sinks, nWire(ct, dfg.CTCtrlOut))
+	}
+	makeCT(r.ptData(), fi.pt, ex.Fn+".send.pt")
+	makeCT(kWire(dfg.EncodePort(dfg.Port{Node: landRet, In: 0})), fi.retDest, ex.Fn+".send.retdest")
+	for i, a := range args {
+		makeCT(a, fi.params[i], fmt.Sprintf("%s.send.arg%d", ex.Fn, i))
+	}
+	for _, cl := range fi.classes {
+		makeCT(kWire(dfg.EncodePort(dfg.Port{Node: landCls[cl], In: 0})), fi.classDest[cl], ex.Fn+".send.classdest."+cl)
+		makeCT(r.lookup(classVar(cl)), fi.classIn[cl], ex.Fn+".send.class."+cl)
+		r.env[classVar(cl)] = nWire(landCls[cl], 0)
+	}
+	return nWire(landRet, 0)
+}
+
+// ---- small helpers ----
+
+func classVars(classes []string) []string {
+	out := make([]string, len(classes))
+	for i, cl := range classes {
+		out[i] = classVar(cl)
+	}
+	return out
+}
+
+func unionSorted(sets ...[]string) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, s := range sets {
+		for _, name := range s {
+			if !seen[name] {
+				seen[name] = true
+				out = append(out, name)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,133 @@
+// Package compile lowers prog programs to dataflow graphs.
+//
+// Two lowerings are provided:
+//
+//   - Tagged produces the graph executed by tagged dataflow machines (TYR
+//     and naive unordered dataflow share it; only the runtime tag policy
+//     differs). Loops and functions become concurrent blocks guarded by the
+//     paper's transfer-point linkage (Fig. 10): allocate + changeTag on
+//     entry, changeTag back on exit, and a join "free barrier" whose
+//     transitive fan-in covers every instruction in the block before the
+//     block's tag is freed.
+//
+//   - Ordered produces the untagged FIFO graph executed by ordered dataflow
+//     (RipTide-style): loop-entry merges with self-cleaning deciders,
+//     steers for control flow, and no tag management. Ordered lowering
+//     requires a fully inlined program (prog.Inline).
+//
+// Both lowerings use the same wiring abstraction: a Wire is either a
+// compile-time constant (bound into consumer ports, needing no tokens) or a
+// set of producer output ports. In tagged graphs a wire may have several
+// producers (tags disambiguate contexts); in ordered graphs single-producer
+// discipline is maintained via explicit merge nodes.
+package compile
+
+import (
+	"fmt"
+
+	"repro/internal/dfg"
+)
+
+// src is one producer output port.
+type src struct {
+	node dfg.NodeID
+	out  int
+}
+
+// Wire is a value as it flows through compilation: either a constant or
+// one-or-more producer ports that will each deliver (at most) one token per
+// context.
+type Wire struct {
+	srcs  []src
+	konst int64
+	isK   bool
+}
+
+// kWire makes a constant wire.
+func kWire(v int64) Wire { return Wire{konst: v, isK: true} }
+
+// nWire makes a wire from a single node output.
+func nWire(node dfg.NodeID, out int) Wire { return Wire{srcs: []src{{node: node, out: out}}} }
+
+// mergeWires concatenates producer sets (tagged-mode implicit merge).
+func mergeWires(ws ...Wire) Wire {
+	var out Wire
+	for _, w := range ws {
+		if w.isK {
+			panic(errorf("cannot merge constant wire; materialize it first"))
+		}
+		out.srcs = append(out.srcs, w.srcs...)
+	}
+	return out
+}
+
+// IsConst reports whether the wire is a compile-time constant.
+func (w Wire) IsConst() bool { return w.isK }
+
+func (w Wire) valid() bool { return w.isK || len(w.srcs) > 0 }
+
+// compileError carries compiler failures through panic/recover so the deep
+// recursive lowering code stays readable; the public entry points convert
+// it back into an error.
+type compileError struct{ err error }
+
+func errorf(format string, args ...interface{}) compileError {
+	return compileError{err: fmt.Errorf("compile: "+format, args...)}
+}
+
+func recoverError(err *error) {
+	if r := recover(); r != nil {
+		if ce, ok := r.(compileError); ok {
+			*err = ce.err
+			return
+		}
+		panic(r)
+	}
+}
+
+// connect wires w into the consumer port (to, in): constants bind the port,
+// producers add edges.
+func connect(g *dfg.Graph, w Wire, to dfg.NodeID, in int) {
+	if !w.valid() {
+		panic(errorf("internal: connecting invalid wire to %v.%d", to, in))
+	}
+	if w.isK {
+		g.SetConst(to, in, w.konst)
+		return
+	}
+	for _, s := range w.srcs {
+		g.Connect(s.node, s.out, to, in)
+	}
+}
+
+// classVar returns the env key holding the ordering token of a memory
+// class. The "mem$" prefix cannot collide with user variables because "$"
+// never appears in workload identifiers.
+func classVar(class string) string { return "mem$" + class }
+
+// checkNoDangling verifies that every data output that must be observed for
+// barrier correctness has at least one consumer. Steer data outputs may
+// legitimately dangle (the untaken side discards its token) and dynamic
+// changeTag outputs route at runtime; everything else dangling indicates
+// dead code the lowering cannot cover with the free barrier.
+func checkNoDangling(g *dfg.Graph) error {
+	for i := range g.Nodes {
+		n := &g.Nodes[i]
+		for out, dests := range n.Outs {
+			if len(dests) > 0 {
+				continue
+			}
+			switch {
+			case n.Op == dfg.OpSteer && (out == dfg.SteerTrueOut || out == dfg.SteerFalseOut):
+				continue
+			case n.Op == dfg.OpChangeTagDyn && out == dfg.CTDataOut:
+				continue
+			case n.Op == dfg.OpFree:
+				continue
+			}
+			return fmt.Errorf("compile: %s output %d of node n%d (%s %q) has no consumer; dead values cannot be covered by the free barrier — remove the unused computation",
+				n.Op, out, n.ID, n.Op, n.Label)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,879 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dfg"
+	"repro/internal/mem"
+)
+
+// token is one in-flight value addressed to an input port.
+type token struct {
+	to  dfg.Port
+	tag uint64
+	val int64
+}
+
+// entry is the token-store record of one dynamic instruction instance: the
+// operands of (static node, tag) collected so far.
+type entry struct {
+	need    int      // tokens still missing
+	vals    []int64  // operand values (constants prefilled)
+	present []uint64 // bitset of received ports (duplicate detection)
+
+	// allocate-specific state
+	popped bool // tag already popped; waiting for ready
+	queued bool // in the ready queue
+	parked bool // starved of tags; waiting in the pending list
+}
+
+func (e *entry) has(port int) bool { return e.present[port>>6]&(1<<(port&63)) != 0 }
+func (e *entry) set(port int)      { e.present[port>>6] |= 1 << (port & 63) }
+
+type fireRef struct {
+	node dfg.NodeID
+	tag  uint64
+}
+
+// nodeInfo caches per-node firing metadata.
+type nodeInfo struct {
+	needInit  int
+	constVals []int64
+	words     int // present bitset words
+	reserve   int // allocate: tags kept back for the tail-recursive edge
+	memIdx    int // load/store: region index in the memory image
+}
+
+const (
+	allocRequestPort = 0
+	allocReadyPort   = 1
+)
+
+type machine struct {
+	g   *dfg.Graph
+	im  *mem.Image
+	cfg Config
+
+	info   []nodeInfo
+	stores []map[uint64]*entry
+
+	// Tag pools. Per-space policies (TYR, local-nogate, k-bound): one
+	// pool per pooled block, with spacePooled marking which blocks are
+	// bounded. Global bounded: poolGlobal. Unpooled spaces draw unique
+	// tags from the globalNext counter (offset away from pooled
+	// encodings).
+	poolLocal   [][]uint64
+	spacePooled []bool
+	poolGlobal  []uint64
+	globalNext  uint64
+
+	inUse      []int // tags currently allocated, per target space
+	peakInUse  []int
+	allocCount []int64
+	totalInUse int
+	peakTags   int
+
+	pending [][]fireRef // starved allocates per space (global: index 0)
+
+	// k-bounding state (PolicyKBound): TTDA allocates a fresh contiguous
+	// block of k tags to every loop *invocation*, so pools are keyed by
+	// invocation, created at the external transfer point and reclaimed
+	// when the last tag retires.
+	kbPools      map[uint64][]uint64
+	kbOut        map[uint64]int
+	kbPending    map[uint64][]fireRef
+	kbNextInv    uint64
+	kbPeakPerInv int
+
+	ready     []fireRef
+	nextReady []fireRef
+	outbox    []token
+
+	// delayed holds load results completing in future cycles when
+	// Config.LoadLatency > 1 (keyed by absolute due cycle).
+	delayed      map[int64][]token
+	delayedCount int
+
+	live       int64
+	perTagLive map[uint64]int64
+
+	// Per-block live-token accounting: which concurrent block's
+	// instructions are holding the state (tokens attribute to their
+	// destination node's block). Guides per-region tag tuning.
+	liveByBlock []int64
+	peakByBlock []int64
+
+	// Token-store occupancy (the paper's Problem #2): peak number of
+	// waiting instances per static instruction — the associative-match
+	// capacity a hardware token store would need.
+	storePeak []int32
+
+	// Monsoon-style classification (Sec. VIII): tokens that stay within
+	// a concurrent block could use frame offsets; only transfer-point
+	// (changeTag) traffic needs cross-context routing.
+	frameTokens int64
+	crossTokens int64
+
+	cycle    int64
+	fired    int64
+	sumLive  int64
+	peakLive int64
+	ipcHist  map[int]int64
+
+	trace       []StatePoint
+	traceStride int64
+
+	done      bool
+	resultVal int64
+}
+
+// Run executes a tagged dataflow graph against the memory image (mutated in
+// place). Deadlock is a reportable outcome, not an error; errors indicate
+// program or machine bugs (out-of-bounds access, token collisions, ...).
+func Run(g *dfg.Graph, im *mem.Image, cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	switch cfg.Policy {
+	case PolicyTyr, PolicyLocalNoGate, PolicyKBound:
+		if cfg.TagsPerBlock < 2 {
+			return Result{}, fmt.Errorf("core: %v needs at least 2 tags per block (got %d)", cfg.Policy, cfg.TagsPerBlock)
+		}
+		for name, n := range cfg.BlockTags {
+			if n < 2 {
+				return Result{}, fmt.Errorf("core: block %q needs at least 2 tags (got %d)", name, n)
+			}
+		}
+	case PolicyGlobalBounded:
+		if cfg.GlobalTags < 1 {
+			return Result{}, fmt.Errorf("core: bounded global policy needs at least 1 tag (got %d)", cfg.GlobalTags)
+		}
+	}
+	m, err := newMachine(g, im, cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	return m.run()
+}
+
+func newMachine(g *dfg.Graph, im *mem.Image, cfg Config) (*machine, error) {
+	m := &machine{
+		g:       g,
+		im:      im,
+		cfg:     cfg,
+		info:    make([]nodeInfo, len(g.Nodes)),
+		stores:  make([]map[uint64]*entry, len(g.Nodes)),
+		ipcHist: make(map[int]int64),
+	}
+	m.storePeak = make([]int32, len(g.Nodes))
+	m.delayed = make(map[int64][]token)
+	m.liveByBlock = make([]int64, len(g.Blocks))
+	m.peakByBlock = make([]int64, len(g.Blocks))
+	if cfg.CheckInvariants {
+		m.perTagLive = make(map[uint64]int64)
+	}
+	if cfg.TracePoints > 0 {
+		m.traceStride = 1
+	}
+
+	memIdx := make([]int, len(g.MemNames))
+	for i, name := range g.MemNames {
+		idx, ok := im.Index(name)
+		if !ok {
+			return nil, fmt.Errorf("core: memory image missing region %q", name)
+		}
+		memIdx[i] = idx
+	}
+
+	for i := range g.Nodes {
+		n := &g.Nodes[i]
+		ni := &m.info[i]
+		ni.constVals = make([]int64, n.NIn)
+		ni.words = (n.NIn + 63) / 64
+		for p := 0; p < n.NIn; p++ {
+			if n.ConstIn[p].Valid {
+				ni.constVals[p] = n.ConstIn[p].V
+			} else {
+				ni.needInit++
+			}
+		}
+		switch n.Op {
+		case dfg.OpAllocate:
+			if n.External && g.Blocks[n.Space].TailRecursive {
+				ni.reserve = 1
+			}
+		case dfg.OpLoad, dfg.OpStore:
+			ni.memIdx = memIdx[n.Region]
+		}
+		m.stores[i] = make(map[uint64]*entry)
+	}
+
+	nspaces := len(g.Blocks)
+	m.inUse = make([]int, nspaces)
+	m.peakInUse = make([]int, nspaces)
+	m.allocCount = make([]int64, nspaces)
+	m.pending = make([][]fireRef, nspaces)
+	m.spacePooled = make([]bool, nspaces)
+	// Unpooled tags must never collide with pooled encodings
+	// (space<<32 | idx), so the counter lives far above them.
+	m.globalNext = 1 << 48
+
+	switch cfg.Policy {
+	case PolicyTyr, PolicyLocalNoGate:
+		for s := range g.Blocks {
+			m.spacePooled[s] = true
+		}
+	case PolicyKBound:
+		// TTDA-style: only leaf loops are bounded — blocks that are
+		// tail-recursive and spawn no other concurrent block (no
+		// allocate inside them targets a different space).
+		for s := range g.Blocks {
+			m.spacePooled[s] = g.Blocks[s].TailRecursive
+		}
+		for i := range g.Nodes {
+			n := &g.Nodes[i]
+			if n.Op == dfg.OpAllocate && n.Space != n.Block {
+				m.spacePooled[n.Block] = false
+			}
+		}
+		m.kbPools = make(map[uint64][]uint64)
+		m.kbOut = make(map[uint64]int)
+		m.kbPending = make(map[uint64][]fireRef)
+	case PolicyGlobalBounded:
+		m.poolGlobal = make([]uint64, cfg.GlobalTags)
+		for t := range m.poolGlobal {
+			m.poolGlobal[t] = uint64(cfg.GlobalTags - 1 - t)
+		}
+	}
+
+	m.poolLocal = make([][]uint64, nspaces)
+	for s := range g.Blocks {
+		if !m.spacePooled[s] || cfg.Policy == PolicyKBound {
+			continue
+		}
+		tags := cfg.TagsPerBlock
+		if override, ok := cfg.BlockTags[g.Blocks[s].Name]; ok {
+			tags = override
+		}
+		pool := make([]uint64, tags)
+		for t := range pool {
+			// Reverse order so pops hand out tag 0 first.
+			pool[t] = uint64(s)<<32 | uint64(tags-1-t)
+		}
+		m.poolLocal[s] = pool
+	}
+	return m, nil
+}
+
+// allocRoot takes the tag for the root context.
+func (m *machine) allocRoot() (uint64, error) {
+	tag, ok := m.popTag(0)
+	if !ok {
+		return 0, fmt.Errorf("core: no tag available for the root context")
+	}
+	m.noteAlloc(0)
+	return tag, nil
+}
+
+// popTag removes a tag destined for the given space from the appropriate
+// pool. It does not update usage statistics.
+func (m *machine) popTag(space dfg.BlockID) (uint64, bool) {
+	switch {
+	case m.cfg.Policy == PolicyGlobalBounded:
+		if len(m.poolGlobal) == 0 {
+			return 0, false
+		}
+		tag := m.poolGlobal[len(m.poolGlobal)-1]
+		m.poolGlobal = m.poolGlobal[:len(m.poolGlobal)-1]
+		return tag, true
+	case m.spacePooled[space]:
+		pool := m.poolLocal[space]
+		if len(pool) == 0 {
+			return 0, false
+		}
+		tag := pool[len(pool)-1]
+		m.poolLocal[space] = pool[:len(pool)-1]
+		return tag, true
+	default:
+		m.globalNext++
+		return m.globalNext, true
+	}
+}
+
+func (m *machine) avail(space dfg.BlockID) int {
+	switch {
+	case m.cfg.Policy == PolicyGlobalBounded:
+		return len(m.poolGlobal)
+	case m.spacePooled[space]:
+		return len(m.poolLocal[space])
+	default:
+		return 1 << 30
+	}
+}
+
+func (m *machine) noteAlloc(space dfg.BlockID) {
+	m.inUse[space]++
+	if m.inUse[space] > m.peakInUse[space] {
+		m.peakInUse[space] = m.inUse[space]
+	}
+	m.allocCount[space]++
+	m.totalInUse++
+	if m.totalInUse > m.peakTags {
+		m.peakTags = m.totalInUse
+	}
+}
+
+// freeTag returns a tag to its pool and wakes starved allocates.
+func (m *machine) freeTag(space dfg.BlockID, tag uint64) {
+	m.inUse[space]--
+	m.totalInUse--
+	switch {
+	case m.cfg.Policy == PolicyGlobalBounded:
+		m.poolGlobal = append(m.poolGlobal, tag)
+		m.wake(0)
+	case m.cfg.Policy == PolicyKBound && m.spacePooled[space]:
+		key := tag >> kbInvShift
+		m.kbOut[key]--
+		if m.kbOut[key] == 0 {
+			// Last tag of the invocation retired; reclaim its block.
+			delete(m.kbPools, key)
+			delete(m.kbOut, key)
+			delete(m.kbPending, key)
+			return
+		}
+		m.kbPools[key] = append(m.kbPools[key], tag)
+		if refs := m.kbPending[key]; len(refs) > 0 {
+			m.kbPending[key] = nil
+			m.wakeRefs(refs)
+		}
+	case m.spacePooled[space]:
+		m.poolLocal[space] = append(m.poolLocal[space], tag)
+		m.wake(space)
+	default:
+		// Unpooled tags are never reused.
+	}
+}
+
+// wake moves a space's starved allocates back into the ready flow.
+func (m *machine) wake(pendingIdx dfg.BlockID) {
+	refs := m.pending[pendingIdx]
+	if len(refs) == 0 {
+		return
+	}
+	m.pending[pendingIdx] = nil
+	m.wakeRefs(refs)
+}
+
+func (m *machine) wakeRefs(refs []fireRef) {
+	for _, ref := range refs {
+		e := m.stores[ref.node][ref.tag]
+		if e == nil || e.queued {
+			continue
+		}
+		e.parked = false
+		e.queued = true
+		m.nextReady = append(m.nextReady, ref)
+	}
+}
+
+func (m *machine) pendingIndex(space dfg.BlockID) dfg.BlockID {
+	if m.cfg.Policy == PolicyGlobalBounded {
+		return 0
+	}
+	return space
+}
+
+// emit queues a produced token for delivery at the start of the next cycle.
+func (m *machine) emit(to dfg.Port, tag uint64, val int64) {
+	m.outbox = append(m.outbox, token{to: to, tag: tag, val: val})
+	m.live++
+	blk := m.g.Nodes[to.Node].Block
+	m.liveByBlock[blk]++
+	if m.liveByBlock[blk] > m.peakByBlock[blk] {
+		m.peakByBlock[blk] = m.liveByBlock[blk]
+	}
+	if m.perTagLive != nil {
+		m.perTagLive[tag]++
+	}
+}
+
+// emitAll fans a value out to every destination of an output port.
+func (m *machine) emitAll(n *dfg.Node, out int, tag uint64, val int64) {
+	cross := out == dfg.CTDataOut && (n.Op == dfg.OpChangeTag || n.Op == dfg.OpChangeTagDyn)
+	for _, d := range n.Outs[out] {
+		m.emit(d, tag, val)
+		if cross {
+			m.crossTokens++
+		} else {
+			m.frameTokens++
+		}
+	}
+}
+
+func (m *machine) consumeOne(blk dfg.BlockID, tag uint64) {
+	m.live--
+	m.liveByBlock[blk]--
+	if m.perTagLive != nil {
+		m.perTagLive[tag]--
+		if m.perTagLive[tag] == 0 {
+			delete(m.perTagLive, tag)
+		}
+	}
+}
+
+// deliver routes one token into its node's token store, possibly completing
+// an instance and scheduling it.
+func (m *machine) deliver(t token) error {
+	nid := t.to.Node
+	n := &m.g.Nodes[nid]
+	ni := &m.info[nid]
+	store := m.stores[nid]
+	e := store[t.tag]
+	if e == nil {
+		e = &entry{
+			need:    ni.needInit,
+			vals:    append([]int64(nil), ni.constVals...),
+			present: make([]uint64, ni.words),
+		}
+		store[t.tag] = e
+		if occ := int32(len(store)); occ > m.storePeak[nid] {
+			m.storePeak[nid] = occ
+		}
+	}
+	if e.has(t.to.In) {
+		return fmt.Errorf("core: token collision at %s %q port %d tag %#x (free barrier violated?)",
+			n.Op, n.Label, t.to.In, t.tag)
+	}
+	if n.ConstIn[t.to.In].Valid {
+		return fmt.Errorf("core: token delivered to const-bound port %d of %q", t.to.In, n.Label)
+	}
+	e.set(t.to.In)
+	e.vals[t.to.In] = t.val
+	e.need--
+
+	if n.Op == dfg.OpAllocate {
+		return m.deliverAllocate(nid, t.tag, e)
+	}
+	if e.need == 0 && !e.queued {
+		e.queued = true
+		m.nextReady = append(m.nextReady, fireRef{node: nid, tag: t.tag})
+	}
+	return nil
+}
+
+// deliverAllocate handles allocate's special firing rule on token arrival.
+func (m *machine) deliverAllocate(nid dfg.NodeID, tag uint64, e *entry) error {
+	n := &m.g.Nodes[nid]
+	if e.popped {
+		// Tag already handed out; the ready token completes the
+		// instruction and releases the control output for the barrier.
+		if e.has(allocReadyPort) {
+			m.emitAll(n, dfg.AllocCtrlOut, tag, 0)
+			m.consumeOne(n.Block, tag)
+			delete(m.stores[nid], tag)
+		}
+		return nil
+	}
+	if !e.has(allocRequestPort) {
+		return nil // ready arrived first; wait for the request
+	}
+	if e.parked {
+		// A ready token may unblock a starved allocate under TYR.
+		e.parked = false
+	}
+	if !e.queued {
+		e.queued = true
+		m.nextReady = append(m.nextReady, fireRef{node: nid, tag: tag})
+	}
+	return nil
+}
+
+// fire executes one ready instance. It reports whether an issue slot was
+// consumed (a starved allocate parks instead).
+func (m *machine) fire(ref fireRef) (bool, error) {
+	n := &m.g.Nodes[ref.node]
+	store := m.stores[ref.node]
+	e := store[ref.tag]
+	if e == nil {
+		return false, fmt.Errorf("core: fire of missing instance %q tag %#x", n.Label, ref.tag)
+	}
+	e.queued = false
+
+	if n.Op == dfg.OpAllocate {
+		return m.fireAllocate(ref, n, e)
+	}
+
+	// Consume the full operand set.
+	consumed := m.info[ref.node].needInit
+	for i := 0; i < consumed; i++ {
+		m.consumeOne(n.Block, ref.tag)
+	}
+	delete(store, ref.tag)
+	m.fired++
+
+	v := e.vals
+	switch n.Op {
+	case dfg.OpBin:
+		out, err := dfg.EvalBin(n.Bin, v[0], v[1])
+		if err != nil {
+			return true, fmt.Errorf("core: %q: %w", n.Label, err)
+		}
+		m.emitAll(n, 0, ref.tag, out)
+	case dfg.OpSelect:
+		out := v[2]
+		if v[0] != 0 {
+			out = v[1]
+		}
+		m.emitAll(n, 0, ref.tag, out)
+	case dfg.OpLoad:
+		val, err := m.im.Load(m.info[ref.node].memIdx, v[0])
+		if err != nil {
+			return true, fmt.Errorf("core: %q: %w", n.Label, err)
+		}
+		if m.cfg.LoadLatency > 1 {
+			// The value returns after the memory latency; barrier and
+			// ordering consumers wait along with everyone else.
+			due := m.cycle + int64(m.cfg.LoadLatency)
+			for _, d := range n.Outs[dfg.LoadValOut] {
+				m.delayed[due] = append(m.delayed[due], token{to: d, tag: ref.tag, val: val})
+				m.delayedCount++
+				m.live++
+				blk := m.g.Nodes[d.Node].Block
+				m.liveByBlock[blk]++
+				if m.liveByBlock[blk] > m.peakByBlock[blk] {
+					m.peakByBlock[blk] = m.liveByBlock[blk]
+				}
+				if m.perTagLive != nil {
+					m.perTagLive[ref.tag]++
+				}
+			}
+		} else {
+			m.emitAll(n, dfg.LoadValOut, ref.tag, val)
+		}
+	case dfg.OpStore:
+		if err := m.im.Store(m.info[ref.node].memIdx, v[0], v[1]); err != nil {
+			return true, fmt.Errorf("core: %q: %w", n.Label, err)
+		}
+		m.emitAll(n, dfg.StoreCtrlOut, ref.tag, 0)
+	case dfg.OpSteer:
+		out := dfg.SteerFalseOut
+		if v[0] != 0 {
+			out = dfg.SteerTrueOut
+		}
+		m.emitAll(n, out, ref.tag, v[1])
+		m.emitAll(n, dfg.SteerCtrlOut, ref.tag, 0)
+	case dfg.OpJoin, dfg.OpForward:
+		if ref.node == m.g.Result {
+			m.resultVal = v[0]
+		}
+		m.emitAll(n, 0, ref.tag, v[0])
+	case dfg.OpGate:
+		m.emitAll(n, 0, ref.tag, v[1])
+	case dfg.OpExtractTag:
+		m.emitAll(n, 0, ref.tag, int64(ref.tag))
+	case dfg.OpChangeTag:
+		newTag := uint64(v[0])
+		m.emitAll(n, dfg.CTDataOut, newTag, v[1])
+		m.emitAll(n, dfg.CTCtrlOut, ref.tag, 0)
+	case dfg.OpChangeTagDyn:
+		newTag := uint64(v[0])
+		m.emit(dfg.DecodePort(v[2]), newTag, v[1])
+		m.crossTokens++
+		m.emitAll(n, dfg.CTCtrlOut, ref.tag, 0)
+	case dfg.OpFree:
+		if m.perTagLive != nil && m.perTagLive[ref.tag] != 0 {
+			return true, fmt.Errorf("core: free of tag %#x (%q) with %d live tokens still carrying it (free barrier bug)",
+				ref.tag, n.Label, m.perTagLive[ref.tag])
+		}
+		m.freeTag(n.Space, ref.tag)
+		if ref.node == m.g.RootFree {
+			m.done = true
+		}
+	default:
+		return true, fmt.Errorf("core: op %s not executable on the tagged machine", n.Op)
+	}
+	return true, nil
+}
+
+// fireAllocate attempts to pop a tag for a requesting context, applying the
+// policy's forward-progress rules.
+func (m *machine) fireAllocate(ref fireRef, n *dfg.Node, e *entry) (bool, error) {
+	if m.cfg.Policy == PolicyKBound && m.spacePooled[n.Space] {
+		return m.fireAllocateKBound(ref, n, e)
+	}
+	ready := e.has(allocReadyPort)
+	canPop := false
+	switch m.cfg.Policy {
+	case PolicyTyr:
+		// The paper's forward-progress rule: pop freely above the
+		// reserve+1 line; pop the last usable tag only for a ready
+		// context; external allocates into tail-recursive blocks keep
+		// one tag back for the backedge.
+		r := m.info[ref.node].reserve
+		a := m.avail(n.Space)
+		canPop = a > r+1 || (ready && a > r)
+	case PolicyGlobalBounded, PolicyLocalNoGate:
+		// No protocol at all: pop whenever a tag exists. This is the
+		// naive bounding that deadlocks (Fig. 11 / Sec. VIII).
+		canPop = m.avail(n.Space) > 0
+	default:
+		canPop = true
+	}
+	if !canPop {
+		e.parked = true
+		idx := m.pendingIndex(n.Space)
+		m.pending[idx] = append(m.pending[idx], ref)
+		return false, nil
+	}
+	tag, _ := m.popTag(n.Space)
+	m.grantAllocate(ref, n, e, tag)
+	return true, nil
+}
+
+// grantAllocate completes an allocate firing once a tag has been chosen.
+func (m *machine) grantAllocate(ref fireRef, n *dfg.Node, e *entry, tag uint64) {
+	m.noteAlloc(n.Space)
+	m.fired++
+	m.emitAll(n, dfg.AllocTagOut, ref.tag, int64(tag))
+	m.consumeOne(n.Block, ref.tag) // the request token
+	e.popped = true
+	if e.has(allocReadyPort) {
+		m.emitAll(n, dfg.AllocCtrlOut, ref.tag, 0)
+		m.consumeOne(n.Block, ref.tag) // the ready token
+		delete(m.stores[ref.node], ref.tag)
+	}
+}
+
+// k-bound tag encoding: flag | space | invocation | index.
+const (
+	kbFlag     = uint64(1) << 63
+	kbSpcShift = 48
+	kbInvShift = 16
+)
+
+// fireAllocateKBound implements TTDA-style k-bounding: every external
+// transfer point (loop invocation) receives a fresh block of k tags;
+// backedge allocates rotate within their own invocation's block, waiting
+// for iteration i+1-k to retire when the block is exhausted. Invocations
+// themselves are unbounded — the reason k-bounding does not solve
+// parallelism explosion in general.
+func (m *machine) fireAllocateKBound(ref fireRef, n *dfg.Node, e *entry) (bool, error) {
+	k := m.cfg.TagsPerBlock
+	if override, ok := m.cfg.BlockTags[m.g.Blocks[n.Space].Name]; ok {
+		k = override
+	}
+	var tag uint64
+	if n.External {
+		inv := m.kbNextInv
+		m.kbNextInv++
+		base := kbFlag | uint64(n.Space)<<kbSpcShift | inv<<kbInvShift
+		key := base >> kbInvShift
+		pool := make([]uint64, 0, k-1)
+		for t := k - 1; t >= 1; t-- {
+			pool = append(pool, base|uint64(t))
+		}
+		m.kbPools[key] = pool
+		m.kbOut[key] = 1
+		if m.kbPeakPerInv < 1 {
+			m.kbPeakPerInv = 1
+		}
+		tag = base
+	} else {
+		key := ref.tag >> kbInvShift
+		pool := m.kbPools[key]
+		if len(pool) == 0 {
+			e.parked = true
+			m.kbPending[key] = append(m.kbPending[key], ref)
+			return false, nil
+		}
+		tag = pool[len(pool)-1]
+		m.kbPools[key] = pool[:len(pool)-1]
+		m.kbOut[key]++
+		if m.kbOut[key] > m.kbPeakPerInv {
+			m.kbPeakPerInv = m.kbOut[key]
+		}
+	}
+	m.grantAllocate(ref, n, e, tag)
+	return true, nil
+}
+
+// run is the main cycle loop.
+func (m *machine) run() (Result, error) {
+	rootTag, err := m.allocRoot()
+	if err != nil {
+		return Result{}, err
+	}
+	for _, inj := range m.g.Entries {
+		m.emit(inj.To, rootTag, inj.Val)
+	}
+
+	for {
+		// Deliver last cycle's tokens; completions join the ready flow.
+		box := m.outbox
+		m.outbox = m.outbox[len(m.outbox):]
+		for _, t := range box {
+			if err := m.deliver(t); err != nil {
+				return Result{}, err
+			}
+		}
+		if m.delayedCount > 0 {
+			if due := m.delayed[m.cycle]; len(due) > 0 {
+				delete(m.delayed, m.cycle)
+				m.delayedCount -= len(due)
+				for _, t := range due {
+					if err := m.deliver(t); err != nil {
+						return Result{}, err
+					}
+				}
+			}
+		}
+		m.ready = append(m.ready, m.nextReady...)
+		m.nextReady = m.nextReady[len(m.nextReady):]
+
+		if len(m.ready) == 0 {
+			if m.delayedCount > 0 {
+				// Stalled on memory: burn an idle cycle.
+				m.cycle++
+				m.ipcHist[0]++
+				m.sumLive += m.live
+				m.samplePoint()
+				continue
+			}
+			break
+		}
+		if m.cycle >= m.cfg.MaxCycles {
+			return Result{}, fmt.Errorf("core: exceeded MaxCycles=%d (runaway program?)", m.cfg.MaxCycles)
+		}
+
+		budget := m.cfg.IssueWidth
+		firedThisCycle := 0
+		idx := 0
+		for budget > 0 && idx < len(m.ready) {
+			ref := m.ready[idx]
+			idx++
+			slot, err := m.fire(ref)
+			if err != nil {
+				return Result{}, err
+			}
+			if slot {
+				budget--
+				firedThisCycle++
+			}
+		}
+		m.ready = m.ready[idx:]
+
+		m.cycle++
+		m.ipcHist[firedThisCycle]++
+		m.sumLive += m.live
+		if m.live > m.peakLive {
+			m.peakLive = m.live
+		}
+		m.samplePoint()
+	}
+
+	return m.finish()
+}
+
+// samplePoint appends to the live-state trace, decimating by stride
+// doubling when the point cap is reached.
+func (m *machine) samplePoint() {
+	if m.cfg.TracePoints <= 0 {
+		return
+	}
+	if m.cycle%m.traceStride != 0 {
+		return
+	}
+	m.trace = append(m.trace, StatePoint{Cycle: m.cycle, Live: m.live})
+	if len(m.trace) >= m.cfg.TracePoints {
+		kept := m.trace[:0]
+		for i := 0; i < len(m.trace); i += 2 {
+			kept = append(kept, m.trace[i])
+		}
+		m.trace = kept
+		m.traceStride *= 2
+	}
+}
+
+func (m *machine) finish() (Result, error) {
+	res := Result{
+		Completed:               m.done,
+		Cycles:                  m.cycle,
+		Fired:                   m.fired,
+		ResultValue:             m.resultVal,
+		PeakLive:                m.peakLive,
+		IPCHist:                 m.ipcHist,
+		Trace:                   m.trace,
+		TraceStride:             m.traceStride,
+		PeakTags:                m.peakTags,
+		KBoundPeakPerInvocation: m.kbPeakPerInv,
+		FrameTokens:             m.frameTokens,
+		CrossTokens:             m.crossTokens,
+	}
+	for _, occ := range m.storePeak {
+		if int(occ) > res.PeakStorePerInstr {
+			res.PeakStorePerInstr = int(occ)
+		}
+	}
+	if m.cycle > 0 {
+		res.MeanLive = float64(m.sumLive) / float64(m.cycle)
+	}
+	for s := range m.g.Blocks {
+		if m.allocCount[s] == 0 && s != 0 {
+			continue
+		}
+		// Tags reports the bound that applied to this space: the local
+		// pool size for pooled spaces (per invocation under k-bounding),
+		// the global pool for bounded-global, 0 for unbounded spaces.
+		tags := 0
+		switch {
+		case m.cfg.Policy == PolicyGlobalBounded:
+			tags = m.cfg.GlobalTags
+		case m.spacePooled[s]:
+			tags = m.cfg.TagsPerBlock
+			if override, ok := m.cfg.BlockTags[m.g.Blocks[s].Name]; ok {
+				tags = override
+			}
+		}
+		res.Spaces = append(res.Spaces, SpaceStats{
+			Block:          m.g.Blocks[s].Name,
+			Tags:           tags,
+			PeakInUse:      m.peakInUse[s],
+			Allocs:         m.allocCount[s],
+			PeakLiveTokens: m.peakByBlock[s],
+		})
+	}
+
+	if m.done {
+		if m.cfg.CheckInvariants && m.live != 0 {
+			return res, fmt.Errorf("core: program completed with %d live tokens (drain bug)", m.live)
+		}
+		return res, nil
+	}
+
+	// Not completed: report deadlock with the starved allocates.
+	info := &DeadlockInfo{Cycle: m.cycle, LiveTokens: m.live}
+	allPending := append([][]fireRef{}, m.pending...)
+	for _, refs := range m.kbPending {
+		allPending = append(allPending, refs)
+	}
+	for idx := range allPending {
+		for _, ref := range allPending[idx] {
+			e := m.stores[ref.node][ref.tag]
+			if e == nil || !e.parked {
+				continue
+			}
+			n := &m.g.Nodes[ref.node]
+			info.PendingAllocs = append(info.PendingAllocs, PendingAlloc{
+				Node:     ref.node,
+				Label:    n.Label,
+				Space:    m.g.Blocks[n.Space].Name,
+				Tag:      ref.tag,
+				HasReady: e.has(allocReadyPort),
+			})
+		}
+	}
+	if m.live == 0 && len(info.PendingAllocs) == 0 {
+		return res, fmt.Errorf("core: machine quiesced without completing (graph bug)")
+	}
+	res.Deadlocked = true
+	res.Deadlock = info
+	return res, nil
+}

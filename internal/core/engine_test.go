@@ -1,0 +1,323 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/compile"
+	"repro/internal/dfg"
+	"repro/internal/mem"
+	"repro/internal/prog"
+)
+
+// nestedLoopProgram builds a dmv-shaped two-level loop nest: the workload
+// family on which bounded global tag spaces deadlock (Fig. 11).
+func nestedLoopProgram(outer, inner int64) *prog.Program {
+	p := prog.NewProgram("nest", "main")
+	p.AddFunc("main", nil, prog.V("total"),
+		prog.ForRange("outer", "i", prog.C(0), prog.C(outer), []prog.LoopVar{prog.LV("total", prog.C(0))},
+			prog.ForRange("inner", "j", prog.C(0), prog.C(inner), []prog.LoopVar{prog.LV("acc", prog.V("total"))},
+				prog.Set("acc", prog.Add(prog.V("acc"), prog.V("j"))),
+			),
+			prog.Set("total", prog.V("acc")),
+		),
+	)
+	return p
+}
+
+func compileNested(t *testing.T, outer, inner int64) *dfg.Graph {
+	t.Helper()
+	g, err := compile.Tagged(nestedLoopProgram(outer, inner), compile.Options{})
+	if err != nil {
+		t.Fatalf("Tagged: %v", err)
+	}
+	return g
+}
+
+func TestTyrCompletesWithTwoTags(t *testing.T) {
+	g := compileNested(t, 10, 10)
+	res, err := Run(g, mem.NewImage(), Config{Policy: PolicyTyr, TagsPerBlock: 2, CheckInvariants: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatalf("TYR with 2 tags did not complete: %v", res.Deadlock)
+	}
+	want := int64(10 * (9 * 10 / 2))
+	if res.ResultValue != want {
+		t.Errorf("result = %d, want %d", res.ResultValue, want)
+	}
+}
+
+func TestUnorderedBoundedDeadlocks(t *testing.T) {
+	// The paper's Fig. 11: naive unordered dataflow with a small global
+	// tag pool allocates all tags to outer-loop work and deadlocks; the
+	// input must be large enough that the pool cannot cover it.
+	g := compileNested(t, 64, 64)
+	res, err := Run(g, mem.NewImage(), Config{Policy: PolicyGlobalBounded, GlobalTags: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Deadlocked {
+		t.Fatalf("expected deadlock with 8 global tags; completed=%v cycles=%d", res.Completed, res.Cycles)
+	}
+	if len(res.Deadlock.PendingAllocs) == 0 {
+		t.Error("deadlock report has no starved allocates")
+	}
+	if res.Deadlock.LiveTokens == 0 {
+		t.Error("deadlock report shows no live tokens")
+	}
+}
+
+func TestUnorderedBoundedCompletesWithEnoughTags(t *testing.T) {
+	g := compileNested(t, 8, 8)
+	res, err := Run(g, mem.NewImage(), Config{Policy: PolicyGlobalBounded, GlobalTags: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatalf("expected completion with a large pool: %v", res.Deadlock)
+	}
+}
+
+func TestUnorderedUnlimitedMatchesTyrResult(t *testing.T) {
+	g := compileNested(t, 12, 7)
+	r1, err := Run(g, mem.NewImage(), Config{Policy: PolicyGlobalUnlimited})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(g, mem.NewImage(), Config{Policy: PolicyTyr, TagsPerBlock: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.ResultValue != r2.ResultValue {
+		t.Errorf("results differ: unordered %d, tyr %d", r1.ResultValue, r2.ResultValue)
+	}
+}
+
+func TestTyrStateBoundedByTags(t *testing.T) {
+	// Theorem 2: live tokens are bounded by T*N*M. More usefully, fewer
+	// tags must not increase peak state.
+	g := compileNested(t, 20, 20)
+	peak := make(map[int]int64)
+	for _, tags := range []int{2, 8, 64} {
+		res, err := Run(g, mem.NewImage(), Config{Policy: PolicyTyr, TagsPerBlock: tags})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Completed {
+			t.Fatalf("tags=%d did not complete", tags)
+		}
+		peak[tags] = res.PeakLive
+		bound := int64(tags) * int64(g.NumNodes()) * int64(g.MaxInputs())
+		if res.PeakLive > bound {
+			t.Errorf("tags=%d: peak %d exceeds T*N*M bound %d", tags, res.PeakLive, bound)
+		}
+	}
+	if peak[2] > peak[64] {
+		t.Errorf("peak state with 2 tags (%d) exceeds 64 tags (%d)", peak[2], peak[64])
+	}
+}
+
+func TestTyrFasterThanOneWideAndBoundedByWidth(t *testing.T) {
+	g := compileNested(t, 16, 16)
+	wide, err := Run(g, mem.NewImage(), Config{Policy: PolicyTyr, TagsPerBlock: 64, IssueWidth: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	narrow, err := Run(g, mem.NewImage(), Config{Policy: PolicyTyr, TagsPerBlock: 64, IssueWidth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wide.Cycles >= narrow.Cycles {
+		t.Errorf("wide (%d cycles) not faster than narrow (%d cycles)", wide.Cycles, narrow.Cycles)
+	}
+	if ipc := wide.IPC(); ipc > 128 {
+		t.Errorf("IPC %f exceeds issue width", ipc)
+	}
+}
+
+func TestPerBlockTagOverride(t *testing.T) {
+	g := compileNested(t, 16, 16)
+	base, err := Run(g, mem.NewImage(), Config{Policy: PolicyTyr, TagsPerBlock: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuned, err := Run(g, mem.NewImage(), Config{
+		Policy: PolicyTyr, TagsPerBlock: 64,
+		BlockTags: map[string]int{"outer": 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tuned.Completed {
+		t.Fatalf("tuned run did not complete: %v", tuned.Deadlock)
+	}
+	if tuned.ResultValue != base.ResultValue {
+		t.Errorf("results differ: %d vs %d", tuned.ResultValue, base.ResultValue)
+	}
+	// Restricting the outer loop must cap its tag usage.
+	for _, s := range tuned.Spaces {
+		if s.Block == "outer" && s.PeakInUse > 2 {
+			t.Errorf("outer peak tags %d exceeds override 2", s.PeakInUse)
+		}
+	}
+}
+
+func TestPerBlockLiveTokens(t *testing.T) {
+	g := compileNested(t, 12, 12)
+	res, err := Run(g, mem.NewImage(), Config{Policy: PolicyTyr, TagsPerBlock: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]int64{}
+	var sum int64
+	for _, s := range res.Spaces {
+		if s.PeakLiveTokens <= 0 {
+			t.Errorf("block %q reports no live tokens", s.Block)
+		}
+		sum += s.PeakLiveTokens
+		byName[s.Block] = s.PeakLiveTokens
+	}
+	// The loop nest is where the state lives, not the root (note: a
+	// block's count includes its children's entry transfer points, which
+	// belong to the parent's DAG, so outer can rival inner).
+	if byName["inner"] <= byName["root"] || byName["outer"] <= byName["root"] {
+		t.Errorf("loop blocks should dominate the root: %v", byName)
+	}
+	// Per-block peaks need not be simultaneous, so their sum bounds the
+	// global peak from above.
+	if sum < res.PeakLive {
+		t.Errorf("sum of block peaks %d below global peak %d", sum, res.PeakLive)
+	}
+}
+
+func TestSpaceStatsReported(t *testing.T) {
+	g := compileNested(t, 4, 4)
+	res, err := Run(g, mem.NewImage(), Config{Policy: PolicyTyr, TagsPerBlock: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := make(map[string]SpaceStats)
+	for _, s := range res.Spaces {
+		names[s.Block] = s
+	}
+	for _, want := range []string{"root", "outer", "inner"} {
+		if _, ok := names[want]; !ok {
+			t.Errorf("missing space stats for %q (have %v)", want, res.Spaces)
+		}
+	}
+	if names["outer"].Allocs != 1+4 { // one entry + four backedges
+		t.Errorf("outer allocs = %d, want 5", names["outer"].Allocs)
+	}
+	if names["inner"].Allocs != 4*(1+4) {
+		t.Errorf("inner allocs = %d, want 20", names["inner"].Allocs)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	g := compileNested(t, 2, 2)
+	if _, err := Run(g, mem.NewImage(), Config{Policy: PolicyTyr, TagsPerBlock: 1}); err == nil ||
+		!strings.Contains(err.Error(), "at least 2 tags") {
+		t.Errorf("want tag-count error, got %v", err)
+	}
+	if _, err := Run(g, mem.NewImage(), Config{Policy: PolicyGlobalBounded}); err == nil ||
+		!strings.Contains(err.Error(), "at least 1 tag") {
+		t.Errorf("want pool-size error, got %v", err)
+	}
+	if _, err := Run(g, mem.NewImage(), Config{Policy: PolicyTyr, TagsPerBlock: 4,
+		BlockTags: map[string]int{"inner": 1}}); err == nil ||
+		!strings.Contains(err.Error(), "at least 2 tags") {
+		t.Errorf("want override error, got %v", err)
+	}
+}
+
+func TestIPCCDF(t *testing.T) {
+	r := Result{IPCHist: map[int]int64{1: 2, 4: 6, 8: 2}}
+	ipcs, cum := r.IPCCDF()
+	if len(ipcs) != 3 || ipcs[0] != 1 || ipcs[2] != 8 {
+		t.Fatalf("ipcs = %v", ipcs)
+	}
+	if cum[2] != 1.0 {
+		t.Errorf("CDF does not end at 1: %v", cum)
+	}
+	if cum[0] != 0.2 {
+		t.Errorf("cum[0] = %f, want 0.2", cum[0])
+	}
+}
+
+func TestTraceDecimation(t *testing.T) {
+	g := compileNested(t, 32, 32)
+	res, err := Run(g, mem.NewImage(), Config{Policy: PolicyTyr, TagsPerBlock: 4, TracePoints: 64, IssueWidth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trace) == 0 || len(res.Trace) > 64 {
+		t.Errorf("trace length %d out of bounds", len(res.Trace))
+	}
+	for i := 1; i < len(res.Trace); i++ {
+		if res.Trace[i].Cycle <= res.Trace[i-1].Cycle {
+			t.Fatalf("trace cycles not increasing at %d", i)
+		}
+	}
+}
+
+func TestTokenStoreBoundedByTags(t *testing.T) {
+	// Problem #2 (implementation complexity): under TYR no static
+	// instruction ever holds more waiting instances than its block's tag
+	// count; under unlimited unordered dataflow the requirement grows
+	// with the input.
+	for _, tags := range []int{2, 8, 32} {
+		g := compileNested(t, 32, 32)
+		res, err := Run(g, mem.NewImage(), Config{Policy: PolicyTyr, TagsPerBlock: tags})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.PeakStorePerInstr > tags {
+			t.Errorf("tags=%d: an instruction held %d waiting instances", tags, res.PeakStorePerInstr)
+		}
+	}
+	small, err := Run(compileNested(t, 8, 8), mem.NewImage(), Config{Policy: PolicyGlobalUnlimited})
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := Run(compileNested(t, 64, 8), mem.NewImage(), Config{Policy: PolicyGlobalUnlimited})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if large.PeakStorePerInstr <= small.PeakStorePerInstr {
+		t.Errorf("unordered store requirement did not grow with input: %d -> %d",
+			small.PeakStorePerInstr, large.PeakStorePerInstr)
+	}
+}
+
+func TestTokenClassificationCounts(t *testing.T) {
+	g := compileNested(t, 8, 8)
+	res, err := Run(g, mem.NewImage(), Config{Policy: PolicyTyr, TagsPerBlock: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FrameTokens == 0 || res.CrossTokens == 0 {
+		t.Fatalf("token classification empty: frame=%d cross=%d", res.FrameTokens, res.CrossTokens)
+	}
+	// Transfer-point traffic is a minority: most tokens stay inside
+	// their concurrent block (the Monsoon synergy of Sec. VIII).
+	if res.FrameTokens < 2*res.CrossTokens {
+		t.Errorf("frame tokens (%d) should dominate cross tokens (%d)", res.FrameTokens, res.CrossTokens)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	g := compileNested(t, 10, 10)
+	var prev Result
+	for i := 0; i < 3; i++ {
+		res, err := Run(g, mem.NewImage(), Config{Policy: PolicyTyr, TagsPerBlock: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && (res.Cycles != prev.Cycles || res.Fired != prev.Fired || res.PeakLive != prev.PeakLive) {
+			t.Fatalf("run %d differs: %+v vs %+v", i, res, prev)
+		}
+		prev = res
+	}
+}

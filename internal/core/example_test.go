@@ -1,0 +1,78 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/compile"
+	"repro/internal/core"
+	"repro/internal/prog"
+)
+
+// Example shows the end-to-end flow: write a program in the structured IR,
+// compile it to a tagged dataflow graph, and execute it on TYR with a
+// small local tag space.
+func Example() {
+	p := prog.NewProgram("triangle", "main")
+	p.AddFunc("main", []string{"n"}, prog.V("sum"),
+		prog.ForRange("L", "i", prog.C(1), prog.Add(prog.V("n"), prog.C(1)),
+			[]prog.LoopVar{prog.LV("sum", prog.C(0))},
+			prog.Set("sum", prog.Add(prog.V("sum"), prog.V("i"))),
+		),
+	)
+
+	g, err := compile.Tagged(p, compile.Options{EntryArgs: []int64{100}})
+	if err != nil {
+		panic(err)
+	}
+	res, err := core.Run(g, prog.DefaultImage(p), core.Config{
+		Policy:       core.PolicyTyr,
+		TagsPerBlock: 4,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("result:", res.ResultValue)
+	fmt.Println("completed:", res.Completed)
+	// Output:
+	// result: 5050
+	// completed: true
+}
+
+// ExampleRun_deadlock shows the Fig. 11 configuration: the same graph under
+// a bounded *global* tag pool deadlocks, and the result names the starved
+// transfer points.
+func ExampleRun_deadlock() {
+	p := prog.NewProgram("nest", "main")
+	p.AddFunc("main", nil, prog.V("t"),
+		prog.ForRange("outer", "i", prog.C(0), prog.C(32), []prog.LoopVar{prog.LV("t", prog.C(0))},
+			prog.ForRange("inner", "j", prog.C(0), prog.C(32), []prog.LoopVar{prog.LV("t", prog.V("t"))},
+				prog.Set("t", prog.Add(prog.V("t"), prog.C(1))),
+			),
+		),
+	)
+	g, err := compile.Tagged(p, compile.Options{})
+	if err != nil {
+		panic(err)
+	}
+	res, err := core.Run(g, prog.DefaultImage(p), core.Config{
+		Policy:     core.PolicyGlobalBounded,
+		GlobalTags: 6,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("deadlocked:", res.Deadlocked)
+
+	// TYR completes the same graph with two tags per block.
+	res2, err := core.Run(g, prog.DefaultImage(p), core.Config{
+		Policy:       core.PolicyTyr,
+		TagsPerBlock: 2,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("tyr result:", res2.ResultValue)
+	// Output:
+	// deadlocked: true
+	// tyr result: 1024
+}

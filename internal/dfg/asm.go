@@ -1,0 +1,406 @@
+package dfg
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Textual assembly for dataflow graphs: a line-oriented, diffable format
+// that round-trips exactly (MarshalText then ParseGraph reproduces the
+// graph, field for field). Example:
+//
+//	graph "dmv"
+//	mem 0 "A"
+//	block 1 loop parent=0 tail name="dmv.outer"
+//	node 4 bin blk=1 nin=2 kind="+" label="w+=" const1=5
+//	node 9 allocate blk=0 nin=2 space=1 external label="dmv.outer.alloc.in"
+//	edge 4.0 -> 9.0
+//	inject 0.0 = 0
+//	result 12
+//	rootfree 40
+//
+// Blank lines and ';' comments are ignored when parsing.
+
+// MarshalText renders the graph in assembly form.
+func (g *Graph) MarshalText() ([]byte, error) {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "graph %q\n", g.Name)
+	for i, name := range g.MemNames {
+		fmt.Fprintf(&b, "mem %d %q\n", i, name)
+	}
+	for _, blk := range g.Blocks {
+		if blk.ID == 0 {
+			continue // the root block is implicit
+		}
+		fmt.Fprintf(&b, "block %d %s parent=%d", blk.ID, blk.Kind, blk.Parent)
+		if blk.TailRecursive {
+			b.WriteString(" tail")
+		}
+		fmt.Fprintf(&b, " name=%q\n", blk.Name)
+	}
+	for i := range g.Nodes {
+		n := &g.Nodes[i]
+		fmt.Fprintf(&b, "node %d %s blk=%d nin=%d", n.ID, n.Op, n.Block, n.NIn)
+		switch n.Op {
+		case OpBin:
+			fmt.Fprintf(&b, " kind=%q", n.Bin)
+		case OpLoad, OpStore:
+			fmt.Fprintf(&b, " region=%d", n.Region)
+		case OpAllocate:
+			fmt.Fprintf(&b, " space=%d", n.Space)
+			if n.External {
+				b.WriteString(" external")
+			}
+		case OpFree:
+			fmt.Fprintf(&b, " space=%d", n.Space)
+		}
+		for port, c := range n.ConstIn {
+			if c.Valid {
+				fmt.Fprintf(&b, " const%d=%d", port, c.V)
+			}
+		}
+		if n.Label != "" {
+			fmt.Fprintf(&b, " label=%q", n.Label)
+		}
+		b.WriteString("\n")
+	}
+	for i := range g.Nodes {
+		n := &g.Nodes[i]
+		for out, dests := range n.Outs {
+			for _, d := range dests {
+				fmt.Fprintf(&b, "edge %d.%d -> %d.%d\n", n.ID, out, d.Node, d.In)
+			}
+		}
+	}
+	for _, inj := range g.Entries {
+		fmt.Fprintf(&b, "inject %d.%d = %d\n", inj.To.Node, inj.To.In, inj.Val)
+	}
+	if g.Result != InvalidNode {
+		fmt.Fprintf(&b, "result %d\n", g.Result)
+	}
+	if g.RootFree != InvalidNode {
+		fmt.Fprintf(&b, "rootfree %d\n", g.RootFree)
+	}
+	return b.Bytes(), nil
+}
+
+var opByName = func() map[string]Op {
+	m := make(map[string]Op, int(numOps))
+	for op := Op(0); op < numOps; op++ {
+		m[op.String()] = op
+	}
+	return m
+}()
+
+var binByName = func() map[string]BinKind {
+	m := make(map[string]BinKind, int(numBinKinds))
+	for k := BinKind(0); k < numBinKinds; k++ {
+		m[k.String()] = k
+	}
+	return m
+}()
+
+// ParseGraph parses the assembly form. Nodes, blocks, and memory regions
+// must be declared in ID order; edges may reference any declared node.
+func ParseGraph(text []byte) (*Graph, error) {
+	var g *Graph
+	sc := bufio.NewScanner(bytes.NewReader(text))
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, ";") {
+			continue
+		}
+		fields, err := splitAsm(line)
+		if err != nil {
+			return nil, fmt.Errorf("dfg: line %d: %w", lineNo, err)
+		}
+		if len(fields) == 0 {
+			continue
+		}
+		if g == nil && fields[0] != "graph" {
+			return nil, fmt.Errorf("dfg: line %d: file must start with a graph directive", lineNo)
+		}
+		switch fields[0] {
+		case "graph":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("dfg: line %d: graph needs a name", lineNo)
+			}
+			g = NewGraph(fields[1])
+		case "mem":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("dfg: line %d: mem <idx> <name>", lineNo)
+			}
+			idx, err := strconv.Atoi(fields[1])
+			if err != nil || idx != len(g.MemNames) {
+				return nil, fmt.Errorf("dfg: line %d: mem regions must appear in order", lineNo)
+			}
+			g.MemNames = append(g.MemNames, fields[2])
+		case "block":
+			if err := parseBlock(g, fields, lineNo); err != nil {
+				return nil, err
+			}
+		case "node":
+			if err := parseNode(g, fields, lineNo); err != nil {
+				return nil, err
+			}
+		case "edge":
+			if len(fields) != 4 || fields[2] != "->" {
+				return nil, fmt.Errorf("dfg: line %d: edge <n.out> -> <n.in>", lineNo)
+			}
+			fromNode, fromOut, err := parsePortRef(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("dfg: line %d: %w", lineNo, err)
+			}
+			toNode, toIn, err := parsePortRef(fields[3])
+			if err != nil {
+				return nil, fmt.Errorf("dfg: line %d: %w", lineNo, err)
+			}
+			if int(fromNode) >= len(g.Nodes) || fromOut >= len(g.Nodes[fromNode].Outs) {
+				return nil, fmt.Errorf("dfg: line %d: edge source out of range", lineNo)
+			}
+			g.Connect(fromNode, fromOut, toNode, toIn)
+		case "inject":
+			if len(fields) != 4 || fields[2] != "=" {
+				return nil, fmt.Errorf("dfg: line %d: inject <n.in> = <val>", lineNo)
+			}
+			node, in, err := parsePortRef(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("dfg: line %d: %w", lineNo, err)
+			}
+			val, err := strconv.ParseInt(fields[3], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("dfg: line %d: bad inject value", lineNo)
+			}
+			g.Inject(Port{Node: node, In: in}, val)
+		case "result":
+			id, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("dfg: line %d: bad result node", lineNo)
+			}
+			g.Result = NodeID(id)
+		case "rootfree":
+			id, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("dfg: line %d: bad rootfree node", lineNo)
+			}
+			g.RootFree = NodeID(id)
+		default:
+			return nil, fmt.Errorf("dfg: line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if g == nil {
+		return nil, fmt.Errorf("dfg: empty assembly")
+	}
+	return g, nil
+}
+
+func parseBlock(g *Graph, fields []string, lineNo int) error {
+	if len(fields) < 4 {
+		return fmt.Errorf("dfg: line %d: block <id> <kind> parent=<id> [tail] name=<q>", lineNo)
+	}
+	id, err := strconv.Atoi(fields[1])
+	if err != nil || id != len(g.Blocks) {
+		return fmt.Errorf("dfg: line %d: blocks must appear in ID order", lineNo)
+	}
+	var kind BlockKind
+	switch fields[2] {
+	case "loop":
+		kind = BlockLoop
+	case "func":
+		kind = BlockFunc
+	default:
+		return fmt.Errorf("dfg: line %d: unknown block kind %q", lineNo, fields[2])
+	}
+	parent := BlockID(-1)
+	tail := false
+	name := ""
+	for _, f := range fields[3:] {
+		switch {
+		case strings.HasPrefix(f, "parent="):
+			p, err := strconv.Atoi(f[len("parent="):])
+			if err != nil {
+				return fmt.Errorf("dfg: line %d: bad parent", lineNo)
+			}
+			parent = BlockID(p)
+		case f == "tail":
+			tail = true
+		case strings.HasPrefix(f, "name="):
+			name = f[len("name="):]
+		default:
+			return fmt.Errorf("dfg: line %d: unknown block field %q", lineNo, f)
+		}
+	}
+	g.AddBlock(parent, kind, name, tail)
+	return nil
+}
+
+func parseNode(g *Graph, fields []string, lineNo int) error {
+	if len(fields) < 4 {
+		return fmt.Errorf("dfg: line %d: node <id> <op> blk=<b> nin=<n> ...", lineNo)
+	}
+	id, err := strconv.Atoi(fields[1])
+	if err != nil || id != len(g.Nodes) {
+		return fmt.Errorf("dfg: line %d: nodes must appear in ID order", lineNo)
+	}
+	op, ok := opByName[fields[2]]
+	if !ok {
+		return fmt.Errorf("dfg: line %d: unknown op %q", lineNo, fields[2])
+	}
+	blk, nin := BlockID(-1), -1
+	var binKind BinKind
+	region, space := 0, BlockID(0)
+	external := false
+	label := ""
+	type constBind struct {
+		port int
+		v    int64
+	}
+	var consts []constBind
+	for _, f := range fields[3:] {
+		switch {
+		case strings.HasPrefix(f, "blk="):
+			v, err := strconv.Atoi(f[4:])
+			if err != nil {
+				return fmt.Errorf("dfg: line %d: bad blk", lineNo)
+			}
+			blk = BlockID(v)
+		case strings.HasPrefix(f, "nin="):
+			v, err := strconv.Atoi(f[4:])
+			if err != nil {
+				return fmt.Errorf("dfg: line %d: bad nin", lineNo)
+			}
+			nin = v
+		case strings.HasPrefix(f, "kind="):
+			k, ok := binByName[f[5:]]
+			if !ok {
+				return fmt.Errorf("dfg: line %d: unknown bin kind %q", lineNo, f[5:])
+			}
+			binKind = k
+		case strings.HasPrefix(f, "region="):
+			v, err := strconv.Atoi(f[7:])
+			if err != nil {
+				return fmt.Errorf("dfg: line %d: bad region", lineNo)
+			}
+			region = v
+		case strings.HasPrefix(f, "space="):
+			v, err := strconv.Atoi(f[6:])
+			if err != nil {
+				return fmt.Errorf("dfg: line %d: bad space", lineNo)
+			}
+			space = BlockID(v)
+		case f == "external":
+			external = true
+		case strings.HasPrefix(f, "label="):
+			label = f[6:]
+		case strings.HasPrefix(f, "const"):
+			eq := strings.IndexByte(f, '=')
+			if eq < 0 {
+				return fmt.Errorf("dfg: line %d: bad const binding %q", lineNo, f)
+			}
+			port, err := strconv.Atoi(f[len("const"):eq])
+			if err != nil {
+				return fmt.Errorf("dfg: line %d: bad const port in %q", lineNo, f)
+			}
+			v, err := strconv.ParseInt(f[eq+1:], 10, 64)
+			if err != nil {
+				return fmt.Errorf("dfg: line %d: bad const value in %q", lineNo, f)
+			}
+			consts = append(consts, constBind{port: port, v: v})
+		default:
+			return fmt.Errorf("dfg: line %d: unknown node field %q", lineNo, f)
+		}
+	}
+	if blk < 0 || nin < 0 {
+		return fmt.Errorf("dfg: line %d: node needs blk= and nin=", lineNo)
+	}
+	nid := g.AddNode(op, blk, nin, label)
+	n := g.Node(nid)
+	n.Bin = binKind
+	n.Region = region
+	n.Space = space
+	n.External = external
+	for _, c := range consts {
+		if c.port < 0 || c.port >= nin {
+			return fmt.Errorf("dfg: line %d: const port %d out of range", lineNo, c.port)
+		}
+		g.SetConst(nid, c.port, c.v)
+	}
+	return nil
+}
+
+func parsePortRef(s string) (NodeID, int, error) {
+	dot := strings.IndexByte(s, '.')
+	if dot < 0 {
+		return 0, 0, fmt.Errorf("bad port reference %q", s)
+	}
+	node, err := strconv.Atoi(s[:dot])
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad node in %q", s)
+	}
+	port, err := strconv.Atoi(s[dot+1:])
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad port in %q", s)
+	}
+	return NodeID(node), port, nil
+}
+
+// splitAsm splits a line into fields, keeping quoted strings (which may
+// contain spaces) as single unquoted fields, including in key="value"
+// positions.
+func splitAsm(line string) ([]string, error) {
+	var fields []string
+	var cur strings.Builder
+	inQuote := false
+	flush := func() {
+		if cur.Len() > 0 {
+			fields = append(fields, cur.String())
+			cur.Reset()
+		}
+	}
+	for i := 0; i < len(line); i++ {
+		c := line[i]
+		switch {
+		case inQuote:
+			if c == '\\' && i+1 < len(line) {
+				i++
+				switch line[i] {
+				case 'n':
+					cur.WriteByte('\n')
+				case 't':
+					cur.WriteByte('\t')
+				default:
+					cur.WriteByte(line[i])
+				}
+				continue
+			}
+			if c == '"' {
+				inQuote = false
+				continue
+			}
+			cur.WriteByte(c)
+		case c == '"':
+			inQuote = true
+		case c == ' ' || c == '\t':
+			flush()
+		case c == ';':
+			flush()
+			return fields, nil
+		default:
+			cur.WriteByte(c)
+		}
+	}
+	if inQuote {
+		return nil, fmt.Errorf("unterminated quote in %q", line)
+	}
+	flush()
+	return fields, nil
+}

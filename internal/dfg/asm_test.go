@@ -1,0 +1,142 @@
+package dfg
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// buildAsmSample constructs a graph touching every serialized feature.
+func buildAsmSample() *Graph {
+	g := NewGraph("sample graph")
+	g.MemRegion("A")
+	g.MemRegion("out")
+	loop := g.AddBlock(0, BlockLoop, "L outer", true)
+	fn := g.AddBlock(0, BlockFunc, "helper", false)
+
+	entry := g.AddNode(OpForward, 0, 1, "entry")
+	add := g.AddNode(OpBin, loop, 2, `w += "x"`)
+	g.Node(add).Bin = BinAdd
+	g.SetConst(add, 1, -7)
+	ld := g.AddNode(OpLoad, loop, 2, "load A")
+	g.Node(ld).Region = 0
+	st := g.AddNode(OpStore, loop, 2, "store out")
+	g.Node(st).Region = 1
+	al := g.AddNode(OpAllocate, 0, 2, "alloc L")
+	g.Node(al).Space = loop
+	g.Node(al).External = true
+	fr := g.AddNode(OpFree, 0, 1, "root.free")
+	g.Node(fr).Space = 0
+	_ = fn
+
+	g.Connect(entry, 0, add, 0)
+	g.Connect(add, 0, ld, 0)
+	g.Connect(add, 0, ld, 1)
+	g.Connect(ld, 0, st, 0)
+	g.Connect(ld, 0, st, 1)
+	g.Connect(st, 0, al, 0)
+	g.Connect(st, 0, al, 1)
+	g.Connect(entry, 0, fr, 0)
+	g.Inject(Port{Node: entry, In: 0}, 42)
+	g.Result = ld
+	g.RootFree = fr
+	return g
+}
+
+func TestAsmRoundTrip(t *testing.T) {
+	g := buildAsmSample()
+	text, err := g.MarshalText()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseGraph(text)
+	if err != nil {
+		t.Fatalf("ParseGraph: %v\n%s", err, text)
+	}
+	if !reflect.DeepEqual(g, back) {
+		t2, _ := back.MarshalText()
+		t.Fatalf("round trip differs.\n--- original ---\n%s\n--- reparsed ---\n%s", text, t2)
+	}
+}
+
+func TestAsmRoundTripTwice(t *testing.T) {
+	g := buildAsmSample()
+	t1, err := g.MarshalText()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseGraph(t1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := back.MarshalText()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(t1) != string(t2) {
+		t.Fatalf("marshal not stable:\n%s\nvs\n%s", t1, t2)
+	}
+}
+
+func TestAsmCommentsAndBlanks(t *testing.T) {
+	g := buildAsmSample()
+	text, _ := g.MarshalText()
+	decorated := "; a comment\n\n" + strings.ReplaceAll(string(text), "\n", "\n; inline\n")
+	back, err := ParseGraph([]byte(decorated))
+	if err != nil {
+		t.Fatalf("ParseGraph with comments: %v", err)
+	}
+	if back.NumNodes() != g.NumNodes() {
+		t.Errorf("node count %d, want %d", back.NumNodes(), g.NumNodes())
+	}
+}
+
+func TestAsmErrors(t *testing.T) {
+	cases := map[string]string{
+		"no graph":       "node 0 forward blk=0 nin=1",
+		"bad op":         "graph \"g\"\nnode 0 zorp blk=0 nin=1",
+		"out of order":   "graph \"g\"\nnode 1 forward blk=0 nin=1",
+		"bad edge":       "graph \"g\"\nnode 0 forward blk=0 nin=1\nedge 0.0 0.0",
+		"unknown field":  "graph \"g\"\nnode 0 forward blk=0 nin=1 zap=3",
+		"bad const":      "graph \"g\"\nnode 0 forward blk=0 nin=1 constX=1",
+		"const oob":      "graph \"g\"\nnode 0 forward blk=0 nin=1 const5=1",
+		"unclosed quote": "graph \"g",
+		"bad block kind": "graph \"g\"\nblock 1 widget parent=0 name=\"x\"",
+		"block order":    "graph \"g\"\nblock 5 loop parent=0 name=\"x\"",
+		"empty":          "",
+		"bad directive":  "graph \"g\"\nfrobnicate 1",
+		"missing nin":    "graph \"g\"\nnode 0 forward blk=0",
+		"edge src oob":   "graph \"g\"\nnode 0 forward blk=0 nin=1\nedge 3.0 -> 0.0",
+		"bad inject":     "graph \"g\"\nnode 0 forward blk=0 nin=1\ninject 0.0 = xyz",
+		"mem out of seq": "graph \"g\"\nmem 3 \"A\"",
+		"bad bin kind":   "graph \"g\"\nnode 0 bin blk=0 nin=2 kind=\"@@\"",
+	}
+	for name, src := range cases {
+		if _, err := ParseGraph([]byte(src)); err == nil {
+			t.Errorf("%s: parse accepted invalid input", name)
+		}
+	}
+}
+
+func TestAsmQuotedLabels(t *testing.T) {
+	g := NewGraph(`quotes "and" spaces`)
+	n := g.AddNode(OpForward, 0, 1, `label with "quotes" and	tab`)
+	free := g.AddNode(OpFree, 0, 1, "f")
+	g.Connect(n, 0, free, 0)
+	g.Inject(Port{Node: n, In: 0}, 1)
+	g.RootFree = free
+	text, err := g.MarshalText()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseGraph(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != g.Name {
+		t.Errorf("name %q, want %q", back.Name, g.Name)
+	}
+	if back.Node(n).Label != g.Node(n).Label {
+		t.Errorf("label %q, want %q", back.Node(n).Label, g.Node(n).Label)
+	}
+}

@@ -1,0 +1,108 @@
+package dfg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Dot renders the graph in Graphviz dot syntax, clustering nodes by
+// concurrent block. It is a debugging aid; the output is deterministic.
+func (g *Graph) Dot() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", g.Name)
+	b.WriteString("  node [shape=box, fontsize=10];\n")
+
+	byBlock := make(map[BlockID][]NodeID)
+	for i := range g.Nodes {
+		byBlock[g.Nodes[i].Block] = append(byBlock[g.Nodes[i].Block], g.Nodes[i].ID)
+	}
+	blockIDs := make([]BlockID, 0, len(byBlock))
+	for id := range byBlock {
+		blockIDs = append(blockIDs, id)
+	}
+	sort.Slice(blockIDs, func(i, j int) bool { return blockIDs[i] < blockIDs[j] })
+
+	for _, bid := range blockIDs {
+		blk := g.Blocks[bid]
+		fmt.Fprintf(&b, "  subgraph cluster_blk%d {\n", bid)
+		fmt.Fprintf(&b, "    label=\"%s %s\";\n", blk.Kind, escapeDot(blk.Name))
+		for _, nid := range byBlock[bid] {
+			n := &g.Nodes[nid]
+			label := n.Op.String()
+			if n.Op == OpBin {
+				label = n.Bin.String()
+			}
+			if n.Label != "" {
+				label += "\\n" + escapeDot(n.Label)
+			}
+			fmt.Fprintf(&b, "    n%d [label=\"n%d %s\"];\n", nid, nid, label)
+		}
+		b.WriteString("  }\n")
+	}
+
+	for i := range g.Nodes {
+		n := &g.Nodes[i]
+		for outPort, dests := range n.Outs {
+			for _, d := range dests {
+				style := ""
+				if outPort == len(n.Outs)-1 && (n.Op == OpSteer || n.Op == OpAllocate || n.Op == OpChangeTag || n.Op == OpChangeTagDyn) {
+					style = " [style=dotted]" // control/barrier edges
+				}
+				fmt.Fprintf(&b, "  n%d -> n%d [taillabel=\"%d\", headlabel=\"%d\"]%s;\n",
+					n.ID, d.Node, outPort, d.In, style)
+			}
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func escapeDot(s string) string {
+	s = strings.ReplaceAll(s, "\\", "\\\\")
+	return strings.ReplaceAll(s, "\"", "\\\"")
+}
+
+// Stats summarizes op usage, useful in tests and experiment reports.
+type Stats struct {
+	Nodes    int
+	Blocks   int
+	ByOp     map[Op]int
+	MaxIn    int
+	MemOps   int
+	TagOps   int
+	Steers   int
+	EdgeCnt  int
+	ConstCnt int
+}
+
+// ComputeStats walks the graph once and tallies per-op counts.
+func (g *Graph) ComputeStats() Stats {
+	s := Stats{
+		Nodes:  len(g.Nodes),
+		Blocks: len(g.Blocks),
+		ByOp:   make(map[Op]int),
+		MaxIn:  g.MaxInputs(),
+	}
+	for i := range g.Nodes {
+		n := &g.Nodes[i]
+		s.ByOp[n.Op]++
+		switch n.Op {
+		case OpLoad, OpStore:
+			s.MemOps++
+		case OpAllocate, OpFree, OpChangeTag, OpChangeTagDyn, OpExtractTag:
+			s.TagOps++
+		case OpSteer:
+			s.Steers++
+		}
+		for _, dests := range n.Outs {
+			s.EdgeCnt += len(dests)
+		}
+		for _, c := range n.ConstIn {
+			if c.Valid {
+				s.ConstCnt++
+			}
+		}
+	}
+	return s
+}

@@ -1,0 +1,215 @@
+package dfg
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Mode selects which lowering discipline a graph claims to follow; the
+// validator enforces the discipline's extra structural rules.
+type Mode uint8
+
+const (
+	// ModeTagged is the TYR / unordered-dataflow lowering: tag-management
+	// ops are allowed, and an input port may have multiple producers
+	// (tags disambiguate which token belongs to which context).
+	ModeTagged Mode = iota
+	// ModeOrdered is the FIFO lowering: no tag-management ops, and every
+	// input port has exactly one producer (or a constant, or an
+	// injection); fan-in goes through explicit OpMerge nodes.
+	ModeOrdered
+)
+
+func (m Mode) String() string {
+	if m == ModeOrdered {
+		return "ordered"
+	}
+	return "tagged"
+}
+
+// Validate checks structural invariants of the graph. A failed validation is
+// a compiler bug; the error message identifies the offending node.
+func (g *Graph) Validate(mode Mode) error {
+	if len(g.Blocks) == 0 || g.Blocks[0].Kind != BlockRoot {
+		return fmt.Errorf("dfg: graph %q: block 0 must be the root block", g.Name)
+	}
+	for i := range g.Blocks {
+		b := &g.Blocks[i]
+		if b.ID != BlockID(i) {
+			return fmt.Errorf("dfg: block %d has mismatched ID %d", i, b.ID)
+		}
+		if i == 0 {
+			if b.Parent != -1 {
+				return fmt.Errorf("dfg: root block must have parent -1")
+			}
+			continue
+		}
+		if b.Parent < 0 || int(b.Parent) >= len(g.Blocks) {
+			return fmt.Errorf("dfg: block %d (%s) has invalid parent %d", i, b.Name, b.Parent)
+		}
+		if b.Parent >= b.ID {
+			return fmt.Errorf("dfg: block %d (%s) has non-ancestor parent %d (blocks must be topologically ordered)", i, b.Name, b.Parent)
+		}
+	}
+
+	producers := make([]int, 0) // producer count per (node, in) for ordered mode
+	portIndex := func(p Port) int { return 0 }
+	if mode == ModeOrdered {
+		offsets := make([]int, len(g.Nodes)+1)
+		for i := range g.Nodes {
+			offsets[i+1] = offsets[i] + g.Nodes[i].NIn
+		}
+		producers = make([]int, offsets[len(g.Nodes)])
+		portIndex = func(p Port) int { return offsets[p.Node] + p.In }
+	}
+
+	hasTokenInput := make([]bool, len(g.Nodes))
+
+	for i := range g.Nodes {
+		n := &g.Nodes[i]
+		if n.ID != NodeID(i) {
+			return fmt.Errorf("dfg: node %d has mismatched ID %d", i, n.ID)
+		}
+		if int(n.Block) >= len(g.Blocks) || n.Block < 0 {
+			return fmt.Errorf("dfg: %s: invalid block %d", g.nodeDesc(n.ID), n.Block)
+		}
+		if min := MinIn(n.Op); n.NIn < min {
+			return fmt.Errorf("dfg: %s: %d inputs, need at least %d", g.nodeDesc(n.ID), n.NIn, min)
+		}
+		if max := MaxIn(n.Op); max >= 0 && n.NIn > max {
+			return fmt.Errorf("dfg: %s: %d inputs, at most %d allowed", g.nodeDesc(n.ID), n.NIn, max)
+		}
+		if len(n.ConstIn) != n.NIn {
+			return fmt.Errorf("dfg: %s: ConstIn length %d != NIn %d", g.nodeDesc(n.ID), len(n.ConstIn), n.NIn)
+		}
+		if len(n.Outs) != NumOut(n.Op) {
+			return fmt.Errorf("dfg: %s: %d output port lists, want %d", g.nodeDesc(n.ID), len(n.Outs), NumOut(n.Op))
+		}
+		switch n.Op {
+		case OpBin:
+			if n.Bin >= numBinKinds {
+				return fmt.Errorf("dfg: %s: invalid bin kind %d", g.nodeDesc(n.ID), n.Bin)
+			}
+		case OpLoad, OpStore:
+			if n.Region < 0 || n.Region >= len(g.MemNames) {
+				return fmt.Errorf("dfg: %s: invalid memory region %d", g.nodeDesc(n.ID), n.Region)
+			}
+		case OpAllocate, OpFree:
+			if n.Space < 0 || int(n.Space) >= len(g.Blocks) {
+				return fmt.Errorf("dfg: %s: invalid tag space %d", g.nodeDesc(n.ID), n.Space)
+			}
+			if mode == ModeOrdered {
+				return fmt.Errorf("dfg: %s: tag-management op in ordered graph", g.nodeDesc(n.ID))
+			}
+		case OpChangeTag, OpChangeTagDyn, OpExtractTag:
+			if mode == ModeOrdered {
+				return fmt.Errorf("dfg: %s: tag-management op in ordered graph", g.nodeDesc(n.ID))
+			}
+		case OpMerge:
+			if mode == ModeTagged {
+				return fmt.Errorf("dfg: %s: merge op in tagged graph (tags disambiguate fan-in)", g.nodeDesc(n.ID))
+			}
+		}
+		for outPort, dests := range n.Outs {
+			for _, d := range dests {
+				if d.Node < 0 || int(d.Node) >= len(g.Nodes) {
+					return fmt.Errorf("dfg: %s out%d: edge to invalid node %d", g.nodeDesc(n.ID), outPort, d.Node)
+				}
+				dst := &g.Nodes[d.Node]
+				if d.In < 0 || d.In >= dst.NIn {
+					return fmt.Errorf("dfg: %s out%d: edge to %s which has only %d inputs", g.nodeDesc(n.ID), outPort, g.nodeDesc(d.Node), dst.NIn)
+				}
+				if dst.ConstIn[d.In].Valid {
+					return fmt.Errorf("dfg: %s out%d: edge targets const-bound port %s", g.nodeDesc(n.ID), outPort, d)
+				}
+				hasTokenInput[d.Node] = true
+				if mode == ModeOrdered {
+					producers[portIndex(d)]++
+				}
+			}
+		}
+	}
+
+	injected := make(map[Port]bool, len(g.Entries))
+	for _, inj := range g.Entries {
+		if inj.To.Node < 0 || int(inj.To.Node) >= len(g.Nodes) {
+			return fmt.Errorf("dfg: injection to invalid node %d", inj.To.Node)
+		}
+		dst := &g.Nodes[inj.To.Node]
+		if inj.To.In < 0 || inj.To.In >= dst.NIn {
+			return fmt.Errorf("dfg: injection to invalid port %s", inj.To)
+		}
+		if dst.ConstIn[inj.To.In].Valid {
+			return fmt.Errorf("dfg: injection targets const-bound port %s", inj.To)
+		}
+		hasTokenInput[inj.To.Node] = true
+		injected[inj.To] = true
+	}
+
+	for i := range g.Nodes {
+		n := &g.Nodes[i]
+		// Every node needs at least one token-fed input, or it would
+		// never fire (all-const nodes are a compiler bug). Dynamic-routing
+		// targets (forward landings) are fed at runtime, so exempt
+		// OpForward nodes that some ChangeTagDyn may target; we cannot see
+		// those edges statically, so only require it for non-forwards.
+		if !hasTokenInput[i] && n.Op != OpForward {
+			allConst := true
+			for _, c := range n.ConstIn {
+				if !c.Valid {
+					allConst = false
+					break
+				}
+			}
+			if allConst {
+				return fmt.Errorf("dfg: %s: all inputs constant; node can never fire", g.nodeDesc(n.ID))
+			}
+		}
+		// Non-const ports with no producer will simply never receive a
+		// token; in ordered mode that deadlocks, so flag it (tagged mode
+		// allows it only for dynamic-routing landing ports). A port may
+		// have at most one edge producer; an injection on top of an edge
+		// is legal (it pre-populates the FIFO, e.g. the initial "false"
+		// decider of the self-cleaning loop schema).
+		if mode == ModeOrdered {
+			for in := 0; in < n.NIn; in++ {
+				if n.ConstIn[in].Valid {
+					continue
+				}
+				p := Port{Node: n.ID, In: in}
+				c := producers[portIndex(p)]
+				if c == 0 && !injected[p] {
+					return fmt.Errorf("dfg: %s: input %d has no producer", g.nodeDesc(n.ID), in)
+				}
+				if c > 1 {
+					return fmt.Errorf("dfg: %s: input %d has %d producers; ordered graphs need explicit merges", g.nodeDesc(n.ID), in, c)
+				}
+			}
+		}
+	}
+
+	if mode == ModeTagged {
+		if g.RootFree == InvalidNode {
+			return fmt.Errorf("dfg: tagged graph %q has no root free (completion signal)", g.Name)
+		}
+		n := g.Node(g.RootFree)
+		if n.Op != OpFree || n.Space != 0 {
+			return fmt.Errorf("dfg: RootFree %s must be a free of the root tag space", g.nodeDesc(g.RootFree))
+		}
+	}
+	return nil
+}
+
+func (g *Graph) nodeDesc(id NodeID) string {
+	n := &g.Nodes[id]
+	var b strings.Builder
+	fmt.Fprintf(&b, "n%d(%s", id, n.Op)
+	if n.Op == OpBin {
+		fmt.Fprintf(&b, " %s", n.Bin)
+	}
+	if n.Label != "" {
+		fmt.Fprintf(&b, " %q", n.Label)
+	}
+	fmt.Fprintf(&b, " blk%d)", n.Block)
+	return b.String()
+}

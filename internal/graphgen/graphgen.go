@@ -1,0 +1,127 @@
+// Package graphgen generates the graph inputs for the triangle-counting
+// workload. The paper runs tc on a navigable small-world graph [Watts &
+// Strogatz 1998]; this package implements the Watts–Strogatz construction
+// directly (ring lattice of degree k with probability-beta rewiring) and a
+// native triangle-count reference used as the validation oracle.
+package graphgen
+
+import (
+	"math/rand"
+	"sort"
+
+	"repro/internal/sparse"
+)
+
+// WattsStrogatz builds an undirected small-world graph with n nodes, even
+// lattice degree k, and rewiring probability beta (in [0,1]), returned as a
+// symmetric 0/1 adjacency matrix in CSR form with sorted neighbor lists.
+func WattsStrogatz(n, k int, beta float64, seed int64) *sparse.CSR {
+	if k >= n {
+		k = n - 1
+	}
+	if k%2 == 1 {
+		k--
+	}
+	rng := rand.New(rand.NewSource(seed))
+	adj := make([]map[int64]int64, n)
+	for i := range adj {
+		adj[i] = make(map[int64]int64)
+	}
+	addEdge := func(u, v int) {
+		if u == v {
+			return
+		}
+		adj[u][int64(v)] = 1
+		adj[v][int64(u)] = 1
+	}
+	hasEdge := func(u, v int) bool {
+		_, ok := adj[u][int64(v)]
+		return ok
+	}
+	// Ring lattice: node i connects to its k/2 nearest neighbors each way.
+	for i := 0; i < n; i++ {
+		for d := 1; d <= k/2; d++ {
+			addEdge(i, (i+d)%n)
+		}
+	}
+	// Rewire each lattice edge (i, i+d) with probability beta.
+	for i := 0; i < n; i++ {
+		for d := 1; d <= k/2; d++ {
+			if rng.Float64() >= beta {
+				continue
+			}
+			j := (i + d) % n
+			if !hasEdge(i, j) {
+				continue // already rewired away by the peer direction
+			}
+			// Pick a new target avoiding self-loops and duplicates.
+			t := rng.Intn(n)
+			tries := 0
+			for (t == i || hasEdge(i, t)) && tries < 16 {
+				t = rng.Intn(n)
+				tries++
+			}
+			if t == i || hasEdge(i, t) {
+				continue
+			}
+			delete(adj[i], int64(j))
+			delete(adj[j], int64(i))
+			addEdge(i, t)
+		}
+	}
+	return sparse.FromRows(n, n, adj)
+}
+
+// NumEdges counts undirected edges of a symmetric adjacency matrix.
+func NumEdges(g *sparse.CSR) int { return g.NNZ() / 2 }
+
+// TriangleCount counts triangles (each once) using the ordered
+// neighbor-intersection algorithm: for every edge (u,v) with u < v,
+// count common neighbors w with w > v. This is also exactly the algorithm
+// the tc workload runs on the simulated machines.
+func TriangleCount(g *sparse.CSR) int64 {
+	var count int64
+	for u := 0; u < g.Rows; u++ {
+		for p := g.RowPtr[u]; p < g.RowPtr[u+1]; p++ {
+			v := g.Col[p]
+			if v <= int64(u) {
+				continue
+			}
+			count += intersectAbove(g, int64(u), v, v)
+		}
+	}
+	return count
+}
+
+// intersectAbove counts common neighbors of u and v strictly greater than
+// floor, by merge-joining the sorted adjacency lists.
+func intersectAbove(g *sparse.CSR, u, v, floor int64) int64 {
+	p, q := g.RowPtr[u], g.RowPtr[v]
+	var n int64
+	for p < g.RowPtr[u+1] && q < g.RowPtr[v+1] {
+		a, b := g.Col[p], g.Col[q]
+		switch {
+		case a < b:
+			p++
+		case a > b:
+			q++
+		default:
+			if a > floor {
+				n++
+			}
+			p++
+			q++
+		}
+	}
+	return n
+}
+
+// Degrees returns the sorted degree sequence (for tests and reporting).
+func Degrees(g *sparse.CSR) []int {
+	out := make([]int, g.Rows)
+	for i := 0; i < g.Rows; i++ {
+		out[i] = int(g.RowPtr[i+1] - g.RowPtr[i])
+	}
+	sort.Ints(out)
+	return out
+}

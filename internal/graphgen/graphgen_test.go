@@ -1,0 +1,122 @@
+package graphgen
+
+import (
+	"testing"
+
+	"repro/internal/sparse"
+)
+
+func TestWattsStrogatzLattice(t *testing.T) {
+	// beta=0: pure ring lattice, every node has degree k, and the number
+	// of triangles is exactly n*k/2*(k/2-1)/2 for k < 2n/3... use the
+	// known closed form for triangles in a ring lattice: n * k/2 * (k-2)/4
+	// rounded — instead verify via reference against a brute-force count.
+	g := WattsStrogatz(24, 4, 0, 1)
+	for i := 0; i < g.Rows; i++ {
+		deg := g.RowPtr[i+1] - g.RowPtr[i]
+		if deg != 4 {
+			t.Fatalf("node %d degree %d, want 4", i, deg)
+		}
+	}
+	want := bruteForceTriangles(g)
+	if got := TriangleCount(g); got != want {
+		t.Errorf("TriangleCount = %d, brute force %d", got, want)
+	}
+	if want == 0 {
+		t.Error("ring lattice with k=4 must contain triangles")
+	}
+}
+
+func TestWattsStrogatzSymmetricNoSelfLoops(t *testing.T) {
+	g := WattsStrogatz(100, 6, 0.3, 42)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	dense := g.ToDense()
+	n := g.Rows
+	for i := 0; i < n; i++ {
+		if dense[i*n+i] != 0 {
+			t.Fatalf("self loop at %d", i)
+		}
+		for j := 0; j < n; j++ {
+			if dense[i*n+j] != dense[j*n+i] {
+				t.Fatalf("asymmetric edge (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestWattsStrogatzRewiringChangesGraph(t *testing.T) {
+	a := WattsStrogatz(60, 4, 0, 7)
+	b := WattsStrogatz(60, 4, 0.5, 7)
+	if a.NNZ() == 0 || b.NNZ() == 0 {
+		t.Fatal("empty graphs")
+	}
+	same := true
+	if a.NNZ() != b.NNZ() {
+		same = false
+	} else {
+		for i := range a.Col {
+			if a.Col[i] != b.Col[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("rewiring produced an identical graph")
+	}
+}
+
+func TestTriangleCountMatchesBruteForce(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		g := WattsStrogatz(48, 6, 0.2, seed)
+		want := bruteForceTriangles(g)
+		if got := TriangleCount(g); got != want {
+			t.Errorf("seed %d: TriangleCount = %d, brute force %d", seed, got, want)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := WattsStrogatz(80, 6, 0.25, 9)
+	b := WattsStrogatz(80, 6, 0.25, 9)
+	if a.NNZ() != b.NNZ() {
+		t.Fatal("same seed produced different graphs")
+	}
+	for i := range a.Col {
+		if a.Col[i] != b.Col[i] {
+			t.Fatal("same seed produced different graphs")
+		}
+	}
+}
+
+func TestNumEdgesAndDegrees(t *testing.T) {
+	g := WattsStrogatz(50, 4, 0, 3)
+	if NumEdges(g) != 100 { // n*k/2
+		t.Errorf("edges = %d, want 100", NumEdges(g))
+	}
+	degs := Degrees(g)
+	if len(degs) != 50 || degs[0] != 4 || degs[49] != 4 {
+		t.Errorf("degrees = %v", degs[:5])
+	}
+}
+
+func bruteForceTriangles(g *sparse.CSR) int64 {
+	n := g.Rows
+	dense := g.ToDense()
+	var count int64
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if dense[u*n+v] == 0 {
+				continue
+			}
+			for w := v + 1; w < n; w++ {
+				if dense[u*n+w] != 0 && dense[v*n+w] != 0 {
+					count++
+				}
+			}
+		}
+	}
+	return count
+}

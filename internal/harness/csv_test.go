@@ -1,0 +1,47 @@
+package harness
+
+import (
+	"encoding/csv"
+	"os"
+	"testing"
+
+	"repro/internal/apps"
+)
+
+func TestExportCSVAllExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment")
+	}
+	dir := t.TempDir()
+	cfg := ExpConfig{Scale: apps.ScaleTiny}
+	for _, name := range Experiments {
+		path, err := ExportCSV(name, cfg, dir)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		rows, err := csv.NewReader(f).ReadAll()
+		f.Close()
+		if err != nil {
+			t.Fatalf("%s: invalid CSV: %v", name, err)
+		}
+		if len(rows) < 2 {
+			t.Errorf("%s: only %d rows (header + data expected)", name, len(rows))
+		}
+		for i, row := range rows {
+			if len(row) != len(rows[0]) {
+				t.Errorf("%s: row %d has %d columns, header has %d", name, i, len(row), len(rows[0]))
+				break
+			}
+		}
+	}
+}
+
+func TestExportCSVUnknownExperiment(t *testing.T) {
+	if _, err := ExportCSV("nope", ExpConfig{Scale: apps.ScaleTiny}, t.TempDir()); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}

@@ -1,0 +1,201 @@
+// Package harness regenerates every table and figure of the paper's
+// evaluation (Sec. VII) on the simulated architectures. Each experiment
+// returns structured data (asserted by the claims tests) plus a rendered
+// text report, and every run's outputs are validated against the
+// workload's native reference before any number is reported.
+//
+// DESIGN.md §4 maps each experiment to the paper artifact it reproduces.
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/apps"
+	"repro/internal/compile"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/ordered"
+	"repro/internal/seqdf"
+	"repro/internal/vn"
+)
+
+// System names, in the paper's presentation order.
+const (
+	SysVN        = "vN"
+	SysSeqDF     = "seqdf"
+	SysOrdered   = "ordered"
+	SysUnordered = "unordered"
+	SysTyr       = "tyr"
+)
+
+// Systems lists all five architectures in presentation order.
+var Systems = []string{SysVN, SysSeqDF, SysOrdered, SysUnordered, SysTyr}
+
+// SysConfig parameterizes a single run of one system.
+type SysConfig struct {
+	IssueWidth int // default 128 (paper)
+	Tags       int // TYR tags per block, default 64 (paper)
+	BlockTags  map[string]int
+	GlobalTags int // >0 runs "unordered" with a bounded global pool
+	QueueCap   int // ordered dataflow FIFO depth, default 4 (paper)
+	// LoadLatency models multi-cycle memory on every machine (0 or 1 =
+	// the paper's single-cycle memory).
+	LoadLatency int
+	// TracePoints caps state traces (0 = engine default).
+	TracePoints int
+	// SkipCheck disables output validation (only for deadlock demos,
+	// where there is no output to validate).
+	SkipCheck bool
+}
+
+func (c SysConfig) withDefaults() SysConfig {
+	if c.IssueWidth == 0 {
+		c.IssueWidth = 128
+	}
+	if c.Tags == 0 {
+		c.Tags = 64
+	}
+	if c.QueueCap == 0 {
+		c.QueueCap = 4
+	}
+	return c
+}
+
+// Run executes one workload on one system and converts the result to the
+// uniform record. Outputs are validated against the native reference
+// unless the run deadlocked (bounded unordered) or SkipCheck is set.
+func Run(app *apps.App, system string, cfg SysConfig) (metrics.RunStats, error) {
+	cfg = cfg.withDefaults()
+	rs := metrics.RunStats{System: system, App: app.Name}
+
+	switch system {
+	case SysVN:
+		im := app.NewImage()
+		res, err := vn.Run(app.Prog, im, vn.Config{Args: app.Args, LoadLatency: cfg.LoadLatency, TracePoints: cfg.TracePoints})
+		if err != nil {
+			return rs, err
+		}
+		if !cfg.SkipCheck {
+			if err := app.Check(im, res.Ret); err != nil {
+				return rs, fmt.Errorf("harness: %s on %s produced wrong output: %w", app.Name, system, err)
+			}
+		}
+		rs.Completed = true
+		rs.Cycles, rs.Fired = res.Cycles, res.Fired
+		rs.PeakLive, rs.MeanLive = res.PeakLive, res.MeanLive
+		rs.IPCHist = res.IPCHist
+		rs.Trace = convertTrace(res.Trace)
+		return rs, nil
+
+	case SysSeqDF:
+		im := app.NewImage()
+		res, err := seqdf.Run(app.Prog, im, seqdf.Config{
+			Args: app.Args, IssueWidth: cfg.IssueWidth,
+			LoadLatency: int64(cfg.LoadLatency), TracePoints: cfg.TracePoints,
+		})
+		if err != nil {
+			return rs, err
+		}
+		if !cfg.SkipCheck {
+			if err := app.Check(im, res.Ret); err != nil {
+				return rs, fmt.Errorf("harness: %s on %s produced wrong output: %w", app.Name, system, err)
+			}
+		}
+		rs.Completed = true
+		rs.Cycles, rs.Fired = res.Cycles, res.Fired
+		rs.PeakLive, rs.MeanLive = res.PeakLive, res.MeanLive
+		rs.IPCHist = res.IPCHist
+		rs.Trace = convertTrace(res.Trace)
+		return rs, nil
+
+	case SysOrdered:
+		g, err := compile.Ordered(app.Prog, compile.Options{EntryArgs: app.Args})
+		if err != nil {
+			return rs, err
+		}
+		im := app.NewImage()
+		res, err := ordered.Run(g, im, ordered.Config{
+			IssueWidth: cfg.IssueWidth, QueueCap: cfg.QueueCap,
+			LoadLatency: cfg.LoadLatency, TracePoints: cfg.TracePoints,
+		})
+		if err != nil {
+			return rs, err
+		}
+		if !cfg.SkipCheck {
+			if err := app.Check(im, res.ResultValue); err != nil {
+				return rs, fmt.Errorf("harness: %s on %s produced wrong output: %w", app.Name, system, err)
+			}
+		}
+		rs.Completed = res.Completed
+		rs.Cycles, rs.Fired = res.Cycles, res.Fired
+		rs.PeakLive, rs.MeanLive = res.PeakLive, res.MeanLive
+		rs.IPCHist = res.IPCHist
+		rs.Trace = convertTrace(res.Trace)
+		return rs, nil
+
+	case SysUnordered, SysTyr:
+		g, err := compile.Tagged(app.Prog, compile.Options{EntryArgs: app.Args})
+		if err != nil {
+			return rs, err
+		}
+		ecfg := core.Config{
+			IssueWidth:  cfg.IssueWidth,
+			LoadLatency: cfg.LoadLatency,
+			TracePoints: cfg.TracePoints,
+		}
+		if system == SysTyr {
+			ecfg.Policy = core.PolicyTyr
+			ecfg.TagsPerBlock = cfg.Tags
+			ecfg.BlockTags = cfg.BlockTags
+		} else if cfg.GlobalTags > 0 {
+			ecfg.Policy = core.PolicyGlobalBounded
+			ecfg.GlobalTags = cfg.GlobalTags
+		} else {
+			ecfg.Policy = core.PolicyGlobalUnlimited
+		}
+		im := app.NewImage()
+		res, err := core.Run(g, im, ecfg)
+		if err != nil {
+			return rs, err
+		}
+		rs.Completed = res.Completed
+		rs.Deadlocked = res.Deadlocked
+		rs.Cycles, rs.Fired = res.Cycles, res.Fired
+		rs.PeakLive, rs.MeanLive = res.PeakLive, res.MeanLive
+		rs.IPCHist = res.IPCHist
+		rs.Trace = convertCoreTrace(res.Trace)
+		rs.PeakTags = res.PeakTags
+		if res.Deadlocked {
+			rs.Note = res.Deadlock.String()
+			return rs, nil
+		}
+		if !cfg.SkipCheck {
+			if err := app.Check(im, res.ResultValue); err != nil {
+				return rs, fmt.Errorf("harness: %s on %s produced wrong output: %w", app.Name, system, err)
+			}
+		}
+		return rs, nil
+	}
+	return rs, fmt.Errorf("harness: unknown system %q", system)
+}
+
+// convertTrace adapts any engine's state-point slice to the uniform trace
+// record. All engines share the same point shape.
+func convertTrace[T ~struct {
+	Cycle int64
+	Live  int64
+}](pts []T) []metrics.TracePoint {
+	out := make([]metrics.TracePoint, len(pts))
+	for i, p := range pts {
+		s := struct {
+			Cycle int64
+			Live  int64
+		}(p)
+		out[i] = metrics.TracePoint{Cycle: s.Cycle, Live: s.Live}
+	}
+	return out
+}
+
+func convertCoreTrace(pts []core.StatePoint) []metrics.TracePoint {
+	return convertTrace(pts)
+}

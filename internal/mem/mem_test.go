@@ -1,0 +1,109 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRegionsBasics(t *testing.T) {
+	im := NewImage()
+	a := im.AddRegion("a", 4)
+	b := im.AddRegion("b", 2)
+	if a != 0 || b != 1 {
+		t.Fatalf("indices = %d,%d want 0,1", a, b)
+	}
+	if im.NumRegions() != 2 {
+		t.Fatalf("NumRegions = %d", im.NumRegions())
+	}
+	if got, ok := im.Index("b"); !ok || got != 1 {
+		t.Errorf("Index(b) = %d,%v", got, ok)
+	}
+	if im.Name(0) != "a" || im.Size(0) != 4 {
+		t.Errorf("region 0 = %s/%d", im.Name(0), im.Size(0))
+	}
+	if err := im.Store(0, 3, 99); err != nil {
+		t.Fatal(err)
+	}
+	v, err := im.Load(0, 3)
+	if err != nil || v != 99 {
+		t.Errorf("Load = %d, %v", v, err)
+	}
+}
+
+func TestBoundsErrors(t *testing.T) {
+	im := NewImage()
+	im.AddRegion("a", 4)
+	if _, err := im.Load(0, 4); err == nil {
+		t.Error("load at size should fail")
+	}
+	if _, err := im.Load(0, -1); err == nil {
+		t.Error("negative load should fail")
+	}
+	if err := im.Store(0, 100, 1); err == nil {
+		t.Error("store out of bounds should fail")
+	}
+	if _, err := im.Load(5, 0); err == nil {
+		t.Error("unknown region load should fail")
+	}
+	if err := im.Store(-1, 0, 0); err == nil {
+		t.Error("unknown region store should fail")
+	}
+}
+
+func TestDuplicateRegionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate region should panic")
+		}
+	}()
+	im := NewImage()
+	im.AddRegion("a", 1)
+	im.AddRegion("a", 1)
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	im := NewImage()
+	im.AddRegion("a", 3)
+	im.SetRegion("a", []int64{1, 2, 3})
+	cl := im.Clone()
+	if !im.Equal(cl) {
+		t.Fatal("clone not equal")
+	}
+	if err := cl.Store(0, 0, 42); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := im.Load(0, 0); v != 1 {
+		t.Error("clone write leaked into original")
+	}
+	if im.Equal(cl) {
+		t.Error("Equal should detect the divergence")
+	}
+	if diffs := im.Diff(cl, 10); len(diffs) != 1 {
+		t.Errorf("Diff = %v, want 1 entry", diffs)
+	}
+}
+
+func TestChecksumDetectsChanges(t *testing.T) {
+	im := NewImage()
+	im.AddRegion("a", 8)
+	base := im.Checksum()
+	if err := im.Store(0, 5, 7); err != nil {
+		t.Fatal(err)
+	}
+	if im.Checksum() == base {
+		t.Error("checksum unchanged after store")
+	}
+}
+
+func TestCloneEqualProperty(t *testing.T) {
+	f := func(data []int64) bool {
+		im := NewImage()
+		im.AddRegion("r", len(data))
+		im.SetRegion("r", data)
+		cl := im.Clone()
+		return im.Equal(cl) && im.Checksum() == cl.Checksum()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

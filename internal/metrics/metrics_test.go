@@ -1,0 +1,134 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestGmean(t *testing.T) {
+	if g := Gmean([]float64{2, 8}); math.Abs(g-4) > 1e-9 {
+		t.Errorf("Gmean(2,8) = %f, want 4", g)
+	}
+	if g := Gmean([]float64{5}); math.Abs(g-5) > 1e-9 {
+		t.Errorf("Gmean(5) = %f, want 5", g)
+	}
+	if g := Gmean(nil); g != 0 {
+		t.Errorf("Gmean(nil) = %f, want 0", g)
+	}
+	if g := Gmean([]float64{1, 0}); g != 0 {
+		t.Errorf("Gmean with zero = %f, want 0", g)
+	}
+}
+
+func TestGmeanScaleInvariance(t *testing.T) {
+	f := func(a, b uint8) bool {
+		x, y := float64(a)+1, float64(b)+1
+		g := Gmean([]float64{x, y})
+		g2 := Gmean([]float64{2 * x, 2 * y})
+		return math.Abs(g2-2*g) < 1e-9*g2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	if s := Speedup(100, 25); s != 4 {
+		t.Errorf("Speedup = %f, want 4", s)
+	}
+	if s := Speedup(100, 0); s != 0 {
+		t.Errorf("Speedup by zero = %f, want 0", s)
+	}
+}
+
+func TestCDF(t *testing.T) {
+	hist := map[int]int64{1: 5, 10: 3, 100: 2}
+	xs, ys := CDF(hist)
+	if len(xs) != 3 || xs[0] != 1 || xs[2] != 100 {
+		t.Fatalf("xs = %v", xs)
+	}
+	if math.Abs(ys[0]-0.5) > 1e-9 || math.Abs(ys[2]-1.0) > 1e-9 {
+		t.Errorf("ys = %v", ys)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	hist := map[int]int64{1: 50, 8: 40, 64: 10}
+	if q := Quantile(hist, 0.5); q != 1 {
+		t.Errorf("p50 = %d, want 1", q)
+	}
+	if q := Quantile(hist, 0.9); q != 8 {
+		t.Errorf("p90 = %d, want 8", q)
+	}
+	if q := Quantile(hist, 1.0); q != 64 {
+		t.Errorf("p100 = %d, want 64", q)
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	tb := &Table{Headers: []string{"app", "cycles"}}
+	tb.Add("dmv", "123")
+	tb.Add("spmspm", "7")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if len(lines[2]) == 0 || len(lines[3]) == 0 || lines[2][:6] != "dmv   " {
+		t.Errorf("misaligned:\n%s", out)
+	}
+}
+
+func TestRenderTraces(t *testing.T) {
+	series := []Series{
+		{Name: "tyr", Points: []TracePoint{{0, 1}, {50, 100}, {100, 10}}},
+		{Name: "unordered", Points: []TracePoint{{0, 1}, {40, 100000}, {80, 1}}},
+	}
+	out := RenderTraces("fig2", series, 60, 10)
+	if !strings.Contains(out, "t=tyr") || !strings.Contains(out, "u=unordered") {
+		t.Errorf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "t") || !strings.Contains(out, "u") {
+		t.Errorf("markers missing:\n%s", out)
+	}
+	if empty := RenderTraces("x", nil, 40, 8); !strings.Contains(empty, "no data") {
+		t.Errorf("empty render = %q", empty)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	cases := map[int64]string{
+		5:             "5",
+		9999:          "9999",
+		12345:         "12.3K",
+		4_500_000:     "4.5M",
+		45_000_000:    "45.0M",
+		2_500_000_000: "2.5G",
+	}
+	for v, want := range cases {
+		if got := FormatCount(v); got != want {
+			t.Errorf("FormatCount(%d) = %q, want %q", v, got, want)
+		}
+	}
+	if got := FormatRatio(123.4); got != "123x" {
+		t.Errorf("FormatRatio(123.4) = %q", got)
+	}
+	if got := FormatRatio(12.34); got != "12.3x" {
+		t.Errorf("FormatRatio(12.34) = %q", got)
+	}
+	if got := FormatRatio(1.234); got != "1.23x" {
+		t.Errorf("FormatRatio(1.234) = %q", got)
+	}
+}
+
+func TestRunStatsIPC(t *testing.T) {
+	r := RunStats{Cycles: 10, Fired: 40}
+	if r.IPC() != 4 {
+		t.Errorf("IPC = %f", r.IPC())
+	}
+	if (RunStats{}).IPC() != 0 {
+		t.Error("zero-cycle IPC should be 0")
+	}
+}

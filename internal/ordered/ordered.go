@@ -1,0 +1,492 @@
+// Package ordered implements the ordered-dataflow baseline: a cycle-level
+// machine in which instructions communicate through bounded FIFO queues
+// (RipTide-style; Sec. II-C of the paper).
+//
+// Token synchronization is positional: the i-th token on every edge belongs
+// to the i-th dynamic instance of the consumer, so no tags exist. Each
+// static instruction fires at most once per cycle (same-instruction
+// instances are serialized through its queues — the property that costs
+// ordered dataflow its cross-iteration parallelism), requires all of its
+// input queues non-empty, and stalls on backpressure when any destination
+// queue is full. Queue capacity (default 4 tokens, the paper's setting)
+// bounds live state.
+package ordered
+
+import (
+	"fmt"
+
+	"repro/internal/dfg"
+	"repro/internal/mem"
+)
+
+// Config parameterizes a run.
+type Config struct {
+	// IssueWidth caps node firings per cycle (paper default: 128).
+	IssueWidth int
+	// QueueCap is the per-edge FIFO capacity (paper default: 4).
+	QueueCap int
+	// LoadLatency is the cycles a load takes to return (0 or 1 = the
+	// paper's single-cycle memory).
+	LoadLatency int
+	// MaxCycles aborts runaway simulations.
+	MaxCycles int64
+	// TracePoints caps the live-state trace (0 = default, negative = off).
+	TracePoints int
+}
+
+const (
+	defaultIssueWidth  = 128
+	defaultQueueCap    = 4
+	defaultMaxCycles   = int64(1) << 34
+	defaultTracePoints = 4096
+)
+
+func (c Config) withDefaults() Config {
+	if c.IssueWidth == 0 {
+		c.IssueWidth = defaultIssueWidth
+	}
+	if c.QueueCap == 0 {
+		c.QueueCap = defaultQueueCap
+	}
+	if c.MaxCycles == 0 {
+		c.MaxCycles = defaultMaxCycles
+	}
+	if c.TracePoints == 0 {
+		c.TracePoints = defaultTracePoints
+	}
+	return c
+}
+
+// StatePoint is one sample of the live-token trace.
+type StatePoint struct {
+	Cycle int64
+	Live  int64
+}
+
+// Result reports one run.
+type Result struct {
+	Completed   bool
+	Cycles      int64
+	Fired       int64
+	ResultValue int64
+	PeakLive    int64
+	MeanLive    float64
+	IPCHist     map[int]int64
+	Trace       []StatePoint
+	TraceStride int64
+}
+
+// IPC returns mean instructions per cycle.
+func (r Result) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Fired) / float64(r.Cycles)
+}
+
+// fifo is a simple queue of token values.
+type fifo struct {
+	buf  []int64
+	head int
+}
+
+func (f *fifo) len() int     { return len(f.buf) - f.head }
+func (f *fifo) peek() int64  { return f.buf[f.head] }
+func (f *fifo) push(v int64) { f.buf = append(f.buf, v) }
+func (f *fifo) empty() bool  { return f.head >= len(f.buf) }
+func (f *fifo) pop() int64 {
+	v := f.buf[f.head]
+	f.head++
+	if f.head > 64 && f.head*2 >= len(f.buf) {
+		f.buf = append(f.buf[:0], f.buf[f.head:]...)
+		f.head = 0
+	}
+	return v
+}
+
+type push struct {
+	to  dfg.Port
+	val int64
+}
+
+type machine struct {
+	g   *dfg.Graph
+	im  *mem.Image
+	cfg Config
+
+	queues  [][]fifo // per node, per input port
+	memIdx  []int    // graph region -> image region
+	staged  []push
+	stagedN map[dfg.Port]int // pushes staged this cycle, for space checks
+
+	// delayed holds load results completing in future cycles; inFlight
+	// counts them per destination port so backpressure accounts for
+	// memory responses that have not landed yet.
+	delayed      map[int64][]push
+	delayedCount int
+	inFlight     map[dfg.Port]int
+
+	// producersOf[node] lists nodes whose outputs feed node's inputs, so
+	// freed queue space can re-arm them.
+	producersOf [][]dfg.NodeID
+
+	dirty     map[dfg.NodeID]bool
+	nextDirty map[dfg.NodeID]bool
+
+	live     int64
+	cycle    int64
+	fired    int64
+	sumLive  int64
+	peakLive int64
+	ipcHist  map[int]int64
+
+	trace       []StatePoint
+	traceStride int64
+
+	resultSeen bool
+	resultVal  int64
+}
+
+// Run executes an ordered (ModeOrdered) graph against the memory image.
+func Run(g *dfg.Graph, im *mem.Image, cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	if cfg.QueueCap < 2 {
+		return Result{}, fmt.Errorf("ordered: queue capacity must be at least 2 (got %d)", cfg.QueueCap)
+	}
+	m := &machine{
+		g:         g,
+		im:        im,
+		cfg:       cfg,
+		queues:    make([][]fifo, len(g.Nodes)),
+		stagedN:   make(map[dfg.Port]int),
+		dirty:     make(map[dfg.NodeID]bool),
+		nextDirty: make(map[dfg.NodeID]bool),
+		delayed:   make(map[int64][]push),
+		inFlight:  make(map[dfg.Port]int),
+		ipcHist:   make(map[int]int64),
+	}
+	if cfg.TracePoints > 0 {
+		m.traceStride = 1
+	}
+	m.memIdx = make([]int, len(g.MemNames))
+	for i, name := range g.MemNames {
+		idx, ok := im.Index(name)
+		if !ok {
+			return Result{}, fmt.Errorf("ordered: memory image missing region %q", name)
+		}
+		m.memIdx[i] = idx
+	}
+	producers := make([]map[dfg.NodeID]bool, len(g.Nodes))
+	for i := range g.Nodes {
+		m.queues[i] = make([]fifo, g.Nodes[i].NIn)
+	}
+	for i := range g.Nodes {
+		for _, dests := range g.Nodes[i].Outs {
+			for _, d := range dests {
+				if producers[d.Node] == nil {
+					producers[d.Node] = make(map[dfg.NodeID]bool)
+				}
+				producers[d.Node][g.Nodes[i].ID] = true
+			}
+		}
+	}
+	m.producersOf = make([][]dfg.NodeID, len(g.Nodes))
+	for i, set := range producers {
+		for p := range set {
+			m.producersOf[i] = append(m.producersOf[i], p)
+		}
+	}
+	for _, inj := range g.Entries {
+		m.queues[inj.To.Node][inj.To.In].push(inj.Val)
+		m.live++
+		m.dirty[inj.To.Node] = true
+	}
+	return m.run()
+}
+
+// room reports whether every destination of (node, out) can accept a token,
+// counting pushes already staged this cycle.
+func (m *machine) room(n *dfg.Node, out int) bool {
+	for _, d := range n.Outs[out] {
+		if m.queues[d.Node][d.In].len()+m.stagedN[d]+m.inFlight[d] >= m.cfg.QueueCap {
+			return false
+		}
+	}
+	return true
+}
+
+// ready reports whether a node can fire this cycle given current queue
+// occupancy and staged pushes.
+func (m *machine) ready(nid dfg.NodeID) bool {
+	n := &m.g.Nodes[nid]
+	qs := m.queues[nid]
+	switch n.Op {
+	case dfg.OpMerge:
+		if qs[0].empty() {
+			return false
+		}
+		sel := 1
+		if qs[0].peek() != 0 {
+			sel = 2
+		}
+		return !qs[sel].empty() && m.room(n, 0)
+	case dfg.OpSteer:
+		for in := 0; in < n.NIn; in++ {
+			if !n.ConstIn[in].Valid && qs[in].empty() {
+				return false
+			}
+		}
+		dec := n.ConstIn[0].V
+		if !n.ConstIn[0].Valid {
+			dec = qs[0].peek()
+		}
+		out := dfg.SteerFalseOut
+		if dec != 0 {
+			out = dfg.SteerTrueOut
+		}
+		return m.room(n, out)
+	default:
+		for in := 0; in < n.NIn; in++ {
+			if !n.ConstIn[in].Valid && qs[in].empty() {
+				return false
+			}
+		}
+		for out := range n.Outs {
+			if !m.room(n, out) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// input pops the value of an input port (or reads its constant).
+func (m *machine) input(n *dfg.Node, in int) int64 {
+	if n.ConstIn[in].Valid {
+		return n.ConstIn[in].V
+	}
+	m.live--
+	return m.queues[n.ID][in].pop()
+}
+
+// emit stages a token on every destination of an output port.
+func (m *machine) emit(n *dfg.Node, out int, val int64) {
+	for _, d := range n.Outs[out] {
+		m.staged = append(m.staged, push{to: d, val: val})
+		m.stagedN[d]++
+		m.live++
+	}
+}
+
+// fireNode executes one node, popping inputs immediately and staging
+// outputs for delivery at the end of the cycle.
+func (m *machine) fireNode(nid dfg.NodeID) error {
+	n := &m.g.Nodes[nid]
+	m.fired++
+
+	switch n.Op {
+	case dfg.OpMerge:
+		dec := m.input(n, 0)
+		var v int64
+		if dec != 0 {
+			v = m.input(n, 2)
+		} else {
+			v = m.input(n, 1)
+		}
+		m.emit(n, 0, v)
+	case dfg.OpSteer:
+		dec := m.input(n, 0)
+		data := m.input(n, 1)
+		out := dfg.SteerFalseOut
+		if dec != 0 {
+			out = dfg.SteerTrueOut
+		}
+		m.emit(n, out, data)
+		m.emit(n, dfg.SteerCtrlOut, 0)
+	case dfg.OpBin:
+		a, b := m.input(n, 0), m.input(n, 1)
+		v, err := dfg.EvalBin(n.Bin, a, b)
+		if err != nil {
+			return fmt.Errorf("ordered: %q: %w", n.Label, err)
+		}
+		m.emit(n, 0, v)
+	case dfg.OpSelect:
+		c, t, f := m.input(n, 0), m.input(n, 1), m.input(n, 2)
+		v := f
+		if c != 0 {
+			v = t
+		}
+		m.emit(n, 0, v)
+	case dfg.OpLoad:
+		addr := m.input(n, 0)
+		if n.NIn == 2 {
+			m.input(n, 1) // ordering token
+		}
+		v, err := m.im.Load(m.memIdx[n.Region], addr)
+		if err != nil {
+			return fmt.Errorf("ordered: %q: %w", n.Label, err)
+		}
+		if m.cfg.LoadLatency > 1 {
+			due := m.cycle + int64(m.cfg.LoadLatency)
+			for _, d := range n.Outs[dfg.LoadValOut] {
+				m.delayed[due] = append(m.delayed[due], push{to: d, val: v})
+				m.delayedCount++
+				m.inFlight[d]++
+				m.live++
+			}
+		} else {
+			m.emit(n, dfg.LoadValOut, v)
+		}
+	case dfg.OpStore:
+		addr := m.input(n, 0)
+		val := m.input(n, 1)
+		if n.NIn == 3 {
+			m.input(n, 2) // ordering token
+		}
+		if err := m.im.Store(m.memIdx[n.Region], addr, val); err != nil {
+			return fmt.Errorf("ordered: %q: %w", n.Label, err)
+		}
+		m.emit(n, dfg.StoreCtrlOut, 0)
+	case dfg.OpForward, dfg.OpJoin:
+		vals := make([]int64, n.NIn)
+		for in := 0; in < n.NIn; in++ {
+			vals[in] = m.input(n, in)
+		}
+		if nid == m.g.Result {
+			m.resultSeen = true
+			m.resultVal = vals[0]
+		}
+		m.emit(n, 0, vals[0])
+	case dfg.OpGate:
+		m.input(n, 0)
+		v := m.input(n, 1)
+		m.emit(n, 0, v)
+	default:
+		return fmt.Errorf("ordered: op %s not executable on the FIFO machine (lowering bug)", n.Op)
+	}
+
+	// Re-arm: this node (more queued inputs), consumers (new data), and
+	// producers into the queues we just drained (freed space).
+	m.nextDirty[nid] = true
+	for _, dests := range n.Outs {
+		for _, d := range dests {
+			m.nextDirty[d.Node] = true
+		}
+	}
+	for _, p := range m.producersOf[nid] {
+		m.nextDirty[p] = true
+	}
+	return nil
+}
+
+func (m *machine) run() (Result, error) {
+	for {
+		if len(m.dirty) == 0 && m.delayedCount == 0 {
+			break
+		}
+		if due := m.delayed[m.cycle]; len(due) > 0 {
+			delete(m.delayed, m.cycle)
+			m.delayedCount -= len(due)
+			for _, p := range due {
+				m.queues[p.to.Node][p.to.In].push(p.val)
+				m.inFlight[p.to]--
+				m.dirty[p.to.Node] = true
+			}
+		}
+		if m.cycle >= m.cfg.MaxCycles {
+			return Result{}, fmt.Errorf("ordered: exceeded MaxCycles=%d", m.cfg.MaxCycles)
+		}
+
+		// Deterministic candidate order.
+		var candidates []dfg.NodeID
+		for nid := range m.dirty {
+			candidates = append(candidates, nid)
+		}
+		sortNodeIDs(candidates)
+
+		budget := m.cfg.IssueWidth
+		firedThisCycle := 0
+		for _, nid := range candidates {
+			if budget == 0 {
+				m.nextDirty[nid] = true // retry next cycle
+				continue
+			}
+			if !m.ready(nid) {
+				continue
+			}
+			if err := m.fireNode(nid); err != nil {
+				return Result{}, err
+			}
+			budget--
+			firedThisCycle++
+		}
+
+		// Deliver staged tokens.
+		for _, p := range m.staged {
+			m.queues[p.to.Node][p.to.In].push(p.val)
+			m.nextDirty[p.to.Node] = true
+		}
+		m.staged = m.staged[:0]
+		for k := range m.stagedN {
+			delete(m.stagedN, k)
+		}
+
+		m.dirty, m.nextDirty = m.nextDirty, m.dirty
+		for k := range m.nextDirty {
+			delete(m.nextDirty, k)
+		}
+
+		m.cycle++
+		m.ipcHist[firedThisCycle]++
+		m.sumLive += m.live
+		if m.live > m.peakLive {
+			m.peakLive = m.live
+		}
+		m.samplePoint()
+	}
+
+	res := Result{
+		Completed:   m.resultSeen,
+		Cycles:      m.cycle,
+		Fired:       m.fired,
+		ResultValue: m.resultVal,
+		PeakLive:    m.peakLive,
+		IPCHist:     m.ipcHist,
+		Trace:       m.trace,
+		TraceStride: m.traceStride,
+	}
+	if m.cycle > 0 {
+		res.MeanLive = float64(m.sumLive) / float64(m.cycle)
+	}
+	if !m.resultSeen {
+		return res, fmt.Errorf("ordered: machine quiesced without producing a result (%d tokens queued)", m.live)
+	}
+	return res, nil
+}
+
+func (m *machine) samplePoint() {
+	if m.cfg.TracePoints <= 0 {
+		return
+	}
+	if m.cycle%m.traceStride != 0 {
+		return
+	}
+	m.trace = append(m.trace, StatePoint{Cycle: m.cycle, Live: m.live})
+	if len(m.trace) >= m.cfg.TracePoints {
+		kept := m.trace[:0]
+		for i := 0; i < len(m.trace); i += 2 {
+			kept = append(kept, m.trace[i])
+		}
+		m.trace = kept
+		m.traceStride *= 2
+	}
+}
+
+func sortNodeIDs(ids []dfg.NodeID) {
+	// Insertion sort: candidate sets are small and mostly ordered.
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}

@@ -1,0 +1,193 @@
+package ordered
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/compile"
+	"repro/internal/dfg"
+	"repro/internal/mem"
+	"repro/internal/prog"
+)
+
+func compileSum(t *testing.T, n int64) *dfg.Graph {
+	t.Helper()
+	p := prog.NewProgram("sum", "main")
+	p.AddFunc("main", nil, prog.V("s"),
+		prog.ForRange("L", "i", prog.C(0), prog.C(n), []prog.LoopVar{prog.LV("s", prog.C(0))},
+			prog.Set("s", prog.Add(prog.V("s"), prog.V("i"))),
+		),
+	)
+	g, err := compile.Ordered(p, compile.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestOrderedLoopResult(t *testing.T) {
+	g := compileSum(t, 30)
+	res, err := Run(g, mem.NewImage(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatal("did not complete")
+	}
+	if res.ResultValue != 29*30/2 {
+		t.Errorf("result = %d, want %d", res.ResultValue, 29*30/2)
+	}
+}
+
+func TestOrderedBackpressureBoundsState(t *testing.T) {
+	g := compileSum(t, 200)
+	shallow, err := Run(g, mem.NewImage(), Config{QueueCap: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deep, err := Run(g, mem.NewImage(), Config{QueueCap: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shallow.ResultValue != deep.ResultValue {
+		t.Fatalf("results differ across queue depths: %d vs %d", shallow.ResultValue, deep.ResultValue)
+	}
+	if shallow.PeakLive > deep.PeakLive {
+		t.Errorf("shallower queues (%d peak) should not exceed deeper (%d)", shallow.PeakLive, deep.PeakLive)
+	}
+	// Peak state is bounded by total queue capacity.
+	var cap16 int64
+	for i := range g.Nodes {
+		cap16 += int64(g.Nodes[i].NIn) * 16
+	}
+	if deep.PeakLive > cap16 {
+		t.Errorf("peak %d exceeds total queue capacity %d", deep.PeakLive, cap16)
+	}
+}
+
+func TestOrderedOnePerNodePerCycle(t *testing.T) {
+	// Same-instruction serialization: a loop of n iterations with a
+	// single adder must take at least n cycles.
+	g := compileSum(t, 100)
+	res, err := Run(g, mem.NewImage(), Config{IssueWidth: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles < 100 {
+		t.Errorf("%d cycles for 100 serialized iterations; same-node instances must not overlap", res.Cycles)
+	}
+}
+
+func TestOrderedRejectsTinyQueues(t *testing.T) {
+	g := compileSum(t, 4)
+	if _, err := Run(g, mem.NewImage(), Config{QueueCap: 1}); err == nil ||
+		!strings.Contains(err.Error(), "at least 2") {
+		t.Errorf("want queue-cap error, got %v", err)
+	}
+}
+
+func TestOrderedQuiesceWithoutResultIsError(t *testing.T) {
+	// A graph whose result can never fire: forward with no producer and
+	// no injection on a second node's input.
+	g := dfg.NewGraph("wedge")
+	entry := g.AddNode(dfg.OpForward, 0, 1, "entry")
+	stuck := g.AddNode(dfg.OpBin, 0, 2, "stuck")
+	g.Node(stuck).Bin = dfg.BinAdd
+	res := g.AddNode(dfg.OpForward, 0, 1, "result")
+	g.Connect(entry, 0, stuck, 0) // input 1 never arrives
+	g.Connect(stuck, 0, res, 0)
+	g.Inject(dfg.Port{Node: entry, In: 0}, 7)
+	g.Result = res
+	_, err := Run(g, mem.NewImage(), Config{})
+	if err == nil || !strings.Contains(err.Error(), "quiesced without producing a result") {
+		t.Errorf("want quiesce error, got %v", err)
+	}
+}
+
+func TestOrderedSelfCleaningReactivation(t *testing.T) {
+	// A nested loop re-enters the inner loop once per outer iteration;
+	// the self-cleaning decider scheme must re-arm it every time.
+	p := prog.NewProgram("nest", "main")
+	p.AddFunc("main", nil, prog.V("t"),
+		prog.ForRange("o", "i", prog.C(0), prog.C(8), []prog.LoopVar{prog.LV("t", prog.C(0))},
+			prog.ForRange("in", "j", prog.C(0), prog.C(5), []prog.LoopVar{prog.LV("t", prog.V("t"))},
+				prog.Set("t", prog.Add(prog.V("t"), prog.C(1))),
+			),
+		),
+	)
+	g, err := compile.Ordered(p, compile.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(g, mem.NewImage(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ResultValue != 40 {
+		t.Errorf("result = %d, want 40", res.ResultValue)
+	}
+}
+
+func TestOrderedZeroTripActivations(t *testing.T) {
+	// Inner loop with data-dependent trip counts including zero; the
+	// decider residue must stay consistent across activations.
+	p := prog.NewProgram("ragged", "main")
+	p.DeclareMem("lens", 6)
+	p.AddFunc("main", nil, prog.V("t"),
+		prog.ForRange("o", "i", prog.C(0), prog.C(6), []prog.LoopVar{prog.LV("t", prog.C(0))},
+			prog.LetS("n", prog.Ld("lens", prog.V("i"))),
+			prog.ForRange("in", "j", prog.C(0), prog.V("n"), []prog.LoopVar{prog.LV("t", prog.V("t"))},
+				prog.Set("t", prog.Add(prog.V("t"), prog.C(1))),
+			),
+		),
+	)
+	g, err := compile.Ordered(p, compile.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	im := mem.NewImage()
+	im.AddRegion("lens", 6)
+	im.SetRegion("lens", []int64{0, 3, 0, 0, 5, 2})
+	res, err := Run(g, im, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ResultValue != 10 {
+		t.Errorf("result = %d, want 10", res.ResultValue)
+	}
+}
+
+func TestOrderedDeterminism(t *testing.T) {
+	g := compileSum(t, 50)
+	var prev Result
+	for i := 0; i < 3; i++ {
+		res, err := Run(g, mem.NewImage(), Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && (res.Cycles != prev.Cycles || res.Fired != prev.Fired) {
+			t.Fatalf("nondeterministic: %+v vs %+v", res, prev)
+		}
+		prev = res
+	}
+}
+
+func TestOrderedIssueWidthCap(t *testing.T) {
+	g := compileSum(t, 100)
+	res, err := Run(g, mem.NewImage(), Config{IssueWidth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ipc := range res.IPCHist {
+		if ipc > 2 {
+			t.Errorf("cycle fired %d > issue width 2", ipc)
+		}
+	}
+	wide, err := Run(g, mem.NewImage(), Config{IssueWidth: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wide.Cycles > res.Cycles {
+		t.Errorf("wider issue slower: %d vs %d", wide.Cycles, res.Cycles)
+	}
+}

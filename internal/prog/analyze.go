@@ -1,0 +1,270 @@
+package prog
+
+import "sort"
+
+// Analyses shared by the compiler lowerings. All results are returned in
+// sorted order so compilation is deterministic.
+
+// ReadSet returns the names of variables read by the statements and extra
+// expressions that are NOT bound locally within them (i.e., values that
+// must flow in from an enclosing scope). bound seeds the local set (e.g., a
+// loop's carried variables).
+func ReadSet(stmts []Stmt, exprs []Expr, bound []string) []string {
+	a := &varAnalysis{
+		local: make(map[string]bool, len(bound)),
+		reads: make(map[string]bool),
+	}
+	for _, b := range bound {
+		a.local[b] = true
+	}
+	for _, e := range exprs {
+		a.expr(e)
+	}
+	a.stmts(stmts)
+	return sorted(a.reads)
+}
+
+// WriteSet returns the names of variables that the statements rebind which
+// are NOT bound locally within them: Assign targets and the merge-outs of
+// nested loops' carried variables. These are the names that need phi-style
+// merging when the statements form a conditional branch.
+func WriteSet(stmts []Stmt, bound []string) []string {
+	a := &varAnalysis{
+		local:  make(map[string]bool, len(bound)),
+		reads:  make(map[string]bool),
+		writes: make(map[string]bool),
+	}
+	for _, b := range bound {
+		a.local[b] = true
+	}
+	a.stmts(stmts)
+	return sorted(a.writes)
+}
+
+type varAnalysis struct {
+	local  map[string]bool
+	reads  map[string]bool
+	writes map[string]bool
+}
+
+func (a *varAnalysis) child() *varAnalysis {
+	c := &varAnalysis{
+		local:  make(map[string]bool, len(a.local)),
+		reads:  a.reads,
+		writes: a.writes,
+	}
+	for k := range a.local {
+		c.local[k] = true
+	}
+	return c
+}
+
+func (a *varAnalysis) stmts(stmts []Stmt) {
+	for _, s := range stmts {
+		a.stmt(s)
+	}
+}
+
+func (a *varAnalysis) stmt(s Stmt) {
+	switch st := s.(type) {
+	case Let:
+		a.expr(st.E)
+		a.local[st.Name] = true
+	case Assign:
+		a.expr(st.E)
+		a.write(st.Name)
+	case StoreStmt:
+		a.expr(st.Addr)
+		a.expr(st.Val)
+	case If:
+		a.expr(st.Cond)
+		// Branch-local Lets die at branch end, but Assigns escape; use
+		// child scopes for locals while sharing read/write accumulation.
+		a.child().stmts(st.Then)
+		a.child().stmts(st.Else)
+	case While:
+		for _, v := range st.Vars {
+			a.expr(v.Init)
+		}
+		inner := a.child()
+		for _, v := range st.Vars {
+			inner.local[v.Name] = true
+		}
+		inner.expr(st.Cond)
+		inner.stmts(st.Body)
+		// Merge-out: carried vars rebind enclosing bindings (or declare
+		// fresh ones, which become local here).
+		for _, v := range st.Vars {
+			a.write(v.Name)
+			a.local[v.Name] = true
+		}
+	case ExprStmt:
+		a.expr(st.E)
+	}
+}
+
+func (a *varAnalysis) write(name string) {
+	if a.local[name] {
+		return
+	}
+	if a.writes != nil {
+		a.writes[name] = true
+	}
+	// A write to an outer variable also implies the value flows onward;
+	// reads tracking is only about values needed from outside, which a
+	// plain overwrite does not need, so do not mark a read here.
+}
+
+func (a *varAnalysis) expr(e Expr) {
+	switch ex := e.(type) {
+	case Const:
+	case Var:
+		if !a.local[ex.Name] {
+			a.reads[ex.Name] = true
+		}
+	case Bin:
+		a.expr(ex.A)
+		a.expr(ex.B)
+	case Select:
+		a.expr(ex.Cond)
+		a.expr(ex.Then)
+		a.expr(ex.Else)
+	case Load:
+		a.expr(ex.Addr)
+	case Call:
+		for _, arg := range ex.Args {
+			a.expr(arg)
+		}
+	}
+}
+
+// ClassSet returns the memory-ordering classes touched directly by the
+// statements and expressions (not descending through calls).
+func ClassSet(stmts []Stmt, exprs []Expr) []string {
+	set := make(map[string]bool)
+	var walkExpr func(Expr)
+	walkExpr = func(e Expr) {
+		switch ex := e.(type) {
+		case Bin:
+			walkExpr(ex.A)
+			walkExpr(ex.B)
+		case Select:
+			walkExpr(ex.Cond)
+			walkExpr(ex.Then)
+			walkExpr(ex.Else)
+		case Load:
+			if ex.Class != "" {
+				set[ex.Class] = true
+			}
+			walkExpr(ex.Addr)
+		case Call:
+			for _, a := range ex.Args {
+				walkExpr(a)
+			}
+		}
+	}
+	var walkStmts func([]Stmt)
+	walkStmts = func(ss []Stmt) {
+		for _, s := range ss {
+			switch st := s.(type) {
+			case Let:
+				walkExpr(st.E)
+			case Assign:
+				walkExpr(st.E)
+			case StoreStmt:
+				if st.Class != "" {
+					set[st.Class] = true
+				}
+				walkExpr(st.Addr)
+				walkExpr(st.Val)
+			case If:
+				walkExpr(st.Cond)
+				walkStmts(st.Then)
+				walkStmts(st.Else)
+			case While:
+				for _, v := range st.Vars {
+					walkExpr(v.Init)
+				}
+				walkExpr(st.Cond)
+				walkStmts(st.Body)
+			case ExprStmt:
+				walkExpr(st.E)
+			}
+		}
+	}
+	walkStmts(stmts)
+	for _, e := range exprs {
+		if e != nil {
+			walkExpr(e)
+		}
+	}
+	return sorted(set)
+}
+
+// FuncClasses computes, for every function, the transitive set of memory
+// ordering classes it may touch (directly or through callees). Functions
+// that touch a class receive and return that class's ordering token when
+// compiled, so callers can thread it correctly.
+func FuncClasses(p *Program) map[string][]string {
+	order, err := CallOrder(p)
+	if err != nil {
+		// Check rejects cyclic programs before compilation; treat this
+		// as empty rather than failing analysis twice.
+		return map[string][]string{}
+	}
+	result := make(map[string][]string, len(p.Funcs))
+	for _, name := range order { // callees first
+		f := p.FindFunc(name)
+		set := make(map[string]bool)
+		for _, cl := range ClassSet(f.Body, []Expr{f.Ret}) {
+			set[cl] = true
+		}
+		callees := make(map[string]bool)
+		collectCalls(f.Body, f.Ret, callees)
+		for callee := range callees {
+			for _, cl := range result[callee] {
+				set[cl] = true
+			}
+		}
+		result[name] = sorted(set)
+	}
+	return result
+}
+
+// CallsIn returns the names of functions called directly within the
+// statements and expressions.
+func CallsIn(stmts []Stmt, exprs []Expr) []string {
+	set := make(map[string]bool)
+	collectCalls(stmts, nil, set)
+	for _, e := range exprs {
+		if e != nil {
+			collectCalls(nil, e, set)
+		}
+	}
+	return sorted(set)
+}
+
+// ClassesTouched returns the memory-ordering classes touched by the
+// statements and expressions, directly or transitively through calls,
+// given the per-function class analysis from FuncClasses.
+func ClassesTouched(stmts []Stmt, exprs []Expr, fc map[string][]string) []string {
+	set := make(map[string]bool)
+	for _, cl := range ClassSet(stmts, exprs) {
+		set[cl] = true
+	}
+	for _, fn := range CallsIn(stmts, exprs) {
+		for _, cl := range fc[fn] {
+			set[cl] = true
+		}
+	}
+	return sorted(set)
+}
+
+func sorted(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

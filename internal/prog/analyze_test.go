@@ -1,0 +1,182 @@
+package prog
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestReadSetBasics(t *testing.T) {
+	stmts := []Stmt{
+		LetS("a", Add(V("x"), C(1))),
+		Set("y", Mul(V("a"), V("z"))),
+	}
+	got := ReadSet(stmts, nil, []string{"y"})
+	want := []string{"x", "z"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("ReadSet = %v, want %v", got, want)
+	}
+}
+
+func TestReadSetLoopShadowing(t *testing.T) {
+	// The inner loop's carried var j is local to it; i and n flow in.
+	w := While{
+		Vars: []LoopVar{LV("j", C(0))},
+		Cond: Lt(V("j"), V("n")),
+		Body: []Stmt{Set("j", Add(V("j"), V("i")))},
+	}
+	got := ReadSet([]Stmt{w}, nil, nil)
+	want := []string{"i", "n"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("ReadSet = %v, want %v", got, want)
+	}
+}
+
+func TestReadSetExtraExprs(t *testing.T) {
+	got := ReadSet(nil, []Expr{Lt(V("i"), V("m"))}, []string{"i"})
+	want := []string{"m"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("ReadSet = %v, want %v", got, want)
+	}
+}
+
+func TestWriteSetAssignAndMergeOut(t *testing.T) {
+	stmts := []Stmt{
+		Set("x", C(1)),
+		LetS("t", C(0)),
+		Set("t", C(2)), // local: not in write set
+		While{Vars: []LoopVar{LV("y", C(0)), LV("k", C(0))},
+			Cond: Lt(V("k"), C(2)),
+			Body: []Stmt{Set("k", Add(V("k"), C(1)))}},
+	}
+	got := WriteSet(stmts, nil)
+	// x assigned, y and k merge out of the nested loop.
+	want := []string{"k", "x", "y"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("WriteSet = %v, want %v", got, want)
+	}
+}
+
+func TestWriteSetBranchLocalsExcluded(t *testing.T) {
+	stmts := []Stmt{
+		IfS(C(1),
+			[]Stmt{LetS("t", C(1)), Set("t", C(2)), Set("x", C(3))},
+			[]Stmt{Set("y", C(4))},
+		),
+	}
+	got := WriteSet(stmts, nil)
+	want := []string{"x", "y"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("WriteSet = %v, want %v", got, want)
+	}
+}
+
+func TestClassSet(t *testing.T) {
+	stmts := []Stmt{
+		StClass("a", C(0), C(1), "acc"),
+		LetS("v", LdClass("b", C(0), "hist")),
+		St("a", C(1), C(2)), // classless: excluded
+	}
+	got := ClassSet(stmts, nil)
+	want := []string{"acc", "hist"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("ClassSet = %v, want %v", got, want)
+	}
+}
+
+func TestFuncClassesTransitive(t *testing.T) {
+	p := NewProgram("classes", "main")
+	p.DeclareMem("a", 4)
+	p.AddFunc("leaf", []string{"i"}, C(0),
+		StClass("a", V("i"), C(1), "acc"))
+	p.AddFunc("mid", []string{"i"}, CallE("leaf", V("i")))
+	p.AddFunc("main", nil, CallE("mid", C(0)))
+	fc := FuncClasses(p)
+	for _, fn := range []string{"leaf", "mid", "main"} {
+		if !reflect.DeepEqual(fc[fn], []string{"acc"}) {
+			t.Errorf("FuncClasses[%s] = %v, want [acc]", fn, fc[fn])
+		}
+	}
+}
+
+func TestInlineEquivalence(t *testing.T) {
+	p := NewProgram("inl", "main")
+	p.DeclareMem("out", 8)
+	p.AddFunc("square", []string{"x"}, Mul(V("x"), V("x")))
+	p.AddFunc("store2", []string{"i"}, C(0),
+		St("out", V("i"), CallE("square", Add(V("i"), C(1)))))
+	p.AddFunc("main", nil, V("acc"),
+		ForRange("L", "i", C(0), C(8), []LoopVar{LV("acc", C(0))},
+			Do(CallE("store2", V("i"))),
+			Set("acc", Add(V("acc"), CallE("square", V("i")))),
+		),
+	)
+	if err := Check(p); err != nil {
+		t.Fatal(err)
+	}
+	inl, err := Inline(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Check(inl); err != nil {
+		t.Fatalf("inlined program fails Check: %v", err)
+	}
+	// Inlined entry has no calls left.
+	calls := make(map[string]bool)
+	f := inl.EntryFunc()
+	collectCalls(f.Body, f.Ret, calls)
+	if len(calls) != 0 {
+		t.Errorf("inlined entry still calls %v", calls)
+	}
+
+	im1, im2 := DefaultImage(p), DefaultImage(inl)
+	r1, err := Run(p, im1, RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(inl, im2, RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Ret != r2.Ret {
+		t.Errorf("ret: original %d, inlined %d", r1.Ret, r2.Ret)
+	}
+	if !im1.Equal(im2) {
+		t.Errorf("memories differ: %v", im1.Diff(im2, 5))
+	}
+}
+
+func TestInlineBranchCalls(t *testing.T) {
+	p := NewProgram("inlbranch", "main")
+	p.AddFunc("inc", []string{"x"}, Add(V("x"), C(1)))
+	p.AddFunc("dec", []string{"x"}, Sub(V("x"), C(1)))
+	p.AddFunc("main", []string{"n"}, V("r"),
+		LetS("r", C(0)),
+		IfS(Gt(V("n"), C(0)),
+			[]Stmt{Set("r", CallE("inc", V("n")))},
+			[]Stmt{Set("r", CallE("dec", V("n")))},
+		),
+	)
+	if err := Check(p); err != nil {
+		t.Fatal(err)
+	}
+	inl, err := Inline(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Check(inl); err != nil {
+		t.Fatalf("inlined fails Check: %v", err)
+	}
+	for _, n := range []int64{-3, 0, 3} {
+		r1, err := Run(p, DefaultImage(p), RunConfig{Args: []int64{n}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := Run(inl, DefaultImage(inl), RunConfig{Args: []int64{n}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r1.Ret != r2.Ret {
+			t.Errorf("n=%d: original %d, inlined %d", n, r1.Ret, r2.Ret)
+		}
+	}
+}

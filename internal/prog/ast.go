@@ -1,0 +1,158 @@
+// Package prog defines the structured intermediate representation that
+// workloads are written in, standing in for the paper's C -> LLVM -> UDIR
+// frontend (see DESIGN.md §5).
+//
+// The IR is a small imperative language: int64 expressions, mutable local
+// variables, loads/stores on named memory regions with optional ordering
+// classes, forward branches (If), arbitrary while loops, and calls through
+// an acyclic call graph. These are exactly the constructs the paper's
+// compiler lowers to dataflow: loops and functions become concurrent
+// blocks, branches become steers, memory ordering becomes explicit token
+// dependencies.
+//
+// The package also provides the reference interpreter (golden semantics and
+// the substrate for the von Neumann and sequential-dataflow cost models),
+// a semantic checker, free-variable/class analyses used by the compiler,
+// and a call inliner used by the ordered-dataflow lowering.
+package prog
+
+import "repro/internal/dfg"
+
+// Program is a complete source program.
+type Program struct {
+	Name  string
+	Funcs []*Func
+	Entry string    // name of the entry function
+	Mems  []MemDecl // declared memory regions
+}
+
+// MemDecl declares a memory region and its default size in words. The size
+// may be overridden per run by the memory image supplied at execution time.
+type MemDecl struct {
+	Name string
+	Size int
+}
+
+// Func is a function with int64 parameters and a single int64 result.
+type Func struct {
+	Name   string
+	Params []string
+	Body   []Stmt
+	Ret    Expr // may be nil, in which case the function returns 0
+}
+
+// Expr is an expression node. Expressions are side-effect free except Call
+// (whose callee may store) and Load (which observes memory).
+type Expr interface{ isExpr() }
+
+// Const is an integer literal.
+type Const struct{ V int64 }
+
+// Var reads a variable.
+type Var struct{ Name string }
+
+// Bin applies a binary operation.
+type Bin struct {
+	Op   dfg.BinKind
+	A, B Expr
+}
+
+// Select evaluates both arms eagerly and yields Then if Cond is nonzero,
+// else Else (a predicated select, not control flow).
+type Select struct{ Cond, Then, Else Expr }
+
+// Load reads Mem[Addr]. A non-empty Class serializes this access against
+// all other accesses in the same ordering class.
+type Load struct {
+	Mem   string
+	Addr  Expr
+	Class string
+}
+
+// Call invokes a function. Recursion (direct or mutual) is rejected by the
+// checker: the paper assumes general recursion has been transformed to tail
+// recursion with an explicit stack (Sec. V), and loops cover tail recursion.
+type Call struct {
+	Fn   string
+	Args []Expr
+}
+
+func (Const) isExpr()  {}
+func (Var) isExpr()    {}
+func (Bin) isExpr()    {}
+func (Select) isExpr() {}
+func (Load) isExpr()   {}
+func (Call) isExpr()   {}
+
+// Stmt is a statement node.
+type Stmt interface{ isStmt() }
+
+// Let introduces a new variable in the current scope.
+type Let struct {
+	Name string
+	E    Expr
+}
+
+// Assign rebinds an existing variable. Assigning across a loop boundary is
+// only legal if the variable is declared loop-carried on that loop.
+type Assign struct {
+	Name string
+	E    Expr
+}
+
+// StoreStmt writes Mem[Addr] = Val, with optional ordering Class.
+type StoreStmt struct {
+	Mem   string
+	Addr  Expr
+	Val   Expr
+	Class string
+}
+
+// If executes Then when Cond is nonzero, else Else. Either branch may be
+// empty.
+type If struct {
+	Cond Expr
+	Then []Stmt
+	Else []Stmt
+}
+
+// LoopVar is a loop-carried variable: initialized on entry, updated by
+// Assign inside the body, and visible with its final value after the loop.
+type LoopVar struct {
+	Name string
+	Init Expr
+}
+
+// While is a general loop and the unit that becomes a concurrent block.
+// Label names the block so experiments can size its tag space individually
+// (the Fig. 18 knob).
+type While struct {
+	Label string
+	Vars  []LoopVar
+	Cond  Expr
+	Body  []Stmt
+}
+
+// ExprStmt evaluates an expression for its side effects and discards the
+// result (e.g., a call to a function that only stores).
+type ExprStmt struct{ E Expr }
+
+func (Let) isStmt()       {}
+func (Assign) isStmt()    {}
+func (StoreStmt) isStmt() {}
+func (If) isStmt()        {}
+func (While) isStmt()     {}
+func (ExprStmt) isStmt()  {}
+
+// FindFunc returns the function with the given name, or nil.
+func (p *Program) FindFunc(name string) *Func {
+	for _, f := range p.Funcs {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// EntryFunc returns the entry function, or nil if missing.
+func (p *Program) EntryFunc() *Func { return p.FindFunc(p.Entry) }

@@ -1,0 +1,113 @@
+package prog
+
+import "repro/internal/dfg"
+
+// Builder helpers: thin constructors that make workload definitions read
+// close to the paper's pseudocode. All return AST values; no validation
+// happens until Check.
+
+// C makes an integer literal.
+func C(v int64) Expr { return Const{V: v} }
+
+// V reads a variable.
+func V(name string) Expr { return Var{Name: name} }
+
+// B applies a binary operation.
+func B(op dfg.BinKind, a, b Expr) Expr { return Bin{Op: op, A: a, B: b} }
+
+// Convenience arithmetic and comparisons.
+func Add(a, b Expr) Expr { return B(dfg.BinAdd, a, b) }
+func Sub(a, b Expr) Expr { return B(dfg.BinSub, a, b) }
+func Mul(a, b Expr) Expr { return B(dfg.BinMul, a, b) }
+func Div(a, b Expr) Expr { return B(dfg.BinDiv, a, b) }
+func Rem(a, b Expr) Expr { return B(dfg.BinRem, a, b) }
+func And(a, b Expr) Expr { return B(dfg.BinAnd, a, b) }
+func Or(a, b Expr) Expr  { return B(dfg.BinOr, a, b) }
+func Xor(a, b Expr) Expr { return B(dfg.BinXor, a, b) }
+func Shl(a, b Expr) Expr { return B(dfg.BinShl, a, b) }
+func Shr(a, b Expr) Expr { return B(dfg.BinShr, a, b) }
+func Lt(a, b Expr) Expr  { return B(dfg.BinLt, a, b) }
+func Le(a, b Expr) Expr  { return B(dfg.BinLe, a, b) }
+func Gt(a, b Expr) Expr  { return B(dfg.BinGt, a, b) }
+func Ge(a, b Expr) Expr  { return B(dfg.BinGe, a, b) }
+func Eq(a, b Expr) Expr  { return B(dfg.BinEq, a, b) }
+func Ne(a, b Expr) Expr  { return B(dfg.BinNe, a, b) }
+func Min(a, b Expr) Expr { return B(dfg.BinMin, a, b) }
+func Max(a, b Expr) Expr { return B(dfg.BinMax, a, b) }
+
+// Not yields 1 when e is zero, else 0.
+func Not(e Expr) Expr { return Eq(e, C(0)) }
+
+// Sel is the eager predicated select.
+func Sel(cond, then, els Expr) Expr { return Select{Cond: cond, Then: then, Else: els} }
+
+// Ld reads mem[addr] with no ordering constraints.
+func Ld(mem string, addr Expr) Expr { return Load{Mem: mem, Addr: addr} }
+
+// LdClass reads mem[addr] within an ordering class.
+func LdClass(mem string, addr Expr, class string) Expr {
+	return Load{Mem: mem, Addr: addr, Class: class}
+}
+
+// CallE builds a call expression.
+func CallE(fn string, args ...Expr) Expr { return Call{Fn: fn, Args: args} }
+
+// LetS introduces a variable.
+func LetS(name string, e Expr) Stmt { return Let{Name: name, E: e} }
+
+// Set rebinds a variable.
+func Set(name string, e Expr) Stmt { return Assign{Name: name, E: e} }
+
+// St writes mem[addr] = val with no ordering constraints.
+func St(mem string, addr, val Expr) Stmt { return StoreStmt{Mem: mem, Addr: addr, Val: val} }
+
+// StClass writes mem[addr] = val within an ordering class.
+func StClass(mem string, addr, val Expr, class string) Stmt {
+	return StoreStmt{Mem: mem, Addr: addr, Val: val, Class: class}
+}
+
+// IfS builds a two-armed branch.
+func IfS(cond Expr, then []Stmt, els []Stmt) Stmt { return If{Cond: cond, Then: then, Else: els} }
+
+// When builds a one-armed branch.
+func When(cond Expr, then ...Stmt) Stmt { return If{Cond: cond, Then: then} }
+
+// Do evaluates an expression for side effects.
+func Do(e Expr) Stmt { return ExprStmt{E: e} }
+
+// Loop builds a general while loop with explicit carried variables.
+func Loop(label string, vars []LoopVar, cond Expr, body ...Stmt) Stmt {
+	return While{Label: label, Vars: vars, Cond: cond, Body: body}
+}
+
+// LV declares one loop-carried variable.
+func LV(name string, init Expr) LoopVar { return LoopVar{Name: name, Init: init} }
+
+// ForRange builds the canonical counted loop
+//
+//	for (idx = start; idx < end; idx++) { body }
+//
+// with additional carried variables in extra. The index increment is
+// appended after the body, so body statements observe the current index.
+func ForRange(label, idx string, start, end Expr, extra []LoopVar, body ...Stmt) Stmt {
+	vars := append([]LoopVar{LV(idx, start)}, extra...)
+	b := append(append([]Stmt{}, body...), Set(idx, Add(V(idx), C(1))))
+	return While{Label: label, Vars: vars, Cond: Lt(V(idx), end), Body: b}
+}
+
+// NewProgram allocates an empty program.
+func NewProgram(name, entry string) *Program {
+	return &Program{Name: name, Entry: entry}
+}
+
+// DeclareMem declares a region with a default size.
+func (p *Program) DeclareMem(name string, size int) {
+	p.Mems = append(p.Mems, MemDecl{Name: name, Size: size})
+}
+
+// AddFunc defines a function and returns it.
+func (p *Program) AddFunc(name string, params []string, ret Expr, body ...Stmt) *Func {
+	f := &Func{Name: name, Params: params, Body: body, Ret: ret}
+	p.Funcs = append(p.Funcs, f)
+	return f
+}

@@ -1,0 +1,61 @@
+package prog_test
+
+import (
+	"fmt"
+
+	"repro/internal/prog"
+)
+
+// ExampleParse shows the IR's concrete syntax: parse a source program and
+// run it on the reference interpreter.
+func ExampleParse() {
+	p, err := prog.Parse(`program "squares" entry main
+mem out[8]
+
+func main() {
+  loop "L" carry (i = 0, acc = 0) while i < 8 {
+    store out[i] = i * i
+    acc = acc + i * i
+    i = i + 1
+  }
+  return acc
+}
+`)
+	if err != nil {
+		panic(err)
+	}
+	if err := prog.Check(p); err != nil {
+		panic(err)
+	}
+	im := prog.DefaultImage(p)
+	res, err := prog.Run(p, im, prog.RunConfig{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("sum of squares:", res.Ret)
+	fmt.Println("out[7]:", im.WordsByName("out")[7])
+	// Output:
+	// sum of squares: 140
+	// out[7]: 49
+}
+
+// ExampleOptimize shows the optimizer removing dead code and folding
+// constants while preserving semantics.
+func ExampleOptimize() {
+	p, _ := prog.Parse(`program "opt" entry main
+func main() {
+  let dead = 6 * 7
+  let live = 2 + 3
+  return live * 1
+}
+`)
+	o := prog.Optimize(p)
+	fmt.Print(prog.Format(o))
+	// Output:
+	// program "opt" entry main
+	//
+	// func main() {
+	//   let live = 5
+	//   return live
+	// }
+}

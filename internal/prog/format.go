@@ -1,0 +1,173 @@
+package prog
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/dfg"
+)
+
+// Format renders a program in the IR's concrete syntax (see Parse for the
+// grammar). Format and Parse round-trip: Parse(Format(p)) reproduces p.
+//
+//	program "dmv" entry main
+//
+//	mem A[64]
+//
+//	func main() {
+//	  loop "L" carry (i = 0, sum = 0) while i < 10 {
+//	    sum = sum + A[i]
+//	    i = i + 1
+//	  }
+//	  return sum
+//	}
+func Format(p *Program) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "program %q entry %s\n", p.Name, p.Entry)
+	for _, m := range p.Mems {
+		fmt.Fprintf(&b, "mem %s[%d]\n", m.Name, m.Size)
+	}
+	for _, f := range p.Funcs {
+		fmt.Fprintf(&b, "\nfunc %s(%s) {\n", f.Name, strings.Join(f.Params, ", "))
+		formatStmts(&b, f.Body, 1)
+		if f.Ret != nil {
+			fmt.Fprintf(&b, "  return %s\n", formatExpr(f.Ret, 0))
+		}
+		b.WriteString("}\n")
+	}
+	return b.String()
+}
+
+func indent(b *strings.Builder, depth int) {
+	for i := 0; i < depth; i++ {
+		b.WriteString("  ")
+	}
+}
+
+func formatStmts(b *strings.Builder, stmts []Stmt, depth int) {
+	for _, s := range stmts {
+		formatStmt(b, s, depth)
+	}
+}
+
+func formatStmt(b *strings.Builder, s Stmt, depth int) {
+	indent(b, depth)
+	switch st := s.(type) {
+	case Let:
+		fmt.Fprintf(b, "let %s = %s\n", st.Name, formatExpr(st.E, 0))
+	case Assign:
+		fmt.Fprintf(b, "%s = %s\n", st.Name, formatExpr(st.E, 0))
+	case StoreStmt:
+		// The class rides on the keyword: a trailing "@class" would be
+		// ambiguous when the value expression ends in a classed load.
+		b.WriteString("store")
+		if st.Class != "" {
+			fmt.Fprintf(b, "@%s", st.Class)
+		}
+		fmt.Fprintf(b, " %s[%s] = %s\n", st.Mem, formatExpr(st.Addr, 0), formatExpr(st.Val, 0))
+	case If:
+		fmt.Fprintf(b, "if %s {\n", formatExpr(st.Cond, 0))
+		formatStmts(b, st.Then, depth+1)
+		if len(st.Else) > 0 {
+			indent(b, depth)
+			b.WriteString("} else {\n")
+			formatStmts(b, st.Else, depth+1)
+		}
+		indent(b, depth)
+		b.WriteString("}\n")
+	case While:
+		b.WriteString("loop ")
+		if st.Label != "" {
+			fmt.Fprintf(b, "%q ", st.Label)
+		}
+		b.WriteString("carry (")
+		for i, v := range st.Vars {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(b, "%s = %s", v.Name, formatExpr(v.Init, 0))
+		}
+		fmt.Fprintf(b, ") while %s {\n", formatExpr(st.Cond, 0))
+		formatStmts(b, st.Body, depth+1)
+		indent(b, depth)
+		b.WriteString("}\n")
+	case ExprStmt:
+		fmt.Fprintf(b, "do %s\n", formatExpr(st.E, 0))
+	default:
+		fmt.Fprintf(b, "/* unknown statement %T */\n", s)
+	}
+}
+
+// binPrec gives each printable binary operator a precedence level; higher
+// binds tighter. Min/max print as builtin calls instead.
+func binPrec(op dfg.BinKind) int {
+	switch op {
+	case dfg.BinOr:
+		return 1
+	case dfg.BinXor:
+		return 2
+	case dfg.BinAnd:
+		return 3
+	case dfg.BinEq, dfg.BinNe:
+		return 4
+	case dfg.BinLt, dfg.BinLe, dfg.BinGt, dfg.BinGe:
+		return 5
+	case dfg.BinShl, dfg.BinShr:
+		return 6
+	case dfg.BinAdd, dfg.BinSub:
+		return 7
+	case dfg.BinMul, dfg.BinDiv, dfg.BinRem:
+		return 8
+	default:
+		return 0 // min/max: call syntax
+	}
+}
+
+// formatExpr renders an expression, parenthesizing when the context binds
+// tighter than the expression (ctx is the enclosing precedence).
+func formatExpr(e Expr, ctx int) string {
+	switch ex := e.(type) {
+	case Const:
+		if ex.V < 0 {
+			// Wrap negatives so they survive any binary context; the
+			// parser reads them back as literals.
+			return fmt.Sprintf("(%d)", ex.V)
+		}
+		return fmt.Sprintf("%d", ex.V)
+	case Var:
+		return ex.Name
+	case Bin:
+		prec := binPrec(ex.Op)
+		if prec == 0 {
+			name := "min"
+			if ex.Op == dfg.BinMax {
+				name = "max"
+			}
+			return fmt.Sprintf("%s(%s, %s)", name, formatExpr(ex.A, 0), formatExpr(ex.B, 0))
+		}
+		// All binary operators are left-associative: the right operand
+		// parenthesizes at equal precedence.
+		s := fmt.Sprintf("%s %s %s",
+			formatExpr(ex.A, prec), ex.Op, formatExpr(ex.B, prec+1))
+		if prec < ctx {
+			return "(" + s + ")"
+		}
+		return s
+	case Select:
+		return fmt.Sprintf("select(%s, %s, %s)",
+			formatExpr(ex.Cond, 0), formatExpr(ex.Then, 0), formatExpr(ex.Else, 0))
+	case Load:
+		s := fmt.Sprintf("%s[%s]", ex.Mem, formatExpr(ex.Addr, 0))
+		if ex.Class != "" {
+			s += "@" + ex.Class
+		}
+		return s
+	case Call:
+		args := make([]string, len(ex.Args))
+		for i, a := range ex.Args {
+			args[i] = formatExpr(a, 0)
+		}
+		return fmt.Sprintf("%s(%s)", ex.Fn, strings.Join(args, ", "))
+	}
+	return fmt.Sprintf("/*%T*/", e)
+}

@@ -1,0 +1,234 @@
+package prog
+
+import "fmt"
+
+// Inline returns a copy of the program in which every call has been
+// expanded into the caller, leaving a single entry function with no Call
+// expressions. Ordered dataflow requires this: without tags, a shared
+// callee cannot disambiguate interleaved activations from multiple call
+// sites, so (as in real ordered CGRAs such as RipTide) the program is
+// fully inlined before lowering.
+//
+// Inlined variables and loop labels are alpha-renamed with a unique suffix
+// so scoping and label uniqueness are preserved.
+func Inline(p *Program) (*Program, error) {
+	order, err := CallOrder(p)
+	if err != nil {
+		return nil, err
+	}
+	in := &inliner{
+		p:        p,
+		expanded: make(map[string]*Func, len(p.Funcs)),
+	}
+	for _, name := range order { // callees before callers
+		f := p.FindFunc(name)
+		nf := &Func{Name: f.Name, Params: f.Params}
+		nf.Body, nf.Ret = in.stmts(f.Body), nil
+		if f.Ret != nil {
+			pre, e := in.expr(f.Ret)
+			nf.Body = append(nf.Body, pre...)
+			nf.Ret = e
+		}
+		in.expanded[name] = nf
+	}
+	entry := in.expanded[p.Entry]
+	if entry == nil {
+		return nil, fmt.Errorf("prog: inline: missing entry %q", p.Entry)
+	}
+	out := &Program{
+		Name:  p.Name + ".inlined",
+		Funcs: []*Func{entry},
+		Entry: p.Entry,
+		Mems:  append([]MemDecl(nil), p.Mems...),
+	}
+	return out, nil
+}
+
+type inliner struct {
+	p        *Program
+	expanded map[string]*Func
+	fresh    int
+	renames  []map[string]string // active substitution scopes (innermost last)
+}
+
+func (in *inliner) rename(name string) string {
+	r, _ := in.lookupRename(name)
+	return r
+}
+
+func (in *inliner) lookupRename(name string) (string, bool) {
+	for i := len(in.renames) - 1; i >= 0; i-- {
+		if r, ok := in.renames[i][name]; ok {
+			return r, true
+		}
+	}
+	return name, false
+}
+
+func (in *inliner) freshName(base string) string {
+	in.fresh++
+	return fmt.Sprintf("%s$%d", base, in.fresh)
+}
+
+// stmts rewrites statements, hoisting call expansions in front of the
+// statement that contained them.
+func (in *inliner) stmts(stmts []Stmt) []Stmt {
+	var out []Stmt
+	for _, s := range stmts {
+		out = append(out, in.stmt(s)...)
+	}
+	return out
+}
+
+func (in *inliner) stmt(s Stmt) []Stmt {
+	switch st := s.(type) {
+	case Let:
+		pre, e := in.expr(st.E)
+		return append(pre, Let{Name: in.declName(st.Name), E: e})
+	case Assign:
+		pre, e := in.expr(st.E)
+		return append(pre, Assign{Name: in.rename(st.Name), E: e})
+	case StoreStmt:
+		pre, a := in.expr(st.Addr)
+		pre2, v := in.expr(st.Val)
+		return append(append(pre, pre2...), StoreStmt{Mem: st.Mem, Addr: a, Val: v, Class: st.Class})
+	case If:
+		pre, c := in.expr(st.Cond)
+		in.pushScope()
+		then := in.stmts(st.Then)
+		in.popScope()
+		in.pushScope()
+		els := in.stmts(st.Else)
+		in.popScope()
+		return append(pre, If{Cond: c, Then: then, Else: els})
+	case While:
+		return in.while(st)
+	case ExprStmt:
+		pre, e := in.expr(st.E)
+		return append(pre, ExprStmt{E: e})
+	default:
+		panic(fmt.Sprintf("prog: inline: unknown statement %T", s))
+	}
+}
+
+// declName records a declaration in the innermost substitution scope. At
+// the top level (no active inlining scopes), names pass through unchanged.
+func (in *inliner) declName(name string) string {
+	if len(in.renames) == 0 {
+		return name
+	}
+	fresh := in.freshName(name)
+	in.renames[len(in.renames)-1][name] = fresh
+	return fresh
+}
+
+func (in *inliner) pushScope() {
+	if len(in.renames) > 0 {
+		in.renames = append(in.renames, map[string]string{})
+	}
+}
+
+func (in *inliner) popScope() {
+	if len(in.renames) > 0 {
+		in.renames = in.renames[:len(in.renames)-1]
+	}
+}
+
+func (in *inliner) while(w While) []Stmt {
+	var pre []Stmt
+	nw := While{Label: w.Label}
+	if len(in.renames) > 0 && nw.Label != "" {
+		nw.Label = in.freshName(nw.Label)
+	}
+	// Inits are evaluated in the enclosing scope.
+	inits := make([]Expr, len(w.Vars))
+	for i, v := range w.Vars {
+		p, e := in.expr(v.Init)
+		pre = append(pre, p...)
+		inits[i] = e
+	}
+	// Carried variables either rebind an existing binding (merge-out) —
+	// reuse its rename so the rebinding survives the loop — or declare a
+	// fresh name that must stay visible after the loop, so register it in
+	// the enclosing scope, before the loop-body scope opens.
+	for i, v := range w.Vars {
+		name, bound := in.lookupRename(v.Name)
+		if !bound {
+			name = in.declName(v.Name)
+		}
+		nw.Vars = append(nw.Vars, LoopVar{Name: name, Init: inits[i]})
+	}
+	in.pushScope()
+	// A call in the loop condition would have to be re-evaluated every
+	// iteration and cannot be hoisted before the loop. No workload needs
+	// it, so reject it explicitly rather than risk silently wrong code:
+	// bind the call result to a carried variable instead.
+	condPre, cond := in.expr(w.Cond)
+	if len(condPre) > 0 {
+		panic(fmt.Sprintf("prog: inline: calls in loop conditions are not supported (loop %q); bind the call result to a carried variable instead", w.Label))
+	}
+	nw.Cond = cond
+	nw.Body = in.stmts(w.Body)
+	in.popScope()
+	return append(pre, nw)
+}
+
+func (in *inliner) expr(e Expr) ([]Stmt, Expr) {
+	switch ex := e.(type) {
+	case Const:
+		return nil, ex
+	case Var:
+		return nil, Var{Name: in.rename(ex.Name)}
+	case Bin:
+		p1, a := in.expr(ex.A)
+		p2, b := in.expr(ex.B)
+		return append(p1, p2...), Bin{Op: ex.Op, A: a, B: b}
+	case Select:
+		p1, c := in.expr(ex.Cond)
+		p2, t := in.expr(ex.Then)
+		p3, f := in.expr(ex.Else)
+		return append(append(p1, p2...), p3...), Select{Cond: c, Then: t, Else: f}
+	case Load:
+		p, a := in.expr(ex.Addr)
+		return p, Load{Mem: ex.Mem, Addr: a, Class: ex.Class}
+	case Call:
+		return in.call(ex)
+	default:
+		panic(fmt.Sprintf("prog: inline: unknown expression %T", e))
+	}
+}
+
+// call expands a call to an already-inlined callee into hoisted statements
+// plus a variable holding the result.
+func (in *inliner) call(c Call) ([]Stmt, Expr) {
+	callee := in.expanded[c.Fn]
+	if callee == nil {
+		panic(fmt.Sprintf("prog: inline: callee %q not yet expanded (call order bug)", c.Fn))
+	}
+	var pre []Stmt
+	args := make([]Expr, len(c.Args))
+	for i, a := range c.Args {
+		p, e := in.expr(a)
+		pre = append(pre, p...)
+		args[i] = e
+	}
+	// Bind params in a fresh substitution scope, then splice the body.
+	in.renames = append(in.renames, map[string]string{})
+	for i, p := range callee.Params {
+		fresh := in.freshName(p)
+		in.renames[len(in.renames)-1][p] = fresh
+		pre = append(pre, Let{Name: fresh, E: args[i]})
+	}
+	pre = append(pre, in.stmts(callee.Body)...)
+	var result Expr = Const{V: 0}
+	if callee.Ret != nil {
+		var rp []Stmt
+		rp, result = in.expr(callee.Ret)
+		pre = append(pre, rp...)
+	}
+	// Materialize the result so the substitution scope can be popped.
+	res := in.freshName("ret")
+	pre = append(pre, Let{Name: res, E: result})
+	in.renames = in.renames[:len(in.renames)-1]
+	return pre, Var{Name: res}
+}

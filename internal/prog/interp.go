@@ -1,0 +1,530 @@
+package prog
+
+import (
+	"fmt"
+
+	"repro/internal/dfg"
+	"repro/internal/mem"
+)
+
+// InstrClass categorizes dynamic instructions for cost models.
+type InstrClass uint8
+
+const (
+	ClassALU InstrClass = iota
+	ClassSelect
+	ClassLoad
+	ClassStore
+	ClassBranch
+	ClassCall
+)
+
+func (c InstrClass) String() string {
+	switch c {
+	case ClassALU:
+		return "alu"
+	case ClassSelect:
+		return "select"
+	case ClassLoad:
+		return "load"
+	case ClassStore:
+		return "store"
+	case ClassBranch:
+		return "branch"
+	case ClassCall:
+		return "call"
+	}
+	return "?"
+}
+
+// BoundaryKind categorizes the block boundaries reported to cost models.
+// Loop iterations and call entries/returns are the paper's concurrent-block
+// boundaries — the points where sequential-dataflow architectures advance
+// their wave number.
+type BoundaryKind uint8
+
+const (
+	BoundaryLoopEnter BoundaryKind = iota
+	BoundaryLoopIter
+	BoundaryLoopExit
+	BoundaryCallEnter
+	BoundaryCallExit
+)
+
+// CostModel observes the dynamic execution of the reference interpreter.
+// Instr is called once per dynamic instruction with the ready times of its
+// operands and returns the ready time of the result; Boundary is called at
+// concurrent-block boundaries with the number of live variable bindings.
+// Implementations provide the von Neumann and sequential-dataflow timing
+// models (internal/vn, internal/seqdf).
+type CostModel interface {
+	Instr(class InstrClass, deps ...int64) int64
+	Boundary(kind BoundaryKind, live int)
+}
+
+// nopModel is used when no cost model is attached.
+type nopModel struct{}
+
+func (nopModel) Instr(InstrClass, ...int64) int64 { return 0 }
+func (nopModel) Boundary(BoundaryKind, int)       {}
+
+// Stats aggregates dynamic execution counts.
+type Stats struct {
+	DynInstrs int64
+	ALU       int64
+	Selects   int64
+	Loads     int64
+	Stores    int64
+	Branches  int64
+	Calls     int64
+	LoopIters int64
+
+	MaxLiveVars  int
+	MaxCallDepth int
+}
+
+// RunConfig parameterizes one interpreter run.
+type RunConfig struct {
+	Args     []int64   // entry function arguments
+	MaxSteps int64     // dynamic instruction budget; 0 means a large default
+	Model    CostModel // optional cost model
+}
+
+// Result reports the outcome of a run.
+type Result struct {
+	Ret   int64
+	Stats Stats
+}
+
+// DefaultImage builds a memory image with the program's declared regions at
+// their default sizes.
+func DefaultImage(p *Program) *mem.Image {
+	im := mem.NewImage()
+	for _, m := range p.Mems {
+		im.AddRegion(m.Name, m.Size)
+	}
+	return im
+}
+
+const defaultMaxSteps = int64(1) << 40
+
+// Run interprets the program against the given memory image (mutated in
+// place), returning the entry function's result and execution statistics.
+// The program must have passed Check.
+func Run(p *Program, im *mem.Image, cfg RunConfig) (Result, error) {
+	entry := p.EntryFunc()
+	if entry == nil {
+		return Result{}, fmt.Errorf("prog: %s: missing entry %q", p.Name, p.Entry)
+	}
+	if len(cfg.Args) != len(entry.Params) {
+		return Result{}, fmt.Errorf("prog: %s: entry %q takes %d args, got %d",
+			p.Name, p.Entry, len(entry.Params), len(cfg.Args))
+	}
+	it := &interp{
+		p:        p,
+		im:       im,
+		cm:       cfg.Model,
+		maxSteps: cfg.MaxSteps,
+	}
+	if it.cm == nil {
+		it.cm = nopModel{}
+	}
+	if it.maxSteps == 0 {
+		it.maxSteps = defaultMaxSteps
+	}
+	it.regions = make(map[string]int, im.NumRegions())
+	for i := 0; i < im.NumRegions(); i++ {
+		it.regions[im.Name(i)] = i
+	}
+	it.classReady = make(map[string]int64)
+
+	args := make([]binding, len(cfg.Args))
+	for i, v := range cfg.Args {
+		args[i] = binding{val: v}
+	}
+	ret, _, err := it.callFunc(entry, args, 0)
+	if err != nil {
+		return Result{Stats: it.stats}, err
+	}
+	return Result{Ret: ret, Stats: it.stats}, nil
+}
+
+type binding struct {
+	val   int64
+	ready int64
+}
+
+type envScope struct {
+	kind  scopeKind
+	names map[string]*binding
+}
+
+type interp struct {
+	p        *Program
+	im       *mem.Image
+	cm       CostModel
+	maxSteps int64
+	stats    Stats
+	regions  map[string]int
+
+	scopes   []envScope
+	liveVars int
+	depth    int
+
+	// classReady tracks the ready time of each memory ordering class's
+	// token (classes serialize all of their accesses).
+	classReady map[string]int64
+
+	// ctrl is the ready time of the controlling branch decision; every
+	// instruction's result is at least this late (steer dependence).
+	ctrl int64
+}
+
+func (it *interp) runErr(format string, args ...interface{}) error {
+	return fmt.Errorf("prog: %s: %s", it.p.Name, fmt.Sprintf(format, args...))
+}
+
+func (it *interp) count(class InstrClass) error {
+	it.stats.DynInstrs++
+	switch class {
+	case ClassALU:
+		it.stats.ALU++
+	case ClassSelect:
+		it.stats.Selects++
+	case ClassLoad:
+		it.stats.Loads++
+	case ClassStore:
+		it.stats.Stores++
+	case ClassBranch:
+		it.stats.Branches++
+	case ClassCall:
+		it.stats.Calls++
+	}
+	if it.stats.DynInstrs > it.maxSteps {
+		return it.runErr("exceeded dynamic instruction budget %d (runaway loop?)", it.maxSteps)
+	}
+	return nil
+}
+
+func (it *interp) pushScope(kind scopeKind) {
+	it.scopes = append(it.scopes, envScope{kind: kind, names: make(map[string]*binding)})
+}
+
+func (it *interp) popScope() envScope {
+	top := it.scopes[len(it.scopes)-1]
+	it.scopes = it.scopes[:len(it.scopes)-1]
+	it.liveVars -= len(top.names)
+	return top
+}
+
+func (it *interp) declare(name string, b binding) {
+	top := it.scopes[len(it.scopes)-1]
+	if _, exists := top.names[name]; !exists {
+		it.liveVars++
+		if it.liveVars+it.depth > it.stats.MaxLiveVars {
+			it.stats.MaxLiveVars = it.liveVars + it.depth
+		}
+	}
+	nb := b
+	top.names[name] = &nb
+}
+
+// lookup searches scopes of the current frame (stopping at the function
+// boundary).
+func (it *interp) lookup(name string) *binding {
+	for i := len(it.scopes) - 1; i >= 0; i-- {
+		if b, ok := it.scopes[i].names[name]; ok {
+			return b
+		}
+		if it.scopes[i].kind == scopeFunc {
+			break
+		}
+	}
+	return nil
+}
+
+func (it *interp) callFunc(f *Func, args []binding, callReady int64) (int64, int64, error) {
+	it.depth++
+	if it.depth > it.stats.MaxCallDepth {
+		it.stats.MaxCallDepth = it.depth
+	}
+	it.pushScope(scopeFunc)
+	for i, p := range f.Params {
+		b := args[i]
+		if b.ready < callReady {
+			b.ready = callReady
+		}
+		it.declare(p, b)
+	}
+	savedCtrl := it.ctrl
+	if callReady > it.ctrl {
+		it.ctrl = callReady
+	}
+	it.cm.Boundary(BoundaryCallEnter, it.liveVars)
+
+	if err := it.stmts(f.Body); err != nil {
+		return 0, 0, err
+	}
+	var ret int64
+	var ready int64
+	if f.Ret != nil {
+		v, r, err := it.expr(f.Ret)
+		if err != nil {
+			return 0, 0, err
+		}
+		ret, ready = v, r
+	}
+	it.cm.Boundary(BoundaryCallExit, it.liveVars)
+	it.popScope()
+	it.depth--
+	it.ctrl = savedCtrl
+	return ret, ready, nil
+}
+
+func (it *interp) stmts(stmts []Stmt) error {
+	for _, s := range stmts {
+		if err := it.stmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (it *interp) stmt(s Stmt) error {
+	switch st := s.(type) {
+	case Let:
+		v, r, err := it.expr(st.E)
+		if err != nil {
+			return err
+		}
+		it.declare(st.Name, binding{val: v, ready: r})
+		return nil
+	case Assign:
+		v, r, err := it.expr(st.E)
+		if err != nil {
+			return err
+		}
+		b := it.lookup(st.Name)
+		if b == nil {
+			return it.runErr("assign to undeclared %q (checker should have caught this)", st.Name)
+		}
+		b.val, b.ready = v, r
+		return nil
+	case StoreStmt:
+		addr, ra, err := it.expr(st.Addr)
+		if err != nil {
+			return err
+		}
+		val, rv, err := it.expr(st.Val)
+		if err != nil {
+			return err
+		}
+		if err := it.count(ClassStore); err != nil {
+			return err
+		}
+		deps := []int64{ra, rv, it.ctrl}
+		if st.Class != "" {
+			deps = append(deps, it.classReady[st.Class])
+		}
+		done := it.cm.Instr(ClassStore, deps...)
+		if st.Class != "" {
+			it.classReady[st.Class] = done
+		}
+		region, ok := it.regions[st.Mem]
+		if !ok {
+			return it.runErr("store to unknown region %q", st.Mem)
+		}
+		return it.im.Store(region, addr, val)
+	case If:
+		return it.ifStmt(st)
+	case While:
+		return it.while(st)
+	case ExprStmt:
+		_, _, err := it.expr(st.E)
+		return err
+	}
+	return it.runErr("unknown statement %T", s)
+}
+
+func (it *interp) ifStmt(st If) error {
+	c, rc, err := it.expr(st.Cond)
+	if err != nil {
+		return err
+	}
+	if err := it.count(ClassBranch); err != nil {
+		return err
+	}
+	steered := it.cm.Instr(ClassBranch, rc, it.ctrl)
+	savedCtrl := it.ctrl
+	if steered > it.ctrl {
+		it.ctrl = steered
+	}
+	it.pushScope(scopeBlock)
+	if c != 0 {
+		err = it.stmts(st.Then)
+	} else {
+		err = it.stmts(st.Else)
+	}
+	it.popScope()
+	it.ctrl = savedCtrl
+	return err
+}
+
+func (it *interp) while(st While) error {
+	inits := make([]binding, len(st.Vars))
+	for i, v := range st.Vars {
+		val, r, err := it.expr(v.Init)
+		if err != nil {
+			return err
+		}
+		inits[i] = binding{val: val, ready: r}
+	}
+	it.pushScope(scopeLoop)
+	for i, v := range st.Vars {
+		it.declare(v.Name, inits[i])
+	}
+	it.cm.Boundary(BoundaryLoopEnter, it.liveVars)
+	savedCtrl := it.ctrl
+	for {
+		c, rc, err := it.expr(st.Cond)
+		if err != nil {
+			return err
+		}
+		if err := it.count(ClassBranch); err != nil {
+			return err
+		}
+		steered := it.cm.Instr(ClassBranch, rc, it.ctrl)
+		if steered > it.ctrl {
+			it.ctrl = steered
+		}
+		if c == 0 {
+			break
+		}
+		it.stats.LoopIters++
+		if err := it.stmts(st.Body); err != nil {
+			return err
+		}
+		it.cm.Boundary(BoundaryLoopIter, it.liveVars)
+	}
+	it.cm.Boundary(BoundaryLoopExit, it.liveVars)
+	finals := it.popScope()
+	it.ctrl = savedCtrl
+	// Merge-out: write carried vars to enclosing bindings, or declare
+	// fresh ones in the (new) current scope.
+	for _, v := range st.Vars {
+		fb := finals.names[v.Name]
+		if eb := it.lookup(v.Name); eb != nil {
+			*eb = *fb
+		} else {
+			it.declare(v.Name, *fb)
+		}
+	}
+	return nil
+}
+
+func (it *interp) expr(e Expr) (int64, int64, error) {
+	switch ex := e.(type) {
+	case Const:
+		return ex.V, it.ctrl, nil
+	case Var:
+		b := it.lookup(ex.Name)
+		if b == nil {
+			return 0, 0, it.runErr("read of undeclared %q (checker should have caught this)", ex.Name)
+		}
+		r := b.ready
+		if it.ctrl > r {
+			r = it.ctrl
+		}
+		return b.val, r, nil
+	case Bin:
+		a, ra, err := it.expr(ex.A)
+		if err != nil {
+			return 0, 0, err
+		}
+		b, rb, err := it.expr(ex.B)
+		if err != nil {
+			return 0, 0, err
+		}
+		if err := it.count(ClassALU); err != nil {
+			return 0, 0, err
+		}
+		v, err := dfg.EvalBin(ex.Op, a, b)
+		if err != nil {
+			return 0, 0, err
+		}
+		return v, it.cm.Instr(ClassALU, ra, rb, it.ctrl), nil
+	case Select:
+		c, rc, err := it.expr(ex.Cond)
+		if err != nil {
+			return 0, 0, err
+		}
+		t, rt, err := it.expr(ex.Then)
+		if err != nil {
+			return 0, 0, err
+		}
+		f, rf, err := it.expr(ex.Else)
+		if err != nil {
+			return 0, 0, err
+		}
+		if err := it.count(ClassSelect); err != nil {
+			return 0, 0, err
+		}
+		v := f
+		if c != 0 {
+			v = t
+		}
+		return v, it.cm.Instr(ClassSelect, rc, rt, rf, it.ctrl), nil
+	case Load:
+		addr, ra, err := it.expr(ex.Addr)
+		if err != nil {
+			return 0, 0, err
+		}
+		if err := it.count(ClassLoad); err != nil {
+			return 0, 0, err
+		}
+		deps := []int64{ra, it.ctrl}
+		if ex.Class != "" {
+			deps = append(deps, it.classReady[ex.Class])
+		}
+		done := it.cm.Instr(ClassLoad, deps...)
+		if ex.Class != "" {
+			it.classReady[ex.Class] = done
+		}
+		region, ok := it.regions[ex.Mem]
+		if !ok {
+			return 0, 0, it.runErr("load from unknown region %q", ex.Mem)
+		}
+		v, err := it.im.Load(region, addr)
+		if err != nil {
+			return 0, 0, err
+		}
+		return v, done, nil
+	case Call:
+		callee := it.p.FindFunc(ex.Fn)
+		if callee == nil {
+			return 0, 0, it.runErr("call to unknown %q", ex.Fn)
+		}
+		args := make([]binding, len(ex.Args))
+		ready := it.ctrl
+		for i, a := range ex.Args {
+			v, r, err := it.expr(a)
+			if err != nil {
+				return 0, 0, err
+			}
+			args[i] = binding{val: v, ready: r}
+			if r > ready {
+				ready = r
+			}
+		}
+		if err := it.count(ClassCall); err != nil {
+			return 0, 0, err
+		}
+		callReady := it.cm.Instr(ClassCall, ready)
+		v, r, err := it.callFunc(callee, args, callReady)
+		if err != nil {
+			return 0, 0, err
+		}
+		return v, r, nil
+	}
+	return 0, 0, it.runErr("unknown expression %T", e)
+}

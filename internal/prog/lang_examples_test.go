@@ -1,0 +1,54 @@
+package prog
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestLangExamplesParseAndRun keeps the checked-in .tyr sources working:
+// they must parse, check, round-trip through Format, and execute.
+func TestLangExamplesParseAndRun(t *testing.T) {
+	dir := filepath.Join("..", "..", "examples", "lang")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Skipf("examples/lang not present: %v", err)
+	}
+	found := 0
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) != ".tyr" {
+			continue
+		}
+		found++
+		src, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := Parse(string(src))
+		if err != nil {
+			t.Errorf("%s: parse: %v", e.Name(), err)
+			continue
+		}
+		if err := Check(p); err != nil {
+			t.Errorf("%s: check: %v", e.Name(), err)
+			continue
+		}
+		back, err := Parse(Format(p))
+		if err != nil {
+			t.Errorf("%s: reparse of Format output: %v", e.Name(), err)
+			continue
+		}
+		if Format(back) != Format(p) {
+			t.Errorf("%s: Format/Parse not stable", e.Name())
+		}
+		if len(p.EntryFunc().Params) > 0 {
+			continue // needs arguments; parsing coverage is enough
+		}
+		if _, err := Run(p, DefaultImage(p), RunConfig{MaxSteps: 1 << 22}); err != nil {
+			t.Errorf("%s: run: %v", e.Name(), err)
+		}
+	}
+	if found == 0 {
+		t.Error("no .tyr examples found")
+	}
+}

@@ -1,0 +1,320 @@
+package prog
+
+import "repro/internal/dfg"
+
+// Optimize returns a semantically equivalent program with constants
+// folded, algebraic identities simplified, and dead code removed. The
+// passes are deliberately conservative about effects:
+//
+//   - expressions containing calls are never dropped or short-circuited
+//     (callees may store);
+//   - loads are value-pure and may be dropped when their result is dead
+//     (shortening an ordering-class chain preserves the order of the
+//     surviving accesses);
+//   - loops are never removed (their trip counts may be data-dependent),
+//     and branches fold only when the condition is a compile-time
+//     constant and the discarded arm is call-free.
+//
+// The dataflow lowerings consume the same IR, so the optimizer benefits
+// every simulated architecture identically; the differential tests check
+// optimized-vs-original equivalence on all of them.
+func Optimize(p *Program) *Program {
+	out := &Program{Name: p.Name, Entry: p.Entry, Mems: append([]MemDecl(nil), p.Mems...)}
+	for _, f := range p.Funcs {
+		nf := &Func{Name: f.Name, Params: append([]string(nil), f.Params...)}
+		body := foldStmts(f.Body)
+		ret := f.Ret
+		if ret != nil {
+			ret = foldExpr(ret)
+		}
+		var retReads map[string]bool
+		if ret != nil {
+			retReads = readsOf(ret)
+		}
+		nf.Body, _ = dceStmts(body, retReads)
+		nf.Ret = ret
+		out.Funcs = append(out.Funcs, nf)
+	}
+	return out
+}
+
+// ---- constant folding and algebraic simplification ----
+
+func foldStmts(stmts []Stmt) []Stmt {
+	out := make([]Stmt, 0, len(stmts))
+	for _, s := range stmts {
+		out = append(out, foldStmt(s))
+	}
+	return out
+}
+
+func foldStmt(s Stmt) Stmt {
+	switch st := s.(type) {
+	case Let:
+		return Let{Name: st.Name, E: foldExpr(st.E)}
+	case Assign:
+		return Assign{Name: st.Name, E: foldExpr(st.E)}
+	case StoreStmt:
+		return StoreStmt{Mem: st.Mem, Addr: foldExpr(st.Addr), Val: foldExpr(st.Val), Class: st.Class}
+	case If:
+		return If{Cond: foldExpr(st.Cond), Then: foldStmts(st.Then), Else: foldStmts(st.Else)}
+	case While:
+		vars := make([]LoopVar, len(st.Vars))
+		for i, v := range st.Vars {
+			vars[i] = LoopVar{Name: v.Name, Init: foldExpr(v.Init)}
+		}
+		return While{Label: st.Label, Vars: vars, Cond: foldExpr(st.Cond), Body: foldStmts(st.Body)}
+	case ExprStmt:
+		return ExprStmt{E: foldExpr(st.E)}
+	}
+	return s
+}
+
+func foldExpr(e Expr) Expr {
+	switch ex := e.(type) {
+	case Const, Var:
+		return e
+	case Bin:
+		a, b := foldExpr(ex.A), foldExpr(ex.B)
+		if ka, okA := a.(Const); okA {
+			if kb, okB := b.(Const); okB {
+				if v, err := dfg.EvalBin(ex.Op, ka.V, kb.V); err == nil {
+					return Const{V: v}
+				}
+				// Folding would trap (division by zero): preserve the
+				// runtime error by leaving the expression in place.
+				return Bin{Op: ex.Op, A: a, B: b}
+			}
+		}
+		return simplifyBin(Bin{Op: ex.Op, A: a, B: b})
+	case Select:
+		c, t, f := foldExpr(ex.Cond), foldExpr(ex.Then), foldExpr(ex.Else)
+		if kc, ok := c.(Const); ok {
+			taken, dropped := t, f
+			if kc.V == 0 {
+				taken, dropped = f, t
+			}
+			if callFree(dropped) {
+				return taken
+			}
+		}
+		return Select{Cond: c, Then: t, Else: f}
+	case Load:
+		return Load{Mem: ex.Mem, Addr: foldExpr(ex.Addr), Class: ex.Class}
+	case Call:
+		args := make([]Expr, len(ex.Args))
+		for i, a := range ex.Args {
+			args[i] = foldExpr(a)
+		}
+		return Call{Fn: ex.Fn, Args: args}
+	}
+	return e
+}
+
+// simplifyBin applies algebraic identities that drop a call-free operand
+// or the operation itself.
+func simplifyBin(b Bin) Expr {
+	isK := func(e Expr, v int64) bool {
+		k, ok := e.(Const)
+		return ok && k.V == v
+	}
+	switch b.Op {
+	case dfg.BinAdd:
+		if isK(b.A, 0) {
+			return b.B
+		}
+		if isK(b.B, 0) {
+			return b.A
+		}
+	case dfg.BinSub, dfg.BinShl, dfg.BinShr, dfg.BinXor, dfg.BinOr:
+		if isK(b.B, 0) {
+			return b.A
+		}
+	case dfg.BinMul:
+		if isK(b.A, 1) {
+			return b.B
+		}
+		if isK(b.B, 1) {
+			return b.A
+		}
+		if isK(b.A, 0) && callFree(b.B) {
+			return Const{V: 0}
+		}
+		if isK(b.B, 0) && callFree(b.A) {
+			return Const{V: 0}
+		}
+	case dfg.BinDiv:
+		if isK(b.B, 1) {
+			return b.A
+		}
+	case dfg.BinAnd:
+		if isK(b.A, 0) && callFree(b.B) {
+			return Const{V: 0}
+		}
+		if isK(b.B, 0) && callFree(b.A) {
+			return Const{V: 0}
+		}
+	}
+	return b
+}
+
+// callFree reports whether evaluating e has no call side effects (loads
+// are value-pure; dropping one only shortens its ordering chain).
+func callFree(e Expr) bool {
+	switch ex := e.(type) {
+	case Const, Var:
+		return true
+	case Bin:
+		return callFree(ex.A) && callFree(ex.B)
+	case Select:
+		return callFree(ex.Cond) && callFree(ex.Then) && callFree(ex.Else)
+	case Load:
+		return callFree(ex.Addr)
+	case Call:
+		return false
+	}
+	return false
+}
+
+// ---- dead-code elimination (backward liveness) ----
+
+func readsOf(e Expr) map[string]bool {
+	set := make(map[string]bool)
+	var walk func(Expr)
+	walk = func(e Expr) {
+		switch ex := e.(type) {
+		case Var:
+			set[ex.Name] = true
+		case Bin:
+			walk(ex.A)
+			walk(ex.B)
+		case Select:
+			walk(ex.Cond)
+			walk(ex.Then)
+			walk(ex.Else)
+		case Load:
+			walk(ex.Addr)
+		case Call:
+			for _, a := range ex.Args {
+				walk(a)
+			}
+		}
+	}
+	walk(e)
+	return set
+}
+
+func addReads(live map[string]bool, e Expr) {
+	for name := range readsOf(e) {
+		live[name] = true
+	}
+}
+
+func copySet(s map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(s))
+	for k := range s {
+		out[k] = true
+	}
+	return out
+}
+
+// dceStmts removes statements whose results are dead, walking backward
+// with a live-variable set. liveOut seeds the names read after the
+// statement list; the returned set is the list's live-in.
+func dceStmts(stmts []Stmt, liveOut map[string]bool) ([]Stmt, map[string]bool) {
+	live := copySet(liveOut)
+	kept := make([]Stmt, 0, len(stmts))
+	for i := len(stmts) - 1; i >= 0; i-- {
+		s, keep := dceStmt(stmts[i], live)
+		if keep {
+			kept = append(kept, s)
+		}
+	}
+	// Reverse into source order.
+	for l, r := 0, len(kept)-1; l < r; l, r = l+1, r-1 {
+		kept[l], kept[r] = kept[r], kept[l]
+	}
+	return kept, live
+}
+
+// dceStmt processes one statement against the current live set (mutated in
+// place), reporting whether to keep it.
+func dceStmt(s Stmt, live map[string]bool) (Stmt, bool) {
+	switch st := s.(type) {
+	case Let:
+		if !live[st.Name] && callFree(st.E) {
+			return nil, false
+		}
+		delete(live, st.Name)
+		addReads(live, st.E)
+		return st, true
+	case Assign:
+		if !live[st.Name] && callFree(st.E) {
+			return nil, false
+		}
+		// A surviving assignment must not kill liveness: the name's
+		// *declaration* (its Let, or an enclosing loop's carried var)
+		// must survive for the assignment to stay legal, so the name
+		// is live upward even though its old value is overwritten.
+		live[st.Name] = true
+		addReads(live, st.E)
+		return st, true
+	case StoreStmt:
+		addReads(live, st.Addr)
+		addReads(live, st.Val)
+		return st, true
+	case ExprStmt:
+		if callFree(st.E) {
+			return nil, false
+		}
+		addReads(live, st.E)
+		return st, true
+	case If:
+		thenLive := copySet(live)
+		thenS, thenIn := dceStmts(st.Then, thenLive)
+		elseLive := copySet(live)
+		elseS, elseIn := dceStmts(st.Else, elseLive)
+		if len(thenS) == 0 && len(elseS) == 0 && callFree(st.Cond) {
+			return nil, false
+		}
+		for k := range live {
+			delete(live, k)
+		}
+		for k := range thenIn {
+			live[k] = true
+		}
+		for k := range elseIn {
+			live[k] = true
+		}
+		addReads(live, st.Cond)
+		return If{Cond: st.Cond, Then: thenS, Else: elseS}, true
+	case While:
+		// Loops are never dropped (termination may be data-dependent and
+		// bodies may store). Seed the body's live-out conservatively:
+		// everything live after the loop, every carried variable (it
+		// feeds the next iteration and the merge-out), the condition's
+		// reads, and everything the body itself reads — a sound one-pass
+		// over-approximation of the backedge fixpoint.
+		bodyOut := copySet(live)
+		for _, v := range st.Vars {
+			bodyOut[v.Name] = true
+		}
+		addReads(bodyOut, st.Cond)
+		for _, name := range ReadSet(st.Body, nil, nil) {
+			bodyOut[name] = true
+		}
+		body, bodyIn := dceStmts(st.Body, bodyOut)
+		for k := range bodyIn {
+			live[k] = true
+		}
+		addReads(live, st.Cond)
+		for _, v := range st.Vars {
+			delete(live, v.Name)
+		}
+		for _, v := range st.Vars {
+			addReads(live, v.Init)
+		}
+		return While{Label: st.Label, Vars: st.Vars, Cond: st.Cond, Body: body}, true
+	}
+	return s, true
+}

@@ -1,0 +1,209 @@
+package prog
+
+import "testing"
+
+func optRun(t *testing.T, p *Program, args ...int64) (orig, opt Result) {
+	t.Helper()
+	if err := Check(p); err != nil {
+		t.Fatalf("Check original: %v", err)
+	}
+	o := Optimize(p)
+	if err := Check(o); err != nil {
+		t.Fatalf("Check optimized: %v", err)
+	}
+	im1, im2 := DefaultImage(p), DefaultImage(o)
+	r1, err := Run(p, im1, RunConfig{Args: args})
+	if err != nil {
+		t.Fatalf("run original: %v", err)
+	}
+	r2, err := Run(o, im2, RunConfig{Args: args})
+	if err != nil {
+		t.Fatalf("run optimized: %v", err)
+	}
+	if r1.Ret != r2.Ret {
+		t.Fatalf("results differ: %d vs %d", r1.Ret, r2.Ret)
+	}
+	if !im1.Equal(im2) {
+		t.Fatalf("memories differ: %v", im1.Diff(im2, 5))
+	}
+	return r1, r2
+}
+
+func TestOptimizeFoldsConstants(t *testing.T) {
+	p := NewProgram("fold", "main")
+	p.AddFunc("main", nil, Add(Mul(C(6), C(7)), Sub(C(10), C(3))))
+	o := Optimize(p)
+	if _, ok := o.EntryFunc().Ret.(Const); !ok {
+		t.Errorf("constant expression not folded: %#v", o.EntryFunc().Ret)
+	}
+	optRun(t, p)
+}
+
+func TestOptimizePreservesDivByZero(t *testing.T) {
+	p := NewProgram("trap", "main")
+	p.AddFunc("main", nil, Div(C(1), C(0)))
+	o := Optimize(p)
+	if _, ok := o.EntryFunc().Ret.(Const); ok {
+		t.Fatal("division by zero folded away; the runtime trap must survive")
+	}
+	if _, err := Run(o, DefaultImage(o), RunConfig{}); err == nil {
+		t.Error("optimized program lost the division-by-zero error")
+	}
+}
+
+func TestOptimizeAlgebraicIdentities(t *testing.T) {
+	cases := []struct {
+		name string
+		e    Expr
+	}{
+		{"add0", Add(V("x"), C(0))},
+		{"mul1", Mul(C(1), V("x"))},
+		{"sub0", Sub(V("x"), C(0))},
+		{"div1", Div(V("x"), C(1))},
+		{"shl0", Shl(V("x"), C(0))},
+		{"or0", Or(V("x"), C(0))},
+	}
+	for _, c := range cases {
+		p := NewProgram(c.name, "main")
+		p.AddFunc("main", []string{"x"}, c.e)
+		o := Optimize(p)
+		if _, ok := o.EntryFunc().Ret.(Var); !ok {
+			t.Errorf("%s: not simplified to the variable: %#v", c.name, o.EntryFunc().Ret)
+		}
+		optRun(t, p, 37)
+	}
+}
+
+func TestOptimizeMulZeroNeedsCallFree(t *testing.T) {
+	p := NewProgram("mulzero", "main")
+	p.AddFunc("sideeffect", nil, C(5), St("out", C(0), C(1)))
+	p.DeclareMem("out", 1)
+	p.AddFunc("main", nil, Mul(CallE("sideeffect"), C(0)))
+	o := Optimize(p)
+	if _, ok := o.EntryFunc().Ret.(Const); ok {
+		t.Fatal("x*0 folded across a call; the store side effect was lost")
+	}
+	optRun(t, p)
+}
+
+func TestOptimizeDCE(t *testing.T) {
+	p := NewProgram("dce", "main")
+	p.AddFunc("main", nil, V("live"),
+		LetS("dead1", Mul(C(3), C(4))),
+		LetS("live", C(7)),
+		LetS("dead2", Add(V("live"), V("dead1"))),
+		Do(Add(C(1), C(2))), // pure expression statement
+	)
+	o := Optimize(p)
+	if n := len(o.EntryFunc().Body); n != 1 {
+		t.Errorf("optimized body has %d statements, want 1 (just the live Let): %#v", n, o.EntryFunc().Body)
+	}
+	optRun(t, p)
+}
+
+func TestOptimizeDCEKeepsCalls(t *testing.T) {
+	p := NewProgram("dcecall", "main")
+	p.DeclareMem("out", 1)
+	p.AddFunc("bump", nil, C(0),
+		St("out", C(0), Add(Ld("out", C(0)), C(1))))
+	p.AddFunc("main", nil, C(0),
+		LetS("dead", CallE("bump")), // result dead, call is not
+	)
+	o := Optimize(p)
+	if len(o.EntryFunc().Body) == 0 {
+		t.Fatal("call with side effects was eliminated")
+	}
+	_, _ = optRun(t, p)
+	im := DefaultImage(o)
+	if _, err := Run(o, im, RunConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	if im.WordsByName("out")[0] != 1 {
+		t.Error("side effect lost after optimization")
+	}
+}
+
+func TestOptimizeDCEKeepsLoopCarriedWrites(t *testing.T) {
+	// The assignment to sum looks dead within one iteration read-forward,
+	// but feeds the next iteration through the backedge.
+	p := NewProgram("carried", "main")
+	p.AddFunc("main", nil, V("sum"),
+		ForRange("L", "i", C(0), C(10), []LoopVar{LV("sum", C(0))},
+			Set("sum", Add(V("sum"), V("i"))),
+		),
+	)
+	orig, opt := optRun(t, p)
+	if orig.Ret != 45 || opt.Ret != 45 {
+		t.Errorf("results %d/%d, want 45", orig.Ret, opt.Ret)
+	}
+}
+
+func TestOptimizeDropsEmptyBranches(t *testing.T) {
+	p := NewProgram("emptyif", "main")
+	p.AddFunc("main", []string{"x"}, V("x"),
+		IfS(Gt(V("x"), C(0)),
+			[]Stmt{LetS("t", Mul(V("x"), C(2)))}, // dead inside
+			nil,
+		),
+	)
+	o := Optimize(p)
+	if len(o.EntryFunc().Body) != 0 {
+		t.Errorf("branch with only dead code not removed: %#v", o.EntryFunc().Body)
+	}
+	optRun(t, p, 5)
+}
+
+func TestOptimizeSelectConstCond(t *testing.T) {
+	p := NewProgram("selfold", "main")
+	p.AddFunc("main", []string{"x"}, Sel(C(1), V("x"), Mul(V("x"), C(100))))
+	o := Optimize(p)
+	if _, ok := o.EntryFunc().Ret.(Var); !ok {
+		t.Errorf("const-cond select not folded: %#v", o.EntryFunc().Ret)
+	}
+	optRun(t, p, 9)
+}
+
+func TestOptimizeReducesWork(t *testing.T) {
+	p := NewProgram("work", "main")
+	p.AddFunc("main", nil, V("acc"),
+		ForRange("L", "i", C(0), C(50), []LoopVar{LV("acc", C(0))},
+			LetS("dead", Mul(Add(V("i"), C(1)), Add(V("i"), C(2)))),
+			Set("acc", Add(V("acc"), Mul(V("i"), C(1)))), // *1 simplifies
+		),
+	)
+	orig, opt := optRun(t, p)
+	if opt.Stats.DynInstrs >= orig.Stats.DynInstrs {
+		t.Errorf("optimization did not reduce work: %d -> %d",
+			orig.Stats.DynInstrs, opt.Stats.DynInstrs)
+	}
+}
+
+func TestOptimizeIdempotent(t *testing.T) {
+	p := NewProgram("idem", "main")
+	p.AddFunc("main", nil, V("acc"),
+		LetS("dead", C(1)),
+		ForRange("L", "i", C(0), C(5), []LoopVar{LV("acc", C(0))},
+			Set("acc", Add(V("acc"), Add(V("i"), C(0)))),
+		),
+	)
+	once := Optimize(p)
+	twice := Optimize(once)
+	r1, err := Run(once, DefaultImage(once), RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(twice, DefaultImage(twice), RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Ret != r2.Ret || r1.Stats.DynInstrs != r2.Stats.DynInstrs {
+		t.Errorf("second pass changed the program: %+v vs %+v", r1.Stats, r2.Stats)
+	}
+}
+
+func TestOptimizeKeepsShiftSemantics(t *testing.T) {
+	// Shl/Shr by masked amounts must not be misfolded.
+	p := NewProgram("shift", "main")
+	p.AddFunc("main", []string{"x"}, Shr(Shl(V("x"), C(3)), C(3)))
+	optRun(t, p, 12345)
+}

@@ -1,0 +1,204 @@
+package prog
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+const sampleSrc = `program "demo" entry main
+mem A[16]
+mem out[16]
+
+// a helper
+func square(x) {
+  return x * x
+}
+
+func main(n) {
+  let bias = -3
+  loop "L" carry (i = 0, acc = 0) while i < n {
+    let v = A[i] + bias
+    if v % 2 == 0 {
+      acc = acc + square(v)
+    } else {
+      acc = acc - min(v, 10)
+    }
+    store@cls out[i] = acc
+    do square(acc & 15)
+    i = i + 1
+  }
+  return select(acc > 100, 100, acc + out[0]@cls)
+}
+`
+
+func TestParseSample(t *testing.T) {
+	p, err := Parse(sampleSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "demo" || p.Entry != "main" {
+		t.Errorf("header parsed wrong: %q/%q", p.Name, p.Entry)
+	}
+	if len(p.Mems) != 2 || p.Mems[0].Name != "A" || p.Mems[1].Size != 16 {
+		t.Errorf("mems parsed wrong: %+v", p.Mems)
+	}
+	if len(p.Funcs) != 2 {
+		t.Fatalf("funcs = %d, want 2", len(p.Funcs))
+	}
+	if err := Check(p); err != nil {
+		t.Fatalf("parsed program fails Check: %v", err)
+	}
+}
+
+func TestParseFormatRoundTrip(t *testing.T) {
+	p, err := Parse(sampleSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := Format(p)
+	back, err := Parse(text)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, text)
+	}
+	if !reflect.DeepEqual(p, back) {
+		t.Fatalf("round trip differs:\n--- first ---\n%s\n--- second ---\n%s", text, Format(back))
+	}
+	if Format(back) != text {
+		t.Fatal("Format not stable across round trip")
+	}
+}
+
+func TestParseExecutes(t *testing.T) {
+	p := MustParse(`program "sum" entry main
+func main(n) {
+  loop carry (i = 0, sum = 0) while i < n {
+    sum = sum + i
+    i = i + 1
+  }
+  return sum
+}
+`)
+	if err := Check(p); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(p, DefaultImage(p), RunConfig{Args: []int64{10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ret != 45 {
+		t.Errorf("got %d, want 45", res.Ret)
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	cases := map[string]int64{
+		"1 + 2 * 3":         7,
+		"(1 + 2) * 3":       9,
+		"10 - 3 - 2":        5,      // left associative
+		"1 << 3 + 1":        2 + 14, // << binds tighter than +: (1<<3)+1
+		"7 & 3 == 3":        int64(7) & 1,
+		"2 * 3 == 6":        1,
+		"-4 + 1":            -3,
+		"min(3, max(5, 1))": 3,
+		"select(0, 10, 20)": 20,
+		"100 / 5 % 3":       (100 / 5) % 3,
+	}
+	for src, want := range cases {
+		p, err := Parse(`program "t" entry main` + "\nfunc main() {\n return " + src + "\n}\n")
+		if err != nil {
+			t.Errorf("%s: %v", src, err)
+			continue
+		}
+		res, err := Run(p, DefaultImage(p), RunConfig{})
+		if err != nil {
+			t.Errorf("%s: %v", src, err)
+			continue
+		}
+		if res.Ret != want {
+			t.Errorf("%q = %d, want %d", src, res.Ret, want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"missing program":  `func main() { return 1 }`,
+		"bad entry":        `program "x" entry`,
+		"unterminated str": `program "x`,
+		"bad mem":          `program "x" entry main` + "\nmem A[]",
+		"bad stmt":         `program "x" entry main` + "\nfunc main() { 5 }",
+		"missing brace":    `program "x" entry main` + "\nfunc main() { let a = 1",
+		"bad char":         `program "x" entry main` + "\nfunc main() { let a = 1 ? 2 }",
+		"select arity":     `program "x" entry main` + "\nfunc main() { return select(1, 2) }",
+		"min arity":        `program "x" entry main` + "\nfunc main() { return min(1) }",
+		"stmt after ret":   `program "x" entry main` + "\nfunc main() { return 1 let b = 2 }",
+		"newline in str":   "program \"x\ny\" entry main",
+	}
+	for name, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%s: invalid source accepted", name)
+		}
+	}
+}
+
+func TestFormatWorkloadStyleRoundTrip(t *testing.T) {
+	// Round-trip a builder-constructed program with every construct.
+	p := NewProgram("roundtrip", "main")
+	p.DeclareMem("a", 8)
+	p.AddFunc("helper", []string{"x", "y"},
+		Sel(Lt(V("x"), V("y")), Min(V("x"), V("y")), Max(V("x"), V("y"))))
+	p.AddFunc("main", nil, V("acc"),
+		LetS("t", C(-5)),
+		ForRange("L1", "i", C(0), C(8), []LoopVar{LV("acc", C(0))},
+			St("a", V("i"), Mul(V("i"), V("i"))),
+			IfS(Gt(Rem(V("i"), C(2)), C(0)),
+				[]Stmt{Set("acc", Add(V("acc"), CallE("helper", V("i"), V("t"))))},
+				[]Stmt{Set("acc", Xor(V("acc"), Shl(V("i"), C(1))))},
+			),
+			Do(CallE("helper", C(1), C(2))),
+		),
+		Loop("L2", []LoopVar{LV("acc", V("acc")), LV("k", C(0))},
+			And(Lt(V("k"), C(3)), Ne(V("acc"), C(0))),
+			Set("acc", Shr(V("acc"), C(1))),
+			Set("k", Add(V("k"), C(1))),
+		),
+	)
+	if err := Check(p); err != nil {
+		t.Fatal(err)
+	}
+	text := Format(p)
+	back, err := Parse(text)
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, text)
+	}
+	if !reflect.DeepEqual(p, back) {
+		t.Fatalf("round trip differs:\n%s\n--- reparse ---\n%s", text, Format(back))
+	}
+	// Both must execute identically.
+	r1, err := Run(p, DefaultImage(p), RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(back, DefaultImage(back), RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Ret != r2.Ret {
+		t.Errorf("results differ: %d vs %d", r1.Ret, r2.Ret)
+	}
+}
+
+func TestFormatContainsExpectedSyntax(t *testing.T) {
+	p := NewProgram("fmt", "main")
+	p.DeclareMem("m", 4)
+	p.AddFunc("main", nil, C(0),
+		StClass("m", C(0), C(1), "h"),
+	)
+	text := Format(p)
+	for _, want := range []string{`program "fmt" entry main`, "mem m[4]", "store@h m[0] = 1", "return 0"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("formatted output missing %q:\n%s", want, text)
+		}
+	}
+}

@@ -1,0 +1,223 @@
+// Package seqdf models the sequential-dataflow baseline (WaveScalar-like;
+// Sec. II-C of the paper).
+//
+// Sequential dataflow executes hyperblocks in the von Neumann block order:
+// within the current block the dataflow firing rule extracts instruction-
+// level parallelism (bounded by issue width), but entering the next block
+// requires advancing the wave number of every live value, and the wave
+// number itself depends on the control flow of all earlier blocks — so
+// blocks are globally serialized, like a wide out-of-order window that
+// cannot cross block boundaries.
+//
+// The model is trace-driven: it rides the reference interpreter's CostModel
+// hook (see DESIGN.md §3/§5 for why this substitution is faithful). For
+// each dynamic block (loop iteration or function body segment) it computes
+//
+//	cycles = max(dependence height, ceil(instructions / issueWidth))
+//	       + ceil(liveValues / issueWidth)   // the WaveAdvance overhead
+//
+// and counts one WaveAdvance instruction per live value at each boundary.
+// Live state is the block's peak internal parallelism plus the values
+// carried across the boundary.
+package seqdf
+
+import (
+	"repro/internal/mem"
+	"repro/internal/prog"
+)
+
+// StatePoint is one sample of the live-state trace.
+type StatePoint struct {
+	Cycle int64
+	Live  int64
+}
+
+// Result reports one run.
+type Result struct {
+	Completed bool
+	Cycles    int64
+	Fired     int64 // dynamic instructions incl. WaveAdvances
+	Waves     int64 // block boundaries crossed
+	Ret       int64
+	PeakLive  int64
+	MeanLive  float64
+	IPCHist   map[int]int64
+	Trace     []StatePoint
+	Stats     prog.Stats
+}
+
+// IPC returns mean instructions per cycle.
+func (r Result) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Fired) / float64(r.Cycles)
+}
+
+// Config parameterizes a run.
+type Config struct {
+	Args       []int64
+	MaxSteps   int64
+	IssueWidth int // default 128
+	// LoadLatency is the cycles a load takes (sequential dataflow hides
+	// it only within the current block's window).
+	LoadLatency int64
+	// TracePoints caps the live-state trace length (0 = default 4096).
+	TracePoints int
+}
+
+type model struct {
+	width   int64
+	loadLat int64
+
+	clock    int64 // committed cycles of completed blocks
+	n        int64 // instructions in the current block
+	maxReady int64 // dependence height (absolute)
+	levels   map[int64]int64
+	peakPar  int64
+
+	instrs int64 // total, incl. WaveAdvances
+	waves  int64
+
+	sumLive  int64
+	peakLive int64
+
+	trace       []StatePoint
+	tracePoints int
+	traceStride int64
+
+	ipcHist map[int]int64
+}
+
+func (m *model) Instr(class prog.InstrClass, deps ...int64) int64 {
+	r := m.clock
+	for _, d := range deps {
+		if d > r {
+			r = d
+		}
+	}
+	r++
+	if class == prog.ClassLoad && m.loadLat > 1 {
+		r += m.loadLat - 1
+	}
+	m.n++
+	m.instrs++
+	if r > m.maxReady {
+		m.maxReady = r
+	}
+	m.levels[r]++
+	if m.levels[r] > m.peakPar {
+		m.peakPar = m.levels[r]
+	}
+	return r
+}
+
+func ceilDiv(a, b int64) int64 {
+	if a <= 0 {
+		return 0
+	}
+	return (a + b - 1) / b
+}
+
+func (m *model) Boundary(_ prog.BoundaryKind, live int) {
+	finish := m.maxReady
+	if wlimit := m.clock + ceilDiv(m.n, m.width); wlimit > finish {
+		finish = wlimit
+	}
+	waveCost := ceilDiv(int64(live), m.width)
+	blockCycles := finish - m.clock + waveCost
+	blockInstrs := m.n + int64(live) // WaveAdvance per live value
+	m.instrs += int64(live)
+	m.waves++
+
+	// Live state during the block: internal peak parallelism (each ready
+	// instruction holds its operand tokens) plus the carried values that
+	// must ride along to stay at the right wave number.
+	blockLive := m.peakPar + int64(live)
+	if blockLive > m.peakLive {
+		m.peakLive = blockLive
+	}
+	m.sumLive += blockLive * maxI64(blockCycles, 1)
+
+	if blockCycles > 0 {
+		ipc := int(blockInstrs / maxI64(blockCycles, 1))
+		if ipc > int(m.width) {
+			ipc = int(m.width)
+		}
+		m.ipcHist[ipc] += blockCycles
+	}
+
+	m.clock = finish + waveCost
+	m.n = 0
+	m.maxReady = m.clock
+	m.peakPar = 0
+	for k := range m.levels {
+		delete(m.levels, k)
+	}
+	m.sample(int64(live))
+}
+
+func (m *model) sample(live int64) {
+	if m.tracePoints <= 0 {
+		return
+	}
+	if len(m.trace) > 0 && m.clock-m.trace[len(m.trace)-1].Cycle < m.traceStride {
+		return
+	}
+	m.trace = append(m.trace, StatePoint{Cycle: m.clock, Live: live})
+	if len(m.trace) >= m.tracePoints {
+		kept := m.trace[:0]
+		for i := 0; i < len(m.trace); i += 2 {
+			kept = append(kept, m.trace[i])
+		}
+		m.trace = kept
+		m.traceStride *= 2
+	}
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Run executes the program under the sequential-dataflow cost model.
+func Run(p *prog.Program, im *mem.Image, cfg Config) (Result, error) {
+	width := int64(cfg.IssueWidth)
+	if width == 0 {
+		width = 128
+	}
+	m := &model{
+		width:       width,
+		loadLat:     cfg.LoadLatency,
+		levels:      make(map[int64]int64),
+		ipcHist:     make(map[int]int64),
+		tracePoints: cfg.TracePoints,
+		traceStride: 1,
+	}
+	if m.tracePoints == 0 {
+		m.tracePoints = 4096
+	}
+	res, err := prog.Run(p, im, prog.RunConfig{Args: cfg.Args, MaxSteps: cfg.MaxSteps, Model: m})
+	if err != nil {
+		return Result{}, err
+	}
+	m.Boundary(prog.BoundaryCallExit, 0) // flush the final block
+
+	out := Result{
+		Completed: true,
+		Cycles:    m.clock,
+		Fired:     m.instrs,
+		Waves:     m.waves,
+		Ret:       res.Ret,
+		PeakLive:  m.peakLive,
+		IPCHist:   m.ipcHist,
+		Trace:     m.trace,
+		Stats:     res.Stats,
+	}
+	if m.clock > 0 {
+		out.MeanLive = float64(m.sumLive) / float64(m.clock)
+	}
+	return out, nil
+}

@@ -1,0 +1,161 @@
+package seqdf
+
+import (
+	"testing"
+
+	"repro/internal/prog"
+	"repro/internal/vn"
+)
+
+// wideProgram has abundant instruction-level parallelism within each
+// iteration (independent multiply trees), which sequential dataflow can
+// exploit inside a block.
+func wideProgram(n int64) *prog.Program {
+	p := prog.NewProgram("wide", "main")
+	p.DeclareMem("out", int(n))
+	p.AddFunc("main", nil, prog.C(0),
+		prog.ForRange("L", "i", prog.C(0), prog.C(n), nil,
+			prog.LetS("a", prog.Mul(prog.V("i"), prog.C(3))),
+			prog.LetS("b", prog.Mul(prog.V("i"), prog.C(5))),
+			prog.LetS("c", prog.Mul(prog.V("i"), prog.C(7))),
+			prog.LetS("d", prog.Mul(prog.V("i"), prog.C(11))),
+			prog.St("out", prog.V("i"), prog.Add(prog.Add(prog.V("a"), prog.V("b")), prog.Add(prog.V("c"), prog.V("d")))),
+		),
+	)
+	return p
+}
+
+func TestSeqDFFasterThanVNSlowerThanWidth(t *testing.T) {
+	p := wideProgram(200)
+	if err := prog.Check(p); err != nil {
+		t.Fatal(err)
+	}
+	sd, err := Run(p, prog.DefaultImage(p), Config{IssueWidth: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vnRes, err := vn.Run(p, prog.DefaultImage(p), vn.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sd.Cycles >= vnRes.Cycles {
+		t.Errorf("seqdf (%d cycles) not faster than vN (%d)", sd.Cycles, vnRes.Cycles)
+	}
+	// But block serialization keeps it far from perfect scaling: at
+	// least one cycle per block boundary.
+	if sd.Cycles < sd.Waves {
+		t.Errorf("cycles %d below wave count %d", sd.Cycles, sd.Waves)
+	}
+	if sd.IPC() > 128 {
+		t.Errorf("IPC %.1f exceeds issue width", sd.IPC())
+	}
+}
+
+func TestSeqDFCountsWaveAdvances(t *testing.T) {
+	p := wideProgram(50)
+	sd, err := Run(p, prog.DefaultImage(p), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vnRes, err := vn.Run(p, prog.DefaultImage(p), vn.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// WaveAdvance overhead: seqdf executes strictly more dynamic
+	// instructions than the raw program.
+	if sd.Fired <= vnRes.Fired {
+		t.Errorf("seqdf fired %d, want more than raw %d (WaveAdvances)", sd.Fired, vnRes.Fired)
+	}
+	if sd.Waves == 0 {
+		t.Error("no waves recorded")
+	}
+}
+
+func TestSeqDFWidthSensitivityWithinBlock(t *testing.T) {
+	p := wideProgram(100)
+	narrow, err := Run(p, prog.DefaultImage(p), Config{IssueWidth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide, err := Run(p, prog.DefaultImage(p), Config{IssueWidth: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wide.Cycles >= narrow.Cycles {
+		t.Errorf("width 128 (%d cycles) not faster than width 1 (%d)", wide.Cycles, narrow.Cycles)
+	}
+	// Width-1 seqdf degenerates to at least vN speed or slower (it pays
+	// WaveAdvances serially too).
+	vnRes, err := vn.Run(p, prog.DefaultImage(p), vn.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if narrow.Cycles < vnRes.Cycles {
+		t.Errorf("width-1 seqdf (%d) beat vN (%d); WaveAdvance overhead lost", narrow.Cycles, vnRes.Cycles)
+	}
+}
+
+func TestSeqDFBlockSerializationLimitsParallelism(t *testing.T) {
+	// A loop whose iterations are independent but tiny: seqdf cannot
+	// overlap blocks, so time grows linearly with iterations regardless
+	// of width.
+	mk := func(n int64) *prog.Program {
+		p := prog.NewProgram("serial", "main")
+		p.DeclareMem("out", int(n))
+		p.AddFunc("main", nil, prog.C(0),
+			prog.ForRange("L", "i", prog.C(0), prog.C(n), nil,
+				prog.St("out", prog.V("i"), prog.V("i")),
+			),
+		)
+		return p
+	}
+	r1, err := Run(mk(100), prog.DefaultImage(mk(100)), Config{IssueWidth: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(mk(200), prog.DefaultImage(mk(200)), Config{IssueWidth: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(r2.Cycles) / float64(r1.Cycles)
+	if ratio < 1.7 || ratio > 2.3 {
+		t.Errorf("doubling iterations scaled cycles by %.2fx, want ~2x (block-serial)", ratio)
+	}
+}
+
+func TestSeqDFStateIncludesCarriedValues(t *testing.T) {
+	p := wideProgram(50)
+	sd, err := Run(p, prog.DefaultImage(p), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sd.PeakLive <= 0 || sd.MeanLive <= 0 {
+		t.Errorf("state stats empty: peak %d mean %f", sd.PeakLive, sd.MeanLive)
+	}
+	vnRes, err := vn.Run(p, prog.DefaultImage(p), vn.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sd.PeakLive < vnRes.PeakLive {
+		t.Errorf("seqdf peak %d below vN %d; in-block parallelism should add state", sd.PeakLive, vnRes.PeakLive)
+	}
+}
+
+func TestSeqDFResultCorrect(t *testing.T) {
+	p := prog.NewProgram("sum", "main")
+	p.AddFunc("main", nil, prog.V("s"),
+		prog.ForRange("L", "i", prog.C(0), prog.C(10), []prog.LoopVar{prog.LV("s", prog.C(0))},
+			prog.Set("s", prog.Add(prog.V("s"), prog.V("i"))),
+		),
+	)
+	if err := prog.Check(p); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(p, prog.DefaultImage(p), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ret != 45 {
+		t.Errorf("ret = %d, want 45", res.Ret)
+	}
+}

@@ -1,0 +1,286 @@
+// Package sparse provides the sparse-matrix substrate for the paper's
+// irregular workloads: CSR storage, synthetic generators standing in for
+// the SuiteSparse inputs (DNVS/trdheim, DIMACS10/M6 — unavailable offline;
+// see DESIGN.md §5), and native reference kernels used to validate the
+// simulated architectures' outputs.
+//
+// All values are small integers so that dot products stay far from int64
+// overflow at every input size the experiments use.
+package sparse
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// CSR is a compressed-sparse-row matrix of int64 values.
+type CSR struct {
+	Rows, Cols int
+	RowPtr     []int64 // len Rows+1
+	Col        []int64 // len NNZ, sorted within each row
+	Val        []int64 // len NNZ
+}
+
+// NNZ reports the number of stored entries.
+func (c *CSR) NNZ() int { return len(c.Col) }
+
+// Validate checks structural invariants.
+func (c *CSR) Validate() error {
+	if len(c.RowPtr) != c.Rows+1 {
+		return fmt.Errorf("sparse: RowPtr length %d, want %d", len(c.RowPtr), c.Rows+1)
+	}
+	if c.RowPtr[0] != 0 || c.RowPtr[c.Rows] != int64(len(c.Col)) {
+		return fmt.Errorf("sparse: RowPtr endpoints %d..%d, want 0..%d", c.RowPtr[0], c.RowPtr[c.Rows], len(c.Col))
+	}
+	if len(c.Val) != len(c.Col) {
+		return fmt.Errorf("sparse: %d values for %d columns", len(c.Val), len(c.Col))
+	}
+	for i := 0; i < c.Rows; i++ {
+		if c.RowPtr[i] > c.RowPtr[i+1] {
+			return fmt.Errorf("sparse: RowPtr not monotone at row %d", i)
+		}
+		for p := c.RowPtr[i]; p < c.RowPtr[i+1]; p++ {
+			if c.Col[p] < 0 || c.Col[p] >= int64(c.Cols) {
+				return fmt.Errorf("sparse: row %d col %d out of range", i, c.Col[p])
+			}
+			if p > c.RowPtr[i] && c.Col[p] <= c.Col[p-1] {
+				return fmt.Errorf("sparse: row %d columns not strictly increasing at %d", i, p)
+			}
+		}
+	}
+	return nil
+}
+
+// FromRows builds a CSR from per-row (col -> val) maps.
+func FromRows(rows, cols int, data []map[int64]int64) *CSR {
+	c := &CSR{Rows: rows, Cols: cols, RowPtr: make([]int64, rows+1)}
+	for i := 0; i < rows; i++ {
+		c.RowPtr[i] = int64(len(c.Col))
+		var keys []int64
+		for k := range data[i] {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+		for _, k := range keys {
+			c.Col = append(c.Col, k)
+			c.Val = append(c.Val, data[i][k])
+		}
+	}
+	c.RowPtr[rows] = int64(len(c.Col))
+	return c
+}
+
+// FromDense builds a CSR from a row-major dense matrix, skipping zeros.
+func FromDense(rows, cols int, dense []int64) *CSR {
+	data := make([]map[int64]int64, rows)
+	for i := 0; i < rows; i++ {
+		data[i] = make(map[int64]int64)
+		for j := 0; j < cols; j++ {
+			if v := dense[i*cols+j]; v != 0 {
+				data[i][int64(j)] = v
+			}
+		}
+	}
+	return FromRows(rows, cols, data)
+}
+
+// ToDense expands to a row-major dense matrix.
+func (c *CSR) ToDense() []int64 {
+	out := make([]int64, c.Rows*c.Cols)
+	for i := 0; i < c.Rows; i++ {
+		for p := c.RowPtr[i]; p < c.RowPtr[i+1]; p++ {
+			out[i*c.Cols+int(c.Col[p])] = c.Val[p]
+		}
+	}
+	return out
+}
+
+// Transpose returns the transpose (CSC view of the original).
+func (c *CSR) Transpose() *CSR {
+	data := make([]map[int64]int64, c.Cols)
+	for j := range data {
+		data[j] = make(map[int64]int64)
+	}
+	for i := 0; i < c.Rows; i++ {
+		for p := c.RowPtr[i]; p < c.RowPtr[i+1]; p++ {
+			data[c.Col[p]][int64(i)] = c.Val[p]
+		}
+	}
+	return FromRows(c.Cols, c.Rows, data)
+}
+
+// nonZeroVal returns a deterministic small nonzero value.
+func nonZeroVal(rng *rand.Rand) int64 { return int64(rng.Intn(9) + 1) }
+
+// Random generates a uniformly scattered matrix with approximately nnz
+// stored entries (duplicates collapse, so the realized count may be a
+// little lower at high densities).
+func Random(rows, cols, nnz int, seed int64) *CSR {
+	rng := rand.New(rand.NewSource(seed))
+	data := make([]map[int64]int64, rows)
+	for i := range data {
+		data[i] = make(map[int64]int64)
+	}
+	for k := 0; k < nnz; k++ {
+		i := rng.Intn(rows)
+		j := int64(rng.Intn(cols))
+		data[i][j] = nonZeroVal(rng)
+	}
+	return FromRows(rows, cols, data)
+}
+
+// Banded generates a symmetric-pattern banded matrix, the structure of FEM
+// stiffness matrices like DNVS/trdheim: each row has entries clustered
+// within halfBand of the diagonal at the given per-row fill.
+func Banded(n, halfBand, perRow int, seed int64) *CSR {
+	rng := rand.New(rand.NewSource(seed))
+	data := make([]map[int64]int64, n)
+	for i := range data {
+		data[i] = make(map[int64]int64)
+	}
+	for i := 0; i < n; i++ {
+		data[i][int64(i)] = nonZeroVal(rng) // diagonal
+		for k := 1; k < perRow; k++ {
+			off := rng.Intn(2*halfBand+1) - halfBand
+			j := i + off
+			if j < 0 || j >= n {
+				continue
+			}
+			v := nonZeroVal(rng)
+			data[i][int64(j)] = v
+			data[j][int64(i)] = v // symmetric pattern
+		}
+	}
+	return FromRows(n, n, data)
+}
+
+// SkewedDegrees generates a matrix whose row degrees follow a heavy-tailed
+// distribution (a few dense rows, many sparse ones), the load-imbalance
+// structure of mesh/graph matrices like DIMACS10/M6. avgDeg sets the mean
+// row degree.
+func SkewedDegrees(rows, cols, avgDeg int, seed int64) *CSR {
+	rng := rand.New(rand.NewSource(seed))
+	data := make([]map[int64]int64, rows)
+	for i := range data {
+		data[i] = make(map[int64]int64)
+	}
+	for i := 0; i < rows; i++ {
+		// Pareto-ish: degree = avgDeg/2 + avgDeg/(2*u) capped, giving a
+		// long tail with the requested mean order of magnitude.
+		u := rng.Float64()
+		deg := avgDeg/2 + int(float64(avgDeg)/(2*(u*7+0.125)))
+		if deg > cols {
+			deg = cols
+		}
+		for k := 0; k < deg; k++ {
+			data[i][int64(rng.Intn(cols))] = nonZeroVal(rng)
+		}
+	}
+	return FromRows(rows, cols, data)
+}
+
+// Vec is a sparse vector with sorted indices.
+type Vec struct {
+	N   int
+	Idx []int64
+	Val []int64
+}
+
+// NNZ reports the number of stored entries.
+func (v *Vec) NNZ() int { return len(v.Idx) }
+
+// RandomVec generates a sparse vector with approximately nnz entries.
+func RandomVec(n, nnz int, seed int64) *Vec {
+	rng := rand.New(rand.NewSource(seed))
+	set := make(map[int64]int64)
+	for k := 0; k < nnz; k++ {
+		set[int64(rng.Intn(n))] = nonZeroVal(rng)
+	}
+	var idx []int64
+	for i := range set {
+		idx = append(idx, i)
+	}
+	sort.Slice(idx, func(a, b int) bool { return idx[a] < idx[b] })
+	v := &Vec{N: n}
+	for _, i := range idx {
+		v.Idx = append(v.Idx, i)
+		v.Val = append(v.Val, set[i])
+	}
+	return v
+}
+
+// DenseVec generates a dense random vector.
+func DenseVec(n int, seed int64) []int64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(rng.Intn(9) + 1)
+	}
+	return out
+}
+
+// ---- native reference kernels (validation oracles) ----
+
+// SpMV computes y = A*x for dense x.
+func SpMV(a *CSR, x []int64) []int64 {
+	y := make([]int64, a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		var s int64
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			s += a.Val[p] * x[a.Col[p]]
+		}
+		y[i] = s
+	}
+	return y
+}
+
+// SpMSpV computes y = A*x for sparse x via per-row merge-joins.
+func SpMSpV(a *CSR, x *Vec) []int64 {
+	y := make([]int64, a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		p, q := a.RowPtr[i], int64(0)
+		var s int64
+		for p < a.RowPtr[i+1] && q < int64(len(x.Idx)) {
+			switch {
+			case a.Col[p] < x.Idx[q]:
+				p++
+			case a.Col[p] > x.Idx[q]:
+				q++
+			default:
+				s += a.Val[p] * x.Val[q]
+				p++
+				q++
+			}
+		}
+		y[i] = s
+	}
+	return y
+}
+
+// SpMSpM computes the dense result C = A*B via per-output merge-joins of
+// A's rows with B-transpose's rows (i.e., B's columns).
+func SpMSpM(a, b *CSR) []int64 {
+	bt := b.Transpose()
+	c := make([]int64, a.Rows*b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < b.Cols; j++ {
+			p, q := a.RowPtr[i], bt.RowPtr[j]
+			var s int64
+			for p < a.RowPtr[i+1] && q < bt.RowPtr[j+1] {
+				switch {
+				case a.Col[p] < bt.Col[q]:
+					p++
+				case a.Col[p] > bt.Col[q]:
+					q++
+				default:
+					s += a.Val[p] * bt.Val[q]
+					p++
+					q++
+				}
+			}
+			c[i*b.Cols+j] = s
+		}
+	}
+	return c
+}

@@ -1,0 +1,212 @@
+package sparse
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFromDenseRoundTrip(t *testing.T) {
+	dense := []int64{
+		1, 0, 2,
+		0, 0, 3,
+		4, 5, 0,
+	}
+	c := FromDense(3, 3, dense)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.NNZ() != 5 {
+		t.Errorf("NNZ = %d, want 5", c.NNZ())
+	}
+	back := c.ToDense()
+	for i, v := range dense {
+		if back[i] != v {
+			t.Errorf("dense[%d] = %d, want %d", i, back[i], v)
+		}
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	a := Random(17, 23, 60, 1)
+	tt := a.Transpose().Transpose()
+	if err := tt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	ad, td := a.ToDense(), tt.ToDense()
+	for i := range ad {
+		if ad[i] != td[i] {
+			t.Fatalf("transpose^2 differs at %d", i)
+		}
+	}
+}
+
+func TestTransposeDense(t *testing.T) {
+	a := Random(5, 8, 15, 2)
+	at := a.Transpose()
+	ad, atd := a.ToDense(), at.ToDense()
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 8; j++ {
+			if ad[i*8+j] != atd[j*5+i] {
+				t.Fatalf("transpose wrong at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestGeneratorsValid(t *testing.T) {
+	gens := map[string]*CSR{
+		"random":  Random(40, 40, 200, 3),
+		"banded":  Banded(50, 4, 6, 4),
+		"skewed":  SkewedDegrees(60, 60, 8, 5),
+		"random2": Random(1, 1, 1, 6),
+	}
+	for name, c := range gens {
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if c.NNZ() == 0 {
+			t.Errorf("%s: empty matrix", name)
+		}
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	a := Random(30, 30, 100, 7)
+	b := Random(30, 30, 100, 7)
+	if a.NNZ() != b.NNZ() {
+		t.Fatal("same seed produced different matrices")
+	}
+	for i := range a.Col {
+		if a.Col[i] != b.Col[i] || a.Val[i] != b.Val[i] {
+			t.Fatal("same seed produced different matrices")
+		}
+	}
+	c := Random(30, 30, 100, 8)
+	same := a.NNZ() == c.NNZ()
+	if same {
+		for i := range a.Col {
+			if a.Col[i] != c.Col[i] || a.Val[i] != c.Val[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical matrices")
+	}
+}
+
+func TestBandedStructure(t *testing.T) {
+	half := 5
+	c := Banded(80, half, 4, 9)
+	for i := 0; i < c.Rows; i++ {
+		for p := c.RowPtr[i]; p < c.RowPtr[i+1]; p++ {
+			off := int(c.Col[p]) - i
+			if off < -half || off > half {
+				t.Fatalf("entry (%d,%d) outside band %d", i, c.Col[p], half)
+			}
+		}
+	}
+}
+
+func TestSkewedDegreesHasTail(t *testing.T) {
+	c := SkewedDegrees(200, 200, 10, 11)
+	minDeg, maxDeg := 1<<30, 0
+	for i := 0; i < c.Rows; i++ {
+		d := int(c.RowPtr[i+1] - c.RowPtr[i])
+		if d < minDeg {
+			minDeg = d
+		}
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	if maxDeg < 2*minDeg+2 {
+		t.Errorf("degree spread too flat: min %d max %d", minDeg, maxDeg)
+	}
+}
+
+// naive dense reference for SpMV/SpMSpM cross-checks
+func denseMV(rows, cols int, m, x []int64) []int64 {
+	y := make([]int64, rows)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			y[i] += m[i*cols+j] * x[j]
+		}
+	}
+	return y
+}
+
+func TestSpMVMatchesDense(t *testing.T) {
+	a := Random(25, 30, 120, 13)
+	x := DenseVec(30, 14)
+	got := SpMV(a, x)
+	want := denseMV(25, 30, a.ToDense(), x)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("y[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSpMSpVMatchesDense(t *testing.T) {
+	a := Random(25, 30, 120, 15)
+	xs := RandomVec(30, 8, 16)
+	xd := make([]int64, 30)
+	for k, idx := range xs.Idx {
+		xd[idx] = xs.Val[k]
+	}
+	got := SpMSpV(a, xs)
+	want := denseMV(25, 30, a.ToDense(), xd)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("y[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSpMSpMMatchesDense(t *testing.T) {
+	a := Random(12, 15, 50, 17)
+	b := Random(15, 10, 40, 18)
+	got := SpMSpM(a, b)
+	ad, bd := a.ToDense(), b.ToDense()
+	for i := 0; i < 12; i++ {
+		for j := 0; j < 10; j++ {
+			var s int64
+			for k := 0; k < 15; k++ {
+				s += ad[i*15+k] * bd[k*10+j]
+			}
+			if got[i*10+j] != s {
+				t.Fatalf("C[%d,%d] = %d, want %d", i, j, got[i*10+j], s)
+			}
+		}
+	}
+}
+
+func TestRandomVecSorted(t *testing.T) {
+	f := func(seed int64) bool {
+		v := RandomVec(100, 20, seed)
+		for i := 1; i < len(v.Idx); i++ {
+			if v.Idx[i] <= v.Idx[i-1] {
+				return false
+			}
+		}
+		return v.NNZ() > 0 && v.NNZ() <= 20
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	c := Random(10, 10, 30, 19)
+	c.Col[0] = 99
+	if err := c.Validate(); err == nil {
+		t.Error("out-of-range column not caught")
+	}
+	c = Random(10, 10, 30, 19)
+	c.RowPtr[5] = c.RowPtr[6] + 1
+	if err := c.Validate(); err == nil {
+		t.Error("non-monotone RowPtr not caught")
+	}
+}

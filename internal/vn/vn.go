@@ -1,0 +1,144 @@
+// Package vn models the sequential von Neumann baseline (Sec. II-C).
+//
+// A CPU's token synchronization is total program order: one dynamic
+// instruction per cycle, so execution time equals the dynamic instruction
+// count and IPC is identically 1. Live state is the number of live variable
+// bindings plus call depth — the registers/stack slots a sequential machine
+// keeps — which stays tiny because the depth-first traversal of the dynamic
+// dataflow graph never has more than one loop iteration in flight.
+//
+// The model runs on the reference interpreter (internal/prog) through its
+// CostModel hook, so the values it computes are by construction the golden
+// semantics the dataflow machines are checked against.
+package vn
+
+import (
+	"repro/internal/mem"
+	"repro/internal/prog"
+)
+
+// StatePoint is one sample of the live-value trace.
+type StatePoint struct {
+	Cycle int64
+	Live  int64
+}
+
+// Result reports one run.
+type Result struct {
+	Completed bool
+	Cycles    int64 // == dynamic instructions
+	Fired     int64
+	Ret       int64
+	PeakLive  int64
+	MeanLive  float64
+	IPCHist   map[int]int64
+	Trace     []StatePoint
+	Stats     prog.Stats
+}
+
+// IPC returns mean instructions per cycle (always 1 for vN).
+func (r Result) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Fired) / float64(r.Cycles)
+}
+
+// Config parameterizes a run.
+type Config struct {
+	Args     []int64
+	MaxSteps int64
+	// LoadLatency adds stall cycles per load (a sequential machine
+	// cannot hide memory latency; 0 or 1 = single-cycle memory).
+	LoadLatency int
+	// TracePoints caps the live-state trace length (0 = default 4096).
+	TracePoints int
+}
+
+// model implements prog.CostModel with vN cost semantics.
+type model struct {
+	instrs  int64
+	stalls  int64
+	loadLat int64
+
+	// live-state integration: live values change only at boundaries, so
+	// integrate live*dt between them.
+	lastInstrs int64
+	lastLive   int64
+	sumLive    int64
+	peakLive   int64
+
+	trace       []StatePoint
+	tracePoints int
+	traceStride int64
+}
+
+func (m *model) Instr(class prog.InstrClass, _ ...int64) int64 {
+	m.instrs++
+	if class == prog.ClassLoad && m.loadLat > 1 {
+		m.stalls += m.loadLat - 1
+	}
+	return 0
+}
+
+func (m *model) Boundary(_ prog.BoundaryKind, live int) {
+	dt := m.instrs - m.lastInstrs
+	m.sumLive += m.lastLive * dt
+	m.lastInstrs = m.instrs
+	m.lastLive = int64(live)
+	if m.lastLive > m.peakLive {
+		m.peakLive = m.lastLive
+	}
+	m.sample()
+}
+
+func (m *model) sample() {
+	if m.tracePoints <= 0 {
+		return
+	}
+	if len(m.trace) > 0 && m.instrs-m.trace[len(m.trace)-1].Cycle < m.traceStride {
+		return
+	}
+	m.trace = append(m.trace, StatePoint{Cycle: m.instrs, Live: m.lastLive})
+	if len(m.trace) >= m.tracePoints {
+		kept := m.trace[:0]
+		for i := 0; i < len(m.trace); i += 2 {
+			kept = append(kept, m.trace[i])
+		}
+		m.trace = kept
+		m.traceStride *= 2
+	}
+}
+
+// Run executes the program under the vN cost model.
+func Run(p *prog.Program, im *mem.Image, cfg Config) (Result, error) {
+	m := &model{tracePoints: cfg.TracePoints, traceStride: 1, loadLat: int64(cfg.LoadLatency)}
+	if m.tracePoints == 0 {
+		m.tracePoints = 4096
+	}
+	res, err := prog.Run(p, im, prog.RunConfig{Args: cfg.Args, MaxSteps: cfg.MaxSteps, Model: m})
+	if err != nil {
+		return Result{}, err
+	}
+	// Close the live integration at program end.
+	m.Boundary(prog.BoundaryCallExit, 0)
+
+	cycles := m.instrs + m.stalls
+	out := Result{
+		Completed: true,
+		Cycles:    cycles,
+		Fired:     m.instrs,
+		Ret:       res.Ret,
+		PeakLive:  m.peakLive,
+		Trace:     m.trace,
+		Stats:     res.Stats,
+		IPCHist:   map[int]int64{1: m.instrs},
+	}
+	if m.stalls > 0 {
+		out.IPCHist[0] = m.stalls
+	}
+	if m.instrs > 0 {
+		out.MeanLive = float64(m.sumLive) / float64(m.instrs)
+	}
+	return out, nil
+}
