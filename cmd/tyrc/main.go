@@ -3,12 +3,15 @@
 //
 // Usage:
 //
-//	tyrc [-sys tyr] [-tags 64] [-width 128] [-O] [-arg N]... [-emit asm|dot|ir] prog.tyr
+//	tyrc [-sys tyr] [-tags 64] [-width 128] [-O] [-arg N]... [-emit asm|dot|ir] [-vet] prog.tyr
 //
 // The program runs against its declared memory regions (zero-filled) and
 // the result plus machine metrics are printed. -emit stops after
-// compilation and prints the requested form. Results are cross-checked
-// against the reference interpreter unless -emit is used.
+// compilation and prints the requested form. -vet runs the static verifier
+// (free barriers, tag safety, memory-ordering races) on the tagged lowering
+// and exits nonzero if any pass finds a definite violation. Results are
+// cross-checked against the reference interpreter unless -emit or -vet is
+// used.
 package main
 
 import (
@@ -17,6 +20,7 @@ import (
 	"os"
 	"strconv"
 
+	"repro/internal/analysis"
 	"repro/internal/compile"
 	"repro/internal/core"
 	"repro/internal/metrics"
@@ -44,6 +48,7 @@ func main() {
 	width := flag.Int("width", 128, "issue width")
 	optimize := flag.Bool("O", false, "run the optimizer (fold, simplify, DCE) before compiling")
 	emit := flag.String("emit", "", "emit a compiled form and exit: asm, dot, or ir")
+	vet := flag.Bool("vet", false, "statically verify the compiled graph (free barriers, tag safety, races) and exit")
 	var args argList
 	flag.Var(&args, "arg", "entry argument (repeatable)")
 	flag.Parse()
@@ -65,6 +70,19 @@ func main() {
 	}
 	if *optimize {
 		p = prog.Optimize(p)
+	}
+
+	if *vet {
+		g, err := compile.Tagged(p, compile.Options{EntryArgs: args})
+		if err != nil {
+			fail(err)
+		}
+		rep := analysis.Vet(g, p)
+		fmt.Print(rep)
+		if !rep.OK() {
+			os.Exit(1)
+		}
+		return
 	}
 
 	if *emit == "ir" {

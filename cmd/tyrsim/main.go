@@ -4,11 +4,13 @@
 // Usage:
 //
 //	tyrsim -app spmspm -sys tyr [-scale small] [-width 128] [-tags 64]
-//	       [-global-tags 8] [-trace]
+//	       [-global-tags 8] [-trace] [-check]
 //
 // -sys accepts vN, seqdf, ordered, unordered, tyr. With -global-tags N,
 // the unordered system uses a bounded global pool (the Fig. 11 deadlock
-// configuration). -trace prints the live-state-over-time plot.
+// configuration). -trace prints the live-state-over-time plot. -check runs
+// the static verifier on the compiled graph first and then executes with
+// the runtime sanitizer enabled.
 package main
 
 import (
@@ -16,6 +18,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/analysis"
 	"repro/internal/apps"
 	"repro/internal/compile"
 	"repro/internal/core"
@@ -36,6 +39,7 @@ func main() {
 	asm := flag.Bool("asm", false, "print the compiled dataflow graph in assembly form and exit")
 	list := flag.Bool("list", false, "list the available workloads and exit")
 	blocks := flag.Bool("blocks", false, "print per-block tag usage and live state (tyr/unordered only)")
+	check := flag.Bool("check", false, "run the static verifier before executing and the runtime sanitizer during execution")
 	flag.Parse()
 
 	if *list {
@@ -94,6 +98,28 @@ func main() {
 		GlobalTags: *globalTags,
 		SkipCheck:  *globalTags > 0, // a deadlocked run has no output to validate
 	}
+
+	if *check {
+		var g *dfg.Graph
+		var err error
+		if *sys == harness.SysOrdered {
+			g, err = compile.Ordered(app.Prog, compile.Options{EntryArgs: app.Args})
+		} else {
+			g, err = compile.Tagged(app.Prog, compile.Options{EntryArgs: app.Args})
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tyrsim: %v\n", err)
+			os.Exit(1)
+		}
+		rep := analysis.Vet(g, app.Prog)
+		fmt.Print(rep)
+		if !rep.OK() {
+			fmt.Fprintln(os.Stderr, "tyrsim: static verification failed; not running")
+			os.Exit(1)
+		}
+		cfg.Sanitize = true
+	}
+
 	rs, err := harness.Run(app, *sys, cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tyrsim: %v\n", err)

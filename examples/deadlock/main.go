@@ -37,6 +37,10 @@ func main() {
 		if res.Deadlocked {
 			fmt.Printf("unordered, %3d global tags: DEADLOCK at cycle %d — %d tokens stuck, %d allocates starved\n",
 				tags, res.Deadlock.Cycle, res.Deadlock.LiveTokens, len(res.Deadlock.PendingAllocs))
+			for _, sp := range res.Deadlock.Spaces {
+				fmt.Printf("    starved %s block %q: %d allocate(s) waiting, %d of %d pool tags in use\n",
+					sp.Kind, sp.Block, sp.Starved, sp.InUse, sp.Tags)
+			}
 			for i, pa := range res.Deadlock.PendingAllocs {
 				if i >= 3 {
 					fmt.Printf("    ... and %d more\n", len(res.Deadlock.PendingAllocs)-3)

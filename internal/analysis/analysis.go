@@ -1,0 +1,139 @@
+// Package analysis statically verifies compiled dataflow graphs, turning
+// the correctness claims the engines check dynamically into compile-time
+// proofs (in the spirit of WaveCert's token-permission accounting for
+// dataflow compiler output):
+//
+//   - VerifyBarriers proves, per concurrent block, that the block's tag is
+//     freed exactly once per context along every steer path, that every
+//     node's token traffic is balanced (each input port of a node receives
+//     the same per-context multiplicity), and that every instruction is
+//     covered by the block's free barrier. A compiler bug that today only
+//     surfaces as a hang or a token collision becomes a static error
+//     naming the offending node.
+//
+//   - TagSafety computes each block's minimum tag requirement from the
+//     external-allocate / tail-recursion structure and statically predicts
+//     which bounded-global-pool configurations can deadlock (the paper's
+//     Fig. 11 becomes a static warning).
+//
+//   - CheckRaces flags load/store pairs on the same memory region that are
+//     not serialized by a shared ordering class (the transactional-
+//     WaveCache view of memory-ordering violations as detectable races).
+//
+// Vet bundles all three; the tyrc -vet and tyrsim -check flags expose them
+// on the command line.
+package analysis
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/dfg"
+	"repro/internal/prog"
+)
+
+// Severity grades a finding.
+type Severity uint8
+
+const (
+	// SevError marks a definite violation: the graph (or program) breaks
+	// an invariant the machine relies on.
+	SevError Severity = iota
+	// SevWarning marks a property the analysis could not prove but also
+	// could not refute (e.g. unresolved cross-context arrival counts).
+	SevWarning
+	// SevInfo carries advisory results (tag-requirement predictions).
+	SevInfo
+)
+
+func (s Severity) String() string {
+	switch s {
+	case SevError:
+		return "error"
+	case SevWarning:
+		return "warning"
+	}
+	return "info"
+}
+
+// Finding is one diagnostic from a static pass.
+type Finding struct {
+	Pass     string // "barrier", "tags", or "races"
+	Severity Severity
+	Block    dfg.BlockID // offending block, or -1
+	Node     dfg.NodeID  // offending node, or dfg.InvalidNode
+	Msg      string
+}
+
+func (f Finding) String() string {
+	loc := ""
+	if f.Node != dfg.InvalidNode {
+		loc = fmt.Sprintf(" n%d", f.Node)
+	} else if f.Block >= 0 {
+		loc = fmt.Sprintf(" blk%d", f.Block)
+	}
+	return fmt.Sprintf("%s [%s]%s: %s", f.Severity, f.Pass, loc, f.Msg)
+}
+
+// Report aggregates the results of running the static passes on one graph.
+type Report struct {
+	Graph    string
+	Findings []Finding
+	Tags     *TagReport // populated when the tags pass ran
+}
+
+// Errors returns only the SevError findings.
+func (r *Report) Errors() []Finding {
+	var out []Finding
+	for _, f := range r.Findings {
+		if f.Severity == SevError {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// OK reports whether no pass found a definite violation.
+func (r *Report) OK() bool { return len(r.Errors()) == 0 }
+
+// String renders the report for CLI consumption.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "vet %s:", r.Graph)
+	if len(r.Findings) == 0 {
+		b.WriteString(" all passes clean\n")
+	} else {
+		b.WriteString("\n")
+		for _, f := range r.Findings {
+			fmt.Fprintf(&b, "  %s\n", f)
+		}
+	}
+	if r.Tags != nil {
+		b.WriteString(r.Tags.String())
+	}
+	return b.String()
+}
+
+// Vet runs every applicable static pass: the free-barrier verifier and the
+// tag-safety analysis on the graph (tagged lowerings only), and the
+// memory-ordering race detector on the source program when provided (p may
+// be nil when only the graph is available).
+func Vet(g *dfg.Graph, p *prog.Program) *Report {
+	r := &Report{Graph: g.Name}
+	if g.RootFree == dfg.InvalidNode {
+		// Ordered lowerings have no tag management to verify.
+		r.Findings = append(r.Findings, Finding{
+			Pass: "barrier", Severity: SevInfo, Block: -1, Node: dfg.InvalidNode,
+			Msg: "untagged (ordered) graph: tag passes skipped",
+		})
+	} else {
+		r.Findings = append(r.Findings, VerifyBarriers(g)...)
+		tags, fs := TagSafety(g)
+		r.Tags = tags
+		r.Findings = append(r.Findings, fs...)
+	}
+	if p != nil {
+		r.Findings = append(r.Findings, CheckRaces(p)...)
+	}
+	return r
+}

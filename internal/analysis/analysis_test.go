@@ -1,0 +1,230 @@
+package analysis_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/dfg"
+	"repro/internal/prog"
+)
+
+// dropEdgesInto removes every static edge feeding the given port, leaving
+// the port starved — the shape of a compiler bug that forgets to connect a
+// join input.
+func dropEdgesInto(g *dfg.Graph, port dfg.Port) int {
+	dropped := 0
+	for i := range g.Nodes {
+		n := &g.Nodes[i]
+		for out, dests := range n.Outs {
+			kept := dests[:0]
+			for _, d := range dests {
+				if d == port {
+					dropped++
+					continue
+				}
+				kept = append(kept, d)
+			}
+			n.Outs[out] = kept
+		}
+	}
+	return dropped
+}
+
+func hasError(fs []analysis.Finding, pass string) bool {
+	for _, f := range fs {
+		if f.Severity == analysis.SevError && f.Pass == pass {
+			return true
+		}
+	}
+	return false
+}
+
+// TestBarrierCatchesDroppedJoinInput corrupts a compiled graph by removing
+// one input edge of a join inside a concurrent block: the join's ports now
+// receive different per-context multiplicities, which the balance equations
+// must reject.
+func TestBarrierCatchesDroppedJoinInput(t *testing.T) {
+	g := compileTagged(t, apps.Histogram(64, 8, 7))
+	if errs := analysis.Vet(g, nil).Errors(); len(errs) != 0 {
+		t.Fatalf("clean graph rejected: %v", errs)
+	}
+
+	corrupted := false
+	for i := range g.Nodes {
+		n := &g.Nodes[i]
+		if n.Op != dfg.OpJoin || n.Block == 0 || n.NIn < 2 {
+			continue
+		}
+		if dropEdgesInto(g, dfg.Port{Node: n.ID, In: 1}) > 0 {
+			corrupted = true
+			break
+		}
+	}
+	if !corrupted {
+		t.Fatal("no join with a droppable input found")
+	}
+
+	fs := analysis.VerifyBarriers(g)
+	if !hasError(fs, "barrier") {
+		t.Fatalf("dropped join input not detected; findings: %v", fs)
+	}
+	t.Logf("detected: %s", fs[0])
+}
+
+// TestBarrierCatchesDoubleFree duplicates the token edge feeding a block's
+// free instruction, making the free fire twice per context — the
+// exactly-once free equation must reject it.
+func TestBarrierCatchesDoubleFree(t *testing.T) {
+	g := compileTagged(t, apps.Histogram(64, 8, 7))
+
+	corrupted := false
+	for i := range g.Nodes {
+		n := &g.Nodes[i]
+		if n.Op != dfg.OpFree || n.Block == 0 {
+			continue
+		}
+		target := dfg.Port{Node: n.ID, In: 0}
+		for j := range g.Nodes {
+			src := &g.Nodes[j]
+			for out, dests := range src.Outs {
+				for _, d := range dests {
+					if d == target {
+						src.Outs[out] = append(src.Outs[out], target)
+						corrupted = true
+						break
+					}
+				}
+				if corrupted {
+					break
+				}
+			}
+			if corrupted {
+				break
+			}
+		}
+		if corrupted {
+			break
+		}
+	}
+	if !corrupted {
+		t.Fatal("no free with a duplicable input edge found")
+	}
+
+	fs := analysis.VerifyBarriers(g)
+	if !hasError(fs, "barrier") {
+		t.Fatalf("double free not detected; findings: %v", fs)
+	}
+}
+
+// TestRacesCatchMissingClass builds the minimal racy program — a region
+// that is loaded without a class and stored with one — and checks the race
+// pass rejects it, while the fully classed version is accepted.
+func TestRacesCatchMissingClass(t *testing.T) {
+	build := func(loadClass string) *prog.Program {
+		p := prog.NewProgram("racy", "main")
+		p.DeclareMem("acc", 1)
+		p.AddFunc("main", nil, prog.C(0),
+			prog.ForRange("racy.loop", "i", prog.C(0), prog.C(4), nil,
+				prog.StClass("acc", prog.C(0),
+					prog.Add(prog.LdClass("acc", prog.C(0), loadClass), prog.V("i")), "a"),
+			),
+		)
+		return p
+	}
+
+	if fs := analysis.CheckRaces(build("a")); len(fs) != 0 {
+		t.Fatalf("classed RMW flagged: %v", fs)
+	}
+	fs := analysis.CheckRaces(build(""))
+	if !hasError(fs, "races") {
+		t.Fatalf("unclassed load against classed store not detected; findings: %v", fs)
+	}
+	if !strings.Contains(fs[0].Msg, "acc") {
+		t.Errorf("finding does not name the region: %s", fs[0].Msg)
+	}
+}
+
+// TestTagSafetyHist checks the static minimum-pool prediction for the flat
+// histogram loop against the dynamic outcome on both sides of the
+// threshold: the holds chain is root -> loop plus the backedge reserve, so
+// 3 global tags are needed and 2 must deadlock.
+func TestTagSafetyHist(t *testing.T) {
+	a := apps.Histogram(64, 8, 7)
+	g := compileTagged(t, a)
+	rep, _ := analysis.TagSafety(g)
+
+	if rep.Unbounded {
+		t.Errorf("flat loop reported as unbounded demand")
+	}
+	if rep.MinGlobalTags != 3 {
+		t.Errorf("MinGlobalTags = %d, want 3", rep.MinGlobalTags)
+	}
+	if v := rep.GlobalBounded(2); v != analysis.VerdictWillDeadlock {
+		t.Errorf("GlobalBounded(2) = %v, want will-deadlock", v)
+	}
+	if v := rep.GlobalBounded(3); v != analysis.VerdictSafe {
+		t.Errorf("GlobalBounded(3) = %v, want safe", v)
+	}
+
+	for k, wantDeadlock := range map[int]bool{2: true, 3: false} {
+		res, err := core.Run(g, a.NewImage(), core.Config{Policy: core.PolicyGlobalBounded, GlobalTags: k})
+		if err != nil {
+			t.Fatalf("run k=%d: %v", k, err)
+		}
+		if res.Deadlocked != wantDeadlock {
+			t.Errorf("dynamic GlobalBounded(%d): deadlocked=%v, static prediction says %v",
+				k, res.Deadlocked, wantDeadlock)
+		}
+	}
+}
+
+// TestTagSafetyDmvFig11 is the paper's Fig. 11 as a static warning: the
+// tag-safety pass must flag the GlobalBounded(8) dmv configuration, and the
+// engine must confirm the deadlock dynamically.
+func TestTagSafetyDmvFig11(t *testing.T) {
+	a := apps.Dmv(16, 16, 1)
+	g := compileTagged(t, a)
+	rep, fs := analysis.TagSafety(g)
+
+	if !rep.Unbounded {
+		t.Fatalf("dmv (tail-recursive outer allocating into inner) not reported unbounded:\n%s", rep)
+	}
+	if v := rep.GlobalBounded(8); v != analysis.VerdictMayDeadlock {
+		t.Errorf("GlobalBounded(8) = %v, want may-deadlock", v)
+	}
+	warned := false
+	for _, f := range fs {
+		if f.Severity == analysis.SevWarning && strings.Contains(f.Msg, "Fig. 11") {
+			warned = true
+		}
+	}
+	if !warned {
+		t.Errorf("no Fig. 11 warning among findings: %v", fs)
+	}
+
+	res, err := core.Run(g, a.NewImage(), core.Config{Policy: core.PolicyGlobalBounded, GlobalTags: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Deadlocked {
+		t.Fatalf("dmv under GlobalBounded(8) did not deadlock dynamically (cycles=%d)", res.Cycles)
+	}
+
+	// TYR with the per-block minimum the analysis computed must complete.
+	minTags := 1
+	for _, b := range rep.Blocks {
+		if b.MinLocalTags > minTags {
+			minTags = b.MinLocalTags
+		}
+	}
+	res, err = core.Run(g, a.NewImage(), core.Config{Policy: core.PolicyTyr, TagsPerBlock: minTags})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatalf("TYR with %d tags/block did not complete: %v", minTags, res.Deadlock)
+	}
+}

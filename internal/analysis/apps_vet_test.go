@@ -1,0 +1,52 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/apps"
+	"repro/internal/compile"
+	"repro/internal/dfg"
+)
+
+// vetApps is the full workload roster the static passes must accept: the
+// seven Table II kernels plus the extra workloads exercising recursion
+// (explicit stack) and ordering-class read-modify-write traffic.
+func vetApps() []*apps.App {
+	suite := apps.Suite(apps.ScaleTiny)
+	suite = append(suite,
+		apps.FibStack(12),
+		apps.Histogram(64, 8, 7),
+		apps.Bfs(24, 4, 0.2, 11, 0),
+	)
+	return suite
+}
+
+func compileTagged(t *testing.T, a *apps.App) *dfg.Graph {
+	t.Helper()
+	g, err := compile.Tagged(a.Prog, compile.Options{EntryArgs: a.Args})
+	if err != nil {
+		t.Fatalf("compile %s: %v", a.Name, err)
+	}
+	return g
+}
+
+// TestVetAcceptsWorkloads runs every static pass over every workload the
+// repo ships. A false positive here means the verifier's model of the
+// compiler's output is wrong, so failures print the full report.
+func TestVetAcceptsWorkloads(t *testing.T) {
+	for _, a := range vetApps() {
+		t.Run(a.Name, func(t *testing.T) {
+			g := compileTagged(t, a)
+			rep := analysis.Vet(g, a.Prog)
+			if !rep.OK() {
+				t.Fatalf("vet rejected %s:\n%s", a.Name, rep)
+			}
+			for _, f := range rep.Findings {
+				if f.Severity == analysis.SevWarning {
+					t.Logf("warning: %s", f)
+				}
+			}
+		})
+	}
+}

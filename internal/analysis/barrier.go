@@ -1,0 +1,575 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/dfg"
+)
+
+// VerifyBarriers statically proves the free-barrier discipline of a tagged
+// graph, block by block (Sec. IV-A of the paper, in the style of WaveCert's
+// token-permission accounting):
+//
+//   - token balance: within one context of a block, every input port of a
+//     node receives the same per-context token multiplicity, expressed as a
+//     multilinear polynomial over steer-condition variables;
+//   - exactly-once free: the block's free instructions fire a combined
+//     multiplicity of exactly 1 per context, along every steer path;
+//   - barrier coverage: every instruction of the block reaches a free of
+//     the block through same-context edges, so no token can outlive its
+//     tag's release;
+//   - entry coverage: every transfer point creating contexts of the block
+//     (external allocate or backedge) feeds the same set of entry ports;
+//   - invocation contract: each context of a tail-recursive block either
+//     spawns its successor or exits, exactly once; function contexts
+//     return exactly once.
+//
+// Cross-context arrival counts (dynamically routed call returns, child-loop
+// exit tokens) are unknowns solved from the balance equations themselves;
+// anything left unresolved is reported as a warning rather than silently
+// assumed.
+func VerifyBarriers(g *dfg.Graph) []Finding {
+	v := newVerifier(g)
+	var out []Finding
+	for b := range g.Blocks {
+		out = append(out, v.verifyBlock(dfg.BlockID(b))...)
+	}
+	return out
+}
+
+// srcRef is one producing output port.
+type srcRef struct {
+	node dfg.NodeID
+	out  int
+}
+
+type verifier struct {
+	g *dfg.Graph
+
+	// producers[port] lists every static edge into the port.
+	producers map[dfg.Port][]srcRef
+	injCount  map[dfg.Port]int
+
+	// entrySpace[n] is the tag space an OpChangeTag node creates contexts
+	// in (valid when entryOK[n]): every producer of its tag input is an
+	// allocate's tag output for that space.
+	entrySpace map[dfg.NodeID]dfg.BlockID
+
+	// condition variables, keyed by the canonical producer set of the
+	// steer's decider port; unknowns, keyed by receiving port.
+	condVars  map[string]condVar
+	condNames []string
+	unknowns  map[dfg.Port]unknown
+	unkNames  []string
+}
+
+func newVerifier(g *dfg.Graph) *verifier {
+	v := &verifier{
+		g:          g,
+		producers:  make(map[dfg.Port][]srcRef),
+		injCount:   make(map[dfg.Port]int),
+		entrySpace: make(map[dfg.NodeID]dfg.BlockID),
+		condVars:   make(map[string]condVar),
+		unknowns:   make(map[dfg.Port]unknown),
+	}
+	for i := range g.Nodes {
+		n := &g.Nodes[i]
+		for out, dests := range n.Outs {
+			for _, d := range dests {
+				v.producers[d] = append(v.producers[d], srcRef{node: n.ID, out: out})
+			}
+		}
+	}
+	for _, inj := range g.Entries {
+		v.injCount[inj.To]++
+	}
+	for i := range g.Nodes {
+		n := &g.Nodes[i]
+		if n.Op != dfg.OpChangeTag {
+			continue
+		}
+		space := dfg.BlockID(-1)
+		ok := true
+		for _, p := range v.producers[dfg.Port{Node: n.ID, In: 0}] {
+			src := &g.Nodes[p.node]
+			if src.Op != dfg.OpAllocate || p.out != dfg.AllocTagOut {
+				ok = false
+				break
+			}
+			if space >= 0 && space != src.Space {
+				ok = false
+				break
+			}
+			space = src.Space
+		}
+		if ok && space >= 0 {
+			v.entrySpace[n.ID] = space
+		}
+	}
+	return v
+}
+
+func (v *verifier) condVarOf(deciderPort dfg.Port) condVar {
+	srcs := v.producers[deciderPort]
+	keys := make([]string, 0, len(srcs)+1)
+	for _, s := range srcs {
+		keys = append(keys, fmt.Sprintf("n%d.%d", s.node, s.out))
+	}
+	if v.injCount[deciderPort] > 0 {
+		keys = append(keys, "inj")
+	}
+	sort.Strings(keys)
+	key := strings.Join(keys, "|")
+	if cv, ok := v.condVars[key]; ok {
+		return cv
+	}
+	cv := condVar(len(v.condNames))
+	v.condVars[key] = cv
+	name := "c(?)"
+	if len(keys) > 0 {
+		name = "c(" + keys[0] + ")"
+	}
+	v.condNames = append(v.condNames, name)
+	return cv
+}
+
+func (v *verifier) unknownOf(p dfg.Port) unknown {
+	if u, ok := v.unknowns[p]; ok {
+		return u
+	}
+	u := unknown(len(v.unkNames))
+	v.unknowns[p] = u
+	v.unkNames = append(v.unkNames, fmt.Sprintf("x(n%d.%d)", p.Node, p.In))
+	return u
+}
+
+func (v *verifier) condName(c condVar) string { return v.condNames[c] }
+func (v *verifier) unkName(u unknown) string  { return v.unkNames[u] }
+
+func (v *verifier) desc(id dfg.NodeID) string {
+	n := &v.g.Nodes[id]
+	if n.Label != "" {
+		return fmt.Sprintf("n%d(%s %q)", id, n.Op, n.Label)
+	}
+	return fmt.Sprintf("n%d(%s)", id, n.Op)
+}
+
+// blockCtx holds the per-block classification shared by the solve passes.
+type blockCtx struct {
+	bid   dfg.BlockID
+	nodes []dfg.NodeID
+	topo  []dfg.NodeID
+
+	inCtx     map[dfg.Port][]srcRef            // same-context producing edges
+	entry     map[dfg.Port]bool                // fed once per context creation
+	crossed   map[dfg.Port]bool                // cross-context arrivals (unknown count)
+	entrySite map[dfg.NodeID]map[dfg.Port]bool // creating allocate -> ports
+
+	exitCTs []dfg.NodeID // changeTags leaving the block (invocation exits)
+}
+
+// classify splits the edges touching one block into same-context edges,
+// context-creating entry edges, and cross-context (unknown) arrivals.
+func (v *verifier) classify(bid dfg.BlockID) *blockCtx {
+	g := v.g
+	bc := &blockCtx{
+		bid:       bid,
+		inCtx:     make(map[dfg.Port][]srcRef),
+		entry:     make(map[dfg.Port]bool),
+		crossed:   make(map[dfg.Port]bool),
+		entrySite: make(map[dfg.NodeID]map[dfg.Port]bool),
+	}
+	inBlock := func(id dfg.NodeID) bool { return g.Nodes[id].Block == bid }
+	for i := range g.Nodes {
+		if g.Nodes[i].Block == bid {
+			bc.nodes = append(bc.nodes, g.Nodes[i].ID)
+		}
+	}
+	for _, id := range bc.nodes {
+		n := &g.Nodes[id]
+		for in := 0; in < n.NIn; in++ {
+			if n.ConstIn[in].Valid {
+				continue
+			}
+			port := dfg.Port{Node: id, In: in}
+			for _, src := range v.producers[port] {
+				sn := &g.Nodes[src.node]
+				crossData := sn.Op == dfg.OpChangeTag && src.out == dfg.CTDataOut
+				switch {
+				case crossData:
+					if sp, ok := v.entrySpace[src.node]; ok && sp == bid {
+						bc.entry[port] = true
+						// Attribute to each creating allocate site.
+						for _, ap := range v.producers[dfg.Port{Node: src.node, In: 0}] {
+							site := bc.entrySite[ap.node]
+							if site == nil {
+								site = make(map[dfg.Port]bool)
+								bc.entrySite[ap.node] = site
+							}
+							site[port] = true
+						}
+					} else {
+						bc.crossed[port] = true
+					}
+				case sn.Block != bid:
+					// A same-tag edge from another block would violate the
+					// tag discipline; treat it as an unknown arrival so the
+					// balance equations expose any inconsistency.
+					bc.crossed[port] = true
+				default:
+					bc.inCtx[port] = append(bc.inCtx[port], src)
+				}
+			}
+			// Dynamically routed landing sites (forwards with no static
+			// producers) receive tokens the graph cannot show.
+			if len(v.producers[port]) == 0 && v.injCount[port] == 0 && n.Op == dfg.OpForward {
+				bc.crossed[port] = true
+			}
+		}
+		// Exit transfer points: changeTags whose retagged output leaves
+		// the block without creating a context of it (loop exits).
+		if n.Op == dfg.OpChangeTag {
+			if _, isEntry := v.entrySpace[id]; !isEntry {
+				leaves := false
+				for _, d := range n.Outs[dfg.CTDataOut] {
+					if !inBlock(d.Node) {
+						leaves = true
+					}
+				}
+				if leaves {
+					bc.exitCTs = append(bc.exitCTs, id)
+				}
+			}
+		}
+	}
+	return bc
+}
+
+// topoSort orders the block's nodes along same-context edges, reporting a
+// cycle as impossible-to-verify (a context's dataflow must be a DAG).
+func (bc *blockCtx) topoSort(g *dfg.Graph) bool {
+	indeg := make(map[dfg.NodeID]int, len(bc.nodes))
+	succ := make(map[dfg.NodeID][]dfg.NodeID)
+	for _, id := range bc.nodes {
+		indeg[id] = 0
+	}
+	for port, srcs := range bc.inCtx {
+		for _, s := range srcs {
+			succ[s.node] = append(succ[s.node], port.Node)
+			indeg[port.Node]++
+		}
+	}
+	queue := make([]dfg.NodeID, 0, len(bc.nodes))
+	for _, id := range bc.nodes {
+		if indeg[id] == 0 {
+			queue = append(queue, id)
+		}
+	}
+	sort.Slice(queue, func(i, j int) bool { return queue[i] < queue[j] })
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		bc.topo = append(bc.topo, id)
+		for _, nxt := range succ[id] {
+			indeg[nxt]--
+			if indeg[nxt] == 0 {
+				queue = append(queue, nxt)
+			}
+		}
+	}
+	return len(bc.topo) == len(bc.nodes)
+}
+
+// eqRec is one balance constraint: expr must equal zero.
+type eqRec struct {
+	l    lin
+	node dfg.NodeID
+	msg  string
+}
+
+func (v *verifier) verifyBlock(bid dfg.BlockID) []Finding {
+	g := v.g
+	bc := v.classify(bid)
+	if len(bc.nodes) == 0 {
+		return nil
+	}
+	find := func(sev Severity, node dfg.NodeID, format string, args ...interface{}) Finding {
+		return Finding{Pass: "barrier", Severity: sev, Block: bid, Node: node, Msg: fmt.Sprintf(format, args...)}
+	}
+	var out []Finding
+
+	var frees []dfg.NodeID
+	for _, id := range bc.nodes {
+		n := &g.Nodes[id]
+		if n.Op == dfg.OpFree && n.Space == bid {
+			frees = append(frees, id)
+		}
+	}
+	for i := range g.Nodes {
+		n := &g.Nodes[i]
+		if n.Op == dfg.OpFree && n.Space == bid && n.Block != bid {
+			out = append(out, find(SevWarning, n.ID,
+				"free of tag space %d sits in block %d; its firing count is not verified against this space", bid, n.Block))
+		}
+	}
+	if len(frees) == 0 {
+		out = append(out, find(SevError, dfg.InvalidNode,
+			"block %q has no free instruction: its contexts can never release their tags", g.Blocks[bid].Name))
+		return out
+	}
+
+	if !bc.topoSort(g) {
+		out = append(out, find(SevError, dfg.InvalidNode,
+			"block %q has a same-context dataflow cycle; a context can never complete", g.Blocks[bid].Name))
+		return out
+	}
+
+	// Entry coverage: every context-creating site must feed the same ports.
+	var sites []dfg.NodeID
+	for a := range bc.entrySite {
+		sites = append(sites, a)
+	}
+	sort.Slice(sites, func(i, j int) bool { return sites[i] < sites[j] })
+	for i := 1; i < len(sites); i++ {
+		a, b := bc.entrySite[sites[0]], bc.entrySite[sites[i]]
+		if !samePortSet(a, b) {
+			out = append(out, find(SevError, sites[i],
+				"transfer point %s feeds entry ports %s but %s feeds %s: contexts created at one site would starve",
+				v.desc(sites[i]), portSetString(b), v.desc(sites[0]), portSetString(a)))
+		}
+	}
+
+	// Iteratively solve the balance equations, resolving cross-context
+	// unknowns as the equations pin them down.
+	resolved := make(map[unknown]poly)
+	var eqs []eqRec
+	maxIter := len(bc.nodes) + 2
+	for iter := 0; ; iter++ {
+		eqs = v.forwardPass(bc, frees, resolved)
+		progress := false
+		for _, e := range eqs {
+			l := e.l.subst(resolved)
+			u, coef, ok := l.soleUnknown()
+			if !ok {
+				continue
+			}
+			if _, done := resolved[u]; done {
+				continue
+			}
+			// known + coef*u == 0  =>  u = -known/coef
+			val := poly{}
+			val.addInto(l.known, -coef) // coef is +-1, so -coef == 1/(-coef)... both are self-inverse
+			resolved[u] = val
+			progress = true
+		}
+		if !progress || iter >= maxIter {
+			break
+		}
+	}
+	eqs = v.forwardPass(bc, frees, resolved)
+
+	unresolvedWarned := false
+	for _, e := range eqs {
+		l := e.l.subst(resolved)
+		if l.isZero() {
+			continue
+		}
+		if len(l.us) == 0 {
+			out = append(out, find(SevError, e.node, "%s (imbalance: %s)",
+				e.msg, l.render(v.condName, v.unkName)))
+			continue
+		}
+		if !unresolvedWarned {
+			out = append(out, find(SevWarning, e.node,
+				"%s could not be verified: cross-context arrival count %s is unresolved",
+				e.msg, l.render(v.condName, v.unkName)))
+			unresolvedWarned = true
+		}
+	}
+
+	// Barrier coverage: every node must reach a free of the block along
+	// same-context edges, or its tokens could outlive the tag's release.
+	reach := make(map[dfg.NodeID]bool, len(bc.nodes))
+	work := append([]dfg.NodeID{}, frees...)
+	for _, f := range frees {
+		reach[f] = true
+	}
+	pred := make(map[dfg.NodeID][]dfg.NodeID)
+	for port, srcs := range bc.inCtx {
+		for _, s := range srcs {
+			pred[port.Node] = append(pred[port.Node], s.node)
+		}
+	}
+	for len(work) > 0 {
+		id := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, p := range pred[id] {
+			if !reach[p] {
+				reach[p] = true
+				work = append(work, p)
+			}
+		}
+	}
+	for _, id := range bc.nodes {
+		if !reach[id] {
+			out = append(out, find(SevError, id,
+				"%s is not covered by block %q's free barrier: its firing is not ordered before the tag's free",
+				v.desc(id), g.Blocks[bid].Name))
+		}
+	}
+	return out
+}
+
+// forwardPass computes per-port multiplicities in topological order and
+// returns the balance constraints (all must be zero).
+func (v *verifier) forwardPass(bc *blockCtx, frees []dfg.NodeID, resolved map[unknown]poly) []eqRec {
+	g := v.g
+	outExpr := make(map[dfg.NodeID][]lin, len(bc.nodes))
+	var eqs []eqRec
+	multOf := make(map[dfg.NodeID]lin, len(bc.nodes))
+
+	portExpr := func(port dfg.Port) lin {
+		e := lin{known: poly{}}
+		for _, src := range bc.inCtx[port] {
+			if exprs, ok := outExpr[src.node]; ok && src.out < len(exprs) {
+				e = e.addInto(exprs[src.out], 1)
+			}
+		}
+		if bc.entry[port] {
+			e = e.addInto(linConst(1), 1)
+		}
+		if c := v.injCount[port]; c > 0 {
+			e = e.addInto(linConst(int64(c)), 1)
+		}
+		if bc.crossed[port] {
+			e = e.addInto(linUnknown(v.unknownOf(port)), 1)
+		}
+		return e.subst(resolved)
+	}
+
+	for _, id := range bc.topo {
+		n := &g.Nodes[id]
+		var mult lin
+		haveFirst := false
+		firstIn := -1
+		for in := 0; in < n.NIn; in++ {
+			if n.ConstIn[in].Valid {
+				continue
+			}
+			e := portExpr(dfg.Port{Node: id, In: in})
+			if !haveFirst {
+				mult, haveFirst, firstIn = e, true, in
+				continue
+			}
+			eqs = append(eqs, eqRec{
+				l:    linSub(e, mult),
+				node: id,
+				msg: fmt.Sprintf("token imbalance at %s: input %d receives a different per-context multiplicity than input %d",
+					v.desc(id), in, firstIn),
+			})
+		}
+		if !haveFirst {
+			mult = linConst(0)
+		}
+		multOf[id] = mult
+
+		outs := make([]lin, dfg.NumOut(n.Op))
+		for o := range outs {
+			outs[o] = mult
+		}
+		if n.Op == dfg.OpSteer {
+			switch {
+			case n.ConstIn[0].Valid:
+				zero := linConst(0)
+				if n.ConstIn[0].V != 0 {
+					outs[dfg.SteerFalseOut] = zero
+				} else {
+					outs[dfg.SteerTrueOut] = zero
+				}
+			default:
+				cv := v.condVarOf(dfg.Port{Node: id, In: 0})
+				outs[dfg.SteerTrueOut] = mult.mulVar(cv)
+				outs[dfg.SteerFalseOut] = linSub(mult, outs[dfg.SteerTrueOut])
+			}
+		}
+		outExpr[id] = outs
+	}
+
+	// Exactly-once free: the block's frees fire a combined multiplicity of
+	// 1 per context.
+	freeSum := linConst(-1)
+	for _, f := range frees {
+		freeSum = freeSum.addInto(multOf[f], 1)
+	}
+	eqs = append(eqs, eqRec{
+		l:    freeSum,
+		node: frees[0],
+		msg: fmt.Sprintf("block %q must free its tag exactly once per context along every steer path",
+			g.Blocks[bc.bid].Name),
+	})
+
+	// Invocation contract.
+	blk := &g.Blocks[bc.bid]
+	if blk.TailRecursive {
+		spawn := linConst(0)
+		for _, id := range bc.nodes {
+			n := &g.Nodes[id]
+			if n.Op == dfg.OpAllocate && n.Space == bc.bid && !n.External {
+				spawn = spawn.addInto(multOf[id], 1)
+			}
+		}
+		for _, ct := range bc.exitCTs {
+			l := linAdd(multOf[ct], spawn).addInto(linConst(1), -1)
+			eqs = append(eqs, eqRec{
+				l:    l,
+				node: ct,
+				msg: fmt.Sprintf("each context of loop block %q must either spawn its successor or exit via %s, exactly once",
+					blk.Name, v.desc(ct)),
+			})
+		}
+	}
+	if blk.Kind == dfg.BlockFunc {
+		for _, id := range bc.nodes {
+			if g.Nodes[id].Op == dfg.OpChangeTagDyn {
+				eqs = append(eqs, eqRec{
+					l:    linSub(multOf[id], linConst(1)),
+					node: id,
+					msg:  fmt.Sprintf("function block %q must return through %s exactly once per context", blk.Name, v.desc(id)),
+				})
+			}
+		}
+	}
+	return eqs
+}
+
+func samePortSet(a, b map[dfg.Port]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for p := range a {
+		if !b[p] {
+			return false
+		}
+	}
+	return true
+}
+
+func portSetString(s map[dfg.Port]bool) string {
+	ports := make([]dfg.Port, 0, len(s))
+	for p := range s {
+		ports = append(ports, p)
+	}
+	sort.Slice(ports, func(i, j int) bool {
+		if ports[i].Node != ports[j].Node {
+			return ports[i].Node < ports[j].Node
+		}
+		return ports[i].In < ports[j].In
+	})
+	parts := make([]string, len(ports))
+	for i, p := range ports {
+		parts[i] = p.String()
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}

@@ -1,0 +1,290 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// The free-barrier verifier reasons about how many tokens each port receives
+// per context. Multiplicities are multilinear polynomials over boolean
+// condition variables (one per steer decider wire): a node under one branch
+// arm fires c times per context, its sibling 1-c times, and their merged
+// contributions sum back to exactly 1. Because the variables are boolean,
+// c*c = c, so every polynomial stays multilinear and equality is syntactic
+// after normalization.
+
+// condVar identifies one steer decider wire. Two steers driven by the same
+// wire (the same producer set) share a variable, which is what makes
+// complementary branch arms cancel.
+type condVar int
+
+// monomial keys are the canonical sorted var-id list ("" = constant term).
+type poly map[string]int64
+
+func monoKey(vars []condVar) string {
+	if len(vars) == 0 {
+		return ""
+	}
+	sort.Slice(vars, func(i, j int) bool { return vars[i] < vars[j] })
+	parts := make([]string, 0, len(vars))
+	var last condVar = -1
+	for _, v := range vars {
+		if v == last {
+			continue // boolean idempotence: c*c = c
+		}
+		last = v
+		parts = append(parts, fmt.Sprint(int(v)))
+	}
+	return strings.Join(parts, ",")
+}
+
+func monoVars(key string) []condVar {
+	if key == "" {
+		return nil
+	}
+	parts := strings.Split(key, ",")
+	out := make([]condVar, len(parts))
+	for i, p := range parts {
+		fmt.Sscanf(p, "%d", &out[i])
+	}
+	return out
+}
+
+func polyConst(k int64) poly {
+	if k == 0 {
+		return poly{}
+	}
+	return poly{"": k}
+}
+
+func (p poly) clone() poly {
+	out := make(poly, len(p))
+	for k, v := range p {
+		out[k] = v
+	}
+	return out
+}
+
+func (p poly) addInto(q poly, scale int64) poly {
+	for k, v := range q {
+		p[k] += v * scale
+		if p[k] == 0 {
+			delete(p, k)
+		}
+	}
+	return p
+}
+
+func polyAdd(a, b poly) poly { return a.clone().addInto(b, 1) }
+func polySub(a, b poly) poly { return a.clone().addInto(b, -1) }
+func (p poly) isZero() bool  { return len(p) == 0 }
+func (p poly) isConst() (int64, bool) {
+	switch len(p) {
+	case 0:
+		return 0, true
+	case 1:
+		v, ok := p[""]
+		return v, ok
+	}
+	return 0, false
+}
+
+// mulVar multiplies by condition variable v (idempotently).
+func (p poly) mulVar(v condVar) poly {
+	out := make(poly, len(p))
+	for k, coef := range p {
+		nk := monoKey(append(monoVars(k), v))
+		out[nk] += coef
+		if out[nk] == 0 {
+			delete(out, nk)
+		}
+	}
+	return out
+}
+
+// String renders the polynomial with the verifier's variable names.
+func (p poly) render(names func(condVar) string) string {
+	if len(p) == 0 {
+		return "0"
+	}
+	keys := make([]string, 0, len(p))
+	for k := range p {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		coef := p[k]
+		if i > 0 {
+			if coef >= 0 {
+				b.WriteString(" + ")
+			} else {
+				b.WriteString(" - ")
+				coef = -coef
+			}
+		} else if coef < 0 {
+			b.WriteString("-")
+			coef = -coef
+		}
+		vars := monoVars(k)
+		if len(vars) == 0 {
+			fmt.Fprintf(&b, "%d", coef)
+			continue
+		}
+		if coef != 1 {
+			fmt.Fprintf(&b, "%d*", coef)
+		}
+		terms := make([]string, len(vars))
+		for j, v := range vars {
+			terms[j] = names(v)
+		}
+		b.WriteString(strings.Join(terms, "*"))
+	}
+	return b.String()
+}
+
+// unknown identifies a port whose per-context arrival count cannot be
+// assumed (dynamically routed call returns and child-block exit tokens).
+// The verifier solves for unknowns using the balance equations themselves.
+type unknown int
+
+// lin is a linear expression over unknowns with polynomial coefficients:
+// known + sum(coef_u * u).
+type lin struct {
+	known poly
+	us    map[unknown]poly
+}
+
+func linConst(k int64) lin { return lin{known: polyConst(k)} }
+func linPoly(p poly) lin   { return lin{known: p} }
+
+func linUnknown(u unknown) lin {
+	return lin{known: poly{}, us: map[unknown]poly{u: polyConst(1)}}
+}
+
+func (l lin) clone() lin {
+	out := lin{known: l.known.clone()}
+	if len(l.us) > 0 {
+		out.us = make(map[unknown]poly, len(l.us))
+		for u, c := range l.us {
+			out.us[u] = c.clone()
+		}
+	}
+	return out
+}
+
+func (l lin) addInto(o lin, scale int64) lin {
+	if l.known == nil {
+		l.known = poly{}
+	}
+	l.known.addInto(o.known, scale)
+	for u, c := range o.us {
+		if l.us == nil {
+			l.us = make(map[unknown]poly)
+		}
+		if l.us[u] == nil {
+			l.us[u] = poly{}
+		}
+		l.us[u].addInto(c, scale)
+		if l.us[u].isZero() {
+			delete(l.us, u)
+		}
+	}
+	return l
+}
+
+func linAdd(a, b lin) lin { return a.clone().addInto(b, 1) }
+func linSub(a, b lin) lin { return a.clone().addInto(b, -1) }
+
+func (l lin) mulVar(v condVar) lin {
+	out := lin{known: l.known.mulVar(v)}
+	for u, c := range l.us {
+		if out.us == nil {
+			out.us = make(map[unknown]poly)
+		}
+		out.us[u] = c.mulVar(v)
+	}
+	return out
+}
+
+func (l lin) isZero() bool { return l.known.isZero() && len(l.us) == 0 }
+
+// subst replaces resolved unknowns by their polynomial values.
+func (l lin) subst(resolved map[unknown]poly) lin {
+	if len(l.us) == 0 {
+		return l
+	}
+	out := lin{known: l.known.clone()}
+	for u, c := range l.us {
+		val, ok := resolved[u]
+		if !ok {
+			if out.us == nil {
+				out.us = make(map[unknown]poly)
+			}
+			out.us[u] = c
+			continue
+		}
+		// coef * val: multiply polynomials (both multilinear).
+		out.known.addInto(polyMul(c, val), 1)
+	}
+	return out
+}
+
+// polyMul multiplies two multilinear polynomials.
+func polyMul(a, b poly) poly {
+	out := poly{}
+	for ka, va := range a {
+		for kb, vb := range b {
+			nk := monoKey(append(monoVars(ka), monoVars(kb)...))
+			out[nk] += va * vb
+			if out[nk] == 0 {
+				delete(out, nk)
+			}
+		}
+	}
+	return out
+}
+
+// soleUnknown reports (u, coef, ok) when the expression has exactly one
+// unknown whose coefficient is the constant +1 or -1, which makes the
+// equation l == 0 directly solvable.
+func (l lin) soleUnknown() (unknown, int64, bool) {
+	if len(l.us) != 1 {
+		return 0, 0, false
+	}
+	for u, c := range l.us {
+		if k, ok := c.isConst(); ok && (k == 1 || k == -1) {
+			return u, k, true
+		}
+	}
+	return 0, 0, false
+}
+
+func (l lin) render(condName func(condVar) string, unkName func(unknown) string) string {
+	s := l.known.render(condName)
+	if len(l.us) == 0 {
+		return s
+	}
+	us := make([]unknown, 0, len(l.us))
+	for u := range l.us {
+		us = append(us, u)
+	}
+	sort.Slice(us, func(i, j int) bool { return us[i] < us[j] })
+	var b strings.Builder
+	if s != "0" {
+		b.WriteString(s)
+	}
+	for _, u := range us {
+		c := l.us[u]
+		if b.Len() > 0 {
+			b.WriteString(" + ")
+		}
+		if k, ok := c.isConst(); ok && k == 1 {
+			b.WriteString(unkName(u))
+		} else {
+			fmt.Fprintf(&b, "(%s)*%s", c.render(condName), unkName(u))
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,185 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/dfg"
+	"repro/internal/prog"
+)
+
+// CheckRaces flags load/store pairs on the same memory region that are not
+// serialized by a shared ordering class. Tagged dataflow imposes no order
+// between instructions beyond data dependences, so two accesses to the same
+// region race unless the compiler threads an ordering token between them —
+// which it does exactly for accesses sharing a class (the transactional-
+// WaveCache view: an unordered conflicting pair is a detectable race, not
+// undefined behavior).
+//
+// The rules, matching the conventions of the workload suite:
+//
+//   - a region that is both loaded and stored must have every access in a
+//     single shared ordering class, or the loads may observe either side of
+//     a concurrent store;
+//   - a store-only region is accepted unclassed under the single-assignment
+//     convention (each cell written once, as in the Table II kernels'
+//     outputs) but must not mix classed and unclassed stores;
+//   - a load-only region is read-only and cannot race.
+func CheckRaces(p *prog.Program) []Finding {
+	acc := collectAccesses(p)
+	mems := make([]string, 0, len(acc))
+	for m := range acc {
+		mems = append(mems, m)
+	}
+	sort.Strings(mems)
+
+	var out []Finding
+	for _, m := range mems {
+		a := acc[m]
+		if len(a.stores) == 0 {
+			continue // load-only: read-only region
+		}
+		if len(a.loads) == 0 {
+			// Store-only: single-assignment convention, but a mix of
+			// classed and unclassed stores signals a half-applied class.
+			classes := classSet(a.stores)
+			if len(classes) > 1 {
+				out = append(out, Finding{
+					Pass: "races", Severity: SevWarning, Block: -1, Node: dfg.InvalidNode,
+					Msg: fmt.Sprintf("region %q is stored under inconsistent ordering classes %s (%s); stores are only unordered-safe if each cell is written once",
+						m, classListString(classes), a.where()),
+				})
+			}
+			continue
+		}
+		classes := classSet(append(append([]access{}, a.loads...), a.stores...))
+		if len(classes) == 1 && classes[0] != "" {
+			continue // fully serialized through one class
+		}
+		out = append(out, Finding{
+			Pass: "races", Severity: SevError, Block: -1, Node: dfg.InvalidNode,
+			Msg: fmt.Sprintf("region %q is both loaded and stored but not serialized by a single ordering class (classes %s; %s): unordered load/store pairs race",
+				m, classListString(classes), a.where()),
+		})
+	}
+	return out
+}
+
+type access struct {
+	fn    string
+	class string
+	store bool
+}
+
+type memAccesses struct {
+	loads  []access
+	stores []access
+}
+
+// where summarizes the functions touching the region for diagnostics.
+func (a *memAccesses) where() string {
+	set := make(map[string]bool)
+	for _, x := range a.loads {
+		set[x.fn] = true
+	}
+	for _, x := range a.stores {
+		set[x.fn] = true
+	}
+	fns := make([]string, 0, len(set))
+	for f := range set {
+		fns = append(fns, f)
+	}
+	sort.Strings(fns)
+	return "in " + strings.Join(fns, ", ")
+}
+
+func classSet(as []access) []string {
+	set := make(map[string]bool)
+	for _, a := range as {
+		set[a.class] = true
+	}
+	out := make([]string, 0, len(set))
+	for c := range set {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func classListString(classes []string) string {
+	parts := make([]string, len(classes))
+	for i, c := range classes {
+		if c == "" {
+			parts[i] = "(none)"
+		} else {
+			parts[i] = fmt.Sprintf("%q", c)
+		}
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+func collectAccesses(p *prog.Program) map[string]*memAccesses {
+	acc := make(map[string]*memAccesses)
+	get := func(mem string) *memAccesses {
+		if acc[mem] == nil {
+			acc[mem] = &memAccesses{}
+		}
+		return acc[mem]
+	}
+	var walkExpr func(fn string, e prog.Expr)
+	var walkStmts func(fn string, ss []prog.Stmt)
+	walkExpr = func(fn string, e prog.Expr) {
+		switch ex := e.(type) {
+		case prog.Bin:
+			walkExpr(fn, ex.A)
+			walkExpr(fn, ex.B)
+		case prog.Select:
+			walkExpr(fn, ex.Cond)
+			walkExpr(fn, ex.Then)
+			walkExpr(fn, ex.Else)
+		case prog.Load:
+			m := get(ex.Mem)
+			m.loads = append(m.loads, access{fn: fn, class: ex.Class})
+			walkExpr(fn, ex.Addr)
+		case prog.Call:
+			for _, a := range ex.Args {
+				walkExpr(fn, a)
+			}
+		}
+	}
+	walkStmts = func(fn string, ss []prog.Stmt) {
+		for _, s := range ss {
+			switch st := s.(type) {
+			case prog.Let:
+				walkExpr(fn, st.E)
+			case prog.Assign:
+				walkExpr(fn, st.E)
+			case prog.StoreStmt:
+				m := get(st.Mem)
+				m.stores = append(m.stores, access{fn: fn, class: st.Class, store: true})
+				walkExpr(fn, st.Addr)
+				walkExpr(fn, st.Val)
+			case prog.If:
+				walkExpr(fn, st.Cond)
+				walkStmts(fn, st.Then)
+				walkStmts(fn, st.Else)
+			case prog.While:
+				for _, v := range st.Vars {
+					walkExpr(fn, v.Init)
+				}
+				walkExpr(fn, st.Cond)
+				walkStmts(fn, st.Body)
+			case prog.ExprStmt:
+				walkExpr(fn, st.E)
+			}
+		}
+	}
+	for _, f := range p.Funcs {
+		walkStmts(f.Name, f.Body)
+		if f.Ret != nil {
+			walkExpr(f.Name, f.Ret)
+		}
+	}
+	return acc
+}

@@ -1,0 +1,223 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/dfg"
+)
+
+// TagSafety computes each block's minimum tag requirement from the graph's
+// allocate structure and predicts which bounded-tagging configurations can
+// deadlock (the paper's Fig. 11, statically).
+//
+// The analysis builds the "holds" graph: block B holds its own tag while an
+// allocate instruction placed in B requests a tag of space S, so a chain
+// root -> L1 -> ... -> Lk of nested blocks needs k+1 concurrently live tags
+// before the innermost context can run. A tail-recursive block additionally
+// cannot free its tag before the backedge allocation for the successor
+// context is granted (the compiler parks the free behind the grant), which
+// costs one more tag at the end of the chain. Under PolicyGlobalBounded all
+// of these draw from one shared pool, so:
+//
+//   - k < deepest chain requirement  =>  certain deadlock once the chain is
+//     entered (WillDeadlock);
+//   - a tail-recursive block that also allocates into other blocks can
+//     spawn successor contexts that each demand nested tags, so demand is
+//     not bounded by any static chain and no finite k is provably safe
+//     (MayDeadlock) — this is exactly the dmv configuration Fig. 11 shows
+//     deadlocking at GlobalBounded(8);
+//   - otherwise Safe.
+//
+// Under PolicyTyr each block has its own pool, and the per-block minimum is
+// 1, or 2 for tail-recursive blocks (Lemma 2's reserved tag).
+func TagSafety(g *dfg.Graph) (*TagReport, []Finding) {
+	r := &TagReport{Graph: g.Name}
+	n := len(g.Blocks)
+
+	allocInto := make([]map[dfg.BlockID]bool, n) // B -> spaces allocated from B
+	selfAlloc := make([]bool, n)
+	for i := range g.Nodes {
+		nd := &g.Nodes[i]
+		if nd.Op != dfg.OpAllocate {
+			continue
+		}
+		if nd.Space == nd.Block {
+			selfAlloc[nd.Block] = true
+			continue
+		}
+		if allocInto[nd.Block] == nil {
+			allocInto[nd.Block] = make(map[dfg.BlockID]bool)
+		}
+		allocInto[nd.Block][nd.Space] = true
+	}
+
+	// Nesting depth along the holds graph. The allocate edges follow loop
+	// nesting and the (acyclic) call graph, so a DFS terminates; a cycle
+	// would mean recursive allocation, which we flag instead of looping.
+	depth := make([]int, n)
+	state := make([]uint8, n) // 0 unvisited, 1 on stack, 2 done
+	var findings []Finding
+	var walk func(b dfg.BlockID, d int)
+	walk = func(b dfg.BlockID, d int) {
+		if state[b] == 1 {
+			findings = append(findings, Finding{
+				Pass: "tags", Severity: SevError, Block: b, Node: dfg.InvalidNode,
+				Msg: fmt.Sprintf("allocation cycle through block %q: contexts allocate into their own ancestry, which no finite tag pool satisfies", g.Blocks[b].Name),
+			})
+			return
+		}
+		if d <= depth[b] {
+			return
+		}
+		depth[b] = d
+		state[b] = 1
+		targets := make([]dfg.BlockID, 0, len(allocInto[b]))
+		for t := range allocInto[b] {
+			targets = append(targets, t)
+		}
+		sort.Slice(targets, func(i, j int) bool { return targets[i] < targets[j] })
+		for _, t := range targets {
+			walk(t, d+1)
+		}
+		state[b] = 2
+	}
+	walk(0, 1)
+
+	for b := 0; b < n; b++ {
+		blk := &g.Blocks[b]
+		info := BlockTags{
+			Block:         dfg.BlockID(b),
+			Name:          blk.Name,
+			TailRecursive: blk.TailRecursive,
+			Depth:         depth[b],
+			MinLocalTags:  1,
+		}
+		if blk.TailRecursive {
+			info.MinLocalTags = 2
+		}
+		need := depth[b]
+		if selfAlloc[b] {
+			need++
+		}
+		if need > r.MinGlobalTags {
+			r.MinGlobalTags = need
+		}
+		for t := range allocInto[b] {
+			info.AllocatesInto = append(info.AllocatesInto, t)
+		}
+		sort.Slice(info.AllocatesInto, func(i, j int) bool { return info.AllocatesInto[i] < info.AllocatesInto[j] })
+		if blk.TailRecursive && len(info.AllocatesInto) > 0 && !r.Unbounded {
+			r.Unbounded = true
+			r.UnboundedVia = dfg.BlockID(b)
+		}
+		r.Blocks = append(r.Blocks, info)
+	}
+
+	for _, info := range r.Blocks {
+		if info.Depth == 0 {
+			continue // unreachable from root; nothing allocates into it
+		}
+		findings = append(findings, Finding{
+			Pass: "tags", Severity: SevInfo, Block: info.Block, Node: dfg.InvalidNode,
+			Msg: fmt.Sprintf("block %q needs >= %d local tags (depth %d in the holds chain)",
+				info.Name, info.MinLocalTags, info.Depth),
+		})
+	}
+	if r.Unbounded {
+		via := &g.Blocks[r.UnboundedVia]
+		findings = append(findings, Finding{
+			Pass: "tags", Severity: SevWarning, Block: r.UnboundedVia, Node: dfg.InvalidNode,
+			Msg: fmt.Sprintf("tail-recursive block %q allocates into nested blocks: under a bounded global tag pool its successor contexts compete with its children for tags, and no pool size is provably deadlock-free (Fig. 11)", via.Name),
+		})
+	}
+	return r, findings
+}
+
+// BlockTags is the per-block result of the tag-safety analysis.
+type BlockTags struct {
+	Block         dfg.BlockID
+	Name          string
+	TailRecursive bool
+	// MinLocalTags is the smallest per-block pool under PolicyTyr that
+	// guarantees forward progress: 1, or 2 for tail-recursive blocks
+	// (Lemma 2's reserved tag for the backedge).
+	MinLocalTags int
+	// Depth is the block's position in the holds chain (root = 1): how
+	// many tags are concurrently live while one context of it runs.
+	Depth int
+	// AllocatesInto lists the other tag spaces this block allocates into.
+	AllocatesInto []dfg.BlockID
+}
+
+// TagReport is the whole-graph result of the tag-safety analysis.
+type TagReport struct {
+	Graph  string
+	Blocks []BlockTags
+	// MinGlobalTags is the smallest PolicyGlobalBounded pool that can
+	// possibly complete the program: the deepest holds chain, plus one
+	// for a tail-recursive leaf whose free waits on its backedge grant.
+	MinGlobalTags int
+	// Unbounded marks graphs where a tail-recursive block allocates into
+	// nested blocks; no finite global pool is provably safe for them.
+	Unbounded    bool
+	UnboundedVia dfg.BlockID
+}
+
+// Verdict classifies one GlobalBounded(k) configuration.
+type Verdict uint8
+
+const (
+	// VerdictSafe: the analysis finds no tag-induced deadlock.
+	VerdictSafe Verdict = iota
+	// VerdictMayDeadlock: demand is not statically bounded (tail-recursive
+	// block spawning nested contexts); the configuration can deadlock
+	// depending on scheduling and trip counts.
+	VerdictMayDeadlock
+	// VerdictWillDeadlock: the pool is smaller than the deepest holds
+	// chain; the program deadlocks as soon as that chain is entered.
+	VerdictWillDeadlock
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case VerdictSafe:
+		return "safe"
+	case VerdictMayDeadlock:
+		return "may-deadlock"
+	}
+	return "will-deadlock"
+}
+
+// GlobalBounded predicts the outcome of running the graph under
+// PolicyGlobalBounded with a pool of k tags.
+func (r *TagReport) GlobalBounded(k int) Verdict {
+	if k < r.MinGlobalTags {
+		return VerdictWillDeadlock
+	}
+	if r.Unbounded {
+		return VerdictMayDeadlock
+	}
+	return VerdictSafe
+}
+
+// String renders the tag report for CLI consumption.
+func (r *TagReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "tag safety (%s):\n", r.Graph)
+	for _, info := range r.Blocks {
+		tr := ""
+		if info.TailRecursive {
+			tr = ", tail-recursive"
+		}
+		fmt.Fprintf(&b, "  blk%d %-16q depth %d, min local tags %d%s\n",
+			info.Block, info.Name, info.Depth, info.MinLocalTags, tr)
+	}
+	fmt.Fprintf(&b, "  global bounded pool: needs >= %d tags", r.MinGlobalTags)
+	if r.Unbounded {
+		fmt.Fprintf(&b, "; no finite pool provably safe (tail-recursive blk%d spawns nested contexts)", r.UnboundedVia)
+	}
+	b.WriteString("\n")
+	return b.String()
+}

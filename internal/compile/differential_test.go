@@ -3,11 +3,24 @@ package compile
 import (
 	"testing"
 
+	"repro/internal/analysis"
 	"repro/internal/core"
+	"repro/internal/dfg"
 	"repro/internal/mem"
 	"repro/internal/ordered"
 	"repro/internal/prog"
 )
+
+// mustVet statically verifies a compiled graph and fails the test on any
+// definite violation. Every graph the differential suites produce must be
+// clean: the verifier models exactly the invariants the compiler promises.
+func mustVet(t *testing.T, g *dfg.Graph, p *prog.Program) {
+	t.Helper()
+	rep := analysis.Vet(g, p)
+	if !rep.OK() {
+		t.Fatalf("static verification failed:\n%s", rep)
+	}
+}
 
 // diffCase is one program run through every architecture and compared
 // against the reference interpreter, word for word.
@@ -46,12 +59,13 @@ func runDifferential(t *testing.T, c diffCase) {
 	if err != nil {
 		t.Fatalf("Tagged: %v", err)
 	}
+	mustVet(t, tg, c.p)
 
 	tagConfigs := []struct {
 		label string
 		cfg   core.Config
 	}{
-		{"tyr-2tags", core.Config{Policy: core.PolicyTyr, TagsPerBlock: 2, CheckInvariants: true}},
+		{"tyr-2tags", core.Config{Policy: core.PolicyTyr, TagsPerBlock: 2, CheckInvariants: true, Sanitize: true}},
 		{"tyr-64tags", core.Config{Policy: core.PolicyTyr, TagsPerBlock: 64, CheckInvariants: true}},
 		{"tyr-3tags-w4", core.Config{Policy: core.PolicyTyr, TagsPerBlock: 3, IssueWidth: 4, CheckInvariants: true}},
 		{"unordered", core.Config{Policy: core.PolicyGlobalUnlimited, CheckInvariants: true}},
@@ -79,6 +93,7 @@ func runDifferential(t *testing.T, c diffCase) {
 	if err != nil {
 		t.Fatalf("Ordered: %v", err)
 	}
+	mustVet(t, og, c.p)
 	for _, qcap := range []int{2, 4} {
 		im := buildImage(t, c)
 		res, err := ordered.Run(og, im, ordered.Config{QueueCap: qcap})

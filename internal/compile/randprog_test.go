@@ -200,11 +200,12 @@ func TestRandomProgramDifferential(t *testing.T) {
 			if err != nil {
 				t.Fatalf("Tagged: %v", err)
 			}
+			mustVet(t, tg, p)
 			for _, cfg := range []struct {
 				label string
 				c     core.Config
 			}{
-				{"tyr-2", core.Config{Policy: core.PolicyTyr, TagsPerBlock: 2, CheckInvariants: true}},
+				{"tyr-2", core.Config{Policy: core.PolicyTyr, TagsPerBlock: 2, CheckInvariants: true, Sanitize: true}},
 				{"tyr-64", core.Config{Policy: core.PolicyTyr, TagsPerBlock: 64, CheckInvariants: true}},
 				{"tyr-2-w1", core.Config{Policy: core.PolicyTyr, TagsPerBlock: 2, IssueWidth: 1, CheckInvariants: true}},
 				{"unordered", core.Config{Policy: core.PolicyGlobalUnlimited, CheckInvariants: true}},
@@ -229,6 +230,7 @@ func TestRandomProgramDifferential(t *testing.T) {
 			if err != nil {
 				t.Fatalf("Ordered: %v", err)
 			}
+			mustVet(t, og, p)
 			im := mkImage()
 			ores, err := ordered.Run(og, im, ordered.Config{})
 			if err != nil {
@@ -252,9 +254,10 @@ func TestRandomProgramDifferential(t *testing.T) {
 			if err != nil {
 				t.Fatalf("Tagged(optimized): %v", err)
 			}
+			mustVet(t, otg, opt)
 			imOpt := mkImage()
 			optRes, err := core.Run(otg, imOpt, core.Config{
-				Policy: core.PolicyTyr, TagsPerBlock: 2, CheckInvariants: true,
+				Policy: core.PolicyTyr, TagsPerBlock: 2, CheckInvariants: true, Sanitize: true,
 			})
 			if err != nil {
 				t.Fatalf("tyr(optimized): %v", err)

@@ -120,6 +120,13 @@ type Config struct {
 	// CheckInvariants enables per-token accounting that verifies the free
 	// barrier: when a tag is freed, no live token may still carry it.
 	CheckInvariants bool
+
+	// Sanitize enables the runtime sanitizer: tag double-free and
+	// pool-leak detection, orphaned-token and orphaned-instance audits at
+	// completion, and join fan-in overflow checks, reported as structured
+	// Diagnostics via SanitizeError (see sanitize.go). Implies the
+	// CheckInvariants per-token accounting.
+	Sanitize bool
 }
 
 const (
@@ -161,16 +168,37 @@ type PendingAlloc struct {
 	HasReady bool   // the context was ready but no tag was available
 }
 
+// StarvedSpace aggregates the starvation of one tag space at deadlock
+// time: which block's contexts could not be created, under what budget.
+type StarvedSpace struct {
+	Block   string // block name (loop label / function name / "root")
+	Kind    string // "root", "loop", or "func"
+	Tags    int    // tag budget that applied (0 = unbounded)
+	InUse   int    // tags of this space held when the machine stopped
+	Starved int    // allocate instances parked waiting on this space
+}
+
 // DeadlockInfo reports why the machine stopped without completing.
 type DeadlockInfo struct {
 	Cycle         int64
 	LiveTokens    int64
 	PendingAllocs []PendingAlloc
+	// Spaces names the starved blocks and their tag budgets, one entry
+	// per tag space with parked allocates.
+	Spaces []StarvedSpace
 }
 
 func (d *DeadlockInfo) String() string {
-	return fmt.Sprintf("deadlock at cycle %d: %d live tokens, %d starved allocates",
+	s := fmt.Sprintf("deadlock at cycle %d: %d live tokens, %d starved allocates",
 		d.Cycle, d.LiveTokens, len(d.PendingAllocs))
+	for _, sp := range d.Spaces {
+		budget := "unbounded"
+		if sp.Tags > 0 {
+			budget = fmt.Sprintf("%d/%d tags in use", sp.InUse, sp.Tags)
+		}
+		s += fmt.Sprintf("; %s %q starves %d allocate(s) (%s)", sp.Kind, sp.Block, sp.Starved, budget)
+	}
+	return s
 }
 
 // SpaceStats reports tag usage and state of one local tag space.

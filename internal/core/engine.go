@@ -123,6 +123,9 @@ type machine struct {
 	trace       []StatePoint
 	traceStride int64
 
+	// san is the runtime sanitizer, nil unless Config.Sanitize is set.
+	san *sanitizer
+
 	done      bool
 	resultVal int64
 }
@@ -167,8 +170,11 @@ func newMachine(g *dfg.Graph, im *mem.Image, cfg Config) (*machine, error) {
 	m.delayed = make(map[int64][]token)
 	m.liveByBlock = make([]int64, len(g.Blocks))
 	m.peakByBlock = make([]int64, len(g.Blocks))
-	if cfg.CheckInvariants {
+	if cfg.CheckInvariants || cfg.Sanitize {
 		m.perTagLive = make(map[uint64]int64)
+	}
+	if cfg.Sanitize {
+		m.san = newSanitizer()
 	}
 	if cfg.TracePoints > 0 {
 		m.traceStride = 1
@@ -268,6 +274,9 @@ func (m *machine) allocRoot() (uint64, error) {
 	tag, ok := m.popTag(0)
 	if !ok {
 		return 0, fmt.Errorf("core: no tag available for the root context")
+	}
+	if m.san != nil {
+		m.san.held[tag] = 0
 	}
 	m.noteAlloc(0)
 	return tag, nil
@@ -439,6 +448,13 @@ func (m *machine) deliver(t token) error {
 		}
 	}
 	if e.has(t.to.In) {
+		if m.san != nil {
+			return m.san.fail(Diagnostic{
+				Kind: DiagTokenCollision, Cycle: m.cycle, Node: nid, Label: n.Label, Tag: t.tag,
+				Detail: fmt.Sprintf("second token at %s port %d for tag %#x (fan-in overflow; free barrier violated?)",
+					n.Op, t.to.In, t.tag),
+			})
+		}
 		return fmt.Errorf("core: token collision at %s %q port %d tag %#x (free barrier violated?)",
 			n.Op, n.Label, t.to.In, t.tag)
 	}
@@ -579,7 +595,11 @@ func (m *machine) fire(ref fireRef) (bool, error) {
 		m.crossTokens++
 		m.emitAll(n, dfg.CTCtrlOut, ref.tag, 0)
 	case dfg.OpFree:
-		if m.perTagLive != nil && m.perTagLive[ref.tag] != 0 {
+		if m.san != nil {
+			if err := m.san.checkFree(m, n, ref.tag); err != nil {
+				return true, err
+			}
+		} else if m.perTagLive != nil && m.perTagLive[ref.tag] != 0 {
 			return true, fmt.Errorf("core: free of tag %#x (%q) with %d live tokens still carrying it (free barrier bug)",
 				ref.tag, n.Label, m.perTagLive[ref.tag])
 		}
@@ -630,6 +650,9 @@ func (m *machine) fireAllocate(ref fireRef, n *dfg.Node, e *entry) (bool, error)
 
 // grantAllocate completes an allocate firing once a tag has been chosen.
 func (m *machine) grantAllocate(ref fireRef, n *dfg.Node, e *entry, tag uint64) {
+	if m.san != nil {
+		m.san.held[tag] = n.Space
+	}
 	m.noteAlloc(n.Space)
 	m.fired++
 	m.emitAll(n, dfg.AllocTagOut, ref.tag, int64(tag))
@@ -842,6 +865,11 @@ func (m *machine) finish() (Result, error) {
 	}
 
 	if m.done {
+		if m.san != nil {
+			if err := m.san.atCompletion(m); err != nil {
+				return res, err
+			}
+		}
 		if m.cfg.CheckInvariants && m.live != 0 {
 			return res, fmt.Errorf("core: program completed with %d live tokens (drain bug)", m.live)
 		}
@@ -854,6 +882,7 @@ func (m *machine) finish() (Result, error) {
 	for _, refs := range m.kbPending {
 		allPending = append(allPending, refs)
 	}
+	starved := make(map[dfg.BlockID]int)
 	for idx := range allPending {
 		for _, ref := range allPending[idx] {
 			e := m.stores[ref.node][ref.tag]
@@ -861,6 +890,7 @@ func (m *machine) finish() (Result, error) {
 				continue
 			}
 			n := &m.g.Nodes[ref.node]
+			starved[n.Space]++
 			info.PendingAllocs = append(info.PendingAllocs, PendingAlloc{
 				Node:     ref.node,
 				Label:    n.Label,
@@ -869,6 +899,30 @@ func (m *machine) finish() (Result, error) {
 				HasReady: e.has(allocReadyPort),
 			})
 		}
+	}
+	for s := range m.g.Blocks {
+		count, ok := starved[dfg.BlockID(s)]
+		if !ok {
+			continue
+		}
+		blk := &m.g.Blocks[s]
+		tags := 0
+		switch {
+		case m.cfg.Policy == PolicyGlobalBounded:
+			tags = m.cfg.GlobalTags
+		case m.spacePooled[s]:
+			tags = m.cfg.TagsPerBlock
+			if override, hit := m.cfg.BlockTags[blk.Name]; hit {
+				tags = override
+			}
+		}
+		info.Spaces = append(info.Spaces, StarvedSpace{
+			Block:   blk.Name,
+			Kind:    blk.Kind.String(),
+			Tags:    tags,
+			InUse:   m.inUse[s],
+			Starved: count,
+		})
 	}
 	if m.live == 0 && len(info.PendingAllocs) == 0 {
 		return res, fmt.Errorf("core: machine quiesced without completing (graph bug)")

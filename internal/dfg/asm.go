@@ -24,12 +24,37 @@ import (
 //
 // Blank lines and ';' comments are ignored when parsing.
 
+// quoteAsm renders s as a quoted field using only the escapes splitAsm
+// understands (\\ \" \n \t); all other bytes pass through raw, so parsing
+// always recovers s exactly. fmt's %q is not safe here — it emits \xNN and
+// \uNNNN escapes splitAsm would read literally.
+func quoteAsm(s string) string {
+	var b strings.Builder
+	b.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		case '\t':
+			b.WriteString(`\t`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	b.WriteByte('"')
+	return b.String()
+}
+
 // MarshalText renders the graph in assembly form.
 func (g *Graph) MarshalText() ([]byte, error) {
 	var b bytes.Buffer
-	fmt.Fprintf(&b, "graph %q\n", g.Name)
+	fmt.Fprintf(&b, "graph %s\n", quoteAsm(g.Name))
 	for i, name := range g.MemNames {
-		fmt.Fprintf(&b, "mem %d %q\n", i, name)
+		fmt.Fprintf(&b, "mem %d %s\n", i, quoteAsm(name))
 	}
 	for _, blk := range g.Blocks {
 		if blk.ID == 0 {
@@ -39,7 +64,7 @@ func (g *Graph) MarshalText() ([]byte, error) {
 		if blk.TailRecursive {
 			b.WriteString(" tail")
 		}
-		fmt.Fprintf(&b, " name=%q\n", blk.Name)
+		fmt.Fprintf(&b, " name=%s\n", quoteAsm(blk.Name))
 	}
 	for i := range g.Nodes {
 		n := &g.Nodes[i]
@@ -63,7 +88,7 @@ func (g *Graph) MarshalText() ([]byte, error) {
 			}
 		}
 		if n.Label != "" {
-			fmt.Fprintf(&b, " label=%q", n.Label)
+			fmt.Fprintf(&b, " label=%s", quoteAsm(n.Label))
 		}
 		b.WriteString("\n")
 	}
@@ -164,6 +189,9 @@ func ParseGraph(text []byte) (*Graph, error) {
 			if int(fromNode) >= len(g.Nodes) || fromOut >= len(g.Nodes[fromNode].Outs) {
 				return nil, fmt.Errorf("dfg: line %d: edge source out of range", lineNo)
 			}
+			if int(toNode) >= len(g.Nodes) || toIn >= g.Nodes[toNode].NIn {
+				return nil, fmt.Errorf("dfg: line %d: edge target out of range", lineNo)
+			}
 			g.Connect(fromNode, fromOut, toNode, toIn)
 		case "inject":
 			if len(fields) != 4 || fields[2] != "=" {
@@ -173,20 +201,29 @@ func ParseGraph(text []byte) (*Graph, error) {
 			if err != nil {
 				return nil, fmt.Errorf("dfg: line %d: %w", lineNo, err)
 			}
+			if int(node) >= len(g.Nodes) || in >= g.Nodes[node].NIn {
+				return nil, fmt.Errorf("dfg: line %d: inject target out of range", lineNo)
+			}
 			val, err := strconv.ParseInt(fields[3], 10, 64)
 			if err != nil {
 				return nil, fmt.Errorf("dfg: line %d: bad inject value", lineNo)
 			}
 			g.Inject(Port{Node: node, In: in}, val)
 		case "result":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("dfg: line %d: result <node>", lineNo)
+			}
 			id, err := strconv.Atoi(fields[1])
-			if err != nil {
+			if err != nil || id < 0 || id >= len(g.Nodes) {
 				return nil, fmt.Errorf("dfg: line %d: bad result node", lineNo)
 			}
 			g.Result = NodeID(id)
 		case "rootfree":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("dfg: line %d: rootfree <node>", lineNo)
+			}
 			id, err := strconv.Atoi(fields[1])
-			if err != nil {
+			if err != nil || id < 0 || id >= len(g.Nodes) {
 				return nil, fmt.Errorf("dfg: line %d: bad rootfree node", lineNo)
 			}
 			g.RootFree = NodeID(id)
@@ -322,6 +359,12 @@ func parseNode(g *Graph, fields []string, lineNo int) error {
 	if blk < 0 || nin < 0 {
 		return fmt.Errorf("dfg: line %d: node needs blk= and nin=", lineNo)
 	}
+	// AddNode allocates nin const slots up front; bound it so a corrupt
+	// header cannot demand gigabytes. Real nodes have single-digit fan-in.
+	const maxNIn = 1 << 16
+	if nin > maxNIn {
+		return fmt.Errorf("dfg: line %d: nin %d exceeds limit %d", lineNo, nin, maxNIn)
+	}
 	nid := g.AddNode(op, blk, nin, label)
 	n := g.Node(nid)
 	n.Bin = binKind
@@ -343,11 +386,11 @@ func parsePortRef(s string) (NodeID, int, error) {
 		return 0, 0, fmt.Errorf("bad port reference %q", s)
 	}
 	node, err := strconv.Atoi(s[:dot])
-	if err != nil {
+	if err != nil || node < 0 {
 		return 0, 0, fmt.Errorf("bad node in %q", s)
 	}
 	port, err := strconv.Atoi(s[dot+1:])
-	if err != nil {
+	if err != nil || port < 0 {
 		return 0, 0, fmt.Errorf("bad port in %q", s)
 	}
 	return NodeID(node), port, nil

@@ -1,0 +1,75 @@
+package dfg_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/compile"
+	"repro/internal/dfg"
+	"repro/internal/prog"
+)
+
+// FuzzAsm checks the graph assembly parser/printer pair on arbitrary text:
+// whatever parses must survive a MarshalText -> ParseGraph -> MarshalText
+// round trip byte-for-byte (MarshalText is the canonical form). Seeds are
+// the tagged and ordered lowerings of the language examples, so the corpus
+// starts from realistic compiler output.
+func FuzzAsm(f *testing.F) {
+	dir := filepath.Join("..", "..", "examples", "lang")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		f.Fatalf("seed corpus: %v", err)
+	}
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) != ".tyr" {
+			continue
+		}
+		src, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			f.Fatalf("seed corpus: %v", err)
+		}
+		p, err := prog.Parse(string(src))
+		if err != nil {
+			f.Fatalf("seed %s does not parse: %v", e.Name(), err)
+		}
+		for _, lower := range []func(*prog.Program, compile.Options) (*dfg.Graph, error){
+			compile.Tagged, compile.Ordered,
+		} {
+			g, err := lower(p, compile.Options{})
+			if err != nil {
+				f.Fatalf("seed %s does not compile: %v", e.Name(), err)
+			}
+			text, err := g.MarshalText()
+			if err != nil {
+				f.Fatalf("seed %s does not marshal: %v", e.Name(), err)
+			}
+			f.Add(string(text))
+		}
+	}
+
+	f.Fuzz(func(t *testing.T, text string) {
+		g, err := dfg.ParseGraph([]byte(text))
+		if err != nil {
+			return // rejecting malformed input is fine; crashing is not
+		}
+		canon, err := g.MarshalText()
+		if err != nil {
+			// A graph that parsed but cannot re-marshal means the parser
+			// admitted something the printer cannot express.
+			t.Fatalf("parsed graph does not marshal: %v\ninput:\n%s", err, text)
+		}
+		g2, err := dfg.ParseGraph(canon)
+		if err != nil {
+			t.Fatalf("canonical form does not re-parse: %v\ncanonical:\n%s", err, canon)
+		}
+		again, err := g2.MarshalText()
+		if err != nil {
+			t.Fatalf("re-marshal failed: %v", err)
+		}
+		if !bytes.Equal(canon, again) {
+			t.Fatalf("MarshalText not a fixpoint:\nfirst:\n%s\nsecond:\n%s", canon, again)
+		}
+	})
+}

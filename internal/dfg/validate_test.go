@@ -1,0 +1,285 @@
+package dfg
+
+import (
+	"strings"
+	"testing"
+)
+
+// Table-driven coverage of Validate's error paths: each case corrupts a
+// known-good graph in one specific way and must be rejected with a message
+// naming that defect. Validate is the last line of defense against compiler
+// bugs, so every branch earns a test.
+func TestValidateErrorPaths(t *testing.T) {
+	cases := []struct {
+		name    string
+		mode    Mode
+		build   func() *Graph
+		wantErr string
+	}{
+		{
+			name: "no blocks",
+			mode: ModeTagged,
+			build: func() *Graph {
+				g := validTaggedGraph()
+				g.Blocks = nil
+				return g
+			},
+			wantErr: "block 0 must be the root block",
+		},
+		{
+			name: "block zero not root kind",
+			mode: ModeTagged,
+			build: func() *Graph {
+				g := validTaggedGraph()
+				g.Blocks[0].Kind = BlockLoop
+				return g
+			},
+			wantErr: "block 0 must be the root block",
+		},
+		{
+			name: "root block with a parent",
+			mode: ModeTagged,
+			build: func() *Graph {
+				g := validTaggedGraph()
+				g.Blocks[0].Parent = 0
+				return g
+			},
+			wantErr: "root block must have parent -1",
+		},
+		{
+			name: "block ID out of step",
+			mode: ModeTagged,
+			build: func() *Graph {
+				g := validTaggedGraph()
+				g.AddBlock(0, BlockLoop, "L", false)
+				g.Blocks[1].ID = 5
+				return g
+			},
+			wantErr: "mismatched ID",
+		},
+		{
+			name: "block parent out of range",
+			mode: ModeTagged,
+			build: func() *Graph {
+				g := validTaggedGraph()
+				g.AddBlock(9, BlockLoop, "L", false)
+				return g
+			},
+			wantErr: "invalid parent",
+		},
+		{
+			name: "block parent not an ancestor",
+			mode: ModeTagged,
+			build: func() *Graph {
+				g := validTaggedGraph()
+				g.AddBlock(1, BlockLoop, "L", false) // parent == own ID
+				return g
+			},
+			wantErr: "non-ancestor parent",
+		},
+		{
+			name: "node ID out of step",
+			mode: ModeTagged,
+			build: func() *Graph {
+				g := validTaggedGraph()
+				g.Nodes[0].ID = 3
+				return g
+			},
+			wantErr: "mismatched ID",
+		},
+		{
+			name: "node in invalid block",
+			mode: ModeTagged,
+			build: func() *Graph {
+				g := validTaggedGraph()
+				g.Nodes[0].Block = 9
+				return g
+			},
+			wantErr: "invalid block",
+		},
+		{
+			name: "too few inputs for op",
+			mode: ModeTagged,
+			build: func() *Graph {
+				g := validTaggedGraph()
+				bin := g.AddNode(OpBin, 0, 2, "add")
+				g.Connect(0, 0, bin, 0)
+				g.Nodes[bin].NIn = 1 // OpBin needs 2
+				g.Nodes[bin].ConstIn = g.Nodes[bin].ConstIn[:1]
+				return g
+			},
+			wantErr: "need at least",
+		},
+		{
+			name: "too many inputs for op",
+			mode: ModeTagged,
+			build: func() *Graph {
+				g := validTaggedGraph()
+				g.Nodes[0].NIn = 2 // OpForward allows 1
+				g.Nodes[0].ConstIn = make([]ConstOperand, 2)
+				return g
+			},
+			wantErr: "at most",
+		},
+		{
+			name: "ConstIn length out of sync",
+			mode: ModeTagged,
+			build: func() *Graph {
+				g := validTaggedGraph()
+				g.Nodes[0].ConstIn = nil
+				return g
+			},
+			wantErr: "ConstIn length",
+		},
+		{
+			name: "output port lists out of sync",
+			mode: ModeTagged,
+			build: func() *Graph {
+				g := validTaggedGraph()
+				g.Nodes[0].Outs = nil
+				return g
+			},
+			wantErr: "output port lists",
+		},
+		{
+			name: "invalid bin kind",
+			mode: ModeTagged,
+			build: func() *Graph {
+				g := validTaggedGraph()
+				bin := g.AddNode(OpBin, 0, 2, "bad")
+				g.Connect(0, 0, bin, 0)
+				g.SetConst(bin, 1, 1)
+				g.Nodes[bin].Bin = numBinKinds
+				return g
+			},
+			wantErr: "invalid bin kind",
+		},
+		{
+			name: "load from invalid region",
+			mode: ModeTagged,
+			build: func() *Graph {
+				g := validTaggedGraph() // no MemNames declared
+				ld := g.AddNode(OpLoad, 0, 1, "ld")
+				g.Connect(0, 0, ld, 0)
+				return g
+			},
+			wantErr: "invalid memory region",
+		},
+		{
+			name: "free of invalid tag space",
+			mode: ModeTagged,
+			build: func() *Graph {
+				g := validTaggedGraph()
+				g.Nodes[1].Space = 7 // the root free; only block 0 exists
+				return g
+			},
+			wantErr: "invalid tag space",
+		},
+		{
+			name: "edge to out-of-range input port",
+			mode: ModeTagged,
+			build: func() *Graph {
+				g := validTaggedGraph()
+				g.Nodes[0].Outs[0] = append(g.Nodes[0].Outs[0], Port{Node: 1, In: 5})
+				return g
+			},
+			wantErr: "only 1 inputs",
+		},
+		{
+			name: "injection to invalid node",
+			mode: ModeTagged,
+			build: func() *Graph {
+				g := validTaggedGraph()
+				g.Inject(Port{Node: 99, In: 0}, 1)
+				return g
+			},
+			wantErr: "injection to invalid node",
+		},
+		{
+			name: "injection to invalid port",
+			mode: ModeTagged,
+			build: func() *Graph {
+				g := validTaggedGraph()
+				g.Inject(Port{Node: 0, In: 5}, 1)
+				return g
+			},
+			wantErr: "injection to invalid port",
+		},
+		{
+			name: "injection to const-bound port",
+			mode: ModeTagged,
+			build: func() *Graph {
+				g := validTaggedGraph()
+				gate := g.AddNode(OpGate, 0, 2, "gate")
+				g.Connect(0, 0, gate, 0)
+				g.SetConst(gate, 1, 1)
+				g.Inject(Port{Node: gate, In: 1}, 1)
+				return g
+			},
+			wantErr: "injection targets const-bound port",
+		},
+		{
+			name: "ordered input with no producer",
+			mode: ModeOrdered,
+			build: func() *Graph {
+				g := NewGraph("ord")
+				a := g.AddNode(OpForward, 0, 1, "a")
+				b := g.AddNode(OpBin, 0, 2, "b")
+				g.Node(b).Bin = BinAdd
+				g.Connect(a, 0, b, 0)
+				g.Inject(Port{Node: a, In: 0}, 1)
+				// b's input 1 is neither const, produced, nor injected.
+				return g
+			},
+			wantErr: "has no producer",
+		},
+		{
+			name: "root free is not a free op",
+			mode: ModeTagged,
+			build: func() *Graph {
+				g := validTaggedGraph()
+				g.RootFree = 0 // the forward node
+				return g
+			},
+			wantErr: "must be a free of the root tag space",
+		},
+		{
+			name: "root free frees the wrong space",
+			mode: ModeTagged,
+			build: func() *Graph {
+				g := validTaggedGraph()
+				g.AddBlock(0, BlockLoop, "L", false)
+				g.Nodes[1].Space = 1 // valid space, but not the root's
+				return g
+			},
+			wantErr: "must be a free of the root tag space",
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.build().Validate(tc.mode)
+			if err == nil {
+				t.Fatalf("corrupt graph accepted; want error containing %q", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error = %q; want it to contain %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// An ordered graph may legally stack an injection on top of an edge
+// producer: the injection pre-populates the FIFO (the initial decider of
+// the self-cleaning loop schema relies on this).
+func TestValidateOrderedAllowsInjectionOverEdge(t *testing.T) {
+	g := NewGraph("ord-ok")
+	a := g.AddNode(OpForward, 0, 1, "a")
+	b := g.AddNode(OpForward, 0, 1, "b")
+	g.Connect(a, 0, b, 0)
+	g.Inject(Port{Node: a, In: 0}, 1)
+	g.Inject(Port{Node: b, In: 0}, 2)
+	if err := g.Validate(ModeOrdered); err != nil {
+		t.Fatalf("legal injection-over-edge rejected: %v", err)
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/apps"
 	"repro/internal/compile"
+	"repro/internal/core"
 	"repro/internal/metrics"
 )
 
@@ -110,6 +111,7 @@ type Fig11Data struct {
 	LiveAtDeadlock      int64
 	StarvedAllocs       int
 	StarvedLabels       []string
+	StarvedSpaces       []core.StarvedSpace // which blocks starved, under what budget
 	TyrTags             int
 	TyrCompleted        bool
 	TyrCycles           int64
@@ -123,22 +125,30 @@ func Fig11(cfg ExpConfig) (*Fig11Data, string, error) {
 	app := apps.Find(apps.Suite(cfg.Scale), "dmv")
 	d := &Fig11Data{GlobalTags: 8, TyrTags: 2}
 
-	sc := cfg.sys()
-	sc.GlobalTags = 8
-	sc.SkipCheck = true
-	rs, err := Run(app, SysUnordered, sc)
+	// Run the bounded-global leg on the core engine directly so the full
+	// DeadlockInfo (starved blocks and their budgets) is available.
+	g, err := compile.Tagged(app.Prog, compile.Options{EntryArgs: app.Args})
+	if err != nil {
+		return nil, "", fmt.Errorf("fig11: compile: %w", err)
+	}
+	res, err := core.Run(g, app.NewImage(), core.Config{
+		IssueWidth: cfg.IssueWidth,
+		Policy:     core.PolicyGlobalBounded,
+		GlobalTags: 8,
+	})
 	if err != nil {
 		return nil, "", fmt.Errorf("fig11: bounded unordered: %w", err)
 	}
-	d.Deadlocked = rs.Deadlocked
-	d.DeadlockCycle = rs.Cycles
-	d.LiveAtDeadlock = rs.PeakLive
-	if rs.Note != "" {
-		d.StarvedLabels = append(d.StarvedLabels, rs.Note)
+	d.Deadlocked = res.Deadlocked
+	d.DeadlockCycle = res.Cycles
+	d.LiveAtDeadlock = res.PeakLive
+	if res.Deadlock != nil {
+		d.StarvedAllocs = len(res.Deadlock.PendingAllocs)
+		d.StarvedLabels = append(d.StarvedLabels, res.Deadlock.String())
+		d.StarvedSpaces = res.Deadlock.Spaces
 	}
 
-	// Detail via the core engine note is coarse; re-run counting starved
-	// allocates is already embedded in the note. TYR contrast:
+	// TYR contrast:
 	tc := cfg.sys()
 	tc.Tags = 2
 	trs, err := Run(app, SysTyr, tc)
@@ -157,6 +167,10 @@ func Fig11(cfg ExpConfig) (*Fig11Data, string, error) {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Fig. 11: deadlock from bounding a global tag space (dmv, %s)\n\n", app.Description)
 	fmt.Fprintf(&b, "naive unordered, %d global tags: deadlocked=%v (%s)\n", d.GlobalTags, d.Deadlocked, strings.Join(d.StarvedLabels, "; "))
+	for _, sp := range d.StarvedSpaces {
+		fmt.Fprintf(&b, "  starved: %s block %q — %d allocate(s) waiting, %d of %d pool tags in use\n",
+			sp.Kind, sp.Block, sp.Starved, sp.InUse, sp.Tags)
+	}
 	fmt.Fprintf(&b, "naive unordered, unlimited tags: completes but holds up to %d live contexts\n", d.UnlimitedTagsNeeded)
 	fmt.Fprintf(&b, "TYR, %d tags per local tag space: completed=%v in %d cycles\n", d.TyrTags, d.TyrCompleted, d.TyrCycles)
 	return d, b.String(), nil

@@ -46,6 +46,10 @@ type SysConfig struct {
 	// SkipCheck disables output validation (only for deadlock demos,
 	// where there is no output to validate).
 	SkipCheck bool
+	// Sanitize runs the tagged engines (tyr/unordered) with the runtime
+	// sanitizer: tag double-free, pool-leak, and orphaned-token checks
+	// reported as structured diagnostics (core.SanitizeError).
+	Sanitize bool
 }
 
 func (c SysConfig) withDefaults() SysConfig {
@@ -142,6 +146,7 @@ func Run(app *apps.App, system string, cfg SysConfig) (metrics.RunStats, error) 
 			IssueWidth:  cfg.IssueWidth,
 			LoadLatency: cfg.LoadLatency,
 			TracePoints: cfg.TracePoints,
+			Sanitize:    cfg.Sanitize,
 		}
 		if system == SysTyr {
 			ecfg.Policy = core.PolicyTyr

@@ -7,6 +7,31 @@ import (
 	"repro/internal/dfg"
 )
 
+// quote renders s as a string literal using only the escapes the lexer
+// understands (\\ \" \n \t); all other bytes pass through raw, so
+// Parse(quote(s)) always recovers s exactly. fmt's %q is not safe here —
+// it emits \xNN and \uNNNN escapes the lexer would read literally.
+func quote(s string) string {
+	var b strings.Builder
+	b.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		case '\t':
+			b.WriteString(`\t`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	b.WriteByte('"')
+	return b.String()
+}
+
 // Format renders a program in the IR's concrete syntax (see Parse for the
 // grammar). Format and Parse round-trip: Parse(Format(p)) reproduces p.
 //
@@ -23,7 +48,7 @@ import (
 //	}
 func Format(p *Program) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "program %q entry %s\n", p.Name, p.Entry)
+	fmt.Fprintf(&b, "program %s entry %s\n", quote(p.Name), p.Entry)
 	for _, m := range p.Mems {
 		fmt.Fprintf(&b, "mem %s[%d]\n", m.Name, m.Size)
 	}
@@ -78,7 +103,7 @@ func formatStmt(b *strings.Builder, s Stmt, depth int) {
 	case While:
 		b.WriteString("loop ")
 		if st.Label != "" {
-			fmt.Fprintf(b, "%q ", st.Label)
+			fmt.Fprintf(b, "%s ", quote(st.Label))
 		}
 		b.WriteString("carry (")
 		for i, v := range st.Vars {
