@@ -14,11 +14,13 @@ package repro
 
 import (
 	"testing"
+	"time"
 
 	"repro/internal/apps"
 	"repro/internal/compile"
 	"repro/internal/core"
 	"repro/internal/harness"
+	"repro/internal/trace"
 )
 
 func benchCfg() harness.ExpConfig {
@@ -259,6 +261,44 @@ func BenchmarkUnorderedMachineThroughput(b *testing.B) {
 		fired += res.Fired
 	}
 	b.ReportMetric(float64(fired)/b.Elapsed().Seconds(), "sim-instrs/s")
+}
+
+// BenchmarkTraceOverhead measures the cost of the event layer: the same
+// dmv run with no tracer, and with a recorder attached. The no-tracer
+// path must stay within 5% of the traced path's baseline — i.e. the hook
+// is a nil check, not a tax; if disabled tracing ever costs more than
+// 5% of a traced run the guard fails the benchmark.
+func BenchmarkTraceOverhead(b *testing.B) {
+	app := apps.Find(apps.Suite(apps.ScaleTiny), "dmv")
+	g, err := compile.Tagged(app.Prog, compile.Options{EntryArgs: app.Args})
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, rec *trace.Recorder) time.Duration {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if rec != nil {
+				rec.Reset()
+			}
+			if _, err := core.Run(g, app.NewImage(), core.Config{
+				Policy: core.PolicyTyr, TagsPerBlock: 64, Tracer: rec,
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return b.Elapsed() / time.Duration(b.N)
+	}
+
+	var off, on time.Duration
+	b.Run("disabled", func(b *testing.B) { off = run(b, nil) })
+	b.Run("enabled", func(b *testing.B) { on = run(b, trace.NewRecorder(0)) })
+	if off > 0 && on > 0 {
+		ratio := float64(off) / float64(on)
+		b.ReportMetric(ratio, "disabled/enabled")
+		if float64(off) > float64(on)*1.05 {
+			b.Errorf("tracing disabled (%v/op) costs more than 5%% over a traced run (%v/op)", off, on)
+		}
+	}
 }
 
 // BenchmarkCompileTagged measures compilation speed of the largest

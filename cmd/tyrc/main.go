@@ -3,7 +3,8 @@
 //
 // Usage:
 //
-//	tyrc [-sys tyr] [-tags 64] [-width 128] [-O] [-arg N]... [-emit asm|dot|ir] [-vet] prog.tyr
+//	tyrc [-sys tyr] [-tags 64] [-width 128] [-O] [-arg N]... [-emit asm|dot|ir]
+//	     [-vet] [-trace out.json] [-profile] prog.tyr
 //
 // The program runs against its declared memory regions (zero-filled) and
 // the result plus machine metrics are printed. -emit stops after
@@ -11,7 +12,8 @@
 // (free barriers, tag safety, memory-ordering races) on the tagged lowering
 // and exits nonzero if any pass finds a definite violation. Results are
 // cross-checked against the reference interpreter unless -emit or -vet is
-// used.
+// used. -trace records the run's event stream as Chrome trace-event JSON;
+// -profile prints the critical-path profile.
 package main
 
 import (
@@ -27,6 +29,7 @@ import (
 	"repro/internal/ordered"
 	"repro/internal/prog"
 	"repro/internal/seqdf"
+	"repro/internal/trace"
 	"repro/internal/vn"
 )
 
@@ -49,6 +52,8 @@ func main() {
 	optimize := flag.Bool("O", false, "run the optimizer (fold, simplify, DCE) before compiling")
 	emit := flag.String("emit", "", "emit a compiled form and exit: asm, dot, or ir")
 	vet := flag.Bool("vet", false, "statically verify the compiled graph (free barriers, tag safety, races) and exit")
+	tracePath := flag.String("trace", "", "record the event stream and write Chrome trace-event JSON to this path")
+	profile := flag.Bool("profile", false, "print the critical-path profile")
 	var args argList
 	flag.Var(&args, "arg", "entry argument (repeatable)")
 	flag.Parse()
@@ -126,13 +131,21 @@ func main() {
 		fail(err)
 	}
 
+	var rec *trace.Recorder
+	if *tracePath != "" || *profile {
+		rec = trace.NewRecorder(0)
+	}
+
 	tb := &metrics.Table{}
 	var got int64
 	var okMem bool
 	switch *sys {
 	case "vN":
 		im := prog.DefaultImage(p)
-		res, err := vn.Run(p, im, vn.Config{Args: args})
+		if rec != nil {
+			rec.SetMeta(trace.Meta{Program: p.Name, System: *sys})
+		}
+		res, err := vn.Run(p, im, vn.Config{Args: args, Tracer: rec})
 		if err != nil {
 			fail(err)
 		}
@@ -140,7 +153,10 @@ func main() {
 		addRow(tb, res.Cycles, res.Fired, res.PeakLive)
 	case "seqdf":
 		im := prog.DefaultImage(p)
-		res, err := seqdf.Run(p, im, seqdf.Config{Args: args, IssueWidth: *width})
+		if rec != nil {
+			rec.SetMeta(trace.Meta{Program: p.Name, System: *sys})
+		}
+		res, err := seqdf.Run(p, im, seqdf.Config{Args: args, IssueWidth: *width, Tracer: rec})
 		if err != nil {
 			fail(err)
 		}
@@ -152,7 +168,10 @@ func main() {
 			fail(err)
 		}
 		im := prog.DefaultImage(p)
-		res, err := ordered.Run(g, im, ordered.Config{IssueWidth: *width})
+		if rec != nil {
+			rec.SetMeta(trace.MetaFromGraph(p.Name, *sys, g))
+		}
+		res, err := ordered.Run(g, im, ordered.Config{IssueWidth: *width, Tracer: rec})
 		if err != nil {
 			fail(err)
 		}
@@ -163,7 +182,7 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		cfg := core.Config{IssueWidth: *width, CheckInvariants: true}
+		cfg := core.Config{IssueWidth: *width, CheckInvariants: true, Tracer: rec}
 		if *sys == "tyr" {
 			cfg.Policy = core.PolicyTyr
 			cfg.TagsPerBlock = *tags
@@ -171,6 +190,9 @@ func main() {
 			cfg.Policy = core.PolicyGlobalUnlimited
 		}
 		im := prog.DefaultImage(p)
+		if rec != nil {
+			rec.SetMeta(trace.MetaFromGraph(p.Name, *sys, g))
+		}
 		res, err := core.Run(g, im, cfg)
 		if err != nil {
 			fail(err)
@@ -186,6 +208,26 @@ func main() {
 
 	fmt.Printf("%s on %s: result = %d\n", p.Name, *sys, got)
 	fmt.Print(tb.String())
+
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fail(err)
+		}
+		werr := trace.ExportChrome(f, rec)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fail(werr)
+		}
+		fmt.Printf("wrote Chrome trace (%d events, %d dropped) to %s\n", rec.Len(), rec.Dropped(), *tracePath)
+	}
+	if *profile {
+		fmt.Println()
+		fmt.Print(trace.ComputeProfile(rec).Render())
+	}
+
 	switch {
 	case got != ref.Ret:
 		fail(fmt.Errorf("MISMATCH: machine produced %d, reference %d", got, ref.Ret))

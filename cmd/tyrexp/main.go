@@ -1,15 +1,28 @@
-// Command tyrexp regenerates the paper's tables and figures.
+// Command tyrexp regenerates the paper's tables and figures, and hosts
+// the observability subcommands.
 //
 // Usage:
 //
-//	tyrexp [-exp fig12] [-scale small] [-width 128] [-tags 64]
+//	tyrexp [-exp fig12] [-scale small] [-width 128] [-tags 64] [-json out.json]
+//	tyrexp trace -app dmv -sys tyr [-out trace.json] [-profile]
+//	tyrexp trace -validate trace.json
+//	tyrexp bench [-scale small] [-out BENCH_pr2.json]
 //
-// With no -exp flag, all experiments run in paper order. Reports are
-// written to stdout; every run's outputs are validated against the native
-// reference before any number is printed.
+// With no subcommand and no -exp flag, all experiments run in paper
+// order. Reports are written to stdout; every run's outputs are validated
+// against the native reference before any number is printed. -json also
+// writes every run's stats as tyr-telemetry/v1 JSON.
+//
+// The trace subcommand records one run's event stream and writes Chrome
+// trace-event JSON (and/or the critical-path profile); -validate checks
+// the structure of an existing trace file instead of running anything.
+// The bench subcommand times every kernel on every system and writes a
+// machine-readable benchmark summary (gmean cycles and wall-clock per
+// system).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -18,29 +31,61 @@ import (
 
 	"repro/internal/apps"
 	"repro/internal/harness"
+	"repro/internal/metrics"
+	"repro/internal/trace"
 )
 
 func main() {
-	exp := flag.String("exp", "", "experiment to run (tab2, fig2, fig9, fig11, ..., fig18); empty = all")
-	scale := flag.String("scale", "small", "input scale: tiny, small, medium")
-	width := flag.Int("width", 128, "issue width (instructions per cycle)")
-	tags := flag.Int("tags", 64, "TYR tags per local tag space")
-	csvDir := flag.String("csv", "", "also write each experiment's raw data as CSV into this directory")
-	flag.Parse()
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "trace":
+			runTrace(os.Args[2:])
+			return
+		case "bench":
+			runBench(os.Args[2:])
+			return
+		}
+	}
+	runExperiments(os.Args[1:])
+}
 
-	var sc apps.Scale
-	switch *scale {
+func parseScale(s string) (apps.Scale, error) {
+	switch s {
 	case "tiny":
-		sc = apps.ScaleTiny
+		return apps.ScaleTiny, nil
 	case "small":
-		sc = apps.ScaleSmall
+		return apps.ScaleSmall, nil
 	case "medium":
-		sc = apps.ScaleMedium
-	default:
-		fmt.Fprintf(os.Stderr, "tyrexp: unknown scale %q (want tiny, small, medium)\n", *scale)
+		return apps.ScaleMedium, nil
+	}
+	return 0, fmt.Errorf("unknown scale %q (want tiny, small, medium)", s)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tyrexp: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func runExperiments(args []string) {
+	fs := flag.NewFlagSet("tyrexp", flag.ExitOnError)
+	exp := fs.String("exp", "", "experiment to run (tab2, fig2, fig9, fig11, ..., fig18); empty = all")
+	scale := fs.String("scale", "small", "input scale: tiny, small, medium")
+	width := fs.Int("width", 128, "issue width (instructions per cycle)")
+	tags := fs.Int("tags", 64, "TYR tags per local tag space")
+	csvDir := fs.String("csv", "", "also write each experiment's raw data as CSV into this directory")
+	jsonPath := fs.String("json", "", "write every run's stats as tyr-telemetry/v1 JSON to this path")
+	fs.Parse(args)
+
+	sc, err := parseScale(*scale)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tyrexp: %v\n", err)
 		os.Exit(2)
 	}
 	cfg := harness.ExpConfig{Scale: sc, IssueWidth: *width, Tags: *tags}
+	var tel harness.Telemetry
+	if *jsonPath != "" {
+		cfg.Telemetry = &tel
+	}
 
 	names := harness.Experiments
 	if *exp != "" {
@@ -53,18 +98,180 @@ func main() {
 		start := time.Now()
 		report, err := harness.RunExperiment(strings.TrimSpace(name), cfg)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "tyrexp: %s: %v\n", name, err)
-			os.Exit(1)
+			fatalf("%s: %v", name, err)
 		}
 		fmt.Print(report)
 		if *csvDir != "" {
 			path, err := harness.ExportCSV(strings.TrimSpace(name), cfg, *csvDir)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "tyrexp: csv %s: %v\n", name, err)
-				os.Exit(1)
+				fatalf("csv %s: %v", name, err)
 			}
 			fmt.Printf("[raw data: %s]\n", path)
 		}
 		fmt.Printf("[%s completed in %v]\n", name, time.Since(start).Round(time.Millisecond))
 	}
+	if *jsonPath != "" {
+		writeTelemetryFile(*jsonPath, tel.Snapshot())
+		fmt.Printf("[telemetry: %s, %d runs]\n", *jsonPath, len(tel.Snapshot()))
+	}
+}
+
+func writeTelemetryFile(path string, runs []metrics.RunStats) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	werr := harness.WriteTelemetry(f, runs)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		fatalf("%v", werr)
+	}
+}
+
+// runTrace records one run's event stream and exports it.
+func runTrace(args []string) {
+	fs := flag.NewFlagSet("tyrexp trace", flag.ExitOnError)
+	appName := fs.String("app", "dmv", "workload: dmv, dmm, dconv, smv, spmspv, spmspm, tc")
+	sys := fs.String("sys", "tyr", "system: vN, seqdf, ordered, unordered, tyr")
+	scale := fs.String("scale", "tiny", "input scale: tiny, small, medium")
+	width := fs.Int("width", 128, "issue width")
+	tags := fs.Int("tags", 64, "TYR tags per local tag space")
+	out := fs.String("out", "", "write Chrome trace-event JSON to this path")
+	profile := fs.Bool("profile", false, "print the critical-path profile")
+	validate := fs.String("validate", "", "validate an existing Chrome trace JSON file and exit")
+	fs.Parse(args)
+
+	if *validate != "" {
+		data, err := os.ReadFile(*validate)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := trace.ValidateChromeJSON(data); err != nil {
+			fatalf("%s: %v", *validate, err)
+		}
+		var doc struct {
+			TraceEvents []json.RawMessage `json:"traceEvents"`
+		}
+		if err := json.Unmarshal(data, &doc); err != nil {
+			fatalf("%s: %v", *validate, err)
+		}
+		fmt.Printf("%s: valid Chrome trace, %d events\n", *validate, len(doc.TraceEvents))
+		return
+	}
+
+	sc, err := parseScale(*scale)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	app := apps.Find(apps.Suite(sc), *appName)
+	if app == nil {
+		fatalf("unknown app %q", *appName)
+	}
+	rec := trace.NewRecorder(0)
+	rs, err := harness.Run(app, *sys, harness.SysConfig{
+		IssueWidth: *width, Tags: *tags, Tracer: rec,
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("%s on %s: %s cycles, %s fires, %d events (%d dropped)\n",
+		app.Name, *sys, metrics.FormatCount(rs.Cycles), metrics.FormatCount(rs.Fired),
+		rec.Len(), rec.Dropped())
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		werr := trace.ExportChrome(f, rec)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fatalf("%v", werr)
+		}
+		fmt.Printf("wrote Chrome trace to %s\n", *out)
+	}
+	if *profile {
+		fmt.Println()
+		fmt.Print(trace.ComputeProfile(rec).Render())
+	}
+}
+
+// benchDoc is the machine-readable benchmark summary schema.
+type benchDoc struct {
+	Schema  string             `json:"schema"`
+	Scale   string             `json:"scale"`
+	Systems []benchSystem      `json:"systems"`
+	Runs    []metrics.RunStats `json:"runs"`
+}
+
+type benchSystem struct {
+	System      string  `json:"system"`
+	GmeanCycles float64 `json:"gmean_cycles"`
+	WallNS      int64   `json:"wall_ns"` // summed across kernels
+}
+
+// runBench times every kernel on every system and writes the summary.
+func runBench(args []string) {
+	fs := flag.NewFlagSet("tyrexp bench", flag.ExitOnError)
+	scale := fs.String("scale", "small", "input scale: tiny, small, medium")
+	width := fs.Int("width", 128, "issue width")
+	tags := fs.Int("tags", 64, "TYR tags per local tag space")
+	out := fs.String("out", "BENCH_pr2.json", "write the benchmark summary JSON to this path")
+	fs.Parse(args)
+
+	sc, err := parseScale(*scale)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	var tel harness.Telemetry
+	suite := apps.Suite(sc)
+	for _, app := range suite {
+		for _, sys := range harness.Systems {
+			rs, err := harness.Run(app, sys, harness.SysConfig{
+				IssueWidth: *width, Tags: *tags, Telemetry: &tel,
+			})
+			if err != nil {
+				fatalf("%s/%s: %v", app.Name, sys, err)
+			}
+			fmt.Printf("%-8s %-10s %10s cycles  %8.2fms\n", app.Name, sys,
+				metrics.FormatCount(rs.Cycles), float64(rs.WallNS)/1e6)
+		}
+	}
+
+	doc := benchDoc{Schema: "tyr-bench/v1", Scale: *scale, Runs: tel.Snapshot()}
+	perSys := map[string][]float64{}
+	wall := map[string]int64{}
+	for _, rs := range doc.Runs {
+		perSys[rs.System] = append(perSys[rs.System], float64(rs.Cycles))
+		wall[rs.System] += rs.WallNS
+	}
+	for _, sys := range harness.Systems {
+		doc.Systems = append(doc.Systems, benchSystem{
+			System: sys, GmeanCycles: metrics.Gmean(perSys[sys]), WallNS: wall[sys],
+		})
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	werr := enc.Encode(doc)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		fatalf("%v", werr)
+	}
+	fmt.Println()
+	tb := &metrics.Table{Headers: []string{"system", "gmean cycles", "wall-clock"}}
+	for _, s := range doc.Systems {
+		tb.Add(s.System, metrics.FormatCount(int64(s.GmeanCycles)),
+			fmt.Sprintf("%.1fms", float64(s.WallNS)/1e6))
+	}
+	fmt.Print(tb.String())
+	fmt.Printf("wrote benchmark summary to %s\n", *out)
 }

@@ -4,13 +4,21 @@
 // Usage:
 //
 //	tyrsim -app spmspm -sys tyr [-scale small] [-width 128] [-tags 64]
-//	       [-global-tags 8] [-trace] [-check]
+//	       [-global-tags 8] [-plot] [-check]
+//	       [-trace out.json] [-profile] [-heat] [-json telemetry.json]
 //
 // -sys accepts vN, seqdf, ordered, unordered, tyr. With -global-tags N,
 // the unordered system uses a bounded global pool (the Fig. 11 deadlock
-// configuration). -trace prints the live-state-over-time plot. -check runs
+// configuration). -plot prints the live-state-over-time plot. -check runs
 // the static verifier on the compiled graph first and then executes with
 // the runtime sanitizer enabled.
+//
+// Observability: -trace PATH records the run's event stream and writes it
+// as Chrome trace-event JSON (load into chrome://tracing or Perfetto);
+// -profile prints the critical-path profile (per-node/block/op cycle
+// attribution and the longest fire chain); -heat prints the compiled graph
+// in dot form with a per-node fire-count heatmap overlay; -json PATH
+// writes the run's RunStats as tyr-telemetry/v1 JSON.
 package main
 
 import (
@@ -25,6 +33,7 @@ import (
 	"repro/internal/dfg"
 	"repro/internal/harness"
 	"repro/internal/metrics"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -34,7 +43,11 @@ func main() {
 	width := flag.Int("width", 128, "issue width")
 	tags := flag.Int("tags", 64, "TYR tags per local tag space")
 	globalTags := flag.Int("global-tags", 0, "bounded global tag pool for unordered (0 = unlimited)")
-	trace := flag.Bool("trace", false, "print the live-state trace plot")
+	plot := flag.Bool("plot", false, "print the live-state trace plot")
+	tracePath := flag.String("trace", "", "record the event stream and write Chrome trace-event JSON to this path")
+	profile := flag.Bool("profile", false, "print the critical-path profile")
+	heat := flag.Bool("heat", false, "print the graph in dot form with a fire-count heatmap (graph systems only)")
+	jsonPath := flag.String("json", "", "write the run's stats as tyr-telemetry/v1 JSON to this path")
 	dot := flag.Bool("dot", false, "print the compiled dataflow graph in Graphviz dot form and exit")
 	asm := flag.Bool("asm", false, "print the compiled dataflow graph in assembly form and exit")
 	list := flag.Bool("list", false, "list the available workloads and exit")
@@ -97,6 +110,19 @@ func main() {
 		Tags:       *tags,
 		GlobalTags: *globalTags,
 		SkipCheck:  *globalTags > 0, // a deadlocked run has no output to validate
+	}
+	var rec *trace.Recorder
+	if *tracePath != "" || *profile || *heat {
+		if *heat && (*sys == harness.SysVN || *sys == harness.SysSeqDF) {
+			fmt.Fprintf(os.Stderr, "tyrsim: -heat needs a graph system (ordered, unordered, tyr), not %s\n", *sys)
+			os.Exit(2)
+		}
+		rec = trace.NewRecorder(0)
+		cfg.Tracer = rec
+	}
+	var tel harness.Telemetry
+	if *jsonPath != "" {
+		cfg.Telemetry = &tel
 	}
 
 	if *check {
@@ -181,9 +207,61 @@ func main() {
 		fmt.Print(bt.String())
 	}
 
-	if *trace && len(rs.Trace) > 0 {
+	if *plot && len(rs.Trace) > 0 {
 		fmt.Print(metrics.RenderTraces("live state over time",
 			[]metrics.Series{{Name: rs.System, Points: rs.Trace}}, 76, 16))
+	}
+
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tyrsim: %v\n", err)
+			os.Exit(1)
+		}
+		if err := trace.ExportChrome(f, rec); err != nil {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "tyrsim: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "tyrsim: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote Chrome trace (%d events, %d dropped) to %s\n", rec.Len(), rec.Dropped(), *tracePath)
+	}
+	if *profile {
+		fmt.Println()
+		fmt.Print(trace.ComputeProfile(rec).Render())
+	}
+	if *heat {
+		var g *dfg.Graph
+		var err error
+		if *sys == harness.SysOrdered {
+			g, err = compile.Ordered(app.Prog, compile.Options{EntryArgs: app.Args})
+		} else {
+			g, err = compile.Tagged(app.Prog, compile.Options{EntryArgs: app.Args})
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tyrsim: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(g.DotHeat(trace.FireCounts(rec, len(g.Nodes))))
+	}
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tyrsim: %v\n", err)
+			os.Exit(1)
+		}
+		werr := harness.WriteTelemetry(f, tel.Snapshot())
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintf(os.Stderr, "tyrsim: %v\n", werr)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote telemetry to %s\n", *jsonPath)
 	}
 	if rs.Completed {
 		fmt.Println("output validated against native reference: OK")

@@ -39,6 +39,7 @@ import (
 	"sort"
 
 	"repro/internal/dfg"
+	"repro/internal/trace"
 )
 
 // TagPolicy selects how tags are allocated.
@@ -127,6 +128,12 @@ type Config struct {
 	// Diagnostics via SanitizeError (see sanitize.go). Implies the
 	// CheckInvariants per-token accounting.
 	Sanitize bool
+
+	// Tracer, when non-nil, receives the run's event stream: token
+	// emit/deliver, fires, tag alloc/free/changeTag, allocate park/wake,
+	// join arrivals, and memory ops (see internal/trace). Recording is
+	// allocation-free; nil costs a single branch per event site.
+	Tracer *trace.Recorder
 }
 
 const (
@@ -150,6 +157,20 @@ func (c Config) withDefaults() Config {
 		c.TracePoints = defaultTracePoints
 	}
 	return c
+}
+
+// Describe summarizes the tag policy and pool sizing that shaped a run —
+// the provenance string reports surface as RunStats.Note.
+func (c Config) Describe() string {
+	c = c.withDefaults()
+	switch c.Policy {
+	case PolicyTyr, PolicyLocalNoGate, PolicyKBound:
+		return fmt.Sprintf("policy=%s tags/block=%d", c.Policy, c.TagsPerBlock)
+	case PolicyGlobalBounded:
+		return fmt.Sprintf("policy=%s global-tags=%d", c.Policy, c.GlobalTags)
+	default:
+		return fmt.Sprintf("policy=%s tags=unlimited", c.Policy)
+	}
 }
 
 // StatePoint is one sample of the live-token trace.
@@ -258,6 +279,10 @@ type Result struct {
 	// transfer point (requiring cross-context routing).
 	FrameTokens int64
 	CrossTokens int64
+
+	// Note records the tag policy and pool sizing that produced the run
+	// (Config.Describe), so every report line carries its provenance.
+	Note string
 }
 
 // IPC returns mean instructions per cycle.

@@ -5,11 +5,15 @@ import (
 
 	"repro/internal/dfg"
 	"repro/internal/mem"
+	"repro/internal/trace"
 )
 
-// token is one in-flight value addressed to an input port.
+// token is one in-flight value addressed to an input port. src is the
+// producing node (dfg.InvalidNode for entry injections), kept for the
+// trace's dependency edges.
 type token struct {
 	to  dfg.Port
+	src dfg.NodeID
 	tag uint64
 	val int64
 }
@@ -122,6 +126,15 @@ type machine struct {
 
 	trace       []StatePoint
 	traceStride int64
+	// Window-max sampling state: the live-state maximum (and the cycle it
+	// occurred) inside the current stride window, so decimation never
+	// drops the trace's peak.
+	winMax      int64
+	winMaxCycle int64
+	winValid    bool
+
+	// rec receives the event stream, nil unless Config.Tracer is set.
+	rec *trace.Recorder
 
 	// san is the runtime sanitizer, nil unless Config.Sanitize is set.
 	san *sanitizer
@@ -179,6 +192,7 @@ func newMachine(g *dfg.Graph, im *mem.Image, cfg Config) (*machine, error) {
 	if cfg.TracePoints > 0 {
 		m.traceStride = 1
 	}
+	m.rec = cfg.Tracer
 
 	memIdx := make([]int, len(g.MemNames))
 	for i, name := range g.MemNames {
@@ -279,6 +293,10 @@ func (m *machine) allocRoot() (uint64, error) {
 		m.san.held[tag] = 0
 	}
 	m.noteAlloc(0)
+	if m.rec != nil {
+		m.rec.Record(trace.Event{Cycle: m.cycle, Kind: trace.KindTagAlloc,
+			Node: trace.NoNode, Block: 0, Tag: tag, Val: int64(m.inUse[0])})
+	}
 	return tag, nil
 }
 
@@ -380,6 +398,10 @@ func (m *machine) wakeRefs(refs []fireRef) {
 		e.parked = false
 		e.queued = true
 		m.nextReady = append(m.nextReady, ref)
+		if m.rec != nil {
+			m.rec.Record(trace.Event{Cycle: m.cycle, Kind: trace.KindWake,
+				Node: int32(ref.node), Block: int32(m.g.Nodes[ref.node].Space), Tag: ref.tag})
+		}
 	}
 }
 
@@ -391,8 +413,9 @@ func (m *machine) pendingIndex(space dfg.BlockID) dfg.BlockID {
 }
 
 // emit queues a produced token for delivery at the start of the next cycle.
-func (m *machine) emit(to dfg.Port, tag uint64, val int64) {
-	m.outbox = append(m.outbox, token{to: to, tag: tag, val: val})
+// src is the producing node, dfg.InvalidNode for entry injections.
+func (m *machine) emit(src dfg.NodeID, to dfg.Port, tag uint64, val int64) {
+	m.outbox = append(m.outbox, token{to: to, src: src, tag: tag, val: val})
 	m.live++
 	blk := m.g.Nodes[to.Node].Block
 	m.liveByBlock[blk]++
@@ -402,13 +425,18 @@ func (m *machine) emit(to dfg.Port, tag uint64, val int64) {
 	if m.perTagLive != nil {
 		m.perTagLive[tag]++
 	}
+	if m.rec != nil {
+		m.rec.Record(trace.Event{Cycle: m.cycle, Kind: trace.KindEmit,
+			Node: int32(to.Node), Src: int32(src), Block: int32(blk),
+			Port: int16(to.In), Tag: tag, Val: val})
+	}
 }
 
 // emitAll fans a value out to every destination of an output port.
 func (m *machine) emitAll(n *dfg.Node, out int, tag uint64, val int64) {
 	cross := out == dfg.CTDataOut && (n.Op == dfg.OpChangeTag || n.Op == dfg.OpChangeTagDyn)
 	for _, d := range n.Outs[out] {
-		m.emit(d, tag, val)
+		m.emit(n.ID, d, tag, val)
 		if cross {
 			m.crossTokens++
 		} else {
@@ -426,6 +454,15 @@ func (m *machine) consumeOne(blk dfg.BlockID, tag uint64) {
 			delete(m.perTagLive, tag)
 		}
 	}
+}
+
+// evSeq reports the tracer's next event sequence number, for linking
+// sanitizer diagnostics to the exported trace. Zero without a tracer.
+func (m *machine) evSeq() uint64 {
+	if m.rec == nil {
+		return 0
+	}
+	return m.rec.Seq()
 }
 
 // deliver routes one token into its node's token store, possibly completing
@@ -450,7 +487,7 @@ func (m *machine) deliver(t token) error {
 	if e.has(t.to.In) {
 		if m.san != nil {
 			return m.san.fail(Diagnostic{
-				Kind: DiagTokenCollision, Cycle: m.cycle, Node: nid, Label: n.Label, Tag: t.tag,
+				Kind: DiagTokenCollision, Cycle: m.cycle, Node: nid, Label: n.Label, Tag: t.tag, Event: m.evSeq(),
 				Detail: fmt.Sprintf("second token at %s port %d for tag %#x (fan-in overflow; free barrier violated?)",
 					n.Op, t.to.In, t.tag),
 			})
@@ -464,6 +501,15 @@ func (m *machine) deliver(t token) error {
 	e.set(t.to.In)
 	e.vals[t.to.In] = t.val
 	e.need--
+	if m.rec != nil {
+		kind := trace.KindDeliver
+		if n.Op == dfg.OpJoin {
+			kind = trace.KindJoinArrive
+		}
+		m.rec.Record(trace.Event{Cycle: m.cycle, Kind: kind,
+			Node: int32(nid), Src: int32(t.src), Block: int32(n.Block),
+			Port: int16(t.to.In), Tag: t.tag, Val: t.val})
+	}
 
 	if n.Op == dfg.OpAllocate {
 		return m.deliverAllocate(nid, t.tag, e)
@@ -524,6 +570,10 @@ func (m *machine) fire(ref fireRef) (bool, error) {
 	}
 	delete(store, ref.tag)
 	m.fired++
+	if m.rec != nil {
+		m.rec.Record(trace.Event{Cycle: m.cycle, Kind: trace.KindFire,
+			Node: int32(ref.node), Block: int32(n.Block), Tag: ref.tag})
+	}
 
 	v := e.vals
 	switch n.Op {
@@ -544,12 +594,16 @@ func (m *machine) fire(ref fireRef) (bool, error) {
 		if err != nil {
 			return true, fmt.Errorf("core: %q: %w", n.Label, err)
 		}
+		if m.rec != nil {
+			m.rec.Record(trace.Event{Cycle: m.cycle, Kind: trace.KindMemLoad,
+				Node: int32(ref.node), Block: int32(n.Block), Tag: ref.tag, Val: v[0]})
+		}
 		if m.cfg.LoadLatency > 1 {
 			// The value returns after the memory latency; barrier and
 			// ordering consumers wait along with everyone else.
 			due := m.cycle + int64(m.cfg.LoadLatency)
 			for _, d := range n.Outs[dfg.LoadValOut] {
-				m.delayed[due] = append(m.delayed[due], token{to: d, tag: ref.tag, val: val})
+				m.delayed[due] = append(m.delayed[due], token{to: d, src: n.ID, tag: ref.tag, val: val})
 				m.delayedCount++
 				m.live++
 				blk := m.g.Nodes[d.Node].Block
@@ -567,6 +621,10 @@ func (m *machine) fire(ref fireRef) (bool, error) {
 	case dfg.OpStore:
 		if err := m.im.Store(m.info[ref.node].memIdx, v[0], v[1]); err != nil {
 			return true, fmt.Errorf("core: %q: %w", n.Label, err)
+		}
+		if m.rec != nil {
+			m.rec.Record(trace.Event{Cycle: m.cycle, Kind: trace.KindMemStore,
+				Node: int32(ref.node), Block: int32(n.Block), Tag: ref.tag, Val: v[0]})
 		}
 		m.emitAll(n, dfg.StoreCtrlOut, ref.tag, 0)
 	case dfg.OpSteer:
@@ -587,11 +645,19 @@ func (m *machine) fire(ref fireRef) (bool, error) {
 		m.emitAll(n, 0, ref.tag, int64(ref.tag))
 	case dfg.OpChangeTag:
 		newTag := uint64(v[0])
+		if m.rec != nil {
+			m.rec.Record(trace.Event{Cycle: m.cycle, Kind: trace.KindChangeTag,
+				Node: int32(ref.node), Block: int32(n.Block), Tag: ref.tag, Val: int64(newTag)})
+		}
 		m.emitAll(n, dfg.CTDataOut, newTag, v[1])
 		m.emitAll(n, dfg.CTCtrlOut, ref.tag, 0)
 	case dfg.OpChangeTagDyn:
 		newTag := uint64(v[0])
-		m.emit(dfg.DecodePort(v[2]), newTag, v[1])
+		if m.rec != nil {
+			m.rec.Record(trace.Event{Cycle: m.cycle, Kind: trace.KindChangeTag,
+				Node: int32(ref.node), Block: int32(n.Block), Tag: ref.tag, Val: int64(newTag)})
+		}
+		m.emit(n.ID, dfg.DecodePort(v[2]), newTag, v[1])
 		m.crossTokens++
 		m.emitAll(n, dfg.CTCtrlOut, ref.tag, 0)
 	case dfg.OpFree:
@@ -604,6 +670,11 @@ func (m *machine) fire(ref fireRef) (bool, error) {
 				ref.tag, n.Label, m.perTagLive[ref.tag])
 		}
 		m.freeTag(n.Space, ref.tag)
+		if m.rec != nil {
+			m.rec.Record(trace.Event{Cycle: m.cycle, Kind: trace.KindTagFree,
+				Node: int32(ref.node), Block: int32(n.Space), Tag: ref.tag,
+				Val: int64(m.inUse[n.Space])})
+		}
 		if ref.node == m.g.RootFree {
 			m.done = true
 		}
@@ -641,6 +712,11 @@ func (m *machine) fireAllocate(ref fireRef, n *dfg.Node, e *entry) (bool, error)
 		e.parked = true
 		idx := m.pendingIndex(n.Space)
 		m.pending[idx] = append(m.pending[idx], ref)
+		if m.rec != nil {
+			m.rec.Record(trace.Event{Cycle: m.cycle, Kind: trace.KindPark,
+				Node: int32(ref.node), Block: int32(n.Space), Tag: ref.tag,
+				Val: int64(m.avail(n.Space))})
+		}
 		return false, nil
 	}
 	tag, _ := m.popTag(n.Space)
@@ -655,6 +731,13 @@ func (m *machine) grantAllocate(ref fireRef, n *dfg.Node, e *entry, tag uint64) 
 	}
 	m.noteAlloc(n.Space)
 	m.fired++
+	if m.rec != nil {
+		m.rec.Record(trace.Event{Cycle: m.cycle, Kind: trace.KindFire,
+			Node: int32(ref.node), Block: int32(n.Block), Tag: ref.tag})
+		m.rec.Record(trace.Event{Cycle: m.cycle, Kind: trace.KindTagAlloc,
+			Node: int32(ref.node), Block: int32(n.Space), Tag: tag,
+			Val: int64(m.inUse[n.Space])})
+	}
 	m.emitAll(n, dfg.AllocTagOut, ref.tag, int64(tag))
 	m.consumeOne(n.Block, ref.tag) // the request token
 	e.popped = true
@@ -705,6 +788,10 @@ func (m *machine) fireAllocateKBound(ref fireRef, n *dfg.Node, e *entry) (bool, 
 		if len(pool) == 0 {
 			e.parked = true
 			m.kbPending[key] = append(m.kbPending[key], ref)
+			if m.rec != nil {
+				m.rec.Record(trace.Event{Cycle: m.cycle, Kind: trace.KindPark,
+					Node: int32(ref.node), Block: int32(n.Space), Tag: ref.tag})
+			}
 			return false, nil
 		}
 		tag = pool[len(pool)-1]
@@ -725,7 +812,7 @@ func (m *machine) run() (Result, error) {
 		return Result{}, err
 	}
 	for _, inj := range m.g.Entries {
-		m.emit(inj.To, rootTag, inj.Val)
+		m.emit(dfg.InvalidNode, inj.To, rootTag, inj.Val)
 	}
 
 	for {
@@ -795,27 +882,71 @@ func (m *machine) run() (Result, error) {
 	return m.finish()
 }
 
-// samplePoint appends to the live-state trace, decimating by stride
-// doubling when the point cap is reached.
+// samplePoint maintains the live-state trace with max-preserving
+// decimation: every cycle updates the current stride window's maximum, the
+// window's max point is recorded at stride boundaries, and when the point
+// cap is reached adjacent points merge keeping the larger — so the trace's
+// peak always equals the true PeakLive and cycles stay strictly increasing.
 func (m *machine) samplePoint() {
 	if m.cfg.TracePoints <= 0 {
 		return
 	}
+	if !m.winValid || m.live > m.winMax {
+		m.winMax, m.winMaxCycle = m.live, m.cycle
+		m.winValid = true
+	}
 	if m.cycle%m.traceStride != 0 {
 		return
 	}
-	m.trace = append(m.trace, StatePoint{Cycle: m.cycle, Live: m.live})
+	m.trace = append(m.trace, StatePoint{Cycle: m.winMaxCycle, Live: m.winMax})
+	m.winValid = false
 	if len(m.trace) >= m.cfg.TracePoints {
-		kept := m.trace[:0]
-		for i := 0; i < len(m.trace); i += 2 {
-			kept = append(kept, m.trace[i])
+		m.trace = decimatePoints(m.trace)
+		m.traceStride *= 2
+	}
+}
+
+// decimatePoints halves a trace by merging adjacent pairs, keeping each
+// pair's higher-live point. The final point is never merged away, so the
+// end of the run survives any number of decimations.
+func decimatePoints(pts []StatePoint) []StatePoint {
+	if len(pts) < 3 {
+		return pts
+	}
+	last := pts[len(pts)-1]
+	body := pts[:len(pts)-1]
+	kept := pts[:0]
+	for i := 0; i < len(body); i += 2 {
+		p := body[i]
+		if i+1 < len(body) && body[i+1].Live > p.Live {
+			p = body[i+1]
 		}
-		m.trace = kept
+		kept = append(kept, p)
+	}
+	return append(kept, last)
+}
+
+// flushTrace closes the trace at end of run: the pending window's max and
+// the final state point are appended, then the cap is re-imposed.
+func (m *machine) flushTrace() {
+	if m.cfg.TracePoints <= 0 {
+		return
+	}
+	if m.winValid {
+		m.trace = append(m.trace, StatePoint{Cycle: m.winMaxCycle, Live: m.winMax})
+		m.winValid = false
+	}
+	if n := len(m.trace); n == 0 || m.trace[n-1].Cycle < m.cycle {
+		m.trace = append(m.trace, StatePoint{Cycle: m.cycle, Live: m.live})
+	}
+	for len(m.trace) > m.cfg.TracePoints && len(m.trace) >= 3 {
+		m.trace = decimatePoints(m.trace)
 		m.traceStride *= 2
 	}
 }
 
 func (m *machine) finish() (Result, error) {
+	m.flushTrace()
 	res := Result{
 		Completed:               m.done,
 		Cycles:                  m.cycle,
@@ -829,6 +960,7 @@ func (m *machine) finish() (Result, error) {
 		KBoundPeakPerInvocation: m.kbPeakPerInv,
 		FrameTokens:             m.frameTokens,
 		CrossTokens:             m.crossTokens,
+		Note:                    m.cfg.Describe(),
 	}
 	for _, occ := range m.storePeak {
 		if int(occ) > res.PeakStorePerInstr {

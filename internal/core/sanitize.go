@@ -68,17 +68,24 @@ func (k DiagKind) String() string {
 
 // Diagnostic is one structured sanitizer finding.
 type Diagnostic struct {
-	Kind   DiagKind
-	Cycle  int64
-	Node   dfg.NodeID // offending node, or dfg.InvalidNode
-	Label  string     // the node's label, when it has one
-	Tag    uint64     // the tag involved, when meaningful
+	Kind  DiagKind
+	Cycle int64
+	Node  dfg.NodeID // offending node, or dfg.InvalidNode
+	Label string     // the node's label, when it has one
+	Tag   uint64     // the tag involved, when meaningful
+	// Event is the trace sequence number at the moment of the finding
+	// (the next event the recorder would stamp), so a finding can be
+	// located in an exported trace. Zero when no tracer was attached.
+	Event  uint64
 	Detail string
 }
 
 func (d Diagnostic) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "[%s] cycle %d", d.Kind, d.Cycle)
+	if d.Event > 0 {
+		fmt.Fprintf(&b, " ev#%d", d.Event)
+	}
 	if d.Node != dfg.InvalidNode {
 		fmt.Fprintf(&b, " n%d", d.Node)
 		if d.Label != "" {
@@ -133,20 +140,20 @@ func (s *sanitizer) fail(d Diagnostic) error {
 func (s *sanitizer) checkFree(m *machine, n *dfg.Node, tag uint64) error {
 	if live := m.perTagLive[tag]; live != 0 {
 		return s.fail(Diagnostic{
-			Kind: DiagFreeWithLive, Cycle: m.cycle, Node: n.ID, Label: n.Label, Tag: tag,
+			Kind: DiagFreeWithLive, Cycle: m.cycle, Node: n.ID, Label: n.Label, Tag: tag, Event: m.evSeq(),
 			Detail: fmt.Sprintf("tag %#x freed with %d live tokens still carrying it (free barrier does not cover the block)", tag, live),
 		})
 	}
 	space, ok := s.held[tag]
 	if !ok {
 		return s.fail(Diagnostic{
-			Kind: DiagDoubleFree, Cycle: m.cycle, Node: n.ID, Label: n.Label, Tag: tag,
+			Kind: DiagDoubleFree, Cycle: m.cycle, Node: n.ID, Label: n.Label, Tag: tag, Event: m.evSeq(),
 			Detail: fmt.Sprintf("tag %#x is not allocated (freed twice, or never granted)", tag),
 		})
 	}
 	if space != n.Space {
 		return s.fail(Diagnostic{
-			Kind: DiagDoubleFree, Cycle: m.cycle, Node: n.ID, Label: n.Label, Tag: tag,
+			Kind: DiagDoubleFree, Cycle: m.cycle, Node: n.ID, Label: n.Label, Tag: tag, Event: m.evSeq(),
 			Detail: fmt.Sprintf("tag %#x belongs to space %q but is freed into %q",
 				tag, m.g.Blocks[space].Name, m.g.Blocks[n.Space].Name),
 		})
@@ -161,7 +168,7 @@ func (s *sanitizer) atCompletion(m *machine) error {
 	if len(s.held) > 0 {
 		for tag, space := range s.held {
 			s.diags = append(s.diags, Diagnostic{
-				Kind: DiagTagLeak, Cycle: m.cycle, Node: dfg.InvalidNode, Tag: tag,
+				Kind: DiagTagLeak, Cycle: m.cycle, Node: dfg.InvalidNode, Tag: tag, Event: m.evSeq(),
 				Detail: fmt.Sprintf("tag %#x of space %q still allocated at completion", tag, m.g.Blocks[space].Name),
 			})
 			if len(s.diags) >= maxDiags {
@@ -171,7 +178,7 @@ func (s *sanitizer) atCompletion(m *machine) error {
 	}
 	if m.live != 0 {
 		s.diags = append(s.diags, Diagnostic{
-			Kind: DiagOrphanTokens, Cycle: m.cycle, Node: dfg.InvalidNode,
+			Kind: DiagOrphanTokens, Cycle: m.cycle, Node: dfg.InvalidNode, Event: m.evSeq(),
 			Detail: fmt.Sprintf("%d tokens still live at completion", m.live),
 		})
 	}
@@ -182,7 +189,7 @@ func (s *sanitizer) atCompletion(m *machine) error {
 			}
 			n := &m.g.Nodes[nid]
 			s.diags = append(s.diags, Diagnostic{
-				Kind: DiagOrphanInstance, Cycle: m.cycle, Node: n.ID, Label: n.Label, Tag: tag,
+				Kind: DiagOrphanInstance, Cycle: m.cycle, Node: n.ID, Label: n.Label, Tag: tag, Event: m.evSeq(),
 				Detail: fmt.Sprintf("instance still waiting for %d operand(s) at completion (fan-in underflow)", e.need),
 			})
 		}

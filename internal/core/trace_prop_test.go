@@ -1,0 +1,74 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+// Property tests for the max-preserving trace decimation: however hard the
+// sampler is squeezed, the trace must still contain the true live-state
+// peak, keep its final point, stay strictly increasing, and respect the
+// configured cap. The engine is deterministic, so every TracePoints setting
+// observes the same underlying run.
+func TestTraceDecimationPreservesPeak(t *testing.T) {
+	for _, pts := range []int{8, 16, 32, 64, 256, 4096} {
+		g := compileNested(t, 32, 32)
+		res, err := Run(g, mem.NewImage(), Config{
+			Policy: PolicyTyr, TagsPerBlock: 4, IssueWidth: 4, TracePoints: pts,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Trace) == 0 || len(res.Trace) > pts {
+			t.Fatalf("TracePoints=%d: trace length %d out of bounds", pts, len(res.Trace))
+		}
+		var tracePeak int64
+		for _, p := range res.Trace {
+			if p.Live > tracePeak {
+				tracePeak = p.Live
+			}
+		}
+		if tracePeak != res.PeakLive {
+			t.Errorf("TracePoints=%d: trace peak %d != PeakLive %d — decimation lost the peak",
+				pts, tracePeak, res.PeakLive)
+		}
+	}
+}
+
+func TestTraceDecimationKeepsFinalPoint(t *testing.T) {
+	// Reference run at full resolution fixes the expected final point.
+	ref, err := Run(compileNested(t, 32, 32), mem.NewImage(), Config{
+		Policy: PolicyTyr, TagsPerBlock: 4, IssueWidth: 4, TracePoints: 1 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ref.Trace) == 0 {
+		t.Fatal("reference trace empty")
+	}
+	want := ref.Trace[len(ref.Trace)-1]
+
+	// Doubling the effective stride (halving the cap) repeatedly must never
+	// lose that final point.
+	for pts := 256; pts >= 4; pts /= 2 {
+		res, err := Run(compileNested(t, 32, 32), mem.NewImage(), Config{
+			Policy: PolicyTyr, TagsPerBlock: 4, IssueWidth: 4, TracePoints: pts,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Trace) == 0 {
+			t.Fatalf("TracePoints=%d: empty trace", pts)
+		}
+		got := res.Trace[len(res.Trace)-1]
+		if got != want {
+			t.Errorf("TracePoints=%d: final point %+v, want %+v", pts, got, want)
+		}
+		for i := 1; i < len(res.Trace); i++ {
+			if res.Trace[i].Cycle <= res.Trace[i-1].Cycle {
+				t.Fatalf("TracePoints=%d: cycles not strictly increasing at %d", pts, i)
+			}
+		}
+	}
+}

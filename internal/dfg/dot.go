@@ -2,6 +2,7 @@ package dfg
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 )
@@ -9,9 +10,28 @@ import (
 // Dot renders the graph in Graphviz dot syntax, clustering nodes by
 // concurrent block. It is a debugging aid; the output is deterministic.
 func (g *Graph) Dot() string {
+	return g.DotHeat(nil)
+}
+
+// DotHeat renders the graph like Dot but, when fires is non-nil (indexed
+// by NodeID, as returned by trace.FireCounts), colors each node on a
+// white→red ramp by its dynamic fire count relative to the hottest node
+// and appends the count to its label — the execution heatmap overlay.
+func (g *Graph) DotHeat(fires []int64) string {
+	var maxFires int64
+	for _, f := range fires {
+		if f > maxFires {
+			maxFires = f
+		}
+	}
+
 	var b strings.Builder
 	fmt.Fprintf(&b, "digraph %q {\n", g.Name)
-	b.WriteString("  node [shape=box, fontsize=10];\n")
+	if maxFires > 0 {
+		b.WriteString("  node [shape=box, fontsize=10, style=filled];\n")
+	} else {
+		b.WriteString("  node [shape=box, fontsize=10];\n")
+	}
 
 	byBlock := make(map[BlockID][]NodeID)
 	for i := range g.Nodes {
@@ -36,7 +56,16 @@ func (g *Graph) Dot() string {
 			if n.Label != "" {
 				label += "\\n" + escapeDot(n.Label)
 			}
-			fmt.Fprintf(&b, "    n%d [label=\"n%d %s\"];\n", nid, nid, label)
+			attrs := ""
+			if maxFires > 0 {
+				var f int64
+				if int(nid) < len(fires) {
+					f = fires[nid]
+				}
+				label += fmt.Sprintf("\\n%d fires", f)
+				attrs = fmt.Sprintf(", fillcolor=\"%s\"", heatColor(f, maxFires))
+			}
+			fmt.Fprintf(&b, "    n%d [label=\"n%d %s\"%s];\n", nid, nid, label, attrs)
 		}
 		b.WriteString("  }\n")
 	}
@@ -56,6 +85,18 @@ func (g *Graph) Dot() string {
 	}
 	b.WriteString("}\n")
 	return b.String()
+}
+
+// heatColor maps a fire count to a white→red fill on a sqrt ramp (fire
+// counts are heavy-tailed; a linear ramp leaves everything but the hottest
+// node white).
+func heatColor(f, maxF int64) string {
+	if maxF <= 0 || f <= 0 {
+		return "#ffffff"
+	}
+	frac := math.Sqrt(float64(f) / float64(maxF))
+	ch := 255 - int(frac*160) // keep labels legible on the hottest nodes
+	return fmt.Sprintf("#ff%02x%02x", ch, ch)
 }
 
 func escapeDot(s string) string {

@@ -1,0 +1,43 @@
+package dfg
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDotHeatOverlay(t *testing.T) {
+	g := validTaggedGraph()
+	dot := g.DotHeat([]int64{100, 1})
+	for _, want := range []string{"style=filled", "fillcolor=", "100 fires", "1 fires"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("heatmap output missing %q:\n%s", want, dot)
+		}
+	}
+	// The hottest node must be redder (lower G/B channel) than the coolest.
+	if hot, cold := heatColor(100, 100), heatColor(1, 100); hot == cold {
+		t.Errorf("hottest and coolest nodes share color %s", hot)
+	}
+	if heatColor(0, 100) != "#ffffff" {
+		t.Errorf("unfired node not white: %s", heatColor(0, 100))
+	}
+}
+
+func TestDotHeatNilMatchesDot(t *testing.T) {
+	g := validTaggedGraph()
+	if g.DotHeat(nil) != g.Dot() {
+		t.Error("DotHeat(nil) differs from Dot()")
+	}
+	if strings.Contains(g.Dot(), "fillcolor") {
+		t.Error("plain Dot() output carries heatmap attributes")
+	}
+}
+
+func TestDotHeatShortSlice(t *testing.T) {
+	// A fires slice shorter than the node count must not panic; missing
+	// nodes read as zero fires.
+	g := validTaggedGraph()
+	dot := g.DotHeat([]int64{5})
+	if !strings.Contains(dot, "0 fires") {
+		t.Errorf("out-of-range node not rendered as 0 fires:\n%s", dot)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/apps"
 	"repro/internal/compile"
@@ -16,6 +17,9 @@ type ExpConfig struct {
 	Scale      apps.Scale // input sizes (default small)
 	IssueWidth int        // default 128 (paper)
 	Tags       int        // TYR tags per block, default 64 (paper)
+	// Telemetry, when non-nil, collects every run's RunStats for
+	// machine-readable export.
+	Telemetry *Telemetry
 }
 
 func (c ExpConfig) withDefaults() ExpConfig {
@@ -29,7 +33,7 @@ func (c ExpConfig) withDefaults() ExpConfig {
 }
 
 func (c ExpConfig) sys() SysConfig {
-	return SysConfig{IssueWidth: c.IssueWidth, Tags: c.Tags}
+	return SysConfig{IssueWidth: c.IssueWidth, Tags: c.Tags, Telemetry: c.Telemetry}
 }
 
 // TraceData holds state-over-time traces for one app across labeled runs.
@@ -47,11 +51,11 @@ func (d *TraceData) render(title string) string {
 	}
 	var b strings.Builder
 	b.WriteString(metrics.RenderTraces(title, series, 76, 16))
-	tb := &metrics.Table{Headers: []string{"run", "cycles", "fired", "peak live", "mean live"}}
+	tb := &metrics.Table{Headers: []string{"run", "cycles", "fired", "peak live", "mean live", "config"}}
 	for _, l := range d.Labels {
 		s := d.Stats[l]
 		tb.Add(l, metrics.FormatCount(s.Cycles), metrics.FormatCount(s.Fired),
-			metrics.FormatCount(s.PeakLive), fmt.Sprintf("%.1f", s.MeanLive))
+			metrics.FormatCount(s.PeakLive), fmt.Sprintf("%.1f", s.MeanLive), s.Note)
 	}
 	b.WriteString(tb.String())
 	return b.String()
@@ -131,6 +135,7 @@ func Fig11(cfg ExpConfig) (*Fig11Data, string, error) {
 	if err != nil {
 		return nil, "", fmt.Errorf("fig11: compile: %w", err)
 	}
+	boundedStart := time.Now()
 	res, err := core.Run(g, app.NewImage(), core.Config{
 		IssueWidth: cfg.IssueWidth,
 		Policy:     core.PolicyGlobalBounded,
@@ -139,6 +144,19 @@ func Fig11(cfg ExpConfig) (*Fig11Data, string, error) {
 	if err != nil {
 		return nil, "", fmt.Errorf("fig11: bounded unordered: %w", err)
 	}
+	// This leg bypasses Run, so record its telemetry by hand.
+	boundedRS := metrics.RunStats{
+		System: SysUnordered, App: app.Name,
+		Completed: res.Completed, Deadlocked: res.Deadlocked,
+		Cycles: res.Cycles, Fired: res.Fired,
+		PeakLive: res.PeakLive, MeanLive: res.MeanLive,
+		PeakTags: res.PeakTags, Note: res.Note,
+		WallNS: time.Since(boundedStart).Nanoseconds(),
+	}
+	if res.Deadlock != nil {
+		boundedRS.Note = res.Note + "; " + res.Deadlock.String()
+	}
+	cfg.Telemetry.Record(boundedRS)
 	d.Deadlocked = res.Deadlocked
 	d.DeadlockCycle = res.Cycles
 	d.LiveAtDeadlock = res.PeakLive

@@ -9,6 +9,7 @@ package harness
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/apps"
 	"repro/internal/compile"
@@ -16,6 +17,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/ordered"
 	"repro/internal/seqdf"
+	"repro/internal/trace"
 	"repro/internal/vn"
 )
 
@@ -50,6 +52,12 @@ type SysConfig struct {
 	// sanitizer: tag double-free, pool-leak, and orphaned-token checks
 	// reported as structured diagnostics (core.SanitizeError).
 	Sanitize bool
+	// Tracer, when non-nil, receives the run's event stream; the harness
+	// stamps it with program/system/graph metadata before the run starts.
+	Tracer *trace.Recorder
+	// Telemetry, when non-nil, collects the RunStats of every run for
+	// machine-readable export (WriteTelemetry).
+	Telemetry *Telemetry
 }
 
 func (c SysConfig) withDefaults() SysConfig {
@@ -68,14 +76,29 @@ func (c SysConfig) withDefaults() SysConfig {
 // Run executes one workload on one system and converts the result to the
 // uniform record. Outputs are validated against the native reference
 // unless the run deadlocked (bounded unordered) or SkipCheck is set.
+// Wall-clock time is stamped on every record, and completed runs are
+// appended to cfg.Telemetry when one is attached.
 func Run(app *apps.App, system string, cfg SysConfig) (metrics.RunStats, error) {
+	start := time.Now()
+	rs, err := runSystem(app, system, cfg)
+	rs.WallNS = time.Since(start).Nanoseconds()
+	if err == nil {
+		cfg.Telemetry.Record(rs)
+	}
+	return rs, err
+}
+
+func runSystem(app *apps.App, system string, cfg SysConfig) (metrics.RunStats, error) {
 	cfg = cfg.withDefaults()
 	rs := metrics.RunStats{System: system, App: app.Name}
 
 	switch system {
 	case SysVN:
 		im := app.NewImage()
-		res, err := vn.Run(app.Prog, im, vn.Config{Args: app.Args, LoadLatency: cfg.LoadLatency, TracePoints: cfg.TracePoints})
+		if cfg.Tracer != nil {
+			cfg.Tracer.SetMeta(trace.Meta{Program: app.Name, System: system})
+		}
+		res, err := vn.Run(app.Prog, im, vn.Config{Args: app.Args, LoadLatency: cfg.LoadLatency, TracePoints: cfg.TracePoints, Tracer: cfg.Tracer})
 		if err != nil {
 			return rs, err
 		}
@@ -89,13 +112,18 @@ func Run(app *apps.App, system string, cfg SysConfig) (metrics.RunStats, error) 
 		rs.PeakLive, rs.MeanLive = res.PeakLive, res.MeanLive
 		rs.IPCHist = res.IPCHist
 		rs.Trace = convertTrace(res.Trace)
+		rs.Note = res.Note
 		return rs, nil
 
 	case SysSeqDF:
 		im := app.NewImage()
+		if cfg.Tracer != nil {
+			cfg.Tracer.SetMeta(trace.Meta{Program: app.Name, System: system})
+		}
 		res, err := seqdf.Run(app.Prog, im, seqdf.Config{
 			Args: app.Args, IssueWidth: cfg.IssueWidth,
 			LoadLatency: int64(cfg.LoadLatency), TracePoints: cfg.TracePoints,
+			Tracer: cfg.Tracer,
 		})
 		if err != nil {
 			return rs, err
@@ -110,6 +138,7 @@ func Run(app *apps.App, system string, cfg SysConfig) (metrics.RunStats, error) 
 		rs.PeakLive, rs.MeanLive = res.PeakLive, res.MeanLive
 		rs.IPCHist = res.IPCHist
 		rs.Trace = convertTrace(res.Trace)
+		rs.Note = res.Note
 		return rs, nil
 
 	case SysOrdered:
@@ -118,9 +147,13 @@ func Run(app *apps.App, system string, cfg SysConfig) (metrics.RunStats, error) 
 			return rs, err
 		}
 		im := app.NewImage()
+		if cfg.Tracer != nil {
+			cfg.Tracer.SetMeta(trace.MetaFromGraph(app.Name, system, g))
+		}
 		res, err := ordered.Run(g, im, ordered.Config{
 			IssueWidth: cfg.IssueWidth, QueueCap: cfg.QueueCap,
 			LoadLatency: cfg.LoadLatency, TracePoints: cfg.TracePoints,
+			Tracer: cfg.Tracer,
 		})
 		if err != nil {
 			return rs, err
@@ -135,6 +168,7 @@ func Run(app *apps.App, system string, cfg SysConfig) (metrics.RunStats, error) 
 		rs.PeakLive, rs.MeanLive = res.PeakLive, res.MeanLive
 		rs.IPCHist = res.IPCHist
 		rs.Trace = convertTrace(res.Trace)
+		rs.Note = res.Note
 		return rs, nil
 
 	case SysUnordered, SysTyr:
@@ -147,6 +181,7 @@ func Run(app *apps.App, system string, cfg SysConfig) (metrics.RunStats, error) 
 			LoadLatency: cfg.LoadLatency,
 			TracePoints: cfg.TracePoints,
 			Sanitize:    cfg.Sanitize,
+			Tracer:      cfg.Tracer,
 		}
 		if system == SysTyr {
 			ecfg.Policy = core.PolicyTyr
@@ -159,6 +194,9 @@ func Run(app *apps.App, system string, cfg SysConfig) (metrics.RunStats, error) 
 			ecfg.Policy = core.PolicyGlobalUnlimited
 		}
 		im := app.NewImage()
+		if cfg.Tracer != nil {
+			cfg.Tracer.SetMeta(trace.MetaFromGraph(app.Name, system, g))
+		}
 		res, err := core.Run(g, im, ecfg)
 		if err != nil {
 			return rs, err
@@ -170,8 +208,9 @@ func Run(app *apps.App, system string, cfg SysConfig) (metrics.RunStats, error) 
 		rs.IPCHist = res.IPCHist
 		rs.Trace = convertCoreTrace(res.Trace)
 		rs.PeakTags = res.PeakTags
+		rs.Note = res.Note
 		if res.Deadlocked {
-			rs.Note = res.Deadlock.String()
+			rs.Note = res.Note + "; " + res.Deadlock.String()
 			return rs, nil
 		}
 		if !cfg.SkipCheck {

@@ -1,0 +1,71 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/metrics"
+)
+
+// TelemetrySchema identifies the machine-readable run-record format
+// emitted by WriteTelemetry. Bump on incompatible field changes.
+const TelemetrySchema = "tyr-telemetry/v1"
+
+// Telemetry collects the RunStats of every successful harness run, for
+// export as machine-readable JSON (-json on the CLIs). Safe for
+// concurrent use; a nil *Telemetry records nothing.
+type Telemetry struct {
+	mu   sync.Mutex
+	runs []metrics.RunStats
+}
+
+// Record appends one run. The live-state trace is dropped to keep the
+// telemetry file compact; Chrome traces carry the detailed timeline.
+func (t *Telemetry) Record(rs metrics.RunStats) {
+	if t == nil {
+		return
+	}
+	rs.Trace = nil
+	t.mu.Lock()
+	t.runs = append(t.runs, rs)
+	t.mu.Unlock()
+}
+
+// Snapshot returns a copy of the recorded runs in record order.
+func (t *Telemetry) Snapshot() []metrics.RunStats {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]metrics.RunStats, len(t.runs))
+	copy(out, t.runs)
+	return out
+}
+
+// telemetryDoc is the on-disk envelope.
+type telemetryDoc struct {
+	Schema string             `json:"schema"`
+	Runs   []metrics.RunStats `json:"runs"`
+}
+
+// WriteTelemetry writes runs as indented tyr-telemetry/v1 JSON.
+func WriteTelemetry(w io.Writer, runs []metrics.RunStats) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(telemetryDoc{Schema: TelemetrySchema, Runs: runs})
+}
+
+// ReadTelemetry parses a tyr-telemetry/v1 document.
+func ReadTelemetry(data []byte) ([]metrics.RunStats, error) {
+	var doc telemetryDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("telemetry: %w", err)
+	}
+	if doc.Schema != TelemetrySchema {
+		return nil, fmt.Errorf("telemetry: unknown schema %q (want %q)", doc.Schema, TelemetrySchema)
+	}
+	return doc.Runs, nil
+}

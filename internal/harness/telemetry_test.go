@@ -1,0 +1,77 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/metrics"
+)
+
+func TestTelemetryRoundTrip(t *testing.T) {
+	app := apps.Find(apps.Suite(apps.ScaleTiny), "dmv")
+	if app == nil {
+		t.Fatal("dmv not in suite")
+	}
+	var tel Telemetry
+	for _, sys := range Systems {
+		rs, err := Run(app, sys, SysConfig{IssueWidth: 128, Tags: 64, Telemetry: &tel})
+		if err != nil {
+			t.Fatalf("%s: %v", sys, err)
+		}
+		if rs.WallNS <= 0 {
+			t.Errorf("%s: WallNS = %d, want > 0", sys, rs.WallNS)
+		}
+		if rs.Note == "" {
+			t.Errorf("%s: Note not populated", sys)
+		}
+	}
+	runs := tel.Snapshot()
+	if len(runs) != len(Systems) {
+		t.Fatalf("recorded %d runs, want %d", len(runs), len(Systems))
+	}
+	for _, rs := range runs {
+		if rs.Trace != nil {
+			t.Errorf("%s: telemetry kept the live-state trace", rs.System)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := WriteTelemetry(&buf, runs); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), TelemetrySchema) {
+		t.Error("document does not name its schema")
+	}
+	back, err := ReadTelemetry(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(runs) {
+		t.Fatalf("round trip lost runs: %d -> %d", len(runs), len(back))
+	}
+	for i := range runs {
+		if back[i].System != runs[i].System || back[i].Cycles != runs[i].Cycles ||
+			back[i].Note != runs[i].Note || back[i].WallNS != runs[i].WallNS {
+			t.Errorf("run %d changed in round trip:\n got %+v\nwant %+v", i, back[i], runs[i])
+		}
+	}
+}
+
+func TestTelemetryNilSafe(t *testing.T) {
+	var tel *Telemetry
+	tel.Record(metrics.RunStats{System: "tyr"})
+	if got := tel.Snapshot(); got != nil {
+		t.Fatalf("nil telemetry returned runs: %v", got)
+	}
+}
+
+func TestReadTelemetryRejectsWrongSchema(t *testing.T) {
+	if _, err := ReadTelemetry([]byte(`{"schema":"bogus/v9","runs":[]}`)); err == nil {
+		t.Fatal("wrong schema accepted")
+	}
+	if _, err := ReadTelemetry([]byte(`not json`)); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

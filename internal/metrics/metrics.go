@@ -13,24 +13,32 @@ import (
 
 // TracePoint is one sample of a live-state-over-time trace.
 type TracePoint struct {
-	Cycle int64
-	Live  int64
+	Cycle int64 `json:"cycle"`
+	Live  int64 `json:"live"`
 }
 
-// RunStats is the architecture-independent summary of one run.
+// RunStats is the architecture-independent summary of one run. The JSON
+// field names are the machine-readable telemetry schema (tyr-telemetry/v1)
+// emitted by the harness and CLIs.
 type RunStats struct {
-	System     string
-	App        string
-	Completed  bool
-	Deadlocked bool
-	Cycles     int64
-	Fired      int64
-	PeakLive   int64
-	MeanLive   float64
-	IPCHist    map[int]int64
-	Trace      []TracePoint
-	PeakTags   int
-	Note       string
+	System     string        `json:"system"`
+	App        string        `json:"app"`
+	Completed  bool          `json:"completed"`
+	Deadlocked bool          `json:"deadlocked,omitempty"`
+	Cycles     int64         `json:"cycles"`
+	Fired      int64         `json:"fired"`
+	PeakLive   int64         `json:"peak_live"`
+	MeanLive   float64       `json:"mean_live"`
+	IPCHist    map[int]int64 `json:"ipc_hist,omitempty"`
+	Trace      []TracePoint  `json:"trace,omitempty"`
+	PeakTags   int           `json:"peak_tags,omitempty"`
+	// Note records the machine configuration that produced the run (tag
+	// policy, pool sizes, queue depths), plus deadlock details when the
+	// run deadlocked.
+	Note string `json:"note,omitempty"`
+	// WallNS is the host wall-clock time of the run in nanoseconds (the
+	// simulator's own cost, not simulated time).
+	WallNS int64 `json:"wall_ns,omitempty"`
 }
 
 // IPC returns mean instructions per cycle.
@@ -235,6 +243,25 @@ func RenderTraces(title string, series []Series, width, height int) string {
 	}
 	b.WriteString("         " + strings.Join(legend, "  ") + "\n")
 	return b.String()
+}
+
+// Bar renders a horizontal bar filling frac (clamped to [0,1]) of width
+// character cells — the building block of the ASCII flamegraph tables.
+func Bar(frac float64, width int) string {
+	if width <= 0 {
+		width = 10
+	}
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	n := int(frac*float64(width) + 0.5)
+	if n == 0 && frac > 0 {
+		n = 1
+	}
+	return strings.Repeat("#", n) + strings.Repeat(".", width-n)
 }
 
 // FormatCount renders large counts compactly (12.3K, 4.5M, ...).

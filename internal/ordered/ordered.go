@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/dfg"
 	"repro/internal/mem"
+	"repro/internal/trace"
 )
 
 // Config parameterizes a run.
@@ -32,6 +33,10 @@ type Config struct {
 	MaxCycles int64
 	// TracePoints caps the live-state trace (0 = default, negative = off).
 	TracePoints int
+	// Tracer, when non-nil, receives the run's event stream (fires, token
+	// emit/deliver, memory ops). Tags are always zero on this machine:
+	// synchronization is positional, which is the point of the baseline.
+	Tracer *trace.Recorder
 }
 
 const (
@@ -74,6 +79,8 @@ type Result struct {
 	IPCHist     map[int]int64
 	Trace       []StatePoint
 	TraceStride int64
+	// Note records the machine configuration that produced the run.
+	Note string
 }
 
 // IPC returns mean instructions per cycle.
@@ -106,6 +113,7 @@ func (f *fifo) pop() int64 {
 
 type push struct {
 	to  dfg.Port
+	src dfg.NodeID
 	val int64
 }
 
@@ -140,8 +148,12 @@ type machine struct {
 	peakLive int64
 	ipcHist  map[int]int64
 
-	trace       []StatePoint
+	tracePts    []StatePoint
 	traceStride int64
+	winMax      int64
+	winMaxCycle int64
+	winValid    bool
+	rec         *trace.Recorder
 
 	resultSeen bool
 	resultVal  int64
@@ -164,6 +176,7 @@ func Run(g *dfg.Graph, im *mem.Image, cfg Config) (Result, error) {
 		delayed:   make(map[int64][]push),
 		inFlight:  make(map[dfg.Port]int),
 		ipcHist:   make(map[int]int64),
+		rec:       cfg.Tracer,
 	}
 	if cfg.TracePoints > 0 {
 		m.traceStride = 1
@@ -200,6 +213,12 @@ func Run(g *dfg.Graph, im *mem.Image, cfg Config) (Result, error) {
 		m.queues[inj.To.Node][inj.To.In].push(inj.Val)
 		m.live++
 		m.dirty[inj.To.Node] = true
+		if m.rec != nil {
+			m.rec.Record(trace.Event{Kind: trace.KindDeliver,
+				Node: int32(inj.To.Node), Src: trace.NoNode,
+				Block: int32(g.Nodes[inj.To.Node].Block),
+				Port:  int16(inj.To.In), Val: inj.Val})
+		}
 	}
 	return m.run()
 }
@@ -272,9 +291,15 @@ func (m *machine) input(n *dfg.Node, in int) int64 {
 // emit stages a token on every destination of an output port.
 func (m *machine) emit(n *dfg.Node, out int, val int64) {
 	for _, d := range n.Outs[out] {
-		m.staged = append(m.staged, push{to: d, val: val})
+		m.staged = append(m.staged, push{to: d, src: n.ID, val: val})
 		m.stagedN[d]++
 		m.live++
+		if m.rec != nil {
+			m.rec.Record(trace.Event{Cycle: m.cycle, Kind: trace.KindEmit,
+				Node: int32(d.Node), Src: int32(n.ID),
+				Block: int32(m.g.Nodes[d.Node].Block),
+				Port:  int16(d.In), Val: val})
+		}
 	}
 }
 
@@ -283,6 +308,10 @@ func (m *machine) emit(n *dfg.Node, out int, val int64) {
 func (m *machine) fireNode(nid dfg.NodeID) error {
 	n := &m.g.Nodes[nid]
 	m.fired++
+	if m.rec != nil {
+		m.rec.Record(trace.Event{Cycle: m.cycle, Kind: trace.KindFire,
+			Node: int32(nid), Block: int32(n.Block)})
+	}
 
 	switch n.Op {
 	case dfg.OpMerge:
@@ -326,10 +355,14 @@ func (m *machine) fireNode(nid dfg.NodeID) error {
 		if err != nil {
 			return fmt.Errorf("ordered: %q: %w", n.Label, err)
 		}
+		if m.rec != nil {
+			m.rec.Record(trace.Event{Cycle: m.cycle, Kind: trace.KindMemLoad,
+				Node: int32(nid), Block: int32(n.Block), Val: v})
+		}
 		if m.cfg.LoadLatency > 1 {
 			due := m.cycle + int64(m.cfg.LoadLatency)
 			for _, d := range n.Outs[dfg.LoadValOut] {
-				m.delayed[due] = append(m.delayed[due], push{to: d, val: v})
+				m.delayed[due] = append(m.delayed[due], push{to: d, src: n.ID, val: v})
 				m.delayedCount++
 				m.inFlight[d]++
 				m.live++
@@ -345,6 +378,10 @@ func (m *machine) fireNode(nid dfg.NodeID) error {
 		}
 		if err := m.im.Store(m.memIdx[n.Region], addr, val); err != nil {
 			return fmt.Errorf("ordered: %q: %w", n.Label, err)
+		}
+		if m.rec != nil {
+			m.rec.Record(trace.Event{Cycle: m.cycle, Kind: trace.KindMemStore,
+				Node: int32(nid), Block: int32(n.Block), Val: val})
 		}
 		m.emit(n, dfg.StoreCtrlOut, 0)
 	case dfg.OpForward, dfg.OpJoin:
@@ -391,6 +428,12 @@ func (m *machine) run() (Result, error) {
 				m.queues[p.to.Node][p.to.In].push(p.val)
 				m.inFlight[p.to]--
 				m.dirty[p.to.Node] = true
+				if m.rec != nil {
+					m.rec.Record(trace.Event{Cycle: m.cycle, Kind: trace.KindDeliver,
+						Node: int32(p.to.Node), Src: int32(p.src),
+						Block: int32(m.g.Nodes[p.to.Node].Block),
+						Port:  int16(p.to.In), Val: p.val})
+				}
 			}
 		}
 		if m.cycle >= m.cfg.MaxCycles {
@@ -425,6 +468,12 @@ func (m *machine) run() (Result, error) {
 		for _, p := range m.staged {
 			m.queues[p.to.Node][p.to.In].push(p.val)
 			m.nextDirty[p.to.Node] = true
+			if m.rec != nil {
+				m.rec.Record(trace.Event{Cycle: m.cycle, Kind: trace.KindDeliver,
+					Node: int32(p.to.Node), Src: int32(p.src),
+					Block: int32(m.g.Nodes[p.to.Node].Block),
+					Port:  int16(p.to.In), Val: p.val})
+			}
 		}
 		m.staged = m.staged[:0]
 		for k := range m.stagedN {
@@ -445,6 +494,7 @@ func (m *machine) run() (Result, error) {
 		m.samplePoint()
 	}
 
+	m.flushTrace()
 	res := Result{
 		Completed:   m.resultSeen,
 		Cycles:      m.cycle,
@@ -452,8 +502,9 @@ func (m *machine) run() (Result, error) {
 		ResultValue: m.resultVal,
 		PeakLive:    m.peakLive,
 		IPCHist:     m.ipcHist,
-		Trace:       m.trace,
+		Trace:       m.tracePts,
 		TraceStride: m.traceStride,
+		Note:        fmt.Sprintf("queue-cap=%d width=%d", m.cfg.QueueCap, m.cfg.IssueWidth),
 	}
 	if m.cycle > 0 {
 		res.MeanLive = float64(m.sumLive) / float64(m.cycle)
@@ -464,20 +515,62 @@ func (m *machine) run() (Result, error) {
 	return res, nil
 }
 
+// samplePoint maintains the live-state trace with max-preserving
+// decimation: each stride window contributes its peak-live sample, so
+// decimation never erases the trace's true peak.
 func (m *machine) samplePoint() {
 	if m.cfg.TracePoints <= 0 {
 		return
 	}
+	if !m.winValid || m.live > m.winMax {
+		m.winMax, m.winMaxCycle = m.live, m.cycle
+		m.winValid = true
+	}
 	if m.cycle%m.traceStride != 0 {
 		return
 	}
-	m.trace = append(m.trace, StatePoint{Cycle: m.cycle, Live: m.live})
-	if len(m.trace) >= m.cfg.TracePoints {
-		kept := m.trace[:0]
-		for i := 0; i < len(m.trace); i += 2 {
-			kept = append(kept, m.trace[i])
+	m.tracePts = append(m.tracePts, StatePoint{Cycle: m.winMaxCycle, Live: m.winMax})
+	m.winValid = false
+	if len(m.tracePts) >= m.cfg.TracePoints {
+		m.tracePts = decimatePoints(m.tracePts)
+		m.traceStride *= 2
+	}
+}
+
+// decimatePoints halves a trace by merging adjacent pairs, keeping each
+// pair's higher-live point. The final point is never merged away.
+func decimatePoints(pts []StatePoint) []StatePoint {
+	if len(pts) < 3 {
+		return pts
+	}
+	last := pts[len(pts)-1]
+	body := pts[:len(pts)-1]
+	kept := pts[:0]
+	for i := 0; i < len(body); i += 2 {
+		p := body[i]
+		if i+1 < len(body) && body[i+1].Live > p.Live {
+			p = body[i+1]
 		}
-		m.trace = kept
+		kept = append(kept, p)
+	}
+	return append(kept, last)
+}
+
+// flushTrace closes the trace at end of run: the pending window's max and
+// the final state point are appended, then the cap is re-imposed.
+func (m *machine) flushTrace() {
+	if m.cfg.TracePoints <= 0 {
+		return
+	}
+	if m.winValid {
+		m.tracePts = append(m.tracePts, StatePoint{Cycle: m.winMaxCycle, Live: m.winMax})
+		m.winValid = false
+	}
+	if n := len(m.tracePts); n == 0 || m.tracePts[n-1].Cycle < m.cycle {
+		m.tracePts = append(m.tracePts, StatePoint{Cycle: m.cycle, Live: m.live})
+	}
+	for len(m.tracePts) > m.cfg.TracePoints && len(m.tracePts) >= 3 {
+		m.tracePts = decimatePoints(m.tracePts)
 		m.traceStride *= 2
 	}
 }

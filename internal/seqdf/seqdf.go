@@ -22,8 +22,11 @@
 package seqdf
 
 import (
+	"fmt"
+
 	"repro/internal/mem"
 	"repro/internal/prog"
+	"repro/internal/trace"
 )
 
 // StatePoint is one sample of the live-state trace.
@@ -44,6 +47,8 @@ type Result struct {
 	IPCHist   map[int]int64
 	Trace     []StatePoint
 	Stats     prog.Stats
+	// Note records the machine configuration that produced the run.
+	Note string
 }
 
 // IPC returns mean instructions per cycle.
@@ -64,6 +69,11 @@ type Config struct {
 	LoadLatency int64
 	// TracePoints caps the live-state trace length (0 = default 4096).
 	TracePoints int
+	// Tracer, when non-nil, receives one KindFire event per dynamic
+	// instruction (Val = instruction class) and a KindBoundary event per
+	// hyperblock boundary / wave advance (Val = carried live values).
+	// There is no graph, so events carry trace.NoNode.
+	Tracer *trace.Recorder
 }
 
 type model struct {
@@ -82,14 +92,23 @@ type model struct {
 	sumLive  int64
 	peakLive int64
 
-	trace       []StatePoint
+	tracePts    []StatePoint
 	tracePoints int
 	traceStride int64
+	winMax      int64
+	winMaxCycle int64
+	winValid    bool
 
 	ipcHist map[int]int64
+
+	rec *trace.Recorder
 }
 
 func (m *model) Instr(class prog.InstrClass, deps ...int64) int64 {
+	if m.rec != nil {
+		m.rec.Record(trace.Event{Cycle: m.clock, Kind: trace.KindFire,
+			Node: trace.NoNode, Src: trace.NoNode, Val: int64(class)})
+	}
 	r := m.clock
 	for _, d := range deps {
 		if d > r {
@@ -154,25 +173,82 @@ func (m *model) Boundary(_ prog.BoundaryKind, live int) {
 	for k := range m.levels {
 		delete(m.levels, k)
 	}
-	m.sample(int64(live))
+	if m.rec != nil {
+		m.rec.Record(trace.Event{Cycle: m.clock, Kind: trace.KindBoundary,
+			Node: trace.NoNode, Src: trace.NoNode, Val: int64(live)})
+	}
+	m.sample(blockLive)
 }
 
+// sample maintains the live-state trace with max-preserving decimation:
+// each stride window contributes its peak-live sample.
 func (m *model) sample(live int64) {
 	if m.tracePoints <= 0 {
 		return
 	}
-	if len(m.trace) > 0 && m.clock-m.trace[len(m.trace)-1].Cycle < m.traceStride {
+	if !m.winValid || live > m.winMax {
+		m.winMax, m.winMaxCycle = live, m.clock
+		m.winValid = true
+	}
+	if n := len(m.tracePts); n > 0 && m.clock-m.tracePts[n-1].Cycle < m.traceStride {
 		return
 	}
-	m.trace = append(m.trace, StatePoint{Cycle: m.clock, Live: live})
-	if len(m.trace) >= m.tracePoints {
-		kept := m.trace[:0]
-		for i := 0; i < len(m.trace); i += 2 {
-			kept = append(kept, m.trace[i])
+	m.emitWindow()
+}
+
+// emitWindow appends the pending window's peak. Empty blocks leave the
+// clock unchanged, so a window landing on the previous point's cycle
+// merges into it instead of breaking monotonicity.
+func (m *model) emitWindow() {
+	if !m.winValid {
+		return
+	}
+	m.winValid = false
+	if n := len(m.tracePts); n > 0 && m.winMaxCycle <= m.tracePts[n-1].Cycle {
+		if m.winMax > m.tracePts[n-1].Live {
+			m.tracePts[n-1].Live = m.winMax
 		}
-		m.trace = kept
+		return
+	}
+	m.tracePts = append(m.tracePts, StatePoint{Cycle: m.winMaxCycle, Live: m.winMax})
+	if len(m.tracePts) >= m.tracePoints {
+		m.tracePts = decimatePoints(m.tracePts)
 		m.traceStride *= 2
 	}
+}
+
+// flush closes the trace at end of run and re-imposes the cap.
+func (m *model) flush() {
+	if m.tracePoints <= 0 {
+		return
+	}
+	m.emitWindow()
+	if n := len(m.tracePts); n == 0 || m.tracePts[n-1].Cycle < m.clock {
+		m.tracePts = append(m.tracePts, StatePoint{Cycle: m.clock, Live: 0})
+	}
+	for len(m.tracePts) > m.tracePoints && len(m.tracePts) >= 3 {
+		m.tracePts = decimatePoints(m.tracePts)
+		m.traceStride *= 2
+	}
+}
+
+// decimatePoints halves a trace by merging adjacent pairs, keeping each
+// pair's higher-live point. The final point is never merged away.
+func decimatePoints(pts []StatePoint) []StatePoint {
+	if len(pts) < 3 {
+		return pts
+	}
+	last := pts[len(pts)-1]
+	body := pts[:len(pts)-1]
+	kept := pts[:0]
+	for i := 0; i < len(body); i += 2 {
+		p := body[i]
+		if i+1 < len(body) && body[i+1].Live > p.Live {
+			p = body[i+1]
+		}
+		kept = append(kept, p)
+	}
+	return append(kept, last)
 }
 
 func maxI64(a, b int64) int64 {
@@ -195,6 +271,7 @@ func Run(p *prog.Program, im *mem.Image, cfg Config) (Result, error) {
 		ipcHist:     make(map[int]int64),
 		tracePoints: cfg.TracePoints,
 		traceStride: 1,
+		rec:         cfg.Tracer,
 	}
 	if m.tracePoints == 0 {
 		m.tracePoints = 4096
@@ -204,6 +281,7 @@ func Run(p *prog.Program, im *mem.Image, cfg Config) (Result, error) {
 		return Result{}, err
 	}
 	m.Boundary(prog.BoundaryCallExit, 0) // flush the final block
+	m.flush()
 
 	out := Result{
 		Completed: true,
@@ -213,8 +291,9 @@ func Run(p *prog.Program, im *mem.Image, cfg Config) (Result, error) {
 		Ret:       res.Ret,
 		PeakLive:  m.peakLive,
 		IPCHist:   m.ipcHist,
-		Trace:     m.trace,
+		Trace:     m.tracePts,
 		Stats:     res.Stats,
+		Note:      fmt.Sprintf("hyperblock waves, width=%d", width),
 	}
 	if m.clock > 0 {
 		out.MeanLive = float64(m.sumLive) / float64(m.clock)

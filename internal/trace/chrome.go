@@ -1,0 +1,202 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// ExportChrome writes the recorded stream in the Chrome trace-event JSON
+// format, loadable in chrome://tracing and https://ui.perfetto.dev. The
+// mapping:
+//
+//   - one process (pid 1) per run, one thread track per concurrent block
+//     (tid = block + 1; tid 1 is the root block);
+//   - every fire is a complete ("X") event of duration 1 on its block's
+//     track, ts = cycle (the viewer's "µs" are simulated cycles);
+//   - tag-pool occupancy is a counter ("C") track per tag space, fed by
+//     the tag-alloc/tag-free events' in-use stamps;
+//   - parks, wakes, changeTags, and cost-model boundaries are instant
+//     ("i") events — parks are the Fig. 11 starvation signal.
+//
+// Token emit/deliver events are deliberately not exported (they would
+// dwarf everything else in the viewer); the critical-path profiler is the
+// consumer that uses them.
+func ExportChrome(w io.Writer, r *Recorder) error {
+	bw := bufio.NewWriter(w)
+	meta := r.Meta()
+
+	name := meta.Program
+	if name == "" {
+		name = "run"
+	}
+	if meta.System != "" {
+		name = meta.System + ": " + name
+	}
+
+	first := true
+	emit := func(ev chromeEvent) error {
+		b, err := json.Marshal(ev)
+		if err != nil {
+			return err
+		}
+		if !first {
+			if _, err := bw.WriteString(",\n  "); err != nil {
+				return err
+			}
+		}
+		first = false
+		_, err = bw.Write(b)
+		return err
+	}
+
+	if _, err := bw.WriteString("{\"traceEvents\": [\n  "); err != nil {
+		return err
+	}
+	if err := emit(chromeEvent{Name: "process_name", Ph: "M", Pid: 1,
+		Args: map[string]any{"name": name}}); err != nil {
+		return err
+	}
+
+	// Thread-name metadata for every block that appears in the stream.
+	events := r.Events()
+	seen := map[int32]bool{}
+	for _, e := range events {
+		if e.Block >= 0 && !seen[e.Block] {
+			seen[e.Block] = true
+			if err := emit(chromeEvent{Name: "thread_name", Ph: "M", Pid: 1, Tid: int(e.Block) + 1,
+				Args: map[string]any{"name": "block " + meta.BlockName(e.Block)}}); err != nil {
+				return err
+			}
+		}
+	}
+	if !seen[NoNode] && len(seen) == 0 {
+		// Graph-less engines (vN/seqdf): a single track for the stream.
+		if err := emit(chromeEvent{Name: "thread_name", Ph: "M", Pid: 1, Tid: 0,
+			Args: map[string]any{"name": "engine"}}); err != nil {
+			return err
+		}
+	}
+
+	for _, e := range events {
+		tid := int(e.Block) + 1
+		if e.Block < 0 {
+			tid = 0
+		}
+		switch e.Kind {
+		case KindFire:
+			if err := emit(chromeEvent{
+				Name: meta.NodeName(e.Node), Cat: "fire", Ph: "X",
+				Ts: e.Cycle, Dur: 1, Pid: 1, Tid: tid,
+				Args: map[string]any{"node": e.Node, "tag": fmt.Sprintf("%#x", e.Tag)},
+			}); err != nil {
+				return err
+			}
+		case KindTagAlloc, KindTagFree:
+			if err := emit(chromeEvent{
+				Name: "tags in use: " + meta.BlockName(e.Block), Ph: "C",
+				Ts: e.Cycle, Pid: 1, Tid: tid,
+				Args: map[string]any{"in use": e.Val},
+			}); err != nil {
+				return err
+			}
+		case KindPark, KindWake, KindChangeTag, KindBoundary:
+			args := map[string]any{"tag": fmt.Sprintf("%#x", e.Tag), "val": e.Val}
+			if e.Node >= 0 {
+				args["node"] = meta.NodeName(e.Node)
+			}
+			if err := emit(chromeEvent{
+				Name: e.Kind.String(), Ph: "i", S: "t",
+				Ts: e.Cycle, Pid: 1, Tid: tid, Args: args,
+			}); err != nil {
+				return err
+			}
+		}
+	}
+
+	other := map[string]any{
+		"program": meta.Program, "system": meta.System,
+		"events": r.Seq(), "dropped": r.Dropped(),
+	}
+	ob, err := json.Marshal(other)
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(bw, "\n], \"displayTimeUnit\": \"ms\", \"otherData\": %s}\n", ob); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// chromeEvent is one trace-event record. Field names follow the Chrome
+// trace-event format spec.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   int64          `json:"ts"`
+	Dur  int64          `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// ValidateChromeJSON structurally checks an exported trace: a JSON object
+// whose traceEvents array is non-empty, every event carrying a name, a
+// known phase, and the phase's required fields. This is the schema check
+// CI runs against the traced-kernel artifact.
+func ValidateChromeJSON(data []byte) error {
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("trace: not valid JSON: %w", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		return fmt.Errorf("trace: traceEvents is missing or empty")
+	}
+	phases := map[string]bool{}
+	for i, ev := range doc.TraceEvents {
+		name, ok := ev["name"].(string)
+		if !ok || name == "" {
+			return fmt.Errorf("trace: event %d has no name", i)
+		}
+		ph, ok := ev["ph"].(string)
+		if !ok {
+			return fmt.Errorf("trace: event %d (%q) has no phase", i, name)
+		}
+		switch ph {
+		case "M":
+			args, ok := ev["args"].(map[string]any)
+			if !ok || args["name"] == nil {
+				return fmt.Errorf("trace: metadata event %d (%q) has no args.name", i, name)
+			}
+		case "X":
+			if _, ok := ev["ts"].(float64); !ok {
+				return fmt.Errorf("trace: complete event %d (%q) has no ts", i, name)
+			}
+			if _, ok := ev["dur"].(float64); !ok {
+				return fmt.Errorf("trace: complete event %d (%q) has no dur", i, name)
+			}
+		case "C", "i":
+			if _, ok := ev["ts"].(float64); !ok {
+				return fmt.Errorf("trace: %s event %d (%q) has no ts", ph, i, name)
+			}
+		default:
+			return fmt.Errorf("trace: event %d (%q) has unknown phase %q", i, name, ph)
+		}
+		if _, ok := ev["pid"].(float64); !ok {
+			return fmt.Errorf("trace: event %d (%q) has no pid", i, name)
+		}
+		phases[ph] = true
+	}
+	if !phases["M"] {
+		return fmt.Errorf("trace: no metadata (process/thread name) events")
+	}
+	if !phases["X"] {
+		return fmt.Errorf("trace: no fire events")
+	}
+	return nil
+}

@@ -1,0 +1,72 @@
+package trace_test
+
+// External test package: these tests drive real engine runs through the
+// harness, which trace itself cannot import (core imports trace).
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/harness"
+	"repro/internal/trace"
+)
+
+// record runs one tiny-scale workload on one system with a fresh recorder
+// attached and returns the recorder plus the run's cycle count.
+func record(t *testing.T, appName, sys string) (*trace.Recorder, int64) {
+	t.Helper()
+	app := apps.Find(apps.Suite(apps.ScaleTiny), appName)
+	if app == nil {
+		t.Fatalf("unknown app %q", appName)
+	}
+	rec := trace.NewRecorder(0)
+	rs, err := harness.Run(app, sys, harness.SysConfig{
+		IssueWidth: 128, Tags: 64, Tracer: rec,
+	})
+	if err != nil {
+		t.Fatalf("%s on %s: %v", appName, sys, err)
+	}
+	if !rs.Completed {
+		t.Fatalf("%s on %s did not complete", appName, sys)
+	}
+	return rec, rs.Cycles
+}
+
+func TestExportChromeValidates(t *testing.T) {
+	for _, tc := range []struct{ app, sys string }{
+		{"dmv", harness.SysTyr},
+		{"smv", harness.SysUnordered},
+		{"dmv", harness.SysOrdered},
+		{"dmv", harness.SysVN},
+		{"dmv", harness.SysSeqDF},
+	} {
+		t.Run(tc.app+"/"+tc.sys, func(t *testing.T) {
+			rec, _ := record(t, tc.app, tc.sys)
+			if rec.Len() == 0 {
+				t.Fatal("no events recorded")
+			}
+			var buf bytes.Buffer
+			if err := trace.ExportChrome(&buf, rec); err != nil {
+				t.Fatalf("ExportChrome: %v", err)
+			}
+			if err := trace.ValidateChromeJSON(buf.Bytes()); err != nil {
+				t.Fatalf("exported trace does not validate: %v", err)
+			}
+		})
+	}
+}
+
+func TestValidateChromeJSONRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"not json",
+		"{}",
+		`{"traceEvents": []}`,
+		`{"traceEvents": [{"ph": "X"}]}`,
+	} {
+		if err := trace.ValidateChromeJSON([]byte(bad)); err == nil {
+			t.Errorf("ValidateChromeJSON(%q) = nil, want error", bad)
+		}
+	}
+}

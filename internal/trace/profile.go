@@ -1,0 +1,296 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/metrics"
+)
+
+// The critical-path profiler replays the recorded dependency edges: every
+// deliver event links a consumer instance (node, tag) to the firing of the
+// producer that sent the latest-arriving operand, and every fire closes an
+// instance and becomes a link target itself. Walking back from the last
+// fire yields the longest fire chain — the dynamic dependence chain that
+// determined execution time — and the cycle gap across each link is
+// attributed to the consuming node, so the per-node/block/op attributions
+// sum exactly to the run's cycle count when the stream is complete.
+//
+// Slack is per-fire waiting: the cycles between an instance's last operand
+// arrival and its firing (issue contention, or park time for allocates).
+
+// NodeProfile aggregates one static node's profile.
+type NodeProfile struct {
+	Node       int32
+	Name       string
+	Block      string
+	Op         string
+	Fires      int64
+	CritFires  int64 // fires of this node on the critical path
+	CritCycles int64 // cycles attributed to this node on the critical path
+	WaitCycles int64 // total ready-to-fire slack across all fires
+}
+
+// GroupProfile aggregates critical-path cycles by block or by opcode.
+type GroupProfile struct {
+	Name       string
+	Fires      int64 // total fires in the group
+	CritCycles int64
+}
+
+// PathSeg is one run-length segment of the critical path: Fires
+// consecutive firings dominated by the same static node.
+type PathSeg struct {
+	Name   string
+	Fires  int64
+	Cycles int64
+}
+
+// Profile is the critical-path analysis of one recorded run.
+type Profile struct {
+	Total   int64 // cycles attributed; equals the run's cycle count when the stream is complete
+	Fires   int64 // fire events analyzed
+	PathLen int64 // fires on the critical path
+	Dropped uint64
+
+	Nodes  []NodeProfile  // sorted by CritCycles descending
+	Blocks []GroupProfile // sorted by CritCycles descending
+	Ops    []GroupProfile // sorted by CritCycles descending
+	Path   []PathSeg      // the critical path, oldest first, run-length compressed
+}
+
+type fireRec struct {
+	node  int32
+	cycle int64
+	pred  int   // index of the producer fire of the latest-arriving operand, or -1
+	ready int64 // cycle the last operand arrived (== cycle when unknown)
+}
+
+type arrKey struct {
+	node int32
+	tag  uint64
+}
+
+type arrival struct {
+	cycle int64
+	pred  int
+}
+
+// ComputeProfile replays the recorded stream and returns the critical-path
+// profile. Works on any engine's stream; graph-less engines (vN, seqdf)
+// produce a single-node profile.
+func ComputeProfile(r *Recorder) *Profile {
+	meta := r.Meta()
+	p := &Profile{Dropped: r.Dropped()}
+
+	var fires []fireRec
+	lastFire := map[int32]int{}
+	pend := map[arrKey]arrival{}
+	for _, e := range r.Events() {
+		switch e.Kind {
+		case KindDeliver, KindJoinArrive:
+			k := arrKey{e.Node, e.Tag}
+			prod := -1
+			if idx, ok := lastFire[e.Src]; ok {
+				prod = idx
+			}
+			if a, ok := pend[k]; !ok || e.Cycle >= a.cycle {
+				pend[k] = arrival{cycle: e.Cycle, pred: prod}
+			}
+		case KindFire:
+			k := arrKey{e.Node, e.Tag}
+			rec := fireRec{node: e.Node, cycle: e.Cycle, pred: -1, ready: e.Cycle}
+			if a, ok := pend[k]; ok {
+				rec.pred, rec.ready = a.pred, a.cycle
+				delete(pend, k)
+			}
+			lastFire[e.Node] = len(fires)
+			fires = append(fires, rec)
+		}
+	}
+	p.Fires = int64(len(fires))
+	if len(fires) == 0 {
+		return p
+	}
+
+	// Per-node aggregation over every fire.
+	perNode := map[int32]*NodeProfile{}
+	nodeOf := func(id int32) *NodeProfile {
+		np := perNode[id]
+		if np == nil {
+			np = &NodeProfile{Node: id, Name: meta.NodeName(id), Block: "-", Op: "?"}
+			if id >= 0 && int(id) < len(meta.Nodes) {
+				np.Block = meta.BlockName(meta.Nodes[id].Block)
+				np.Op = meta.Nodes[id].Op
+			}
+			perNode[id] = np
+		}
+		return np
+	}
+	for _, f := range fires {
+		np := nodeOf(f.node)
+		np.Fires++
+		if slack := f.cycle - f.ready; slack > 0 {
+			np.WaitCycles += slack
+		}
+	}
+
+	// Walk the chain back from the last fire (ties broken toward the
+	// later record, which fired later within the cycle).
+	end := 0
+	for i, f := range fires {
+		if f.cycle >= fires[end].cycle {
+			end = i
+		}
+	}
+	var chain []int
+	for idx := end; idx >= 0; {
+		chain = append(chain, idx)
+		idx = fires[idx].pred
+	}
+	p.PathLen = int64(len(chain))
+
+	// Attribute cycles along the chain: each link's gap belongs to the
+	// consumer; the head fire absorbs cycles 0..head (injection to first
+	// fire), so the total telescopes to lastFireCycle+1 == Result.Cycles.
+	for i, idx := range chain {
+		f := fires[idx]
+		var gap int64
+		if i == len(chain)-1 {
+			gap = f.cycle + 1
+		} else {
+			gap = f.cycle - fires[chain[i+1]].cycle
+		}
+		np := nodeOf(f.node)
+		np.CritFires++
+		np.CritCycles += gap
+		p.Total += gap
+	}
+
+	// Run-length compress the path, oldest link first.
+	for i := len(chain) - 1; i >= 0; i-- {
+		f := fires[chain[i]]
+		name := nodeOf(f.node).Name
+		var gap int64
+		if i == len(chain)-1 {
+			gap = f.cycle + 1
+		} else {
+			gap = f.cycle - fires[chain[i+1]].cycle
+		}
+		if n := len(p.Path); n > 0 && p.Path[n-1].Name == name {
+			p.Path[n-1].Fires++
+			p.Path[n-1].Cycles += gap
+		} else {
+			p.Path = append(p.Path, PathSeg{Name: name, Fires: 1, Cycles: gap})
+		}
+	}
+
+	for _, np := range perNode {
+		p.Nodes = append(p.Nodes, *np)
+	}
+	sort.Slice(p.Nodes, func(i, j int) bool {
+		if p.Nodes[i].CritCycles != p.Nodes[j].CritCycles {
+			return p.Nodes[i].CritCycles > p.Nodes[j].CritCycles
+		}
+		return p.Nodes[i].Node < p.Nodes[j].Node
+	})
+	p.Blocks = groupBy(p.Nodes, func(np NodeProfile) string { return np.Block })
+	p.Ops = groupBy(p.Nodes, func(np NodeProfile) string { return np.Op })
+	return p
+}
+
+func groupBy(nodes []NodeProfile, key func(NodeProfile) string) []GroupProfile {
+	agg := map[string]*GroupProfile{}
+	for _, np := range nodes {
+		k := key(np)
+		g := agg[k]
+		if g == nil {
+			g = &GroupProfile{Name: k}
+			agg[k] = g
+		}
+		g.Fires += np.Fires
+		g.CritCycles += np.CritCycles
+	}
+	out := make([]GroupProfile, 0, len(agg))
+	for _, g := range agg {
+		out = append(out, *g)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].CritCycles != out[j].CritCycles {
+			return out[i].CritCycles > out[j].CritCycles
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// Render formats the profile as text: the ASCII flamegraph tables (cycles
+// attributed to blocks and opcodes), the hottest nodes, and the critical
+// path itself. Legend:
+//
+//	crit cycles  cycles of the run attributed to this row's fires on the
+//	             critical path (columns sum to the run's cycle count)
+//	crit fires   how many critical-path firings the row contributed
+//	wait         total ready-to-fire slack across all of the row's fires
+func (p *Profile) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "critical-path profile: %s cycles over %s fires, path length %s\n",
+		metrics.FormatCount(p.Total), metrics.FormatCount(p.Fires), metrics.FormatCount(p.PathLen))
+	if p.Dropped > 0 {
+		fmt.Fprintf(&b, "WARNING: %d events dropped by ring wrap; attribution is partial\n", p.Dropped)
+	}
+	if p.Fires == 0 {
+		return b.String()
+	}
+
+	b.WriteString("\ncycles by block:\n")
+	b.WriteString(renderGroups(p.Blocks, p.Total))
+	b.WriteString("\ncycles by op:\n")
+	b.WriteString(renderGroups(p.Ops, p.Total))
+
+	b.WriteString("\nhottest nodes (by critical-path cycles):\n")
+	tb := &metrics.Table{Headers: []string{"node", "block", "op", "fires", "crit fires", "crit cycles", "wait", "share"}}
+	for i, np := range p.Nodes {
+		if i >= 12 || np.CritCycles == 0 {
+			break
+		}
+		tb.Add(np.Name, np.Block, np.Op,
+			metrics.FormatCount(np.Fires), metrics.FormatCount(np.CritFires),
+			metrics.FormatCount(np.CritCycles), metrics.FormatCount(np.WaitCycles),
+			metrics.Bar(float64(np.CritCycles)/float64(p.Total), 20))
+	}
+	b.WriteString(tb.String())
+
+	b.WriteString("\ncritical path (oldest first, run-length compressed):\n")
+	pt := &metrics.Table{Headers: []string{"segment", "fires", "cycles"}}
+	const maxSegs = 24
+	for i, seg := range p.Path {
+		if i >= maxSegs {
+			var restFires, restCycles int64
+			for _, s := range p.Path[i:] {
+				restFires += s.Fires
+				restCycles += s.Cycles
+			}
+			pt.Add(fmt.Sprintf("... %d more segments", len(p.Path)-i),
+				metrics.FormatCount(restFires), metrics.FormatCount(restCycles))
+			break
+		}
+		pt.Add(seg.Name, metrics.FormatCount(seg.Fires), metrics.FormatCount(seg.Cycles))
+	}
+	b.WriteString(pt.String())
+	return b.String()
+}
+
+func renderGroups(groups []GroupProfile, total int64) string {
+	tb := &metrics.Table{Headers: []string{"group", "fires", "crit cycles", "share"}}
+	for _, g := range groups {
+		frac := 0.0
+		if total > 0 {
+			frac = float64(g.CritCycles) / float64(total)
+		}
+		tb.Add(g.Name, metrics.FormatCount(g.Fires), metrics.FormatCount(g.CritCycles),
+			fmt.Sprintf("%5.1f%% %s", frac*100, metrics.Bar(frac, 20)))
+	}
+	return tb.String()
+}

@@ -1,0 +1,55 @@
+package trace_test
+
+import (
+	"testing"
+
+	"repro/internal/harness"
+	"repro/internal/trace"
+)
+
+// TestProfileAttributionSumsToCycles is the acceptance check for the
+// critical-path profiler: the attribution telescopes, so the cycles it
+// hands out must sum to the run's cycle count (within 1%; in practice the
+// identity is exact because the chain covers every gap up to the last fire).
+func TestProfileAttributionSumsToCycles(t *testing.T) {
+	for _, tc := range []struct{ app, sys string }{
+		{"dmv", harness.SysTyr},
+		{"smv", harness.SysTyr},
+		{"dmv", harness.SysUnordered},
+		{"dmv", harness.SysOrdered},
+	} {
+		t.Run(tc.app+"/"+tc.sys, func(t *testing.T) {
+			rec, cycles := record(t, tc.app, tc.sys)
+			p := trace.ComputeProfile(rec)
+			if p.Fires == 0 {
+				t.Fatal("profile saw no fires")
+			}
+			diff := p.Total - cycles
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff*100 > cycles {
+				t.Fatalf("profile total %d vs run cycles %d: off by more than 1%%", p.Total, cycles)
+			}
+			if p.PathLen <= 0 || p.PathLen > p.Fires {
+				t.Fatalf("path length %d out of range (fires %d)", p.PathLen, p.Fires)
+			}
+			// The per-node attribution must partition the total.
+			var sum int64
+			for _, np := range p.Nodes {
+				sum += np.CritCycles
+			}
+			if sum != p.Total {
+				t.Fatalf("node attribution sums to %d, profile total %d", sum, p.Total)
+			}
+		})
+	}
+}
+
+func TestProfileRender(t *testing.T) {
+	rec, _ := record(t, "dmv", harness.SysTyr)
+	out := trace.ComputeProfile(rec).Render()
+	if out == "" {
+		t.Fatal("empty render")
+	}
+}

@@ -1,0 +1,275 @@
+// Package trace is the event layer shared by every simulated architecture:
+// a zero-allocation-on-hot-path recorder of fixed-size event records that
+// the engines emit into behind their Config.Tracer hook.
+//
+// The stream captures the dynamic behavior the paper's argument is about —
+// token emission and delivery, instruction firing, tag allocate/free/
+// changeTag, allocate park/wake (the Fig. 11 starvation signal), join
+// arrivals, and memory operations — each stamped with the cycle, node,
+// block, and tag. Three consumers are built on top:
+//
+//   - ExportChrome (chrome.go): Chrome trace-event / Perfetto JSON, one
+//     track per concurrent block plus tag-pool occupancy counter tracks;
+//   - Profile (profile.go): a critical-path profiler that replays the
+//     recorded dependency edges to find the longest fire chain and
+//     attribute every execution cycle to a node, block, and opcode;
+//   - FireCounts: per-node fire counts for the DFG heatmap (dfg.DotHeat).
+//
+// The recorder is a ring buffer of fixed-size records: recording never
+// allocates after construction, and when the buffer wraps the oldest
+// events are dropped (Dropped reports how many) — the hot path stays O(1)
+// regardless of run length.
+package trace
+
+import (
+	"fmt"
+
+	"repro/internal/dfg"
+)
+
+// Kind classifies one event.
+type Kind uint8
+
+const (
+	// KindFire: a dynamic instruction instance executed.
+	KindFire Kind = iota
+	// KindEmit: a node produced a token (queued for next-cycle delivery).
+	KindEmit
+	// KindDeliver: a token arrived at its destination's token store.
+	KindDeliver
+	// KindJoinArrive: a KindDeliver whose destination is a join — the
+	// synchronization arrivals the free barrier is built from.
+	KindJoinArrive
+	// KindTagAlloc: a tag was granted to a new context (Val = tags in use
+	// in the target space afterwards — the counter-track signal).
+	KindTagAlloc
+	// KindTagFree: a tag returned to its pool (Val = tags in use after).
+	KindTagFree
+	// KindChangeTag: a token crossed a transfer point onto another
+	// context's tag (Val holds the destination tag).
+	KindChangeTag
+	// KindPark: an allocate was starved of tags and parked — the paper's
+	// Fig. 11 starvation event (Val = tags available when it parked).
+	KindPark
+	// KindWake: a parked allocate re-entered the ready flow.
+	KindWake
+	// KindMemLoad: a load accessed memory (Val = address).
+	KindMemLoad
+	// KindMemStore: a store accessed memory (Val = address).
+	KindMemStore
+	// KindBoundary: a cost-model block boundary (vN / seqdf engines;
+	// Val = live values carried across).
+	KindBoundary
+
+	numKinds = int(KindBoundary) + 1
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindFire:
+		return "fire"
+	case KindEmit:
+		return "emit"
+	case KindDeliver:
+		return "deliver"
+	case KindJoinArrive:
+		return "join-arrive"
+	case KindTagAlloc:
+		return "tag-alloc"
+	case KindTagFree:
+		return "tag-free"
+	case KindChangeTag:
+		return "change-tag"
+	case KindPark:
+		return "park"
+	case KindWake:
+		return "wake"
+	case KindMemLoad:
+		return "mem-load"
+	case KindMemStore:
+		return "mem-store"
+	case KindBoundary:
+		return "boundary"
+	}
+	return "?"
+}
+
+// NoNode marks events with no associated static node (engine-level events,
+// or the vN/seqdf cost models which have no compiled graph).
+const NoNode int32 = -1
+
+// Event is one fixed-size trace record. Field meaning varies slightly by
+// Kind (documented on the Kind constants); Node/Block/Tag are the common
+// stamps. For Emit/Deliver/JoinArrive, Node is the destination, Src the
+// producer, and Port the destination input port.
+type Event struct {
+	Seq   uint64 // global sequence number, stamped by Record
+	Cycle int64
+	Kind  Kind
+	Port  int16
+	Node  int32
+	Src   int32
+	Block int32
+	Tag   uint64
+	Val   int64
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("ev#%d c%d %s n%d blk%d tag=%#x val=%d", e.Seq, e.Cycle, e.Kind, e.Node, e.Block, e.Tag, e.Val)
+}
+
+// NodeMeta names one static node for consumers.
+type NodeMeta struct {
+	Label string
+	Op    string
+	Block int32
+}
+
+// Meta carries the static context a raw event stream needs to be readable:
+// program and system names plus the block/node tables of the compiled
+// graph (empty for the graph-less vN and seqdf cost models).
+type Meta struct {
+	Program string
+	System  string
+	Blocks  []string
+	Nodes   []NodeMeta
+}
+
+// NodeName returns a display name for a node ID, falling back to "n<id>".
+func (m *Meta) NodeName(node int32) string {
+	if node >= 0 && int(node) < len(m.Nodes) {
+		if l := m.Nodes[node].Label; l != "" {
+			return l
+		}
+		return fmt.Sprintf("n%d %s", node, m.Nodes[node].Op)
+	}
+	return fmt.Sprintf("n%d", node)
+}
+
+// BlockName returns a display name for a block ID.
+func (m *Meta) BlockName(block int32) string {
+	if block >= 0 && int(block) < len(m.Blocks) {
+		return m.Blocks[block]
+	}
+	return fmt.Sprintf("block%d", block)
+}
+
+// MetaFromGraph builds the Meta tables from a compiled graph.
+func MetaFromGraph(program, system string, g *dfg.Graph) Meta {
+	m := Meta{Program: program, System: system}
+	for i := range g.Blocks {
+		m.Blocks = append(m.Blocks, g.Blocks[i].Name)
+	}
+	for i := range g.Nodes {
+		n := &g.Nodes[i]
+		op := n.Op.String()
+		if n.Op == dfg.OpBin {
+			op = n.Bin.String()
+		}
+		m.Nodes = append(m.Nodes, NodeMeta{Label: n.Label, Op: op, Block: int32(n.Block)})
+	}
+	return m
+}
+
+// DefaultCapacity is the recorder's default ring size (events).
+const DefaultCapacity = 1 << 20
+
+// Recorder is a fixed-capacity ring buffer of events. Construct with
+// NewRecorder; the zero value is not usable. Recording is O(1) and
+// allocation-free; when the ring is full the oldest events are overwritten.
+type Recorder struct {
+	meta Meta
+	buf  []Event
+	next int    // next write index
+	full bool   // the ring has wrapped at least once
+	seq  uint64 // events recorded so far (== next Seq stamp)
+}
+
+// NewRecorder allocates a recorder holding up to capacity events
+// (DefaultCapacity if capacity <= 0).
+func NewRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Recorder{buf: make([]Event, capacity)}
+}
+
+// SetMeta attaches the static context; engines call this before running.
+func (r *Recorder) SetMeta(m Meta) { r.meta = m }
+
+// Meta returns the attached static context.
+func (r *Recorder) Meta() *Meta { return &r.meta }
+
+// Record appends one event, stamping its sequence number.
+func (r *Recorder) Record(e Event) {
+	e.Seq = r.seq
+	r.seq++
+	r.buf[r.next] = e
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+}
+
+// Seq returns the number of events recorded so far — the sequence number
+// the next event will get, and the stamp sanitizer diagnostics use to link
+// a finding to the most recent trace event.
+func (r *Recorder) Seq() uint64 { return r.seq }
+
+// Len returns how many events are currently retained.
+func (r *Recorder) Len() int {
+	if r.full {
+		return len(r.buf)
+	}
+	return r.next
+}
+
+// Dropped returns how many events were overwritten by ring wrap-around.
+func (r *Recorder) Dropped() uint64 {
+	return r.seq - uint64(r.Len())
+}
+
+// Events returns the retained events, oldest first, as a fresh slice.
+func (r *Recorder) Events() []Event {
+	out := make([]Event, 0, r.Len())
+	if r.full {
+		out = append(out, r.buf[r.next:]...)
+	}
+	return append(out, r.buf[:r.next]...)
+}
+
+// Reset clears the recorder for reuse, keeping its buffer and meta.
+func (r *Recorder) Reset() {
+	r.next, r.full, r.seq = 0, false, 0
+}
+
+// CountByKind tallies retained events per kind.
+func (r *Recorder) CountByKind() map[string]int {
+	var counts [numKinds]int
+	for _, e := range r.Events() {
+		counts[e.Kind]++
+	}
+	out := make(map[string]int)
+	for k, c := range counts {
+		if c > 0 {
+			out[Kind(k).String()] = c
+		}
+	}
+	return out
+}
+
+// FireCounts tallies fire events per static node (for the DFG heatmap).
+// nNodes sizes the result; events for out-of-range nodes are ignored.
+func FireCounts(r *Recorder, nNodes int) []int64 {
+	counts := make([]int64, nNodes)
+	if r == nil {
+		return counts
+	}
+	for _, e := range r.Events() {
+		if e.Kind == KindFire && e.Node >= 0 && int(e.Node) < nNodes {
+			counts[e.Node]++
+		}
+	}
+	return counts
+}

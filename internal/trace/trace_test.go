@@ -1,0 +1,94 @@
+package trace
+
+import (
+	"testing"
+)
+
+func TestRecorderSeqAndLen(t *testing.T) {
+	r := NewRecorder(8)
+	if r.Len() != 0 || r.Seq() != 0 || r.Dropped() != 0 {
+		t.Fatalf("fresh recorder not empty: len=%d seq=%d dropped=%d", r.Len(), r.Seq(), r.Dropped())
+	}
+	for i := 0; i < 5; i++ {
+		r.Record(Event{Cycle: int64(i), Kind: KindFire, Node: int32(i)})
+	}
+	if r.Len() != 5 || r.Seq() != 5 || r.Dropped() != 0 {
+		t.Fatalf("after 5 records: len=%d seq=%d dropped=%d", r.Len(), r.Seq(), r.Dropped())
+	}
+	evs := r.Events()
+	for i, e := range evs {
+		if e.Seq != uint64(i) || e.Cycle != int64(i) {
+			t.Fatalf("event %d: seq=%d cycle=%d", i, e.Seq, e.Cycle)
+		}
+	}
+}
+
+func TestRecorderWrapDropsOldest(t *testing.T) {
+	r := NewRecorder(4)
+	for i := 0; i < 10; i++ {
+		r.Record(Event{Cycle: int64(i), Kind: KindEmit})
+	}
+	if r.Len() != 4 {
+		t.Fatalf("len=%d, want 4", r.Len())
+	}
+	if r.Dropped() != 6 {
+		t.Fatalf("dropped=%d, want 6", r.Dropped())
+	}
+	evs := r.Events()
+	// Oldest-first: the four most recent events are 6,7,8,9.
+	for i, e := range evs {
+		if want := uint64(6 + i); e.Seq != want {
+			t.Fatalf("events()[%d].Seq=%d, want %d", i, e.Seq, want)
+		}
+	}
+}
+
+func TestRecorderReset(t *testing.T) {
+	r := NewRecorder(4)
+	for i := 0; i < 7; i++ {
+		r.Record(Event{Kind: KindFire})
+	}
+	r.Reset()
+	if r.Len() != 0 || r.Seq() != 0 || r.Dropped() != 0 {
+		t.Fatalf("after reset: len=%d seq=%d dropped=%d", r.Len(), r.Seq(), r.Dropped())
+	}
+	r.Record(Event{Kind: KindFire})
+	if got := r.Events(); len(got) != 1 || got[0].Seq != 0 {
+		t.Fatalf("after reset+record: %+v", got)
+	}
+}
+
+func TestRecordIsAllocFree(t *testing.T) {
+	r := NewRecorder(1 << 10)
+	e := Event{Cycle: 3, Kind: KindDeliver, Node: 7, Src: 2, Block: 1, Tag: 0x42, Val: 9}
+	allocs := testing.AllocsPerRun(1000, func() {
+		r.Record(e)
+	})
+	if allocs != 0 {
+		t.Fatalf("Record allocates %.1f times per call, want 0", allocs)
+	}
+}
+
+func TestCountByKindAndFireCounts(t *testing.T) {
+	r := NewRecorder(16)
+	r.Record(Event{Kind: KindFire, Node: 0})
+	r.Record(Event{Kind: KindFire, Node: 2})
+	r.Record(Event{Kind: KindFire, Node: 2})
+	r.Record(Event{Kind: KindEmit, Node: 1})
+	counts := r.CountByKind()
+	if counts["fire"] != 3 || counts["emit"] != 1 {
+		t.Fatalf("CountByKind: %v", counts)
+	}
+	fires := FireCounts(r, 3)
+	if fires[0] != 1 || fires[1] != 0 || fires[2] != 2 {
+		t.Fatalf("FireCounts: %v", fires)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k := 0; k < numKinds; k++ {
+		if s := Kind(k).String(); s == "" || s == "?" {
+			t.Fatalf("Kind(%d) has no name", k)
+		}
+	}
+}

@@ -15,6 +15,7 @@ package vn
 import (
 	"repro/internal/mem"
 	"repro/internal/prog"
+	"repro/internal/trace"
 )
 
 // StatePoint is one sample of the live-value trace.
@@ -34,6 +35,8 @@ type Result struct {
 	IPCHist   map[int]int64
 	Trace     []StatePoint
 	Stats     prog.Stats
+	// Note records the machine configuration that produced the run.
+	Note string
 }
 
 // IPC returns mean instructions per cycle (always 1 for vN).
@@ -53,6 +56,11 @@ type Config struct {
 	LoadLatency int
 	// TracePoints caps the live-state trace length (0 = default 4096).
 	TracePoints int
+	// Tracer, when non-nil, receives one KindFire event per dynamic
+	// instruction (Val = instruction class) and a KindBoundary event per
+	// scope boundary (Val = live bindings). There is no graph, so events
+	// carry trace.NoNode.
+	Tracer *trace.Recorder
 }
 
 // model implements prog.CostModel with vN cost semantics.
@@ -68,12 +76,21 @@ type model struct {
 	sumLive    int64
 	peakLive   int64
 
-	trace       []StatePoint
+	tracePts    []StatePoint
 	tracePoints int
 	traceStride int64
+	winMax      int64
+	winMaxCycle int64
+	winValid    bool
+
+	rec *trace.Recorder
 }
 
 func (m *model) Instr(class prog.InstrClass, _ ...int64) int64 {
+	if m.rec != nil {
+		m.rec.Record(trace.Event{Cycle: m.instrs, Kind: trace.KindFire,
+			Node: trace.NoNode, Src: trace.NoNode, Val: int64(class)})
+	}
 	m.instrs++
 	if class == prog.ClassLoad && m.loadLat > 1 {
 		m.stalls += m.loadLat - 1
@@ -89,30 +106,87 @@ func (m *model) Boundary(_ prog.BoundaryKind, live int) {
 	if m.lastLive > m.peakLive {
 		m.peakLive = m.lastLive
 	}
+	if m.rec != nil {
+		m.rec.Record(trace.Event{Cycle: m.instrs, Kind: trace.KindBoundary,
+			Node: trace.NoNode, Src: trace.NoNode, Val: m.lastLive})
+	}
 	m.sample()
 }
 
+// sample maintains the live-state trace with max-preserving decimation:
+// each stride window contributes its peak-live sample.
 func (m *model) sample() {
 	if m.tracePoints <= 0 {
 		return
 	}
-	if len(m.trace) > 0 && m.instrs-m.trace[len(m.trace)-1].Cycle < m.traceStride {
+	if !m.winValid || m.lastLive > m.winMax {
+		m.winMax, m.winMaxCycle = m.lastLive, m.instrs
+		m.winValid = true
+	}
+	if n := len(m.tracePts); n > 0 && m.instrs-m.tracePts[n-1].Cycle < m.traceStride {
 		return
 	}
-	m.trace = append(m.trace, StatePoint{Cycle: m.instrs, Live: m.lastLive})
-	if len(m.trace) >= m.tracePoints {
-		kept := m.trace[:0]
-		for i := 0; i < len(m.trace); i += 2 {
-			kept = append(kept, m.trace[i])
+	m.emitWindow()
+}
+
+// emitWindow appends the pending window's peak. Boundaries may repeat the
+// same instruction count, so a window landing on the previous point's
+// cycle merges into it instead of breaking monotonicity.
+func (m *model) emitWindow() {
+	if !m.winValid {
+		return
+	}
+	m.winValid = false
+	if n := len(m.tracePts); n > 0 && m.winMaxCycle <= m.tracePts[n-1].Cycle {
+		if m.winMax > m.tracePts[n-1].Live {
+			m.tracePts[n-1].Live = m.winMax
 		}
-		m.trace = kept
+		return
+	}
+	m.tracePts = append(m.tracePts, StatePoint{Cycle: m.winMaxCycle, Live: m.winMax})
+	if len(m.tracePts) >= m.tracePoints {
+		m.tracePts = decimatePoints(m.tracePts)
 		m.traceStride *= 2
 	}
 }
 
+// flush closes the trace at end of run and re-imposes the cap.
+func (m *model) flush(end int64) {
+	if m.tracePoints <= 0 {
+		return
+	}
+	m.emitWindow()
+	if n := len(m.tracePts); n == 0 || m.tracePts[n-1].Cycle < end {
+		m.tracePts = append(m.tracePts, StatePoint{Cycle: end, Live: m.lastLive})
+	}
+	for len(m.tracePts) > m.tracePoints && len(m.tracePts) >= 3 {
+		m.tracePts = decimatePoints(m.tracePts)
+		m.traceStride *= 2
+	}
+}
+
+// decimatePoints halves a trace by merging adjacent pairs, keeping each
+// pair's higher-live point. The final point is never merged away.
+func decimatePoints(pts []StatePoint) []StatePoint {
+	if len(pts) < 3 {
+		return pts
+	}
+	last := pts[len(pts)-1]
+	body := pts[:len(pts)-1]
+	kept := pts[:0]
+	for i := 0; i < len(body); i += 2 {
+		p := body[i]
+		if i+1 < len(body) && body[i+1].Live > p.Live {
+			p = body[i+1]
+		}
+		kept = append(kept, p)
+	}
+	return append(kept, last)
+}
+
 // Run executes the program under the vN cost model.
 func Run(p *prog.Program, im *mem.Image, cfg Config) (Result, error) {
-	m := &model{tracePoints: cfg.TracePoints, traceStride: 1, loadLat: int64(cfg.LoadLatency)}
+	m := &model{tracePoints: cfg.TracePoints, traceStride: 1, loadLat: int64(cfg.LoadLatency), rec: cfg.Tracer}
 	if m.tracePoints == 0 {
 		m.tracePoints = 4096
 	}
@@ -124,15 +198,17 @@ func Run(p *prog.Program, im *mem.Image, cfg Config) (Result, error) {
 	m.Boundary(prog.BoundaryCallExit, 0)
 
 	cycles := m.instrs + m.stalls
+	m.flush(cycles)
 	out := Result{
 		Completed: true,
 		Cycles:    cycles,
 		Fired:     m.instrs,
 		Ret:       res.Ret,
 		PeakLive:  m.peakLive,
-		Trace:     m.trace,
+		Trace:     m.tracePts,
 		Stats:     res.Stats,
 		IPCHist:   map[int]int64{1: m.instrs},
+		Note:      "sequential, 1 instr/cycle",
 	}
 	if m.stalls > 0 {
 		out.IPCHist[0] = m.stalls
