@@ -4,7 +4,8 @@
 // Usage:
 //
 //	tyrc [-sys tyr] [-tags 64] [-width 128] [-O] [-arg N]... [-emit asm|dot|ir]
-//	     [-vet] [-trace out.json] [-profile] prog.tyr
+//	     [-vet] [-trace out.json] [-profile]
+//	     [-cache] [-l1 sets=32,ways=2,line=4,lat=1] [-l2 ...] prog.tyr
 //
 // The program runs against its declared memory regions (zero-filled) and
 // the result plus machine metrics are printed. -emit stops after
@@ -23,8 +24,10 @@ import (
 	"strconv"
 
 	"repro/internal/analysis"
+	"repro/internal/cache"
 	"repro/internal/compile"
 	"repro/internal/core"
+	"repro/internal/mem"
 	"repro/internal/metrics"
 	"repro/internal/ordered"
 	"repro/internal/prog"
@@ -54,6 +57,9 @@ func main() {
 	vet := flag.Bool("vet", false, "statically verify the compiled graph (free barriers, tag safety, races) and exit")
 	tracePath := flag.String("trace", "", "record the event stream and write Chrome trace-event JSON to this path")
 	profile := flag.Bool("profile", false, "print the critical-path profile")
+	useCache := flag.Bool("cache", false, "route loads and stores through the default memory hierarchy")
+	l1Spec := flag.String("l1", "", "L1 overrides as sets=N,ways=N,line=N,lat=N (implies -cache)")
+	l2Spec := flag.String("l2", "", "L2 overrides as sets=N,ways=N,line=N,lat=N (implies -cache)")
 	var args argList
 	flag.Var(&args, "arg", "entry argument (repeatable)")
 	flag.Parse()
@@ -136,6 +142,32 @@ func main() {
 		rec = trace.NewRecorder(0)
 	}
 
+	var cacheCfg *cache.Config
+	if *useCache || *l1Spec != "" || *l2Spec != "" {
+		cc := cache.DefaultConfig()
+		if cc.L1, err = cache.ParseLevel(cc.L1, *l1Spec); err != nil {
+			fail(err)
+		}
+		if cc.L2, err = cache.ParseLevel(cc.L2, *l2Spec); err != nil {
+			fail(err)
+		}
+		cc.Tracer = rec
+		cacheCfg = &cc
+	}
+	// newHier builds the per-run hierarchy; engines take it as their
+	// memory model only when one was requested (nil interface otherwise).
+	newHier := func(im *mem.Image) *cache.Hierarchy {
+		if cacheCfg == nil {
+			return nil
+		}
+		h, err := cache.New(*cacheCfg, im)
+		if err != nil {
+			fail(err)
+		}
+		return h
+	}
+
+	var hier *cache.Hierarchy
 	tb := &metrics.Table{}
 	var got int64
 	var okMem bool
@@ -145,7 +177,11 @@ func main() {
 		if rec != nil {
 			rec.SetMeta(trace.Meta{Program: p.Name, System: *sys})
 		}
-		res, err := vn.Run(p, im, vn.Config{Args: args, Tracer: rec})
+		vcfg := vn.Config{Args: args, Tracer: rec}
+		if hier = newHier(im); hier != nil {
+			vcfg.Memory = hier
+		}
+		res, err := vn.Run(p, im, vcfg)
 		if err != nil {
 			fail(err)
 		}
@@ -156,7 +192,11 @@ func main() {
 		if rec != nil {
 			rec.SetMeta(trace.Meta{Program: p.Name, System: *sys})
 		}
-		res, err := seqdf.Run(p, im, seqdf.Config{Args: args, IssueWidth: *width, Tracer: rec})
+		scfg := seqdf.Config{Args: args, IssueWidth: *width, Tracer: rec}
+		if hier = newHier(im); hier != nil {
+			scfg.Memory = hier
+		}
+		res, err := seqdf.Run(p, im, scfg)
 		if err != nil {
 			fail(err)
 		}
@@ -171,7 +211,11 @@ func main() {
 		if rec != nil {
 			rec.SetMeta(trace.MetaFromGraph(p.Name, *sys, g))
 		}
-		res, err := ordered.Run(g, im, ordered.Config{IssueWidth: *width, Tracer: rec})
+		ocfg := ordered.Config{IssueWidth: *width, Tracer: rec}
+		if hier = newHier(im); hier != nil {
+			ocfg.Memory = hier
+		}
+		res, err := ordered.Run(g, im, ocfg)
 		if err != nil {
 			fail(err)
 		}
@@ -193,6 +237,9 @@ func main() {
 		if rec != nil {
 			rec.SetMeta(trace.MetaFromGraph(p.Name, *sys, g))
 		}
+		if hier = newHier(im); hier != nil {
+			cfg.Memory = hier
+		}
 		res, err := core.Run(g, im, cfg)
 		if err != nil {
 			fail(err)
@@ -208,6 +255,18 @@ func main() {
 
 	fmt.Printf("%s on %s: result = %d\n", p.Name, *sys, got)
 	fmt.Print(tb.String())
+
+	if hier != nil {
+		st := hier.Stats()
+		fmt.Printf("\nmemory hierarchy (%s)\n", cacheCfg.Describe())
+		ct := &metrics.Table{Headers: []string{"level", "accesses", "misses", "miss rate", "writebacks"}}
+		ct.Add("L1", metrics.FormatCount(st.L1.Accesses), metrics.FormatCount(st.L1.Misses),
+			fmt.Sprintf("%.1f%%", st.L1.MissRate*100), metrics.FormatCount(st.L1.Writebacks))
+		ct.Add("L2", metrics.FormatCount(st.L2.Accesses), metrics.FormatCount(st.L2.Misses),
+			fmt.Sprintf("%.1f%%", st.L2.MissRate*100), metrics.FormatCount(st.L2.Writebacks))
+		fmt.Print(ct.String())
+		fmt.Printf("AMAT %.2f cycles\n", st.AMAT)
+	}
 
 	if *tracePath != "" {
 		f, err := os.Create(*tracePath)

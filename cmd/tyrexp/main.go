@@ -6,7 +6,8 @@
 //	tyrexp [-exp fig12] [-scale small] [-width 128] [-tags 64] [-json out.json]
 //	tyrexp trace -app dmv -sys tyr [-out trace.json] [-profile]
 //	tyrexp trace -validate trace.json
-//	tyrexp bench [-scale small] [-out BENCH_pr2.json]
+//	tyrexp bench [-scale small] [-out BENCH_pr3.json]
+//	tyrexp locality [-scale small] [-csv dir] [-json out.json] [-assert]
 //
 // With no subcommand and no -exp flag, all experiments run in paper
 // order. Reports are written to stdout; every run's outputs are validated
@@ -30,6 +31,7 @@ import (
 	"time"
 
 	"repro/internal/apps"
+	"repro/internal/cache"
 	"repro/internal/harness"
 	"repro/internal/metrics"
 	"repro/internal/trace"
@@ -43,6 +45,9 @@ func main() {
 			return
 		case "bench":
 			runBench(os.Args[2:])
+			return
+		case "locality":
+			runLocality(os.Args[2:])
 			return
 		}
 	}
@@ -199,6 +204,49 @@ func runTrace(args []string) {
 	}
 }
 
+// runLocality runs the tag-budget x cache-capacity sweep on its own, with
+// an assert mode for CI: -assert fails unless TYR's miss rate beats (or
+// ties) unlimited unordered on at least one kernel.
+func runLocality(args []string) {
+	fs := flag.NewFlagSet("tyrexp locality", flag.ExitOnError)
+	scale := fs.String("scale", "small", "input scale: tiny, small, medium")
+	width := fs.Int("width", 128, "issue width")
+	tags := fs.Int("tags", 64, "TYR tags per local tag space (the widest budget swept)")
+	csvDir := fs.String("csv", "", "also write the sweep's raw data as CSV into this directory")
+	jsonPath := fs.String("json", "", "write every run's stats as tyr-telemetry/v1 JSON to this path")
+	assert := fs.Bool("assert", false, "exit nonzero unless TYR matches or beats unordered's L1 miss rate on >= 1 kernel")
+	fs.Parse(args)
+
+	sc, err := parseScale(*scale)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	cfg := harness.ExpConfig{Scale: sc, IssueWidth: *width, Tags: *tags}
+	var tel harness.Telemetry
+	if *jsonPath != "" {
+		cfg.Telemetry = &tel
+	}
+	d, report, err := harness.Locality(cfg)
+	if err != nil {
+		fatalf("locality: %v", err)
+	}
+	fmt.Print(report)
+	if *csvDir != "" {
+		path, err := harness.ExportCSV("locality", cfg, *csvDir)
+		if err != nil {
+			fatalf("csv locality: %v", err)
+		}
+		fmt.Printf("[raw data: %s]\n", path)
+	}
+	if *jsonPath != "" {
+		writeTelemetryFile(*jsonPath, tel.Snapshot())
+		fmt.Printf("[telemetry: %s, %d runs]\n", *jsonPath, len(tel.Snapshot()))
+	}
+	if *assert && d.Wins+d.Ties == 0 {
+		fatalf("locality claim failed: TYR's L1 miss rate worse than unordered's on all %d kernels", len(d.Apps))
+	}
+}
+
 // benchDoc is the machine-readable benchmark summary schema.
 type benchDoc struct {
 	Schema  string             `json:"schema"`
@@ -211,6 +259,12 @@ type benchSystem struct {
 	System      string  `json:"system"`
 	GmeanCycles float64 `json:"gmean_cycles"`
 	WallNS      int64   `json:"wall_ns"` // summed across kernels
+	// Cache behavior, measured by a passthrough hierarchy (zero timing
+	// impact, so gmean_cycles stays comparable across benchmark files):
+	// aggregate miss rates across kernels and the mean of per-run AMATs.
+	L1MissRate float64 `json:"l1_miss_rate"`
+	L2MissRate float64 `json:"l2_miss_rate"`
+	MeanAMAT   float64 `json:"mean_amat"`
 }
 
 // runBench times every kernel on every system and writes the summary.
@@ -219,7 +273,7 @@ func runBench(args []string) {
 	scale := fs.String("scale", "small", "input scale: tiny, small, medium")
 	width := fs.Int("width", 128, "issue width")
 	tags := fs.Int("tags", 64, "TYR tags per local tag space")
-	out := fs.String("out", "BENCH_pr2.json", "write the benchmark summary JSON to this path")
+	out := fs.String("out", "BENCH_pr3.json", "write the benchmark summary JSON to this path")
 	fs.Parse(args)
 
 	sc, err := parseScale(*scale)
@@ -230,8 +284,10 @@ func runBench(args []string) {
 	suite := apps.Suite(sc)
 	for _, app := range suite {
 		for _, sys := range harness.Systems {
+			cc := cache.DefaultConfig()
+			cc.Passthrough = true
 			rs, err := harness.Run(app, sys, harness.SysConfig{
-				IssueWidth: *width, Tags: *tags, Telemetry: &tel,
+				IssueWidth: *width, Tags: *tags, Telemetry: &tel, Cache: &cc,
 			})
 			if err != nil {
 				fatalf("%s/%s: %v", app.Name, sys, err)
@@ -244,14 +300,39 @@ func runBench(args []string) {
 	doc := benchDoc{Schema: "tyr-bench/v1", Scale: *scale, Runs: tel.Snapshot()}
 	perSys := map[string][]float64{}
 	wall := map[string]int64{}
+	type cacheAgg struct {
+		l1Acc, l1Miss, l2Acc, l2Miss int64
+		amatSum                      float64
+		n                            int
+	}
+	agg := map[string]*cacheAgg{}
 	for _, rs := range doc.Runs {
 		perSys[rs.System] = append(perSys[rs.System], float64(rs.Cycles))
 		wall[rs.System] += rs.WallNS
+		if rs.Cache != nil {
+			a := agg[rs.System]
+			if a == nil {
+				a = &cacheAgg{}
+				agg[rs.System] = a
+			}
+			a.l1Acc += rs.Cache.L1.Accesses
+			a.l1Miss += rs.Cache.L1.Misses
+			a.l2Acc += rs.Cache.L2.Accesses
+			a.l2Miss += rs.Cache.L2.Misses
+			a.amatSum += rs.Cache.AMAT
+			a.n++
+		}
 	}
 	for _, sys := range harness.Systems {
-		doc.Systems = append(doc.Systems, benchSystem{
-			System: sys, GmeanCycles: metrics.Gmean(perSys[sys]), WallNS: wall[sys],
-		})
+		bs := benchSystem{System: sys, GmeanCycles: metrics.Gmean(perSys[sys]), WallNS: wall[sys]}
+		if a := agg[sys]; a != nil && a.l1Acc > 0 {
+			bs.L1MissRate = float64(a.l1Miss) / float64(a.l1Acc)
+			bs.MeanAMAT = a.amatSum / float64(a.n)
+			if a.l2Acc > 0 {
+				bs.L2MissRate = float64(a.l2Miss) / float64(a.l2Acc)
+			}
+		}
+		doc.Systems = append(doc.Systems, bs)
 	}
 	f, err := os.Create(*out)
 	if err != nil {
@@ -267,10 +348,13 @@ func runBench(args []string) {
 		fatalf("%v", werr)
 	}
 	fmt.Println()
-	tb := &metrics.Table{Headers: []string{"system", "gmean cycles", "wall-clock"}}
+	tb := &metrics.Table{Headers: []string{"system", "gmean cycles", "wall-clock", "L1 miss", "L2 miss", "AMAT"}}
 	for _, s := range doc.Systems {
 		tb.Add(s.System, metrics.FormatCount(int64(s.GmeanCycles)),
-			fmt.Sprintf("%.1fms", float64(s.WallNS)/1e6))
+			fmt.Sprintf("%.1fms", float64(s.WallNS)/1e6),
+			fmt.Sprintf("%.1f%%", s.L1MissRate*100),
+			fmt.Sprintf("%.1f%%", s.L2MissRate*100),
+			fmt.Sprintf("%.1f", s.MeanAMAT))
 	}
 	fmt.Print(tb.String())
 	fmt.Printf("wrote benchmark summary to %s\n", *out)

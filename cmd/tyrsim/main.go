@@ -5,13 +5,17 @@
 //
 //	tyrsim -app spmspm -sys tyr [-scale small] [-width 128] [-tags 64]
 //	       [-global-tags 8] [-plot] [-check]
+//	       [-cache] [-l1 sets=32,ways=2,line=4,lat=1] [-l2 ...] [-mem-lat 30] [-mshrs 8]
 //	       [-trace out.json] [-profile] [-heat] [-json telemetry.json]
 //
 // -sys accepts vN, seqdf, ordered, unordered, tyr. With -global-tags N,
 // the unordered system uses a bounded global pool (the Fig. 11 deadlock
 // configuration). -plot prints the live-state-over-time plot. -check runs
 // the static verifier on the compiled graph first and then executes with
-// the runtime sanitizer enabled.
+// the runtime sanitizer enabled. -cache routes loads and stores through
+// the two-level memory hierarchy (internal/cache) and prints per-level
+// hit/miss counters; -l1/-l2/-mem-lat/-mshrs override its geometry and
+// imply -cache.
 //
 // Observability: -trace PATH records the run's event stream and writes it
 // as Chrome trace-event JSON (load into chrome://tracing or Perfetto);
@@ -28,6 +32,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/apps"
+	"repro/internal/cache"
 	"repro/internal/compile"
 	"repro/internal/core"
 	"repro/internal/dfg"
@@ -43,6 +48,11 @@ func main() {
 	width := flag.Int("width", 128, "issue width")
 	tags := flag.Int("tags", 64, "TYR tags per local tag space")
 	globalTags := flag.Int("global-tags", 0, "bounded global tag pool for unordered (0 = unlimited)")
+	useCache := flag.Bool("cache", false, "route loads and stores through the default memory hierarchy")
+	l1Spec := flag.String("l1", "", "L1 overrides as sets=N,ways=N,line=N,lat=N (implies -cache)")
+	l2Spec := flag.String("l2", "", "L2 overrides as sets=N,ways=N,line=N,lat=N (implies -cache)")
+	memLat := flag.Int64("mem-lat", 0, "memory latency behind L2 in cycles (implies -cache)")
+	mshrs := flag.Int("mshrs", 0, "outstanding-miss limit (implies -cache)")
 	plot := flag.Bool("plot", false, "print the live-state trace plot")
 	tracePath := flag.String("trace", "", "record the event stream and write Chrome trace-event JSON to this path")
 	profile := flag.Bool("profile", false, "print the critical-path profile")
@@ -110,6 +120,25 @@ func main() {
 		Tags:       *tags,
 		GlobalTags: *globalTags,
 		SkipCheck:  *globalTags > 0, // a deadlocked run has no output to validate
+	}
+	if *useCache || *l1Spec != "" || *l2Spec != "" || *memLat != 0 || *mshrs != 0 {
+		cc := cache.DefaultConfig()
+		var err error
+		if cc.L1, err = cache.ParseLevel(cc.L1, *l1Spec); err != nil {
+			fmt.Fprintf(os.Stderr, "tyrsim: -l1: %v\n", err)
+			os.Exit(2)
+		}
+		if cc.L2, err = cache.ParseLevel(cc.L2, *l2Spec); err != nil {
+			fmt.Fprintf(os.Stderr, "tyrsim: -l2: %v\n", err)
+			os.Exit(2)
+		}
+		if *memLat != 0 {
+			cc.MemLatency = *memLat
+		}
+		if *mshrs != 0 {
+			cc.MSHRs = *mshrs
+		}
+		cfg.Cache = &cc
 	}
 	var rec *trace.Recorder
 	if *tracePath != "" || *profile || *heat {
@@ -192,6 +221,22 @@ func main() {
 		tb.Add("peak tags in use", fmt.Sprint(rs.PeakTags))
 	}
 	fmt.Print(tb.String())
+
+	if rs.Cache != nil {
+		fmt.Printf("\nmemory hierarchy (%s)\n", cfg.Cache.Describe())
+		ct := &metrics.Table{Headers: []string{"level", "accesses", "hits", "misses", "miss rate", "writebacks"}}
+		for _, lv := range []struct {
+			name string
+			s    metrics.CacheLevelStats
+		}{{"L1", rs.Cache.L1}, {"L2", rs.Cache.L2}} {
+			ct.Add(lv.name, metrics.FormatCount(lv.s.Accesses), metrics.FormatCount(lv.s.Hits),
+				metrics.FormatCount(lv.s.Misses), fmt.Sprintf("%.1f%%", lv.s.MissRate*100),
+				metrics.FormatCount(lv.s.Writebacks))
+		}
+		fmt.Print(ct.String())
+		fmt.Printf("AMAT %.2f cycles; %s MSHR stall cycles\n",
+			rs.Cache.AMAT, metrics.FormatCount(rs.Cache.MSHRStallCycles))
+	}
 
 	if len(spaces) > 0 {
 		bt := &metrics.Table{Headers: []string{"block", "tags", "peak tags used", "allocs", "peak live tokens"}}

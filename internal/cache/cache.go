@@ -1,0 +1,414 @@
+// Package cache models the multi-level memory hierarchy that makes the
+// paper's title claim — taming parallelism *improves locality* — visible
+// in this reproduction: a set-associative L1/L2 with LRU replacement,
+// write-back/write-allocate policy, and a bounded MSHR file limiting
+// outstanding misses.
+//
+// The hierarchy implements mem.AccessModel, the one hook every simulated
+// architecture routes its loads and stores through. It is a pure timing
+// model: values always move through the mem.Image directly, so attaching a
+// hierarchy changes cycle counts and stall structure but never results.
+// Under TYR's bounded tag pools the live set — and therefore the working
+// set the interleaved access stream walks — stays small and the miss rate
+// stays near the sequential baseline; unlimited unordered dataflow
+// interleaves accesses from every in-flight iteration and thrashes the
+// same capacity (the Sec. I/VII locality argument, measured by the
+// harness's locality experiment).
+//
+// Addressing: each memory region is placed at a line-aligned base in a
+// flat word-address space (so distinct regions never share a line), and
+// (region, addr) pairs are translated on every access. Word addresses are
+// the unit throughout; LineWords is the line size in words.
+package cache
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/mem"
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+// LevelConfig sizes one cache level.
+type LevelConfig struct {
+	Sets      int   // number of sets
+	Ways      int   // associativity
+	LineWords int   // line size in words
+	Latency   int64 // hit latency in cycles (>= 1)
+}
+
+// Words returns the level's capacity in words.
+func (l LevelConfig) Words() int { return l.Sets * l.Ways * l.LineWords }
+
+func (l LevelConfig) String() string {
+	return fmt.Sprintf("%dw (%d sets x %d ways x %d-word lines) @%d cyc",
+		l.Words(), l.Sets, l.Ways, l.LineWords, l.Latency)
+}
+
+// Config parameterizes a hierarchy.
+type Config struct {
+	L1, L2 LevelConfig
+	// MemLatency is the cost of missing both levels (cycles).
+	MemLatency int64
+	// MSHRs bounds outstanding misses: a miss that cannot claim an MSHR
+	// slot queues until the oldest outstanding miss retires, and the
+	// queueing delay is charged to the access. Zero selects the default.
+	MSHRs int
+	// Passthrough runs the full hierarchy state machine (hits, misses,
+	// evictions, writebacks, and all counters) but reports every access as
+	// single-cycle, so cycle counts stay bit-identical to the ideal flat
+	// memory while miss rates are still measured. MSHR queueing, which
+	// needs real time, is skipped.
+	Passthrough bool
+	// Tracer, when non-nil, receives KindCacheHit/KindCacheMiss/
+	// KindWriteback events.
+	Tracer *trace.Recorder
+}
+
+// DefaultConfig returns the paper-scale hierarchy used by the locality
+// experiment: a 256-word L1 and a 4096-word L2. The L1 hit latency of 1
+// matches the idealized single-cycle memory, so an all-hit run is
+// timing-identical to the flat path and every extra cycle is miss-induced.
+func DefaultConfig() Config {
+	return Config{
+		L1:         LevelConfig{Sets: 32, Ways: 2, LineWords: 4, Latency: 1},
+		L2:         LevelConfig{Sets: 128, Ways: 4, LineWords: 8, Latency: 6},
+		MemLatency: 30,
+		MSHRs:      8,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	if c.L1 == (LevelConfig{}) {
+		c.L1 = DefaultConfig().L1
+	}
+	if c.L2 == (LevelConfig{}) {
+		c.L2 = DefaultConfig().L2
+	}
+	if c.MemLatency == 0 {
+		c.MemLatency = DefaultConfig().MemLatency
+	}
+	if c.MSHRs == 0 {
+		c.MSHRs = DefaultConfig().MSHRs
+	}
+	return c
+}
+
+// Describe summarizes the hierarchy for run provenance notes.
+func (c Config) Describe() string {
+	c = c.withDefaults()
+	mode := ""
+	if c.Passthrough {
+		mode = " (passthrough)"
+	}
+	return fmt.Sprintf("L1=%dw L2=%dw mem=%dcyc mshrs=%d%s",
+		c.L1.Words(), c.L2.Words(), c.MemLatency, c.MSHRs, mode)
+}
+
+func (c Config) validate() error {
+	for _, lv := range []struct {
+		name string
+		l    LevelConfig
+	}{{"L1", c.L1}, {"L2", c.L2}} {
+		if lv.l.Sets < 1 || lv.l.Ways < 1 || lv.l.LineWords < 1 {
+			return fmt.Errorf("cache: %s needs sets, ways, line >= 1 (got %d/%d/%d)",
+				lv.name, lv.l.Sets, lv.l.Ways, lv.l.LineWords)
+		}
+		if lv.l.Latency < 1 {
+			return fmt.Errorf("cache: %s latency must be >= 1 cycle (got %d)", lv.name, lv.l.Latency)
+		}
+	}
+	if c.MemLatency < 1 {
+		return fmt.Errorf("cache: memory latency must be >= 1 cycle (got %d)", c.MemLatency)
+	}
+	if c.MSHRs < 1 {
+		return fmt.Errorf("cache: need at least 1 MSHR (got %d)", c.MSHRs)
+	}
+	return nil
+}
+
+// ParseLevel overlays comma-separated key=value settings (sets, ways,
+// line, lat) onto a level config — the -l1/-l2 CLI flag format.
+func ParseLevel(base LevelConfig, spec string) (LevelConfig, error) {
+	if spec == "" {
+		return base, nil
+	}
+	for _, field := range strings.Split(spec, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(field), "=")
+		if !ok {
+			return base, fmt.Errorf("cache: bad level field %q (want key=value)", field)
+		}
+		n, err := strconv.Atoi(strings.TrimSpace(val))
+		if err != nil {
+			return base, fmt.Errorf("cache: bad value in %q: %v", field, err)
+		}
+		switch strings.TrimSpace(key) {
+		case "sets":
+			base.Sets = n
+		case "ways":
+			base.Ways = n
+		case "line":
+			base.LineWords = n
+		case "lat":
+			base.Latency = int64(n)
+		default:
+			return base, fmt.Errorf("cache: unknown level key %q (want sets, ways, line, lat)", key)
+		}
+	}
+	return base, nil
+}
+
+// line is one cache line's bookkeeping (data lives in the mem.Image).
+type line struct {
+	tag   uint64
+	use   uint64 // LRU clock stamp of the last touch
+	valid bool
+	dirty bool
+}
+
+// level is one cache level's state.
+type level struct {
+	cfg   LevelConfig
+	sets  [][]line
+	clock uint64
+	stats metrics.CacheLevelStats
+}
+
+func newLevel(cfg LevelConfig) level {
+	sets := make([][]line, cfg.Sets)
+	backing := make([]line, cfg.Sets*cfg.Ways)
+	for s := range sets {
+		sets[s] = backing[s*cfg.Ways : (s+1)*cfg.Ways]
+	}
+	return level{cfg: cfg, sets: sets}
+}
+
+// lookup probes for a line address; on hit it refreshes LRU order and
+// optionally marks the line dirty.
+func (l *level) lookup(lineAddr uint64, markDirty bool) bool {
+	set := l.sets[lineAddr%uint64(l.cfg.Sets)]
+	tag := lineAddr / uint64(l.cfg.Sets)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			l.clock++
+			set[i].use = l.clock
+			if markDirty {
+				set[i].dirty = true
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// install fills a line (assumed absent), evicting the LRU way if the set
+// is full. It returns the evicted line's address and dirtiness when a
+// valid line was displaced.
+func (l *level) install(lineAddr uint64, dirty bool) (evictedAddr uint64, evictedDirty, evicted bool) {
+	setIdx := lineAddr % uint64(l.cfg.Sets)
+	set := l.sets[setIdx]
+	victim := 0
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].use < set[victim].use {
+			victim = i
+		}
+	}
+	if set[victim].valid {
+		evicted = true
+		evictedDirty = set[victim].dirty
+		evictedAddr = set[victim].tag*uint64(l.cfg.Sets) + setIdx
+		l.stats.Evictions++
+	}
+	l.clock++
+	set[victim] = line{tag: lineAddr / uint64(l.cfg.Sets), use: l.clock, valid: true, dirty: dirty}
+	return evictedAddr, evictedDirty, evicted
+}
+
+// markDirty sets the dirty bit of a resident line without touching LRU
+// order (used when an L1 writeback lands in an already-resident L2 line).
+func (l *level) markDirty(lineAddr uint64) bool {
+	set := l.sets[lineAddr%uint64(l.cfg.Sets)]
+	tag := lineAddr / uint64(l.cfg.Sets)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i].dirty = true
+			return true
+		}
+	}
+	return false
+}
+
+// Hierarchy is a two-level cache implementing mem.AccessModel. Construct
+// with New; one hierarchy serves one run.
+type Hierarchy struct {
+	cfg    Config
+	l1, l2 level
+	bases  []int64 // flat base word address per image region
+
+	mshrFree []int64 // per-slot cycle at which the slot's miss retires
+
+	loads, stores int64
+	totalLatency  int64 // sum of configured-latency costs across accesses
+	mshrStall     int64
+
+	rec *trace.Recorder
+}
+
+// New builds a hierarchy laying out the image's regions at line-aligned
+// bases. The image is only consulted for its region sizes; any clone with
+// the same layout can be simulated against the result.
+func New(cfg Config, im *mem.Image) (*Hierarchy, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	align := int64(cfg.L1.LineWords)
+	if int64(cfg.L2.LineWords) > align {
+		align = int64(cfg.L2.LineWords)
+	}
+	// Pad to a multiple of both line sizes so no two regions share a line
+	// at either level.
+	for align%int64(cfg.L1.LineWords) != 0 {
+		align += int64(cfg.L2.LineWords)
+	}
+	h := &Hierarchy{
+		cfg:      cfg,
+		l1:       newLevel(cfg.L1),
+		l2:       newLevel(cfg.L2),
+		bases:    make([]int64, im.NumRegions()),
+		mshrFree: make([]int64, cfg.MSHRs),
+		rec:      cfg.Tracer,
+	}
+	var next int64
+	for i := 0; i < im.NumRegions(); i++ {
+		h.bases[i] = next
+		sz := int64(im.Size(i))
+		next += (sz + align - 1) / align * align
+		if sz == 0 {
+			next += align
+		}
+	}
+	return h, nil
+}
+
+func (h *Hierarchy) record(kind trace.Kind, cycle int64, levelNo int16, flat int64) {
+	if h.rec == nil {
+		return
+	}
+	h.rec.Record(trace.Event{Cycle: cycle, Kind: kind,
+		Node: trace.NoNode, Src: trace.NoNode, Block: trace.NoNode,
+		Port: levelNo, Val: flat})
+}
+
+// Access simulates one load or store and returns its latency in cycles
+// (always 1 in passthrough mode). It implements mem.AccessModel.
+func (h *Hierarchy) Access(cycle int64, kind mem.AccessKind, region int, addr int64) int64 {
+	flat := h.bases[region] + addr
+	store := kind == mem.AccessStore
+	if store {
+		h.stores++
+	} else {
+		h.loads++
+	}
+
+	l1Line := uint64(flat) / uint64(h.cfg.L1.LineWords)
+	h.l1.stats.Accesses++
+	lat := h.cfg.L1.Latency
+	if h.l1.lookup(l1Line, store) {
+		h.l1.stats.Hits++
+		h.record(trace.KindCacheHit, cycle, 1, flat)
+		h.totalLatency += lat
+		if h.cfg.Passthrough {
+			return 1
+		}
+		return lat
+	}
+	h.l1.stats.Misses++
+	h.record(trace.KindCacheMiss, cycle, 1, flat)
+
+	l2Line := uint64(flat) / uint64(h.cfg.L2.LineWords)
+	h.l2.stats.Accesses++
+	lat += h.cfg.L2.Latency
+	if h.l2.lookup(l2Line, false) {
+		h.l2.stats.Hits++
+		h.record(trace.KindCacheHit, cycle, 2, flat)
+	} else {
+		h.l2.stats.Misses++
+		h.record(trace.KindCacheMiss, cycle, 2, flat)
+		lat += h.cfg.MemLatency
+		h.installL2(cycle, l2Line, false)
+	}
+
+	// Write-allocate into L1; a displaced dirty line is written back into
+	// L2 (write-back policy), possibly rippling a writeback to memory.
+	if evAddr, evDirty, ok := h.l1.install(l1Line, store); ok && evDirty {
+		h.l1.stats.Writebacks++
+		evFlat := int64(evAddr) * int64(h.cfg.L1.LineWords)
+		h.record(trace.KindWriteback, cycle, 1, evFlat)
+		evL2 := uint64(evFlat) / uint64(h.cfg.L2.LineWords)
+		if !h.l2.markDirty(evL2) {
+			h.installL2(cycle, evL2, true)
+		}
+	}
+
+	// A miss occupies an MSHR for its service time; when all slots are
+	// busy the access queues behind the oldest outstanding miss.
+	if !h.cfg.Passthrough {
+		slot := 0
+		for i, free := range h.mshrFree {
+			if free < h.mshrFree[slot] {
+				slot = i
+			}
+		}
+		start := cycle
+		if h.mshrFree[slot] > start {
+			start = h.mshrFree[slot]
+			h.mshrStall += start - cycle
+		}
+		// The slot is busy for the miss's service time; the queueing delay
+		// is charged to the access but must not extend the slot occupancy,
+		// or the backlog would compound its own waiting.
+		h.mshrFree[slot] = start + lat - h.cfg.L1.Latency
+		lat += start - cycle
+	}
+
+	h.totalLatency += lat
+	if h.cfg.Passthrough {
+		return 1
+	}
+	return lat
+}
+
+// installL2 fills an L2 line, writing back a displaced dirty victim to
+// memory (counted, not timed: writebacks drain off the critical path).
+func (h *Hierarchy) installL2(cycle int64, l2Line uint64, dirty bool) {
+	if evAddr, evDirty, ok := h.l2.install(l2Line, dirty); ok && evDirty {
+		h.l2.stats.Writebacks++
+		h.record(trace.KindWriteback, cycle, 2, int64(evAddr)*int64(h.cfg.L2.LineWords))
+	}
+}
+
+// Stats snapshots the hierarchy's counters.
+func (h *Hierarchy) Stats() metrics.CacheStats {
+	out := metrics.CacheStats{
+		L1:              h.l1.stats,
+		L2:              h.l2.stats,
+		Loads:           h.loads,
+		Stores:          h.stores,
+		MSHRStallCycles: h.mshrStall,
+	}
+	if out.L1.Accesses > 0 {
+		out.L1.MissRate = float64(out.L1.Misses) / float64(out.L1.Accesses)
+		out.AMAT = float64(h.totalLatency) / float64(out.L1.Accesses)
+	}
+	if out.L2.Accesses > 0 {
+		out.L2.MissRate = float64(out.L2.Misses) / float64(out.L2.Accesses)
+	}
+	return out
+}

@@ -1,0 +1,312 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// access is one randomized load/store for the property tests.
+type access struct {
+	Store bool
+	Addr  uint16
+}
+
+const propRegionWords = 1 << 12
+
+func propImage() *mem.Image {
+	im := mem.NewImage()
+	im.AddRegion("a", propRegionWords)
+	return im
+}
+
+func runStream(t *testing.T, cfg Config, stream []access) *Hierarchy {
+	t.Helper()
+	h, err := New(cfg, propImage())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range stream {
+		kind := mem.AccessLoad
+		if a.Store {
+			kind = mem.AccessStore
+		}
+		h.Access(int64(i), kind, 0, int64(a.Addr)%propRegionWords)
+	}
+	return h
+}
+
+// TestPropConservation: at every level, accesses == hits + misses, and the
+// L1 access count equals loads + stores, under random access streams.
+func TestPropConservation(t *testing.T) {
+	prop := func(stream []access) bool {
+		h := runStream(t, smallConfig(), stream)
+		st := h.Stats()
+		if st.L1.Accesses != st.L1.Hits+st.L1.Misses {
+			t.Logf("L1: %d accesses != %d hits + %d misses", st.L1.Accesses, st.L1.Hits, st.L1.Misses)
+			return false
+		}
+		if st.L2.Accesses != st.L2.Hits+st.L2.Misses {
+			t.Logf("L2: %d accesses != %d hits + %d misses", st.L2.Accesses, st.L2.Hits, st.L2.Misses)
+			return false
+		}
+		// Every L1 miss probes L2, and nothing else does.
+		if st.L2.Accesses != st.L1.Misses {
+			t.Logf("L2 accesses %d != L1 misses %d", st.L2.Accesses, st.L1.Misses)
+			return false
+		}
+		return st.L1.Accesses == st.Loads+st.Stores
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// refLevel is an independently-written reference model of one
+// set-associative LRU level: recency is an explicit ordered list per set
+// (most recent first) instead of use counters.
+type refLevel struct {
+	sets, ways, line int
+	order            [][]uint64 // per set, line addresses, MRU first
+	dirty            map[uint64]bool
+}
+
+func newRefLevel(cfg LevelConfig) *refLevel {
+	return &refLevel{
+		sets: cfg.Sets, ways: cfg.Ways, line: cfg.LineWords,
+		order: make([][]uint64, cfg.Sets),
+		dirty: make(map[uint64]bool),
+	}
+}
+
+// touch accesses a line address: returns hit, and the evicted dirty line
+// (if any) on miss.
+func (r *refLevel) touch(lineAddr uint64, markDirty bool) (hit bool, evicted uint64, evictedDirty, didEvict bool) {
+	s := lineAddr % uint64(r.sets)
+	for i, l := range r.order[s] {
+		if l == lineAddr {
+			r.order[s] = append(r.order[s][:i], r.order[s][i+1:]...)
+			r.order[s] = append([]uint64{lineAddr}, r.order[s]...)
+			if markDirty {
+				r.dirty[lineAddr] = true
+			}
+			return true, 0, false, false
+		}
+	}
+	if len(r.order[s]) == r.ways {
+		victim := r.order[s][r.ways-1]
+		r.order[s] = r.order[s][:r.ways-1]
+		didEvict = true
+		evicted = victim
+		evictedDirty = r.dirty[victim]
+		delete(r.dirty, victim)
+	}
+	r.order[s] = append([]uint64{lineAddr}, r.order[s]...)
+	if markDirty {
+		r.dirty[lineAddr] = true
+	} else {
+		delete(r.dirty, lineAddr)
+	}
+	return false, evicted, evictedDirty, didEvict
+}
+
+func (r *refLevel) markDirty(lineAddr uint64) bool {
+	s := lineAddr % uint64(r.sets)
+	for _, l := range r.order[s] {
+		if l == lineAddr {
+			r.dirty[lineAddr] = true
+			return true
+		}
+	}
+	return false
+}
+
+func (r *refLevel) contains(lineAddr uint64) bool {
+	s := lineAddr % uint64(r.sets)
+	for _, l := range r.order[s] {
+		if l == lineAddr {
+			return true
+		}
+	}
+	return false
+}
+
+// TestPropMatchesReferenceModel: the hierarchy's per-access hit/miss
+// outcomes and writeback counts match an independently-written two-level
+// reference simulation, line by line, under random streams. This pins the
+// LRU ordering (a hit moves the line to MRU; the LRU way is the victim)
+// and the write-back/write-allocate flow.
+func TestPropMatchesReferenceModel(t *testing.T) {
+	cfg := smallConfig()
+	prop := func(stream []access) bool {
+		h, err := New(cfg, propImage())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref1 := newRefLevel(cfg.L1)
+		ref2 := newRefLevel(cfg.L2)
+		var refL1Hits, refL2Hits, refWB1, refWB2 int64
+		for i, a := range stream {
+			kind := mem.AccessLoad
+			if a.Store {
+				kind = mem.AccessStore
+			}
+			addr := int64(a.Addr) % propRegionWords
+			h.Access(int64(i), kind, 0, addr)
+
+			l1Line := uint64(addr) / uint64(cfg.L1.LineWords)
+			l2Line := uint64(addr) / uint64(cfg.L2.LineWords)
+			hit1, ev, evDirty, did := ref1.touch(l1Line, a.Store)
+			if hit1 {
+				refL1Hits++
+				continue
+			}
+			hit2, _, ev2Dirty, did2 := ref2.touch(l2Line, false)
+			if hit2 {
+				refL2Hits++
+			} else if did2 && ev2Dirty {
+				refWB2++ // demand fill spilled a dirty L2 victim
+			}
+			if did && evDirty {
+				refWB1++
+				evL2 := ev * uint64(cfg.L1.LineWords) / uint64(cfg.L2.LineWords)
+				if !ref2.markDirty(evL2) {
+					if _, _, ev2Dirty, did2 := ref2.touch(evL2, true); did2 && ev2Dirty {
+						refWB2++
+					}
+				}
+			}
+		}
+		st := h.Stats()
+		if st.L1.Hits != refL1Hits || st.L2.Hits != refL2Hits {
+			t.Logf("hits diverge: L1 %d vs ref %d, L2 %d vs ref %d",
+				st.L1.Hits, refL1Hits, st.L2.Hits, refL2Hits)
+			return false
+		}
+		if st.L1.Writebacks != refWB1 || st.L2.Writebacks != refWB2 {
+			t.Logf("writebacks diverge: L1 %d vs ref %d, L2 %d vs ref %d",
+				st.L1.Writebacks, refWB1, st.L2.Writebacks, refWB2)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// l2LineState probes L2 for a line address without touching LRU order
+// (white-box helper for the inclusion property).
+func l2LineState(h *Hierarchy, l2Line uint64) (resident, dirty bool) {
+	set := h.l2.sets[l2Line%uint64(h.cfg.L2.Sets)]
+	tag := l2Line / uint64(h.cfg.L2.Sets)
+	for _, l := range set {
+		if l.valid && l.tag == tag {
+			return true, l.dirty
+		}
+	}
+	return false, false
+}
+
+// TestPropDirtyInclusionAtWriteback: whenever the hierarchy writes a dirty
+// line back out of L1, that exact line is resident and dirty in L2
+// immediately afterwards (unless installing it made L2 spill its own dirty
+// victim to memory, which the L2 writeback event accounts for) — dirty
+// data is never dropped on the floor.
+func TestPropDirtyInclusionAtWriteback(t *testing.T) {
+	cfg := smallConfig()
+	prop := func(stream []access) bool {
+		rec := trace.NewRecorder(1 << 16)
+		c := cfg
+		c.Tracer = rec
+		h, err := New(c, propImage())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var lastSeq int
+		for i, a := range stream {
+			kind := mem.AccessLoad
+			if a.Store {
+				kind = mem.AccessStore
+			}
+			h.Access(int64(i), kind, 0, int64(a.Addr)%propRegionWords)
+			events := rec.Events()
+			for _, e := range events[lastSeq:] {
+				if e.Kind != trace.KindWriteback || e.Port != 1 {
+					continue
+				}
+				l2Line := uint64(e.Val) / uint64(c.L2.LineWords)
+				resident, dirty := l2LineState(h, l2Line)
+				if !resident || !dirty {
+					t.Logf("access %d: L1 wrote back line at flat %d but L2 resident=%v dirty=%v",
+						i, e.Val, resident, dirty)
+					return false
+				}
+			}
+			lastSeq = len(events)
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropLRUStack: the LRU stack (inclusion) property — with the same set
+// count and line size, a cache with more ways holds a superset of a
+// smaller cache's lines at every instant, so its hit count never drops.
+// Repeated hits are the interesting case: hitting a line must protect it
+// in both caches equally (MRU promotion), or the orderings diverge.
+func TestPropLRUStack(t *testing.T) {
+	prop := func(stream []access) bool {
+		prev := int64(-1)
+		for _, ways := range []int{1, 2, 4, 8} {
+			cfg := smallConfig()
+			cfg.L1.Ways = ways
+			h := runStream(t, cfg, stream)
+			hits := h.Stats().L1.Hits
+			if prev >= 0 && hits < prev {
+				t.Logf("ways=%d got %d hits, fewer than %d with half the ways", ways, hits, prev)
+				return false
+			}
+			prev = hits
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropTimingIndependence: the sequence of hits and misses depends only
+// on the address stream, never on the cycle stamps (timing-only model).
+func TestPropTimingIndependence(t *testing.T) {
+	prop := func(stream []access, seed int64) bool {
+		a := runStream(t, smallConfig(), stream)
+
+		h, err := New(smallConfig(), propImage())
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(seed))
+		cyc := int64(0)
+		for _, acc := range stream {
+			kind := mem.AccessLoad
+			if acc.Store {
+				kind = mem.AccessStore
+			}
+			cyc += rng.Int63n(100)
+			h.Access(cyc, kind, 0, int64(acc.Addr)%propRegionWords)
+		}
+		sa, sb := a.Stats(), h.Stats()
+		sa.AMAT, sb.AMAT = 0, 0 // MSHR queueing is timing-dependent by design
+		sa.MSHRStallCycles, sb.MSHRStallCycles = 0, 0
+		return sa == sb
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,245 @@
+package cache
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// oneRegionImage builds an image with a single region of the given size.
+func oneRegionImage(t *testing.T, words int) *mem.Image {
+	t.Helper()
+	im := mem.NewImage()
+	im.AddRegion("a", words)
+	return im
+}
+
+// smallConfig is a tiny, fully-exercisable hierarchy: 4-set x 2-way x
+// 4-word L1 (32 words), 8-set x 2-way x 4-word L2 (64 words).
+func smallConfig() Config {
+	return Config{
+		L1:         LevelConfig{Sets: 4, Ways: 2, LineWords: 4, Latency: 1},
+		L2:         LevelConfig{Sets: 8, Ways: 2, LineWords: 4, Latency: 4},
+		MemLatency: 20,
+		MSHRs:      4,
+	}
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	h, err := New(smallConfig(), oneRegionImage(t, 256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cold access misses both levels: 1 + 4 + 20 cycles.
+	if lat := h.Access(0, mem.AccessLoad, 0, 0); lat != 25 {
+		t.Fatalf("cold miss latency = %d, want 25", lat)
+	}
+	// Same line hits L1 at 1 cycle.
+	if lat := h.Access(30, mem.AccessLoad, 0, 3); lat != 1 {
+		t.Fatalf("L1 hit latency = %d, want 1", lat)
+	}
+	st := h.Stats()
+	if st.L1.Accesses != 2 || st.L1.Hits != 1 || st.L1.Misses != 1 {
+		t.Fatalf("L1 stats = %+v, want 2 accesses, 1 hit, 1 miss", st.L1)
+	}
+	if st.L2.Accesses != 1 || st.L2.Misses != 1 {
+		t.Fatalf("L2 stats = %+v, want 1 access, 1 miss", st.L2)
+	}
+	if st.Loads != 2 || st.Stores != 0 {
+		t.Fatalf("loads/stores = %d/%d, want 2/0", st.Loads, st.Stores)
+	}
+	if st.AMAT != 13 { // (25 + 1) / 2
+		t.Fatalf("AMAT = %v, want 13", st.AMAT)
+	}
+}
+
+func TestL2HitAfterL1Evict(t *testing.T) {
+	h, err := New(smallConfig(), oneRegionImage(t, 256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three lines mapping to L1 set 0 (stride = sets*line = 16 words):
+	// the third evicts the first from the 2-way L1, but all three fit in
+	// L2 (which has 8 sets, so they land in different L2 sets... same
+	// spacing maps them to L2 sets 0 and 4 — all resident).
+	for _, addr := range []int64{0, 16, 32} {
+		h.Access(0, mem.AccessLoad, 0, addr)
+	}
+	// Address 0 was evicted from L1 but must still hit in L2: 1 + 4.
+	if lat := h.Access(10, mem.AccessLoad, 0, 0); lat != 5 {
+		t.Fatalf("L2 hit latency = %d, want 5", lat)
+	}
+	st := h.Stats()
+	if st.L2.Hits != 1 {
+		t.Fatalf("L2 hits = %d, want 1", st.L2.Hits)
+	}
+	if st.L1.Evictions == 0 {
+		t.Fatalf("expected L1 evictions, got none")
+	}
+}
+
+func TestLRUVictimSelection(t *testing.T) {
+	h, err := New(smallConfig(), oneRegionImage(t, 256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Access(0, mem.AccessLoad, 0, 0)  // line 0 -> set 0
+	h.Access(1, mem.AccessLoad, 0, 16) // line 4 -> set 0
+	h.Access(2, mem.AccessLoad, 0, 0)  // touch line 0 again: line 4 is now LRU
+	h.Access(3, mem.AccessLoad, 0, 32) // line 8 -> set 0, must evict line 4
+	if lat := h.Access(4, mem.AccessLoad, 0, 0); lat != 1 {
+		t.Fatalf("recently-used line was evicted (latency %d, want 1)", lat)
+	}
+}
+
+func TestWritebackOnDirtyEviction(t *testing.T) {
+	rec := trace.NewRecorder(1024)
+	cfg := smallConfig()
+	cfg.Tracer = rec
+	h, err := New(cfg, oneRegionImage(t, 256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Access(0, mem.AccessStore, 0, 0) // dirty line 0 in set 0
+	h.Access(1, mem.AccessLoad, 0, 16)
+	h.Access(2, mem.AccessLoad, 0, 32) // evicts dirty line 0 -> L2 writeback
+	st := h.Stats()
+	if st.L1.Writebacks != 1 {
+		t.Fatalf("L1 writebacks = %d, want 1", st.L1.Writebacks)
+	}
+	var sawWB bool
+	for _, e := range rec.Events() {
+		if e.Kind == trace.KindWriteback && e.Port == 1 && e.Val == 0 {
+			sawWB = true
+		}
+	}
+	if !sawWB {
+		t.Fatalf("no KindWriteback event for line 0 recorded")
+	}
+}
+
+func TestCleanEvictionNoWriteback(t *testing.T) {
+	h, err := New(smallConfig(), oneRegionImage(t, 256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, addr := range []int64{0, 16, 32, 48} {
+		h.Access(0, mem.AccessLoad, 0, addr)
+	}
+	if st := h.Stats(); st.L1.Writebacks != 0 || st.L2.Writebacks != 0 {
+		t.Fatalf("clean evictions produced writebacks: %+v / %+v", st.L1, st.L2)
+	}
+}
+
+func TestRegionsNeverShareLines(t *testing.T) {
+	im := mem.NewImage()
+	im.AddRegion("a", 2) // 2 words, padded to a full line
+	im.AddRegion("b", 2)
+	h, err := New(smallConfig(), im)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Access(0, mem.AccessLoad, 0, 0)
+	// Same word address in the other region must be a separate line.
+	if lat := h.Access(1, mem.AccessLoad, 1, 0); lat == 1 {
+		t.Fatalf("regions a[0] and b[0] share a cache line")
+	}
+}
+
+func TestMSHRQueueing(t *testing.T) {
+	cfg := smallConfig()
+	cfg.MSHRs = 1
+	h, err := New(cfg, oneRegionImage(t, 256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two same-cycle misses through one MSHR: the second queues behind
+	// the first's service time.
+	lat1 := h.Access(0, mem.AccessLoad, 0, 0)
+	lat2 := h.Access(0, mem.AccessLoad, 0, 64)
+	if lat2 <= lat1 {
+		t.Fatalf("second miss (%d cyc) not delayed behind first (%d cyc) by the single MSHR", lat2, lat1)
+	}
+	if st := h.Stats(); st.MSHRStallCycles == 0 {
+		t.Fatalf("MSHR stall cycles not counted")
+	}
+}
+
+func TestPassthroughTimingNeutralButCounted(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Passthrough = true
+	h, err := New(cfg, oneRegionImage(t, 256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 64; i++ {
+		if lat := h.Access(i, mem.AccessLoad, 0, i*4%256); lat != 1 {
+			t.Fatalf("passthrough access latency = %d, want 1", lat)
+		}
+	}
+	st := h.Stats()
+	if st.L1.Accesses != 64 || st.L1.Misses == 0 {
+		t.Fatalf("passthrough did not keep counting: %+v", st.L1)
+	}
+	if st.AMAT <= 1 {
+		t.Fatalf("passthrough AMAT = %v, want > 1 (configured latencies)", st.AMAT)
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	base := DefaultConfig().L1
+	got, err := ParseLevel(base, "sets=8, ways=4, line=2, lat=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := LevelConfig{Sets: 8, Ways: 4, LineWords: 2, Latency: 3}
+	if got != want {
+		t.Fatalf("ParseLevel = %+v, want %+v", got, want)
+	}
+	if got, err := ParseLevel(base, "ways=8"); err != nil || got.Ways != 8 || got.Sets != base.Sets {
+		t.Fatalf("partial overlay failed: %+v, %v", got, err)
+	}
+	if _, err := ParseLevel(base, "bogus=1"); err == nil {
+		t.Fatalf("unknown key accepted")
+	}
+	if _, err := ParseLevel(base, "sets"); err == nil {
+		t.Fatalf("missing value accepted")
+	}
+	if _, err := ParseLevel(base, "sets=x"); err == nil {
+		t.Fatalf("non-numeric value accepted")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	im := oneRegionImage(t, 16)
+	bad := smallConfig()
+	bad.L1.Ways = 0
+	if _, err := New(bad, im); err == nil || !strings.Contains(err.Error(), "L1") {
+		t.Fatalf("zero-way L1 accepted: %v", err)
+	}
+	bad = smallConfig()
+	bad.L2.Latency = 0
+	if _, err := New(bad, im); err == nil {
+		t.Fatalf("zero-latency L2 accepted")
+	}
+	// The zero config picks up every default.
+	if _, err := New(Config{}, im); err != nil {
+		t.Fatalf("zero config rejected: %v", err)
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	d := DefaultConfig().Describe()
+	for _, want := range []string{"L1=256w", "L2=4096w", "mem=30cyc", "mshrs=8"} {
+		if !strings.Contains(d, want) {
+			t.Fatalf("Describe() = %q, missing %q", d, want)
+		}
+	}
+	pc := DefaultConfig()
+	pc.Passthrough = true
+	if !strings.Contains(pc.Describe(), "passthrough") {
+		t.Fatalf("passthrough not reflected in Describe: %q", pc.Describe())
+	}
+}

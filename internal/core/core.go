@@ -39,6 +39,7 @@ import (
 	"sort"
 
 	"repro/internal/dfg"
+	"repro/internal/mem"
 	"repro/internal/trace"
 )
 
@@ -109,6 +110,12 @@ type Config struct {
 	// values model unpredictable-latency memory, the setting that
 	// motivates tagged dataflow for irregular workloads (Sec. II-C).
 	LoadLatency int
+
+	// Memory, when non-nil, is the memory-hierarchy timing model every
+	// load and store is routed through (see internal/cache). The returned
+	// per-access latency delays the load result / store completion token,
+	// superseding the fixed LoadLatency. Nil keeps the ideal flat memory.
+	Memory mem.AccessModel
 
 	// MaxCycles aborts runaway simulations. Zero selects a large default.
 	MaxCycles int64

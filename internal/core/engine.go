@@ -445,6 +445,38 @@ func (m *machine) emitAll(n *dfg.Node, out int, tag uint64, val int64) {
 	}
 }
 
+// memLatency resolves the latency of one memory access: the attached
+// hierarchy model when configured, else the fixed LoadLatency for loads
+// (stores complete in a cycle on the ideal flat memory, as in the seed).
+func (m *machine) memLatency(kind mem.AccessKind, nid dfg.NodeID, addr int64) int64 {
+	if m.cfg.Memory != nil {
+		return m.cfg.Memory.Access(m.cycle, kind, m.info[nid].memIdx, addr)
+	}
+	if kind == mem.AccessLoad {
+		return int64(m.cfg.LoadLatency)
+	}
+	return 1
+}
+
+// emitAllDelayed fans a value out to every destination of an output port,
+// with delivery deferred to the due cycle (the multi-cycle memory path).
+// The tokens count as live from emission, like their prompt counterparts.
+func (m *machine) emitAllDelayed(n *dfg.Node, out int, tag uint64, val int64, due int64) {
+	for _, d := range n.Outs[out] {
+		m.delayed[due] = append(m.delayed[due], token{to: d, src: n.ID, tag: tag, val: val})
+		m.delayedCount++
+		m.live++
+		blk := m.g.Nodes[d.Node].Block
+		m.liveByBlock[blk]++
+		if m.liveByBlock[blk] > m.peakByBlock[blk] {
+			m.peakByBlock[blk] = m.liveByBlock[blk]
+		}
+		if m.perTagLive != nil {
+			m.perTagLive[tag]++
+		}
+	}
+}
+
 func (m *machine) consumeOne(blk dfg.BlockID, tag uint64) {
 	m.live--
 	m.liveByBlock[blk]--
@@ -598,23 +630,10 @@ func (m *machine) fire(ref fireRef) (bool, error) {
 			m.rec.Record(trace.Event{Cycle: m.cycle, Kind: trace.KindMemLoad,
 				Node: int32(ref.node), Block: int32(n.Block), Tag: ref.tag, Val: v[0]})
 		}
-		if m.cfg.LoadLatency > 1 {
+		if lat := m.memLatency(mem.AccessLoad, ref.node, v[0]); lat > 1 {
 			// The value returns after the memory latency; barrier and
 			// ordering consumers wait along with everyone else.
-			due := m.cycle + int64(m.cfg.LoadLatency)
-			for _, d := range n.Outs[dfg.LoadValOut] {
-				m.delayed[due] = append(m.delayed[due], token{to: d, src: n.ID, tag: ref.tag, val: val})
-				m.delayedCount++
-				m.live++
-				blk := m.g.Nodes[d.Node].Block
-				m.liveByBlock[blk]++
-				if m.liveByBlock[blk] > m.peakByBlock[blk] {
-					m.peakByBlock[blk] = m.liveByBlock[blk]
-				}
-				if m.perTagLive != nil {
-					m.perTagLive[ref.tag]++
-				}
-			}
+			m.emitAllDelayed(n, dfg.LoadValOut, ref.tag, val, m.cycle+lat)
 		} else {
 			m.emitAll(n, dfg.LoadValOut, ref.tag, val)
 		}
@@ -626,7 +645,13 @@ func (m *machine) fire(ref fireRef) (bool, error) {
 			m.rec.Record(trace.Event{Cycle: m.cycle, Kind: trace.KindMemStore,
 				Node: int32(ref.node), Block: int32(n.Block), Tag: ref.tag, Val: v[0]})
 		}
-		m.emitAll(n, dfg.StoreCtrlOut, ref.tag, 0)
+		// The word is written at fire time (the model shapes time, not
+		// values); only the completion token waits out the access latency.
+		if lat := m.memLatency(mem.AccessStore, ref.node, v[0]); lat > 1 {
+			m.emitAllDelayed(n, dfg.StoreCtrlOut, ref.tag, 0, m.cycle+lat)
+		} else {
+			m.emitAll(n, dfg.StoreCtrlOut, ref.tag, 0)
+		}
 	case dfg.OpSteer:
 		out := dfg.SteerFalseOut
 		if v[0] != 0 {

@@ -126,6 +126,17 @@ func ExportCSV(name string, cfg ExpConfig, dir string) (string, error) {
 				rows = append(rows, []string{sys, strconv.Itoa(lat), i64(d.Cycles[sys][lat])})
 			}
 		}
+	case "locality":
+		d, _, err := Locality(cfg)
+		if err != nil {
+			return "", err
+		}
+		rows = append(rows, []string{"app", "row", "l1_words", "l1_miss", "l2_miss", "amat", "cycles", "peak_live"})
+		for _, p := range d.Points {
+			rows = append(rows, []string{p.App, p.Row, strconv.Itoa(p.L1Words),
+				fmt.Sprintf("%.4f", p.L1Miss), fmt.Sprintf("%.4f", p.L2Miss),
+				fmt.Sprintf("%.2f", p.AMAT), i64(p.Cycles), i64(p.PeakLive)})
+		}
 	case "abl-queue":
 		d, _, err := AblQueue(cfg)
 		if err != nil {

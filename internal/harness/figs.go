@@ -675,7 +675,7 @@ func Table2(cfg ExpConfig) (*Table2Data, string, error) {
 // presentation order, then the Sec. VIII ablations.
 var Experiments = []string{
 	"tab2", "fig2", "fig9", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
-	"abl-tags", "abl-queue", "uarch", "latency",
+	"abl-tags", "abl-queue", "uarch", "latency", "locality",
 }
 
 // RunExperiment dispatches by name and returns the rendered report.
@@ -713,6 +713,8 @@ func RunExperiment(name string, cfg ExpConfig) (string, error) {
 		_, report, err = Uarch(cfg)
 	case "latency":
 		_, report, err = Latency(cfg)
+	case "locality":
+		_, report, err = Locality(cfg)
 	default:
 		names := append([]string(nil), Experiments...)
 		sort.Strings(names)

@@ -12,8 +12,10 @@ import (
 	"time"
 
 	"repro/internal/apps"
+	"repro/internal/cache"
 	"repro/internal/compile"
 	"repro/internal/core"
+	"repro/internal/mem"
 	"repro/internal/metrics"
 	"repro/internal/ordered"
 	"repro/internal/seqdf"
@@ -43,6 +45,11 @@ type SysConfig struct {
 	// LoadLatency models multi-cycle memory on every machine (0 or 1 =
 	// the paper's single-cycle memory).
 	LoadLatency int
+	// Cache, when non-nil, routes every load and store through a fresh
+	// memory hierarchy built from this config (internal/cache), and the
+	// run's cache counters land in RunStats.Cache. Nil keeps the ideal
+	// flat memory, bit-identical to the pre-cache behavior.
+	Cache *cache.Config
 	// TracePoints caps state traces (0 = engine default).
 	TracePoints int
 	// SkipCheck disables output validation (only for deadlock demos,
@@ -58,6 +65,11 @@ type SysConfig struct {
 	// Telemetry, when non-nil, collects the RunStats of every run for
 	// machine-readable export (WriteTelemetry).
 	Telemetry *Telemetry
+
+	// imageSink, when non-nil, receives the run's final memory image
+	// (test-only plumbing: the cache-equivalence guard compares images
+	// word for word across configurations).
+	imageSink **mem.Image
 }
 
 func (c SysConfig) withDefaults() SysConfig {
@@ -88,6 +100,29 @@ func Run(app *apps.App, system string, cfg SysConfig) (metrics.RunStats, error) 
 	return rs, err
 }
 
+// newHierarchy builds the per-run cache model when one is configured,
+// stamping the run's tracer into it so cache events join the event stream.
+// Returns nil (no model) when SysConfig.Cache is nil.
+func newHierarchy(cfg SysConfig, im *mem.Image) (*cache.Hierarchy, error) {
+	if cfg.Cache == nil {
+		return nil, nil
+	}
+	cc := *cfg.Cache
+	if cc.Tracer == nil {
+		cc.Tracer = cfg.Tracer
+	}
+	return cache.New(cc, im)
+}
+
+// attachCache snapshots the hierarchy's counters into the run record.
+func attachCache(rs *metrics.RunStats, h *cache.Hierarchy) {
+	if h == nil {
+		return
+	}
+	cs := h.Stats()
+	rs.Cache = &cs
+}
+
 func runSystem(app *apps.App, system string, cfg SysConfig) (metrics.RunStats, error) {
 	cfg = cfg.withDefaults()
 	rs := metrics.RunStats{System: system, App: app.Name}
@@ -95,10 +130,21 @@ func runSystem(app *apps.App, system string, cfg SysConfig) (metrics.RunStats, e
 	switch system {
 	case SysVN:
 		im := app.NewImage()
+		if cfg.imageSink != nil {
+			*cfg.imageSink = im
+		}
 		if cfg.Tracer != nil {
 			cfg.Tracer.SetMeta(trace.Meta{Program: app.Name, System: system})
 		}
-		res, err := vn.Run(app.Prog, im, vn.Config{Args: app.Args, LoadLatency: cfg.LoadLatency, TracePoints: cfg.TracePoints, Tracer: cfg.Tracer})
+		hier, err := newHierarchy(cfg, im)
+		if err != nil {
+			return rs, err
+		}
+		vcfg := vn.Config{Args: app.Args, LoadLatency: cfg.LoadLatency, TracePoints: cfg.TracePoints, Tracer: cfg.Tracer}
+		if hier != nil {
+			vcfg.Memory = hier
+		}
+		res, err := vn.Run(app.Prog, im, vcfg)
 		if err != nil {
 			return rs, err
 		}
@@ -113,18 +159,30 @@ func runSystem(app *apps.App, system string, cfg SysConfig) (metrics.RunStats, e
 		rs.IPCHist = res.IPCHist
 		rs.Trace = convertTrace(res.Trace)
 		rs.Note = res.Note
+		attachCache(&rs, hier)
 		return rs, nil
 
 	case SysSeqDF:
 		im := app.NewImage()
+		if cfg.imageSink != nil {
+			*cfg.imageSink = im
+		}
 		if cfg.Tracer != nil {
 			cfg.Tracer.SetMeta(trace.Meta{Program: app.Name, System: system})
 		}
-		res, err := seqdf.Run(app.Prog, im, seqdf.Config{
+		hier, err := newHierarchy(cfg, im)
+		if err != nil {
+			return rs, err
+		}
+		scfg := seqdf.Config{
 			Args: app.Args, IssueWidth: cfg.IssueWidth,
 			LoadLatency: int64(cfg.LoadLatency), TracePoints: cfg.TracePoints,
 			Tracer: cfg.Tracer,
-		})
+		}
+		if hier != nil {
+			scfg.Memory = hier
+		}
+		res, err := seqdf.Run(app.Prog, im, scfg)
 		if err != nil {
 			return rs, err
 		}
@@ -139,6 +197,7 @@ func runSystem(app *apps.App, system string, cfg SysConfig) (metrics.RunStats, e
 		rs.IPCHist = res.IPCHist
 		rs.Trace = convertTrace(res.Trace)
 		rs.Note = res.Note
+		attachCache(&rs, hier)
 		return rs, nil
 
 	case SysOrdered:
@@ -147,14 +206,25 @@ func runSystem(app *apps.App, system string, cfg SysConfig) (metrics.RunStats, e
 			return rs, err
 		}
 		im := app.NewImage()
+		if cfg.imageSink != nil {
+			*cfg.imageSink = im
+		}
 		if cfg.Tracer != nil {
 			cfg.Tracer.SetMeta(trace.MetaFromGraph(app.Name, system, g))
 		}
-		res, err := ordered.Run(g, im, ordered.Config{
+		hier, err := newHierarchy(cfg, im)
+		if err != nil {
+			return rs, err
+		}
+		ocfg := ordered.Config{
 			IssueWidth: cfg.IssueWidth, QueueCap: cfg.QueueCap,
 			LoadLatency: cfg.LoadLatency, TracePoints: cfg.TracePoints,
 			Tracer: cfg.Tracer,
-		})
+		}
+		if hier != nil {
+			ocfg.Memory = hier
+		}
+		res, err := ordered.Run(g, im, ocfg)
 		if err != nil {
 			return rs, err
 		}
@@ -169,6 +239,7 @@ func runSystem(app *apps.App, system string, cfg SysConfig) (metrics.RunStats, e
 		rs.IPCHist = res.IPCHist
 		rs.Trace = convertTrace(res.Trace)
 		rs.Note = res.Note
+		attachCache(&rs, hier)
 		return rs, nil
 
 	case SysUnordered, SysTyr:
@@ -194,8 +265,18 @@ func runSystem(app *apps.App, system string, cfg SysConfig) (metrics.RunStats, e
 			ecfg.Policy = core.PolicyGlobalUnlimited
 		}
 		im := app.NewImage()
+		if cfg.imageSink != nil {
+			*cfg.imageSink = im
+		}
 		if cfg.Tracer != nil {
 			cfg.Tracer.SetMeta(trace.MetaFromGraph(app.Name, system, g))
+		}
+		hier, err := newHierarchy(cfg, im)
+		if err != nil {
+			return rs, err
+		}
+		if hier != nil {
+			ecfg.Memory = hier
 		}
 		res, err := core.Run(g, im, ecfg)
 		if err != nil {
@@ -209,6 +290,7 @@ func runSystem(app *apps.App, system string, cfg SysConfig) (metrics.RunStats, e
 		rs.Trace = convertCoreTrace(res.Trace)
 		rs.PeakTags = res.PeakTags
 		rs.Note = res.Note
+		attachCache(&rs, hier)
 		if res.Deadlocked {
 			rs.Note = res.Note + "; " + res.Deadlock.String()
 			return rs, nil

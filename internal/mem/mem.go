@@ -13,6 +13,34 @@ import (
 	"sort"
 )
 
+// AccessKind distinguishes loads from stores for AccessModel hooks.
+type AccessKind uint8
+
+const (
+	AccessLoad AccessKind = iota
+	AccessStore
+)
+
+func (k AccessKind) String() string {
+	if k == AccessStore {
+		return "store"
+	}
+	return "load"
+}
+
+// AccessModel is the pluggable memory-system timing hook every simulated
+// architecture routes its loads and stores through. Access receives the
+// current simulated cycle, the access kind, and the (region, word address)
+// pair, and returns the access latency in cycles (>= 1). A model returning
+// 1 for every access is timing-equivalent to the ideal flat memory; the
+// multi-level hierarchy in internal/cache returns hit/miss-dependent
+// latencies. Data always moves through the Image directly — an AccessModel
+// shapes time, never values — so simulated results are independent of the
+// attached model by construction.
+type AccessModel interface {
+	Access(cycle int64, kind AccessKind, region int, addr int64) int64
+}
+
 // Region is a single named array of words.
 type Region struct {
 	Name  string

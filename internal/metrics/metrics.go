@@ -39,6 +39,32 @@ type RunStats struct {
 	// WallNS is the host wall-clock time of the run in nanoseconds (the
 	// simulator's own cost, not simulated time).
 	WallNS int64 `json:"wall_ns,omitempty"`
+	// Cache holds the memory-hierarchy counters when the run went through
+	// internal/cache (nil on the ideal flat-memory path).
+	Cache *CacheStats `json:"cache,omitempty"`
+}
+
+// CacheLevelStats reports one cache level's counters for a run.
+type CacheLevelStats struct {
+	Accesses   int64   `json:"accesses"`
+	Hits       int64   `json:"hits"`
+	Misses     int64   `json:"misses"`
+	Evictions  int64   `json:"evictions"`
+	Writebacks int64   `json:"writebacks"`
+	MissRate   float64 `json:"miss_rate"`
+}
+
+// CacheStats reports the memory hierarchy's behavior over a run. AMAT is
+// the average memory access time in cycles under the configured latencies
+// (hierarchy latency charged per access / total accesses), meaningful even
+// when the hierarchy ran in timing-neutral passthrough mode.
+type CacheStats struct {
+	L1              CacheLevelStats `json:"l1"`
+	L2              CacheLevelStats `json:"l2"`
+	Loads           int64           `json:"loads"`
+	Stores          int64           `json:"stores"`
+	AMAT            float64         `json:"amat"`
+	MSHRStallCycles int64           `json:"mshr_stall_cycles,omitempty"`
 }
 
 // IPC returns mean instructions per cycle.

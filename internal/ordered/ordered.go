@@ -29,6 +29,10 @@ type Config struct {
 	// LoadLatency is the cycles a load takes to return (0 or 1 = the
 	// paper's single-cycle memory).
 	LoadLatency int
+	// Memory, when non-nil, is the memory-hierarchy timing model loads and
+	// stores route through (see internal/cache); its per-access latency
+	// supersedes LoadLatency. Nil keeps the ideal flat memory.
+	Memory mem.AccessModel
 	// MaxCycles aborts runaway simulations.
 	MaxCycles int64
 	// TracePoints caps the live-state trace (0 = default, negative = off).
@@ -129,10 +133,13 @@ type machine struct {
 
 	// delayed holds load results completing in future cycles; inFlight
 	// counts them per destination port so backpressure accounts for
-	// memory responses that have not landed yet.
+	// memory responses that have not landed yet, and lastDue serializes
+	// responses into each queue (positional synchronization means a later
+	// cache hit must not overtake an earlier miss on the same edge).
 	delayed      map[int64][]push
 	delayedCount int
 	inFlight     map[dfg.Port]int
+	lastDue      map[dfg.Port]int64
 
 	// producersOf[node] lists nodes whose outputs feed node's inputs, so
 	// freed queue space can re-arm them.
@@ -175,6 +182,7 @@ func Run(g *dfg.Graph, im *mem.Image, cfg Config) (Result, error) {
 		nextDirty: make(map[dfg.NodeID]bool),
 		delayed:   make(map[int64][]push),
 		inFlight:  make(map[dfg.Port]int),
+		lastDue:   make(map[dfg.Port]int64),
 		ipcHist:   make(map[int]int64),
 		rec:       cfg.Tracer,
 	}
@@ -303,6 +311,59 @@ func (m *machine) emit(n *dfg.Node, out int, val int64) {
 	}
 }
 
+// memLatency resolves one memory access's latency: the attached hierarchy
+// model when configured, else the fixed LoadLatency for loads (stores
+// complete in a cycle on the ideal flat memory, as in the seed).
+func (m *machine) memLatency(kind mem.AccessKind, region int, addr int64) int64 {
+	if m.cfg.Memory != nil {
+		return m.cfg.Memory.Access(m.cycle, kind, m.memIdx[region], addr)
+	}
+	if kind == mem.AccessLoad {
+		return int64(m.cfg.LoadLatency)
+	}
+	return 1
+}
+
+// emitMem stages a memory response. Single-cycle responses take the normal
+// staged path unless earlier responses to the same queue are still in
+// flight; anything else is deferred, clamped to arrive no earlier than the
+// previous response into each destination queue. The queues synchronize
+// positionally, so a later access (say, a cache hit) must never overtake
+// an earlier one (a miss) on the same edge — that would hand the i-th
+// instance the j-th value. In-flight tokens still occupy queue space for
+// backpressure purposes.
+func (m *machine) emitMem(n *dfg.Node, out int, val int64, lat int64) {
+	if lat <= 1 && !m.memPending(n, out) {
+		m.emit(n, out, val)
+		return
+	}
+	for _, d := range n.Outs[out] {
+		due := m.cycle + lat
+		if due <= m.cycle {
+			due = m.cycle + 1 // this cycle's due tokens already delivered
+		}
+		if due < m.lastDue[d] {
+			due = m.lastDue[d]
+		}
+		m.lastDue[d] = due
+		m.delayed[due] = append(m.delayed[due], push{to: d, src: n.ID, val: val})
+		m.delayedCount++
+		m.inFlight[d]++
+		m.live++
+	}
+}
+
+// memPending reports whether any destination queue of (node, out) still
+// awaits an in-flight memory response.
+func (m *machine) memPending(n *dfg.Node, out int) bool {
+	for _, d := range n.Outs[out] {
+		if m.inFlight[d] > 0 {
+			return true
+		}
+	}
+	return false
+}
+
 // fireNode executes one node, popping inputs immediately and staging
 // outputs for delivery at the end of the cycle.
 func (m *machine) fireNode(nid dfg.NodeID) error {
@@ -359,17 +420,7 @@ func (m *machine) fireNode(nid dfg.NodeID) error {
 			m.rec.Record(trace.Event{Cycle: m.cycle, Kind: trace.KindMemLoad,
 				Node: int32(nid), Block: int32(n.Block), Val: v})
 		}
-		if m.cfg.LoadLatency > 1 {
-			due := m.cycle + int64(m.cfg.LoadLatency)
-			for _, d := range n.Outs[dfg.LoadValOut] {
-				m.delayed[due] = append(m.delayed[due], push{to: d, src: n.ID, val: v})
-				m.delayedCount++
-				m.inFlight[d]++
-				m.live++
-			}
-		} else {
-			m.emit(n, dfg.LoadValOut, v)
-		}
+		m.emitMem(n, dfg.LoadValOut, v, m.memLatency(mem.AccessLoad, n.Region, addr))
 	case dfg.OpStore:
 		addr := m.input(n, 0)
 		val := m.input(n, 1)
@@ -383,7 +434,8 @@ func (m *machine) fireNode(nid dfg.NodeID) error {
 			m.rec.Record(trace.Event{Cycle: m.cycle, Kind: trace.KindMemStore,
 				Node: int32(nid), Block: int32(n.Block), Val: val})
 		}
-		m.emit(n, dfg.StoreCtrlOut, 0)
+		// The word lands at fire time; only the ordering token waits.
+		m.emitMem(n, dfg.StoreCtrlOut, 0, m.memLatency(mem.AccessStore, n.Region, addr))
 	case dfg.OpForward, dfg.OpJoin:
 		vals := make([]int64, n.NIn)
 		for in := 0; in < n.NIn; in++ {

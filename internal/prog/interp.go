@@ -62,6 +62,15 @@ type CostModel interface {
 	Boundary(kind BoundaryKind, live int)
 }
 
+// MemModel is an optional CostModel extension. A cost model implementing
+// it also receives the (region, word address) of every load and store,
+// immediately before the corresponding Instr call, so memory-hierarchy
+// timing models can charge address-dependent latencies (internal/vn and
+// internal/seqdf use this to route accesses through internal/cache).
+type MemModel interface {
+	Mem(kind mem.AccessKind, region int, addr int64)
+}
+
 // nopModel is used when no cost model is attached.
 type nopModel struct{}
 
@@ -129,6 +138,7 @@ func Run(p *Program, im *mem.Image, cfg RunConfig) (Result, error) {
 	if it.cm == nil {
 		it.cm = nopModel{}
 	}
+	it.mm, _ = it.cm.(MemModel)
 	if it.maxSteps == 0 {
 		it.maxSteps = defaultMaxSteps
 	}
@@ -163,6 +173,7 @@ type interp struct {
 	p        *Program
 	im       *mem.Image
 	cm       CostModel
+	mm       MemModel // non-nil when cm also implements MemModel
 	maxSteps int64
 	stats    Stats
 	regions  map[string]int
@@ -322,6 +333,13 @@ func (it *interp) stmt(s Stmt) error {
 		if err := it.count(ClassStore); err != nil {
 			return err
 		}
+		region, ok := it.regions[st.Mem]
+		if !ok {
+			return it.runErr("store to unknown region %q", st.Mem)
+		}
+		if it.mm != nil {
+			it.mm.Mem(mem.AccessStore, region, addr)
+		}
 		deps := []int64{ra, rv, it.ctrl}
 		if st.Class != "" {
 			deps = append(deps, it.classReady[st.Class])
@@ -329,10 +347,6 @@ func (it *interp) stmt(s Stmt) error {
 		done := it.cm.Instr(ClassStore, deps...)
 		if st.Class != "" {
 			it.classReady[st.Class] = done
-		}
-		region, ok := it.regions[st.Mem]
-		if !ok {
-			return it.runErr("store to unknown region %q", st.Mem)
 		}
 		return it.im.Store(region, addr, val)
 	case If:
@@ -482,6 +496,13 @@ func (it *interp) expr(e Expr) (int64, int64, error) {
 		if err := it.count(ClassLoad); err != nil {
 			return 0, 0, err
 		}
+		region, ok := it.regions[ex.Mem]
+		if !ok {
+			return 0, 0, it.runErr("load from unknown region %q", ex.Mem)
+		}
+		if it.mm != nil {
+			it.mm.Mem(mem.AccessLoad, region, addr)
+		}
 		deps := []int64{ra, it.ctrl}
 		if ex.Class != "" {
 			deps = append(deps, it.classReady[ex.Class])
@@ -489,10 +510,6 @@ func (it *interp) expr(e Expr) (int64, int64, error) {
 		done := it.cm.Instr(ClassLoad, deps...)
 		if ex.Class != "" {
 			it.classReady[ex.Class] = done
-		}
-		region, ok := it.regions[ex.Mem]
-		if !ok {
-			return 0, 0, it.runErr("load from unknown region %q", ex.Mem)
 		}
 		v, err := it.im.Load(region, addr)
 		if err != nil {

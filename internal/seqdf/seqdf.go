@@ -67,6 +67,10 @@ type Config struct {
 	// LoadLatency is the cycles a load takes (sequential dataflow hides
 	// it only within the current block's window).
 	LoadLatency int64
+	// Memory, when non-nil, routes every load and store through a
+	// memory-hierarchy timing model (see internal/cache); its per-access
+	// latency supersedes LoadLatency. Nil keeps the ideal flat memory.
+	Memory mem.AccessModel
 	// TracePoints caps the live-state trace length (0 = default 4096).
 	TracePoints int
 	// Tracer, when non-nil, receives one KindFire event per dynamic
@@ -79,6 +83,11 @@ type Config struct {
 type model struct {
 	width   int64
 	loadLat int64
+
+	// memory is the attached hierarchy model; pendingMem holds the latency
+	// of the access announced via Mem, consumed by the next Instr call.
+	memory     mem.AccessModel
+	pendingMem int64
 
 	clock    int64 // committed cycles of completed blocks
 	n        int64 // instructions in the current block
@@ -116,7 +125,14 @@ func (m *model) Instr(class prog.InstrClass, deps ...int64) int64 {
 		}
 	}
 	r++
-	if class == prog.ClassLoad && m.loadLat > 1 {
+	if m.memory != nil {
+		// The block's window hides latency of independent accesses: the
+		// extra cycles extend this access's ready time, not the clock.
+		if (class == prog.ClassLoad || class == prog.ClassStore) && m.pendingMem > 1 {
+			r += m.pendingMem - 1
+		}
+		m.pendingMem = 0
+	} else if class == prog.ClassLoad && m.loadLat > 1 {
 		r += m.loadLat - 1
 	}
 	m.n++
@@ -129,6 +145,14 @@ func (m *model) Instr(class prog.InstrClass, deps ...int64) int64 {
 		m.peakPar = m.levels[r]
 	}
 	return r
+}
+
+// Mem (prog.MemModel) routes the upcoming load/store through the attached
+// hierarchy; the resulting latency is charged by the following Instr call.
+func (m *model) Mem(kind mem.AccessKind, region int, addr int64) {
+	if m.memory != nil {
+		m.pendingMem = m.memory.Access(m.clock, kind, region, addr)
+	}
 }
 
 func ceilDiv(a, b int64) int64 {
@@ -267,6 +291,7 @@ func Run(p *prog.Program, im *mem.Image, cfg Config) (Result, error) {
 	m := &model{
 		width:       width,
 		loadLat:     cfg.LoadLatency,
+		memory:      cfg.Memory,
 		levels:      make(map[int64]int64),
 		ipcHist:     make(map[int]int64),
 		tracePoints: cfg.TracePoints,

@@ -112,6 +112,14 @@ func ExportChrome(w io.Writer, r *Recorder) error {
 			}); err != nil {
 				return err
 			}
+		case KindCacheHit, KindCacheMiss, KindWriteback:
+			if err := emit(chromeEvent{
+				Name: e.Kind.String(), Ph: "i", S: "t",
+				Ts: e.Cycle, Pid: 1, Tid: tid,
+				Args: map[string]any{"level": e.Port, "addr": e.Val},
+			}); err != nil {
+				return err
+			}
 		}
 	}
 
@@ -143,10 +151,26 @@ type chromeEvent struct {
 	Args map[string]any `json:"args,omitempty"`
 }
 
+// chromeInstantKinds is the explicit registry of event kinds the exporter
+// renders as instant ("i") events. The validator rejects instant events
+// with unregistered names, so adding a kind to the exporter without
+// registering it here fails CI's trace check instead of passing silently.
+var chromeInstantKinds = map[string]bool{
+	KindPark.String():      true,
+	KindWake.String():      true,
+	KindChangeTag.String(): true,
+	KindBoundary.String():  true,
+	KindCacheHit.String():  true,
+	KindCacheMiss.String(): true,
+	KindWriteback.String(): true,
+}
+
 // ValidateChromeJSON structurally checks an exported trace: a JSON object
 // whose traceEvents array is non-empty, every event carrying a name, a
-// known phase, and the phase's required fields. This is the schema check
-// CI runs against the traced-kernel artifact.
+// known phase, and the phase's required fields — and, for instant events,
+// a name from the registered event-kind set (unknown kinds are rejected,
+// not silently passed). This is the schema check CI runs against the
+// traced-kernel artifact.
 func ValidateChromeJSON(data []byte) error {
 	var doc struct {
 		TraceEvents []map[string]any `json:"traceEvents"`
@@ -183,6 +207,9 @@ func ValidateChromeJSON(data []byte) error {
 		case "C", "i":
 			if _, ok := ev["ts"].(float64); !ok {
 				return fmt.Errorf("trace: %s event %d (%q) has no ts", ph, i, name)
+			}
+			if ph == "i" && !chromeInstantKinds[name] {
+				return fmt.Errorf("trace: instant event %d has unknown kind %q", i, name)
 			}
 		default:
 			return fmt.Errorf("trace: event %d (%q) has unknown phase %q", i, name, ph)

@@ -47,6 +47,22 @@ type PathSeg struct {
 	Cycles int64
 }
 
+// MemLevel tallies one cache level's events from the recorded stream.
+type MemLevel struct {
+	Level      int16
+	Hits       int64
+	Misses     int64
+	Writebacks int64
+}
+
+// MissRate returns misses / (hits + misses) at this level.
+func (l MemLevel) MissRate() float64 {
+	if l.Hits+l.Misses == 0 {
+		return 0
+	}
+	return float64(l.Misses) / float64(l.Hits+l.Misses)
+}
+
 // Profile is the critical-path analysis of one recorded run.
 type Profile struct {
 	Total   int64 // cycles attributed; equals the run's cycle count when the stream is complete
@@ -58,6 +74,13 @@ type Profile struct {
 	Blocks []GroupProfile // sorted by CritCycles descending
 	Ops    []GroupProfile // sorted by CritCycles descending
 	Path   []PathSeg      // the critical path, oldest first, run-length compressed
+
+	// MemLevels tallies the memory hierarchy's cache events when the run
+	// was recorded with a hierarchy attached (empty otherwise), in level
+	// order (L1, L2). The gap a load contributes to the critical path is
+	// its miss-chain latency, so these counters explain the mem-op rows
+	// of the op table.
+	MemLevels []MemLevel
 }
 
 type fireRec struct {
@@ -87,8 +110,23 @@ func ComputeProfile(r *Recorder) *Profile {
 	var fires []fireRec
 	lastFire := map[int32]int{}
 	pend := map[arrKey]arrival{}
+	memLevels := map[int16]*MemLevel{}
+	memLevel := func(lv int16) *MemLevel {
+		ml := memLevels[lv]
+		if ml == nil {
+			ml = &MemLevel{Level: lv}
+			memLevels[lv] = ml
+		}
+		return ml
+	}
 	for _, e := range r.Events() {
 		switch e.Kind {
+		case KindCacheHit:
+			memLevel(e.Port).Hits++
+		case KindCacheMiss:
+			memLevel(e.Port).Misses++
+		case KindWriteback:
+			memLevel(e.Port).Writebacks++
 		case KindDeliver, KindJoinArrive:
 			k := arrKey{e.Node, e.Tag}
 			prod := -1
@@ -109,6 +147,11 @@ func ComputeProfile(r *Recorder) *Profile {
 			fires = append(fires, rec)
 		}
 	}
+	for _, ml := range memLevels {
+		p.MemLevels = append(p.MemLevels, *ml)
+	}
+	sort.Slice(p.MemLevels, func(i, j int) bool { return p.MemLevels[i].Level < p.MemLevels[j].Level })
+
 	p.Fires = int64(len(fires))
 	if len(fires) == 0 {
 		return p
@@ -261,6 +304,18 @@ func (p *Profile) Render() string {
 			metrics.Bar(float64(np.CritCycles)/float64(p.Total), 20))
 	}
 	b.WriteString(tb.String())
+
+	if len(p.MemLevels) > 0 {
+		b.WriteString("\nmemory hierarchy (trace-stream tally):\n")
+		mt := &metrics.Table{Headers: []string{"level", "hits", "misses", "writebacks", "miss rate"}}
+		for _, ml := range p.MemLevels {
+			mt.Add(fmt.Sprintf("L%d", ml.Level),
+				metrics.FormatCount(ml.Hits), metrics.FormatCount(ml.Misses),
+				metrics.FormatCount(ml.Writebacks),
+				fmt.Sprintf("%5.1f%% %s", ml.MissRate()*100, metrics.Bar(ml.MissRate(), 20)))
+		}
+		b.WriteString(mt.String())
+	}
 
 	b.WriteString("\ncritical path (oldest first, run-length compressed):\n")
 	pt := &metrics.Table{Headers: []string{"segment", "fires", "cycles"}}

@@ -60,8 +60,18 @@ const (
 	// KindBoundary: a cost-model block boundary (vN / seqdf engines;
 	// Val = live values carried across).
 	KindBoundary
+	// KindCacheHit: a memory access hit in the hierarchy (Port = level,
+	// 1 = L1, 2 = L2; Val = flat word address).
+	KindCacheHit
+	// KindCacheMiss: a memory access missed at a level (Port = level,
+	// Val = flat word address). An access missing both levels records one
+	// miss per level.
+	KindCacheMiss
+	// KindWriteback: a dirty line was evicted from a level (Port = level
+	// it left, Val = the line's flat word address).
+	KindWriteback
 
-	numKinds = int(KindBoundary) + 1
+	numKinds = int(KindWriteback) + 1
 )
 
 func (k Kind) String() string {
@@ -90,6 +100,12 @@ func (k Kind) String() string {
 		return "mem-store"
 	case KindBoundary:
 		return "boundary"
+	case KindCacheHit:
+		return "cache-hit"
+	case KindCacheMiss:
+		return "cache-miss"
+	case KindWriteback:
+		return "writeback"
 	}
 	return "?"
 }

@@ -54,6 +54,10 @@ type Config struct {
 	// LoadLatency adds stall cycles per load (a sequential machine
 	// cannot hide memory latency; 0 or 1 = single-cycle memory).
 	LoadLatency int
+	// Memory, when non-nil, routes every load and store through a
+	// memory-hierarchy timing model (see internal/cache); its per-access
+	// latency supersedes LoadLatency. Nil keeps the ideal flat memory.
+	Memory mem.AccessModel
 	// TracePoints caps the live-state trace length (0 = default 4096).
 	TracePoints int
 	// Tracer, when non-nil, receives one KindFire event per dynamic
@@ -68,6 +72,11 @@ type model struct {
 	instrs  int64
 	stalls  int64
 	loadLat int64
+
+	// memory is the attached hierarchy model; pendingMem holds the latency
+	// of the access announced via Mem, consumed by the next Instr call.
+	memory     mem.AccessModel
+	pendingMem int64
 
 	// live-state integration: live values change only at boundaries, so
 	// integrate live*dt between them.
@@ -92,10 +101,25 @@ func (m *model) Instr(class prog.InstrClass, _ ...int64) int64 {
 			Node: trace.NoNode, Src: trace.NoNode, Val: int64(class)})
 	}
 	m.instrs++
-	if class == prog.ClassLoad && m.loadLat > 1 {
+	if m.memory != nil {
+		// A sequential machine cannot hide memory latency: every cycle
+		// beyond the first stalls the pipeline.
+		if m.pendingMem > 1 {
+			m.stalls += m.pendingMem - 1
+		}
+		m.pendingMem = 0
+	} else if class == prog.ClassLoad && m.loadLat > 1 {
 		m.stalls += m.loadLat - 1
 	}
 	return 0
+}
+
+// Mem (prog.MemModel) routes the upcoming load/store through the attached
+// hierarchy; the resulting latency is charged by the following Instr call.
+func (m *model) Mem(kind mem.AccessKind, region int, addr int64) {
+	if m.memory != nil {
+		m.pendingMem = m.memory.Access(m.instrs+m.stalls, kind, region, addr)
+	}
 }
 
 func (m *model) Boundary(_ prog.BoundaryKind, live int) {
@@ -186,7 +210,7 @@ func decimatePoints(pts []StatePoint) []StatePoint {
 
 // Run executes the program under the vN cost model.
 func Run(p *prog.Program, im *mem.Image, cfg Config) (Result, error) {
-	m := &model{tracePoints: cfg.TracePoints, traceStride: 1, loadLat: int64(cfg.LoadLatency), rec: cfg.Tracer}
+	m := &model{tracePoints: cfg.TracePoints, traceStride: 1, loadLat: int64(cfg.LoadLatency), memory: cfg.Memory, rec: cfg.Tracer}
 	if m.tracePoints == 0 {
 		m.tracePoints = 4096
 	}
