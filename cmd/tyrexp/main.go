@@ -6,7 +6,8 @@
 //	tyrexp [-exp fig12] [-scale small] [-width 128] [-tags 64] [-json out.json]
 //	tyrexp trace -app dmv -sys tyr [-out trace.json] [-profile]
 //	tyrexp trace -validate trace.json
-//	tyrexp bench [-scale small] [-out BENCH_pr3.json]
+//	tyrexp bench [-scale small] [-out BENCH_pr4.json]
+//	tyrexp benchdiff [-tolerance 1.15] old.json new.json
 //	tyrexp locality [-scale small] [-csv dir] [-json out.json] [-assert]
 //
 // With no subcommand and no -exp flag, all experiments run in paper
@@ -19,7 +20,11 @@
 // the structure of an existing trace file instead of running anything.
 // The bench subcommand times every kernel on every system and writes a
 // machine-readable benchmark summary (gmean cycles and wall-clock per
-// system).
+// system); benchdiff compares two summaries and exits nonzero when any
+// system's wall-clock regressed past the tolerance (the CI perf gate).
+//
+// Every subcommand also takes -cpuprofile/-memprofile to capture pprof
+// profiles of the run (see internal/profflag).
 package main
 
 import (
@@ -31,9 +36,11 @@ import (
 	"time"
 
 	"repro/internal/apps"
+	"repro/internal/benchreg"
 	"repro/internal/cache"
 	"repro/internal/harness"
 	"repro/internal/metrics"
+	"repro/internal/profflag"
 	"repro/internal/trace"
 )
 
@@ -45,6 +52,9 @@ func main() {
 			return
 		case "bench":
 			runBench(os.Args[2:])
+			return
+		case "benchdiff":
+			runBenchdiff(os.Args[2:])
 			return
 		case "locality":
 			runLocality(os.Args[2:])
@@ -71,6 +81,21 @@ func fatalf(format string, args ...any) {
 	os.Exit(1)
 }
 
+// startProfiling / stopProfiling bracket a subcommand body. fatalf paths
+// lose the profile (os.Exit skips defers), which is fine — a failed run
+// has nothing worth profiling.
+func startProfiling(p *profflag.Profiler) {
+	if err := p.Start(); err != nil {
+		fatalf("%v", err)
+	}
+}
+
+func stopProfiling(p *profflag.Profiler) {
+	if err := p.Stop(); err != nil {
+		fatalf("%v", err)
+	}
+}
+
 func runExperiments(args []string) {
 	fs := flag.NewFlagSet("tyrexp", flag.ExitOnError)
 	exp := fs.String("exp", "", "experiment to run (tab2, fig2, fig9, fig11, ..., fig18); empty = all")
@@ -79,7 +104,10 @@ func runExperiments(args []string) {
 	tags := fs.Int("tags", 64, "TYR tags per local tag space")
 	csvDir := fs.String("csv", "", "also write each experiment's raw data as CSV into this directory")
 	jsonPath := fs.String("json", "", "write every run's stats as tyr-telemetry/v1 JSON to this path")
+	prof := profflag.Register(fs)
 	fs.Parse(args)
+	startProfiling(prof)
+	defer stopProfiling(prof)
 
 	sc, err := parseScale(*scale)
 	if err != nil {
@@ -146,7 +174,10 @@ func runTrace(args []string) {
 	out := fs.String("out", "", "write Chrome trace-event JSON to this path")
 	profile := fs.Bool("profile", false, "print the critical-path profile")
 	validate := fs.String("validate", "", "validate an existing Chrome trace JSON file and exit")
+	prof := profflag.Register(fs)
 	fs.Parse(args)
+	startProfiling(prof)
+	defer stopProfiling(prof)
 
 	if *validate != "" {
 		data, err := os.ReadFile(*validate)
@@ -215,7 +246,10 @@ func runLocality(args []string) {
 	csvDir := fs.String("csv", "", "also write the sweep's raw data as CSV into this directory")
 	jsonPath := fs.String("json", "", "write every run's stats as tyr-telemetry/v1 JSON to this path")
 	assert := fs.Bool("assert", false, "exit nonzero unless TYR matches or beats unordered's L1 miss rate on >= 1 kernel")
+	prof := profflag.Register(fs)
 	fs.Parse(args)
+	startProfiling(prof)
+	defer stopProfiling(prof)
 
 	sc, err := parseScale(*scale)
 	if err != nil {
@@ -247,34 +281,18 @@ func runLocality(args []string) {
 	}
 }
 
-// benchDoc is the machine-readable benchmark summary schema.
-type benchDoc struct {
-	Schema  string             `json:"schema"`
-	Scale   string             `json:"scale"`
-	Systems []benchSystem      `json:"systems"`
-	Runs    []metrics.RunStats `json:"runs"`
-}
-
-type benchSystem struct {
-	System      string  `json:"system"`
-	GmeanCycles float64 `json:"gmean_cycles"`
-	WallNS      int64   `json:"wall_ns"` // summed across kernels
-	// Cache behavior, measured by a passthrough hierarchy (zero timing
-	// impact, so gmean_cycles stays comparable across benchmark files):
-	// aggregate miss rates across kernels and the mean of per-run AMATs.
-	L1MissRate float64 `json:"l1_miss_rate"`
-	L2MissRate float64 `json:"l2_miss_rate"`
-	MeanAMAT   float64 `json:"mean_amat"`
-}
-
-// runBench times every kernel on every system and writes the summary.
+// runBench times every kernel on every system and writes the summary
+// (schema: internal/benchreg).
 func runBench(args []string) {
 	fs := flag.NewFlagSet("tyrexp bench", flag.ExitOnError)
 	scale := fs.String("scale", "small", "input scale: tiny, small, medium")
 	width := fs.Int("width", 128, "issue width")
 	tags := fs.Int("tags", 64, "TYR tags per local tag space")
-	out := fs.String("out", "BENCH_pr3.json", "write the benchmark summary JSON to this path")
+	out := fs.String("out", "BENCH_pr4.json", "write the benchmark summary JSON to this path")
+	prof := profflag.Register(fs)
 	fs.Parse(args)
+	startProfiling(prof)
+	defer stopProfiling(prof)
 
 	sc, err := parseScale(*scale)
 	if err != nil {
@@ -297,7 +315,7 @@ func runBench(args []string) {
 		}
 	}
 
-	doc := benchDoc{Schema: "tyr-bench/v1", Scale: *scale, Runs: tel.Snapshot()}
+	doc := benchreg.Doc{Schema: benchreg.Schema, Scale: *scale, Runs: tel.Snapshot()}
 	perSys := map[string][]float64{}
 	wall := map[string]int64{}
 	type cacheAgg struct {
@@ -324,7 +342,7 @@ func runBench(args []string) {
 		}
 	}
 	for _, sys := range harness.Systems {
-		bs := benchSystem{System: sys, GmeanCycles: metrics.Gmean(perSys[sys]), WallNS: wall[sys]}
+		bs := benchreg.System{System: sys, GmeanCycles: metrics.Gmean(perSys[sys]), WallNS: wall[sys]}
 		if a := agg[sys]; a != nil && a.l1Acc > 0 {
 			bs.L1MissRate = float64(a.l1Miss) / float64(a.l1Acc)
 			bs.MeanAMAT = a.amatSum / float64(a.n)
@@ -358,4 +376,53 @@ func runBench(args []string) {
 	}
 	fmt.Print(tb.String())
 	fmt.Printf("wrote benchmark summary to %s\n", *out)
+}
+
+// runBenchdiff compares two benchmark summaries and fails on wall-clock
+// regressions. Simulated cycle counts are printed when they moved — that
+// signals a semantic change, which a perf-only PR must not make.
+func runBenchdiff(args []string) {
+	fs := flag.NewFlagSet("tyrexp benchdiff", flag.ExitOnError)
+	tol := fs.Float64("tolerance", 1.15, "maximum allowed wall-clock growth factor per system")
+	strictCycles := fs.Bool("strict-cycles", false, "also fail when simulated cycle counts moved (they are host-independent, so any drift is a semantic change)")
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		fatalf("usage: tyrexp benchdiff [-tolerance 1.15] old.json new.json")
+	}
+	oldDoc, err := benchreg.Load(fs.Arg(0))
+	if err != nil {
+		fatalf("%v", err)
+	}
+	newDoc, err := benchreg.Load(fs.Arg(1))
+	if err != nil {
+		fatalf("%v", err)
+	}
+	rep, err := benchreg.Compare(oldDoc, newDoc, *tol)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	tb := &metrics.Table{Headers: []string{"system", "old wall", "new wall", "ratio", "gmean cycles"}}
+	for _, d := range rep.Deltas {
+		cyc := "unchanged"
+		if d.CycleDrift {
+			cyc = fmt.Sprintf("%.0f -> %.0f", d.OldCycles, d.NewCycles)
+		}
+		tb.Add(d.System,
+			fmt.Sprintf("%.1fms", float64(d.OldWallNS)/1e6),
+			fmt.Sprintf("%.1fms", float64(d.NewWallNS)/1e6),
+			fmt.Sprintf("%.2fx", d.WallRatio), cyc)
+	}
+	fmt.Print(tb.String())
+	fmt.Printf("gmean wall-clock ratio %.2fx (tolerance %.2fx per system)\n", rep.GmeanWallRatio, *tol)
+	failures := rep.Regressions
+	if *strictCycles {
+		failures = append(failures, rep.CycleChanges...)
+	}
+	if len(failures) > 0 {
+		for _, r := range failures {
+			fmt.Fprintf(os.Stderr, "tyrexp: benchdiff: REGRESSION: %s\n", r)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("benchdiff: PASS")
 }

@@ -7,6 +7,7 @@
 //	       [-global-tags 8] [-plot] [-check]
 //	       [-cache] [-l1 sets=32,ways=2,line=4,lat=1] [-l2 ...] [-mem-lat 30] [-mshrs 8]
 //	       [-trace out.json] [-profile] [-heat] [-json telemetry.json]
+//	       [-cpuprofile cpu.out] [-memprofile mem.out]
 //
 // -sys accepts vN, seqdf, ordered, unordered, tyr. With -global-tags N,
 // the unordered system uses a bounded global pool (the Fig. 11 deadlock
@@ -22,7 +23,11 @@
 // -profile prints the critical-path profile (per-node/block/op cycle
 // attribution and the longest fire chain); -heat prints the compiled graph
 // in dot form with a per-node fire-count heatmap overlay; -json PATH
-// writes the run's RunStats as tyr-telemetry/v1 JSON.
+// writes the run's RunStats as tyr-telemetry/v1 JSON. -cpuprofile and
+// -memprofile capture pprof profiles of the simulator itself (see
+// internal/profflag) — e.g.
+//
+//	tyrsim -app spmspm -sys tyr -cpuprofile cpu.out && go tool pprof -top cpu.out
 package main
 
 import (
@@ -38,6 +43,7 @@ import (
 	"repro/internal/dfg"
 	"repro/internal/harness"
 	"repro/internal/metrics"
+	"repro/internal/profflag"
 	"repro/internal/trace"
 )
 
@@ -63,7 +69,20 @@ func main() {
 	list := flag.Bool("list", false, "list the available workloads and exit")
 	blocks := flag.Bool("blocks", false, "print per-block tag usage and live state (tyr/unordered only)")
 	check := flag.Bool("check", false, "run the static verifier before executing and the runtime sanitizer during execution")
+	prof := profflag.Register(flag.CommandLine)
 	flag.Parse()
+	if err := prof.Start(); err != nil {
+		fmt.Fprintf(os.Stderr, "tyrsim: %v\n", err)
+		os.Exit(1)
+	}
+	// Error paths below os.Exit without the profile — a failed run has
+	// nothing worth profiling.
+	defer func() {
+		if err := prof.Stop(); err != nil {
+			fmt.Fprintf(os.Stderr, "tyrsim: %v\n", err)
+			os.Exit(1)
+		}
+	}()
 
 	if *list {
 		for _, a := range apps.Suite(apps.ScaleSmall) {

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/cq"
 	"repro/internal/dfg"
 	"repro/internal/mem"
 	"repro/internal/trace"
@@ -18,22 +19,6 @@ type token struct {
 	val int64
 }
 
-// entry is the token-store record of one dynamic instruction instance: the
-// operands of (static node, tag) collected so far.
-type entry struct {
-	need    int      // tokens still missing
-	vals    []int64  // operand values (constants prefilled)
-	present []uint64 // bitset of received ports (duplicate detection)
-
-	// allocate-specific state
-	popped bool // tag already popped; waiting for ready
-	queued bool // in the ready queue
-	parked bool // starved of tags; waiting in the pending list
-}
-
-func (e *entry) has(port int) bool { return e.present[port>>6]&(1<<(port&63)) != 0 }
-func (e *entry) set(port int)      { e.present[port>>6] |= 1 << (port & 63) }
-
 type fireRef struct {
 	node dfg.NodeID
 	tag  uint64
@@ -41,7 +26,7 @@ type fireRef struct {
 
 // nodeInfo caches per-node firing metadata.
 type nodeInfo struct {
-	needInit  int
+	needInit  int32
 	constVals []int64
 	words     int // present bitset words
 	reserve   int // allocate: tags kept back for the tail-recursive edge
@@ -53,13 +38,23 @@ const (
 	allocReadyPort   = 1
 )
 
+// kbRec is one live loop invocation's k-bound state: its remaining tag
+// pool, the count of tags out, and the allocates parked on exhaustion.
+// Records live in a machine-owned arena and recycle through a freelist,
+// keeping their pool/pending capacity across invocations.
+type kbRec struct {
+	pool    []uint64
+	pending []fireRef
+	out     int
+}
+
 type machine struct {
 	g   *dfg.Graph
 	im  *mem.Image
 	cfg Config
 
 	info   []nodeInfo
-	stores []map[uint64]*entry
+	stores []waitStore
 
 	// Tag pools. Per-space policies (TYR, local-nogate, k-bound): one
 	// pool per pooled block, with spacePooled marking which blocks are
@@ -82,24 +77,29 @@ type machine struct {
 	// k-bounding state (PolicyKBound): TTDA allocates a fresh contiguous
 	// block of k tags to every loop *invocation*, so pools are keyed by
 	// invocation, created at the external transfer point and reclaimed
-	// when the last tag retires.
-	kbPools      map[uint64][]uint64
-	kbOut        map[uint64]int
-	kbPending    map[uint64][]fireRef
+	// when the last tag retires. kbIdx maps invocation key -> kbRecs
+	// index.
+	kbIdx        *tagMap
+	kbRecs       []kbRec
+	kbFree       []int32
 	kbNextInv    uint64
 	kbPeakPerInv int
 
-	ready     []fireRef
-	nextReady []fireRef
-	outbox    []token
+	// ready is a deque (head index + compaction) so leftover refs from a
+	// budget-limited cycle carry over without reallocating; nextReady and
+	// the double-buffered outbox recycle their backing arrays.
+	ready       []fireRef
+	readyHead   int
+	nextReady   []fireRef
+	outbox      []token
+	outboxSpare []token
 
 	// delayed holds load results completing in future cycles when
-	// Config.LoadLatency > 1 (keyed by absolute due cycle).
-	delayed      map[int64][]token
-	delayedCount int
+	// Config.LoadLatency > 1, bucketed by absolute due cycle.
+	delayed cq.Queue[token]
 
 	live       int64
-	perTagLive map[uint64]int64
+	perTagLive *tagMap // nil unless CheckInvariants or Sanitize
 
 	// Per-block live-token accounting: which concurrent block's
 	// instructions are holding the state (tokens attribute to their
@@ -122,7 +122,15 @@ type machine struct {
 	fired    int64
 	sumLive  int64
 	peakLive int64
-	ipcHist  map[int]int64
+	// ipcHist is indexed by instructions fired in a cycle; the issue
+	// width bounds it, so a flat slice replaces the seed's map (whose
+	// buckets also grew without bound on long runs).
+	ipcHist []int64
+
+	// fireVals is the operand scratch for fire(): values are copied out
+	// of the store slot before the instance is deleted, since deletion
+	// may shift other slots over it.
+	fireVals []int64
 
 	trace       []StatePoint
 	traceStride int64
@@ -176,15 +184,14 @@ func newMachine(g *dfg.Graph, im *mem.Image, cfg Config) (*machine, error) {
 		im:      im,
 		cfg:     cfg,
 		info:    make([]nodeInfo, len(g.Nodes)),
-		stores:  make([]map[uint64]*entry, len(g.Nodes)),
-		ipcHist: make(map[int]int64),
+		stores:  make([]waitStore, len(g.Nodes)),
+		ipcHist: make([]int64, cfg.IssueWidth+1),
 	}
 	m.storePeak = make([]int32, len(g.Nodes))
-	m.delayed = make(map[int64][]token)
 	m.liveByBlock = make([]int64, len(g.Blocks))
 	m.peakByBlock = make([]int64, len(g.Blocks))
 	if cfg.CheckInvariants || cfg.Sanitize {
-		m.perTagLive = make(map[uint64]int64)
+		m.perTagLive = newTagMap()
 	}
 	if cfg.Sanitize {
 		m.san = newSanitizer()
@@ -203,6 +210,7 @@ func newMachine(g *dfg.Graph, im *mem.Image, cfg Config) (*machine, error) {
 		memIdx[i] = idx
 	}
 
+	maxIn := 0
 	for i := range g.Nodes {
 		n := &g.Nodes[i]
 		ni := &m.info[i]
@@ -223,8 +231,12 @@ func newMachine(g *dfg.Graph, im *mem.Image, cfg Config) (*machine, error) {
 		case dfg.OpLoad, dfg.OpStore:
 			ni.memIdx = memIdx[n.Region]
 		}
-		m.stores[i] = make(map[uint64]*entry)
+		m.stores[i].init(n.NIn, ni.words, ni.needInit, ni.constVals)
+		if n.NIn > maxIn {
+			maxIn = n.NIn
+		}
 	}
+	m.fireVals = make([]int64, maxIn)
 
 	nspaces := len(g.Blocks)
 	m.inUse = make([]int, nspaces)
@@ -254,9 +266,7 @@ func newMachine(g *dfg.Graph, im *mem.Image, cfg Config) (*machine, error) {
 				m.spacePooled[n.Block] = false
 			}
 		}
-		m.kbPools = make(map[uint64][]uint64)
-		m.kbOut = make(map[uint64]int)
-		m.kbPending = make(map[uint64][]fireRef)
+		m.kbIdx = newTagMap()
 	case PolicyGlobalBounded:
 		m.poolGlobal = make([]uint64, cfg.GlobalTags)
 		for t := range m.poolGlobal {
@@ -348,6 +358,39 @@ func (m *machine) noteAlloc(space dfg.BlockID) {
 	}
 }
 
+// kbAcquire hands out a (possibly recycled) invocation record index.
+func (m *machine) kbAcquire() int32 {
+	if n := len(m.kbFree); n > 0 {
+		ri := m.kbFree[n-1]
+		m.kbFree = m.kbFree[:n-1]
+		return ri
+	}
+	m.kbRecs = append(m.kbRecs, kbRec{})
+	return int32(len(m.kbRecs) - 1)
+}
+
+// kbRelease retires an invocation record, keeping its slice capacity.
+func (m *machine) kbRelease(ri int32) {
+	rec := &m.kbRecs[ri]
+	rec.pool = rec.pool[:0]
+	rec.pending = rec.pending[:0]
+	rec.out = 0
+	m.kbFree = append(m.kbFree, ri)
+}
+
+// kbFor resolves the invocation record for a k-bound key, materializing an
+// empty record for unknown keys (a free or request against a reclaimed
+// invocation — broken programs reach this; the record then behaves like
+// the seed's zero-valued map entries).
+func (m *machine) kbFor(key uint64) *kbRec {
+	ri, ok := m.kbIdx.get(key)
+	if !ok {
+		ri = int64(m.kbAcquire())
+		m.kbIdx.put(key, ri)
+	}
+	return &m.kbRecs[ri]
+}
+
 // freeTag returns a tag to its pool and wakes starved allocates.
 func (m *machine) freeTag(space dfg.BlockID, tag uint64) {
 	m.inUse[space]--
@@ -358,18 +401,23 @@ func (m *machine) freeTag(space dfg.BlockID, tag uint64) {
 		m.wake(0)
 	case m.cfg.Policy == PolicyKBound && m.spacePooled[space]:
 		key := tag >> kbInvShift
-		m.kbOut[key]--
-		if m.kbOut[key] == 0 {
+		ri, ok := m.kbIdx.get(key)
+		if !ok {
+			ri = int64(m.kbAcquire())
+			m.kbIdx.put(key, ri)
+		}
+		rec := &m.kbRecs[ri]
+		rec.out--
+		if rec.out == 0 {
 			// Last tag of the invocation retired; reclaim its block.
-			delete(m.kbPools, key)
-			delete(m.kbOut, key)
-			delete(m.kbPending, key)
+			m.kbIdx.del(key)
+			m.kbRelease(int32(ri))
 			return
 		}
-		m.kbPools[key] = append(m.kbPools[key], tag)
-		if refs := m.kbPending[key]; len(refs) > 0 {
-			m.kbPending[key] = nil
-			m.wakeRefs(refs)
+		rec.pool = append(rec.pool, tag)
+		if len(rec.pending) > 0 {
+			m.wakeRefs(rec.pending)
+			rec.pending = rec.pending[:0]
 		}
 	case m.spacePooled[space]:
 		m.poolLocal[space] = append(m.poolLocal[space], tag)
@@ -385,18 +433,19 @@ func (m *machine) wake(pendingIdx dfg.BlockID) {
 	if len(refs) == 0 {
 		return
 	}
-	m.pending[pendingIdx] = nil
+	m.pending[pendingIdx] = refs[:0]
 	m.wakeRefs(refs)
 }
 
 func (m *machine) wakeRefs(refs []fireRef) {
 	for _, ref := range refs {
-		e := m.stores[ref.node][ref.tag]
-		if e == nil || e.queued {
+		ws := &m.stores[ref.node]
+		slot := ws.lookup(ref.tag)
+		if slot < 0 || ws.queued(slot) {
 			continue
 		}
-		e.parked = false
-		e.queued = true
+		ws.clearFlag(slot, wsParked)
+		ws.setFlag(slot, wsQueued)
 		m.nextReady = append(m.nextReady, ref)
 		if m.rec != nil {
 			m.rec.Record(trace.Event{Cycle: m.cycle, Kind: trace.KindWake,
@@ -423,7 +472,7 @@ func (m *machine) emit(src dfg.NodeID, to dfg.Port, tag uint64, val int64) {
 		m.peakByBlock[blk] = m.liveByBlock[blk]
 	}
 	if m.perTagLive != nil {
-		m.perTagLive[tag]++
+		m.perTagLive.add(tag, 1)
 	}
 	if m.rec != nil {
 		m.rec.Record(trace.Event{Cycle: m.cycle, Kind: trace.KindEmit,
@@ -463,8 +512,7 @@ func (m *machine) memLatency(kind mem.AccessKind, nid dfg.NodeID, addr int64) in
 // The tokens count as live from emission, like their prompt counterparts.
 func (m *machine) emitAllDelayed(n *dfg.Node, out int, tag uint64, val int64, due int64) {
 	for _, d := range n.Outs[out] {
-		m.delayed[due] = append(m.delayed[due], token{to: d, src: n.ID, tag: tag, val: val})
-		m.delayedCount++
+		m.delayed.Push(due, token{to: d, src: n.ID, tag: tag, val: val})
 		m.live++
 		blk := m.g.Nodes[d.Node].Block
 		m.liveByBlock[blk]++
@@ -472,7 +520,7 @@ func (m *machine) emitAllDelayed(n *dfg.Node, out int, tag uint64, val int64, du
 			m.peakByBlock[blk] = m.liveByBlock[blk]
 		}
 		if m.perTagLive != nil {
-			m.perTagLive[tag]++
+			m.perTagLive.add(tag, 1)
 		}
 	}
 }
@@ -481,9 +529,8 @@ func (m *machine) consumeOne(blk dfg.BlockID, tag uint64) {
 	m.live--
 	m.liveByBlock[blk]--
 	if m.perTagLive != nil {
-		m.perTagLive[tag]--
-		if m.perTagLive[tag] == 0 {
-			delete(m.perTagLive, tag)
+		if m.perTagLive.add(tag, -1) == 0 {
+			m.perTagLive.del(tag)
 		}
 	}
 }
@@ -502,21 +549,15 @@ func (m *machine) evSeq() uint64 {
 func (m *machine) deliver(t token) error {
 	nid := t.to.Node
 	n := &m.g.Nodes[nid]
-	ni := &m.info[nid]
-	store := m.stores[nid]
-	e := store[t.tag]
-	if e == nil {
-		e = &entry{
-			need:    ni.needInit,
-			vals:    append([]int64(nil), ni.constVals...),
-			present: make([]uint64, ni.words),
-		}
-		store[t.tag] = e
-		if occ := int32(len(store)); occ > m.storePeak[nid] {
+	ws := &m.stores[nid]
+	slot := ws.lookup(t.tag)
+	if slot < 0 {
+		slot = ws.insert(t.tag)
+		if occ := int32(ws.len()); occ > m.storePeak[nid] {
 			m.storePeak[nid] = occ
 		}
 	}
-	if e.has(t.to.In) {
+	if ws.has(slot, t.to.In) {
 		if m.san != nil {
 			return m.san.fail(Diagnostic{
 				Kind: DiagTokenCollision, Cycle: m.cycle, Node: nid, Label: n.Label, Tag: t.tag, Event: m.evSeq(),
@@ -530,9 +571,9 @@ func (m *machine) deliver(t token) error {
 	if n.ConstIn[t.to.In].Valid {
 		return fmt.Errorf("core: token delivered to const-bound port %d of %q", t.to.In, n.Label)
 	}
-	e.set(t.to.In)
-	e.vals[t.to.In] = t.val
-	e.need--
+	ws.set(slot, t.to.In)
+	ws.valSlice(slot)[t.to.In] = t.val
+	ws.need[slot]--
 	if m.rec != nil {
 		kind := trace.KindDeliver
 		if n.Op == dfg.OpJoin {
@@ -544,37 +585,38 @@ func (m *machine) deliver(t token) error {
 	}
 
 	if n.Op == dfg.OpAllocate {
-		return m.deliverAllocate(nid, t.tag, e)
+		return m.deliverAllocate(nid, t.tag, slot)
 	}
-	if e.need == 0 && !e.queued {
-		e.queued = true
+	if ws.need[slot] == 0 && !ws.queued(slot) {
+		ws.setFlag(slot, wsQueued)
 		m.nextReady = append(m.nextReady, fireRef{node: nid, tag: t.tag})
 	}
 	return nil
 }
 
 // deliverAllocate handles allocate's special firing rule on token arrival.
-func (m *machine) deliverAllocate(nid dfg.NodeID, tag uint64, e *entry) error {
+func (m *machine) deliverAllocate(nid dfg.NodeID, tag uint64, slot int32) error {
 	n := &m.g.Nodes[nid]
-	if e.popped {
+	ws := &m.stores[nid]
+	if ws.popped(slot) {
 		// Tag already handed out; the ready token completes the
 		// instruction and releases the control output for the barrier.
-		if e.has(allocReadyPort) {
+		if ws.has(slot, allocReadyPort) {
 			m.emitAll(n, dfg.AllocCtrlOut, tag, 0)
 			m.consumeOne(n.Block, tag)
-			delete(m.stores[nid], tag)
+			ws.delSlot(slot)
 		}
 		return nil
 	}
-	if !e.has(allocRequestPort) {
+	if !ws.has(slot, allocRequestPort) {
 		return nil // ready arrived first; wait for the request
 	}
-	if e.parked {
+	if ws.parked(slot) {
 		// A ready token may unblock a starved allocate under TYR.
-		e.parked = false
+		ws.clearFlag(slot, wsParked)
 	}
-	if !e.queued {
-		e.queued = true
+	if !ws.queued(slot) {
+		ws.setFlag(slot, wsQueued)
 		m.nextReady = append(m.nextReady, fireRef{node: nid, tag: tag})
 	}
 	return nil
@@ -584,30 +626,32 @@ func (m *machine) deliverAllocate(nid dfg.NodeID, tag uint64, e *entry) error {
 // consumed (a starved allocate parks instead).
 func (m *machine) fire(ref fireRef) (bool, error) {
 	n := &m.g.Nodes[ref.node]
-	store := m.stores[ref.node]
-	e := store[ref.tag]
-	if e == nil {
+	ws := &m.stores[ref.node]
+	slot := ws.lookup(ref.tag)
+	if slot < 0 {
 		return false, fmt.Errorf("core: fire of missing instance %q tag %#x", n.Label, ref.tag)
 	}
-	e.queued = false
+	ws.clearFlag(slot, wsQueued)
 
 	if n.Op == dfg.OpAllocate {
-		return m.fireAllocate(ref, n, e)
+		return m.fireAllocate(ref, n, slot)
 	}
 
-	// Consume the full operand set.
-	consumed := m.info[ref.node].needInit
+	// Copy the operand set out of the store (deleting the instance may
+	// shift other slots over it), then consume and retire it.
+	v := m.fireVals[:ws.nIn]
+	copy(v, ws.valSlice(slot))
+	consumed := int(m.info[ref.node].needInit)
 	for i := 0; i < consumed; i++ {
 		m.consumeOne(n.Block, ref.tag)
 	}
-	delete(store, ref.tag)
+	ws.delSlot(slot)
 	m.fired++
 	if m.rec != nil {
 		m.rec.Record(trace.Event{Cycle: m.cycle, Kind: trace.KindFire,
 			Node: int32(ref.node), Block: int32(n.Block), Tag: ref.tag})
 	}
 
-	v := e.vals
 	switch n.Op {
 	case dfg.OpBin:
 		out, err := dfg.EvalBin(n.Bin, v[0], v[1])
@@ -690,9 +734,11 @@ func (m *machine) fire(ref fireRef) (bool, error) {
 			if err := m.san.checkFree(m, n, ref.tag); err != nil {
 				return true, err
 			}
-		} else if m.perTagLive != nil && m.perTagLive[ref.tag] != 0 {
-			return true, fmt.Errorf("core: free of tag %#x (%q) with %d live tokens still carrying it (free barrier bug)",
-				ref.tag, n.Label, m.perTagLive[ref.tag])
+		} else if m.perTagLive != nil {
+			if live, _ := m.perTagLive.get(ref.tag); live != 0 {
+				return true, fmt.Errorf("core: free of tag %#x (%q) with %d live tokens still carrying it (free barrier bug)",
+					ref.tag, n.Label, live)
+			}
 		}
 		m.freeTag(n.Space, ref.tag)
 		if m.rec != nil {
@@ -711,11 +757,12 @@ func (m *machine) fire(ref fireRef) (bool, error) {
 
 // fireAllocate attempts to pop a tag for a requesting context, applying the
 // policy's forward-progress rules.
-func (m *machine) fireAllocate(ref fireRef, n *dfg.Node, e *entry) (bool, error) {
+func (m *machine) fireAllocate(ref fireRef, n *dfg.Node, slot int32) (bool, error) {
 	if m.cfg.Policy == PolicyKBound && m.spacePooled[n.Space] {
-		return m.fireAllocateKBound(ref, n, e)
+		return m.fireAllocateKBound(ref, n, slot)
 	}
-	ready := e.has(allocReadyPort)
+	ws := &m.stores[ref.node]
+	ready := ws.has(slot, allocReadyPort)
 	canPop := false
 	switch m.cfg.Policy {
 	case PolicyTyr:
@@ -734,7 +781,7 @@ func (m *machine) fireAllocate(ref fireRef, n *dfg.Node, e *entry) (bool, error)
 		canPop = true
 	}
 	if !canPop {
-		e.parked = true
+		ws.setFlag(slot, wsParked)
 		idx := m.pendingIndex(n.Space)
 		m.pending[idx] = append(m.pending[idx], ref)
 		if m.rec != nil {
@@ -745,12 +792,13 @@ func (m *machine) fireAllocate(ref fireRef, n *dfg.Node, e *entry) (bool, error)
 		return false, nil
 	}
 	tag, _ := m.popTag(n.Space)
-	m.grantAllocate(ref, n, e, tag)
+	m.grantAllocate(ref, n, slot, tag)
 	return true, nil
 }
 
 // grantAllocate completes an allocate firing once a tag has been chosen.
-func (m *machine) grantAllocate(ref fireRef, n *dfg.Node, e *entry, tag uint64) {
+func (m *machine) grantAllocate(ref fireRef, n *dfg.Node, slot int32, tag uint64) {
+	ws := &m.stores[ref.node]
 	if m.san != nil {
 		m.san.held[tag] = n.Space
 	}
@@ -765,11 +813,11 @@ func (m *machine) grantAllocate(ref fireRef, n *dfg.Node, e *entry, tag uint64) 
 	}
 	m.emitAll(n, dfg.AllocTagOut, ref.tag, int64(tag))
 	m.consumeOne(n.Block, ref.tag) // the request token
-	e.popped = true
-	if e.has(allocReadyPort) {
+	ws.setFlag(slot, wsPopped)
+	if ws.has(slot, allocReadyPort) {
 		m.emitAll(n, dfg.AllocCtrlOut, ref.tag, 0)
 		m.consumeOne(n.Block, ref.tag) // the ready token
-		delete(m.stores[ref.node], ref.tag)
+		ws.delSlot(slot)
 	}
 }
 
@@ -786,7 +834,8 @@ const (
 // for iteration i+1-k to retire when the block is exhausted. Invocations
 // themselves are unbounded — the reason k-bounding does not solve
 // parallelism explosion in general.
-func (m *machine) fireAllocateKBound(ref fireRef, n *dfg.Node, e *entry) (bool, error) {
+func (m *machine) fireAllocateKBound(ref fireRef, n *dfg.Node, slot int32) (bool, error) {
+	ws := &m.stores[ref.node]
 	k := m.cfg.TagsPerBlock
 	if override, ok := m.cfg.BlockTags[m.g.Blocks[n.Space].Name]; ok {
 		k = override
@@ -797,36 +846,35 @@ func (m *machine) fireAllocateKBound(ref fireRef, n *dfg.Node, e *entry) (bool, 
 		m.kbNextInv++
 		base := kbFlag | uint64(n.Space)<<kbSpcShift | inv<<kbInvShift
 		key := base >> kbInvShift
-		pool := make([]uint64, 0, k-1)
+		rec := m.kbFor(key)
 		for t := k - 1; t >= 1; t-- {
-			pool = append(pool, base|uint64(t))
+			rec.pool = append(rec.pool, base|uint64(t))
 		}
-		m.kbPools[key] = pool
-		m.kbOut[key] = 1
+		rec.out = 1
 		if m.kbPeakPerInv < 1 {
 			m.kbPeakPerInv = 1
 		}
 		tag = base
 	} else {
 		key := ref.tag >> kbInvShift
-		pool := m.kbPools[key]
-		if len(pool) == 0 {
-			e.parked = true
-			m.kbPending[key] = append(m.kbPending[key], ref)
+		rec := m.kbFor(key)
+		if len(rec.pool) == 0 {
+			ws.setFlag(slot, wsParked)
+			rec.pending = append(rec.pending, ref)
 			if m.rec != nil {
 				m.rec.Record(trace.Event{Cycle: m.cycle, Kind: trace.KindPark,
 					Node: int32(ref.node), Block: int32(n.Space), Tag: ref.tag})
 			}
 			return false, nil
 		}
-		tag = pool[len(pool)-1]
-		m.kbPools[key] = pool[:len(pool)-1]
-		m.kbOut[key]++
-		if m.kbOut[key] > m.kbPeakPerInv {
-			m.kbPeakPerInv = m.kbOut[key]
+		tag = rec.pool[len(rec.pool)-1]
+		rec.pool = rec.pool[:len(rec.pool)-1]
+		rec.out++
+		if rec.out > m.kbPeakPerInv {
+			m.kbPeakPerInv = rec.out
 		}
 	}
-	m.grantAllocate(ref, n, e, tag)
+	m.grantAllocate(ref, n, slot, tag)
 	return true, nil
 }
 
@@ -842,29 +890,32 @@ func (m *machine) run() (Result, error) {
 
 	for {
 		// Deliver last cycle's tokens; completions join the ready flow.
+		// The outbox is double-buffered: deliveries append new tokens to
+		// the spare while the previous cycle's batch drains.
 		box := m.outbox
-		m.outbox = m.outbox[len(m.outbox):]
+		m.outbox = m.outboxSpare[:0]
 		for _, t := range box {
 			if err := m.deliver(t); err != nil {
 				return Result{}, err
 			}
 		}
-		if m.delayedCount > 0 {
-			if due := m.delayed[m.cycle]; len(due) > 0 {
-				delete(m.delayed, m.cycle)
-				m.delayedCount -= len(due)
-				for _, t := range due {
-					if err := m.deliver(t); err != nil {
-						return Result{}, err
-					}
+		m.outboxSpare = box
+		if m.delayed.Len() > 0 {
+			for _, t := range m.delayed.Take(m.cycle) {
+				if err := m.deliver(t); err != nil {
+					return Result{}, err
 				}
 			}
 		}
+		if m.readyHead == len(m.ready) {
+			m.ready = m.ready[:0]
+			m.readyHead = 0
+		}
 		m.ready = append(m.ready, m.nextReady...)
-		m.nextReady = m.nextReady[len(m.nextReady):]
+		m.nextReady = m.nextReady[:0]
 
-		if len(m.ready) == 0 {
-			if m.delayedCount > 0 {
+		if m.readyHead == len(m.ready) {
+			if m.delayed.Len() > 0 {
 				// Stalled on memory: burn an idle cycle.
 				m.cycle++
 				m.ipcHist[0]++
@@ -880,7 +931,7 @@ func (m *machine) run() (Result, error) {
 
 		budget := m.cfg.IssueWidth
 		firedThisCycle := 0
-		idx := 0
+		idx := m.readyHead
 		for budget > 0 && idx < len(m.ready) {
 			ref := m.ready[idx]
 			idx++
@@ -893,7 +944,12 @@ func (m *machine) run() (Result, error) {
 				firedThisCycle++
 			}
 		}
-		m.ready = m.ready[idx:]
+		m.readyHead = idx
+		if m.readyHead > 64 && m.readyHead*2 >= len(m.ready) {
+			n := copy(m.ready, m.ready[m.readyHead:])
+			m.ready = m.ready[:n]
+			m.readyHead = 0
+		}
 
 		m.cycle++
 		m.ipcHist[firedThisCycle]++
@@ -972,13 +1028,19 @@ func (m *machine) flushTrace() {
 
 func (m *machine) finish() (Result, error) {
 	m.flushTrace()
+	ipc := make(map[int]int64)
+	for k, v := range m.ipcHist {
+		if v != 0 {
+			ipc[k] = v
+		}
+	}
 	res := Result{
 		Completed:               m.done,
 		Cycles:                  m.cycle,
 		Fired:                   m.fired,
 		ResultValue:             m.resultVal,
 		PeakLive:                m.peakLive,
-		IPCHist:                 m.ipcHist,
+		IPCHist:                 ipc,
 		Trace:                   m.trace,
 		TraceStride:             m.traceStride,
 		PeakTags:                m.peakTags,
@@ -1036,14 +1098,15 @@ func (m *machine) finish() (Result, error) {
 	// Not completed: report deadlock with the starved allocates.
 	info := &DeadlockInfo{Cycle: m.cycle, LiveTokens: m.live}
 	allPending := append([][]fireRef{}, m.pending...)
-	for _, refs := range m.kbPending {
-		allPending = append(allPending, refs)
+	for i := range m.kbRecs {
+		allPending = append(allPending, m.kbRecs[i].pending)
 	}
 	starved := make(map[dfg.BlockID]int)
 	for idx := range allPending {
 		for _, ref := range allPending[idx] {
-			e := m.stores[ref.node][ref.tag]
-			if e == nil || !e.parked {
+			ws := &m.stores[ref.node]
+			slot := ws.lookup(ref.tag)
+			if slot < 0 || !ws.parked(slot) {
 				continue
 			}
 			n := &m.g.Nodes[ref.node]
@@ -1053,7 +1116,7 @@ func (m *machine) finish() (Result, error) {
 				Label:    n.Label,
 				Space:    m.g.Blocks[n.Space].Name,
 				Tag:      ref.tag,
-				HasReady: e.has(allocReadyPort),
+				HasReady: ws.has(slot, allocReadyPort),
 			})
 		}
 	}

@@ -138,7 +138,7 @@ func (s *sanitizer) fail(d Diagnostic) error {
 
 // checkFree validates a free firing; a nil return means the free is sound.
 func (s *sanitizer) checkFree(m *machine, n *dfg.Node, tag uint64) error {
-	if live := m.perTagLive[tag]; live != 0 {
+	if live, _ := m.perTagLive.get(tag); live != 0 {
 		return s.fail(Diagnostic{
 			Kind: DiagFreeWithLive, Cycle: m.cycle, Node: n.ID, Label: n.Label, Tag: tag, Event: m.evSeq(),
 			Detail: fmt.Sprintf("tag %#x freed with %d live tokens still carrying it (free barrier does not cover the block)", tag, live),
@@ -182,17 +182,18 @@ func (s *sanitizer) atCompletion(m *machine) error {
 			Detail: fmt.Sprintf("%d tokens still live at completion", m.live),
 		})
 	}
-	for nid, store := range m.stores {
-		for tag, e := range store {
+	for nid := range m.stores {
+		ws := &m.stores[nid]
+		n := &m.g.Nodes[nid]
+		ws.forEach(func(tag uint64, slot int32) {
 			if len(s.diags) >= maxDiags {
-				break
+				return
 			}
-			n := &m.g.Nodes[nid]
 			s.diags = append(s.diags, Diagnostic{
 				Kind: DiagOrphanInstance, Cycle: m.cycle, Node: n.ID, Label: n.Label, Tag: tag, Event: m.evSeq(),
-				Detail: fmt.Sprintf("instance still waiting for %d operand(s) at completion (fan-in underflow)", e.need),
+				Detail: fmt.Sprintf("instance still waiting for %d operand(s) at completion (fan-in underflow)", ws.need[slot]),
 			})
-		}
+		})
 	}
 	if len(s.diags) == 0 {
 		return nil

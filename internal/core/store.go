@@ -1,0 +1,317 @@
+package core
+
+// The waiting-token store. The seed engine matched tokens through a
+// per-node map[uint64]*entry with one heap-allocated entry per waiting
+// dynamic instance; on the simulator's hot loop that means a Go map probe
+// plus a pointer chase per token, and GC pressure proportional to the
+// token rate. waitStore replaces it with the software analogue of
+// Monsoon's explicit token store (DESIGN.md §6): an open-addressed,
+// power-of-two hash table keyed by tag, with every per-instance field —
+// operand values (slots sized by the node's fan-in), presence bitset,
+// remaining-operand count, and firing flags — stored inline in
+// slot-parallel arrays. Matching is a linear probe over a flat array;
+// insert and delete never allocate once the table has grown to the run's
+// peak occupancy (the table is the entry arena, and open addressing is
+// its freelist).
+
+// Slot flag bits (the entry's allocate-specific state).
+const (
+	wsPopped uint8 = 1 << iota // tag already popped; waiting for ready
+	wsQueued                   // in the ready queue
+	wsParked                   // starved of tags; waiting in a pending list
+)
+
+// wsMinCap is the initial table capacity (power of two).
+const wsMinCap = 8
+
+// hashTag mixes a tag into a table index base. Tags are highly structured
+// (space<<32|idx pool encodings, dense counters), so multiply by a 64-bit
+// odd constant (Fibonacci hashing) and keep the top bits.
+func hashTag(tag uint64) uint32 {
+	return uint32((tag * 0x9E3779B97F4A7C15) >> 32)
+}
+
+// waitStore is one static node's token store.
+type waitStore struct {
+	nIn      int     // operand slots per instance
+	words    int     // presence-bitset words per instance
+	needInit int32   // operands a fresh instance still waits for
+	consts   []int64 // constant-port prefill (len nIn, shared, read-only)
+
+	mask    uint32 // capacity - 1
+	n       int    // occupied slots
+	growAt  int    // occupancy threshold that triggers doubling
+	used    []bool
+	tags    []uint64
+	need    []int32
+	flags   []uint8
+	vals    []int64  // capacity * nIn
+	present []uint64 // capacity * words
+}
+
+func (ws *waitStore) init(nIn, words int, needInit int32, consts []int64) {
+	ws.nIn = nIn
+	ws.words = words
+	ws.needInit = needInit
+	ws.consts = consts
+	ws.alloc(wsMinCap)
+}
+
+func (ws *waitStore) alloc(capacity int) {
+	ws.mask = uint32(capacity - 1)
+	ws.growAt = capacity * 13 / 16
+	ws.used = make([]bool, capacity)
+	ws.tags = make([]uint64, capacity)
+	ws.need = make([]int32, capacity)
+	ws.flags = make([]uint8, capacity)
+	ws.vals = make([]int64, capacity*ws.nIn)
+	ws.present = make([]uint64, capacity*ws.words)
+}
+
+func (ws *waitStore) len() int { return ws.n }
+
+// lookup returns the slot holding tag, or -1.
+func (ws *waitStore) lookup(tag uint64) int32 {
+	i := hashTag(tag) & ws.mask
+	for ws.used[i] {
+		if ws.tags[i] == tag {
+			return int32(i)
+		}
+		i = (i + 1) & ws.mask
+	}
+	return -1
+}
+
+// insert adds a fresh instance for tag (which must not be present) and
+// returns its slot: operands prefilled with the node's constants, presence
+// cleared, flags zeroed. Grows first if the load factor would be exceeded,
+// so the returned slot stays valid until the next insert or delete.
+func (ws *waitStore) insert(tag uint64) int32 {
+	if ws.n >= ws.growAt {
+		ws.grow()
+	}
+	i := hashTag(tag) & ws.mask
+	for ws.used[i] {
+		i = (i + 1) & ws.mask
+	}
+	ws.used[i] = true
+	ws.tags[i] = tag
+	ws.need[i] = ws.needInit
+	ws.flags[i] = 0
+	copy(ws.vals[int(i)*ws.nIn:(int(i)+1)*ws.nIn], ws.consts)
+	pw := ws.present[int(i)*ws.words : (int(i)+1)*ws.words]
+	for w := range pw {
+		pw[w] = 0
+	}
+	ws.n++
+	return int32(i)
+}
+
+func (ws *waitStore) grow() {
+	oldUsed, oldTags, oldNeed, oldFlags := ws.used, ws.tags, ws.need, ws.flags
+	oldVals, oldPresent := ws.vals, ws.present
+	ws.alloc(2 * (int(ws.mask) + 1))
+	for j := range oldUsed {
+		if !oldUsed[j] {
+			continue
+		}
+		i := hashTag(oldTags[j]) & ws.mask
+		for ws.used[i] {
+			i = (i + 1) & ws.mask
+		}
+		ws.used[i] = true
+		ws.tags[i] = oldTags[j]
+		ws.need[i] = oldNeed[j]
+		ws.flags[i] = oldFlags[j]
+		copy(ws.vals[int(i)*ws.nIn:(int(i)+1)*ws.nIn], oldVals[j*ws.nIn:(j+1)*ws.nIn])
+		copy(ws.present[int(i)*ws.words:(int(i)+1)*ws.words], oldPresent[j*ws.words:(j+1)*ws.words])
+	}
+}
+
+// delSlot removes the instance at slot using backward-shift deletion (no
+// tombstones: subsequent entries whose probe chains pass through the hole
+// are shifted back, keeping lookups tombstone-free forever).
+func (ws *waitStore) delSlot(slot int32) {
+	i := uint32(slot)
+	ws.used[i] = false
+	ws.n--
+	j := i
+	for {
+		j = (j + 1) & ws.mask
+		if !ws.used[j] {
+			return
+		}
+		h := hashTag(ws.tags[j]) & ws.mask
+		// The entry at j may fill the hole at i only if its home h does
+		// not lie cyclically inside (i, j] — otherwise moving it would
+		// break its own probe chain.
+		if (j-h)&ws.mask >= (j-i)&ws.mask {
+			ws.used[i] = true
+			ws.tags[i] = ws.tags[j]
+			ws.need[i] = ws.need[j]
+			ws.flags[i] = ws.flags[j]
+			copy(ws.vals[int(i)*ws.nIn:(int(i)+1)*ws.nIn], ws.vals[int(j)*ws.nIn:(int(j)+1)*ws.nIn])
+			copy(ws.present[int(i)*ws.words:(int(i)+1)*ws.words], ws.present[int(j)*ws.words:(int(j)+1)*ws.words])
+			ws.used[j] = false
+			i = j
+		}
+	}
+}
+
+// valSlice returns the operand values of slot (valid until the next
+// insert or delete on this store).
+func (ws *waitStore) valSlice(slot int32) []int64 {
+	return ws.vals[int(slot)*ws.nIn : (int(slot)+1)*ws.nIn]
+}
+
+func (ws *waitStore) has(slot int32, port int) bool {
+	return ws.present[int(slot)*ws.words+port>>6]&(1<<(port&63)) != 0
+}
+
+func (ws *waitStore) set(slot int32, port int) {
+	ws.present[int(slot)*ws.words+port>>6] |= 1 << (port & 63)
+}
+
+func (ws *waitStore) popped(slot int32) bool { return ws.flags[slot]&wsPopped != 0 }
+func (ws *waitStore) queued(slot int32) bool { return ws.flags[slot]&wsQueued != 0 }
+func (ws *waitStore) parked(slot int32) bool { return ws.flags[slot]&wsParked != 0 }
+
+func (ws *waitStore) setFlag(slot int32, f uint8)   { ws.flags[slot] |= f }
+func (ws *waitStore) clearFlag(slot int32, f uint8) { ws.flags[slot] &^= f }
+
+// forEach visits every waiting instance in slot order (deterministic).
+// The callback must not insert into or delete from the store.
+func (ws *waitStore) forEach(fn func(tag uint64, slot int32)) {
+	for i := range ws.used {
+		if ws.used[i] {
+			fn(ws.tags[i], int32(i))
+		}
+	}
+}
+
+// tagMap is a small open-addressed uint64 -> int64 map with backward-shift
+// deletion, used for the keyed-block (k-bounding) invocation index and the
+// per-tag live-token accounting — places the seed used Go maps whose
+// buckets are never reclaimed even though keys retire constantly.
+type tagMap struct {
+	mask   uint32
+	n      int
+	growAt int
+	used   []bool
+	keys   []uint64
+	vals   []int64
+}
+
+func newTagMap() *tagMap {
+	m := &tagMap{}
+	m.alloc(wsMinCap)
+	return m
+}
+
+func (m *tagMap) alloc(capacity int) {
+	m.mask = uint32(capacity - 1)
+	m.growAt = capacity * 13 / 16
+	m.used = make([]bool, capacity)
+	m.keys = make([]uint64, capacity)
+	m.vals = make([]int64, capacity)
+}
+
+func (m *tagMap) len() int { return m.n }
+
+func (m *tagMap) get(key uint64) (int64, bool) {
+	i := hashTag(key) & m.mask
+	for m.used[i] {
+		if m.keys[i] == key {
+			return m.vals[i], true
+		}
+		i = (i + 1) & m.mask
+	}
+	return 0, false
+}
+
+// put sets key to v, inserting it if absent.
+func (m *tagMap) put(key uint64, v int64) {
+	if m.n >= m.growAt {
+		m.grow()
+	}
+	i := hashTag(key) & m.mask
+	for m.used[i] {
+		if m.keys[i] == key {
+			m.vals[i] = v
+			return
+		}
+		i = (i + 1) & m.mask
+	}
+	m.used[i] = true
+	m.keys[i] = key
+	m.vals[i] = v
+	m.n++
+}
+
+// add adjusts key's value by delta (inserting at delta if absent) and
+// returns the new value.
+func (m *tagMap) add(key uint64, delta int64) int64 {
+	if m.n >= m.growAt {
+		m.grow()
+	}
+	i := hashTag(key) & m.mask
+	for m.used[i] {
+		if m.keys[i] == key {
+			m.vals[i] += delta
+			return m.vals[i]
+		}
+		i = (i + 1) & m.mask
+	}
+	m.used[i] = true
+	m.keys[i] = key
+	m.vals[i] = delta
+	m.n++
+	return delta
+}
+
+func (m *tagMap) del(key uint64) {
+	i := hashTag(key) & m.mask
+	for {
+		if !m.used[i] {
+			return
+		}
+		if m.keys[i] == key {
+			break
+		}
+		i = (i + 1) & m.mask
+	}
+	m.used[i] = false
+	m.n--
+	j := i
+	for {
+		j = (j + 1) & m.mask
+		if !m.used[j] {
+			return
+		}
+		h := hashTag(m.keys[j]) & m.mask
+		if (j-h)&m.mask >= (j-i)&m.mask {
+			m.used[i] = true
+			m.keys[i] = m.keys[j]
+			m.vals[i] = m.vals[j]
+			m.used[j] = false
+			i = j
+		}
+	}
+}
+
+func (m *tagMap) grow() {
+	oldUsed, oldKeys, oldVals := m.used, m.keys, m.vals
+	m.alloc(2 * (int(m.mask) + 1)) // n is unchanged: rehashing moves entries, it doesn't add them
+	for j := range oldUsed {
+		if !oldUsed[j] {
+			continue
+		}
+		i := hashTag(oldKeys[j]) & m.mask
+		for m.used[i] {
+			i = (i + 1) & m.mask
+		}
+		m.used[i] = true
+		m.keys[i] = oldKeys[j]
+		m.vals[i] = oldVals[j]
+	}
+}

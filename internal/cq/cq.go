@@ -1,0 +1,104 @@
+// Package cq provides a calendar (bucket) queue: a priority queue for
+// items keyed by a discrete due time, optimized for simulators that
+// advance time monotonically and drain one due slot per step.
+//
+// The seed engines kept future deliveries in a map[int64][]T keyed by
+// absolute due cycle, paying a map probe per push and per cycle plus a
+// fresh bucket allocation per distinct due time. The calendar queue hashes
+// the due time into a power-of-two wheel of buckets (slot = due & mask);
+// drained buckets keep their capacity, so in steady state pushing and
+// taking allocate nothing. When two pending due times collide on a slot
+// the wheel doubles until every pending due has its own slot — span
+// between the nearest and farthest pending due bounds the wheel size, and
+// in these simulators that span is a memory latency, not a run length.
+package cq
+
+// Queue is a calendar queue of items of type T. The zero value is ready
+// to use.
+type Queue[T any] struct {
+	mask    int64
+	n       int
+	dues    []int64
+	buckets [][]T
+}
+
+const minWheel = 16
+
+// Len reports the number of pending items.
+func (q *Queue[T]) Len() int { return q.n }
+
+// Push enqueues v at the given due time.
+func (q *Queue[T]) Push(due int64, v T) {
+	if q.buckets == nil {
+		q.alloc(minWheel)
+	}
+	for {
+		i := due & q.mask
+		if len(q.buckets[i]) == 0 || q.dues[i] == due {
+			q.dues[i] = due
+			q.buckets[i] = append(q.buckets[i], v)
+			q.n++
+			return
+		}
+		q.grow(due)
+	}
+}
+
+// Take removes and returns every item due exactly at the given time, in
+// push order, or nil if none. The returned slice is owned by the queue
+// and only valid until the next Push — callers must finish iterating
+// (without pushing) before touching the queue again.
+func (q *Queue[T]) Take(due int64) []T {
+	if q.n == 0 {
+		return nil
+	}
+	i := due & q.mask
+	b := q.buckets[i]
+	if len(b) == 0 || q.dues[i] != due {
+		return nil
+	}
+	q.buckets[i] = b[:0]
+	q.n -= len(b)
+	return b
+}
+
+func (q *Queue[T]) alloc(size int64) {
+	q.mask = size - 1
+	q.dues = make([]int64, size)
+	q.buckets = make([][]T, size)
+}
+
+// grow doubles the wheel until every pending due time — plus the one
+// being pushed — maps to a distinct slot. Bucket slices move by header,
+// not by element.
+func (q *Queue[T]) grow(newDue int64) {
+	type occ struct {
+		due int64
+		b   []T
+	}
+	var pend []occ
+	for i, b := range q.buckets {
+		if len(b) > 0 {
+			pend = append(pend, occ{due: q.dues[i], b: b})
+		}
+	}
+	size := (q.mask + 1) * 2
+retry:
+	for {
+		q.alloc(size)
+		for _, p := range pend {
+			i := p.due & q.mask
+			if len(q.buckets[i]) > 0 {
+				size *= 2
+				continue retry
+			}
+			q.dues[i] = p.due
+			q.buckets[i] = p.b
+		}
+		if i := newDue & q.mask; len(q.buckets[i]) > 0 && q.dues[i] != newDue {
+			size *= 2
+			continue retry
+		}
+		return
+	}
+}

@@ -1,0 +1,110 @@
+package cq
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestPushTakeOrder checks FIFO order within a due slot and exact-slot
+// draining across colliding dues (which force wheel growth).
+func TestPushTakeOrder(t *testing.T) {
+	var q Queue[int]
+	// 5 and 21 collide on the initial 16-slot wheel.
+	q.Push(5, 50)
+	q.Push(21, 210)
+	q.Push(5, 51)
+	q.Push(21, 211)
+	if q.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", q.Len())
+	}
+	if got := q.Take(4); got != nil {
+		t.Fatalf("Take(4) = %v, want nil", got)
+	}
+	got5 := q.Take(5)
+	if len(got5) != 2 || got5[0] != 50 || got5[1] != 51 {
+		t.Fatalf("Take(5) = %v, want [50 51]", got5)
+	}
+	got21 := q.Take(21)
+	if len(got21) != 2 || got21[0] != 210 || got21[1] != 211 {
+		t.Fatalf("Take(21) = %v, want [210 211]", got21)
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d after draining, want 0", q.Len())
+	}
+}
+
+// TestAgainstMapReference drives random pushes and monotone per-cycle
+// takes against the seed's map[int64][]T representation.
+func TestAgainstMapReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var q Queue[int]
+	ref := make(map[int64][]int)
+	refCount := 0
+	next := 0
+	for cycle := int64(0); cycle < 3000; cycle++ {
+		for i := rng.Intn(4); i > 0; i-- {
+			due := cycle + 1 + int64(rng.Intn(200))
+			q.Push(due, next)
+			ref[due] = append(ref[due], next)
+			refCount++
+			next++
+		}
+		got := q.Take(cycle)
+		want := ref[cycle]
+		if len(got) != len(want) {
+			t.Fatalf("cycle %d: Take returned %d items, want %d", cycle, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("cycle %d item %d: got %d, want %d", cycle, i, got[i], want[i])
+			}
+		}
+		if len(want) > 0 {
+			delete(ref, cycle)
+			refCount -= len(want)
+		}
+		if q.Len() != refCount {
+			t.Fatalf("cycle %d: Len = %d, want %d", cycle, q.Len(), refCount)
+		}
+	}
+}
+
+// TestBucketReuse asserts steady-state pushes after a drain do not grow
+// the wheel and reuse bucket capacity (the allocation-free property).
+func TestBucketReuse(t *testing.T) {
+	var q Queue[int]
+	for round := 0; round < 100; round++ {
+		due := int64(round + 1)
+		for i := 0; i < 8; i++ {
+			q.Push(due, i)
+		}
+		got := q.Take(due)
+		if len(got) != 8 {
+			t.Fatalf("round %d: Take returned %d items, want 8", round, len(got))
+		}
+	}
+	if size := len(q.buckets); size != minWheel {
+		t.Fatalf("wheel grew to %d slots on non-colliding load, want %d", size, minWheel)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		q.Push(1000, 1)
+		q.Take(1000)
+	})
+	if allocs > 0 {
+		t.Fatalf("steady-state push/take allocates %.1f times per op, want 0", allocs)
+	}
+}
+
+// BenchmarkPushTake is the delay-queue hot path: a handful of tokens
+// scheduled a few cycles out, drained in cycle order.
+func BenchmarkPushTake(b *testing.B) {
+	var q Queue[int]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cycle := int64(i)
+		q.Push(cycle+3, i)
+		q.Push(cycle+7, i)
+		q.Take(cycle)
+	}
+}

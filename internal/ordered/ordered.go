@@ -15,6 +15,7 @@ package ordered
 import (
 	"fmt"
 
+	"repro/internal/cq"
 	"repro/internal/dfg"
 	"repro/internal/mem"
 	"repro/internal/trace"
@@ -121,39 +122,69 @@ type push struct {
 	val int64
 }
 
+// dirtySet is a deduplicating node set: a membership bitmap plus an
+// insertion-order list, replacing the seed's map[dfg.NodeID]bool so the
+// per-cycle candidate scan touches no hash buckets and clears in O(set)
+// without reallocation. Candidate order is restored by sorting the list,
+// exactly as the seed sorted the map's keys.
+type dirtySet struct {
+	marked []bool
+	list   []dfg.NodeID
+}
+
+func (s *dirtySet) add(nid dfg.NodeID) {
+	if !s.marked[nid] {
+		s.marked[nid] = true
+		s.list = append(s.list, nid)
+	}
+}
+
+func (s *dirtySet) clear() {
+	for _, nid := range s.list {
+		s.marked[nid] = false
+	}
+	s.list = s.list[:0]
+}
+
 type machine struct {
 	g   *dfg.Graph
 	im  *mem.Image
 	cfg Config
 
-	queues  [][]fifo // per node, per input port
-	memIdx  []int    // graph region -> image region
-	staged  []push
-	stagedN map[dfg.Port]int // pushes staged this cycle, for space checks
+	queues [][]fifo // per node, per input port
+	memIdx []int    // graph region -> image region
+	staged []push
+
+	// Per-input-port state lives in flat slices indexed by
+	// portBase[node]+in (prefix sums over NIn), replacing the seed's
+	// map[dfg.Port] tables on the backpressure hot path.
+	portBase []int32
+	stagedN  []int32 // pushes staged this cycle, for space checks
 
 	// delayed holds load results completing in future cycles; inFlight
 	// counts them per destination port so backpressure accounts for
 	// memory responses that have not landed yet, and lastDue serializes
 	// responses into each queue (positional synchronization means a later
 	// cache hit must not overtake an earlier miss on the same edge).
-	delayed      map[int64][]push
-	delayedCount int
-	inFlight     map[dfg.Port]int
-	lastDue      map[dfg.Port]int64
+	delayed  cq.Queue[push]
+	inFlight []int32
+	lastDue  []int64
 
 	// producersOf[node] lists nodes whose outputs feed node's inputs, so
 	// freed queue space can re-arm them.
 	producersOf [][]dfg.NodeID
 
-	dirty     map[dfg.NodeID]bool
-	nextDirty map[dfg.NodeID]bool
+	dirty     *dirtySet
+	nextDirty *dirtySet
 
 	live     int64
 	cycle    int64
 	fired    int64
 	sumLive  int64
 	peakLive int64
-	ipcHist  map[int]int64
+	ipcHist  []int64 // indexed by fires per cycle (bounded by IssueWidth)
+
+	vals []int64 // operand scratch for join/forward fires
 
 	tracePts    []StatePoint
 	traceStride int64
@@ -166,6 +197,9 @@ type machine struct {
 	resultVal  int64
 }
 
+// pidx flattens a port into its per-port slice index.
+func (m *machine) pidx(p dfg.Port) int32 { return m.portBase[p.Node] + int32(p.In) }
+
 // Run executes an ordered (ModeOrdered) graph against the memory image.
 func Run(g *dfg.Graph, im *mem.Image, cfg Config) (Result, error) {
 	cfg = cfg.withDefaults()
@@ -177,15 +211,25 @@ func Run(g *dfg.Graph, im *mem.Image, cfg Config) (Result, error) {
 		im:        im,
 		cfg:       cfg,
 		queues:    make([][]fifo, len(g.Nodes)),
-		stagedN:   make(map[dfg.Port]int),
-		dirty:     make(map[dfg.NodeID]bool),
-		nextDirty: make(map[dfg.NodeID]bool),
-		delayed:   make(map[int64][]push),
-		inFlight:  make(map[dfg.Port]int),
-		lastDue:   make(map[dfg.Port]int64),
-		ipcHist:   make(map[int]int64),
+		dirty:     &dirtySet{marked: make([]bool, len(g.Nodes))},
+		nextDirty: &dirtySet{marked: make([]bool, len(g.Nodes))},
+		ipcHist:   make([]int64, cfg.IssueWidth+1),
 		rec:       cfg.Tracer,
 	}
+	m.portBase = make([]int32, len(g.Nodes))
+	nports := int32(0)
+	maxIn := 0
+	for i := range g.Nodes {
+		m.portBase[i] = nports
+		nports += int32(g.Nodes[i].NIn)
+		if g.Nodes[i].NIn > maxIn {
+			maxIn = g.Nodes[i].NIn
+		}
+	}
+	m.stagedN = make([]int32, nports)
+	m.inFlight = make([]int32, nports)
+	m.lastDue = make([]int64, nports)
+	m.vals = make([]int64, maxIn)
 	if cfg.TracePoints > 0 {
 		m.traceStride = 1
 	}
@@ -220,7 +264,7 @@ func Run(g *dfg.Graph, im *mem.Image, cfg Config) (Result, error) {
 	for _, inj := range g.Entries {
 		m.queues[inj.To.Node][inj.To.In].push(inj.Val)
 		m.live++
-		m.dirty[inj.To.Node] = true
+		m.dirty.add(inj.To.Node)
 		if m.rec != nil {
 			m.rec.Record(trace.Event{Kind: trace.KindDeliver,
 				Node: int32(inj.To.Node), Src: trace.NoNode,
@@ -235,7 +279,8 @@ func Run(g *dfg.Graph, im *mem.Image, cfg Config) (Result, error) {
 // counting pushes already staged this cycle.
 func (m *machine) room(n *dfg.Node, out int) bool {
 	for _, d := range n.Outs[out] {
-		if m.queues[d.Node][d.In].len()+m.stagedN[d]+m.inFlight[d] >= m.cfg.QueueCap {
+		pi := m.pidx(d)
+		if m.queues[d.Node][d.In].len()+int(m.stagedN[pi])+int(m.inFlight[pi]) >= m.cfg.QueueCap {
 			return false
 		}
 	}
@@ -300,7 +345,7 @@ func (m *machine) input(n *dfg.Node, in int) int64 {
 func (m *machine) emit(n *dfg.Node, out int, val int64) {
 	for _, d := range n.Outs[out] {
 		m.staged = append(m.staged, push{to: d, src: n.ID, val: val})
-		m.stagedN[d]++
+		m.stagedN[m.pidx(d)]++
 		m.live++
 		if m.rec != nil {
 			m.rec.Record(trace.Event{Cycle: m.cycle, Kind: trace.KindEmit,
@@ -338,17 +383,17 @@ func (m *machine) emitMem(n *dfg.Node, out int, val int64, lat int64) {
 		return
 	}
 	for _, d := range n.Outs[out] {
+		pi := m.pidx(d)
 		due := m.cycle + lat
 		if due <= m.cycle {
 			due = m.cycle + 1 // this cycle's due tokens already delivered
 		}
-		if due < m.lastDue[d] {
-			due = m.lastDue[d]
+		if due < m.lastDue[pi] {
+			due = m.lastDue[pi]
 		}
-		m.lastDue[d] = due
-		m.delayed[due] = append(m.delayed[due], push{to: d, src: n.ID, val: val})
-		m.delayedCount++
-		m.inFlight[d]++
+		m.lastDue[pi] = due
+		m.delayed.Push(due, push{to: d, src: n.ID, val: val})
+		m.inFlight[pi]++
 		m.live++
 	}
 }
@@ -357,7 +402,7 @@ func (m *machine) emitMem(n *dfg.Node, out int, val int64, lat int64) {
 // awaits an in-flight memory response.
 func (m *machine) memPending(n *dfg.Node, out int) bool {
 	for _, d := range n.Outs[out] {
-		if m.inFlight[d] > 0 {
+		if m.inFlight[m.pidx(d)] > 0 {
 			return true
 		}
 	}
@@ -437,7 +482,7 @@ func (m *machine) fireNode(nid dfg.NodeID) error {
 		// The word lands at fire time; only the ordering token waits.
 		m.emitMem(n, dfg.StoreCtrlOut, 0, m.memLatency(mem.AccessStore, n.Region, addr))
 	case dfg.OpForward, dfg.OpJoin:
-		vals := make([]int64, n.NIn)
+		vals := m.vals[:n.NIn]
 		for in := 0; in < n.NIn; in++ {
 			vals[in] = m.input(n, in)
 		}
@@ -456,54 +501,49 @@ func (m *machine) fireNode(nid dfg.NodeID) error {
 
 	// Re-arm: this node (more queued inputs), consumers (new data), and
 	// producers into the queues we just drained (freed space).
-	m.nextDirty[nid] = true
+	m.nextDirty.add(nid)
 	for _, dests := range n.Outs {
 		for _, d := range dests {
-			m.nextDirty[d.Node] = true
+			m.nextDirty.add(d.Node)
 		}
 	}
 	for _, p := range m.producersOf[nid] {
-		m.nextDirty[p] = true
+		m.nextDirty.add(p)
 	}
 	return nil
 }
 
 func (m *machine) run() (Result, error) {
 	for {
-		if len(m.dirty) == 0 && m.delayedCount == 0 {
+		if len(m.dirty.list) == 0 && m.delayed.Len() == 0 {
 			break
 		}
-		if due := m.delayed[m.cycle]; len(due) > 0 {
-			delete(m.delayed, m.cycle)
-			m.delayedCount -= len(due)
-			for _, p := range due {
-				m.queues[p.to.Node][p.to.In].push(p.val)
-				m.inFlight[p.to]--
-				m.dirty[p.to.Node] = true
-				if m.rec != nil {
-					m.rec.Record(trace.Event{Cycle: m.cycle, Kind: trace.KindDeliver,
-						Node: int32(p.to.Node), Src: int32(p.src),
-						Block: int32(m.g.Nodes[p.to.Node].Block),
-						Port:  int16(p.to.In), Val: p.val})
-				}
+		for _, p := range m.delayed.Take(m.cycle) {
+			m.queues[p.to.Node][p.to.In].push(p.val)
+			m.inFlight[m.pidx(p.to)]--
+			m.dirty.add(p.to.Node)
+			if m.rec != nil {
+				m.rec.Record(trace.Event{Cycle: m.cycle, Kind: trace.KindDeliver,
+					Node: int32(p.to.Node), Src: int32(p.src),
+					Block: int32(m.g.Nodes[p.to.Node].Block),
+					Port:  int16(p.to.In), Val: p.val})
 			}
 		}
 		if m.cycle >= m.cfg.MaxCycles {
 			return Result{}, fmt.Errorf("ordered: exceeded MaxCycles=%d", m.cfg.MaxCycles)
 		}
 
-		// Deterministic candidate order.
-		var candidates []dfg.NodeID
-		for nid := range m.dirty {
-			candidates = append(candidates, nid)
-		}
+		// Deterministic candidate order: the dirty list holds the same
+		// set the seed kept as map keys; sorting it in place restores the
+		// seed's candidate order without a per-cycle allocation.
+		candidates := m.dirty.list
 		sortNodeIDs(candidates)
 
 		budget := m.cfg.IssueWidth
 		firedThisCycle := 0
 		for _, nid := range candidates {
 			if budget == 0 {
-				m.nextDirty[nid] = true // retry next cycle
+				m.nextDirty.add(nid) // retry next cycle
 				continue
 			}
 			if !m.ready(nid) {
@@ -516,10 +556,11 @@ func (m *machine) run() (Result, error) {
 			firedThisCycle++
 		}
 
-		// Deliver staged tokens.
+		// Deliver staged tokens, unwinding their staged-count reservations.
 		for _, p := range m.staged {
 			m.queues[p.to.Node][p.to.In].push(p.val)
-			m.nextDirty[p.to.Node] = true
+			m.stagedN[m.pidx(p.to)] = 0
+			m.nextDirty.add(p.to.Node)
 			if m.rec != nil {
 				m.rec.Record(trace.Event{Cycle: m.cycle, Kind: trace.KindDeliver,
 					Node: int32(p.to.Node), Src: int32(p.src),
@@ -528,14 +569,9 @@ func (m *machine) run() (Result, error) {
 			}
 		}
 		m.staged = m.staged[:0]
-		for k := range m.stagedN {
-			delete(m.stagedN, k)
-		}
 
+		m.dirty.clear()
 		m.dirty, m.nextDirty = m.nextDirty, m.dirty
-		for k := range m.nextDirty {
-			delete(m.nextDirty, k)
-		}
 
 		m.cycle++
 		m.ipcHist[firedThisCycle]++
@@ -547,13 +583,19 @@ func (m *machine) run() (Result, error) {
 	}
 
 	m.flushTrace()
+	ipc := make(map[int]int64)
+	for k, v := range m.ipcHist {
+		if v != 0 {
+			ipc[k] = v
+		}
+	}
 	res := Result{
 		Completed:   m.resultSeen,
 		Cycles:      m.cycle,
 		Fired:       m.fired,
 		ResultValue: m.resultVal,
 		PeakLive:    m.peakLive,
-		IPCHist:     m.ipcHist,
+		IPCHist:     ipc,
 		Trace:       m.tracePts,
 		TraceStride: m.traceStride,
 		Note:        fmt.Sprintf("queue-cap=%d width=%d", m.cfg.QueueCap, m.cfg.IssueWidth),

@@ -1,0 +1,76 @@
+// Package profflag wires runtime/pprof profiling into a command's flag
+// set: -cpuprofile writes a CPU profile over the whole run, -memprofile
+// writes a heap profile at exit (after a final GC, so it shows live
+// steady-state memory rather than collectable garbage). Both outputs are
+// read with `go tool pprof`.
+package profflag
+
+import (
+	"flag"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Profiler carries the registered flag values. Register it before flag
+// parsing, Start after, and Stop on the way out.
+type Profiler struct {
+	cpu *string
+	mem *string
+	f   *os.File
+}
+
+// Register adds -cpuprofile and -memprofile to fs.
+func Register(fs *flag.FlagSet) *Profiler {
+	return &Profiler{
+		cpu: fs.String("cpuprofile", "", "write a CPU profile to this path (inspect with go tool pprof)"),
+		mem: fs.String("memprofile", "", "write a heap profile to this path at exit"),
+	}
+}
+
+// Start begins CPU profiling when -cpuprofile was given.
+func (p *Profiler) Start() error {
+	if *p.cpu == "" {
+		return nil
+	}
+	f, err := os.Create(*p.cpu)
+	if err != nil {
+		return err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return err
+	}
+	p.f = f
+	return nil
+}
+
+// Stop ends CPU profiling and writes the heap profile, as requested. It
+// is safe to call when neither flag was given.
+func (p *Profiler) Stop() error {
+	var first error
+	if p.f != nil {
+		pprof.StopCPUProfile()
+		if err := p.f.Close(); err != nil {
+			first = err
+		}
+		p.f = nil
+	}
+	if *p.mem != "" {
+		f, err := os.Create(*p.mem)
+		if err != nil {
+			if first == nil {
+				first = err
+			}
+			return first
+		}
+		runtime.GC() // drop collectable garbage so the profile shows live memory
+		if err := pprof.WriteHeapProfile(f); err != nil && first == nil {
+			first = err
+		}
+		if err := f.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -92,8 +92,13 @@ type model struct {
 	clock    int64 // committed cycles of completed blocks
 	n        int64 // instructions in the current block
 	maxReady int64 // dependence height (absolute)
-	levels   map[int64]int64
-	peakPar  int64
+	// levels counts instructions per ready cycle within the current
+	// block, indexed by r - clock - 1 (every r lands after the committed
+	// clock, so the block's dependence levels form a dense prefix). The
+	// used prefix is zeroed at each boundary, replacing the seed's
+	// per-block map churn.
+	levels  []int64
+	peakPar int64
 
 	instrs int64 // total, incl. WaveAdvances
 	waves  int64
@@ -108,7 +113,7 @@ type model struct {
 	winMaxCycle int64
 	winValid    bool
 
-	ipcHist map[int]int64
+	ipcHist []int64 // indexed by block IPC, capped at width
 
 	rec *trace.Recorder
 }
@@ -140,9 +145,13 @@ func (m *model) Instr(class prog.InstrClass, deps ...int64) int64 {
 	if r > m.maxReady {
 		m.maxReady = r
 	}
-	m.levels[r]++
-	if m.levels[r] > m.peakPar {
-		m.peakPar = m.levels[r]
+	idx := r - m.clock - 1
+	for int64(len(m.levels)) <= idx {
+		m.levels = append(m.levels, 0)
+	}
+	m.levels[idx]++
+	if m.levels[idx] > m.peakPar {
+		m.peakPar = m.levels[idx]
 	}
 	return r
 }
@@ -190,13 +199,20 @@ func (m *model) Boundary(_ prog.BoundaryKind, live int) {
 		m.ipcHist[ipc] += blockCycles
 	}
 
+	// Zero the block's used dependence levels (indices are relative to
+	// the clock the block started at).
+	used := m.maxReady - m.clock
+	if used > int64(len(m.levels)) {
+		used = int64(len(m.levels))
+	}
+	for i := int64(0); i < used; i++ {
+		m.levels[i] = 0
+	}
+
 	m.clock = finish + waveCost
 	m.n = 0
 	m.maxReady = m.clock
 	m.peakPar = 0
-	for k := range m.levels {
-		delete(m.levels, k)
-	}
 	if m.rec != nil {
 		m.rec.Record(trace.Event{Cycle: m.clock, Kind: trace.KindBoundary,
 			Node: trace.NoNode, Src: trace.NoNode, Val: int64(live)})
@@ -292,8 +308,7 @@ func Run(p *prog.Program, im *mem.Image, cfg Config) (Result, error) {
 		width:       width,
 		loadLat:     cfg.LoadLatency,
 		memory:      cfg.Memory,
-		levels:      make(map[int64]int64),
-		ipcHist:     make(map[int]int64),
+		ipcHist:     make([]int64, width+1),
 		tracePoints: cfg.TracePoints,
 		traceStride: 1,
 		rec:         cfg.Tracer,
@@ -308,6 +323,12 @@ func Run(p *prog.Program, im *mem.Image, cfg Config) (Result, error) {
 	m.Boundary(prog.BoundaryCallExit, 0) // flush the final block
 	m.flush()
 
+	ipc := make(map[int]int64)
+	for k, v := range m.ipcHist {
+		if v != 0 {
+			ipc[k] = v
+		}
+	}
 	out := Result{
 		Completed: true,
 		Cycles:    m.clock,
@@ -315,7 +336,7 @@ func Run(p *prog.Program, im *mem.Image, cfg Config) (Result, error) {
 		Waves:     m.waves,
 		Ret:       res.Ret,
 		PeakLive:  m.peakLive,
-		IPCHist:   m.ipcHist,
+		IPCHist:   ipc,
 		Trace:     m.tracePts,
 		Stats:     res.Stats,
 		Note:      fmt.Sprintf("hyperblock waves, width=%d", width),
