@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	tyrc [-sys tyr] [-tags 64] [-width 128] [-O] [-arg N]... [-emit asm|dot|ir]
+//	tyrc [-system tyr] [-tags 64] [-width 128] [-O] [-arg N]... [-emit asm|dot|ir]
 //	     [-vet] [-trace out.json] [-profile]
 //	     [-cache] [-l1 sets=32,ways=2,line=4,lat=1] [-l2 ...] prog.tyr
 //
@@ -15,6 +15,12 @@
 // cross-checked against the reference interpreter unless -emit or -vet is
 // used. -trace records the run's event stream as Chrome trace-event JSON;
 // -profile prints the critical-path profile.
+//
+// The run flags assemble a tyr-api/v1 request (internal/api) and execute
+// through the same harness entry point as the tyrd service, so a tyrc
+// invocation and a curl against /v1/run mean the same simulation. Shared
+// flag groups live in internal/cliflags; -sys remains a deprecated alias
+// for -system.
 package main
 
 import (
@@ -24,16 +30,14 @@ import (
 	"strconv"
 
 	"repro/internal/analysis"
-	"repro/internal/cache"
+	"repro/internal/api"
+	"repro/internal/apps"
+	"repro/internal/cliflags"
 	"repro/internal/compile"
-	"repro/internal/core"
-	"repro/internal/mem"
+	"repro/internal/harness"
 	"repro/internal/metrics"
-	"repro/internal/ordered"
 	"repro/internal/prog"
-	"repro/internal/seqdf"
 	"repro/internal/trace"
-	"repro/internal/vn"
 )
 
 type argList []int64
@@ -49,17 +53,12 @@ func (a *argList) Set(s string) error {
 }
 
 func main() {
-	sys := flag.String("sys", "tyr", "machine: vN, seqdf, ordered, unordered, tyr")
-	tags := flag.Int("tags", 64, "TYR tags per local tag space")
-	width := flag.Int("width", 128, "issue width")
+	machine := cliflags.RegisterMachine(flag.CommandLine, "tyr")
 	optimize := flag.Bool("O", false, "run the optimizer (fold, simplify, DCE) before compiling")
 	emit := flag.String("emit", "", "emit a compiled form and exit: asm, dot, or ir")
 	vet := flag.Bool("vet", false, "statically verify the compiled graph (free barriers, tag safety, races) and exit")
-	tracePath := flag.String("trace", "", "record the event stream and write Chrome trace-event JSON to this path")
-	profile := flag.Bool("profile", false, "print the critical-path profile")
-	useCache := flag.Bool("cache", false, "route loads and stores through the default memory hierarchy")
-	l1Spec := flag.String("l1", "", "L1 overrides as sets=N,ways=N,line=N,lat=N (implies -cache)")
-	l2Spec := flag.String("l2", "", "L2 overrides as sets=N,ways=N,line=N,lat=N (implies -cache)")
+	obs := cliflags.RegisterObserve(flag.CommandLine)
+	cacheFlags := cliflags.RegisterCache(flag.CommandLine)
 	var args argList
 	flag.Var(&args, "arg", "entry argument (repeatable)")
 	flag.Parse()
@@ -105,7 +104,7 @@ func main() {
 			MarshalText() ([]byte, error)
 			Dot() string
 		}
-		if *sys == "ordered" {
+		if machine.System == "ordered" {
 			g2, err := compile.Ordered(p, compile.Options{EntryArgs: args})
 			if err != nil {
 				fail(err)
@@ -130,146 +129,76 @@ func main() {
 		return
 	}
 
-	// Reference run first: the oracle for the machine result.
-	refIm := prog.DefaultImage(p)
-	ref, err := prog.Run(p, refIm, prog.RunConfig{Args: args})
+	// Reference run first: the oracle for the printed result value. (The
+	// harness repeats this run internally via apps.FromProgram to build its
+	// validation closure — user programs are small, so the extra
+	// interpreter pass is cheap.)
+	ref, err := prog.Run(p, prog.DefaultImage(p), prog.RunConfig{Args: args})
+	if err != nil {
+		fail(err)
+	}
+
+	// The remaining flags assemble a tyr-api/v1 request, so a tyrc
+	// invocation and a curl against tyrd's /v1/run mean the same
+	// simulation. The source was already parsed (and optionally optimized)
+	// above for the emit/vet paths, so resolve the app from p directly
+	// rather than re-parsing through req.ResolveApp.
+	req := api.Request{
+		System:     machine.System,
+		IssueWidth: machine.Width,
+		Tags:       machine.Tags,
+		Args:       args,
+		Cache:      cacheFlags.Spec(),
+	}
+	if !api.KnownSystem(req.System) {
+		fail(fmt.Errorf("unknown system %q", req.System))
+	}
+	cfg, err := req.SysConfig()
+	if err != nil {
+		fail(err)
+	}
+	app, err := apps.FromProgram("", p, args)
 	if err != nil {
 		fail(err)
 	}
 
 	var rec *trace.Recorder
-	if *tracePath != "" || *profile {
+	if obs.Enabled() {
 		rec = trace.NewRecorder(0)
+		cfg.Tracer = rec
+	}
+	cfg.Sanitize = true // tyrc always ran the core with invariant checking
+
+	rs, err := harness.Run(app, req.System, cfg)
+	if err != nil {
+		fail(err)
 	}
 
-	var cacheCfg *cache.Config
-	if *useCache || *l1Spec != "" || *l2Spec != "" {
-		cc := cache.DefaultConfig()
-		if cc.L1, err = cache.ParseLevel(cc.L1, *l1Spec); err != nil {
-			fail(err)
-		}
-		if cc.L2, err = cache.ParseLevel(cc.L2, *l2Spec); err != nil {
-			fail(err)
-		}
-		cc.Tracer = rec
-		cacheCfg = &cc
-	}
-	// newHier builds the per-run hierarchy; engines take it as their
-	// memory model only when one was requested (nil interface otherwise).
-	newHier := func(im *mem.Image) *cache.Hierarchy {
-		if cacheCfg == nil {
-			return nil
-		}
-		h, err := cache.New(*cacheCfg, im)
-		if err != nil {
-			fail(err)
-		}
-		return h
-	}
-
-	var hier *cache.Hierarchy
+	// harness.Run validated the machine against the reference, so the
+	// machine's result is the reference's.
+	fmt.Printf("%s on %s: result = %d\n", p.Name, rs.System, ref.Ret)
 	tb := &metrics.Table{}
-	var got int64
-	var okMem bool
-	switch *sys {
-	case "vN":
-		im := prog.DefaultImage(p)
-		if rec != nil {
-			rec.SetMeta(trace.Meta{Program: p.Name, System: *sys})
-		}
-		vcfg := vn.Config{Args: args, Tracer: rec}
-		if hier = newHier(im); hier != nil {
-			vcfg.Memory = hier
-		}
-		res, err := vn.Run(p, im, vcfg)
-		if err != nil {
-			fail(err)
-		}
-		got, okMem = res.Ret, im.Equal(refIm)
-		addRow(tb, res.Cycles, res.Fired, res.PeakLive)
-	case "seqdf":
-		im := prog.DefaultImage(p)
-		if rec != nil {
-			rec.SetMeta(trace.Meta{Program: p.Name, System: *sys})
-		}
-		scfg := seqdf.Config{Args: args, IssueWidth: *width, Tracer: rec}
-		if hier = newHier(im); hier != nil {
-			scfg.Memory = hier
-		}
-		res, err := seqdf.Run(p, im, scfg)
-		if err != nil {
-			fail(err)
-		}
-		got, okMem = res.Ret, im.Equal(refIm)
-		addRow(tb, res.Cycles, res.Fired, res.PeakLive)
-	case "ordered":
-		g, err := compile.Ordered(p, compile.Options{EntryArgs: args})
-		if err != nil {
-			fail(err)
-		}
-		im := prog.DefaultImage(p)
-		if rec != nil {
-			rec.SetMeta(trace.MetaFromGraph(p.Name, *sys, g))
-		}
-		ocfg := ordered.Config{IssueWidth: *width, Tracer: rec}
-		if hier = newHier(im); hier != nil {
-			ocfg.Memory = hier
-		}
-		res, err := ordered.Run(g, im, ocfg)
-		if err != nil {
-			fail(err)
-		}
-		got, okMem = res.ResultValue, im.Equal(refIm)
-		addRow(tb, res.Cycles, res.Fired, res.PeakLive)
-	case "tyr", "unordered":
-		g, err := compile.Tagged(p, compile.Options{EntryArgs: args})
-		if err != nil {
-			fail(err)
-		}
-		cfg := core.Config{IssueWidth: *width, CheckInvariants: true, Tracer: rec}
-		if *sys == "tyr" {
-			cfg.Policy = core.PolicyTyr
-			cfg.TagsPerBlock = *tags
-		} else {
-			cfg.Policy = core.PolicyGlobalUnlimited
-		}
-		im := prog.DefaultImage(p)
-		if rec != nil {
-			rec.SetMeta(trace.MetaFromGraph(p.Name, *sys, g))
-		}
-		if hier = newHier(im); hier != nil {
-			cfg.Memory = hier
-		}
-		res, err := core.Run(g, im, cfg)
-		if err != nil {
-			fail(err)
-		}
-		if !res.Completed {
-			fail(fmt.Errorf("machine did not complete: %v", res.Deadlock))
-		}
-		got, okMem = res.ResultValue, im.Equal(refIm)
-		addRow(tb, res.Cycles, res.Fired, res.PeakLive)
-	default:
-		fail(fmt.Errorf("unknown system %q", *sys))
+	tb.Add("cycles", metrics.FormatCount(rs.Cycles))
+	tb.Add("dynamic instructions", metrics.FormatCount(rs.Fired))
+	if rs.Cycles > 0 {
+		tb.Add("mean IPC", fmt.Sprintf("%.2f", rs.IPC()))
 	}
-
-	fmt.Printf("%s on %s: result = %d\n", p.Name, *sys, got)
+	tb.Add("peak live state", metrics.FormatCount(rs.PeakLive))
 	fmt.Print(tb.String())
 
-	if hier != nil {
-		st := hier.Stats()
-		fmt.Printf("\nmemory hierarchy (%s)\n", cacheCfg.Describe())
+	if rs.Cache != nil {
+		fmt.Printf("\nmemory hierarchy (%s)\n", cfg.Cache.Describe())
 		ct := &metrics.Table{Headers: []string{"level", "accesses", "misses", "miss rate", "writebacks"}}
-		ct.Add("L1", metrics.FormatCount(st.L1.Accesses), metrics.FormatCount(st.L1.Misses),
-			fmt.Sprintf("%.1f%%", st.L1.MissRate*100), metrics.FormatCount(st.L1.Writebacks))
-		ct.Add("L2", metrics.FormatCount(st.L2.Accesses), metrics.FormatCount(st.L2.Misses),
-			fmt.Sprintf("%.1f%%", st.L2.MissRate*100), metrics.FormatCount(st.L2.Writebacks))
+		ct.Add("L1", metrics.FormatCount(rs.Cache.L1.Accesses), metrics.FormatCount(rs.Cache.L1.Misses),
+			fmt.Sprintf("%.1f%%", rs.Cache.L1.MissRate*100), metrics.FormatCount(rs.Cache.L1.Writebacks))
+		ct.Add("L2", metrics.FormatCount(rs.Cache.L2.Accesses), metrics.FormatCount(rs.Cache.L2.Misses),
+			fmt.Sprintf("%.1f%%", rs.Cache.L2.MissRate*100), metrics.FormatCount(rs.Cache.L2.Writebacks))
 		fmt.Print(ct.String())
-		fmt.Printf("AMAT %.2f cycles\n", st.AMAT)
+		fmt.Printf("AMAT %.2f cycles\n", rs.Cache.AMAT)
 	}
 
-	if *tracePath != "" {
-		f, err := os.Create(*tracePath)
+	if obs.TracePath != "" {
+		f, err := os.Create(obs.TracePath)
 		if err != nil {
 			fail(err)
 		}
@@ -280,30 +209,14 @@ func main() {
 		if werr != nil {
 			fail(werr)
 		}
-		fmt.Printf("wrote Chrome trace (%d events, %d dropped) to %s\n", rec.Len(), rec.Dropped(), *tracePath)
+		fmt.Printf("wrote Chrome trace (%d events, %d dropped) to %s\n", rec.Len(), rec.Dropped(), obs.TracePath)
 	}
-	if *profile {
+	if obs.Profile {
 		fmt.Println()
 		fmt.Print(trace.ComputeProfile(rec).Render())
 	}
 
-	switch {
-	case got != ref.Ret:
-		fail(fmt.Errorf("MISMATCH: machine produced %d, reference %d", got, ref.Ret))
-	case !okMem:
-		fail(fmt.Errorf("MISMATCH: final memory differs from the reference"))
-	default:
-		fmt.Println("validated against the reference interpreter: OK")
-	}
-}
-
-func addRow(tb *metrics.Table, cycles, fired, peak int64) {
-	tb.Add("cycles", metrics.FormatCount(cycles))
-	tb.Add("dynamic instructions", metrics.FormatCount(fired))
-	if cycles > 0 {
-		tb.Add("mean IPC", fmt.Sprintf("%.2f", float64(fired)/float64(cycles)))
-	}
-	tb.Add("peak live state", metrics.FormatCount(peak))
+	fmt.Println("validated against the reference interpreter: OK")
 }
 
 func fail(err error) {

@@ -1,0 +1,80 @@
+// Command tyrd serves the TYR simulators over HTTP: the tyr-api/v1
+// endpoints /v1/compile, /v1/run, /v1/sweep, /v1/healthz, and /v1/metrics.
+//
+//	tyrd [-addr :8080] [-workers N] [-queue N] [-timeout 30s] [-cache-size 64]
+//
+// Simulations execute on a bounded worker pool with a bounded queue; when
+// both are full the service sheds load with 429 instead of stacking up
+// goroutines. Every request carries a deadline (its timeout_ms, or -timeout)
+// that cancels the engine cooperatively at the next cycle boundary. SIGTERM
+// or SIGINT starts a graceful drain: in-flight requests finish, new ones are
+// refused, and the process exits once the pool is idle.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 0, "queued submissions beyond the workers (0 = 4x workers)")
+	timeout := flag.Duration("timeout", 30*time.Second, "default per-request deadline")
+	maxTimeout := flag.Duration("max-timeout", 5*time.Minute, "upper bound on a request's timeout_ms")
+	cacheSize := flag.Int("cache-size", 64, "compiled-graph LRU capacity")
+	drain := flag.Duration("drain", 2*time.Minute, "grace period for in-flight requests on shutdown")
+	flag.Parse()
+
+	log := slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	srv := server.New(server.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		GraphCacheSize: *cacheSize,
+		Logger:         log,
+	})
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Info("tyrd listening", "addr", *addr)
+
+	select {
+	case err := <-errc:
+		log.Error("listen failed", "err", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: Shutdown stops accepting connections and waits for
+	// active handlers (which wait for their pool jobs); Close then waits for
+	// anything still queued in the pool.
+	log.Info("draining", "grace", drain.String())
+	shCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(shCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "shutdown: %v\n", err)
+	}
+	srv.Close()
+	log.Info("drained, exiting")
+}

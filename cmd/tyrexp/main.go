@@ -4,7 +4,7 @@
 // Usage:
 //
 //	tyrexp [-exp fig12] [-scale small] [-width 128] [-tags 64] [-json out.json]
-//	tyrexp trace -app dmv -sys tyr [-out trace.json] [-profile]
+//	tyrexp trace -app dmv -system tyr [-trace trace.json] [-profile]
 //	tyrexp trace -validate trace.json
 //	tyrexp bench [-scale small] [-out BENCH_pr4.json]
 //	tyrexp benchdiff [-tolerance 1.15] old.json new.json
@@ -24,7 +24,9 @@
 // system's wall-clock regressed past the tolerance (the CI perf gate).
 //
 // Every subcommand also takes -cpuprofile/-memprofile to capture pprof
-// profiles of the run (see internal/profflag).
+// profiles of the run (see internal/profflag). Shared flag groups live in
+// internal/cliflags; -sys (for -system) and trace's -out (for -trace)
+// remain as deprecated aliases that warn once.
 package main
 
 import (
@@ -35,9 +37,11 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/api"
 	"repro/internal/apps"
 	"repro/internal/benchreg"
 	"repro/internal/cache"
+	"repro/internal/cliflags"
 	"repro/internal/harness"
 	"repro/internal/metrics"
 	"repro/internal/profflag"
@@ -99,9 +103,8 @@ func stopProfiling(p *profflag.Profiler) {
 func runExperiments(args []string) {
 	fs := flag.NewFlagSet("tyrexp", flag.ExitOnError)
 	exp := fs.String("exp", "", "experiment to run (tab2, fig2, fig9, fig11, ..., fig18); empty = all")
-	scale := fs.String("scale", "small", "input scale: tiny, small, medium")
-	width := fs.Int("width", 128, "issue width (instructions per cycle)")
-	tags := fs.Int("tags", 64, "TYR tags per local tag space")
+	scale := cliflags.RegisterScale(fs, "small")
+	machine := cliflags.RegisterMachine(fs, "")
 	csvDir := fs.String("csv", "", "also write each experiment's raw data as CSV into this directory")
 	jsonPath := fs.String("json", "", "write every run's stats as tyr-telemetry/v1 JSON to this path")
 	prof := profflag.Register(fs)
@@ -114,7 +117,7 @@ func runExperiments(args []string) {
 		fmt.Fprintf(os.Stderr, "tyrexp: %v\n", err)
 		os.Exit(2)
 	}
-	cfg := harness.ExpConfig{Scale: sc, IssueWidth: *width, Tags: *tags}
+	cfg := harness.ExpConfig{Scale: sc, IssueWidth: machine.Width, Tags: machine.Tags}
 	var tel harness.Telemetry
 	if *jsonPath != "" {
 		cfg.Telemetry = &tel
@@ -167,12 +170,10 @@ func writeTelemetryFile(path string, runs []metrics.RunStats) {
 func runTrace(args []string) {
 	fs := flag.NewFlagSet("tyrexp trace", flag.ExitOnError)
 	appName := fs.String("app", "dmv", "workload: dmv, dmm, dconv, smv, spmspv, spmspm, tc")
-	sys := fs.String("sys", "tyr", "system: vN, seqdf, ordered, unordered, tyr")
-	scale := fs.String("scale", "tiny", "input scale: tiny, small, medium")
-	width := fs.Int("width", 128, "issue width")
-	tags := fs.Int("tags", 64, "TYR tags per local tag space")
-	out := fs.String("out", "", "write Chrome trace-event JSON to this path")
-	profile := fs.Bool("profile", false, "print the critical-path profile")
+	machine := cliflags.RegisterMachine(fs, "tyr")
+	scale := cliflags.RegisterScale(fs, "tiny")
+	obs := cliflags.RegisterObserve(fs)
+	cliflags.DeprecatedAlias(fs, "out", "trace")
 	validate := fs.String("validate", "", "validate an existing Chrome trace JSON file and exit")
 	prof := profflag.Register(fs)
 	fs.Parse(args)
@@ -197,26 +198,32 @@ func runTrace(args []string) {
 		return
 	}
 
-	sc, err := parseScale(*scale)
+	req := api.Request{
+		App: *appName, Scale: *scale, System: machine.System,
+		IssueWidth: machine.Width, Tags: machine.Tags,
+	}
+	if err := req.Validate(); err != nil {
+		fatalf("%v", err)
+	}
+	app, err := req.ResolveApp()
 	if err != nil {
 		fatalf("%v", err)
 	}
-	app := apps.Find(apps.Suite(sc), *appName)
-	if app == nil {
-		fatalf("unknown app %q", *appName)
+	cfg, err := req.SysConfig()
+	if err != nil {
+		fatalf("%v", err)
 	}
 	rec := trace.NewRecorder(0)
-	rs, err := harness.Run(app, *sys, harness.SysConfig{
-		IssueWidth: *width, Tags: *tags, Tracer: rec,
-	})
+	cfg.Tracer = rec
+	rs, err := harness.Run(app, req.System, cfg)
 	if err != nil {
 		fatalf("%v", err)
 	}
 	fmt.Printf("%s on %s: %s cycles, %s fires, %d events (%d dropped)\n",
-		app.Name, *sys, metrics.FormatCount(rs.Cycles), metrics.FormatCount(rs.Fired),
+		app.Name, req.System, metrics.FormatCount(rs.Cycles), metrics.FormatCount(rs.Fired),
 		rec.Len(), rec.Dropped())
-	if *out != "" {
-		f, err := os.Create(*out)
+	if obs.TracePath != "" {
+		f, err := os.Create(obs.TracePath)
 		if err != nil {
 			fatalf("%v", err)
 		}
@@ -227,9 +234,9 @@ func runTrace(args []string) {
 		if werr != nil {
 			fatalf("%v", werr)
 		}
-		fmt.Printf("wrote Chrome trace to %s\n", *out)
+		fmt.Printf("wrote Chrome trace to %s\n", obs.TracePath)
 	}
-	if *profile {
+	if obs.Profile {
 		fmt.Println()
 		fmt.Print(trace.ComputeProfile(rec).Render())
 	}
@@ -240,9 +247,8 @@ func runTrace(args []string) {
 // ties) unlimited unordered on at least one kernel.
 func runLocality(args []string) {
 	fs := flag.NewFlagSet("tyrexp locality", flag.ExitOnError)
-	scale := fs.String("scale", "small", "input scale: tiny, small, medium")
-	width := fs.Int("width", 128, "issue width")
-	tags := fs.Int("tags", 64, "TYR tags per local tag space (the widest budget swept)")
+	scale := cliflags.RegisterScale(fs, "small")
+	machine := cliflags.RegisterMachine(fs, "")
 	csvDir := fs.String("csv", "", "also write the sweep's raw data as CSV into this directory")
 	jsonPath := fs.String("json", "", "write every run's stats as tyr-telemetry/v1 JSON to this path")
 	assert := fs.Bool("assert", false, "exit nonzero unless TYR matches or beats unordered's L1 miss rate on >= 1 kernel")
@@ -255,7 +261,7 @@ func runLocality(args []string) {
 	if err != nil {
 		fatalf("%v", err)
 	}
-	cfg := harness.ExpConfig{Scale: sc, IssueWidth: *width, Tags: *tags}
+	cfg := harness.ExpConfig{Scale: sc, IssueWidth: machine.Width, Tags: machine.Tags}
 	var tel harness.Telemetry
 	if *jsonPath != "" {
 		cfg.Telemetry = &tel
@@ -285,9 +291,8 @@ func runLocality(args []string) {
 // (schema: internal/benchreg).
 func runBench(args []string) {
 	fs := flag.NewFlagSet("tyrexp bench", flag.ExitOnError)
-	scale := fs.String("scale", "small", "input scale: tiny, small, medium")
-	width := fs.Int("width", 128, "issue width")
-	tags := fs.Int("tags", 64, "TYR tags per local tag space")
+	scale := cliflags.RegisterScale(fs, "small")
+	machine := cliflags.RegisterMachine(fs, "")
 	out := fs.String("out", "BENCH_pr4.json", "write the benchmark summary JSON to this path")
 	prof := profflag.Register(fs)
 	fs.Parse(args)
@@ -305,7 +310,7 @@ func runBench(args []string) {
 			cc := cache.DefaultConfig()
 			cc.Passthrough = true
 			rs, err := harness.Run(app, sys, harness.SysConfig{
-				IssueWidth: *width, Tags: *tags, Telemetry: &tel, Cache: &cc,
+				IssueWidth: machine.Width, Tags: machine.Tags, Telemetry: &tel, Cache: &cc,
 			})
 			if err != nil {
 				fatalf("%s/%s: %v", app.Name, sys, err)
@@ -315,43 +320,7 @@ func runBench(args []string) {
 		}
 	}
 
-	doc := benchreg.Doc{Schema: benchreg.Schema, Scale: *scale, Runs: tel.Snapshot()}
-	perSys := map[string][]float64{}
-	wall := map[string]int64{}
-	type cacheAgg struct {
-		l1Acc, l1Miss, l2Acc, l2Miss int64
-		amatSum                      float64
-		n                            int
-	}
-	agg := map[string]*cacheAgg{}
-	for _, rs := range doc.Runs {
-		perSys[rs.System] = append(perSys[rs.System], float64(rs.Cycles))
-		wall[rs.System] += rs.WallNS
-		if rs.Cache != nil {
-			a := agg[rs.System]
-			if a == nil {
-				a = &cacheAgg{}
-				agg[rs.System] = a
-			}
-			a.l1Acc += rs.Cache.L1.Accesses
-			a.l1Miss += rs.Cache.L1.Misses
-			a.l2Acc += rs.Cache.L2.Accesses
-			a.l2Miss += rs.Cache.L2.Misses
-			a.amatSum += rs.Cache.AMAT
-			a.n++
-		}
-	}
-	for _, sys := range harness.Systems {
-		bs := benchreg.System{System: sys, GmeanCycles: metrics.Gmean(perSys[sys]), WallNS: wall[sys]}
-		if a := agg[sys]; a != nil && a.l1Acc > 0 {
-			bs.L1MissRate = float64(a.l1Miss) / float64(a.l1Acc)
-			bs.MeanAMAT = a.amatSum / float64(a.n)
-			if a.l2Acc > 0 {
-				bs.L2MissRate = float64(a.l2Miss) / float64(a.l2Acc)
-			}
-		}
-		doc.Systems = append(doc.Systems, bs)
-	}
+	doc := benchreg.Summarize(*scale, harness.Systems, tel.Snapshot())
 	f, err := os.Create(*out)
 	if err != nil {
 		fatalf("%v", err)

@@ -3,13 +3,18 @@
 //
 // Usage:
 //
-//	tyrsim -app spmspm -sys tyr [-scale small] [-width 128] [-tags 64]
+//	tyrsim -app spmspm -system tyr [-scale small] [-width 128] [-tags 64]
 //	       [-global-tags 8] [-plot] [-check]
 //	       [-cache] [-l1 sets=32,ways=2,line=4,lat=1] [-l2 ...] [-mem-lat 30] [-mshrs 8]
 //	       [-trace out.json] [-profile] [-heat] [-json telemetry.json]
 //	       [-cpuprofile cpu.out] [-memprofile mem.out]
 //
-// -sys accepts vN, seqdf, ordered, unordered, tyr. With -global-tags N,
+// The flags assemble a tyr-api/v1 request (internal/api) — the same surface
+// the tyrd service speaks — so a tyrsim invocation and a curl against
+// /v1/run mean the same simulation. Shared flag groups live in
+// internal/cliflags; -sys remains a deprecated alias for -system.
+//
+// -system accepts vN, seqdf, ordered, unordered, tyr. With -global-tags N,
 // the unordered system uses a bounded global pool (the Fig. 11 deadlock
 // configuration). -plot prints the live-state-over-time plot. -check runs
 // the static verifier on the compiled graph first and then executes with
@@ -36,8 +41,9 @@ import (
 	"os"
 
 	"repro/internal/analysis"
+	"repro/internal/api"
 	"repro/internal/apps"
-	"repro/internal/cache"
+	"repro/internal/cliflags"
 	"repro/internal/compile"
 	"repro/internal/core"
 	"repro/internal/dfg"
@@ -49,19 +55,12 @@ import (
 
 func main() {
 	appName := flag.String("app", "dmv", "workload: dmv, dmm, dconv, smv, spmspv, spmspm, tc")
-	sys := flag.String("sys", "tyr", "system: vN, seqdf, ordered, unordered, tyr")
-	scale := flag.String("scale", "small", "input scale: tiny, small, medium")
-	width := flag.Int("width", 128, "issue width")
-	tags := flag.Int("tags", 64, "TYR tags per local tag space")
+	machine := cliflags.RegisterMachine(flag.CommandLine, "tyr")
+	scale := cliflags.RegisterScale(flag.CommandLine, "small")
 	globalTags := flag.Int("global-tags", 0, "bounded global tag pool for unordered (0 = unlimited)")
-	useCache := flag.Bool("cache", false, "route loads and stores through the default memory hierarchy")
-	l1Spec := flag.String("l1", "", "L1 overrides as sets=N,ways=N,line=N,lat=N (implies -cache)")
-	l2Spec := flag.String("l2", "", "L2 overrides as sets=N,ways=N,line=N,lat=N (implies -cache)")
-	memLat := flag.Int64("mem-lat", 0, "memory latency behind L2 in cycles (implies -cache)")
-	mshrs := flag.Int("mshrs", 0, "outstanding-miss limit (implies -cache)")
+	cacheFlags := cliflags.RegisterCache(flag.CommandLine)
+	obs := cliflags.RegisterObserve(flag.CommandLine)
 	plot := flag.Bool("plot", false, "print the live-state trace plot")
-	tracePath := flag.String("trace", "", "record the event stream and write Chrome trace-event JSON to this path")
-	profile := flag.Bool("profile", false, "print the critical-path profile")
 	heat := flag.Bool("heat", false, "print the graph in dot form with a fire-count heatmap (graph systems only)")
 	jsonPath := flag.String("json", "", "write the run's stats as tyr-telemetry/v1 JSON to this path")
 	dot := flag.Bool("dot", false, "print the compiled dataflow graph in Graphviz dot form and exit")
@@ -91,28 +90,33 @@ func main() {
 		return
 	}
 
-	var sc apps.Scale
-	switch *scale {
-	case "tiny":
-		sc = apps.ScaleTiny
-	case "small":
-		sc = apps.ScaleSmall
-	case "medium":
-		sc = apps.ScaleMedium
-	default:
-		fmt.Fprintf(os.Stderr, "tyrsim: unknown scale %q\n", *scale)
+	// The flags assemble a tyr-api/v1 request — the same surface a curl
+	// against tyrd speaks — and the request resolves the workload and the
+	// harness configuration.
+	req := api.Request{
+		App:        *appName,
+		Scale:      *scale,
+		System:     machine.System,
+		IssueWidth: machine.Width,
+		Tags:       machine.Tags,
+		GlobalTags: *globalTags,
+		SkipCheck:  *globalTags > 0, // a deadlocked run has no output to validate
+		Cache:      cacheFlags.Spec(),
+	}
+	if err := req.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "tyrsim: %v\n", err)
 		os.Exit(2)
 	}
-	app := apps.Find(apps.Suite(sc), *appName)
-	if app == nil {
-		fmt.Fprintf(os.Stderr, "tyrsim: unknown app %q\n", *appName)
+	app, err := req.ResolveApp()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tyrsim: %v\n", err)
 		os.Exit(2)
 	}
 
 	if *dot || *asm {
 		var g *dfg.Graph
 		var err error
-		if *sys == harness.SysOrdered {
+		if machine.System == harness.SysOrdered {
 			g, err = compile.Ordered(app.Prog, compile.Options{EntryArgs: app.Args})
 		} else {
 			g, err = compile.Tagged(app.Prog, compile.Options{EntryArgs: app.Args})
@@ -134,35 +138,15 @@ func main() {
 		return
 	}
 
-	cfg := harness.SysConfig{
-		IssueWidth: *width,
-		Tags:       *tags,
-		GlobalTags: *globalTags,
-		SkipCheck:  *globalTags > 0, // a deadlocked run has no output to validate
-	}
-	if *useCache || *l1Spec != "" || *l2Spec != "" || *memLat != 0 || *mshrs != 0 {
-		cc := cache.DefaultConfig()
-		var err error
-		if cc.L1, err = cache.ParseLevel(cc.L1, *l1Spec); err != nil {
-			fmt.Fprintf(os.Stderr, "tyrsim: -l1: %v\n", err)
-			os.Exit(2)
-		}
-		if cc.L2, err = cache.ParseLevel(cc.L2, *l2Spec); err != nil {
-			fmt.Fprintf(os.Stderr, "tyrsim: -l2: %v\n", err)
-			os.Exit(2)
-		}
-		if *memLat != 0 {
-			cc.MemLatency = *memLat
-		}
-		if *mshrs != 0 {
-			cc.MSHRs = *mshrs
-		}
-		cfg.Cache = &cc
+	cfg, err := req.SysConfig()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tyrsim: %v\n", err)
+		os.Exit(2)
 	}
 	var rec *trace.Recorder
-	if *tracePath != "" || *profile || *heat {
-		if *heat && (*sys == harness.SysVN || *sys == harness.SysSeqDF) {
-			fmt.Fprintf(os.Stderr, "tyrsim: -heat needs a graph system (ordered, unordered, tyr), not %s\n", *sys)
+	if obs.Enabled() || *heat {
+		if *heat && (machine.System == harness.SysVN || machine.System == harness.SysSeqDF) {
+			fmt.Fprintf(os.Stderr, "tyrsim: -heat needs a graph system (ordered, unordered, tyr), not %s\n", machine.System)
 			os.Exit(2)
 		}
 		rec = trace.NewRecorder(0)
@@ -176,7 +160,7 @@ func main() {
 	if *check {
 		var g *dfg.Graph
 		var err error
-		if *sys == harness.SysOrdered {
+		if machine.System == harness.SysOrdered {
 			g, err = compile.Ordered(app.Prog, compile.Options{EntryArgs: app.Args})
 		} else {
 			g, err = compile.Tagged(app.Prog, compile.Options{EntryArgs: app.Args})
@@ -194,23 +178,23 @@ func main() {
 		cfg.Sanitize = true
 	}
 
-	rs, err := harness.Run(app, *sys, cfg)
+	rs, err := harness.Run(app, machine.System, cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tyrsim: %v\n", err)
 		os.Exit(1)
 	}
 
 	var spaces []core.SpaceStats
-	if *blocks && (*sys == harness.SysTyr || *sys == harness.SysUnordered) {
+	if *blocks && (machine.System == harness.SysTyr || machine.System == harness.SysUnordered) {
 		g, err := compile.Tagged(app.Prog, compile.Options{EntryArgs: app.Args})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "tyrsim: %v\n", err)
 			os.Exit(1)
 		}
-		ecfg := core.Config{IssueWidth: *width, LoadLatency: 0}
-		if *sys == harness.SysTyr {
+		ecfg := core.Config{IssueWidth: machine.Width, LoadLatency: 0}
+		if machine.System == harness.SysTyr {
 			ecfg.Policy = core.PolicyTyr
-			ecfg.TagsPerBlock = *tags
+			ecfg.TagsPerBlock = machine.Tags
 		} else if *globalTags > 0 {
 			ecfg.Policy = core.PolicyGlobalBounded
 			ecfg.GlobalTags = *globalTags
@@ -276,8 +260,8 @@ func main() {
 			[]metrics.Series{{Name: rs.System, Points: rs.Trace}}, 76, 16))
 	}
 
-	if *tracePath != "" {
-		f, err := os.Create(*tracePath)
+	if obs.TracePath != "" {
+		f, err := os.Create(obs.TracePath)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "tyrsim: %v\n", err)
 			os.Exit(1)
@@ -291,16 +275,16 @@ func main() {
 			fmt.Fprintf(os.Stderr, "tyrsim: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Printf("wrote Chrome trace (%d events, %d dropped) to %s\n", rec.Len(), rec.Dropped(), *tracePath)
+		fmt.Printf("wrote Chrome trace (%d events, %d dropped) to %s\n", rec.Len(), rec.Dropped(), obs.TracePath)
 	}
-	if *profile {
+	if obs.Profile {
 		fmt.Println()
 		fmt.Print(trace.ComputeProfile(rec).Render())
 	}
 	if *heat {
 		var g *dfg.Graph
 		var err error
-		if *sys == harness.SysOrdered {
+		if machine.System == harness.SysOrdered {
 			g, err = compile.Ordered(app.Prog, compile.Options{EntryArgs: app.Args})
 		} else {
 			g, err = compile.Tagged(app.Prog, compile.Options{EntryArgs: app.Args})

@@ -1,0 +1,400 @@
+// Package api defines tyr-api/v1: the versioned request/result schema
+// shared by the tyrd simulation service and the CLIs. It consolidates the
+// previously ad-hoc run surfaces — harness.SysConfig, cache.Config spec
+// strings, tyr-telemetry/v1 run records, and tyr-bench/v1 summaries — into
+// one canonical, validated JSON shape, so a request built by tyrsim, tyrc,
+// or a curl against tyrd means exactly the same simulation.
+//
+// A Request selects a workload (a named suite kernel, or inline IR source
+// validated against the reference interpreter), a system, and the machine
+// parameters; Validate rejects malformed requests with field-level errors
+// before any simulation starts, and SysConfig converts a valid request into
+// the harness configuration that all five engines consume.
+package api
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/apps"
+	"repro/internal/benchreg"
+	"repro/internal/cache"
+	"repro/internal/harness"
+	"repro/internal/metrics"
+	"repro/internal/prog"
+)
+
+// Version is the schema identifier stamped on every request and result.
+const Version = "tyr-api/v1"
+
+// Scales lists the accepted workload scales.
+var Scales = []string{"tiny", "small", "medium"}
+
+// ParseScale maps a scale name to the apps suite selector.
+func ParseScale(s string) (apps.Scale, error) {
+	switch s {
+	case "", "small":
+		return apps.ScaleSmall, nil
+	case "tiny":
+		return apps.ScaleTiny, nil
+	case "medium":
+		return apps.ScaleMedium, nil
+	}
+	return 0, fmt.Errorf("unknown scale %q (want %s)", s, strings.Join(Scales, ", "))
+}
+
+// CacheSpec configures the two-level memory hierarchy in the CLI's
+// spec-string form: L1/L2 overlay "sets=N,ways=N,line=N,lat=N" settings on
+// the default hierarchy. A nil *CacheSpec means ideal flat memory.
+type CacheSpec struct {
+	L1 string `json:"l1,omitempty"`
+	L2 string `json:"l2,omitempty"`
+	// MemLatency is the cost of missing both levels (0 = default).
+	MemLatency int64 `json:"mem_latency,omitempty"`
+	// MSHRs bounds outstanding misses (0 = default).
+	MSHRs int `json:"mshrs,omitempty"`
+	// Passthrough measures miss rates without charging latency, keeping
+	// cycle counts identical to flat memory.
+	Passthrough bool `json:"passthrough,omitempty"`
+}
+
+// Config builds the cache configuration, overlaying the spec strings on the
+// defaults. Nil receiver returns nil (flat memory).
+func (s *CacheSpec) Config() (*cache.Config, error) {
+	if s == nil {
+		return nil, nil
+	}
+	cc := cache.DefaultConfig()
+	var err error
+	if cc.L1, err = cache.ParseLevel(cc.L1, s.L1); err != nil {
+		return nil, fmt.Errorf("cache.l1: %w", err)
+	}
+	if cc.L2, err = cache.ParseLevel(cc.L2, s.L2); err != nil {
+		return nil, fmt.Errorf("cache.l2: %w", err)
+	}
+	if s.MemLatency != 0 {
+		cc.MemLatency = s.MemLatency
+	}
+	if s.MSHRs != 0 {
+		cc.MSHRs = s.MSHRs
+	}
+	cc.Passthrough = s.Passthrough
+	return &cc, nil
+}
+
+// Request is one simulation: a workload on a system under a machine
+// configuration. The zero values of all optional fields select the paper's
+// defaults, so the minimal valid request is {"system":"tyr","app":"dmv"}.
+type Request struct {
+	// Version, when set, must be "tyr-api/v1". Empty is accepted and
+	// means the current version.
+	Version string `json:"version,omitempty"`
+
+	// App names a suite kernel (dmv, dmm, dconv, smv, spmspv, spmspm, tc)
+	// at Scale. Exactly one of App and Source must be set.
+	App   string `json:"app,omitempty"`
+	Scale string `json:"scale,omitempty"` // tiny, small (default), medium
+
+	// Source is inline IR (the tyrc concrete syntax); the run is validated
+	// against the reference interpreter exactly like a suite kernel.
+	Source string `json:"source,omitempty"`
+	// Args are the entry arguments for Source runs.
+	Args []int64 `json:"args,omitempty"`
+	// Optimize runs the IR optimizer (fold, simplify, DCE) on Source.
+	Optimize bool `json:"optimize,omitempty"`
+
+	// System is one of vN, seqdf, ordered, unordered, tyr.
+	System string `json:"system"`
+
+	IssueWidth  int            `json:"issue_width,omitempty"`
+	Tags        int            `json:"tags,omitempty"`
+	BlockTags   map[string]int `json:"block_tags,omitempty"`
+	GlobalTags  int            `json:"global_tags,omitempty"`
+	QueueCap    int            `json:"queue_cap,omitempty"`
+	LoadLatency int            `json:"load_latency,omitempty"`
+	Cache       *CacheSpec     `json:"cache,omitempty"`
+	TracePoints int            `json:"trace_points,omitempty"`
+	SkipCheck   bool           `json:"skip_check,omitempty"`
+	Sanitize    bool           `json:"sanitize,omitempty"`
+	// MaxCycles overrides the engine's runaway budget.
+	MaxCycles int64 `json:"max_cycles,omitempty"`
+	// TimeoutMS bounds the run's wall clock; the service cancels the
+	// engine at the deadline and reports 504. Zero means the server
+	// default.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// RunResult is the outcome of one /v1/run request: the uniform
+// tyr-telemetry/v1 record of the run.
+type RunResult struct {
+	Version string           `json:"version"`
+	Stats   metrics.RunStats `json:"stats"`
+	// Checked reports whether the run's outputs were validated against
+	// the workload's native reference (false for SkipCheck and
+	// deadlocked runs).
+	Checked bool `json:"checked"`
+}
+
+// FieldError reports one invalid request field.
+type FieldError struct {
+	Field   string `json:"field"`
+	Message string `json:"message"`
+}
+
+func (e FieldError) Error() string { return e.Field + ": " + e.Message }
+
+// ValidationError aggregates every invalid field of a request, so a client
+// sees all problems at once.
+type ValidationError struct {
+	Fields []FieldError `json:"fields"`
+}
+
+func (e *ValidationError) Error() string {
+	msgs := make([]string, len(e.Fields))
+	for i, f := range e.Fields {
+		msgs[i] = f.Error()
+	}
+	return "invalid request: " + strings.Join(msgs, "; ")
+}
+
+func checkVersion(v string, errs *[]FieldError) {
+	if v != "" && v != Version {
+		*errs = append(*errs, FieldError{"version", fmt.Sprintf("unsupported version %q (this server speaks %s)", v, Version)})
+	}
+}
+
+func checkNonNegative(errs *[]FieldError, fields map[string]int64) {
+	names := make([]string, 0, len(fields))
+	for name := range fields {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if fields[name] < 0 {
+			*errs = append(*errs, FieldError{name, fmt.Sprintf("must be >= 0 (got %d)", fields[name])})
+		}
+	}
+}
+
+// KnownSystem reports whether name is one of the five simulated systems.
+func KnownSystem(name string) bool {
+	for _, s := range harness.Systems {
+		if s == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Validate checks the request shape without running anything. The returned
+// error is a *ValidationError listing every bad field.
+func (r *Request) Validate() error {
+	var errs []FieldError
+	checkVersion(r.Version, &errs)
+	if !KnownSystem(r.System) {
+		errs = append(errs, FieldError{"system", fmt.Sprintf("unknown system %q (want %s)", r.System, strings.Join(harness.Systems, ", "))})
+	}
+	switch {
+	case r.App == "" && r.Source == "":
+		errs = append(errs, FieldError{"app", "one of app or source is required"})
+	case r.App != "" && r.Source != "":
+		errs = append(errs, FieldError{"app", "app and source are mutually exclusive"})
+	case r.App != "":
+		if _, err := ParseScale(r.Scale); err != nil {
+			errs = append(errs, FieldError{"scale", err.Error()})
+		} else if sc, _ := ParseScale(r.Scale); apps.Find(apps.Suite(sc), r.App) == nil {
+			errs = append(errs, FieldError{"app", fmt.Sprintf("unknown app %q", r.App)})
+		}
+	case r.Source != "":
+		if _, err := prog.Parse(r.Source); err != nil {
+			errs = append(errs, FieldError{"source", err.Error()})
+		}
+	}
+	checkNonNegative(&errs, map[string]int64{
+		"issue_width":  int64(r.IssueWidth),
+		"tags":         int64(r.Tags),
+		"global_tags":  int64(r.GlobalTags),
+		"queue_cap":    int64(r.QueueCap),
+		"load_latency": int64(r.LoadLatency),
+		"max_cycles":   r.MaxCycles,
+		"timeout_ms":   r.TimeoutMS,
+	})
+	if _, err := r.Cache.Config(); err != nil {
+		errs = append(errs, FieldError{"cache", err.Error()})
+	}
+	if len(errs) > 0 {
+		return &ValidationError{Fields: errs}
+	}
+	return nil
+}
+
+// SysConfig converts a validated request into the harness configuration.
+// Per-call plumbing (Stop, Telemetry, Tracer, Compiler) is left for the
+// caller to attach.
+func (r *Request) SysConfig() (harness.SysConfig, error) {
+	cc, err := r.Cache.Config()
+	if err != nil {
+		return harness.SysConfig{}, err
+	}
+	return harness.SysConfig{
+		IssueWidth:  r.IssueWidth,
+		Tags:        r.Tags,
+		BlockTags:   r.BlockTags,
+		GlobalTags:  r.GlobalTags,
+		QueueCap:    r.QueueCap,
+		LoadLatency: r.LoadLatency,
+		Cache:       cc,
+		TracePoints: r.TracePoints,
+		SkipCheck:   r.SkipCheck,
+		Sanitize:    r.Sanitize,
+		MaxCycles:   r.MaxCycles,
+	}, nil
+}
+
+// ResolveApp materializes the request's workload: a suite kernel at the
+// requested scale, or the inline source wrapped via apps.FromProgram (which
+// runs the reference interpreter once to build the validation oracle).
+func (r *Request) ResolveApp() (*apps.App, error) {
+	if r.Source != "" {
+		p, err := prog.Parse(r.Source)
+		if err != nil {
+			return nil, err
+		}
+		if r.Optimize {
+			p = prog.Optimize(p)
+		}
+		return apps.FromProgram("", p, r.Args)
+	}
+	sc, err := ParseScale(r.Scale)
+	if err != nil {
+		return nil, err
+	}
+	app := apps.Find(apps.Suite(sc), r.App)
+	if app == nil {
+		return nil, fmt.Errorf("unknown app %q", r.App)
+	}
+	return app, nil
+}
+
+// SweepRequest runs a kernel x system grid — the /v1/sweep analog of
+// `tyrexp bench` — and summarizes it as a tyr-bench/v1 document.
+type SweepRequest struct {
+	Version string `json:"version,omitempty"`
+	Scale   string `json:"scale,omitempty"`
+	// Apps and Systems select the grid; empty means all seven kernels /
+	// all five systems.
+	Apps    []string `json:"apps,omitempty"`
+	Systems []string `json:"systems,omitempty"`
+
+	IssueWidth int        `json:"issue_width,omitempty"`
+	Tags       int        `json:"tags,omitempty"`
+	Cache      *CacheSpec `json:"cache,omitempty"`
+	// TimeoutMS bounds the whole sweep's wall clock.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// Validate checks the sweep shape without running anything.
+func (r *SweepRequest) Validate() error {
+	var errs []FieldError
+	checkVersion(r.Version, &errs)
+	sc, err := ParseScale(r.Scale)
+	if err != nil {
+		errs = append(errs, FieldError{"scale", err.Error()})
+	} else {
+		suite := apps.Suite(sc)
+		for _, name := range r.Apps {
+			if apps.Find(suite, name) == nil {
+				errs = append(errs, FieldError{"apps", fmt.Sprintf("unknown app %q", name)})
+			}
+		}
+	}
+	for _, sys := range r.Systems {
+		if !KnownSystem(sys) {
+			errs = append(errs, FieldError{"systems", fmt.Sprintf("unknown system %q", sys)})
+		}
+	}
+	checkNonNegative(&errs, map[string]int64{
+		"issue_width": int64(r.IssueWidth),
+		"tags":        int64(r.Tags),
+		"timeout_ms":  r.TimeoutMS,
+	})
+	if _, err := r.Cache.Config(); err != nil {
+		errs = append(errs, FieldError{"cache", err.Error()})
+	}
+	if len(errs) > 0 {
+		return &ValidationError{Fields: errs}
+	}
+	return nil
+}
+
+// SweepResult reports every cell of the grid plus the per-system summary.
+type SweepResult struct {
+	Version string `json:"version"`
+	Scale   string `json:"scale"`
+	// Runs is one tyr-telemetry/v1 record per grid cell, in apps-major
+	// order (deterministic regardless of worker scheduling).
+	Runs []metrics.RunStats `json:"runs"`
+	// Systems is the tyr-bench/v1 per-system aggregate.
+	Systems []benchreg.System `json:"systems"`
+}
+
+// CompileRequest compiles inline IR without running it — the /v1/compile
+// analog of `tyrc -emit`.
+type CompileRequest struct {
+	Version  string  `json:"version,omitempty"`
+	Source   string  `json:"source"`
+	Args     []int64 `json:"args,omitempty"`
+	Optimize bool    `json:"optimize,omitempty"`
+	// Lowering selects the graph form: "tagged" (default) or "ordered".
+	Lowering string `json:"lowering,omitempty"`
+	// Emit selects the listing format: "asm" (default), "dot", or "ir".
+	Emit string `json:"emit,omitempty"`
+}
+
+// Validate checks the compile request shape.
+func (r *CompileRequest) Validate() error {
+	var errs []FieldError
+	checkVersion(r.Version, &errs)
+	if r.Source == "" {
+		errs = append(errs, FieldError{"source", "is required"})
+	} else if _, err := prog.Parse(r.Source); err != nil {
+		errs = append(errs, FieldError{"source", err.Error()})
+	}
+	switch r.Lowering {
+	case "", "tagged", "ordered":
+	default:
+		errs = append(errs, FieldError{"lowering", fmt.Sprintf("unknown lowering %q (want tagged, ordered)", r.Lowering)})
+	}
+	switch r.Emit {
+	case "", "asm", "dot", "ir":
+	default:
+		errs = append(errs, FieldError{"emit", fmt.Sprintf("unknown emit %q (want asm, dot, ir)", r.Emit)})
+	}
+	if len(errs) > 0 {
+		return &ValidationError{Fields: errs}
+	}
+	return nil
+}
+
+// CompileResult reports a compiled graph: its listing in the requested form
+// plus static statistics.
+type CompileResult struct {
+	Version string `json:"version"`
+	Name    string `json:"name"`
+	Listing string `json:"listing"`
+	Nodes   int    `json:"nodes"`
+	Blocks  int    `json:"blocks"`
+	TagOps  int    `json:"tag_ops"`
+	MemOps  int    `json:"mem_ops"`
+	Edges   int    `json:"edges"`
+}
+
+// ErrorBody is the structured error payload every non-2xx tyrd response
+// carries.
+type ErrorBody struct {
+	Version string `json:"version"`
+	Error   string `json:"error"`
+	// Fields carries per-field detail for validation failures.
+	Fields []FieldError `json:"fields,omitempty"`
+}

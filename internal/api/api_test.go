@@ -1,0 +1,223 @@
+package api
+
+import (
+	"encoding/json"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/harness"
+)
+
+const testSource = `program "sumloop" entry main
+
+func main() {
+  loop "L" carry (i = 0, s = 0) while i < 20 {
+    s = s + i
+    i = i + 1
+  }
+  return s
+}
+`
+
+func TestRequestRoundTrip(t *testing.T) {
+	in := Request{
+		Version:     Version,
+		App:         "dmv",
+		Scale:       "tiny",
+		System:      "tyr",
+		IssueWidth:  64,
+		Tags:        8,
+		BlockTags:   map[string]int{"outer": 2},
+		QueueCap:    4,
+		LoadLatency: 3,
+		Cache:       &CacheSpec{L1: "sets=16,ways=2,line=4,lat=1", MSHRs: 4, Passthrough: true},
+		TracePoints: -1,
+		Sanitize:    true,
+		MaxCycles:   1 << 20,
+		TimeoutMS:   5000,
+	}
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Request
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("round trip changed the request:\n in: %+v\nout: %+v", in, out)
+	}
+}
+
+func TestSweepAndCompileRoundTrip(t *testing.T) {
+	sw := SweepRequest{Version: Version, Scale: "tiny", Apps: []string{"dmv", "tc"},
+		Systems: []string{"tyr", "vN"}, Tags: 16, Cache: &CacheSpec{Passthrough: true}}
+	data, _ := json.Marshal(sw)
+	var sw2 SweepRequest
+	if err := json.Unmarshal(data, &sw2); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sw, sw2) {
+		t.Errorf("sweep round trip changed: %+v vs %+v", sw, sw2)
+	}
+
+	cr := CompileRequest{Source: testSource, Lowering: "ordered", Emit: "dot", Optimize: true}
+	data, _ = json.Marshal(cr)
+	var cr2 CompileRequest
+	if err := json.Unmarshal(data, &cr2); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cr, cr2) {
+		t.Errorf("compile round trip changed: %+v vs %+v", cr, cr2)
+	}
+}
+
+func TestValidateMinimalRequest(t *testing.T) {
+	r := Request{App: "dmv", System: "tyr"}
+	if err := r.Validate(); err != nil {
+		t.Fatalf("minimal request rejected: %v", err)
+	}
+}
+
+func TestValidateCollectsAllFieldErrors(t *testing.T) {
+	r := Request{
+		Version:    "tyr-api/v999",
+		System:     "riscv",
+		Scale:      "huge",
+		App:        "dmv",
+		IssueWidth: -1,
+		TimeoutMS:  -5,
+		Cache:      &CacheSpec{L1: "sets=banana"},
+	}
+	err := r.Validate()
+	var ve *ValidationError
+	if !errors.As(err, &ve) {
+		t.Fatalf("err = %v, want *ValidationError", err)
+	}
+	want := []string{"version", "system", "scale", "issue_width", "timeout_ms", "cache"}
+	got := map[string]bool{}
+	for _, f := range ve.Fields {
+		got[f.Field] = true
+	}
+	for _, f := range want {
+		if !got[f] {
+			t.Errorf("missing field error for %q in %v", f, ve)
+		}
+	}
+}
+
+func TestValidateAppSourceExclusive(t *testing.T) {
+	for _, r := range []Request{
+		{System: "tyr"},
+		{System: "tyr", App: "dmv", Source: testSource},
+	} {
+		if err := r.Validate(); err == nil {
+			t.Errorf("request %+v should be rejected", r)
+		}
+	}
+}
+
+func TestValidateBadSource(t *testing.T) {
+	r := Request{System: "tyr", Source: "this is not IR"}
+	err := r.Validate()
+	var ve *ValidationError
+	if !errors.As(err, &ve) {
+		t.Fatalf("err = %v, want *ValidationError", err)
+	}
+	if len(ve.Fields) != 1 || ve.Fields[0].Field != "source" {
+		t.Errorf("want a single source error, got %v", ve)
+	}
+}
+
+func TestSysConfigConversion(t *testing.T) {
+	r := Request{
+		App: "dmv", System: "tyr",
+		IssueWidth: 32, Tags: 4, GlobalTags: 8, QueueCap: 2,
+		LoadLatency: 7, TracePoints: 128, SkipCheck: true, Sanitize: true,
+		MaxCycles: 999,
+		Cache:     &CacheSpec{MemLatency: 50, MSHRs: 2},
+	}
+	sc, err := r.SysConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := harness.SysConfig{
+		IssueWidth: 32, Tags: 4, GlobalTags: 8, QueueCap: 2,
+		LoadLatency: 7, TracePoints: 128, SkipCheck: true, Sanitize: true,
+		MaxCycles: 999, Cache: sc.Cache,
+	}
+	if sc.Cache == nil || sc.Cache.MemLatency != 50 || sc.Cache.MSHRs != 2 {
+		t.Errorf("cache spec not applied: %+v", sc.Cache)
+	}
+	if !reflect.DeepEqual(sc, want) {
+		t.Errorf("conversion mismatch:\n got %+v\nwant %+v", sc, want)
+	}
+}
+
+func TestResolveAppSuiteKernel(t *testing.T) {
+	r := Request{App: "tc", Scale: "tiny", System: "vN"}
+	app, err := r.ResolveApp()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if app.Name != "tc" {
+		t.Errorf("resolved %q, want tc", app.Name)
+	}
+}
+
+func TestResolveAppInlineSourceRunsEndToEnd(t *testing.T) {
+	r := Request{Source: testSource, System: "tyr", Tags: 4}
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	app, err := r.ResolveApp()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := r.SysConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := harness.Run(app, r.System, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rs.Completed {
+		t.Error("inline source run did not complete")
+	}
+}
+
+func TestValidationErrorMentionsEveryField(t *testing.T) {
+	err := (&SweepRequest{Systems: []string{"nope"}, Apps: []string{"nope"}, TimeoutMS: -1}).Validate()
+	if err == nil {
+		t.Fatal("bad sweep accepted")
+	}
+	for _, frag := range []string{"systems", "apps", "timeout_ms"} {
+		if !strings.Contains(err.Error(), frag) {
+			t.Errorf("error %q does not mention %s", err, frag)
+		}
+	}
+}
+
+func FuzzRequestDecodeValidate(f *testing.F) {
+	f.Add(`{"system":"tyr","app":"dmv"}`)
+	f.Add(`{"version":"tyr-api/v1","system":"vN","source":"program \"x\" entry main"}`)
+	f.Add(`{"system":"ordered","app":"tc","scale":"tiny","cache":{"l1":"sets=8"}}`)
+	f.Add(`{"system":[1,2],"app":5}`)
+	f.Fuzz(func(t *testing.T, data string) {
+		var r Request
+		if err := json.Unmarshal([]byte(data), &r); err != nil {
+			return
+		}
+		// Validate and the converters must never panic on any decodable
+		// request; a valid request must convert cleanly.
+		if err := r.Validate(); err != nil {
+			return
+		}
+		if _, err := r.SysConfig(); err != nil {
+			t.Errorf("valid request failed SysConfig: %v", err)
+		}
+	})
+}

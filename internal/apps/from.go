@@ -1,0 +1,43 @@
+package apps
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/prog"
+)
+
+// FromProgram wraps a checked IR program as a runnable App, so user-supplied
+// sources flow through the same harness entry point as the suite kernels.
+// The validation oracle is the reference interpreter: the program runs once
+// on a fresh default image here, and every machine run must then reproduce
+// its return value and final memory word for word.
+func FromProgram(name string, p *prog.Program, args []int64) (*App, error) {
+	if name == "" {
+		name = p.Name
+	}
+	if err := prog.Check(p); err != nil {
+		return nil, err
+	}
+	refIm := prog.DefaultImage(p)
+	ref, err := prog.Run(p, refIm, prog.RunConfig{Args: args})
+	if err != nil {
+		return nil, fmt.Errorf("apps: reference run of %s: %w", name, err)
+	}
+	return &App{
+		Name:        name,
+		Description: fmt.Sprintf("user program (%d args)", len(args)),
+		Prog:        p,
+		Args:        args,
+		Image:       prog.DefaultImage(p),
+		Check: func(im *mem.Image, ret int64) error {
+			if ret != ref.Ret {
+				return fmt.Errorf("%s returned %d, reference interpreter %d", name, ret, ref.Ret)
+			}
+			if !im.Equal(refIm) {
+				return fmt.Errorf("%s: final memory differs from the reference interpreter", name)
+			}
+			return nil
+		},
+	}, nil
+}

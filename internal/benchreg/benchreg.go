@@ -61,6 +61,54 @@ func Load(path string) (*Doc, error) {
 	return &d, nil
 }
 
+// Summarize aggregates per-run telemetry into a tyr-bench/v1 document:
+// per-system gmean simulated cycles, summed wall-clock, and aggregate cache
+// behavior (when runs carry cache counters). systems fixes the summary
+// order; systems with no runs are omitted.
+func Summarize(scale string, systems []string, runs []metrics.RunStats) *Doc {
+	doc := &Doc{Schema: Schema, Scale: scale, Runs: runs}
+	perSys := map[string][]float64{}
+	wall := map[string]int64{}
+	type cacheAgg struct {
+		l1Acc, l1Miss, l2Acc, l2Miss int64
+		amatSum                      float64
+		n                            int
+	}
+	agg := map[string]*cacheAgg{}
+	for _, rs := range runs {
+		perSys[rs.System] = append(perSys[rs.System], float64(rs.Cycles))
+		wall[rs.System] += rs.WallNS
+		if rs.Cache != nil {
+			a := agg[rs.System]
+			if a == nil {
+				a = &cacheAgg{}
+				agg[rs.System] = a
+			}
+			a.l1Acc += rs.Cache.L1.Accesses
+			a.l1Miss += rs.Cache.L1.Misses
+			a.l2Acc += rs.Cache.L2.Accesses
+			a.l2Miss += rs.Cache.L2.Misses
+			a.amatSum += rs.Cache.AMAT
+			a.n++
+		}
+	}
+	for _, sys := range systems {
+		if len(perSys[sys]) == 0 {
+			continue
+		}
+		bs := System{System: sys, GmeanCycles: metrics.Gmean(perSys[sys]), WallNS: wall[sys]}
+		if a := agg[sys]; a != nil && a.l1Acc > 0 {
+			bs.L1MissRate = float64(a.l1Miss) / float64(a.l1Acc)
+			bs.MeanAMAT = a.amatSum / float64(a.n)
+			if a.l2Acc > 0 {
+				bs.L2MissRate = float64(a.l2Miss) / float64(a.l2Acc)
+			}
+		}
+		doc.Systems = append(doc.Systems, bs)
+	}
+	return doc
+}
+
 // Delta is one system's old-vs-new comparison.
 type Delta struct {
 	System     string

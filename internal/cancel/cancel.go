@@ -1,0 +1,50 @@
+// Package cancel provides the cooperative cancellation hook shared by all
+// simulated architectures: a single atomic flag the engines poll at cycle
+// boundaries (and the reference interpreter at instruction boundaries).
+//
+// The flag is deliberately not a context.Context. The engine hot loops run
+// millions of cycles per second; a context check is an interface call plus
+// a mutex-free-but-branchy select, while Flag.Stopped is one nil check and
+// one atomic load. A nil *Flag is valid and always reports "keep running",
+// so a simulation configured without cancellation pays only the nil
+// branch — the existing golden behavior digests and AllocsPerRun guards
+// pin that the hook is behavior- and allocation-neutral when unset.
+//
+// WatchContext bridges the two worlds for callers that do hold a context
+// (the tyrd service arms one flag per request deadline).
+package cancel
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// ErrStopped is the sentinel returned by every engine when a run is cut
+// short by a cancellation flag. Callers that armed the flag from a context
+// should translate it back via that context's error (deadline vs. cancel).
+var ErrStopped = errors.New("simulation stopped by cancellation")
+
+// Flag is a one-way stop signal. The zero value is ready to use; a nil
+// *Flag is valid and never reports stopped. Safe for concurrent use: any
+// number of goroutines may Stop or poll.
+type Flag struct {
+	stopped atomic.Bool
+}
+
+// Stop requests that every simulation polling this flag abandon work at
+// its next boundary check. Idempotent.
+func (f *Flag) Stop() { f.stopped.Store(true) }
+
+// Stopped reports whether Stop has been called. Nil-safe: a nil flag is
+// never stopped.
+func (f *Flag) Stopped() bool { return f != nil && f.stopped.Load() }
+
+// WatchContext arms f when ctx is cancelled or times out, and returns a
+// release function that detaches the watch (call it once the simulation
+// has finished to free the context's resources). If ctx is already done,
+// f is stopped immediately.
+func WatchContext(ctx context.Context, f *Flag) (release func()) {
+	stop := context.AfterFunc(ctx, f.Stop)
+	return func() { stop() }
+}

@@ -1,0 +1,81 @@
+package cancel
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestNilFlagNeverStops(t *testing.T) {
+	var f *Flag
+	if f.Stopped() {
+		t.Fatal("nil flag reports stopped")
+	}
+}
+
+func TestStopIsStickyAndIdempotent(t *testing.T) {
+	f := &Flag{}
+	if f.Stopped() {
+		t.Fatal("fresh flag reports stopped")
+	}
+	f.Stop()
+	f.Stop()
+	if !f.Stopped() {
+		t.Fatal("stopped flag reports running")
+	}
+}
+
+func TestWatchContextArmsOnCancel(t *testing.T) {
+	f := &Flag{}
+	ctx, cancelCtx := context.WithCancel(context.Background())
+	release := WatchContext(ctx, f)
+	defer release()
+	if f.Stopped() {
+		t.Fatal("flag stopped before context cancellation")
+	}
+	cancelCtx()
+	deadline := time.Now().Add(5 * time.Second)
+	for !f.Stopped() {
+		if time.Now().After(deadline) {
+			t.Fatal("flag not stopped after context cancellation")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestWatchContextAlreadyDone(t *testing.T) {
+	f := &Flag{}
+	ctx, cancelCtx := context.WithCancel(context.Background())
+	cancelCtx()
+	release := WatchContext(ctx, f)
+	defer release()
+	deadline := time.Now().Add(5 * time.Second)
+	for !f.Stopped() {
+		if time.Now().After(deadline) {
+			t.Fatal("flag not stopped for already-done context")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestWatchContextReleaseDetaches(t *testing.T) {
+	f := &Flag{}
+	ctx, cancelCtx := context.WithCancel(context.Background())
+	release := WatchContext(ctx, f)
+	release()
+	cancelCtx()
+	time.Sleep(10 * time.Millisecond)
+	if f.Stopped() {
+		t.Fatal("released watch still armed the flag")
+	}
+}
+
+func TestErrStoppedIdentity(t *testing.T) {
+	wrapped := errorsJoin(ErrStopped)
+	if !errors.Is(wrapped, ErrStopped) {
+		t.Fatal("wrapped ErrStopped lost identity")
+	}
+}
+
+func errorsJoin(err error) error { return errors.Join(err, errors.New("context deadline exceeded")) }

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/cancel"
+	"repro/internal/compile"
+	"repro/internal/mem"
+)
+
+// stopAfter is a memory model that arms the cancellation flag on its n-th
+// access, giving a deterministic mid-run stop point.
+type stopAfter struct {
+	n         int
+	flag      *cancel.Flag
+	stopCycle int64 // cycle of the access that armed the flag
+}
+
+func (s *stopAfter) Access(cycle int64, _ mem.AccessKind, _ int, _ int64) int64 {
+	s.n--
+	if s.n == 0 {
+		s.flag.Stop()
+		s.stopCycle = cycle
+	}
+	return 1
+}
+
+func TestStopFlagPreArmed(t *testing.T) {
+	g := compileNested(t, 16, 16)
+	f := &cancel.Flag{}
+	f.Stop()
+	_, err := Run(g, mem.NewImage(), Config{Policy: PolicyTyr, Stop: f})
+	if !errors.Is(err, cancel.ErrStopped) {
+		t.Fatalf("err = %v, want cancel.ErrStopped", err)
+	}
+	var cycle int64
+	if _, serr := fmt.Sscanf(err.Error(), "core: run stopped at cycle %d", &cycle); serr != nil {
+		t.Fatalf("error %q does not carry the stop cycle: %v", err, serr)
+	}
+	if cycle != 0 {
+		t.Errorf("pre-armed flag stopped at cycle %d, want 0", cycle)
+	}
+}
+
+func TestStopFlagMidRunStopsAtNextCycleBoundary(t *testing.T) {
+	app := apps.Smv(48, 3, 4, 9)
+	g, err := compile.Tagged(app.Prog, compile.Options{EntryArgs: app.Args})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa := &stopAfter{n: 25, flag: &cancel.Flag{}}
+	_, err = Run(g, app.NewImage(), Config{
+		Policy: PolicyTyr, TagsPerBlock: 8, Memory: sa, Stop: sa.flag,
+	})
+	if !errors.Is(err, cancel.ErrStopped) {
+		t.Fatalf("err = %v, want cancel.ErrStopped", err)
+	}
+	var cycle int64
+	if _, serr := fmt.Sscanf(err.Error(), "core: run stopped at cycle %d", &cycle); serr != nil {
+		t.Fatalf("error %q does not carry the stop cycle: %v", err, serr)
+	}
+	// The flag was armed during cycle stopCycle's memory phase; the poll at
+	// the top of the next cycle must catch it.
+	if cycle != sa.stopCycle+1 {
+		t.Errorf("stopped at cycle %d, want %d (one boundary after the flag was armed)",
+			cycle, sa.stopCycle+1)
+	}
+}
+
+func TestStopFlagNilAndUnarmedAreNeutral(t *testing.T) {
+	g := compileNested(t, 10, 10)
+	base, err := Run(g, mem.NewImage(), Config{Policy: PolicyTyr, TagsPerBlock: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	withFlag, err := Run(g, mem.NewImage(), Config{Policy: PolicyTyr, TagsPerBlock: 4, Stop: &cancel.Flag{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Cycles != withFlag.Cycles || base.Fired != withFlag.Fired || base.ResultValue != withFlag.ResultValue {
+		t.Errorf("unarmed flag changed the run: %+v vs %+v", base, withFlag)
+	}
+}

@@ -38,6 +38,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/cancel"
 	"repro/internal/dfg"
 	"repro/internal/mem"
 	"repro/internal/trace"
@@ -141,6 +142,11 @@ type Config struct {
 	// join arrivals, and memory ops (see internal/trace). Recording is
 	// allocation-free; nil costs a single branch per event site.
 	Tracer *trace.Recorder
+
+	// Stop, when non-nil, is polled at every cycle boundary; once stopped
+	// the run returns cancel.ErrStopped within one cycle. Nil (the
+	// default) costs a single nil check per cycle and changes nothing.
+	Stop *cancel.Flag
 }
 
 const (

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/cancel"
 	"repro/internal/cq"
 	"repro/internal/dfg"
 	"repro/internal/mem"
@@ -889,6 +890,9 @@ func (m *machine) run() (Result, error) {
 	}
 
 	for {
+		if m.cfg.Stop.Stopped() {
+			return Result{}, fmt.Errorf("core: run stopped at cycle %d: %w", m.cycle, cancel.ErrStopped)
+		}
 		// Deliver last cycle's tokens; completions join the ready flow.
 		// The outbox is double-buffered: deliveries append new tokens to
 		// the spare while the previous cycle's batch drains.

@@ -1,0 +1,89 @@
+package harness
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/cancel"
+)
+
+func TestRunHonorsStopFlagOnEverySystem(t *testing.T) {
+	app := apps.Find(apps.Suite(apps.ScaleTiny), "dmv")
+	for _, sys := range Systems {
+		f := &cancel.Flag{}
+		f.Stop()
+		_, err := Run(app, sys, SysConfig{Stop: f})
+		if !errors.Is(err, cancel.ErrStopped) {
+			t.Errorf("%s: err = %v, want cancel.ErrStopped", sys, err)
+		}
+	}
+}
+
+func TestRunRecordsDeadlockTelemetry(t *testing.T) {
+	tel := &Telemetry{}
+	_, _, err := Fig11(ExpConfig{Scale: apps.ScaleTiny, Telemetry: tel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var found bool
+	for _, rs := range tel.Snapshot() {
+		if rs.Deadlocked {
+			found = true
+			if rs.Deadlock == nil {
+				t.Error("deadlocked record lacks the structured post-mortem")
+			} else if rs.Deadlock.StarvedAllocs == 0 || rs.Deadlock.Summary == "" {
+				t.Errorf("deadlock post-mortem incomplete: %+v", rs.Deadlock)
+			}
+			if rs.WallNS == 0 {
+				t.Error("deadlocked record lacks wall-clock time")
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no deadlocked run in the telemetry stream (fig11 bounded leg missing)")
+	}
+}
+
+func TestParallelDoAggregatesErrors(t *testing.T) {
+	e1 := errors.New("boom-1")
+	err := parallelDo(context.Background(), 8, func(i int) error {
+		if i == 0 {
+			return fmt.Errorf("cell %d: %w", i, e1)
+		}
+		return nil
+	})
+	if !errors.Is(err, e1) {
+		t.Fatalf("err = %v, want wrapped boom-1", err)
+	}
+}
+
+func TestParallelDoHonorsContext(t *testing.T) {
+	ctx, cancelCtx := context.WithCancel(context.Background())
+	cancelCtx()
+	var calls atomic.Int64
+	err := parallelDo(ctx, 1000, func(i int) error {
+		calls.Add(1)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// A done context means no (or almost no) cells run: at most one claim
+	// per worker could have raced the cancellation.
+	if n := calls.Load(); n >= 1000 {
+		t.Errorf("%d cells ran under a cancelled context", n)
+	}
+}
+
+func TestExpConfigContextCancelsSweep(t *testing.T) {
+	ctx, cancelCtx := context.WithCancel(context.Background())
+	cancelCtx()
+	_, _, err := Fig12(ExpConfig{Scale: apps.ScaleTiny, Ctx: ctx})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

@@ -1,14 +1,14 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
-	"time"
 
 	"repro/internal/apps"
+	"repro/internal/cancel"
 	"repro/internal/compile"
-	"repro/internal/core"
 	"repro/internal/metrics"
 )
 
@@ -20,6 +20,13 @@ type ExpConfig struct {
 	// Telemetry, when non-nil, collects every run's RunStats for
 	// machine-readable export.
 	Telemetry *Telemetry
+	// Ctx, when non-nil, bounds the experiment: parallel sweeps stop
+	// claiming cells once it is done and report its error. Nil means no
+	// deadline (context.Background).
+	Ctx context.Context
+	// Stop, when non-nil, is handed to every run's engine so an armed flag
+	// aborts the in-flight simulation within one cycle boundary.
+	Stop *cancel.Flag
 }
 
 func (c ExpConfig) withDefaults() ExpConfig {
@@ -33,7 +40,14 @@ func (c ExpConfig) withDefaults() ExpConfig {
 }
 
 func (c ExpConfig) sys() SysConfig {
-	return SysConfig{IssueWidth: c.IssueWidth, Tags: c.Tags, Telemetry: c.Telemetry}
+	return SysConfig{IssueWidth: c.IssueWidth, Tags: c.Tags, Telemetry: c.Telemetry, Stop: c.Stop}
+}
+
+func (c ExpConfig) ctx() context.Context {
+	if c.Ctx != nil {
+		return c.Ctx
+	}
+	return context.Background()
 }
 
 // TraceData holds state-over-time traces for one app across labeled runs.
@@ -115,7 +129,7 @@ type Fig11Data struct {
 	LiveAtDeadlock      int64
 	StarvedAllocs       int
 	StarvedLabels       []string
-	StarvedSpaces       []core.StarvedSpace // which blocks starved, under what budget
+	StarvedSpaces       []metrics.DeadlockSpace // which blocks starved, under what budget
 	TyrTags             int
 	TyrCompleted        bool
 	TyrCycles           int64
@@ -129,41 +143,24 @@ func Fig11(cfg ExpConfig) (*Fig11Data, string, error) {
 	app := apps.Find(apps.Suite(cfg.Scale), "dmv")
 	d := &Fig11Data{GlobalTags: 8, TyrTags: 2}
 
-	// Run the bounded-global leg on the core engine directly so the full
-	// DeadlockInfo (starved blocks and their budgets) is available.
-	g, err := compile.Tagged(app.Prog, compile.Options{EntryArgs: app.Args})
-	if err != nil {
-		return nil, "", fmt.Errorf("fig11: compile: %w", err)
-	}
-	boundedStart := time.Now()
-	res, err := core.Run(g, app.NewImage(), core.Config{
-		IssueWidth: cfg.IssueWidth,
-		Policy:     core.PolicyGlobalBounded,
-		GlobalTags: 8,
-	})
+	// The bounded-global leg goes through the shared Run entry point like
+	// every other leg: its telemetry (including the structured deadlock
+	// post-mortem) is recorded uniformly. SkipCheck because a deadlocked
+	// run has no output to validate.
+	sc := cfg.sys()
+	sc.GlobalTags = d.GlobalTags
+	sc.SkipCheck = true
+	rs, err := Run(app, SysUnordered, sc)
 	if err != nil {
 		return nil, "", fmt.Errorf("fig11: bounded unordered: %w", err)
 	}
-	// This leg bypasses Run, so record its telemetry by hand.
-	boundedRS := metrics.RunStats{
-		System: SysUnordered, App: app.Name,
-		Completed: res.Completed, Deadlocked: res.Deadlocked,
-		Cycles: res.Cycles, Fired: res.Fired,
-		PeakLive: res.PeakLive, MeanLive: res.MeanLive,
-		PeakTags: res.PeakTags, Note: res.Note,
-		WallNS: time.Since(boundedStart).Nanoseconds(),
-	}
-	if res.Deadlock != nil {
-		boundedRS.Note = res.Note + "; " + res.Deadlock.String()
-	}
-	cfg.Telemetry.Record(boundedRS)
-	d.Deadlocked = res.Deadlocked
-	d.DeadlockCycle = res.Cycles
-	d.LiveAtDeadlock = res.PeakLive
-	if res.Deadlock != nil {
-		d.StarvedAllocs = len(res.Deadlock.PendingAllocs)
-		d.StarvedLabels = append(d.StarvedLabels, res.Deadlock.String())
-		d.StarvedSpaces = res.Deadlock.Spaces
+	d.Deadlocked = rs.Deadlocked
+	d.DeadlockCycle = rs.Cycles
+	d.LiveAtDeadlock = rs.PeakLive
+	if rs.Deadlock != nil {
+		d.StarvedAllocs = rs.Deadlock.StarvedAllocs
+		d.StarvedLabels = append(d.StarvedLabels, rs.Deadlock.Summary)
+		d.StarvedSpaces = rs.Deadlock.Spaces
 	}
 
 	// TYR contrast:
@@ -215,7 +212,7 @@ func Fig12(cfg ExpConfig) (*Fig12Data, string, error) {
 		d.Apps = append(d.Apps, app.Name)
 	}
 	results := make([]metrics.RunStats, len(suite)*len(Systems))
-	err := parallelDo(len(results), func(i int) error {
+	err := parallelDo(cfg.ctx(), len(results), func(i int) error {
 		app, sys := suite[i/len(Systems)], Systems[i%len(Systems)]
 		rs, err := Run(app, sys, cfg.sys())
 		if err != nil {
@@ -273,7 +270,7 @@ func Fig13(cfg ExpConfig) (*Fig13Data, string, error) {
 		d.Hist[sys] = map[int]int64{}
 	}
 	results := make([]metrics.RunStats, len(suite)*len(Systems))
-	err := parallelDo(len(results), func(i int) error {
+	err := parallelDo(cfg.ctx(), len(results), func(i int) error {
 		app, sys := suite[i/len(Systems)], Systems[i%len(Systems)]
 		rs, err := Run(app, sys, cfg.sys())
 		if err != nil {
@@ -332,7 +329,7 @@ func Fig14(cfg ExpConfig) (*Fig14Data, string, error) {
 		d.Apps = append(d.Apps, app.Name)
 	}
 	results := make([]metrics.RunStats, len(suite)*len(Systems))
-	err := parallelDo(len(results), func(i int) error {
+	err := parallelDo(cfg.ctx(), len(results), func(i int) error {
 		app, sys := suite[i/len(Systems)], Systems[i%len(Systems)]
 		rs, err := Run(app, sys, cfg.sys())
 		if err != nil {
@@ -493,7 +490,7 @@ func Fig17(cfg ExpConfig) (*Fig17Data, string, error) {
 		Peak:   map[[2]int]int64{},
 	}
 	grid := make([]metrics.RunStats, len(d.Widths)*len(d.Tags))
-	err := parallelDo(len(grid), func(i int) error {
+	err := parallelDo(cfg.ctx(), len(grid), func(i int) error {
 		w, tg := d.Widths[i/len(d.Tags)], d.Tags[i%len(d.Tags)]
 		sc := cfg.sys()
 		sc.IssueWidth = w

@@ -13,8 +13,10 @@ import (
 
 	"repro/internal/apps"
 	"repro/internal/cache"
+	"repro/internal/cancel"
 	"repro/internal/compile"
 	"repro/internal/core"
+	"repro/internal/dfg"
 	"repro/internal/mem"
 	"repro/internal/metrics"
 	"repro/internal/ordered"
@@ -65,11 +67,46 @@ type SysConfig struct {
 	// Telemetry, when non-nil, collects the RunStats of every run for
 	// machine-readable export (WriteTelemetry).
 	Telemetry *Telemetry
+	// Stop, when non-nil, is handed to the engine and polled at every
+	// cycle boundary (dynamic instruction, for the interpreter-driven
+	// baselines); once armed the run returns cancel.ErrStopped within one
+	// boundary. Nil changes nothing.
+	Stop *cancel.Flag
+	// MaxCycles overrides the engine's runaway budget: simulated cycles
+	// for the graph machines, dynamic instructions for the interpreter-
+	// driven baselines (vN, seqdf). Zero keeps the engine default.
+	MaxCycles int64
+	// Compiler, when non-nil, supplies compiled graphs in place of the
+	// default compile calls — the serving layer injects its LRU cache of
+	// compiled graphs here. Implementations must return graphs that are
+	// safe to share across concurrent runs (the engines never mutate them).
+	Compiler GraphSource
 
 	// imageSink, when non-nil, receives the run's final memory image
 	// (test-only plumbing: the cache-equivalence guard compares images
 	// word for word across configurations).
 	imageSink **mem.Image
+}
+
+// GraphSource supplies compiled dataflow graphs for a workload. The default
+// (nil) source compiles fresh per run; the serving layer substitutes a
+// cache keyed by program identity.
+type GraphSource interface {
+	// Tagged returns the tagged-lowering graph for app (tyr/unordered).
+	Tagged(app *apps.App) (*dfg.Graph, error)
+	// Ordered returns the ordered-lowering graph for app.
+	Ordered(app *apps.App) (*dfg.Graph, error)
+}
+
+// compileSource is the default GraphSource: a fresh compile per call.
+type compileSource struct{}
+
+func (compileSource) Tagged(app *apps.App) (*dfg.Graph, error) {
+	return compile.Tagged(app.Prog, compile.Options{EntryArgs: app.Args})
+}
+
+func (compileSource) Ordered(app *apps.App) (*dfg.Graph, error) {
+	return compile.Ordered(app.Prog, compile.Options{EntryArgs: app.Args})
 }
 
 func (c SysConfig) withDefaults() SysConfig {
@@ -126,6 +163,10 @@ func attachCache(rs *metrics.RunStats, h *cache.Hierarchy) {
 func runSystem(app *apps.App, system string, cfg SysConfig) (metrics.RunStats, error) {
 	cfg = cfg.withDefaults()
 	rs := metrics.RunStats{System: system, App: app.Name}
+	graphs := GraphSource(compileSource{})
+	if cfg.Compiler != nil {
+		graphs = cfg.Compiler
+	}
 
 	switch system {
 	case SysVN:
@@ -140,7 +181,7 @@ func runSystem(app *apps.App, system string, cfg SysConfig) (metrics.RunStats, e
 		if err != nil {
 			return rs, err
 		}
-		vcfg := vn.Config{Args: app.Args, LoadLatency: cfg.LoadLatency, TracePoints: cfg.TracePoints, Tracer: cfg.Tracer}
+		vcfg := vn.Config{Args: app.Args, MaxSteps: cfg.MaxCycles, LoadLatency: cfg.LoadLatency, TracePoints: cfg.TracePoints, Tracer: cfg.Tracer, Stop: cfg.Stop}
 		if hier != nil {
 			vcfg.Memory = hier
 		}
@@ -175,9 +216,9 @@ func runSystem(app *apps.App, system string, cfg SysConfig) (metrics.RunStats, e
 			return rs, err
 		}
 		scfg := seqdf.Config{
-			Args: app.Args, IssueWidth: cfg.IssueWidth,
+			Args: app.Args, MaxSteps: cfg.MaxCycles, IssueWidth: cfg.IssueWidth,
 			LoadLatency: int64(cfg.LoadLatency), TracePoints: cfg.TracePoints,
-			Tracer: cfg.Tracer,
+			Tracer: cfg.Tracer, Stop: cfg.Stop,
 		}
 		if hier != nil {
 			scfg.Memory = hier
@@ -201,7 +242,7 @@ func runSystem(app *apps.App, system string, cfg SysConfig) (metrics.RunStats, e
 		return rs, nil
 
 	case SysOrdered:
-		g, err := compile.Ordered(app.Prog, compile.Options{EntryArgs: app.Args})
+		g, err := graphs.Ordered(app)
 		if err != nil {
 			return rs, err
 		}
@@ -218,8 +259,9 @@ func runSystem(app *apps.App, system string, cfg SysConfig) (metrics.RunStats, e
 		}
 		ocfg := ordered.Config{
 			IssueWidth: cfg.IssueWidth, QueueCap: cfg.QueueCap,
-			LoadLatency: cfg.LoadLatency, TracePoints: cfg.TracePoints,
-			Tracer: cfg.Tracer,
+			LoadLatency: cfg.LoadLatency, MaxCycles: cfg.MaxCycles,
+			TracePoints: cfg.TracePoints,
+			Tracer:      cfg.Tracer, Stop: cfg.Stop,
 		}
 		if hier != nil {
 			ocfg.Memory = hier
@@ -243,16 +285,18 @@ func runSystem(app *apps.App, system string, cfg SysConfig) (metrics.RunStats, e
 		return rs, nil
 
 	case SysUnordered, SysTyr:
-		g, err := compile.Tagged(app.Prog, compile.Options{EntryArgs: app.Args})
+		g, err := graphs.Tagged(app)
 		if err != nil {
 			return rs, err
 		}
 		ecfg := core.Config{
 			IssueWidth:  cfg.IssueWidth,
 			LoadLatency: cfg.LoadLatency,
+			MaxCycles:   cfg.MaxCycles,
 			TracePoints: cfg.TracePoints,
 			Sanitize:    cfg.Sanitize,
 			Tracer:      cfg.Tracer,
+			Stop:        cfg.Stop,
 		}
 		if system == SysTyr {
 			ecfg.Policy = core.PolicyTyr
@@ -293,6 +337,7 @@ func runSystem(app *apps.App, system string, cfg SysConfig) (metrics.RunStats, e
 		attachCache(&rs, hier)
 		if res.Deadlocked {
 			rs.Note = res.Note + "; " + res.Deadlock.String()
+			rs.Deadlock = convertDeadlock(res.Deadlock)
 			return rs, nil
 		}
 		if !cfg.SkipCheck {
@@ -324,4 +369,25 @@ func convertTrace[T ~struct {
 
 func convertCoreTrace(pts []core.StatePoint) []metrics.TracePoint {
 	return convertTrace(pts)
+}
+
+// convertDeadlock adapts the engine's deadlock post-mortem to the telemetry
+// record.
+func convertDeadlock(d *core.DeadlockInfo) *metrics.DeadlockStats {
+	if d == nil {
+		return nil
+	}
+	out := &metrics.DeadlockStats{
+		Cycle:         d.Cycle,
+		LiveTokens:    d.LiveTokens,
+		StarvedAllocs: len(d.PendingAllocs),
+		Summary:       d.String(),
+	}
+	for _, sp := range d.Spaces {
+		out.Spaces = append(out.Spaces, metrics.DeadlockSpace{
+			Block: sp.Block, Kind: sp.Kind, Tags: sp.Tags,
+			InUse: sp.InUse, Starved: sp.Starved,
+		})
+	}
+	return out
 }

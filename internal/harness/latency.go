@@ -41,7 +41,7 @@ func Latency(cfg ExpConfig) (*LatencyData, string, error) {
 		d.Cycles[sys] = map[int]int64{}
 	}
 	results := make([]metrics.RunStats, len(rows)*len(d.Latencies))
-	err := parallelDo(len(results), func(i int) error {
+	err := parallelDo(cfg.ctx(), len(results), func(i int) error {
 		sys, lat := rows[i/len(d.Latencies)], d.Latencies[i%len(d.Latencies)]
 		sc := cfg.sys()
 		sc.LoadLatency = lat

@@ -103,7 +103,7 @@ func Locality(cfg ExpConfig) (*LocalityData, string, error) {
 	}
 
 	d.Points = make([]LocalityPoint, len(d.Apps)*len(d.Rows)*len(caches))
-	err := parallelDo(len(d.Points), func(i int) error {
+	err := parallelDo(cfg.ctx(), len(d.Points), func(i int) error {
 		app := suite[i/(len(d.Rows)*len(caches))]
 		row := d.Rows[i/len(caches)%len(d.Rows)]
 		cc := caches[i%len(caches)]

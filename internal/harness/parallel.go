@@ -1,21 +1,29 @@
 package harness
 
 import (
+	"context"
+	"errors"
 	"runtime"
 	"sync"
 )
 
 // parallelDo runs fn(i) for every i in [0, n), using up to
-// runtime.GOMAXPROCS workers, and returns the first error encountered.
-// Results must be written to index-addressed storage by the callers, which
-// keeps experiment output deterministic regardless of scheduling.
-func parallelDo(n int, fn func(i int) error) error {
+// runtime.GOMAXPROCS workers. Once any call fails or ctx is done, no new
+// work is claimed; calls already in flight finish. The returned error joins
+// (errors.Join) every worker error plus the context's error when it cut the
+// sweep short, so callers can match any cause with errors.Is. Results must
+// be written to index-addressed storage by the callers, which keeps
+// experiment output deterministic regardless of scheduling.
+func parallelDo(ctx context.Context, n int, fn func(i int) error) error {
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if err := fn(i); err != nil {
 				return err
 			}
@@ -23,15 +31,15 @@ func parallelDo(n int, fn func(i int) error) error {
 		return nil
 	}
 	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		firstErr error
-		next     int
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		errs []error
+		next int
 	)
 	claim := func() (int, bool) {
 		mu.Lock()
 		defer mu.Unlock()
-		if firstErr != nil || next >= n {
+		if len(errs) > 0 || next >= n || ctx.Err() != nil {
 			return 0, false
 		}
 		i := next
@@ -41,9 +49,7 @@ func parallelDo(n int, fn func(i int) error) error {
 	fail := func(err error) {
 		mu.Lock()
 		defer mu.Unlock()
-		if firstErr == nil {
-			firstErr = err
-		}
+		errs = append(errs, err)
 	}
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
@@ -62,5 +68,8 @@ func parallelDo(n int, fn func(i int) error) error {
 		}()
 	}
 	wg.Wait()
-	return firstErr
+	if next < n && ctx.Err() != nil {
+		errs = append(errs, ctx.Err())
+	}
+	return errors.Join(errs...)
 }

@@ -42,6 +42,30 @@ type RunStats struct {
 	// Cache holds the memory-hierarchy counters when the run went through
 	// internal/cache (nil on the ideal flat-memory path).
 	Cache *CacheStats `json:"cache,omitempty"`
+	// Deadlock carries the structured post-mortem when Deadlocked is true
+	// (bounded unordered runs, Fig. 11): where the machine stopped and
+	// which tag spaces starved which allocates.
+	Deadlock *DeadlockStats `json:"deadlock,omitempty"`
+}
+
+// DeadlockSpace reports one starved tag space at deadlock time.
+type DeadlockSpace struct {
+	Block   string `json:"block"`
+	Kind    string `json:"kind"` // "root", "loop", or "func"
+	Tags    int    `json:"tags"` // tag budget (0 = unbounded)
+	InUse   int    `json:"in_use"`
+	Starved int    `json:"starved"` // allocates parked on this space
+}
+
+// DeadlockStats is the machine-readable deadlock post-mortem attached to a
+// RunStats record when a bounded-tag run stops without completing.
+type DeadlockStats struct {
+	Cycle         int64           `json:"cycle"`
+	LiveTokens    int64           `json:"live_tokens"`
+	StarvedAllocs int             `json:"starved_allocs"`
+	Spaces        []DeadlockSpace `json:"spaces,omitempty"`
+	// Summary is the human-readable one-liner (DeadlockInfo.String).
+	Summary string `json:"summary"`
 }
 
 // CacheLevelStats reports one cache level's counters for a run.

@@ -1,0 +1,42 @@
+package ordered
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/cancel"
+	"repro/internal/mem"
+)
+
+func TestStopFlagPreArmed(t *testing.T) {
+	g := compileSum(t, 50)
+	f := &cancel.Flag{}
+	f.Stop()
+	_, err := Run(g, mem.NewImage(), Config{Stop: f})
+	if !errors.Is(err, cancel.ErrStopped) {
+		t.Fatalf("err = %v, want cancel.ErrStopped", err)
+	}
+	var cycle int64
+	if _, serr := fmt.Sscanf(err.Error(), "ordered: run stopped at cycle %d", &cycle); serr != nil {
+		t.Fatalf("error %q does not carry the stop cycle: %v", err, serr)
+	}
+	if cycle != 0 {
+		t.Errorf("pre-armed flag stopped at cycle %d, want 0", cycle)
+	}
+}
+
+func TestStopFlagNilAndUnarmedAreNeutral(t *testing.T) {
+	g := compileSum(t, 50)
+	base, err := Run(g, mem.NewImage(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	withFlag, err := Run(g, mem.NewImage(), Config{Stop: &cancel.Flag{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Cycles != withFlag.Cycles || base.ResultValue != withFlag.ResultValue {
+		t.Errorf("unarmed flag changed the run: %+v vs %+v", base, withFlag)
+	}
+}

@@ -15,6 +15,7 @@ package ordered
 import (
 	"fmt"
 
+	"repro/internal/cancel"
 	"repro/internal/cq"
 	"repro/internal/dfg"
 	"repro/internal/mem"
@@ -42,6 +43,9 @@ type Config struct {
 	// emit/deliver, memory ops). Tags are always zero on this machine:
 	// synchronization is positional, which is the point of the baseline.
 	Tracer *trace.Recorder
+	// Stop, when non-nil, is polled at every cycle boundary; once stopped
+	// the run returns cancel.ErrStopped within one cycle.
+	Stop *cancel.Flag
 }
 
 const (
@@ -515,6 +519,9 @@ func (m *machine) fireNode(nid dfg.NodeID) error {
 
 func (m *machine) run() (Result, error) {
 	for {
+		if m.cfg.Stop.Stopped() {
+			return Result{}, fmt.Errorf("ordered: run stopped at cycle %d: %w", m.cycle, cancel.ErrStopped)
+		}
 		if len(m.dirty.list) == 0 && m.delayed.Len() == 0 {
 			break
 		}

@@ -3,6 +3,7 @@ package prog
 import (
 	"fmt"
 
+	"repro/internal/cancel"
 	"repro/internal/dfg"
 	"repro/internal/mem"
 )
@@ -97,6 +98,10 @@ type RunConfig struct {
 	Args     []int64   // entry function arguments
 	MaxSteps int64     // dynamic instruction budget; 0 means a large default
 	Model    CostModel // optional cost model
+	// Stop, when non-nil, is polled at every dynamic instruction (the
+	// interpreter's cycle boundary); once stopped the run returns
+	// cancel.ErrStopped promptly. Nil changes nothing.
+	Stop *cancel.Flag
 }
 
 // Result reports the outcome of a run.
@@ -134,6 +139,7 @@ func Run(p *Program, im *mem.Image, cfg RunConfig) (Result, error) {
 		im:       im,
 		cm:       cfg.Model,
 		maxSteps: cfg.MaxSteps,
+		stop:     cfg.Stop,
 	}
 	if it.cm == nil {
 		it.cm = nopModel{}
@@ -175,6 +181,7 @@ type interp struct {
 	cm       CostModel
 	mm       MemModel // non-nil when cm also implements MemModel
 	maxSteps int64
+	stop     *cancel.Flag
 	stats    Stats
 	regions  map[string]int
 
@@ -213,6 +220,10 @@ func (it *interp) count(class InstrClass) error {
 	}
 	if it.stats.DynInstrs > it.maxSteps {
 		return it.runErr("exceeded dynamic instruction budget %d (runaway loop?)", it.maxSteps)
+	}
+	if it.stop.Stopped() {
+		return fmt.Errorf("prog: %s: run stopped after %d instructions: %w",
+			it.p.Name, it.stats.DynInstrs, cancel.ErrStopped)
 	}
 	return nil
 }

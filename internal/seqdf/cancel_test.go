@@ -1,0 +1,43 @@
+package seqdf
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/cancel"
+	"repro/internal/mem"
+	"repro/internal/prog"
+)
+
+func sumProgram(n int64) *prog.Program {
+	p := prog.NewProgram("sum", "main")
+	p.AddFunc("main", nil, prog.V("s"),
+		prog.ForRange("L", "i", prog.C(0), prog.C(n), []prog.LoopVar{prog.LV("s", prog.C(0))},
+			prog.Set("s", prog.Add(prog.V("s"), prog.V("i"))),
+		),
+	)
+	return p
+}
+
+func TestStopFlagPreArmed(t *testing.T) {
+	f := &cancel.Flag{}
+	f.Stop()
+	_, err := Run(sumProgram(100), mem.NewImage(), Config{Stop: f})
+	if !errors.Is(err, cancel.ErrStopped) {
+		t.Fatalf("err = %v, want cancel.ErrStopped", err)
+	}
+}
+
+func TestStopFlagNilAndUnarmedAreNeutral(t *testing.T) {
+	base, err := Run(sumProgram(100), mem.NewImage(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	withFlag, err := Run(sumProgram(100), mem.NewImage(), Config{Stop: &cancel.Flag{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Cycles != withFlag.Cycles || base.Ret != withFlag.Ret {
+		t.Errorf("unarmed flag changed the run: %+v vs %+v", base, withFlag)
+	}
+}

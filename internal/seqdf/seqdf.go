@@ -24,6 +24,7 @@ package seqdf
 import (
 	"fmt"
 
+	"repro/internal/cancel"
 	"repro/internal/mem"
 	"repro/internal/prog"
 	"repro/internal/trace"
@@ -78,6 +79,10 @@ type Config struct {
 	// hyperblock boundary / wave advance (Val = carried live values).
 	// There is no graph, so events carry trace.NoNode.
 	Tracer *trace.Recorder
+	// Stop, when non-nil, is polled at every dynamic instruction; once
+	// stopped the run returns cancel.ErrStopped promptly. Nil changes
+	// nothing.
+	Stop *cancel.Flag
 }
 
 type model struct {
@@ -316,7 +321,7 @@ func Run(p *prog.Program, im *mem.Image, cfg Config) (Result, error) {
 	if m.tracePoints == 0 {
 		m.tracePoints = 4096
 	}
-	res, err := prog.Run(p, im, prog.RunConfig{Args: cfg.Args, MaxSteps: cfg.MaxSteps, Model: m})
+	res, err := prog.Run(p, im, prog.RunConfig{Args: cfg.Args, MaxSteps: cfg.MaxSteps, Model: m, Stop: cfg.Stop})
 	if err != nil {
 		return Result{}, err
 	}

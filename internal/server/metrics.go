@@ -1,0 +1,131 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Metrics holds the service counters exposed at /v1/metrics in Prometheus
+// text exposition format (stdlib only — counters are atomics and the
+// format is a handful of `name{labels} value` lines).
+type Metrics struct {
+	start time.Time
+
+	mu       sync.Mutex
+	requests map[string]*atomic.Int64 // "path|code" -> count
+	runs     map[string]*atomic.Int64 // system -> completed run count
+
+	busyTotal   atomic.Int64 // submissions rejected with 429
+	activeJobs  atomic.Int64 // pool jobs executing now
+	queueLen    atomic.Int64 // pool jobs queued, not yet started
+	cancels     atomic.Int64 // runs cut short by deadline or disconnect
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
+	simCycles   atomic.Int64 // total simulated cycles served
+}
+
+// NewMetrics returns an empty counter set.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		start:    time.Now(),
+		requests: make(map[string]*atomic.Int64),
+		runs:     make(map[string]*atomic.Int64),
+	}
+}
+
+func (m *Metrics) counter(set map[string]*atomic.Int64, key string) *atomic.Int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c, ok := set[key]
+	if !ok {
+		c = &atomic.Int64{}
+		set[key] = c
+	}
+	return c
+}
+
+// ObserveRequest counts one finished HTTP request.
+func (m *Metrics) ObserveRequest(path string, code int) {
+	m.counter(m.requests, fmt.Sprintf("%s|%d", path, code)).Add(1)
+}
+
+// ObserveRun counts one completed simulation and its simulated cycles.
+func (m *Metrics) ObserveRun(system string, cycles int64) {
+	m.counter(m.runs, system).Add(1)
+	m.simCycles.Add(cycles)
+}
+
+// ObserveCancel counts a run cut short by deadline or client disconnect.
+func (m *Metrics) ObserveCancel() { m.cancels.Add(1) }
+
+// WriteTo renders the Prometheus text exposition. Label sets are emitted in
+// sorted order so scrapes are deterministic.
+func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
+	var n int64
+	p := func(format string, args ...any) error {
+		c, err := fmt.Fprintf(w, format, args...)
+		n += int64(c)
+		return err
+	}
+	snapshot := func(set map[string]*atomic.Int64) ([]string, map[string]int64) {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		keys := make([]string, 0, len(set))
+		vals := make(map[string]int64, len(set))
+		for k, c := range set {
+			keys = append(keys, k)
+			vals[k] = c.Load()
+		}
+		sort.Strings(keys)
+		return keys, vals
+	}
+
+	if err := p("# HELP tyrd_requests_total HTTP requests served, by path and status code.\n# TYPE tyrd_requests_total counter\n"); err != nil {
+		return n, err
+	}
+	keys, vals := snapshot(m.requests)
+	for _, k := range keys {
+		path, code := k, ""
+		if i := strings.LastIndex(k, "|"); i >= 0 {
+			path, code = k[:i], k[i+1:]
+		}
+		if err := p("tyrd_requests_total{path=%q,code=%q} %d\n", path, code, vals[k]); err != nil {
+			return n, err
+		}
+	}
+
+	if err := p("# HELP tyrd_runs_total Completed simulations, by system.\n# TYPE tyrd_runs_total counter\n"); err != nil {
+		return n, err
+	}
+	keys, vals = snapshot(m.runs)
+	for _, k := range keys {
+		if err := p("tyrd_runs_total{system=%q} %d\n", k, vals[k]); err != nil {
+			return n, err
+		}
+	}
+
+	simple := []struct {
+		name, help, kind string
+		v                int64
+	}{
+		{"tyrd_busy_rejections_total", "Requests rejected with 429 because the queue was full.", "counter", m.busyTotal.Load()},
+		{"tyrd_cancelled_runs_total", "Runs cut short by deadline or client disconnect.", "counter", m.cancels.Load()},
+		{"tyrd_graph_cache_hits_total", "Compiled-graph cache hits.", "counter", m.cacheHits.Load()},
+		{"tyrd_graph_cache_misses_total", "Compiled-graph cache misses (fresh compiles).", "counter", m.cacheMisses.Load()},
+		{"tyrd_simulated_cycles_total", "Total simulated cycles served.", "counter", m.simCycles.Load()},
+		{"tyrd_active_jobs", "Pool jobs executing right now.", "gauge", m.activeJobs.Load()},
+		{"tyrd_queue_length", "Pool jobs queued but not yet started.", "gauge", m.queueLen.Load()},
+		{"tyrd_uptime_seconds", "Seconds since the server started.", "gauge", int64(time.Since(m.start).Seconds())},
+	}
+	for _, s := range simple {
+		if err := p("# HELP %s %s\n# TYPE %s %s\n%s %d\n", s.name, s.help, s.name, s.kind, s.name, s.v); err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}

@@ -1,0 +1,437 @@
+// Package server implements tyrd's HTTP service layer: a bounded worker
+// pool running simulations behind the tyr-api/v1 endpoints, with per-request
+// deadlines plumbed into the engines as cooperative stop flags, an LRU cache
+// of compiled graphs, structured request logging, and stdlib-only Prometheus
+// metrics.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"runtime"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/apps"
+	"repro/internal/benchreg"
+	"repro/internal/cancel"
+	"repro/internal/compile"
+	"repro/internal/harness"
+	"repro/internal/metrics"
+	"repro/internal/prog"
+)
+
+// Config sizes the service. Zero values select sensible defaults.
+type Config struct {
+	// Workers bounds concurrently executing simulations (default: GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds submissions waiting for a worker; anything beyond it
+	// is rejected with 429 (default: 4x workers).
+	QueueDepth int
+	// DefaultTimeout applies when a request has no timeout_ms (default 30s).
+	DefaultTimeout time.Duration
+	// MaxTimeout caps a request's timeout_ms (default 5m).
+	MaxTimeout time.Duration
+	// GraphCacheSize bounds the compiled-graph LRU (default 64 graphs).
+	GraphCacheSize int
+	// Logger receives structured request logs; nil disables logging.
+	Logger *slog.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.Workers
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 5 * time.Minute
+	}
+	if c.GraphCacheSize <= 0 {
+		c.GraphCacheSize = 64
+	}
+	return c
+}
+
+// Server is the tyrd service: construct with New, mount Handler on an
+// http.Server, and Close after the http.Server has drained to let in-flight
+// jobs finish.
+type Server struct {
+	cfg    Config
+	pool   *Pool
+	graphs *GraphCache
+	stats  *Metrics
+	log    *slog.Logger
+}
+
+// New builds a Server and starts its worker pool.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	stats := NewMetrics()
+	return &Server{
+		cfg:    cfg,
+		pool:   NewPool(cfg.Workers, cfg.QueueDepth, stats),
+		graphs: NewGraphCache(cfg.GraphCacheSize, stats),
+		stats:  stats,
+		log:    cfg.Logger,
+	}
+}
+
+// Metrics exposes the counter set (shared with the pool and graph cache).
+func (s *Server) Metrics() *Metrics { return s.stats }
+
+// Close drains the worker pool: queued and executing jobs finish, new
+// submissions fail. Call after http.Server.Shutdown.
+func (s *Server) Close() { s.pool.Close() }
+
+// Handler returns the v1 route table wrapped in request logging.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	mux.HandleFunc("POST /v1/compile", s.handleCompile)
+	mux.HandleFunc("POST /v1/run", s.handleRun)
+	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	return s.logging(mux)
+}
+
+// statusRecorder captures the response code for logging and metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (s *Server) logging(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		next.ServeHTTP(rec, r)
+		s.stats.ObserveRequest(r.URL.Path, rec.code)
+		if s.log != nil {
+			s.log.Info("request",
+				"method", r.Method,
+				"path", r.URL.Path,
+				"status", rec.code,
+				"dur_ms", time.Since(start).Milliseconds(),
+				"remote", r.RemoteAddr)
+		}
+	})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// writeError emits the structured tyr-api/v1 error body; validation errors
+// carry their per-field detail.
+func writeError(w http.ResponseWriter, code int, err error) {
+	body := api.ErrorBody{Version: api.Version, Error: err.Error()}
+	var ve *api.ValidationError
+	if errors.As(err, &ve) {
+		body.Fields = ve.Fields
+	}
+	writeJSON(w, code, body)
+}
+
+// decode reads a JSON body strictly: unknown fields and trailing garbage are
+// 400s, so typos in field names fail loudly instead of silently selecting
+// defaults.
+func decode(r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("decoding request body: %w", err)
+	}
+	if dec.More() {
+		return errors.New("decoding request body: trailing data after JSON value")
+	}
+	return nil
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"version": api.Version, "status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.stats.WriteTo(w)
+}
+
+// handleCompile compiles inline IR without occupying a simulation worker:
+// compilation is quick and bounded, so it runs on the request goroutine.
+func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
+	var req api.CompileRequest
+	if err := decode(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := req.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	p, err := prog.Parse(req.Source)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Optimize {
+		p = prog.Optimize(p)
+	}
+	res := api.CompileResult{Version: api.Version, Name: p.Name}
+	if req.Emit == "ir" {
+		res.Listing = prog.Format(p)
+		writeJSON(w, http.StatusOK, res)
+		return
+	}
+	var g interface {
+		MarshalText() ([]byte, error)
+		Dot() string
+	}
+	opts := compile.Options{EntryArgs: req.Args}
+	if req.Lowering == "ordered" {
+		g2, err := compile.Ordered(p, opts)
+		if err != nil {
+			writeError(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+		g = g2
+		st := g2.ComputeStats()
+		res.Nodes, res.Blocks, res.TagOps, res.MemOps, res.Edges =
+			st.Nodes, st.Blocks, st.TagOps, st.MemOps, st.EdgeCnt
+	} else {
+		g2, err := compile.Tagged(p, opts)
+		if err != nil {
+			writeError(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+		g = g2
+		st := g2.ComputeStats()
+		res.Nodes, res.Blocks, res.TagOps, res.MemOps, res.Edges =
+			st.Nodes, st.Blocks, st.TagOps, st.MemOps, st.EdgeCnt
+	}
+	if req.Emit == "dot" {
+		res.Listing = g.Dot()
+	} else {
+		text, err := g.MarshalText()
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		res.Listing = string(text)
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// timeout resolves a request's deadline from its timeout_ms, clamped to the
+// server's maximum.
+func (s *Server) timeout(ms int64) time.Duration {
+	to := s.cfg.DefaultTimeout
+	if ms > 0 {
+		to = time.Duration(ms) * time.Millisecond
+	}
+	if to > s.cfg.MaxTimeout {
+		to = s.cfg.MaxTimeout
+	}
+	return to
+}
+
+// submit runs job on the pool and blocks until it finishes. The job is
+// responsible for observing stop promptly once the context ends — the
+// handler never abandons a running simulation, it cancels it.
+func (s *Server) submit(job func()) error {
+	done := make(chan struct{})
+	err := s.pool.Submit(func() {
+		defer close(done)
+		job()
+	})
+	if err != nil {
+		return err
+	}
+	<-done
+	return nil
+}
+
+// finishCancelled maps a cancelled run to its HTTP status: deadline
+// expiry is a 504 (the service gave up), client disconnect a 499-style 503.
+func (s *Server) finishCancelled(w http.ResponseWriter, ctx context.Context, err error) {
+	s.stats.ObserveCancel()
+	if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		writeError(w, http.StatusGatewayTimeout,
+			fmt.Errorf("deadline exceeded: %w", err))
+		return
+	}
+	writeError(w, http.StatusServiceUnavailable,
+		fmt.Errorf("request cancelled: %w", err))
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	var req api.Request
+	if err := decode(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := req.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	app, err := req.ResolveApp()
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	sc, err := req.SysConfig()
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+
+	ctx, cancelCtx := context.WithTimeout(r.Context(), s.timeout(req.TimeoutMS))
+	defer cancelCtx()
+	flag := &cancel.Flag{}
+	release := cancel.WatchContext(ctx, flag)
+	defer release()
+	sc.Stop = flag
+	sc.Compiler = s.graphs
+
+	var rs metrics.RunStats
+	var runErr error
+	if err := s.submit(func() {
+		if flag.Stopped() { // deadline passed while queued: skip the compile
+			runErr = cancel.ErrStopped
+			return
+		}
+		rs, runErr = harness.Run(app, req.System, sc)
+	}); err != nil {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, err)
+		return
+	}
+
+	switch {
+	case errors.Is(runErr, cancel.ErrStopped):
+		s.finishCancelled(w, ctx, runErr)
+	case runErr != nil:
+		writeError(w, http.StatusUnprocessableEntity, runErr)
+	default:
+		s.stats.ObserveRun(rs.System, rs.Cycles)
+		writeJSON(w, http.StatusOK, api.RunResult{
+			Version: api.Version,
+			Stats:   rs,
+			Checked: rs.Completed && !req.SkipCheck,
+		})
+	}
+}
+
+// handleSweep runs the kernel x system grid as ONE pool job executing cells
+// sequentially. Fanning the cells out as separate jobs could deadlock the
+// bounded queue (a sweep occupying every worker while its own cells wait in
+// the queue), so a sweep costs exactly one worker and the grid order stays
+// deterministic.
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req api.SweepRequest
+	if err := decode(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := req.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	scale, err := api.ParseScale(req.Scale)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	suite := apps.Suite(scale)
+	sel := suite
+	if len(req.Apps) > 0 {
+		sel = sel[:0:0]
+		for _, name := range req.Apps {
+			sel = append(sel, apps.Find(suite, name))
+		}
+	}
+	systems := req.Systems
+	if len(systems) == 0 {
+		systems = harness.Systems
+	}
+
+	ctx, cancelCtx := context.WithTimeout(r.Context(), s.timeout(req.TimeoutMS))
+	defer cancelCtx()
+	flag := &cancel.Flag{}
+	release := cancel.WatchContext(ctx, flag)
+	defer release()
+
+	var runs []metrics.RunStats
+	var runErr error
+	if err := s.submit(func() {
+		for _, app := range sel {
+			for _, sys := range systems {
+				if flag.Stopped() {
+					runErr = cancel.ErrStopped
+					return
+				}
+				sc := harness.SysConfig{
+					IssueWidth: req.IssueWidth,
+					Tags:       req.Tags,
+					Stop:       flag,
+					Compiler:   s.graphs,
+				}
+				if cc, err := req.Cache.Config(); err == nil {
+					sc.Cache = cc
+				}
+				rs, err := harness.Run(app, sys, sc)
+				if err != nil {
+					runErr = fmt.Errorf("%s/%s: %w", app.Name, sys, err)
+					return
+				}
+				s.stats.ObserveRun(rs.System, rs.Cycles)
+				runs = append(runs, rs)
+			}
+		}
+	}); err != nil {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, err)
+		return
+	}
+
+	switch {
+	case errors.Is(runErr, cancel.ErrStopped):
+		s.finishCancelled(w, ctx, runErr)
+	case runErr != nil:
+		writeError(w, http.StatusUnprocessableEntity, runErr)
+	default:
+		doc := benchreg.Summarize(scaleName(req.Scale), systems, runs)
+		writeJSON(w, http.StatusOK, api.SweepResult{
+			Version: api.Version,
+			Scale:   doc.Scale,
+			Runs:    runs,
+			Systems: doc.Systems,
+		})
+	}
+}
+
+// scaleName canonicalizes the empty scale to its default spelling for the
+// result document.
+func scaleName(s string) string {
+	if s == "" {
+		return "small"
+	}
+	return s
+}

@@ -1,0 +1,447 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/api"
+)
+
+const testSource = `program "sumloop" entry main
+
+func main() {
+  loop "L" carry (i = 0, s = 0) while i < 20 {
+    s = s + i
+    i = i + 1
+  }
+  return s
+}
+`
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	srv := New(cfg)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	return srv, ts
+}
+
+func postJSON(t *testing.T, client *http.Client, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+var kernels = []string{"dmv", "dmm", "dconv", "smv", "spmspv", "spmspm", "tc"}
+var systems = []string{"vN", "seqdf", "ordered", "unordered", "tyr"}
+
+// TestConcurrentRuns fires 64 concurrent /v1/run requests covering all seven
+// kernels and all five systems at tiny scale, asserting every one completes,
+// memory stays bounded, and no goroutines leak.
+func TestConcurrentRuns(t *testing.T) {
+	srv := New(Config{Workers: 4, QueueDepth: 64, GraphCacheSize: 32})
+	ts := httptest.NewServer(srv.Handler())
+
+	// Baseline after the pool's workers exist but before any requests.
+	runtime.GC()
+	baseline := runtime.NumGoroutine()
+
+	const n = 64
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			req := api.Request{
+				App:    kernels[i%len(kernels)],
+				Scale:  "tiny",
+				System: systems[i%len(systems)],
+			}
+			data, _ := json.Marshal(req)
+			resp, err := ts.Client().Post(ts.URL+"/v1/run", "application/json", bytes.NewReader(data))
+			if err != nil {
+				errs <- err
+				return
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("run %d (%s/%s): status %d: %s", i, req.App, req.System, resp.StatusCode, body)
+				return
+			}
+			var rr api.RunResult
+			if err := json.Unmarshal(body, &rr); err != nil {
+				errs <- fmt.Errorf("run %d: bad result: %v", i, err)
+				return
+			}
+			if !rr.Stats.Completed || !rr.Checked {
+				errs <- fmt.Errorf("run %d (%s/%s): not completed+checked: %+v", i, req.App, req.System, rr.Stats)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	if got := srv.Metrics().simCycles.Load(); got <= 0 {
+		t.Errorf("simulated-cycle counter not advanced: %d", got)
+	}
+	if got := srv.graphs.Len(); got > 32 {
+		t.Errorf("graph cache exceeded its bound: %d > 32", got)
+	}
+
+	// Memory bound: after GC, the heap retained by 64 tiny runs plus the
+	// graph cache must stay far below anything unbounded growth would show.
+	var ms runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms)
+	if ms.HeapAlloc > 512<<20 {
+		t.Errorf("heap after 64 runs: %d MiB, want < 512 MiB", ms.HeapAlloc>>20)
+	}
+
+	// Goroutine-leak check: close the HTTP side (dropping keep-alive conns),
+	// then the count must settle back to the baseline.
+	ts.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if g := runtime.NumGoroutine(); g <= baseline {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Errorf("goroutines leaked: %d > baseline %d", runtime.NumGoroutine(), baseline)
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	srv.Close()
+}
+
+// TestDeadlineExceededMidRun asserts a too-slow simulation is cancelled at a
+// cycle boundary and reported as 504 with a structured error body.
+func TestDeadlineExceededMidRun(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2, QueueDepth: 4})
+	resp, body := postJSON(t, ts.Client(), ts.URL+"/v1/run", api.Request{
+		App: "spmspm", Scale: "small", System: "tyr", TimeoutMS: 1,
+	})
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504; body: %s", resp.StatusCode, body)
+	}
+	var eb api.ErrorBody
+	if err := json.Unmarshal(body, &eb); err != nil {
+		t.Fatalf("error body is not structured: %v (%s)", err, body)
+	}
+	if eb.Version != api.Version || !strings.Contains(eb.Error, "stopped") {
+		t.Errorf("unexpected error body: %+v", eb)
+	}
+}
+
+// TestMalformedRequests asserts every malformed body yields a structured 400
+// carrying the schema version, and validation failures list their fields.
+func TestMalformedRequests(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 2})
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"truncated", `{"system": "tyr", "app"`},
+		{"not json", `this is not json`},
+		{"unknown field", `{"system":"tyr","app":"dmv","wavelength":7}`},
+		{"wrong types", `{"system":[1,2],"app":5}`},
+		{"trailing garbage", `{"system":"tyr","app":"dmv"} extra`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := ts.Client().Post(ts.URL+"/v1/run", "application/json", strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status = %d, want 400; body: %s", resp.StatusCode, body)
+			}
+			var eb api.ErrorBody
+			if err := json.Unmarshal(body, &eb); err != nil {
+				t.Fatalf("400 body is not structured: %v (%s)", err, body)
+			}
+			if eb.Version != api.Version || eb.Error == "" {
+				t.Errorf("unexpected error body: %+v", eb)
+			}
+		})
+	}
+
+	// A decodable but invalid request reports every bad field.
+	resp, body := postJSON(t, ts.Client(), ts.URL+"/v1/run", api.Request{
+		System: "riscv", App: "dmv", Scale: "huge", IssueWidth: -1,
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+	var eb api.ErrorBody
+	if err := json.Unmarshal(body, &eb); err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]bool{}
+	for _, f := range eb.Fields {
+		got[f.Field] = true
+	}
+	for _, want := range []string{"system", "scale", "issue_width"} {
+		if !got[want] {
+			t.Errorf("missing field error %q in %+v", want, eb)
+		}
+	}
+}
+
+// TestOverloadSheds asserts that with the single worker pinned and the queue
+// full, the next request is rejected with 429 instead of queueing unbounded.
+func TestOverloadSheds(t *testing.T) {
+	srv, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1})
+
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	if err := srv.pool.Submit(func() { close(started); <-gate }); err != nil {
+		t.Fatal(err)
+	}
+	<-started // worker is now pinned
+	if err := srv.pool.Submit(func() {}); err != nil {
+		t.Fatal(err) // fills the queue slot
+	}
+
+	resp, body := postJSON(t, ts.Client(), ts.URL+"/v1/run", api.Request{
+		App: "dmv", Scale: "tiny", System: "tyr",
+	})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429; body: %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+	close(gate)
+
+	if srv.Metrics().busyTotal.Load() == 0 {
+		t.Error("busy counter not incremented")
+	}
+}
+
+// TestDrainCompletesInFlight asserts graceful shutdown lets a request that is
+// already executing finish with a 200 rather than dropping it.
+func TestDrainCompletesInFlight(t *testing.T) {
+	srv := New(Config{Workers: 1, QueueDepth: 1})
+	ts := httptest.NewServer(srv.Handler())
+
+	type result struct {
+		code int
+		body []byte
+		err  error
+	}
+	done := make(chan result, 1)
+	go func() {
+		data, _ := json.Marshal(api.Request{App: "dmm", Scale: "small", System: "tyr"})
+		resp, err := ts.Client().Post(ts.URL+"/v1/run", "application/json", bytes.NewReader(data))
+		if err != nil {
+			done <- result{err: err}
+			return
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		done <- result{code: resp.StatusCode, body: body}
+	}()
+
+	// Wait until the run is actually executing on the worker.
+	deadline := time.Now().Add(10 * time.Second)
+	for srv.Metrics().activeJobs.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("run never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// httptest's Close blocks until outstanding requests finish — the same
+	// contract as http.Server.Shutdown — and then the pool drains.
+	ts.Close()
+	srv.Close()
+
+	r := <-done
+	if r.err != nil {
+		t.Fatalf("in-flight request failed during drain: %v", r.err)
+	}
+	if r.code != http.StatusOK {
+		t.Fatalf("in-flight request got %d during drain: %s", r.code, r.body)
+	}
+	var rr api.RunResult
+	if err := json.Unmarshal(r.body, &rr); err != nil || !rr.Stats.Completed {
+		t.Errorf("drained run incomplete: %v %s", err, r.body)
+	}
+	if err := srv.pool.Submit(func() {}); err == nil {
+		t.Error("pool accepted work after Close")
+	}
+}
+
+// TestSweepEndpoint runs a 2x2 grid and checks the per-system summary.
+func TestSweepEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2, QueueDepth: 4})
+	resp, body := postJSON(t, ts.Client(), ts.URL+"/v1/sweep", api.SweepRequest{
+		Scale: "tiny", Apps: []string{"dmv", "tc"}, Systems: []string{"vN", "tyr"},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	var sr api.SweepResult
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Runs) != 4 {
+		t.Errorf("runs = %d, want 4", len(sr.Runs))
+	}
+	if len(sr.Systems) != 2 {
+		t.Errorf("systems = %d, want 2", len(sr.Systems))
+	}
+	for _, sys := range sr.Systems {
+		if sys.GmeanCycles <= 0 {
+			t.Errorf("system %s has gmean_cycles %v", sys.System, sys.GmeanCycles)
+		}
+	}
+	if sr.Scale != "tiny" || sr.Version != api.Version {
+		t.Errorf("bad envelope: scale=%q version=%q", sr.Scale, sr.Version)
+	}
+}
+
+// TestCompileEndpoint checks the three emit forms on inline source.
+func TestCompileEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1})
+	for _, emit := range []string{"asm", "dot", "ir"} {
+		resp, body := postJSON(t, ts.Client(), ts.URL+"/v1/compile", api.CompileRequest{
+			Source: testSource, Emit: emit,
+		})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("emit=%s: status %d: %s", emit, resp.StatusCode, body)
+		}
+		var cr api.CompileResult
+		if err := json.Unmarshal(body, &cr); err != nil {
+			t.Fatal(err)
+		}
+		if cr.Listing == "" || cr.Name != "sumloop" {
+			t.Errorf("emit=%s: empty listing or bad name %q", emit, cr.Name)
+		}
+		if emit != "ir" && cr.Nodes == 0 {
+			t.Errorf("emit=%s: no node stats", emit)
+		}
+	}
+
+	resp, body := postJSON(t, ts.Client(), ts.URL+"/v1/compile", api.CompileRequest{Source: "nope"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad source: status %d: %s", resp.StatusCode, body)
+	}
+}
+
+// TestGraphCacheHits asserts a repeated identical run compiles once.
+func TestGraphCacheHits(t *testing.T) {
+	srv, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+	req := api.Request{Source: testSource, System: "tyr", Tags: 4}
+	for i := 0; i < 3; i++ {
+		resp, body := postJSON(t, ts.Client(), ts.URL+"/v1/run", req)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("run %d: status %d: %s", i, resp.StatusCode, body)
+		}
+	}
+	if hits := srv.Metrics().cacheHits.Load(); hits < 2 {
+		t.Errorf("cache hits = %d, want >= 2", hits)
+	}
+	if misses := srv.Metrics().cacheMisses.Load(); misses != 1 {
+		t.Errorf("cache misses = %d, want 1 (one compile for three identical runs)", misses)
+	}
+}
+
+// TestHealthzAndMetrics checks the health envelope and that the metrics
+// exposition parses as Prometheus text format.
+func TestHealthzAndMetrics(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 2})
+
+	resp, err := ts.Client().Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if health["status"] != "ok" || health["version"] != api.Version {
+		t.Errorf("healthz = %v", health)
+	}
+
+	// Generate some traffic so the labelled counters have entries.
+	postJSON(t, ts.Client(), ts.URL+"/v1/run", api.Request{App: "dmv", Scale: "tiny", System: "tyr"})
+
+	resp, err = ts.Client().Get(ts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type %q", ct)
+	}
+
+	seen := map[string]bool{}
+	for ln, line := range strings.Split(strings.TrimRight(string(raw), "\n"), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		// Sample lines are `name value` or `name{labels} value`.
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("line %d: no sample value: %q", ln+1, line)
+		}
+		name, value := line[:sp], line[sp+1:]
+		if _, err := fmt.Sscanf(value, "%d", new(int64)); err != nil {
+			t.Errorf("line %d: bad value %q", ln+1, value)
+		}
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			if !strings.HasSuffix(name, "}") {
+				t.Errorf("line %d: unterminated labels: %q", ln+1, line)
+			}
+			name = name[:i]
+		}
+		if !strings.HasPrefix(name, "tyrd_") {
+			t.Errorf("line %d: metric %q not in the tyrd namespace", ln+1, name)
+		}
+		seen[name] = true
+	}
+	for _, want := range []string{
+		"tyrd_requests_total", "tyrd_runs_total", "tyrd_active_jobs",
+		"tyrd_queue_length", "tyrd_graph_cache_hits_total", "tyrd_uptime_seconds",
+	} {
+		if !seen[want] {
+			t.Errorf("metric %s missing from exposition", want)
+		}
+	}
+}

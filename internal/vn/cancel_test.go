@@ -1,0 +1,32 @@
+package vn
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/cancel"
+	"repro/internal/mem"
+)
+
+func TestStopFlagPreArmed(t *testing.T) {
+	f := &cancel.Flag{}
+	f.Stop()
+	_, err := Run(sumProgram(100), mem.NewImage(), Config{Stop: f})
+	if !errors.Is(err, cancel.ErrStopped) {
+		t.Fatalf("err = %v, want cancel.ErrStopped", err)
+	}
+}
+
+func TestStopFlagNilAndUnarmedAreNeutral(t *testing.T) {
+	base, err := Run(sumProgram(100), mem.NewImage(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	withFlag, err := Run(sumProgram(100), mem.NewImage(), Config{Stop: &cancel.Flag{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Cycles != withFlag.Cycles || base.Ret != withFlag.Ret {
+		t.Errorf("unarmed flag changed the run: %+v vs %+v", base, withFlag)
+	}
+}

@@ -13,6 +13,7 @@
 package vn
 
 import (
+	"repro/internal/cancel"
 	"repro/internal/mem"
 	"repro/internal/prog"
 	"repro/internal/trace"
@@ -65,6 +66,10 @@ type Config struct {
 	// scope boundary (Val = live bindings). There is no graph, so events
 	// carry trace.NoNode.
 	Tracer *trace.Recorder
+	// Stop, when non-nil, is polled at every dynamic instruction; once
+	// stopped the run returns cancel.ErrStopped promptly. Nil changes
+	// nothing.
+	Stop *cancel.Flag
 }
 
 // model implements prog.CostModel with vN cost semantics.
@@ -214,7 +219,7 @@ func Run(p *prog.Program, im *mem.Image, cfg Config) (Result, error) {
 	if m.tracePoints == 0 {
 		m.tracePoints = 4096
 	}
-	res, err := prog.Run(p, im, prog.RunConfig{Args: cfg.Args, MaxSteps: cfg.MaxSteps, Model: m})
+	res, err := prog.Run(p, im, prog.RunConfig{Args: cfg.Args, MaxSteps: cfg.MaxSteps, Model: m, Stop: cfg.Stop})
 	if err != nil {
 		return Result{}, err
 	}
