@@ -5,8 +5,10 @@
 //
 // Simulations execute on a bounded worker pool with a bounded queue; when
 // both are full the service sheds load with 429 instead of stacking up
-// goroutines. Every request carries a deadline (its timeout_ms, or -timeout)
-// that cancels the engine cooperatively at the next cycle boundary. SIGTERM
+// goroutines, and once a drain starts it answers 503. Every request carries
+// a deadline (its timeout_ms, or -timeout) that cancels the engine
+// cooperatively at the next cycle boundary; inline-source oracle runs are
+// bounded the same way plus a -oracle-max-steps instruction budget. SIGTERM
 // or SIGINT starts a graceful drain: in-flight requests finish, new ones are
 // refused, and the process exits once the pool is idle.
 package main
@@ -33,6 +35,7 @@ func main() {
 	timeout := flag.Duration("timeout", 30*time.Second, "default per-request deadline")
 	maxTimeout := flag.Duration("max-timeout", 5*time.Minute, "upper bound on a request's timeout_ms")
 	cacheSize := flag.Int("cache-size", 64, "compiled-graph LRU capacity")
+	oracleSteps := flag.Int64("oracle-max-steps", 0, "dynamic-instruction budget for inline-source oracle runs (0 = 2^32)")
 	drain := flag.Duration("drain", 2*time.Minute, "grace period for in-flight requests on shutdown")
 	flag.Parse()
 
@@ -43,6 +46,7 @@ func main() {
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
 		GraphCacheSize: *cacheSize,
+		OracleMaxSteps: *oracleSteps,
 		Logger:         log,
 	})
 

@@ -20,6 +20,7 @@ import (
 	"repro/internal/apps"
 	"repro/internal/benchreg"
 	"repro/internal/cache"
+	"repro/internal/cancel"
 	"repro/internal/harness"
 	"repro/internal/metrics"
 	"repro/internal/prog"
@@ -255,7 +256,21 @@ func (r *Request) SysConfig() (harness.SysConfig, error) {
 // ResolveApp materializes the request's workload: a suite kernel at the
 // requested scale, or the inline source wrapped via apps.FromProgram (which
 // runs the reference interpreter once to build the validation oracle).
+// The oracle run is unbounded; it is the CLI entry point, where the user's
+// own program runs on the user's own machine. Services must use
+// ResolveAppBound instead.
 func (r *Request) ResolveApp() (*apps.App, error) {
+	return r.ResolveAppBound(nil, 0)
+}
+
+// ResolveAppBound is ResolveApp with the inline-source oracle run bounded:
+// stop cancels the reference interpreter at its next instruction boundary
+// (the error then wraps cancel.ErrStopped) and maxSteps caps its dynamic
+// instruction budget (0 keeps the interpreter default). Suite kernels are
+// unaffected — their oracles are precomputed. The oracle run is CPU-bound
+// on user input, so tyrd resolves sources on a pool worker through this
+// entry point, never on a request goroutine through ResolveApp.
+func (r *Request) ResolveAppBound(stop *cancel.Flag, maxSteps int64) (*apps.App, error) {
 	if r.Source != "" {
 		p, err := prog.Parse(r.Source)
 		if err != nil {
@@ -264,7 +279,11 @@ func (r *Request) ResolveApp() (*apps.App, error) {
 		if r.Optimize {
 			p = prog.Optimize(p)
 		}
-		return apps.FromProgram("", p, r.Args)
+		return apps.FromProgramConfig("", p, prog.RunConfig{
+			Args:     r.Args,
+			MaxSteps: maxSteps,
+			Stop:     stop,
+		})
 	}
 	sc, err := ParseScale(r.Scale)
 	if err != nil {

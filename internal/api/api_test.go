@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/cancel"
 	"repro/internal/harness"
 )
 
@@ -186,6 +187,29 @@ func TestResolveAppInlineSourceRunsEndToEnd(t *testing.T) {
 	}
 	if !rs.Completed {
 		t.Error("inline source run did not complete")
+	}
+}
+
+// TestResolveAppBound pins the service-side contract: a stopped flag
+// cancels the inline-source oracle run (the error wraps cancel.ErrStopped),
+// and maxSteps bounds its dynamic instructions. Suite kernels ignore both.
+func TestResolveAppBound(t *testing.T) {
+	src := Request{Source: testSource, System: "tyr"}
+
+	stopped := &cancel.Flag{}
+	stopped.Stop()
+	if _, err := src.ResolveAppBound(stopped, 0); !errors.Is(err, cancel.ErrStopped) {
+		t.Errorf("stopped flag: err = %v, want cancel.ErrStopped", err)
+	}
+
+	if _, err := src.ResolveAppBound(nil, 1); err == nil ||
+		!strings.Contains(err.Error(), "budget") {
+		t.Errorf("maxSteps=1: err = %v, want a budget error", err)
+	}
+
+	kernel := Request{App: "tc", Scale: "tiny", System: "vN"}
+	if _, err := kernel.ResolveAppBound(stopped, 1); err != nil {
+		t.Errorf("suite kernel with bounds: %v (the oracle is precomputed, not run)", err)
 	}
 }
 

@@ -11,8 +11,22 @@ import (
 // sources flow through the same harness entry point as the suite kernels.
 // The validation oracle is the reference interpreter: the program runs once
 // on a fresh default image here, and every machine run must then reproduce
-// its return value and final memory word for word.
+// its return value and final memory word for word. The oracle run is
+// unbounded (interpreter defaults); callers serving untrusted sources must
+// use FromProgramConfig to cap and cancel it.
 func FromProgram(name string, p *prog.Program, args []int64) (*App, error) {
+	return FromProgramConfig(name, p, prog.RunConfig{Args: args})
+}
+
+// FromProgramConfig is FromProgram with control over the oracle run: the
+// entry arguments come from cfg.Args, cfg.MaxSteps bounds the reference
+// interpreter's dynamic instructions (0 keeps the interpreter default), and
+// cfg.Stop cancels it at an instruction boundary (the returned error then
+// wraps cancel.ErrStopped). The oracle is CPU-bound on user input, so a
+// service resolving inline sources must pass both or a hostile program pins
+// the resolving goroutine before any engine's own Stop is ever consulted.
+func FromProgramConfig(name string, p *prog.Program, cfg prog.RunConfig) (*App, error) {
+	args := cfg.Args
 	if name == "" {
 		name = p.Name
 	}
@@ -20,7 +34,7 @@ func FromProgram(name string, p *prog.Program, args []int64) (*App, error) {
 		return nil, err
 	}
 	refIm := prog.DefaultImage(p)
-	ref, err := prog.Run(p, refIm, prog.RunConfig{Args: args})
+	ref, err := prog.Run(p, refIm, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("apps: reference run of %s: %w", name, err)
 	}

@@ -64,14 +64,18 @@ func (p *Pool) Submit(job func()) error {
 	if p.closed {
 		return ErrClosed
 	}
+	// The gauge goes up before the send: an idle worker can receive the job
+	// the instant it lands in the channel, and its decrement must never be
+	// able to race the increment below zero.
+	if p.stats != nil {
+		p.stats.queueLen.Add(1)
+	}
 	select {
 	case p.jobs <- job:
-		if p.stats != nil {
-			p.stats.queueLen.Add(1)
-		}
 		return nil
 	default:
 		if p.stats != nil {
+			p.stats.queueLen.Add(-1)
 			p.stats.busyTotal.Add(1)
 		}
 		return ErrBusy

@@ -38,6 +38,11 @@ type Config struct {
 	MaxTimeout time.Duration
 	// GraphCacheSize bounds the compiled-graph LRU (default 64 graphs).
 	GraphCacheSize int
+	// OracleMaxSteps caps the reference-interpreter oracle run that
+	// validates inline `source` workloads (default 2^32 dynamic
+	// instructions). The request deadline cancels the oracle too; this is
+	// the hard backstop against programs that outrun any wall clock.
+	OracleMaxSteps int64
 	// Logger receives structured request logs; nil disables logging.
 	Logger *slog.Logger
 }
@@ -57,6 +62,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.GraphCacheSize <= 0 {
 		c.GraphCacheSize = 64
+	}
+	if c.OracleMaxSteps <= 0 {
+		c.OracleMaxSteps = 1 << 32
 	}
 	return c
 }
@@ -268,6 +276,18 @@ func (s *Server) submit(job func()) error {
 	return nil
 }
 
+// writeSubmitError maps a pool rejection to HTTP: a full queue is 429 with
+// Retry-After (shed load, come back), a draining pool is 503 (this instance
+// is exiting — retrying against it is pointless).
+func writeSubmitError(w http.ResponseWriter, err error) {
+	if errors.Is(err, ErrClosed) {
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	w.Header().Set("Retry-After", "1")
+	writeError(w, http.StatusTooManyRequests, err)
+}
+
 // finishCancelled maps a cancelled run to its HTTP status: deadline
 // expiry is a 504 (the service gave up), client disconnect a 499-style 503.
 func (s *Server) finishCancelled(w http.ResponseWriter, ctx context.Context, err error) {
@@ -291,11 +311,6 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	app, err := req.ResolveApp()
-	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, err)
-		return
-	}
 	sc, err := req.SysConfig()
 	if err != nil {
 		writeError(w, http.StatusUnprocessableEntity, err)
@@ -317,10 +332,19 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 			runErr = cancel.ErrStopped
 			return
 		}
+		// Workload resolution happens here, on the worker, after the
+		// deadline is armed: for inline sources it runs the reference
+		// interpreter (the validation oracle), which is CPU-bound on user
+		// input — on the request goroutine it would be uncancellable work
+		// outside the pool's concurrency bound.
+		app, err := req.ResolveAppBound(flag, s.cfg.OracleMaxSteps)
+		if err != nil {
+			runErr = err
+			return
+		}
 		rs, runErr = harness.Run(app, req.System, sc)
 	}); err != nil {
-		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusTooManyRequests, err)
+		writeSubmitError(w, err)
 		return
 	}
 
@@ -371,6 +395,13 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	if len(systems) == 0 {
 		systems = harness.Systems
 	}
+	// Build the cache config once, up front: a bad spec fails the request
+	// instead of silently degrading every cell to flat memory.
+	cc, err := req.Cache.Config()
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
 
 	ctx, cancelCtx := context.WithTimeout(r.Context(), s.timeout(req.TimeoutMS))
 	defer cancelCtx()
@@ -390,11 +421,9 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 				sc := harness.SysConfig{
 					IssueWidth: req.IssueWidth,
 					Tags:       req.Tags,
+					Cache:      cc,
 					Stop:       flag,
 					Compiler:   s.graphs,
-				}
-				if cc, err := req.Cache.Config(); err == nil {
-					sc.Cache = cc
 				}
 				rs, err := harness.Run(app, sys, sc)
 				if err != nil {
@@ -406,8 +435,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}); err != nil {
-		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusTooManyRequests, err)
+		writeSubmitError(w, err)
 		return
 	}
 

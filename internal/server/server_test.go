@@ -145,11 +145,15 @@ func TestConcurrentRuns(t *testing.T) {
 }
 
 // TestDeadlineExceededMidRun asserts a too-slow simulation is cancelled at a
-// cycle boundary and reported as 504 with a structured error body.
+// cycle boundary and reported as 504 with a structured error body. The
+// workload must outlive the deadline by more than the platform's timer
+// granularity (coarse-tick kernels fire a 1ms timer up to ~15ms late);
+// spmspm at medium scale runs for tens of milliseconds beyond that, so the
+// cancel always lands mid-run instead of racing the finish line.
 func TestDeadlineExceededMidRun(t *testing.T) {
 	_, ts := newTestServer(t, Config{Workers: 2, QueueDepth: 4})
 	resp, body := postJSON(t, ts.Client(), ts.URL+"/v1/run", api.Request{
-		App: "spmspm", Scale: "small", System: "tyr", TimeoutMS: 1,
+		App: "spmspm", Scale: "medium", System: "tyr", TimeoutMS: 1,
 	})
 	if resp.StatusCode != http.StatusGatewayTimeout {
 		t.Fatalf("status = %d, want 504; body: %s", resp.StatusCode, body)
@@ -160,6 +164,85 @@ func TestDeadlineExceededMidRun(t *testing.T) {
 	}
 	if eb.Version != api.Version || !strings.Contains(eb.Error, "stopped") {
 		t.Errorf("unexpected error body: %+v", eb)
+	}
+}
+
+// spinSource is valid IR whose reference run is effectively unbounded —
+// ~16G dynamic instructions — so only the stop flag or the oracle step
+// budget can end it within a test's lifetime.
+const spinSource = `program "spin" entry main
+
+func main() {
+  loop "L" carry (i = 0, s = 0) while i < 4000000000 {
+    s = s + i
+    i = i + 1
+  }
+  return s
+}
+`
+
+// TestDeadlineCancelsSourceOracle asserts that an inline-source request
+// whose reference-interpreter oracle run outlives the deadline is cancelled
+// on the worker and reported as 504 — the oracle must run inside the pool
+// under the request's stop flag, not unbounded on the request goroutine.
+func TestDeadlineCancelsSourceOracle(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 2})
+	start := time.Now()
+	resp, body := postJSON(t, ts.Client(), ts.URL+"/v1/run", api.Request{
+		Source: spinSource, System: "tyr", TimeoutMS: 1,
+	})
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504; body: %s", resp.StatusCode, body)
+	}
+	var eb api.ErrorBody
+	if err := json.Unmarshal(body, &eb); err != nil {
+		t.Fatalf("error body is not structured: %v (%s)", err, body)
+	}
+	if !strings.Contains(eb.Error, "stopped") {
+		t.Errorf("unexpected error body: %+v", eb)
+	}
+	// The ~16G-instruction oracle ran for nowhere near its natural length.
+	if el := time.Since(start); el > 10*time.Second {
+		t.Errorf("cancelled oracle still took %v", el)
+	}
+}
+
+// TestOracleStepBudget asserts the server-side instruction budget bounds the
+// oracle run even without a deadline firing: the spin program exceeds a tiny
+// budget and fails as a 422, long before its 30s default timeout.
+func TestOracleStepBudget(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 2, OracleMaxSteps: 1000})
+	resp, body := postJSON(t, ts.Client(), ts.URL+"/v1/run", api.Request{
+		Source: spinSource, System: "tyr",
+	})
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("status = %d, want 422; body: %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "budget") {
+		t.Errorf("expected a budget error, got: %s", body)
+	}
+}
+
+// TestClosedPoolReturns503 asserts a draining server reports 503 Service
+// Unavailable, not 429 (which would invite retries against an exiting
+// instance).
+func TestClosedPoolReturns503(t *testing.T) {
+	srv, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1})
+	srv.Close()
+	for _, ep := range []struct {
+		path string
+		body any
+	}{
+		{"/v1/run", api.Request{App: "dmv", Scale: "tiny", System: "tyr"}},
+		{"/v1/sweep", api.SweepRequest{Scale: "tiny", Apps: []string{"dmv"}, Systems: []string{"tyr"}}},
+	} {
+		resp, body := postJSON(t, ts.Client(), ts.URL+ep.path, ep.body)
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Errorf("%s: status = %d, want 503; body: %s", ep.path, resp.StatusCode, body)
+		}
+		if resp.Header.Get("Retry-After") != "" {
+			t.Errorf("%s: 503 during drain should not carry Retry-After", ep.path)
+		}
 	}
 }
 
