@@ -1,0 +1,144 @@
+// Command tyrlint runs the repository's custom static-analysis suite
+// (internal/lint): the analyzers that prove the invariants the fast
+// paths and the serving layer stand on — graph immutability, hot-path
+// allocation freedom, cancel-flag polling, engine determinism, and
+// metrics discipline.
+//
+// Usage:
+//
+//	tyrlint [flags] [./...]
+//
+// With no arguments (or "./..."), the whole module is analyzed. Explicit
+// import paths (repro/internal/core) restrict the run. Exit status is 0
+// when clean, 1 when diagnostics were reported, 2 on usage or load
+// errors.
+//
+// Flags:
+//
+//	-list       list the analyzers and exit
+//	-only a,b   run only the named analyzers
+//	-json FILE  additionally write diagnostics as JSON to FILE
+//	            ("-" for stdout); CI uploads this as an artifact
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		list     = flag.Bool("list", false, "list analyzers and exit")
+		only     = flag.String("only", "", "comma-separated subset of analyzers to run")
+		jsonPath = flag.String("json", "", "write diagnostics as JSON to this file (\"-\" for stdout)")
+	)
+	flag.Parse()
+
+	analyzers := lint.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-18s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *only != "" {
+		byName := make(map[string]*lint.Analyzer, len(analyzers))
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		analyzers = analyzers[:0]
+		for _, name := range strings.Split(*only, ",") {
+			name = strings.TrimSpace(name)
+			a, ok := byName[name]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "tyrlint: unknown analyzer %q (try -list)\n", name)
+				return 2
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tyrlint: %v\n", err)
+		return 2
+	}
+
+	var pkgs []*lint.Package
+	args := flag.Args()
+	if len(args) == 0 || (len(args) == 1 && (args[0] == "./..." || args[0] == "...")) {
+		pkgs, err = loader.All()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tyrlint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, arg := range args {
+			p, err := loader.Load(arg)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "tyrlint: %v\n", err)
+				return 2
+			}
+			pkgs = append(pkgs, p)
+		}
+	}
+
+	diags := lint.RunAnalyzers(pkgs, analyzers, lint.DefaultPolicy())
+	for _, d := range diags {
+		fmt.Printf("%s:%d:%d: [%s] %s\n", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+	}
+
+	if *jsonPath != "" {
+		if err := writeJSON(*jsonPath, diags); err != nil {
+			fmt.Fprintf(os.Stderr, "tyrlint: %v\n", err)
+			return 2
+		}
+	}
+
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "tyrlint: %d diagnostic(s); fix the violation or add a //tyr:ignore <analyzer> -- <reason>\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+// jsonDiag is the artifact schema: flat, stable field names.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func writeJSON(path string, diags []lint.Diagnostic) error {
+	out := make([]jsonDiag, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, jsonDiag{
+			File:     d.Pos.Filename,
+			Line:     d.Pos.Line,
+			Column:   d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}

@@ -309,11 +309,13 @@ func (r Result) IPC() float64 {
 // IPCCDF returns (ipc, cumulative fraction of cycles at or below it) pairs
 // in increasing IPC order.
 func (r Result) IPCCDF() (ipcs []int, cum []float64) {
+	//tyr:nondet-ok -- keys only collected here, sorted before use
 	for ipc := range r.IPCHist {
 		ipcs = append(ipcs, ipc)
 	}
 	sort.Ints(ipcs)
 	total := float64(0)
+	//tyr:nondet-ok -- commutative sum over values
 	for _, c := range r.IPCHist {
 		total += float64(c)
 	}

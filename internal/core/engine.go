@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/cancel"
 	"repro/internal/cq"
@@ -162,8 +163,16 @@ func Run(g *dfg.Graph, im *mem.Image, cfg Config) (Result, error) {
 		if cfg.TagsPerBlock < 2 {
 			return Result{}, fmt.Errorf("core: %v needs at least 2 tags per block (got %d)", cfg.Policy, cfg.TagsPerBlock)
 		}
-		for name, n := range cfg.BlockTags {
-			if n < 2 {
+		// Validate in sorted order so the reported block is deterministic
+		// when several are misconfigured.
+		names := make([]string, 0, len(cfg.BlockTags))
+		//tyr:nondet-ok -- keys only collected here, sorted before use
+		for name := range cfg.BlockTags {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			if n := cfg.BlockTags[name]; n < 2 {
 				return Result{}, fmt.Errorf("core: block %q needs at least 2 tags (got %d)", name, n)
 			}
 		}
@@ -313,6 +322,8 @@ func (m *machine) allocRoot() (uint64, error) {
 
 // popTag removes a tag destined for the given space from the appropriate
 // pool. It does not update usage statistics.
+//
+//tyr:hotpath
 func (m *machine) popTag(space dfg.BlockID) (uint64, bool) {
 	switch {
 	case m.cfg.Policy == PolicyGlobalBounded:
@@ -336,6 +347,7 @@ func (m *machine) popTag(space dfg.BlockID) (uint64, bool) {
 	}
 }
 
+//tyr:hotpath
 func (m *machine) avail(space dfg.BlockID) int {
 	switch {
 	case m.cfg.Policy == PolicyGlobalBounded:
@@ -347,6 +359,7 @@ func (m *machine) avail(space dfg.BlockID) int {
 	}
 }
 
+//tyr:hotpath
 func (m *machine) noteAlloc(space dfg.BlockID) {
 	m.inUse[space]++
 	if m.inUse[space] > m.peakInUse[space] {
@@ -360,6 +373,8 @@ func (m *machine) noteAlloc(space dfg.BlockID) {
 }
 
 // kbAcquire hands out a (possibly recycled) invocation record index.
+//
+//tyr:hotpath
 func (m *machine) kbAcquire() int32 {
 	if n := len(m.kbFree); n > 0 {
 		ri := m.kbFree[n-1]
@@ -371,6 +386,8 @@ func (m *machine) kbAcquire() int32 {
 }
 
 // kbRelease retires an invocation record, keeping its slice capacity.
+//
+//tyr:hotpath
 func (m *machine) kbRelease(ri int32) {
 	rec := &m.kbRecs[ri]
 	rec.pool = rec.pool[:0]
@@ -383,6 +400,8 @@ func (m *machine) kbRelease(ri int32) {
 // empty record for unknown keys (a free or request against a reclaimed
 // invocation — broken programs reach this; the record then behaves like
 // the seed's zero-valued map entries).
+//
+//tyr:hotpath
 func (m *machine) kbFor(key uint64) *kbRec {
 	ri, ok := m.kbIdx.get(key)
 	if !ok {
@@ -393,6 +412,8 @@ func (m *machine) kbFor(key uint64) *kbRec {
 }
 
 // freeTag returns a tag to its pool and wakes starved allocates.
+//
+//tyr:hotpath
 func (m *machine) freeTag(space dfg.BlockID, tag uint64) {
 	m.inUse[space]--
 	m.totalInUse--
@@ -429,6 +450,8 @@ func (m *machine) freeTag(space dfg.BlockID, tag uint64) {
 }
 
 // wake moves a space's starved allocates back into the ready flow.
+//
+//tyr:hotpath
 func (m *machine) wake(pendingIdx dfg.BlockID) {
 	refs := m.pending[pendingIdx]
 	if len(refs) == 0 {
@@ -438,6 +461,7 @@ func (m *machine) wake(pendingIdx dfg.BlockID) {
 	m.wakeRefs(refs)
 }
 
+//tyr:hotpath
 func (m *machine) wakeRefs(refs []fireRef) {
 	for _, ref := range refs {
 		ws := &m.stores[ref.node]
@@ -455,6 +479,7 @@ func (m *machine) wakeRefs(refs []fireRef) {
 	}
 }
 
+//tyr:hotpath
 func (m *machine) pendingIndex(space dfg.BlockID) dfg.BlockID {
 	if m.cfg.Policy == PolicyGlobalBounded {
 		return 0
@@ -464,6 +489,8 @@ func (m *machine) pendingIndex(space dfg.BlockID) dfg.BlockID {
 
 // emit queues a produced token for delivery at the start of the next cycle.
 // src is the producing node, dfg.InvalidNode for entry injections.
+//
+//tyr:hotpath
 func (m *machine) emit(src dfg.NodeID, to dfg.Port, tag uint64, val int64) {
 	m.outbox = append(m.outbox, token{to: to, src: src, tag: tag, val: val})
 	m.live++
@@ -483,6 +510,8 @@ func (m *machine) emit(src dfg.NodeID, to dfg.Port, tag uint64, val int64) {
 }
 
 // emitAll fans a value out to every destination of an output port.
+//
+//tyr:hotpath
 func (m *machine) emitAll(n *dfg.Node, out int, tag uint64, val int64) {
 	cross := out == dfg.CTDataOut && (n.Op == dfg.OpChangeTag || n.Op == dfg.OpChangeTagDyn)
 	for _, d := range n.Outs[out] {
@@ -498,6 +527,8 @@ func (m *machine) emitAll(n *dfg.Node, out int, tag uint64, val int64) {
 // memLatency resolves the latency of one memory access: the attached
 // hierarchy model when configured, else the fixed LoadLatency for loads
 // (stores complete in a cycle on the ideal flat memory, as in the seed).
+//
+//tyr:hotpath
 func (m *machine) memLatency(kind mem.AccessKind, nid dfg.NodeID, addr int64) int64 {
 	if m.cfg.Memory != nil {
 		return m.cfg.Memory.Access(m.cycle, kind, m.info[nid].memIdx, addr)
@@ -511,6 +542,8 @@ func (m *machine) memLatency(kind mem.AccessKind, nid dfg.NodeID, addr int64) in
 // emitAllDelayed fans a value out to every destination of an output port,
 // with delivery deferred to the due cycle (the multi-cycle memory path).
 // The tokens count as live from emission, like their prompt counterparts.
+//
+//tyr:hotpath
 func (m *machine) emitAllDelayed(n *dfg.Node, out int, tag uint64, val int64, due int64) {
 	for _, d := range n.Outs[out] {
 		m.delayed.Push(due, token{to: d, src: n.ID, tag: tag, val: val})
@@ -526,6 +559,7 @@ func (m *machine) emitAllDelayed(n *dfg.Node, out int, tag uint64, val int64, du
 	}
 }
 
+//tyr:hotpath
 func (m *machine) consumeOne(blk dfg.BlockID, tag uint64) {
 	m.live--
 	m.liveByBlock[blk]--
@@ -538,6 +572,8 @@ func (m *machine) consumeOne(blk dfg.BlockID, tag uint64) {
 
 // evSeq reports the tracer's next event sequence number, for linking
 // sanitizer diagnostics to the exported trace. Zero without a tracer.
+//
+//tyr:hotpath
 func (m *machine) evSeq() uint64 {
 	if m.rec == nil {
 		return 0
@@ -547,6 +583,8 @@ func (m *machine) evSeq() uint64 {
 
 // deliver routes one token into its node's token store, possibly completing
 // an instance and scheduling it.
+//
+//tyr:hotpath
 func (m *machine) deliver(t token) error {
 	nid := t.to.Node
 	n := &m.g.Nodes[nid]
@@ -596,6 +634,8 @@ func (m *machine) deliver(t token) error {
 }
 
 // deliverAllocate handles allocate's special firing rule on token arrival.
+//
+//tyr:hotpath
 func (m *machine) deliverAllocate(nid dfg.NodeID, tag uint64, slot int32) error {
 	n := &m.g.Nodes[nid]
 	ws := &m.stores[nid]
@@ -625,6 +665,8 @@ func (m *machine) deliverAllocate(nid dfg.NodeID, tag uint64, slot int32) error 
 
 // fire executes one ready instance. It reports whether an issue slot was
 // consumed (a starved allocate parks instead).
+//
+//tyr:hotpath
 func (m *machine) fire(ref fireRef) (bool, error) {
 	n := &m.g.Nodes[ref.node]
 	ws := &m.stores[ref.node]
@@ -758,6 +800,8 @@ func (m *machine) fire(ref fireRef) (bool, error) {
 
 // fireAllocate attempts to pop a tag for a requesting context, applying the
 // policy's forward-progress rules.
+//
+//tyr:hotpath
 func (m *machine) fireAllocate(ref fireRef, n *dfg.Node, slot int32) (bool, error) {
 	if m.cfg.Policy == PolicyKBound && m.spacePooled[n.Space] {
 		return m.fireAllocateKBound(ref, n, slot)
@@ -798,6 +842,8 @@ func (m *machine) fireAllocate(ref fireRef, n *dfg.Node, slot int32) (bool, erro
 }
 
 // grantAllocate completes an allocate firing once a tag has been chosen.
+//
+//tyr:hotpath
 func (m *machine) grantAllocate(ref fireRef, n *dfg.Node, slot int32, tag uint64) {
 	ws := &m.stores[ref.node]
 	if m.san != nil {
@@ -835,6 +881,8 @@ const (
 // for iteration i+1-k to retire when the block is exhausted. Invocations
 // themselves are unbounded — the reason k-bounding does not solve
 // parallelism explosion in general.
+//
+//tyr:hotpath
 func (m *machine) fireAllocateKBound(ref fireRef, n *dfg.Node, slot int32) (bool, error) {
 	ws := &m.stores[ref.node]
 	k := m.cfg.TagsPerBlock
@@ -880,6 +928,9 @@ func (m *machine) fireAllocateKBound(ref fireRef, n *dfg.Node, slot int32) (bool
 }
 
 // run is the main cycle loop.
+//
+//tyr:cycleloop
+//tyr:hotpath
 func (m *machine) run() (Result, error) {
 	rootTag, err := m.allocRoot()
 	if err != nil {
@@ -972,6 +1023,8 @@ func (m *machine) run() (Result, error) {
 // window's max point is recorded at stride boundaries, and when the point
 // cap is reached adjacent points merge keeping the larger — so the trace's
 // peak always equals the true PeakLive and cycles stay strictly increasing.
+//
+//tyr:hotpath
 func (m *machine) samplePoint() {
 	if m.cfg.TracePoints <= 0 {
 		return

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"repro/internal/dfg"
@@ -166,10 +167,19 @@ func (s *sanitizer) checkFree(m *machine, n *dfg.Node, tag uint64) error {
 // machine drained cleanly.
 func (s *sanitizer) atCompletion(m *machine) error {
 	if len(s.held) > 0 {
-		for tag, space := range s.held {
+		// Report leaks in sorted tag order: with more leaks than maxDiags,
+		// map iteration would make both the order and the surviving subset
+		// of diagnostics vary run to run.
+		leaked := make([]uint64, 0, len(s.held))
+		//tyr:nondet-ok -- keys only collected here, sorted before use
+		for tag := range s.held {
+			leaked = append(leaked, tag)
+		}
+		sort.Slice(leaked, func(i, j int) bool { return leaked[i] < leaked[j] })
+		for _, tag := range leaked {
 			s.diags = append(s.diags, Diagnostic{
 				Kind: DiagTagLeak, Cycle: m.cycle, Node: dfg.InvalidNode, Tag: tag, Event: m.evSeq(),
-				Detail: fmt.Sprintf("tag %#x of space %q still allocated at completion", tag, m.g.Blocks[space].Name),
+				Detail: fmt.Sprintf("tag %#x of space %q still allocated at completion", tag, m.g.Blocks[s.held[tag]].Name),
 			})
 			if len(s.diags) >= maxDiags {
 				break

@@ -27,6 +27,8 @@ const wsMinCap = 8
 // hashTag mixes a tag into a table index base. Tags are highly structured
 // (space<<32|idx pool encodings, dense counters), so multiply by a 64-bit
 // odd constant (Fibonacci hashing) and keep the top bits.
+//
+//tyr:hotpath
 func hashTag(tag uint64) uint32 {
 	return uint32((tag * 0x9E3779B97F4A7C15) >> 32)
 }
@@ -68,9 +70,12 @@ func (ws *waitStore) alloc(capacity int) {
 	ws.present = make([]uint64, capacity*ws.words)
 }
 
+//tyr:hotpath
 func (ws *waitStore) len() int { return ws.n }
 
 // lookup returns the slot holding tag, or -1.
+//
+//tyr:hotpath
 func (ws *waitStore) lookup(tag uint64) int32 {
 	i := hashTag(tag) & ws.mask
 	for ws.used[i] {
@@ -86,6 +91,8 @@ func (ws *waitStore) lookup(tag uint64) int32 {
 // returns its slot: operands prefilled with the node's constants, presence
 // cleared, flags zeroed. Grows first if the load factor would be exceeded,
 // so the returned slot stays valid until the next insert or delete.
+//
+//tyr:hotpath
 func (ws *waitStore) insert(tag uint64) int32 {
 	if ws.n >= ws.growAt {
 		ws.grow()
@@ -131,6 +138,8 @@ func (ws *waitStore) grow() {
 // delSlot removes the instance at slot using backward-shift deletion (no
 // tombstones: subsequent entries whose probe chains pass through the hole
 // are shifted back, keeping lookups tombstone-free forever).
+//
+//tyr:hotpath
 func (ws *waitStore) delSlot(slot int32) {
 	i := uint32(slot)
 	ws.used[i] = false
@@ -160,23 +169,35 @@ func (ws *waitStore) delSlot(slot int32) {
 
 // valSlice returns the operand values of slot (valid until the next
 // insert or delete on this store).
+//
+//tyr:hotpath
 func (ws *waitStore) valSlice(slot int32) []int64 {
 	return ws.vals[int(slot)*ws.nIn : (int(slot)+1)*ws.nIn]
 }
 
+//tyr:hotpath
 func (ws *waitStore) has(slot int32, port int) bool {
 	return ws.present[int(slot)*ws.words+port>>6]&(1<<(port&63)) != 0
 }
 
+//tyr:hotpath
 func (ws *waitStore) set(slot int32, port int) {
 	ws.present[int(slot)*ws.words+port>>6] |= 1 << (port & 63)
 }
 
+//tyr:hotpath
 func (ws *waitStore) popped(slot int32) bool { return ws.flags[slot]&wsPopped != 0 }
+
+//tyr:hotpath
 func (ws *waitStore) queued(slot int32) bool { return ws.flags[slot]&wsQueued != 0 }
+
+//tyr:hotpath
 func (ws *waitStore) parked(slot int32) bool { return ws.flags[slot]&wsParked != 0 }
 
-func (ws *waitStore) setFlag(slot int32, f uint8)   { ws.flags[slot] |= f }
+//tyr:hotpath
+func (ws *waitStore) setFlag(slot int32, f uint8) { ws.flags[slot] |= f }
+
+//tyr:hotpath
 func (ws *waitStore) clearFlag(slot int32, f uint8) { ws.flags[slot] &^= f }
 
 // forEach visits every waiting instance in slot order (deterministic).
@@ -216,8 +237,10 @@ func (m *tagMap) alloc(capacity int) {
 	m.vals = make([]int64, capacity)
 }
 
+//tyr:hotpath
 func (m *tagMap) len() int { return m.n }
 
+//tyr:hotpath
 func (m *tagMap) get(key uint64) (int64, bool) {
 	i := hashTag(key) & m.mask
 	for m.used[i] {
@@ -230,6 +253,8 @@ func (m *tagMap) get(key uint64) (int64, bool) {
 }
 
 // put sets key to v, inserting it if absent.
+//
+//tyr:hotpath
 func (m *tagMap) put(key uint64, v int64) {
 	if m.n >= m.growAt {
 		m.grow()
@@ -250,6 +275,8 @@ func (m *tagMap) put(key uint64, v int64) {
 
 // add adjusts key's value by delta (inserting at delta if absent) and
 // returns the new value.
+//
+//tyr:hotpath
 func (m *tagMap) add(key uint64, delta int64) int64 {
 	if m.n >= m.growAt {
 		m.grow()
@@ -269,6 +296,7 @@ func (m *tagMap) add(key uint64, delta int64) int64 {
 	return delta
 }
 
+//tyr:hotpath
 func (m *tagMap) del(key uint64) {
 	i := hashTag(key) & m.mask
 	for {

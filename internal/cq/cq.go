@@ -25,9 +25,13 @@ type Queue[T any] struct {
 const minWheel = 16
 
 // Len reports the number of pending items.
+//
+//tyr:hotpath
 func (q *Queue[T]) Len() int { return q.n }
 
 // Push enqueues v at the given due time.
+//
+//tyr:hotpath
 func (q *Queue[T]) Push(due int64, v T) {
 	if q.buckets == nil {
 		q.alloc(minWheel)
@@ -48,6 +52,8 @@ func (q *Queue[T]) Push(due int64, v T) {
 // push order, or nil if none. The returned slice is owned by the queue
 // and only valid until the next Push — callers must finish iterating
 // (without pushing) before touching the queue again.
+//
+//tyr:hotpath
 func (q *Queue[T]) Take(due int64) []T {
 	if q.n == 0 {
 		return nil

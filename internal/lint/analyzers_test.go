@@ -1,0 +1,67 @@
+package lint
+
+import "testing"
+
+func TestGraphImmutFixture(t *testing.T) {
+	runFixture(t, fixture{
+		pkgs: map[string]string{
+			"fix/dfg":     "graphimmut/dfg",
+			"fix/builder": "graphimmut/builder",
+			"fix/engine":  "graphimmut/engine",
+		},
+		analyzers: []*Analyzer{GraphImmut},
+		policy: Policy{
+			GraphPkg:      "fix/dfg",
+			GraphBuilders: []string{"fix/dfg", "fix/builder"},
+		},
+	})
+}
+
+func TestHotPathFixture(t *testing.T) {
+	runFixture(t, fixture{
+		pkgs:      map[string]string{"fix/hot": "hotpath/hot"},
+		analyzers: []*Analyzer{HotPath},
+		policy:    Policy{},
+	})
+}
+
+func TestCancelPollFixture(t *testing.T) {
+	runFixture(t, fixture{
+		pkgs: map[string]string{
+			"fix/cancel": "cancelpoll/cancel",
+			"fix/engine": "cancelpoll/engine",
+			"fix/noloop": "cancelpoll/noloop",
+			"fix/prog":   "cancelpoll/prog",
+			"fix/deleg":  "cancelpoll/deleg",
+		},
+		analyzers: []*Analyzer{CancelPoll},
+		policy: Policy{
+			CycleLoopPkgs:     []string{"fix/engine", "fix/noloop"},
+			DelegatingEngines: []string{"fix/deleg"},
+			RunConfigType:     "fix/prog.RunConfig",
+			CancelPkg:         "fix/cancel",
+		},
+	})
+}
+
+func TestDeterminismFixture(t *testing.T) {
+	runFixture(t, fixture{
+		pkgs:      map[string]string{"fix/engine": "determinism/engine"},
+		analyzers: []*Analyzer{Determinism},
+		policy:    Policy{EnginePkgs: []string{"fix/engine"}},
+	})
+}
+
+func TestMetricsDisciplineFixture(t *testing.T) {
+	runFixture(t, fixture{
+		pkgs: map[string]string{
+			"fix/metrics": "metricsdiscipline/metrics",
+			"fix/empty":   "metricsdiscipline/empty",
+		},
+		analyzers: []*Analyzer{MetricsDiscipline},
+		policy: Policy{
+			MetricsPkgs:          []string{"fix/metrics", "fix/empty"},
+			MetricsAccessorFiles: []string{"metrics.go"},
+		},
+	})
+}

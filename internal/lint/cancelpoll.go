@@ -1,0 +1,163 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// CancelPoll proves the 504/drain guarantee: a tyrd request deadline arms
+// a cancel.Flag, and the promise that the run aborts "within one cycle
+// boundary" holds only if every engine's main loop actually polls the
+// flag. Three obligations:
+//
+//  1. Every function annotated //tyr:cycleloop must call Stopped() on a
+//     *cancel.Flag — and if the function contains a loop, the poll must
+//     be inside one (a poll before the loop checks once and never again).
+//  2. Every package in Policy.CycleLoopPkgs must contain at least one
+//     //tyr:cycleloop function: deleting the annotation (or the loop) is
+//     itself a violation, so the obligation cannot rot away silently.
+//  3. Engines that delegate their cycles to the reference interpreter
+//     (Policy.DelegatingEngines) must arm Stop in every RunConfig
+//     literal they build — forgetting the field compiles fine and
+//     silently loses cancellation.
+var CancelPoll = &Analyzer{
+	Name: "cancelpoll",
+	Doc:  "every engine cycle loop polls its cancel.Flag (the 504/drain guarantee)",
+	Run:  runCancelPoll,
+}
+
+// cycleloopMarker annotates an engine's main loop function.
+const cycleloopMarker = "//tyr:cycleloop"
+
+func runCancelPoll(pass *Pass) {
+	pol := pass.Policy
+	flagType := pol.CancelPkg + ".Flag"
+
+	annotated := 0
+	forEachFunc(pass.Pkg, func(_ *ast.File, fn *ast.FuncDecl) {
+		if !funcAnnotated(fn, cycleloopMarker) || fn.Body == nil {
+			return
+		}
+		annotated++
+		checkCycleLoop(pass, fn, flagType)
+	})
+
+	if has(pol.CycleLoopPkgs, pass.Pkg.Path) && annotated == 0 {
+		pass.Reportf(pass.Pkg.Files[0].Package,
+			"package %s must contain a //tyr:cycleloop function (an engine main loop polling its cancel.Flag); none found", pass.Pkg.Path)
+	}
+
+	if has(pol.DelegatingEngines, pass.Pkg.Path) {
+		checkDelegating(pass)
+	}
+}
+
+// checkCycleLoop verifies one annotated function polls the flag in a loop.
+func checkCycleLoop(pass *Pass, fn *ast.FuncDecl, flagType string) {
+	hasLoop := false
+	polled := false
+	polledInLoop := false
+	depth := 0
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			hasLoop = true
+			depth++
+			for _, child := range childrenOf(x) {
+				ast.Inspect(child, walk)
+			}
+			depth--
+			return false
+		case *ast.CallExpr:
+			if isStoppedCall(pass.Pkg, x, flagType) {
+				polled = true
+				if depth > 0 {
+					polledInLoop = true
+				}
+			}
+		case *ast.FuncLit:
+			return false // a poll inside a closure is not this loop's poll
+		}
+		return true
+	}
+	ast.Inspect(fn.Body, walk)
+
+	switch {
+	case !polled:
+		pass.Reportf(fn.Pos(), "//tyr:cycleloop function %s never calls Stopped() on a *%s (cancellation cannot interrupt this engine)", fn.Name.Name, flagType)
+	case hasLoop && !polledInLoop:
+		pass.Reportf(fn.Pos(), "//tyr:cycleloop function %s polls Stopped() outside its loop: the check runs once, then the loop is uncancellable", fn.Name.Name)
+	}
+}
+
+// childrenOf returns the sub-nodes of a for/range statement to walk.
+func childrenOf(n ast.Node) []ast.Node {
+	var out []ast.Node
+	switch x := n.(type) {
+	case *ast.ForStmt:
+		if x.Init != nil {
+			out = append(out, x.Init)
+		}
+		if x.Cond != nil {
+			out = append(out, x.Cond)
+		}
+		if x.Post != nil {
+			out = append(out, x.Post)
+		}
+		if x.Body != nil {
+			out = append(out, x.Body)
+		}
+	case *ast.RangeStmt:
+		if x.X != nil {
+			out = append(out, x.X)
+		}
+		if x.Body != nil {
+			out = append(out, x.Body)
+		}
+	}
+	return out
+}
+
+// isStoppedCall reports whether call is x.Stopped() with x a *cancel.Flag.
+func isStoppedCall(pkg *Package, call *ast.CallExpr, flagType string) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Stopped" {
+		return false
+	}
+	return namedIs(typeOf(pkg, sel.X), flagType)
+}
+
+// checkDelegating verifies every RunConfig literal arms Stop, and that at
+// least one exists (an engine that stopped building RunConfigs at all has
+// changed shape enough that the policy needs a human look).
+func checkDelegating(pass *Pass) {
+	found := 0
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.CompositeLit)
+			if !ok {
+				return true
+			}
+			if !namedIs(typeOf(pass.Pkg, lit), pass.Policy.RunConfigType) {
+				return true
+			}
+			found++
+			for _, elt := range lit.Elts {
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					if id, ok := kv.Key.(*ast.Ident); ok && id.Name == "Stop" {
+						if tv, ok := pass.Pkg.Info.Types[kv.Value]; ok && tv.IsNil() {
+							break // Stop: nil is as absent as no field
+						}
+						return true
+					}
+				}
+			}
+			pass.Reportf(lit.Pos(), "%s literal does not arm Stop: this engine delegates its cycles to the interpreter, and without the flag the run is uncancellable (504/drain guarantee)", pass.Policy.RunConfigType)
+			return true
+		})
+	}
+	if found == 0 {
+		pass.Reportf(pass.Pkg.Files[0].Package,
+			"package %s is a delegating engine but builds no %s: update lint.Policy if the engine changed shape", pass.Pkg.Path, pass.Policy.RunConfigType)
+	}
+}

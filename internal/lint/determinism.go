@@ -1,0 +1,90 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// Determinism protects the golden-digest suite's premise: the engines are
+// pure functions of (graph, image, config). Three nondeterminism sources
+// are banned inside Policy.EnginePkgs:
+//
+//   - wall-clock reads (time.Now, time.Since, ...): simulated time is the
+//     only clock an engine may consult;
+//   - math/rand and math/rand/v2: any randomness must come in through the
+//     config as an explicit seed, never ambient;
+//   - ranging over a map: Go randomizes map iteration order, which is
+//     exactly the class of bug (results/traces varying run to run) the
+//     golden suite would catch one release too late. A map range that is
+//     provably order-insensitive may carry
+//     "//tyr:nondet-ok -- <reason>" on the line above; the reason is
+//     mandatory and reviewed like any other code.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc:  "engine packages use no wall clock, no ambient randomness, and no map-range iteration",
+	Run:  runDeterminism,
+}
+
+// nondetOKMarker allows a map range whose effect is order-insensitive.
+const nondetOKMarker = "//tyr:nondet-ok"
+
+// bannedTimeFuncs are the wall-clock entry points. Types and constants
+// from package time (Duration arithmetic) remain legal.
+var bannedTimeFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"Tick": true, "After": true, "AfterFunc": true, "NewTimer": true, "NewTicker": true,
+}
+
+func runDeterminism(pass *Pass) {
+	if !has(pass.Policy.EnginePkgs, pass.Pkg.Path) {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		// nondetOK holds the lines carrying an order-insensitivity
+		// waiver (with a reason); a waiver covers its line and the next.
+		nondetOK := make(map[int]bool)
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, nondetOKMarker) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(c.Text, nondetOKMarker))
+				_, reason, found := strings.Cut(rest, "--")
+				if !found || strings.TrimSpace(reason) == "" {
+					pass.Reportf(c.Pos(), "//tyr:nondet-ok requires a reason: \"//tyr:nondet-ok -- <why order cannot matter>\"")
+					continue
+				}
+				nondetOK[pass.Pkg.Fset.Position(c.Pos()).Line] = true
+			}
+		}
+
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if path == "math/rand" || path == "math/rand/v2" {
+				pass.Reportf(imp.Pos(), "engine package %s imports %s: engines must be deterministic (golden digests); thread any randomness through the config as a seed", pass.Pkg.Path, path)
+			}
+		}
+
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.CallExpr:
+				if pkgPath, name := calleePkgFunc(pass.Pkg, x); pkgPath == "time" && bannedTimeFuncs[name] {
+					pass.Reportf(x.Pos(), "time.%s in engine package %s: simulated time is the only clock an engine may read (wall time diverges digests)", name, pass.Pkg.Path)
+				}
+			case *ast.RangeStmt:
+				t := typeOf(pass.Pkg, x.X)
+				if t == nil {
+					return true
+				}
+				if isMapType(t) {
+					line := pass.Pkg.Fset.Position(x.Pos()).Line
+					if nondetOK[line] || nondetOK[line-1] {
+						return true
+					}
+					pass.Reportf(x.Pos(), "map range in engine package %s: iteration order is randomized and leaks into results/traces; iterate a sorted key slice, or waive with //tyr:nondet-ok -- <reason>", pass.Pkg.Path)
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,128 @@
+package lint
+
+// Fixture-test harness in the spirit of x/tools' analysistest: each
+// analyzer's fixtures live under testdata/src/<analyzer>/, organized as
+// one or more packages that the runner loads at synthetic import paths
+// (so a fixture Policy can bind them as "the graph package", "an engine
+// package", and so on). Expected diagnostics are written in the fixture
+// source as trailing comments:
+//
+//	g.Nodes[0].Label = "x" // want `mutates .* shared graph state`
+//
+// Every diagnostic must be matched by a want on its line, and every want
+// must match a diagnostic — seeded bugs that the analyzer misses fail
+// the test just as loudly as false positives.
+
+import (
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// fixture describes one analyzer fixture run.
+type fixture struct {
+	// pkgs maps synthetic import paths to directories relative to
+	// testdata/src. All listed packages are loaded and analyzed.
+	pkgs map[string]string
+	// analyzers to run (usually just the one under test).
+	analyzers []*Analyzer
+	// policy binding the synthetic paths.
+	policy Policy
+}
+
+// wantRe extracts the backtick-quoted patterns of a want comment.
+var wantRe = regexp.MustCompile("`([^`]*)`")
+
+// runFixture loads the fixture packages, runs the analyzers, and matches
+// diagnostics against // want comments.
+func runFixture(t *testing.T, fx fixture) {
+	t.Helper()
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := filepath.Abs("testdata/src")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader.Extra = make(map[string]string, len(fx.pkgs))
+	for path, dir := range fx.pkgs {
+		loader.Extra[path] = filepath.Join(root, filepath.FromSlash(dir))
+	}
+
+	var pkgs []*Package
+	for path := range loader.Extra {
+		p, err := loader.Load(path)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", path, err)
+		}
+		pkgs = append(pkgs, p)
+	}
+
+	diags := RunAnalyzers(pkgs, fx.analyzers, fx.policy)
+
+	// Collect want patterns per (file, line).
+	type key struct {
+		file string
+		line int
+	}
+	wants := make(map[key][]*regexp.Regexp)
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					idx := strings.Index(c.Text, "// want ")
+					if idx < 0 {
+						continue
+					}
+					pos := p.Fset.Position(c.Pos())
+					pats := wantRe.FindAllStringSubmatch(c.Text[idx:], -1)
+					if len(pats) == 0 {
+						t.Errorf("%s:%d: want comment with no backtick-quoted pattern", pos.Filename, pos.Line)
+						continue
+					}
+					k := key{pos.Filename, pos.Line}
+					for _, m := range pats {
+						re, err := regexp.Compile(m[1])
+						if err != nil {
+							t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, m[1], err)
+						}
+						wants[k] = append(wants[k], re)
+					}
+				}
+			}
+		}
+	}
+
+	// Match diagnostics against wants.
+	matched := make(map[key][]bool)
+	for k, res := range wants {
+		matched[k] = make([]bool, len(res))
+	}
+	for _, d := range diags {
+		k := key{d.Pos.Filename, d.Pos.Line}
+		res, ok := wants[k]
+		if !ok {
+			t.Errorf("unexpected diagnostic: %s", d)
+			continue
+		}
+		hit := false
+		for i, re := range res {
+			if re.MatchString(d.Message) {
+				matched[k][i] = true
+				hit = true
+			}
+		}
+		if !hit {
+			t.Errorf("diagnostic does not match any want pattern on its line: %s", d)
+		}
+	}
+	for k, res := range wants {
+		for i, re := range res {
+			if !matched[k][i] {
+				t.Errorf("%s:%d: expected diagnostic matching %q, got none", k.file, k.line, re)
+			}
+		}
+	}
+}

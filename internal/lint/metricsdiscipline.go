@@ -1,0 +1,120 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MetricsDiscipline keeps the tyrd service counters honest under 64-way
+// concurrency: every field of server.Metrics is either an atomic (mutated
+// through Add/Store/... only) or guarded by the struct's mutex (touched
+// only inside the accessor file, metrics.go, where the locking lives).
+//
+// Outside the accessor file, the only legal mention of a Metrics field is
+// an atomic field used as the immediate receiver of an atomic method call
+// (m.stats.cacheHits.Add(1)). Everything else — assigning a field,
+// reading the maps, locking the mutex from afar, copying the struct —
+// is reported: the next person to "just bump a counter" from a handler
+// gets a build break instead of a torn map under load.
+var MetricsDiscipline = &Analyzer{
+	Name: "metricsdiscipline",
+	Doc:  "server.Metrics fields are mutated only via their atomic/locked accessors",
+	Run:  runMetricsDiscipline,
+}
+
+// atomicMethods are the sync/atomic value methods that constitute a
+// legal touch of an atomic counter field.
+var atomicMethods = map[string]bool{
+	"Add": true, "Load": true, "Store": true, "Swap": true,
+	"CompareAndSwap": true, "And": true, "Or": true,
+}
+
+func runMetricsDiscipline(pass *Pass) {
+	if !has(pass.Policy.MetricsPkgs, pass.Pkg.Path) {
+		return
+	}
+	// The discipline applies to every struct in this package named
+	// "Metrics" (there is exactly one today; a second would inherit the
+	// same obligations automatically).
+	metricsObj := pass.Pkg.Types.Scope().Lookup("Metrics")
+	if metricsObj == nil {
+		pass.Reportf(pass.Pkg.Files[0].Package,
+			"package %s is listed in lint.Policy.MetricsPkgs but declares no Metrics type: update the policy", pass.Pkg.Path)
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		if has(pass.Policy.MetricsAccessorFiles, pass.Pkg.FileName(f.Package)) {
+			continue // the accessor module owns the fields and the lock
+		}
+		checkMetricsFile(pass, f, metricsObj.Type())
+	}
+}
+
+func checkMetricsFile(pass *Pass, f *ast.File, metricsType types.Type) {
+	// ok marks selector expressions that are sanctioned: an atomic field
+	// appearing as the receiver of an atomic method call.
+	ok := make(map[*ast.SelectorExpr]bool)
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, isCall := n.(*ast.CallExpr)
+		if !isCall {
+			return true
+		}
+		method, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !isSel || !atomicMethods[method.Sel.Name] {
+			return true
+		}
+		field, isField := ast.Unparen(method.X).(*ast.SelectorExpr)
+		if !isField {
+			return true
+		}
+		if !isMetricsField(pass.Pkg, field, metricsType) {
+			return true
+		}
+		if isAtomicType(typeOf(pass.Pkg, field)) {
+			ok[field] = true
+		}
+		return true
+	})
+
+	ast.Inspect(f, func(n ast.Node) bool {
+		sel, isSel := n.(*ast.SelectorExpr)
+		if !isSel || ok[sel] {
+			return true
+		}
+		if !isMetricsField(pass.Pkg, sel, metricsType) {
+			return true
+		}
+		if isAtomicType(typeOf(pass.Pkg, sel)) {
+			pass.Reportf(sel.Pos(), "atomic Metrics field %s touched outside an atomic method call: use .Add/.Load/... directly on the field, or add an accessor in metrics.go", sel.Sel.Name)
+		} else {
+			pass.Reportf(sel.Pos(), "Metrics field %s is mutex-guarded state: it may only be touched inside the accessor file (metrics.go), where the locking discipline lives", sel.Sel.Name)
+		}
+		return true
+	})
+}
+
+// isMetricsField reports whether sel selects a *field* of the Metrics
+// struct (method calls like m.ObserveRun(...) are the sanctioned API and
+// pass freely).
+func isMetricsField(pkg *Package, sel *ast.SelectorExpr, metricsType types.Type) bool {
+	s, ok := pkg.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return false
+	}
+	recv := deref(s.Recv())
+	want := deref(metricsType)
+	return types.Identical(recv, want)
+}
+
+// isAtomicType reports whether t is one of the sync/atomic value types.
+func isAtomicType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	n, ok := deref(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}

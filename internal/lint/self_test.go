@@ -1,0 +1,31 @@
+package lint
+
+import "testing"
+
+// TestRepoIsClean runs the full analyzer suite over this repository with
+// the default policy and requires zero diagnostics: the invariants the
+// fast paths stand on hold on every `go test ./...`, not only when CI's
+// tyrlint job runs.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-module typecheck is not short")
+	}
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("loaded no packages")
+	}
+	diags := RunAnalyzers(pkgs, All(), DefaultPolicy())
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+	if len(diags) > 0 {
+		t.Errorf("%d diagnostics; fix the violation or add a //tyr:ignore <analyzer> -- <reason>", len(diags))
+	}
+}

@@ -1,0 +1,11 @@
+// Package cancel is the cancelpoll fixture's stand-in for the real
+// cooperative stop flag.
+package cancel
+
+type Flag struct{ v bool }
+
+// Stop raises the flag.
+func (f *Flag) Stop() { f.v = true }
+
+// Stopped reports whether the flag was raised; nil-safe.
+func (f *Flag) Stopped() bool { return f != nil && f.v }

@@ -1,0 +1,20 @@
+// Package deleg is a delegating engine: every RunConfig literal it
+// builds must arm Stop, or cancellation is silently lost.
+package deleg
+
+import (
+	"fix/cancel"
+	"fix/prog"
+)
+
+func Good(stop *cancel.Flag) int {
+	return prog.Run(prog.RunConfig{MaxSteps: 10, Stop: stop})
+}
+
+func Forgot() int {
+	return prog.Run(prog.RunConfig{MaxSteps: 10}) // want `does not arm Stop`
+}
+
+func ExplicitNil() int {
+	return prog.Run(prog.RunConfig{MaxSteps: 10, Stop: nil}) // want `does not arm Stop`
+}

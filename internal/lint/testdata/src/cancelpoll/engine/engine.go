@@ -1,0 +1,58 @@
+// Package engine carries the //tyr:cycleloop function obligations: one
+// good loop, one that never polls, one that polls only before the loop.
+package engine
+
+import "fix/cancel"
+
+// run polls inside the loop: the good case, no diagnostic.
+//
+//tyr:cycleloop
+func run(stop *cancel.Flag) int {
+	n := 0
+	for i := 0; i < 10; i++ {
+		if stop.Stopped() {
+			return n
+		}
+		n++
+	}
+	return n
+}
+
+// never forgets the poll entirely.
+//
+//tyr:cycleloop
+func never(stop *cancel.Flag) int { // want `never calls Stopped\(\)`
+	n := 0
+	for i := 0; i < 10; i++ {
+		n++
+	}
+	if stop != nil {
+		n++
+	}
+	return n
+}
+
+// outside checks once before the loop, which polls nothing thereafter.
+//
+//tyr:cycleloop
+func outside(stop *cancel.Flag) int { // want `polls Stopped\(\) outside its loop`
+	if stop.Stopped() {
+		return 0
+	}
+	n := 0
+	for i := 0; i < 10; i++ {
+		n++
+	}
+	return n
+}
+
+// closurePoll hides the poll inside a closure that may never run: it
+// does not count as the loop's poll.
+//
+//tyr:cycleloop
+func closurePoll(stop *cancel.Flag) func() bool { // want `never calls Stopped\(\)`
+	for i := 0; i < 10; i++ {
+		_ = i
+	}
+	return func() bool { return stop.Stopped() }
+}

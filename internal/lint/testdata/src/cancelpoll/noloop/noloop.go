@@ -1,0 +1,6 @@
+// Package noloop seeds the package-level obligation: it is listed in
+// Policy.CycleLoopPkgs but annotates no function, so deleting an
+// engine's annotation (or its loop) cannot rot away silently.
+package noloop // want `must contain a //tyr:cycleloop function`
+
+func Step() {}

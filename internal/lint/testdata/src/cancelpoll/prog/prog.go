@@ -1,0 +1,21 @@
+// Package prog is the cancelpoll fixture's stand-in for the reference
+// interpreter delegating engines run their cycles through.
+package prog
+
+import "fix/cancel"
+
+type RunConfig struct {
+	MaxSteps int
+	Stop     *cancel.Flag
+}
+
+func Run(cfg RunConfig) int {
+	n := 0
+	for i := 0; i < cfg.MaxSteps; i++ {
+		if cfg.Stop.Stopped() {
+			return n
+		}
+		n++
+	}
+	return n
+}

@@ -1,0 +1,57 @@
+// Package engine is the determinism fixture: an "engine package" with
+// seeded wall-clock reads, an ambient-randomness import, and map-range
+// iterations both waived and unwaived.
+package engine
+
+import (
+	"math/rand" // want `imports math/rand`
+	"time"
+)
+
+func clock() int64 {
+	return time.Now().Unix() // want `time\.Now in engine package`
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `time\.Since in engine package`
+}
+
+// roll uses the banned import; only the import line itself is flagged.
+func roll() int { return rand.Intn(6) }
+
+func sum(m map[string]int64) int64 {
+	var s int64
+	for _, v := range m { // want `map range in engine package`
+		s += v
+	}
+	return s
+}
+
+// sumWaived carries an order-insensitivity waiver with a reason.
+func sumWaived(m map[string]int64) int64 {
+	var s int64
+	//tyr:nondet-ok -- commutative sum over values
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+
+// badWaiver has no reason: the waiver is reported and not honored.
+func badWaiver(m map[string]int64) int {
+	n := 0
+	//tyr:nondet-ok // want `requires a reason`
+	for range m { // want `map range in engine package`
+		n++
+	}
+	return n
+}
+
+// ordered iteration over a slice is silent.
+func ok(xs []int64) int64 {
+	var s int64
+	for _, v := range xs {
+		s += v
+	}
+	return s
+}

@@ -1,0 +1,29 @@
+// Package dfg is the graphimmut fixture's stand-in for the real graph
+// package: named struct types reached through pointers and shared after
+// publication.
+package dfg
+
+type NodeID int32
+
+type Node struct {
+	Label string
+	Outs  []NodeID
+}
+
+type Meta struct {
+	Name string
+}
+
+type Graph struct {
+	Nodes  []Node
+	Counts map[string]int
+	Meta   *Meta
+}
+
+// New builds a fresh graph; the graph package writes freely to its own
+// unpublished graphs.
+func New() *Graph {
+	g := &Graph{Counts: map[string]int{}, Meta: &Meta{}}
+	g.Nodes = append(g.Nodes, Node{Label: "root"})
+	return g
+}

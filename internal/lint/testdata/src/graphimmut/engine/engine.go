@@ -1,0 +1,37 @@
+// Package engine is NOT a graph builder: every write through a pointer
+// into dfg-owned state must be reported, and every value-copy write must
+// stay silent.
+package engine
+
+import "fix/dfg"
+
+func Mutate(g *dfg.Graph, extra []dfg.Node) {
+	g.Nodes[0].Label = "boom" // want `assignment mutates Graph\.Nodes through a pointer to shared graph state`
+	n := &g.Nodes[0]
+	n.Label = "boom"     // want `assignment mutates Node\.Label through a pointer to shared graph state`
+	*n = dfg.Node{}      // want `assignment mutates fix/dfg state shared via \*dfg\.Graph`
+	g.Counts["a"]++      // want `\+\+ mutates Graph\.Counts through a pointer to shared graph state`
+	copy(g.Nodes, extra) // want `copy into mutates Graph\.Nodes through a pointer to shared graph state`
+	g.Meta.Name = "m"    // want `assignment mutates Meta\.Name through a pointer to shared graph state`
+}
+
+// Legal writes: value copies cannot alias the shared graph.
+func Legal(g *dfg.Graph) int {
+	n := g.Nodes[0]
+	n.Label = "local copy"
+	local := dfg.Node{Label: "a"}
+	local.Label = "b"
+	return len(g.Nodes) + len(n.Label) + len(local.Label)
+}
+
+// Waived writes: a //tyr:ignore with a recorded reason is honored.
+func Waived(g *dfg.Graph) {
+	//tyr:ignore graphimmut -- fixture: prove suppressions are honored
+	g.Meta.Name = "w"
+}
+
+// Malformed suppressions (no reason) are reported, not honored.
+func Malformed(g *dfg.Graph) {
+	//tyr:ignore graphimmut // want `malformed //tyr:ignore`
+	g.Meta.Name = "m" // want `assignment mutates Meta\.Name through a pointer to shared graph state`
+}

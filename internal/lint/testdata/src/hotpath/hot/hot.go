@@ -1,0 +1,81 @@
+// Package hot is the hotpath fixture: annotated functions with seeded
+// allocation sites (each must be reported), annotated functions that are
+// genuinely allocation-free (must stay silent), and unannotated
+// functions the analyzer must ignore entirely.
+package hot
+
+import "fmt"
+
+type buf struct {
+	vals []int64
+	out  []int64
+}
+
+// step is annotated and clean: amortized append into a retained buffer,
+// arithmetic, struct values.
+//
+//tyr:hotpath
+func (b *buf) step(v int64) {
+	b.vals = append(b.vals, v+1)
+}
+
+//tyr:hotpath
+func (b *buf) bad(n int) {
+	b.vals = make([]int64, n)    // want `make in //tyr:hotpath function bad`
+	b.out = append([]int64{}, 1) // want `append to a fresh slice` `slice literal allocates`
+	m := map[int]int{}           // want `map literal allocates`
+	p := new(buf)                // want `new in //tyr:hotpath function bad`
+	f := func() {}               // want `closure in //tyr:hotpath function bad`
+	q := &buf{}                  // want `&composite literal in //tyr:hotpath function bad`
+	go b.step(1)                 // want `goroutine launch in //tyr:hotpath function bad`
+	defer b.step(2)              // want `defer in //tyr:hotpath function bad`
+	_, _, _, _ = m, p, f, q
+}
+
+//tyr:hotpath
+func concat(a, b string) int {
+	s := a + b // want `string concatenation in //tyr:hotpath function concat`
+	return len(s)
+}
+
+//tyr:hotpath
+func conv(s string) int {
+	bs := []byte(s) // want `string/\[\]byte conversion copies`
+	return len(bs)
+}
+
+func sink(v interface{}) int {
+	if v == nil {
+		return 0
+	}
+	return 1
+}
+
+//tyr:hotpath
+func boxed(v int64, p *buf) {
+	sink(v)             // want `argument boxes a concrete value into interface parameter`
+	sink(p)             // pointers ride in the interface word: silent
+	sink(nil)           // nil is silent
+	sink(42)            // constants are silent
+	_ = interface{}(v)  // want `conversion to interface boxes a value`
+	fmt.Println("x", 1) // want `fmt\.Println in //tyr:hotpath function boxed`
+}
+
+// Abort paths are exempt: constructs inside a return statement or a
+// panic call may allocate — the run is over.
+//
+//tyr:hotpath
+func abort(err error, code int) error {
+	if err != nil {
+		return fmt.Errorf("wrapped: %w", err)
+	}
+	if code != 0 {
+		panic(fmt.Sprintf("code %d", code))
+	}
+	return nil
+}
+
+// alloc is unannotated: the analyzer must not look inside.
+func alloc(n int) []int64 {
+	return make([]int64, n)
+}

@@ -1,0 +1,6 @@
+// Package empty is listed in Policy.MetricsPkgs but declares no Metrics
+// type: the analyzer reports the stale policy instead of silently
+// checking nothing.
+package empty // want `declares no Metrics type`
+
+func Nop() {}

@@ -1,0 +1,18 @@
+package metrics
+
+// handle lives outside the accessor file: atomic fields may only appear
+// as the immediate receiver of an atomic method call, and mutex-guarded
+// state may not be touched at all.
+func handle(m *Metrics, name string) {
+	m.hits.Add(1) // sanctioned: atomic method on an atomic field
+	if m.misses.Load() > 0 {
+		m.hits.Store(0) // sanctioned
+	}
+	m.requests[name]++ // want `mutex-guarded state`
+	m.mu.Lock()        // want `mutex-guarded state`
+	m.requests[name]++ // want `mutex-guarded state`
+	m.mu.Unlock()      // want `mutex-guarded state`
+	h := &m.hits       // want `atomic Metrics field hits touched outside an atomic method call`
+	h.Add(1)
+	m.ObserveRequest(name) // sanctioned: method calls are the API
+}

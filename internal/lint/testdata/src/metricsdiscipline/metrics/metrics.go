@@ -1,0 +1,39 @@
+// Package metrics is the metricsdiscipline fixture: a Metrics struct
+// with atomic counters and mutex-guarded state. This file is the
+// accessor file — it owns the fields and the locking discipline, so
+// nothing here is reported.
+package metrics
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type Metrics struct {
+	hits   atomic.Int64
+	misses atomic.Int64
+
+	mu       sync.Mutex
+	requests map[string]int64
+}
+
+// ObserveRequest is the sanctioned locked accessor.
+func (m *Metrics) ObserveRequest(name string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.requests == nil {
+		m.requests = make(map[string]int64)
+	}
+	m.requests[name]++
+}
+
+// Requests returns a copy of the request counts.
+func (m *Metrics) Requests() map[string]int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]int64, len(m.requests))
+	for k, v := range m.requests {
+		out[k] = v
+	}
+	return out
+}

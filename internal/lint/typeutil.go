@@ -1,0 +1,106 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// deref strips one level of pointer.
+func deref(t types.Type) types.Type {
+	if p, ok := t.(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+// namedStructFrom reports whether t (possibly behind a pointer) is a named
+// struct type declared in the package with the given import path.
+func namedStructFrom(t types.Type, pkgPath string) bool {
+	if t == nil {
+		return false
+	}
+	n, ok := deref(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != pkgPath {
+		return false
+	}
+	_, isStruct := n.Underlying().(*types.Struct)
+	return isStruct
+}
+
+// namedIs reports whether t (possibly behind a pointer) is the named type
+// "pkgpath.Name" given as a fully qualified string.
+func namedIs(t types.Type, qualified string) bool {
+	if t == nil {
+		return false
+	}
+	n, ok := deref(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	return obj.Pkg().Path()+"."+obj.Name() == qualified
+}
+
+// typeOf returns the type of e in pkg, or nil.
+func typeOf(pkg *Package, e ast.Expr) types.Type {
+	if tv, ok := pkg.Info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// isMapType reports whether t's underlying type is a map.
+func isMapType(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// isPointer reports whether t is a pointer type.
+func isPointer(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Pointer)
+	return ok
+}
+
+// pkgOfCall returns the import path of the package a call's callee belongs
+// to ("" for builtins, locals, and method values on local types), plus the
+// callee's name. It resolves pkgname.Func selectors and plain identifiers.
+func calleePkgFunc(pkg *Package, call *ast.CallExpr) (pkgPath, name string) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if obj, ok := pkg.Info.Uses[fun]; ok && obj.Pkg() != nil {
+			return obj.Pkg().Path(), obj.Name()
+		}
+		return "", fun.Name
+	case *ast.SelectorExpr:
+		if id, ok := fun.X.(*ast.Ident); ok {
+			if pn, ok := pkg.Info.Uses[id].(*types.PkgName); ok {
+				return pn.Imported().Path(), fun.Sel.Name
+			}
+		}
+		if sel, ok := pkg.Info.Selections[fun]; ok && sel.Obj() != nil && sel.Obj().Pkg() != nil {
+			return sel.Obj().Pkg().Path(), sel.Obj().Name()
+		}
+	}
+	return "", ""
+}
+
+// forEachFunc visits every function declaration in the package.
+func forEachFunc(pkg *Package, fn func(file *ast.File, decl *ast.FuncDecl)) {
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok {
+				fn(f, fd)
+			}
+		}
+	}
+}

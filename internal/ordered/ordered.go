@@ -106,10 +106,24 @@ type fifo struct {
 	head int
 }
 
-func (f *fifo) len() int     { return len(f.buf) - f.head }
-func (f *fifo) peek() int64  { return f.buf[f.head] }
+//tyr:hotpath
+func (f *fifo) len() int { return len(f.buf) - f.head }
+
+//tyr:hotpath
+func (f *fifo) peek() int64 { return f.buf[f.head] }
+
+// push appends into the fifo's retained buffer (amortized growth).
+//
+//tyr:hotpath
 func (f *fifo) push(v int64) { f.buf = append(f.buf, v) }
-func (f *fifo) empty() bool  { return f.head >= len(f.buf) }
+
+//tyr:hotpath
+func (f *fifo) empty() bool { return f.head >= len(f.buf) }
+
+// pop reads the head and occasionally compacts in place (the compaction
+// append targets the retained buffer's own backing array).
+//
+//tyr:hotpath
 func (f *fifo) pop() int64 {
 	v := f.buf[f.head]
 	f.head++
@@ -136,6 +150,7 @@ type dirtySet struct {
 	list   []dfg.NodeID
 }
 
+//tyr:hotpath
 func (s *dirtySet) add(nid dfg.NodeID) {
 	if !s.marked[nid] {
 		s.marked[nid] = true
@@ -143,6 +158,7 @@ func (s *dirtySet) add(nid dfg.NodeID) {
 	}
 }
 
+//tyr:hotpath
 func (s *dirtySet) clear() {
 	for _, nid := range s.list {
 		s.marked[nid] = false
@@ -202,6 +218,8 @@ type machine struct {
 }
 
 // pidx flattens a port into its per-port slice index.
+//
+//tyr:hotpath
 func (m *machine) pidx(p dfg.Port) int32 { return m.portBase[p.Node] + int32(p.In) }
 
 // Run executes an ordered (ModeOrdered) graph against the memory image.
@@ -261,9 +279,13 @@ func Run(g *dfg.Graph, im *mem.Image, cfg Config) (Result, error) {
 	}
 	m.producersOf = make([][]dfg.NodeID, len(g.Nodes))
 	for i, set := range producers {
+		//tyr:nondet-ok -- set flattened here, sorted immediately below
 		for p := range set {
 			m.producersOf[i] = append(m.producersOf[i], p)
 		}
+		// Sorted so wake-up order (and thus the dirty list) never depends
+		// on map iteration.
+		sortNodeIDs(m.producersOf[i])
 	}
 	for _, inj := range g.Entries {
 		m.queues[inj.To.Node][inj.To.In].push(inj.Val)
@@ -281,6 +303,8 @@ func Run(g *dfg.Graph, im *mem.Image, cfg Config) (Result, error) {
 
 // room reports whether every destination of (node, out) can accept a token,
 // counting pushes already staged this cycle.
+//
+//tyr:hotpath
 func (m *machine) room(n *dfg.Node, out int) bool {
 	for _, d := range n.Outs[out] {
 		pi := m.pidx(d)
@@ -293,6 +317,8 @@ func (m *machine) room(n *dfg.Node, out int) bool {
 
 // ready reports whether a node can fire this cycle given current queue
 // occupancy and staged pushes.
+//
+//tyr:hotpath
 func (m *machine) ready(nid dfg.NodeID) bool {
 	n := &m.g.Nodes[nid]
 	qs := m.queues[nid]
@@ -337,6 +363,8 @@ func (m *machine) ready(nid dfg.NodeID) bool {
 }
 
 // input pops the value of an input port (or reads its constant).
+//
+//tyr:hotpath
 func (m *machine) input(n *dfg.Node, in int) int64 {
 	if n.ConstIn[in].Valid {
 		return n.ConstIn[in].V
@@ -346,6 +374,8 @@ func (m *machine) input(n *dfg.Node, in int) int64 {
 }
 
 // emit stages a token on every destination of an output port.
+//
+//tyr:hotpath
 func (m *machine) emit(n *dfg.Node, out int, val int64) {
 	for _, d := range n.Outs[out] {
 		m.staged = append(m.staged, push{to: d, src: n.ID, val: val})
@@ -363,6 +393,8 @@ func (m *machine) emit(n *dfg.Node, out int, val int64) {
 // memLatency resolves one memory access's latency: the attached hierarchy
 // model when configured, else the fixed LoadLatency for loads (stores
 // complete in a cycle on the ideal flat memory, as in the seed).
+//
+//tyr:hotpath
 func (m *machine) memLatency(kind mem.AccessKind, region int, addr int64) int64 {
 	if m.cfg.Memory != nil {
 		return m.cfg.Memory.Access(m.cycle, kind, m.memIdx[region], addr)
@@ -381,6 +413,8 @@ func (m *machine) memLatency(kind mem.AccessKind, region int, addr int64) int64 
 // an earlier one (a miss) on the same edge — that would hand the i-th
 // instance the j-th value. In-flight tokens still occupy queue space for
 // backpressure purposes.
+//
+//tyr:hotpath
 func (m *machine) emitMem(n *dfg.Node, out int, val int64, lat int64) {
 	if lat <= 1 && !m.memPending(n, out) {
 		m.emit(n, out, val)
@@ -404,6 +438,8 @@ func (m *machine) emitMem(n *dfg.Node, out int, val int64, lat int64) {
 
 // memPending reports whether any destination queue of (node, out) still
 // awaits an in-flight memory response.
+//
+//tyr:hotpath
 func (m *machine) memPending(n *dfg.Node, out int) bool {
 	for _, d := range n.Outs[out] {
 		if m.inFlight[m.pidx(d)] > 0 {
@@ -415,6 +451,8 @@ func (m *machine) memPending(n *dfg.Node, out int) bool {
 
 // fireNode executes one node, popping inputs immediately and staging
 // outputs for delivery at the end of the cycle.
+//
+//tyr:hotpath
 func (m *machine) fireNode(nid dfg.NodeID) error {
 	n := &m.g.Nodes[nid]
 	m.fired++
@@ -517,6 +555,12 @@ func (m *machine) fireNode(nid dfg.NodeID) error {
 	return nil
 }
 
+// run is the machine's main loop: one iteration per simulated cycle,
+// polling the cancel flag at every cycle boundary, allocation-free in
+// steady state.
+//
+//tyr:cycleloop
+//tyr:hotpath
 func (m *machine) run() (Result, error) {
 	for {
 		if m.cfg.Stop.Stopped() {
@@ -589,6 +633,13 @@ func (m *machine) run() (Result, error) {
 		m.samplePoint()
 	}
 
+	return m.finish()
+}
+
+// finish assembles the Result once the loop has quiesced. Split from run
+// so the loop itself stays allocation-free (//tyr:hotpath): everything
+// here runs exactly once per simulation.
+func (m *machine) finish() (Result, error) {
 	m.flushTrace()
 	ipc := make(map[int]int64)
 	for k, v := range m.ipcHist {
@@ -619,6 +670,8 @@ func (m *machine) run() (Result, error) {
 // samplePoint maintains the live-state trace with max-preserving
 // decimation: each stride window contributes its peak-live sample, so
 // decimation never erases the trace's true peak.
+//
+//tyr:hotpath
 func (m *machine) samplePoint() {
 	if m.cfg.TracePoints <= 0 {
 		return

@@ -53,6 +53,7 @@ func (a *varAnalysis) child() *varAnalysis {
 		reads:  a.reads,
 		writes: a.writes,
 	}
+	//tyr:nondet-ok -- set copy; order-insensitive
 	for k := range a.local {
 		c.local[k] = true
 	}
@@ -221,6 +222,7 @@ func FuncClasses(p *Program) map[string][]string {
 		}
 		callees := make(map[string]bool)
 		collectCalls(f.Body, f.Ret, callees)
+		//tyr:nondet-ok -- set union; result sorted before use
 		for callee := range callees {
 			for _, cl := range result[callee] {
 				set[cl] = true
@@ -262,6 +264,7 @@ func ClassesTouched(stmts []Stmt, exprs []Expr, fc map[string][]string) []string
 
 func sorted(set map[string]bool) []string {
 	out := make([]string, 0, len(set))
+	//tyr:nondet-ok -- keys only collected here, sorted before use
 	for k := range set {
 		out = append(out, k)
 	}

@@ -281,13 +281,18 @@ func CallOrder(p *Program) ([]string, error) {
 		callees := make(map[string]bool)
 		collectCalls(f.Body, f.Ret, callees)
 		list := make([]string, 0, len(callees))
+		//tyr:nondet-ok -- keys only collected here, sorted before use
 		for name := range callees {
+			list = append(list, name)
+		}
+		// Sort before validating so the reported undefined callee is
+		// deterministic when several are missing.
+		sort.Strings(list)
+		for _, name := range list {
 			if p.FindFunc(name) == nil {
 				return nil, fmt.Errorf("prog: %s: func %q calls undefined %q", p.Name, f.Name, name)
 			}
-			list = append(list, name)
 		}
-		sort.Strings(list)
 		adj[f.Name] = list
 	}
 

@@ -202,6 +202,12 @@ func (it *interp) runErr(format string, args ...interface{}) error {
 	return fmt.Errorf("prog: %s: %s", it.p.Name, fmt.Sprintf(format, args...))
 }
 
+// count charges one dynamic instruction, enforces the step budget, and
+// polls the cancel flag — the interpreter's per-instruction cycle
+// boundary (vN and seqdf delegate their cancellation to this poll).
+//
+//tyr:cycleloop
+//tyr:hotpath
 func (it *interp) count(class InstrClass) error {
 	it.stats.DynInstrs++
 	switch class {

@@ -205,6 +205,7 @@ func readsOf(e Expr) map[string]bool {
 }
 
 func addReads(live map[string]bool, e Expr) {
+	//tyr:nondet-ok -- set union; order-insensitive
 	for name := range readsOf(e) {
 		live[name] = true
 	}
@@ -212,6 +213,7 @@ func addReads(live map[string]bool, e Expr) {
 
 func copySet(s map[string]bool) map[string]bool {
 	out := make(map[string]bool, len(s))
+	//tyr:nondet-ok -- set copy; order-insensitive
 	for k := range s {
 		out[k] = true
 	}
@@ -277,12 +279,15 @@ func dceStmt(s Stmt, live map[string]bool) (Stmt, bool) {
 		if len(thenS) == 0 && len(elseS) == 0 && callFree(st.Cond) {
 			return nil, false
 		}
+		//tyr:nondet-ok -- set clear; order-insensitive
 		for k := range live {
 			delete(live, k)
 		}
+		//tyr:nondet-ok -- set union; order-insensitive
 		for k := range thenIn {
 			live[k] = true
 		}
+		//tyr:nondet-ok -- set union; order-insensitive
 		for k := range elseIn {
 			live[k] = true
 		}
@@ -304,6 +309,7 @@ func dceStmt(s Stmt, live map[string]bool) (Stmt, bool) {
 			bodyOut[name] = true
 		}
 		body, bodyIn := dceStmts(st.Body, bodyOut)
+		//tyr:nondet-ok -- set union; order-insensitive
 		for k := range bodyIn {
 			live[k] = true
 		}

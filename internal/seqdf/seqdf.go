@@ -123,6 +123,7 @@ type model struct {
 	rec *trace.Recorder
 }
 
+//tyr:hotpath
 func (m *model) Instr(class prog.InstrClass, deps ...int64) int64 {
 	if m.rec != nil {
 		m.rec.Record(trace.Event{Cycle: m.clock, Kind: trace.KindFire,
@@ -163,12 +164,15 @@ func (m *model) Instr(class prog.InstrClass, deps ...int64) int64 {
 
 // Mem (prog.MemModel) routes the upcoming load/store through the attached
 // hierarchy; the resulting latency is charged by the following Instr call.
+//
+//tyr:hotpath
 func (m *model) Mem(kind mem.AccessKind, region int, addr int64) {
 	if m.memory != nil {
 		m.pendingMem = m.memory.Access(m.clock, kind, region, addr)
 	}
 }
 
+//tyr:hotpath
 func ceilDiv(a, b int64) int64 {
 	if a <= 0 {
 		return 0
@@ -176,6 +180,7 @@ func ceilDiv(a, b int64) int64 {
 	return (a + b - 1) / b
 }
 
+//tyr:hotpath
 func (m *model) Boundary(_ prog.BoundaryKind, live int) {
 	finish := m.maxReady
 	if wlimit := m.clock + ceilDiv(m.n, m.width); wlimit > finish {
@@ -227,6 +232,8 @@ func (m *model) Boundary(_ prog.BoundaryKind, live int) {
 
 // sample maintains the live-state trace with max-preserving decimation:
 // each stride window contributes its peak-live sample.
+//
+//tyr:hotpath
 func (m *model) sample(live int64) {
 	if m.tracePoints <= 0 {
 		return
@@ -244,6 +251,8 @@ func (m *model) sample(live int64) {
 // emitWindow appends the pending window's peak. Empty blocks leave the
 // clock unchanged, so a window landing on the previous point's cycle
 // merges into it instead of breaking monotonicity.
+//
+//tyr:hotpath
 func (m *model) emitWindow() {
 	if !m.winValid {
 		return
@@ -296,6 +305,7 @@ func decimatePoints(pts []StatePoint) []StatePoint {
 	return append(kept, last)
 }
 
+//tyr:hotpath
 func maxI64(a, b int64) int64 {
 	if a > b {
 		return a

@@ -100,6 +100,7 @@ type model struct {
 	rec *trace.Recorder
 }
 
+//tyr:hotpath
 func (m *model) Instr(class prog.InstrClass, _ ...int64) int64 {
 	if m.rec != nil {
 		m.rec.Record(trace.Event{Cycle: m.instrs, Kind: trace.KindFire,
@@ -121,12 +122,15 @@ func (m *model) Instr(class prog.InstrClass, _ ...int64) int64 {
 
 // Mem (prog.MemModel) routes the upcoming load/store through the attached
 // hierarchy; the resulting latency is charged by the following Instr call.
+//
+//tyr:hotpath
 func (m *model) Mem(kind mem.AccessKind, region int, addr int64) {
 	if m.memory != nil {
 		m.pendingMem = m.memory.Access(m.instrs+m.stalls, kind, region, addr)
 	}
 }
 
+//tyr:hotpath
 func (m *model) Boundary(_ prog.BoundaryKind, live int) {
 	dt := m.instrs - m.lastInstrs
 	m.sumLive += m.lastLive * dt
@@ -144,6 +148,8 @@ func (m *model) Boundary(_ prog.BoundaryKind, live int) {
 
 // sample maintains the live-state trace with max-preserving decimation:
 // each stride window contributes its peak-live sample.
+//
+//tyr:hotpath
 func (m *model) sample() {
 	if m.tracePoints <= 0 {
 		return
@@ -161,6 +167,8 @@ func (m *model) sample() {
 // emitWindow appends the pending window's peak. Boundaries may repeat the
 // same instruction count, so a window landing on the previous point's
 // cycle merges into it instead of breaking monotonicity.
+//
+//tyr:hotpath
 func (m *model) emitWindow() {
 	if !m.winValid {
 		return
