@@ -1,7 +1,10 @@
 // Command tyrd serves the TYR simulators over HTTP: the tyr-api/v1
-// endpoints /v1/compile, /v1/run, /v1/sweep, /v1/healthz, and /v1/metrics.
+// endpoints /v1/compile, /v1/run, /v1/sweep, /v1/healthz, /v1/metrics, and
+// the /v1/debug/requests flight-recorder dumps.
 //
 //	tyrd [-addr :8080] [-workers N] [-queue N] [-timeout 30s] [-cache-size 64]
+//	     [-debug-addr 127.0.0.1:8081] [-flight-ring 64] [-flight-slow 500ms]
+//	     [-flight-sample 64] [-flight-trace-events 8192]
 //
 // Simulations execute on a bounded worker pool with a bounded queue; when
 // both are full the service sheds load with 429 instead of stacking up
@@ -11,6 +14,14 @@
 // bounded the same way plus a -oracle-max-steps instruction budget. SIGTERM
 // or SIGINT starts a graceful drain: in-flight requests finish, new ones are
 // refused, and the process exits once the pool is idle.
+//
+// Every request gets a trace ID (Tyr-Trace-Id response header, stamped on
+// its log line and on error bodies), and the last -flight-ring completed
+// workload requests are retrievable at GET /v1/debug/requests[/{id}] —
+// slow (-flight-slow), failed, and sampled (every -flight-sample'th)
+// requests retain their full engine event capture. -debug-addr opens a
+// second listener with the stdlib pprof endpoints plus the same flight
+// dumps, kept off the serving port so it can stay loopback-only.
 package main
 
 import (
@@ -25,6 +36,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
@@ -37,6 +49,11 @@ func main() {
 	cacheSize := flag.Int("cache-size", 64, "compiled-graph LRU capacity")
 	oracleSteps := flag.Int64("oracle-max-steps", 0, "dynamic-instruction budget for inline-source oracle runs (0 = 2^32)")
 	drain := flag.Duration("drain", 2*time.Minute, "grace period for in-flight requests on shutdown")
+	debugAddr := flag.String("debug-addr", "", "optional second listener for pprof and flight dumps (e.g. 127.0.0.1:8081; empty = off)")
+	flightRing := flag.Int("flight-ring", 0, "completed requests retained in the flight recorder (0 = 64)")
+	flightSlow := flag.Duration("flight-slow", 0, "latency above which a request's engine trace is always retained (0 = 500ms)")
+	flightSample := flag.Int("flight-sample", 0, "retain the engine trace of every Nth request (0 = 64, negative = off)")
+	flightEvents := flag.Int("flight-trace-events", 0, "per-request engine-trace capture ring, in events (0 = 8192)")
 	flag.Parse()
 
 	log := slog.New(slog.NewJSONHandler(os.Stderr, nil))
@@ -48,6 +65,12 @@ func main() {
 		GraphCacheSize: *cacheSize,
 		OracleMaxSteps: *oracleSteps,
 		Logger:         log,
+		Flight: obs.Config{
+			RingSize:      *flightRing,
+			SlowThreshold: *flightSlow,
+			SampleEvery:   *flightSample,
+			TraceEvents:   *flightEvents,
+		},
 	})
 
 	httpSrv := &http.Server{
@@ -62,6 +85,23 @@ func main() {
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
 	log.Info("tyrd listening", "addr", *addr)
+
+	// The debug listener is best-effort: losing pprof should never take
+	// down serving, so its errors are logged, not fatal.
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		debugSrv = &http.Server{
+			Addr:              *debugAddr,
+			Handler:           srv.DebugHandler(),
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() {
+			if err := debugSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Error("debug listener failed", "err", err)
+			}
+		}()
+		log.Info("tyrd debug listening", "addr", *debugAddr)
+	}
 
 	select {
 	case err := <-errc:
@@ -78,6 +118,9 @@ func main() {
 	defer cancel()
 	if err := httpSrv.Shutdown(shCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintf(os.Stderr, "shutdown: %v\n", err)
+	}
+	if debugSrv != nil {
+		debugSrv.Shutdown(shCtx)
 	}
 	srv.Close()
 	log.Info("drained, exiting")

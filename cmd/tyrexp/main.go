@@ -9,6 +9,7 @@
 //	tyrexp bench [-scale small] [-out BENCH_pr4.json]
 //	tyrexp benchdiff [-tolerance 1.15] old.json new.json
 //	tyrexp locality [-scale small] [-csv dir] [-json out.json] [-assert]
+//	tyrexp flight [-id trace_id] [-validate] dump.json
 //
 // With no subcommand and no -exp flag, all experiments run in paper
 // order. Reports are written to stdout; every run's outputs are validated
@@ -18,6 +19,11 @@
 // The trace subcommand records one run's event stream and writes Chrome
 // trace-event JSON (and/or the critical-path profile); -validate checks
 // the structure of an existing trace file instead of running anything.
+// The flight subcommand reads a tyr-obs/v1 flight-recorder dump (curl
+// tyrd's /v1/debug/requests): by default it tabulates the recorded
+// requests, -id telescopes one request into its span tree and the
+// critical-path profile of its captured engine trace, and -validate
+// structurally checks the dump including every embedded Chrome trace.
 // The bench subcommand times every kernel on every system and writes a
 // machine-readable benchmark summary (gmean cycles and wall-clock per
 // system); benchdiff compares two summaries and exits nonzero when any
@@ -62,6 +68,9 @@ func main() {
 			return
 		case "locality":
 			runLocality(os.Args[2:])
+			return
+		case "flight":
+			runFlight(os.Args[2:])
 			return
 		}
 	}

@@ -414,6 +414,10 @@ type CompileResult struct {
 type ErrorBody struct {
 	Version string `json:"version"`
 	Error   string `json:"error"`
+	// TraceID is the request's trace ID (also in the Tyr-Trace-Id response
+	// header): quote it to correlate a 429/504 with server logs and the
+	// /v1/debug/requests flight recorder.
+	TraceID string `json:"trace_id,omitempty"`
 	// Fields carries per-field detail for validation failures.
 	Fields []FieldError `json:"fields,omitempty"`
 }

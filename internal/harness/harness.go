@@ -81,6 +81,9 @@ type SysConfig struct {
 	// compiled graphs here. Implementations must return graphs that are
 	// safe to share across concurrent runs (the engines never mutate them).
 	Compiler GraphSource
+	// TraceID, when non-empty, is stamped on the run record so service
+	// telemetry can be joined back to the request that produced it.
+	TraceID string
 
 	// imageSink, when non-nil, receives the run's final memory image
 	// (test-only plumbing: the cache-equivalence guard compares images
@@ -131,6 +134,7 @@ func Run(app *apps.App, system string, cfg SysConfig) (metrics.RunStats, error) 
 	start := time.Now()
 	rs, err := runSystem(app, system, cfg)
 	rs.WallNS = time.Since(start).Nanoseconds()
+	rs.TraceID = cfg.TraceID
 	if err == nil {
 		cfg.Telemetry.Record(rs)
 	}

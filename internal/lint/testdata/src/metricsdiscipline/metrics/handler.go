@@ -16,3 +16,15 @@ func handle(m *Metrics, name string) {
 	h.Add(1)
 	m.ObserveRequest(name) // sanctioned: method calls are the API
 }
+
+// handleHist exercises the strict Histogram rule: even atomic-receiver
+// touches are reported outside the accessor file.
+func handleHist(h *Histogram) {
+	h.Observe(1)           // sanctioned: the observe method is the API
+	h.sumNS.Add(1)         // want `Histogram field sumNS may only be touched inside the accessor file`
+	h.buckets[0].Add(1)    // want `Histogram field buckets may only be touched inside the accessor file`
+	if len(h.bounds) > 0 { // want `Histogram field bounds may only be touched inside the accessor file`
+		h.Observe(2)
+	}
+	_ = h.sumNS.Load() // want `Histogram field sumNS may only be touched inside the accessor file`
+}

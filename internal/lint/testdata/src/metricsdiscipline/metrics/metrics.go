@@ -37,3 +37,22 @@ func (m *Metrics) Requests() map[string]int64 {
 	}
 	return out
 }
+
+// Histogram is the strict fixture: Observe is its entire mutation API,
+// and outside this accessor file no field of it may be mentioned at all.
+type Histogram struct {
+	bounds  []int64
+	buckets []atomic.Int64
+	sumNS   atomic.Int64
+}
+
+// Observe is the sanctioned atomic observe method.
+func (h *Histogram) Observe(v int64) {
+	for i, b := range h.bounds {
+		if v <= b {
+			h.buckets[i].Add(1)
+			break
+		}
+	}
+	h.sumNS.Add(v)
+}

@@ -36,6 +36,9 @@ type RunStats struct {
 	// policy, pool sizes, queue depths), plus deadlock details when the
 	// run deadlocked.
 	Note string `json:"note,omitempty"`
+	// TraceID links the run to the serving request that produced it (the
+	// tyrd request trace ID); empty for CLI and test runs.
+	TraceID string `json:"trace_id,omitempty"`
 	// WallNS is the host wall-clock time of the run in nanoseconds (the
 	// simulator's own cost, not simulated time).
 	WallNS int64 `json:"wall_ns,omitempty"`

@@ -67,19 +67,31 @@ func (c *GraphCache) Len() int {
 
 // Tagged implements harness.GraphSource.
 func (c *GraphCache) Tagged(app *apps.App) (*dfg.Graph, error) {
+	g, _, err := c.tagged(app)
+	return g, err
+}
+
+// Ordered implements harness.GraphSource.
+func (c *GraphCache) Ordered(app *apps.App) (*dfg.Graph, error) {
+	g, _, err := c.ordered(app)
+	return g, err
+}
+
+// tagged/ordered additionally report whether the lookup hit, for the
+// request-span wrapper (spanGraphs) that annotates compile spans.
+func (c *GraphCache) tagged(app *apps.App) (*dfg.Graph, bool, error) {
 	return c.get("tagged", app, func() (*dfg.Graph, error) {
 		return compile.Tagged(app.Prog, compile.Options{EntryArgs: app.Args})
 	})
 }
 
-// Ordered implements harness.GraphSource.
-func (c *GraphCache) Ordered(app *apps.App) (*dfg.Graph, error) {
+func (c *GraphCache) ordered(app *apps.App) (*dfg.Graph, bool, error) {
 	return c.get("ordered", app, func() (*dfg.Graph, error) {
 		return compile.Ordered(app.Prog, compile.Options{EntryArgs: app.Args})
 	})
 }
 
-func (c *GraphCache) get(lowering string, app *apps.App, build func() (*dfg.Graph, error)) (*dfg.Graph, error) {
+func (c *GraphCache) get(lowering string, app *apps.App, build func() (*dfg.Graph, error)) (*dfg.Graph, bool, error) {
 	key := c.key(lowering, app)
 	for {
 		c.mu.Lock()
@@ -90,7 +102,7 @@ func (c *GraphCache) get(lowering string, app *apps.App, build func() (*dfg.Grap
 			if c.stats != nil {
 				c.stats.cacheHits.Add(1)
 			}
-			return g, nil
+			return g, true, nil
 		}
 		if wg, busy := c.inflight[key]; busy {
 			// Another request is compiling this graph; wait and re-check
@@ -111,19 +123,24 @@ func (c *GraphCache) get(lowering string, app *apps.App, build func() (*dfg.Grap
 		wg.Done()
 		if err != nil {
 			c.mu.Unlock()
-			return nil, err
+			return nil, false, err
 		}
 		el := c.order.PushFront(&cacheEntry{key: key, g: g})
 		c.entries[key] = el
+		evicted := 0
 		for c.order.Len() > c.max {
 			oldest := c.order.Back()
 			c.order.Remove(oldest)
 			delete(c.entries, oldest.Value.(*cacheEntry).key)
+			evicted++
 		}
 		c.mu.Unlock()
 		if c.stats != nil {
 			c.stats.cacheMisses.Add(1)
+			for i := 0; i < evicted; i++ {
+				c.stats.ObserveEviction()
+			}
 		}
-		return g, nil
+		return g, false, nil
 	}
 }

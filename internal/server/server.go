@@ -1,8 +1,9 @@
 // Package server implements tyrd's HTTP service layer: a bounded worker
 // pool running simulations behind the tyr-api/v1 endpoints, with per-request
 // deadlines plumbed into the engines as cooperative stop flags, an LRU cache
-// of compiled graphs, structured request logging, and stdlib-only Prometheus
-// metrics.
+// of compiled graphs, structured request logging, stdlib-only Prometheus
+// metrics, and request-scoped observability (trace IDs, span trees, and the
+// internal/obs flight recorder behind /v1/debug/requests).
 package server
 
 import (
@@ -22,6 +23,7 @@ import (
 	"repro/internal/compile"
 	"repro/internal/harness"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/prog"
 )
 
@@ -45,6 +47,10 @@ type Config struct {
 	OracleMaxSteps int64
 	// Logger receives structured request logs; nil disables logging.
 	Logger *slog.Logger
+	// Flight configures the always-on flight recorder (ring size, slow
+	// threshold, sampling, capture depth); zero values select the
+	// internal/obs defaults.
+	Flight obs.Config
 }
 
 func (c Config) withDefaults() Config {
@@ -77,6 +83,7 @@ type Server struct {
 	pool   *Pool
 	graphs *GraphCache
 	stats  *Metrics
+	flight *obs.FlightRecorder
 	log    *slog.Logger
 }
 
@@ -89,6 +96,7 @@ func New(cfg Config) *Server {
 		pool:   NewPool(cfg.Workers, cfg.QueueDepth, stats),
 		graphs: NewGraphCache(cfg.GraphCacheSize, stats),
 		stats:  stats,
+		flight: obs.NewFlightRecorder(cfg.Flight),
 		log:    cfg.Logger,
 	}
 }
@@ -96,11 +104,15 @@ func New(cfg Config) *Server {
 // Metrics exposes the counter set (shared with the pool and graph cache).
 func (s *Server) Metrics() *Metrics { return s.stats }
 
+// Flight exposes the flight recorder (shared with the debug handler).
+func (s *Server) Flight() *obs.FlightRecorder { return s.flight }
+
 // Close drains the worker pool: queued and executing jobs finish, new
 // submissions fail. Call after http.Server.Shutdown.
 func (s *Server) Close() { s.pool.Close() }
 
-// Handler returns the v1 route table wrapped in request logging.
+// Handler returns the v1 route table wrapped in request observation
+// (trace IDs, spans, flight recording) and logging.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
@@ -108,7 +120,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/compile", s.handleCompile)
 	mux.HandleFunc("POST /v1/run", s.handleRun)
 	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
-	return s.logging(mux)
+	mux.HandleFunc("GET /v1/debug/requests", s.handleDebugRequests)
+	mux.HandleFunc("GET /v1/debug/requests/{id}", s.handleDebugRequest)
+	return s.observe(mux)
 }
 
 // statusRecorder captures the response code for logging and metrics.
@@ -122,21 +136,59 @@ func (r *statusRecorder) WriteHeader(code int) {
 	r.ResponseWriter.WriteHeader(code)
 }
 
-func (s *Server) logging(next http.Handler) http.Handler {
+// observable reports whether a request runs a workload and therefore gets
+// a span tree and a flight-recorder slot. Health, metrics, and debug reads
+// still get a trace ID (header + log correlation) but stay out of the ring
+// so introspection traffic never evicts the records it is there to read.
+func observable(r *http.Request) bool {
+	switch r.URL.Path {
+	case "/v1/run", "/v1/sweep", "/v1/compile":
+		return r.Method == http.MethodPost
+	}
+	return false
+}
+
+// observe is the outermost middleware: it assigns every request a trace ID
+// (echoed in the Tyr-Trace-Id response header and stamped on the request's
+// log line), opens the span tree for observable requests, and publishes
+// the completed record to the flight recorder.
+func (s *Server) observe(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		var t *obs.RequestTrace
+		id := ""
+		if observable(r) {
+			t = s.flight.Start(r.Method, r.URL.Path)
+			id = t.ID()
+			r = r.WithContext(obs.NewContext(r.Context(), t))
+		} else {
+			id = obs.NewTraceID()
+		}
+		w.Header().Set("Tyr-Trace-Id", id)
 		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
 		next.ServeHTTP(rec, r)
+		dur := time.Since(start)
+		s.flight.Finish(t, rec.code)
 		s.stats.ObserveRequest(r.URL.Path, rec.code)
+		s.stats.ObserveDuration(r.URL.Path, dur)
 		if s.log != nil {
 			s.log.Info("request",
+				"trace_id", id,
 				"method", r.Method,
 				"path", r.URL.Path,
 				"status", rec.code,
-				"dur_ms", time.Since(start).Milliseconds(),
+				"dur_ms", dur.Milliseconds(),
 				"remote", r.RemoteAddr)
 		}
 	})
+}
+
+// endStage closes a span and feeds its duration to the per-stage latency
+// histogram under the span's name.
+func (s *Server) endStage(t *obs.RequestTrace, id obs.SpanID, stage string) {
+	if d := t.EndSpan(id); d > 0 {
+		s.stats.ObserveStage(stage, d)
+	}
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -148,9 +200,17 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 }
 
 // writeError emits the structured tyr-api/v1 error body; validation errors
-// carry their per-field detail.
-func writeError(w http.ResponseWriter, code int, err error) {
-	body := api.ErrorBody{Version: api.Version, Error: err.Error()}
+// carry their per-field detail. The request's trace ID rides along in the
+// body (and on the flight record), so a 429 or 504 seen by a client can be
+// joined to server logs and /v1/debug/requests without any header plumbing.
+func (s *Server) writeError(w http.ResponseWriter, r *http.Request, code int, err error) {
+	t := obs.FromContext(r.Context())
+	t.SetError(err.Error())
+	body := api.ErrorBody{
+		Version: api.Version,
+		Error:   err.Error(),
+		TraceID: w.Header().Get("Tyr-Trace-Id"),
+	}
 	var ve *api.ValidationError
 	if errors.As(err, &ve) {
 		body.Fields = ve.Fields
@@ -185,23 +245,29 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 // handleCompile compiles inline IR without occupying a simulation worker:
 // compilation is quick and bounded, so it runs on the request goroutine.
 func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
+	t := obs.FromContext(r.Context())
+	adm := t.StartSpan("admission", obs.RootSpan)
 	var req api.CompileRequest
 	if err := decode(r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		s.endStage(t, adm, "admission")
+		s.writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	if err := req.Validate(); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		s.endStage(t, adm, "admission")
+		s.writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	p, err := prog.Parse(req.Source)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		s.endStage(t, adm, "admission")
+		s.writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	if req.Optimize {
 		p = prog.Optimize(p)
 	}
+	s.endStage(t, adm, "admission")
 	res := api.CompileResult{Version: api.Version, Name: p.Name}
 	if req.Emit == "ir" {
 		res.Listing = prog.Format(p)
@@ -213,10 +279,12 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		Dot() string
 	}
 	opts := compile.Options{EntryArgs: req.Args}
+	comp := t.StartSpan("compile", obs.RootSpan)
 	if req.Lowering == "ordered" {
 		g2, err := compile.Ordered(p, opts)
 		if err != nil {
-			writeError(w, http.StatusUnprocessableEntity, err)
+			s.endStage(t, comp, "compile")
+			s.writeError(w, r, http.StatusUnprocessableEntity, err)
 			return
 		}
 		g = g2
@@ -226,7 +294,8 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	} else {
 		g2, err := compile.Tagged(p, opts)
 		if err != nil {
-			writeError(w, http.StatusUnprocessableEntity, err)
+			s.endStage(t, comp, "compile")
+			s.writeError(w, r, http.StatusUnprocessableEntity, err)
 			return
 		}
 		g = g2
@@ -234,12 +303,13 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		res.Nodes, res.Blocks, res.TagOps, res.MemOps, res.Edges =
 			st.Nodes, st.Blocks, st.TagOps, st.MemOps, st.EdgeCnt
 	}
+	s.endStage(t, comp, "compile")
 	if req.Emit == "dot" {
 		res.Listing = g.Dot()
 	} else {
 		text, err := g.MarshalText()
 		if err != nil {
-			writeError(w, http.StatusInternalServerError, err)
+			s.writeError(w, r, http.StatusInternalServerError, err)
 			return
 		}
 		res.Listing = string(text)
@@ -260,16 +330,23 @@ func (s *Server) timeout(ms int64) time.Duration {
 	return to
 }
 
-// submit runs job on the pool and blocks until it finishes. The job is
+// submit runs job on the pool and blocks until it finishes, timing the
+// queue wait (submit to job start) as a span and a histogram sample — the
+// service-level analog of the paper's allocate park. The job is
 // responsible for observing stop promptly once the context ends — the
 // handler never abandons a running simulation, it cancels it.
-func (s *Server) submit(job func()) error {
+func (s *Server) submit(t *obs.RequestTrace, job func()) error {
+	queued := time.Now()
+	qs := t.StartSpan("queue", obs.RootSpan)
 	done := make(chan struct{})
 	err := s.pool.Submit(func() {
 		defer close(done)
+		s.stats.ObserveQueueWait(time.Since(queued))
+		s.endStage(t, qs, "queue")
 		job()
 	})
 	if err != nil {
+		t.EndSpan(qs)
 		return err
 	}
 	<-done
@@ -279,43 +356,49 @@ func (s *Server) submit(job func()) error {
 // writeSubmitError maps a pool rejection to HTTP: a full queue is 429 with
 // Retry-After (shed load, come back), a draining pool is 503 (this instance
 // is exiting — retrying against it is pointless).
-func writeSubmitError(w http.ResponseWriter, err error) {
+func (s *Server) writeSubmitError(w http.ResponseWriter, r *http.Request, err error) {
 	if errors.Is(err, ErrClosed) {
-		writeError(w, http.StatusServiceUnavailable, err)
+		s.writeError(w, r, http.StatusServiceUnavailable, err)
 		return
 	}
 	w.Header().Set("Retry-After", "1")
-	writeError(w, http.StatusTooManyRequests, err)
+	s.writeError(w, r, http.StatusTooManyRequests, err)
 }
 
 // finishCancelled maps a cancelled run to its HTTP status: deadline
 // expiry is a 504 (the service gave up), client disconnect a 499-style 503.
-func (s *Server) finishCancelled(w http.ResponseWriter, ctx context.Context, err error) {
+func (s *Server) finishCancelled(w http.ResponseWriter, r *http.Request, ctx context.Context, err error) {
 	s.stats.ObserveCancel()
 	if errors.Is(ctx.Err(), context.DeadlineExceeded) {
-		writeError(w, http.StatusGatewayTimeout,
+		s.writeError(w, r, http.StatusGatewayTimeout,
 			fmt.Errorf("deadline exceeded: %w", err))
 		return
 	}
-	writeError(w, http.StatusServiceUnavailable,
+	s.writeError(w, r, http.StatusServiceUnavailable,
 		fmt.Errorf("request cancelled: %w", err))
 }
 
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	t := obs.FromContext(r.Context())
+	adm := t.StartSpan("admission", obs.RootSpan)
 	var req api.Request
 	if err := decode(r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		s.endStage(t, adm, "admission")
+		s.writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	if err := req.Validate(); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		s.endStage(t, adm, "admission")
+		s.writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	sc, err := req.SysConfig()
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, err)
+		s.endStage(t, adm, "admission")
+		s.writeError(w, r, http.StatusUnprocessableEntity, err)
 		return
 	}
+	s.endStage(t, adm, "admission")
 
 	ctx, cancelCtx := context.WithTimeout(r.Context(), s.timeout(req.TimeoutMS))
 	defer cancelCtx()
@@ -323,11 +406,13 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	release := cancel.WatchContext(ctx, flag)
 	defer release()
 	sc.Stop = flag
-	sc.Compiler = s.graphs
+	sc.Compiler = s.spanGraphs(t)
+	sc.Tracer = t.Tracer()
+	sc.TraceID = t.ID()
 
 	var rs metrics.RunStats
 	var runErr error
-	if err := s.submit(func() {
+	if err := s.submit(t, func() {
 		if flag.Stopped() { // deadline passed while queued: skip the compile
 			runErr = cancel.ErrStopped
 			return
@@ -337,22 +422,29 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		// interpreter (the validation oracle), which is CPU-bound on user
 		// input — on the request goroutine it would be uncancellable work
 		// outside the pool's concurrency bound.
+		res := t.StartSpan("resolve", obs.RootSpan)
 		app, err := req.ResolveAppBound(flag, s.cfg.OracleMaxSteps)
+		s.endStage(t, res, "resolve")
 		if err != nil {
 			runErr = err
 			return
 		}
+		run := t.StartSpan("run", obs.RootSpan)
 		rs, runErr = harness.Run(app, req.System, sc)
+		s.endStage(t, run, "run")
+		t.SetAttr(run, "cycles", rs.Cycles)
+		t.SetAttr(run, "fired", rs.Fired)
+		t.SetAttr(run, "peak_tags", int64(rs.PeakTags))
 	}); err != nil {
-		writeSubmitError(w, err)
+		s.writeSubmitError(w, r, err)
 		return
 	}
 
 	switch {
 	case errors.Is(runErr, cancel.ErrStopped):
-		s.finishCancelled(w, ctx, runErr)
+		s.finishCancelled(w, r, ctx, runErr)
 	case runErr != nil:
-		writeError(w, http.StatusUnprocessableEntity, runErr)
+		s.writeError(w, r, http.StatusUnprocessableEntity, runErr)
 	default:
 		s.stats.ObserveRun(rs.System, rs.Cycles)
 		writeJSON(w, http.StatusOK, api.RunResult{
@@ -369,18 +461,23 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 // the queue), so a sweep costs exactly one worker and the grid order stays
 // deterministic.
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	t := obs.FromContext(r.Context())
+	adm := t.StartSpan("admission", obs.RootSpan)
 	var req api.SweepRequest
 	if err := decode(r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		s.endStage(t, adm, "admission")
+		s.writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	if err := req.Validate(); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		s.endStage(t, adm, "admission")
+		s.writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	scale, err := api.ParseScale(req.Scale)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		s.endStage(t, adm, "admission")
+		s.writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	suite := apps.Suite(scale)
@@ -399,9 +496,11 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	// instead of silently degrading every cell to flat memory.
 	cc, err := req.Cache.Config()
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, err)
+		s.endStage(t, adm, "admission")
+		s.writeError(w, r, http.StatusUnprocessableEntity, err)
 		return
 	}
+	s.endStage(t, adm, "admission")
 
 	ctx, cancelCtx := context.WithTimeout(r.Context(), s.timeout(req.TimeoutMS))
 	defer cancelCtx()
@@ -411,7 +510,8 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 
 	var runs []metrics.RunStats
 	var runErr error
-	if err := s.submit(func() {
+	if err := s.submit(t, func() {
+		tracer := t.Tracer()
 		for _, app := range sel {
 			for _, sys := range systems {
 				if flag.Stopped() {
@@ -423,27 +523,39 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 					Tags:       req.Tags,
 					Cache:      cc,
 					Stop:       flag,
-					Compiler:   s.graphs,
+					Compiler:   s.spanGraphs(t),
+					Tracer:     tracer,
+					TraceID:    t.ID(),
 				}
+				// One capture ring, reset per cell: a retained sweep keeps
+				// the engine trace of its final (or failing) cell rather
+				// than an unreadable splice of every cell's tail.
+				if tracer != nil {
+					tracer.Reset()
+				}
+				run := t.StartSpan("run "+app.Name+"/"+sys, obs.RootSpan)
 				rs, err := harness.Run(app, sys, sc)
+				s.endStage(t, run, "run")
 				if err != nil {
 					runErr = fmt.Errorf("%s/%s: %w", app.Name, sys, err)
 					return
 				}
+				t.SetAttr(run, "cycles", rs.Cycles)
+				t.SetAttr(run, "peak_tags", int64(rs.PeakTags))
 				s.stats.ObserveRun(rs.System, rs.Cycles)
 				runs = append(runs, rs)
 			}
 		}
 	}); err != nil {
-		writeSubmitError(w, err)
+		s.writeSubmitError(w, r, err)
 		return
 	}
 
 	switch {
 	case errors.Is(runErr, cancel.ErrStopped):
-		s.finishCancelled(w, ctx, runErr)
+		s.finishCancelled(w, r, ctx, runErr)
 	case runErr != nil:
-		writeError(w, http.StatusUnprocessableEntity, runErr)
+		s.writeError(w, r, http.StatusUnprocessableEntity, runErr)
 	default:
 		doc := benchreg.Summarize(scaleName(req.Scale), systems, runs)
 		writeJSON(w, http.StatusOK, api.SweepResult{

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -505,7 +506,9 @@ func TestHealthzAndMetrics(t *testing.T) {
 			t.Fatalf("line %d: no sample value: %q", ln+1, line)
 		}
 		name, value := line[:sp], line[sp+1:]
-		if _, err := fmt.Sscanf(value, "%d", new(int64)); err != nil {
+		// Counters and gauges are integers; histogram _sum samples are
+		// floats. Both must parse as a float.
+		if _, err := strconv.ParseFloat(value, 64); err != nil {
 			t.Errorf("line %d: bad value %q", ln+1, value)
 		}
 		if i := strings.IndexByte(name, '{'); i >= 0 {

@@ -255,6 +255,23 @@ func (r *Recorder) Events() []Event {
 	return append(out, r.buf[:r.next]...)
 }
 
+// FromEvents rebuilds a read-only recorder holding exactly evs (oldest
+// first) under meta — the consumer-side inverse of Events(), used to
+// re-export and profile captured streams (the tyrd flight recorder stores
+// raw events so the critical-path profiler can replay dependency edges).
+// The sequence counter resumes after the last event's stamp, so Dropped
+// reflects the original ring's loss. Do not Record into the result.
+func FromEvents(meta Meta, evs []Event) *Recorder {
+	r := &Recorder{meta: meta, buf: append([]Event(nil), evs...)}
+	if len(r.buf) == 0 {
+		r.buf = make([]Event, 1)
+		return r
+	}
+	r.full = true
+	r.seq = evs[len(evs)-1].Seq + 1
+	return r
+}
+
 // Reset clears the recorder for reuse, keeping its buffer and meta.
 func (r *Recorder) Reset() {
 	r.next, r.full, r.seq = 0, false, 0

@@ -92,3 +92,30 @@ func TestKindStrings(t *testing.T) {
 		}
 	}
 }
+
+func TestFromEventsRoundTrip(t *testing.T) {
+	r := NewRecorder(4)
+	r.SetMeta(Meta{Program: "p", System: "tyr", Blocks: []string{"root"}})
+	for i := 0; i < 7; i++ { // wraps: 3 dropped, 4 retained
+		r.Record(Event{Kind: KindFire, Cycle: int64(i), Node: int32(i)})
+	}
+	got := FromEvents(*r.Meta(), r.Events())
+	if got.Len() != r.Len() || got.Dropped() != r.Dropped() || got.Seq() != r.Seq() {
+		t.Fatalf("FromEvents: len=%d/%d dropped=%d/%d seq=%d/%d",
+			got.Len(), r.Len(), got.Dropped(), r.Dropped(), got.Seq(), r.Seq())
+	}
+	want, have := r.Events(), got.Events()
+	for i := range want {
+		if want[i] != have[i] {
+			t.Fatalf("event %d: %v != %v", i, have[i], want[i])
+		}
+	}
+	if got.Meta().Program != "p" || got.Meta().System != "tyr" {
+		t.Fatalf("meta lost: %+v", got.Meta())
+	}
+
+	empty := FromEvents(Meta{}, nil)
+	if empty.Len() != 0 || empty.Dropped() != 0 {
+		t.Fatalf("empty FromEvents: len=%d dropped=%d", empty.Len(), empty.Dropped())
+	}
+}
