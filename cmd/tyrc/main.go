@@ -3,13 +3,18 @@
 //
 // Usage:
 //
-//	tyrc [-system tyr] [-tags 64] [-width 128] [-O] [-arg N]... [-emit asm|dot|ir]
-//	     [-vet] [-trace out.json] [-profile]
+//	tyrc [-system tyr] [-tags 64] [-width 128] [-O] [-arg N]... [-emit asm|dot|ir|bin]
+//	     [-o out] [-vet] [-trace out.json] [-profile]
 //	     [-cache] [-l1 sets=32,ways=2,line=4,lat=1] [-l2 ...] prog.tyr
 //
 // The program runs against its declared memory regions (zero-filled) and
 // the result plus machine metrics are printed. -emit stops after
-// compilation and prints the requested form. -vet runs the static verifier
+// compilation and prints the requested form; -emit bin writes the compiled
+// graph as a tyr-graph/v1 binary artifact (internal/graphio) stamped with
+// the same source hash tyrd's compiled-graph cache derives, so the artifact
+// can seed a tyrd -cache-dir directory or feed tyrsim -graph without
+// recompiling. -o redirects any emitted form to a file (recommended for
+// bin, which is not text). -vet runs the static verifier
 // (free barriers, tag safety, memory-ordering races) on the tagged lowering
 // and exits nonzero if any pass finds a definite violation. Results are
 // cross-checked against the reference interpreter unless -emit or -vet is
@@ -34,6 +39,7 @@ import (
 	"repro/internal/apps"
 	"repro/internal/cliflags"
 	"repro/internal/compile"
+	"repro/internal/graphio"
 	"repro/internal/harness"
 	"repro/internal/metrics"
 	"repro/internal/prog"
@@ -55,7 +61,8 @@ func (a *argList) Set(s string) error {
 func main() {
 	machine := cliflags.RegisterMachine(flag.CommandLine, "tyr")
 	optimize := flag.Bool("O", false, "run the optimizer (fold, simplify, DCE) before compiling")
-	emit := flag.String("emit", "", "emit a compiled form and exit: asm, dot, or ir")
+	emit := flag.String("emit", "", "emit a compiled form and exit: asm, dot, ir, or bin")
+	out := flag.String("o", "", "write -emit output to this file instead of stdout")
 	vet := flag.Bool("vet", false, "statically verify the compiled graph (free barriers, tag safety, races) and exit")
 	obs := cliflags.RegisterObserve(flag.CommandLine)
 	cacheFlags := cliflags.RegisterCache(flag.CommandLine)
@@ -95,36 +102,44 @@ func main() {
 		return
 	}
 
-	if *emit == "ir" {
-		fmt.Print(prog.Format(p))
-		return
-	}
-	if *emit == "asm" || *emit == "dot" {
-		var g interface {
-			MarshalText() ([]byte, error)
-			Dot() string
+	if *emit != "" {
+		var data []byte
+		switch *emit {
+		case "ir":
+			data = []byte(prog.Format(p))
+		case "asm", "dot", "bin":
+			lowering, lower := "tagged", compile.Tagged
+			if machine.System == "ordered" {
+				lowering, lower = "ordered", compile.Ordered
+			}
+			g, err := lower(p, compile.Options{EntryArgs: args})
+			if err != nil {
+				fail(err)
+			}
+			switch *emit {
+			case "dot":
+				data = []byte(g.Dot())
+			case "asm":
+				data, err = g.MarshalText()
+				if err != nil {
+					fail(err)
+				}
+			case "bin":
+				// Stamp the artifact with the content hash tyrd derives
+				// for this (lowering, formatted IR, args) — the artifact's
+				// address in a shared cache directory.
+				src := graphio.HashSource(lowering, prog.Format(p), args)
+				data = graphio.Encode(g, src)
+			}
+		default:
+			fail(fmt.Errorf("unknown emit %q (want asm, dot, ir, bin)", *emit))
 		}
-		if machine.System == "ordered" {
-			g2, err := compile.Ordered(p, compile.Options{EntryArgs: args})
-			if err != nil {
+		if *out != "" {
+			if err := os.WriteFile(*out, data, 0o644); err != nil {
 				fail(err)
 			}
-			g = g2
 		} else {
-			g2, err := compile.Tagged(p, compile.Options{EntryArgs: args})
-			if err != nil {
-				fail(err)
-			}
-			g = g2
-		}
-		if *emit == "dot" {
-			fmt.Print(g.Dot())
-		} else {
-			text, err := g.MarshalText()
-			if err != nil {
-				fail(err)
-			}
-			os.Stdout.Write(text)
+			os.Stdout.Write(data)
 		}
 		return
 	}

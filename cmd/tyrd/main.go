@@ -3,8 +3,23 @@
 // the /v1/debug/requests flight-recorder dumps.
 //
 //	tyrd [-addr :8080] [-workers N] [-queue N] [-timeout 30s] [-cache-size 64]
+//	     [-cache-dir DIR] [-peers host:port,...] [-partial-timeout 60s] [-peer-retries 1]
 //	     [-debug-addr 127.0.0.1:8081] [-flight-ring 64] [-flight-slow 500ms]
 //	     [-flight-sample 64] [-flight-trace-events 8192]
+//
+// -cache-dir spills the compiled-graph LRU to a content-addressed artifact
+// directory of tyr-graph/v1 files keyed by source hash: restarts — and any
+// other instance pointed at the same directory — skip recompiling programs
+// seen before. Artifacts are digest-verified on every read; anything
+// corrupt is deleted and recompiled (see internal/server/cachedir).
+//
+// -peers turns the instance into a fleet coordinator: a full-grid /v1/sweep
+// is split into contiguous cell-range partials fanned out to the peers
+// (plain tyrd instances — a peer needs no flags) and merged by cell index,
+// so the distributed result is cell-for-cell identical to a local one. A
+// failed or timed-out peer's partial is re-shed onto the remaining peers or
+// run locally; -partial-timeout bounds each remote attempt and
+// -peer-retries caps re-sheds per partial before it is forced local.
 //
 // Simulations execute on a bounded worker pool with a bounded queue; when
 // both are full the service sheds load with 429 instead of stacking up
@@ -33,11 +48,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/obs"
 	"repro/internal/server"
+	"repro/internal/server/cachedir"
 )
 
 func main() {
@@ -47,6 +64,10 @@ func main() {
 	timeout := flag.Duration("timeout", 30*time.Second, "default per-request deadline")
 	maxTimeout := flag.Duration("max-timeout", 5*time.Minute, "upper bound on a request's timeout_ms")
 	cacheSize := flag.Int("cache-size", 64, "compiled-graph LRU capacity")
+	cacheDir := flag.String("cache-dir", "", "content-addressed on-disk compiled-graph cache directory (empty = memory only)")
+	peers := flag.String("peers", "", "comma-separated peer tyrd addresses (host:port) to fan sweeps out to (empty = single instance)")
+	partialTimeout := flag.Duration("partial-timeout", 60*time.Second, "per-partial deadline for fanned-out sweep requests")
+	peerRetries := flag.Int("peer-retries", 1, "remote re-sheds per failed sweep partial before it runs locally")
 	oracleSteps := flag.Int64("oracle-max-steps", 0, "dynamic-instruction budget for inline-source oracle runs (0 = 2^32)")
 	drain := flag.Duration("drain", 2*time.Minute, "grace period for in-flight requests on shutdown")
 	debugAddr := flag.String("debug-addr", "", "optional second listener for pprof and flight dumps (e.g. 127.0.0.1:8081; empty = off)")
@@ -57,12 +78,30 @@ func main() {
 	flag.Parse()
 
 	log := slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	var disk *cachedir.Store
+	if *cacheDir != "" {
+		var err error
+		if disk, err = cachedir.Open(*cacheDir, nil); err != nil {
+			log.Error("opening cache dir", "dir", *cacheDir, "err", err)
+			os.Exit(1)
+		}
+	}
+	var peerList []string
+	for _, p := range strings.Split(*peers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peerList = append(peerList, p)
+		}
+	}
 	srv := server.New(server.Config{
 		Workers:        *workers,
 		QueueDepth:     *queue,
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
 		GraphCacheSize: *cacheSize,
+		DiskCache:      disk,
+		Peers:          peerList,
+		PartialTimeout: *partialTimeout,
+		PeerRetries:    *peerRetries,
 		OracleMaxSteps: *oracleSteps,
 		Logger:         log,
 		Flight: obs.Config{

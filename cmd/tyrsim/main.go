@@ -5,9 +5,16 @@
 //
 //	tyrsim -app spmspm -system tyr [-scale small] [-width 128] [-tags 64]
 //	       [-global-tags 8] [-plot] [-check]
+//	       [-bin graph.tyrg] [-graph graph.tyrg]
 //	       [-cache] [-l1 sets=32,ways=2,line=4,lat=1] [-l2 ...] [-mem-lat 30] [-mshrs 8]
 //	       [-trace out.json] [-profile] [-heat] [-json telemetry.json]
 //	       [-cpuprofile cpu.out] [-memprofile mem.out]
+//
+// -bin writes the compiled graph as a tyr-graph/v1 binary artifact
+// (internal/graphio) and exits; -graph runs a pre-compiled graph loaded
+// from a tyr-graph/v1 or assembly-text file instead of compiling (binary
+// artifacts are digest-verified on load, and every loaded graph passes the
+// structural validator before it reaches an engine; graph systems only).
 //
 // The flags assemble a tyr-api/v1 request (internal/api) — the same surface
 // the tyrd service speaks — so a tyrsim invocation and a curl against
@@ -47,11 +54,22 @@ import (
 	"repro/internal/compile"
 	"repro/internal/core"
 	"repro/internal/dfg"
+	"repro/internal/graphio"
 	"repro/internal/harness"
 	"repro/internal/metrics"
 	"repro/internal/profflag"
+	"repro/internal/prog"
 	"repro/internal/trace"
 )
+
+// fixedGraph is the -graph GraphSource: every lookup returns the one graph
+// loaded from disk, regardless of lowering (the file's lowering is the
+// user's responsibility; the validator and the reference cross-check catch
+// a mismatch).
+type fixedGraph struct{ g *dfg.Graph }
+
+func (f fixedGraph) Tagged(*apps.App) (*dfg.Graph, error)  { return f.g, nil }
+func (f fixedGraph) Ordered(*apps.App) (*dfg.Graph, error) { return f.g, nil }
 
 func main() {
 	appName := flag.String("app", "dmv", "workload: dmv, dmm, dconv, smv, spmspv, spmspm, tc")
@@ -65,6 +83,8 @@ func main() {
 	jsonPath := flag.String("json", "", "write the run's stats as tyr-telemetry/v1 JSON to this path")
 	dot := flag.Bool("dot", false, "print the compiled dataflow graph in Graphviz dot form and exit")
 	asm := flag.Bool("asm", false, "print the compiled dataflow graph in assembly form and exit")
+	binPath := flag.String("bin", "", "write the compiled dataflow graph as a tyr-graph/v1 binary artifact to this path and exit")
+	graphPath := flag.String("graph", "", "run a pre-compiled graph loaded from this path (tyr-graph/v1 binary or assembly text; graph systems only)")
 	list := flag.Bool("list", false, "list the available workloads and exit")
 	blocks := flag.Bool("blocks", false, "print per-block tag usage and live state (tyr/unordered only)")
 	check := flag.Bool("check", false, "run the static verifier before executing and the runtime sanitizer during execution")
@@ -113,27 +133,36 @@ func main() {
 		os.Exit(2)
 	}
 
-	if *dot || *asm {
-		var g *dfg.Graph
-		var err error
+	if *dot || *asm || *binPath != "" {
+		lowering, lower := "tagged", compile.Tagged
 		if machine.System == harness.SysOrdered {
-			g, err = compile.Ordered(app.Prog, compile.Options{EntryArgs: app.Args})
-		} else {
-			g, err = compile.Tagged(app.Prog, compile.Options{EntryArgs: app.Args})
+			lowering, lower = "ordered", compile.Ordered
 		}
+		g, err := lower(app.Prog, compile.Options{EntryArgs: app.Args})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "tyrsim: %v\n", err)
 			os.Exit(1)
 		}
-		if *dot {
+		switch {
+		case *dot:
 			fmt.Print(g.Dot())
-		} else {
+		case *asm:
 			text, err := g.MarshalText()
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "tyrsim: %v\n", err)
 				os.Exit(1)
 			}
 			os.Stdout.Write(text)
+		default:
+			// The artifact is stamped with the same content hash tyrd's
+			// compiled-graph cache derives, so it can seed a -cache-dir
+			// directory directly.
+			src := graphio.HashSource(lowering, prog.Format(app.Prog), app.Args)
+			if err := graphio.WriteFile(*binPath, g, src); err != nil {
+				fmt.Fprintf(os.Stderr, "tyrsim: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s (%s %s) to %s\n", graphio.FormatName, lowering, app.Name, *binPath)
 		}
 		return
 	}
@@ -142,6 +171,30 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tyrsim: %v\n", err)
 		os.Exit(2)
+	}
+	if *graphPath != "" {
+		if machine.System == harness.SysVN || machine.System == harness.SysSeqDF {
+			fmt.Fprintf(os.Stderr, "tyrsim: -graph needs a graph system (ordered, unordered, tyr), not %s\n", machine.System)
+			os.Exit(2)
+		}
+		g, _, err := graphio.LoadFile(*graphPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tyrsim: %v\n", err)
+			os.Exit(1)
+		}
+		mode := dfg.ModeTagged
+		if machine.System == harness.SysOrdered {
+			mode = dfg.ModeOrdered
+		}
+		if err := g.Validate(mode); err != nil {
+			fmt.Fprintf(os.Stderr, "tyrsim: %s: %v\n", *graphPath, err)
+			os.Exit(1)
+		}
+		// The loaded graph replaces the compiler for this run; the result
+		// is still cross-checked against the reference interpreter running
+		// app.Prog, so a graph that does not implement the selected
+		// workload fails validation rather than passing silently.
+		cfg.Compiler = fixedGraph{g: g}
 	}
 	var rec *trace.Recorder
 	if obs.Enabled() || *heat {

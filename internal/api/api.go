@@ -311,6 +311,15 @@ type SweepRequest struct {
 	Cache      *CacheSpec `json:"cache,omitempty"`
 	// TimeoutMS bounds the whole sweep's wall clock.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+
+	// CellStart/CellCount select a contiguous range of the apps-major grid
+	// (cell index = appIdx*len(systems)+sysIdx) instead of the whole grid —
+	// the unit the fleet coordinator fans out to peers. CellCount 0 with
+	// CellStart 0 means the full grid; a non-zero CellCount selects exactly
+	// [CellStart, CellStart+CellCount). A server never re-distributes a
+	// request with an explicit range, so fan-out cannot recurse.
+	CellStart int `json:"cell_start,omitempty"`
+	CellCount int `json:"cell_count,omitempty"`
 }
 
 // Validate checks the sweep shape without running anything.
@@ -337,6 +346,8 @@ func (r *SweepRequest) Validate() error {
 		"issue_width": int64(r.IssueWidth),
 		"tags":        int64(r.Tags),
 		"timeout_ms":  r.TimeoutMS,
+		"cell_start":  int64(r.CellStart),
+		"cell_count":  int64(r.CellCount),
 	})
 	if _, err := r.Cache.Config(); err != nil {
 		errs = append(errs, FieldError{"cache", err.Error()})

@@ -1,0 +1,599 @@
+// Package graphio implements tyr-graph/v1, the versioned binary
+// serialization of dfg.Graph used by the compiled-graph artifact cache and
+// the `tyrc -emit bin` / `tyrsim -graph` fast load path.
+//
+// A tyr-graph/v1 file is self-describing and self-verifying:
+//
+//	[4]byte  magic "TYRG"
+//	u32      format version (currently 1)
+//	[32]byte payload digest — SHA-256 over everything after this field
+//	[32]byte source hash    — identity of the originating IR (may be zero)
+//	payload  sectioned tables: name, mem regions, blocks, nodes, edges,
+//	         entries, result/rootfree — all integers little-endian,
+//	         strings length-prefixed
+//
+// Decode verifies the payload digest before parsing a single field, so a
+// flipped byte anywhere in an artifact is rejected with a *CorruptError
+// rather than silently producing a different graph (the cache-poisoning
+// defense: an on-disk artifact store is only trustworthy if a tampered or
+// torn file can never decode). The digest also covers the source-hash
+// field, so an artifact cannot be renamed to impersonate another program.
+//
+// The format round-trips exactly: for any graph produced by the compilers
+// or by dfg.ParseGraph, Decode(Encode(g)) is field-for-field identical to
+// g (pinned by the property tests against the MarshalText/ParseGraph
+// round-trip), and decoding is an order of magnitude faster than parsing
+// the assembly text — which is the point: it kills tyrd cold-start
+// recompiles and makes compiled graphs cheap to ship between fleet peers.
+package graphio
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/dfg"
+)
+
+// Magic identifies a tyr-graph binary file.
+const Magic = "TYRG"
+
+// Version is the current format version.
+const Version = 1
+
+// FormatName is the human-readable schema identifier.
+const FormatName = "tyr-graph/v1"
+
+// headerLen is the fixed prefix: magic + version + payload digest + source
+// hash. The payload digest covers everything after itself (source hash +
+// payload).
+const headerLen = 4 + 4 + 32 + 32
+
+// Digest is a SHA-256 value: the payload integrity digest or a source hash.
+type Digest [32]byte
+
+// String renders the digest as lowercase hex.
+func (d Digest) String() string { return hex.EncodeToString(d[:]) }
+
+// IsZero reports whether the digest is all zeroes (no source identity).
+func (d Digest) IsZero() bool { return d == Digest{} }
+
+// HashSource derives the canonical source hash of a compiled graph: the
+// lowering kind plus the formatted IR and its entry arguments. tyrd's
+// compiled-graph cache keys on exactly this value, so a `tyrc -emit bin`
+// artifact and a cache-dir artifact for the same program carry the same
+// identity.
+func HashSource(lowering, formattedIR string, args []int64) Digest {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\x00%s\x00%v", lowering, formattedIR, args)
+	var d Digest
+	h.Sum(d[:0])
+	return d
+}
+
+// CorruptError reports a payload-digest mismatch: the bytes do not hash to
+// the digest the header claims, so the artifact was tampered with, torn,
+// or bit-rotted. It is a structured error — loaders fall back to a fresh
+// compile instead of trusting the graph.
+type CorruptError struct {
+	Want Digest // digest stored in the header
+	Got  Digest // digest of the bytes actually present
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("graphio: payload digest mismatch (header %s, content %s): artifact is corrupt",
+		e.Want, e.Got)
+}
+
+// FormatError reports structurally invalid bytes (bad magic, unsupported
+// version, truncated section, out-of-range reference). Offset is the byte
+// position where decoding failed.
+type FormatError struct {
+	Offset int
+	Msg    string
+}
+
+func (e *FormatError) Error() string {
+	return fmt.Sprintf("graphio: invalid tyr-graph data at byte %d: %s", e.Offset, e.Msg)
+}
+
+// IsBinary reports whether data begins with the tyr-graph magic.
+func IsBinary(data []byte) bool {
+	return len(data) >= len(Magic) && string(data[:len(Magic)]) == Magic
+}
+
+// node encoding flags.
+const flagExternal = 1 << 0
+
+// Encode renders g as a tyr-graph/v1 byte stream stamped with the given
+// source hash (zero = no source identity).
+func Encode(g *dfg.Graph, src Digest) []byte {
+	var p bytes.Buffer // payload: everything the digest covers, after src
+	putStr(&p, g.Name)
+
+	putU32(&p, uint32(len(g.MemNames)))
+	for _, name := range g.MemNames {
+		putStr(&p, name)
+	}
+
+	putU32(&p, uint32(len(g.Blocks)))
+	for i := range g.Blocks {
+		b := &g.Blocks[i]
+		putI32(&p, int32(b.Parent))
+		p.WriteByte(byte(b.Kind))
+		tail := byte(0)
+		if b.TailRecursive {
+			tail = 1
+		}
+		p.WriteByte(tail)
+		putStr(&p, b.Name)
+	}
+
+	putU32(&p, uint32(len(g.Nodes)))
+	for i := range g.Nodes {
+		n := &g.Nodes[i]
+		p.WriteByte(byte(n.Op))
+		p.WriteByte(byte(n.Bin))
+		putI32(&p, int32(n.Block))
+		putU32(&p, uint32(n.NIn))
+		putU32(&p, uint32(n.Region))
+		putI32(&p, int32(n.Space))
+		flags := byte(0)
+		if n.External {
+			flags |= flagExternal
+		}
+		p.WriteByte(flags)
+		putStr(&p, n.Label)
+		nConst := 0
+		for _, c := range n.ConstIn {
+			if c.Valid {
+				nConst++
+			}
+		}
+		putU32(&p, uint32(nConst))
+		for port, c := range n.ConstIn {
+			if c.Valid {
+				putU32(&p, uint32(port))
+				putI64(&p, c.V)
+			}
+		}
+	}
+
+	// Edge section: per node, per output port, the destination list. The
+	// port count is determined by the op, so only the lists are encoded.
+	for i := range g.Nodes {
+		for _, dests := range g.Nodes[i].Outs {
+			putU32(&p, uint32(len(dests)))
+			for _, d := range dests {
+				putI32(&p, int32(d.Node))
+				putU32(&p, uint32(d.In))
+			}
+		}
+	}
+
+	putU32(&p, uint32(len(g.Entries)))
+	for _, inj := range g.Entries {
+		putI32(&p, int32(inj.To.Node))
+		putU32(&p, uint32(inj.To.In))
+		putI64(&p, inj.Val)
+	}
+
+	putI32(&p, int32(g.Result))
+	putI32(&p, int32(g.RootFree))
+
+	// Assemble: magic, version, digest over (src + payload), src, payload.
+	out := make([]byte, 0, headerLen+p.Len())
+	out = append(out, Magic...)
+	out = binary.LittleEndian.AppendUint32(out, Version)
+	h := sha256.New()
+	h.Write(src[:])
+	h.Write(p.Bytes())
+	out = h.Sum(out)
+	out = append(out, src[:]...)
+	out = append(out, p.Bytes()...)
+	return out
+}
+
+// Decode parses a tyr-graph/v1 byte stream, verifying the payload digest
+// before interpreting any payload field. It returns the graph and the
+// source hash stamped by the encoder. Corruption yields a *CorruptError;
+// structural problems yield a *FormatError. Decode never panics, whatever
+// the input.
+func Decode(data []byte) (*dfg.Graph, Digest, error) {
+	var src Digest
+	if len(data) < headerLen {
+		return nil, src, &FormatError{Offset: len(data), Msg: "truncated header"}
+	}
+	if string(data[:4]) != Magic {
+		return nil, src, &FormatError{Offset: 0, Msg: fmt.Sprintf("bad magic %q (want %q)", data[:4], Magic)}
+	}
+	if v := binary.LittleEndian.Uint32(data[4:8]); v != Version {
+		return nil, src, &FormatError{Offset: 4, Msg: fmt.Sprintf("unsupported format version %d (this build reads %d)", v, Version)}
+	}
+	var want Digest
+	copy(want[:], data[8:40])
+	got := Digest(sha256.Sum256(data[40:]))
+	if got != want {
+		return nil, src, &CorruptError{Want: want, Got: got}
+	}
+	copy(src[:], data[40:72])
+
+	r := &reader{data: data, off: headerLen}
+	g, err := decodePayload(r)
+	if err != nil {
+		return nil, src, err
+	}
+	if r.off != len(data) {
+		return nil, src, &FormatError{Offset: r.off, Msg: "trailing bytes after graph payload"}
+	}
+	return g, src, nil
+}
+
+func decodePayload(r *reader) (*dfg.Graph, error) {
+	name, err := r.str()
+	if err != nil {
+		return nil, err
+	}
+	g := &dfg.Graph{Name: name, RootFree: dfg.InvalidNode, Result: dfg.InvalidNode}
+
+	nMem, err := r.count(1)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < nMem; i++ {
+		mname, err := r.str()
+		if err != nil {
+			return nil, err
+		}
+		g.MemNames = append(g.MemNames, mname)
+	}
+
+	nBlocks, err := r.count(10) // parent + kind + tail + name length
+	if err != nil {
+		return nil, err
+	}
+	// count() bounds every section against the remaining bytes, so these
+	// preallocations are at most a small constant factor of the input size
+	// even on hostile headers.
+	g.Blocks = make([]dfg.Block, 0, nBlocks)
+	for i := 0; i < nBlocks; i++ {
+		parent, err := r.i32()
+		if err != nil {
+			return nil, err
+		}
+		kind, err := r.u8()
+		if err != nil {
+			return nil, err
+		}
+		if kind > byte(dfg.BlockFunc) {
+			return nil, &FormatError{Offset: r.off - 1, Msg: fmt.Sprintf("block %d: unknown kind %d", i, kind)}
+		}
+		tail, err := r.u8()
+		if err != nil {
+			return nil, err
+		}
+		if tail > 1 {
+			return nil, &FormatError{Offset: r.off - 1, Msg: fmt.Sprintf("block %d: bad tail flag %d", i, tail)}
+		}
+		bname, err := r.str()
+		if err != nil {
+			return nil, err
+		}
+		g.Blocks = append(g.Blocks, dfg.Block{
+			ID:            dfg.BlockID(i),
+			Parent:        dfg.BlockID(parent),
+			Kind:          dfg.BlockKind(kind),
+			Name:          bname,
+			TailRecursive: tail == 1,
+		})
+	}
+
+	nNodes, err := r.count(20) // fixed node fields + label length
+	if err != nil {
+		return nil, err
+	}
+	g.Nodes = make([]dfg.Node, 0, nNodes)
+	// The same fan-in bound the asm parser enforces: AddNode allocates NIn
+	// const slots up front, so a hostile header must not demand gigabytes.
+	const maxNIn = 1 << 16
+	for i := 0; i < nNodes; i++ {
+		op, err := r.u8()
+		if err != nil {
+			return nil, err
+		}
+		if !validOp(dfg.Op(op)) {
+			return nil, &FormatError{Offset: r.off - 1, Msg: fmt.Sprintf("node %d: unknown op %d", i, op)}
+		}
+		bin, err := r.u8()
+		if err != nil {
+			return nil, err
+		}
+		if !validBin(dfg.BinKind(bin)) {
+			return nil, &FormatError{Offset: r.off - 1, Msg: fmt.Sprintf("node %d: unknown bin kind %d", i, bin)}
+		}
+		block, err := r.i32()
+		if err != nil {
+			return nil, err
+		}
+		nIn, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		if nIn > maxNIn {
+			return nil, &FormatError{Offset: r.off - 4, Msg: fmt.Sprintf("node %d: nin %d exceeds limit %d", i, nIn, maxNIn)}
+		}
+		region, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		space, err := r.i32()
+		if err != nil {
+			return nil, err
+		}
+		flags, err := r.u8()
+		if err != nil {
+			return nil, err
+		}
+		if flags&^byte(flagExternal) != 0 {
+			return nil, &FormatError{Offset: r.off - 1, Msg: fmt.Sprintf("node %d: unknown flag bits %#x", i, flags)}
+		}
+		label, err := r.str()
+		if err != nil {
+			return nil, err
+		}
+		id := g.AddNode(dfg.Op(op), dfg.BlockID(block), int(nIn), label)
+		n := g.Node(id)
+		n.Bin = dfg.BinKind(bin)
+		n.Region = int(region)
+		n.Space = dfg.BlockID(space)
+		n.External = flags&flagExternal != 0
+		nConst, err := r.count(12)
+		if err != nil {
+			return nil, err
+		}
+		if nConst > int(nIn) {
+			return nil, &FormatError{Offset: r.off - 4, Msg: fmt.Sprintf("node %d: %d consts for %d inputs", i, nConst, nIn)}
+		}
+		for c := 0; c < nConst; c++ {
+			port, err := r.u32()
+			if err != nil {
+				return nil, err
+			}
+			if port >= nIn {
+				return nil, &FormatError{Offset: r.off - 4, Msg: fmt.Sprintf("node %d: const port %d out of range", i, port)}
+			}
+			v, err := r.i64()
+			if err != nil {
+				return nil, err
+			}
+			g.SetConst(id, int(port), v)
+		}
+	}
+
+	for i := 0; i < nNodes; i++ {
+		n := g.Node(dfg.NodeID(i))
+		for out := range n.Outs {
+			nDest, err := r.count(8)
+			if err != nil {
+				return nil, err
+			}
+			if nDest == 0 {
+				continue
+			}
+			dests := make([]dfg.Port, 0, nDest)
+			for d := 0; d < nDest; d++ {
+				toNode, err := r.i32()
+				if err != nil {
+					return nil, err
+				}
+				toIn, err := r.u32()
+				if err != nil {
+					return nil, err
+				}
+				if toNode < 0 || int(toNode) >= nNodes {
+					return nil, &FormatError{Offset: r.off - 8, Msg: fmt.Sprintf("edge %d.%d: target node %d out of range", i, out, toNode)}
+				}
+				if int(toIn) >= g.Node(dfg.NodeID(toNode)).NIn {
+					return nil, &FormatError{Offset: r.off - 4, Msg: fmt.Sprintf("edge %d.%d: target port %d out of range", i, out, toIn)}
+				}
+				dests = append(dests, dfg.Port{Node: dfg.NodeID(toNode), In: int(toIn)})
+			}
+			n.Outs[out] = dests
+		}
+	}
+
+	nEntries, err := r.count(16)
+	if err != nil {
+		return nil, err
+	}
+	for e := 0; e < nEntries; e++ {
+		toNode, err := r.i32()
+		if err != nil {
+			return nil, err
+		}
+		toIn, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		if toNode < 0 || int(toNode) >= nNodes {
+			return nil, &FormatError{Offset: r.off - 8, Msg: fmt.Sprintf("inject %d: target node %d out of range", e, toNode)}
+		}
+		if int(toIn) >= g.Node(dfg.NodeID(toNode)).NIn {
+			return nil, &FormatError{Offset: r.off - 4, Msg: fmt.Sprintf("inject %d: target port %d out of range", e, toIn)}
+		}
+		val, err := r.i64()
+		if err != nil {
+			return nil, err
+		}
+		g.Inject(dfg.Port{Node: dfg.NodeID(toNode), In: int(toIn)}, val)
+	}
+
+	result, err := r.i32()
+	if err != nil {
+		return nil, err
+	}
+	if result != int32(dfg.InvalidNode) && (result < 0 || int(result) >= nNodes) {
+		return nil, &FormatError{Offset: r.off - 4, Msg: fmt.Sprintf("result node %d out of range", result)}
+	}
+	g.Result = dfg.NodeID(result)
+	rootFree, err := r.i32()
+	if err != nil {
+		return nil, err
+	}
+	if rootFree != int32(dfg.InvalidNode) && (rootFree < 0 || int(rootFree) >= nNodes) {
+		return nil, &FormatError{Offset: r.off - 4, Msg: fmt.Sprintf("rootfree node %d out of range", rootFree)}
+	}
+	g.RootFree = dfg.NodeID(rootFree)
+	return g, nil
+}
+
+func validOp(op dfg.Op) bool {
+	return op <= dfg.OpExtractTag
+}
+
+func validBin(k dfg.BinKind) bool {
+	return k <= dfg.BinMax
+}
+
+// WriteFile writes g atomically (temp file + rename), so a concurrent
+// reader — another tyrd instance sharing the cache directory — never
+// observes a torn artifact.
+func WriteFile(path string, g *dfg.Graph, src Digest) error {
+	data := Encode(g, src)
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".tyrg-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+// LoadFile reads a graph from disk, accepting either the binary
+// tyr-graph/v1 form (sniffed by magic, digest-verified) or the diffable
+// assembly text form.
+func LoadFile(path string) (*dfg.Graph, Digest, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, Digest{}, err
+	}
+	if IsBinary(data) {
+		return Decode(data)
+	}
+	g, err := dfg.ParseGraph(data)
+	if err != nil {
+		return nil, Digest{}, err
+	}
+	return g, Digest{}, nil
+}
+
+// --- little-endian primitives ---
+
+func putU32(b *bytes.Buffer, v uint32) {
+	var tmp [4]byte
+	binary.LittleEndian.PutUint32(tmp[:], v)
+	b.Write(tmp[:])
+}
+
+func putI32(b *bytes.Buffer, v int32) { putU32(b, uint32(v)) }
+
+func putI64(b *bytes.Buffer, v int64) {
+	var tmp [8]byte
+	binary.LittleEndian.PutUint64(tmp[:], uint64(v))
+	b.Write(tmp[:])
+}
+
+func putStr(b *bytes.Buffer, s string) {
+	putU32(b, uint32(len(s)))
+	b.WriteString(s)
+}
+
+// reader is a bounds-checked cursor over the payload. Every accessor
+// returns a *FormatError instead of panicking on truncated input.
+type reader struct {
+	data []byte
+	off  int
+}
+
+func (r *reader) need(n int) error {
+	if len(r.data)-r.off < n {
+		return &FormatError{Offset: r.off, Msg: "truncated section"}
+	}
+	return nil
+}
+
+func (r *reader) u8() (byte, error) {
+	if err := r.need(1); err != nil {
+		return 0, err
+	}
+	v := r.data[r.off]
+	r.off++
+	return v, nil
+}
+
+func (r *reader) u32() (uint32, error) {
+	if err := r.need(4); err != nil {
+		return 0, err
+	}
+	v := binary.LittleEndian.Uint32(r.data[r.off:])
+	r.off += 4
+	return v, nil
+}
+
+func (r *reader) i32() (int32, error) {
+	v, err := r.u32()
+	return int32(v), err
+}
+
+func (r *reader) i64() (int64, error) {
+	if err := r.need(8); err != nil {
+		return 0, err
+	}
+	v := binary.LittleEndian.Uint64(r.data[r.off:])
+	r.off += 8
+	return int64(v), nil
+}
+
+// count reads an element count and rejects any value that could not
+// possibly fit in the remaining bytes at minElemSize bytes per element —
+// the guard that keeps a hostile 4-byte header from demanding a
+// multi-gigabyte allocation.
+func (r *reader) count(minElemSize int) (int, error) {
+	v, err := r.u32()
+	if err != nil {
+		return 0, err
+	}
+	if int(v) > (len(r.data)-r.off)/minElemSize+1 {
+		return 0, &FormatError{Offset: r.off - 4, Msg: fmt.Sprintf("count %d exceeds remaining data", v)}
+	}
+	return int(v), nil
+}
+
+func (r *reader) str() (string, error) {
+	n, err := r.u32()
+	if err != nil {
+		return "", err
+	}
+	if err := r.need(int(n)); err != nil {
+		return "", err
+	}
+	s := string(r.data[r.off : r.off+int(n)])
+	r.off += int(n)
+	return s, nil
+}

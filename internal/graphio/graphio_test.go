@@ -1,0 +1,288 @@
+package graphio
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strconv"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/compile"
+	"repro/internal/dfg"
+)
+
+// testCorpus compiles every bundled kernel at several generator seeds under
+// both lowerings — the full graph population the binary format must carry.
+func testCorpus(t testing.TB) map[string]*dfg.Graph {
+	t.Helper()
+	corpus := make(map[string]*dfg.Graph)
+	for _, seed := range []int64{1, 7, 42} {
+		for _, app := range seededSuite(seed) {
+			for _, lowering := range []string{"tagged", "ordered"} {
+				g, err := lower(lowering, app)
+				if err != nil {
+					t.Fatalf("compile %s %s seed=%d: %v", lowering, app.Name, seed, err)
+				}
+				corpus[app.Name+"/"+lowering+"/"+itoa(seed)] = g
+			}
+		}
+	}
+	return corpus
+}
+
+// seededSuite builds the seven kernels at unit-test sizes with an explicit
+// generator seed, so the property test exercises structurally distinct
+// graphs (different sparsity patterns reach different loop nests).
+func seededSuite(seed int64) []*apps.App {
+	return []*apps.App{
+		apps.Dmv(6, 5, seed),
+		apps.Dmm(4, seed),
+		apps.Dconv(5, 5, 3, seed),
+		apps.Smv(8, 2, 3, seed),
+		apps.Spmspv(10, 12, 4, seed),
+		apps.Spmspm(6, 40, seed),
+		apps.Tc(8, 4, 0.2, seed),
+	}
+}
+
+func lower(lowering string, app *apps.App) (*dfg.Graph, error) {
+	if lowering == "tagged" {
+		return compile.Tagged(app.Prog, compile.Options{EntryArgs: app.Args})
+	}
+	return compile.Ordered(app.Prog, compile.Options{EntryArgs: app.Args})
+}
+
+func itoa(v int64) string {
+	return strconv.FormatInt(v, 10)
+}
+
+// TestRoundTripMatchesAsm pins the acceptance criterion: for every graph in
+// the corpus, bin-encode→decode yields a graph field-for-field identical to
+// the MarshalText→ParseGraph round trip (and to the original).
+func TestRoundTripMatchesAsm(t *testing.T) {
+	for name, g := range testCorpus(t) {
+		src := HashSource("test", name, nil)
+		data := Encode(g, src)
+
+		viaBin, gotSrc, err := Decode(data)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", name, err)
+		}
+		if gotSrc != src {
+			t.Fatalf("%s: source hash mangled: want %s got %s", name, src, gotSrc)
+		}
+
+		asm, err := g.MarshalText()
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", name, err)
+		}
+		viaAsm, err := dfg.ParseGraph(asm)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", name, err)
+		}
+
+		// Bit-identity: both round trips must render the same assembly...
+		binAsm, err := viaBin.MarshalText()
+		if err != nil {
+			t.Fatalf("%s: marshal decoded: %v", name, err)
+		}
+		asmAsm, err := viaAsm.MarshalText()
+		if err != nil {
+			t.Fatalf("%s: marshal reparsed: %v", name, err)
+		}
+		if !bytes.Equal(binAsm, asmAsm) {
+			t.Fatalf("%s: binary and asm round trips disagree", name)
+		}
+		// ...and the decoded struct must match the asm-parsed struct field
+		// for field (the asm round trip is the repo's established identity).
+		if !reflect.DeepEqual(viaBin, viaAsm) {
+			t.Fatalf("%s: decoded graph differs structurally from asm round trip", name)
+		}
+		// Re-encoding is byte-stable (content addressing depends on it).
+		if !bytes.Equal(Encode(viaBin, src), data) {
+			t.Fatalf("%s: re-encode is not byte-stable", name)
+		}
+	}
+}
+
+// TestCorruptionRejected flips every byte of an encoded graph (sampled for
+// speed past the header) and requires a structured error — never a panic,
+// never a silently different graph.
+func TestCorruptionRejected(t *testing.T) {
+	g, err := lower("tagged", apps.Dmv(4, 3, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := Encode(g, HashSource("tagged", "x", nil))
+	step := 1
+	if len(data) > 4096 {
+		step = len(data) / 4096
+	}
+	for off := 0; off < len(data); off += step {
+		mut := bytes.Clone(data)
+		mut[off] ^= 0x40
+		_, _, err := Decode(mut)
+		if err == nil {
+			t.Fatalf("flipped byte %d accepted", off)
+		}
+		var ce *CorruptError
+		var fe *FormatError
+		if !errors.As(err, &ce) && !errors.As(err, &fe) {
+			t.Fatalf("flipped byte %d: unstructured error %T: %v", off, err, err)
+		}
+		// Past the header, every flip is caught by the digest, the
+		// cache-poisoning defense the disk store relies on.
+		if off >= headerLen && !errors.As(err, &ce) {
+			t.Fatalf("flipped payload byte %d: want CorruptError, got %v", off, err)
+		}
+	}
+}
+
+func TestTruncationRejected(t *testing.T) {
+	g, err := lower("ordered", apps.Dmv(4, 3, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := Encode(g, Digest{})
+	for _, n := range []int{0, 3, 4, 7, 8, 39, 40, 71, headerLen, len(data) / 2, len(data) - 1} {
+		if _, _, err := Decode(data[:n]); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", n)
+		}
+	}
+	// Trailing garbage changes the digest, so it must also be rejected.
+	if _, _, err := Decode(append(bytes.Clone(data), 0)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+}
+
+func TestVersionAndMagicChecked(t *testing.T) {
+	g, _ := lower("tagged", apps.Dmv(4, 3, 1))
+	data := Encode(g, Digest{})
+
+	bad := bytes.Clone(data)
+	copy(bad, "NOPE")
+	var fe *FormatError
+	if _, _, err := Decode(bad); !errors.As(err, &fe) {
+		t.Fatalf("bad magic: want FormatError, got %v", err)
+	}
+
+	bad = bytes.Clone(data)
+	bad[4] = 99 // future format version
+	if _, _, err := Decode(bad); !errors.As(err, &fe) {
+		t.Fatalf("future version: want FormatError, got %v", err)
+	}
+}
+
+func TestHashSourceMatchesServerKey(t *testing.T) {
+	// The canonical identity: lowering NUL ir NUL args. A change here
+	// silently splits the tyrd cache from tyrc artifacts.
+	a := HashSource("tagged", "program", []int64{1, 2})
+	b := HashSource("tagged", "program", []int64{1, 2})
+	if a != b {
+		t.Fatal("HashSource not deterministic")
+	}
+	for _, other := range []Digest{
+		HashSource("ordered", "program", []int64{1, 2}),
+		HashSource("tagged", "program2", []int64{1, 2}),
+		HashSource("tagged", "program", []int64{1, 3}),
+		HashSource("tagged", "program", nil),
+	} {
+		if a == other {
+			t.Fatal("distinct sources collide")
+		}
+	}
+	if a.IsZero() {
+		t.Fatal("real hash reads as zero")
+	}
+}
+
+func TestWriteAndLoadFile(t *testing.T) {
+	g, err := lower("tagged", apps.Smv(6, 2, 2, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := HashSource("tagged", "smv", []int64{6})
+	dir := t.TempDir()
+
+	binPath := filepath.Join(dir, "g.tyrg")
+	if err := WriteFile(binPath, g, src); err != nil {
+		t.Fatal(err)
+	}
+	got, gotSrc, err := LoadFile(binPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotSrc != src {
+		t.Fatalf("source hash: want %s got %s", src, gotSrc)
+	}
+	if !reflect.DeepEqual(got, mustAsmRoundTrip(t, g)) {
+		t.Fatal("binary LoadFile differs from asm round trip")
+	}
+
+	// LoadFile also accepts the text form, identified by sniffing.
+	asm, err := g.MarshalText()
+	if err != nil {
+		t.Fatal(err)
+	}
+	asmPath := filepath.Join(dir, "g.tyr-asm")
+	if err := os.WriteFile(asmPath, asm, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got2, src2, err := LoadFile(asmPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !src2.IsZero() {
+		t.Fatal("asm load invented a source hash")
+	}
+	if !reflect.DeepEqual(got2, mustAsmRoundTrip(t, g)) {
+		t.Fatal("text LoadFile differs from asm round trip")
+	}
+
+	// No temp files may survive WriteFile (atomic publish contract).
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("unexpected files in dir: %v", entries)
+	}
+}
+
+func mustAsmRoundTrip(t *testing.T, g *dfg.Graph) *dfg.Graph {
+	t.Helper()
+	asm, err := g.MarshalText()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := dfg.ParseGraph(asm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt
+}
+
+// TestDecodedGraphValidates proves a decoded graph is indistinguishable
+// from a freshly compiled one to the validator, for both lowerings.
+func TestDecodedGraphValidates(t *testing.T) {
+	for _, lowering := range []string{"tagged", "ordered"} {
+		g, err := lower(lowering, apps.Dconv(4, 4, 2, 5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt, _, err := Decode(Encode(g, Digest{}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		mode := dfg.ModeTagged
+		if lowering == "ordered" {
+			mode = dfg.ModeOrdered
+		}
+		if err := rt.Validate(mode); err != nil {
+			t.Fatalf("%s: decoded graph fails validation: %v", lowering, err)
+		}
+	}
+}

@@ -93,11 +93,23 @@ func (fr *FlightRecorder) recorder() *trace.Recorder {
 
 // Start opens a request trace with a fresh trace ID and its root span.
 func (fr *FlightRecorder) Start(method, path string) *RequestTrace {
+	return fr.StartWithID(method, path, "")
+}
+
+// StartWithID opens a request trace adopting a caller-supplied trace ID —
+// the distributed-tracing join point: a fleet peer serving a sweep partial
+// adopts the coordinator's Tyr-Trace-Id, so both instances' flight records
+// carry the same ID and `tyrexp flight` telescopes the whole distributed
+// request. An empty or invalid ID falls back to a fresh one.
+func (fr *FlightRecorder) StartWithID(method, path, id string) *RequestTrace {
+	if !ValidTraceID(id) {
+		id = NewTraceID()
+	}
 	n := fr.seq.Add(1)
 	sampled := fr.cfg.SampleEvery > 0 && (n-1)%uint64(fr.cfg.SampleEvery) == 0
 	t := &RequestTrace{
 		fr:      fr,
-		id:      NewTraceID(),
+		id:      id,
 		method:  method,
 		path:    path,
 		start:   time.Now(),

@@ -67,6 +67,23 @@ func (c Config) withDefaults() Config {
 // unique within a process or the flight recorder's index would collide.
 var idSeq atomic.Uint64
 
+// ValidTraceID reports whether s is acceptable as an externally supplied
+// trace ID: 8-64 lowercase hex digits. Anything else (empty, hostile
+// header junk, log-breaking characters) is rejected and the receiver mints
+// its own ID instead.
+func ValidTraceID(s string) bool {
+	if len(s) < 8 || len(s) > 64 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
 // NewTraceID returns a fresh 16-hex-digit request trace ID.
 func NewTraceID() string {
 	var b [8]byte

@@ -1,0 +1,105 @@
+// Package cachedir is the on-disk tier of tyrd's compiled-graph cache: a
+// content-addressed artifact store in the style of a build-system action
+// cache. Artifacts are tyr-graph/v1 files named by their source hash, so a
+// restart — or a fleet peer sharing the directory — skips recompiling any
+// program it has ever compiled before.
+//
+// The trust model is verify-on-read, never trust-the-filename: the store's
+// only integrity assumption is the digest embedded in every artifact. A
+// hit is served only if (1) the tyr-graph payload digest matches its bytes
+// and (2) the source hash inside the artifact matches the hash the caller
+// derived from the program it is about to run. Anything else — corruption,
+// truncation, an artifact renamed over another key, a torn write from a
+// crashed process — is a reject: the file is deleted and the caller falls
+// back to a fresh compile. Cache poisoning therefore degrades to a cache
+// miss, never to wrong simulation results.
+package cachedir
+
+import (
+	"os"
+	"path/filepath"
+
+	"repro/internal/dfg"
+	"repro/internal/graphio"
+)
+
+// Observer receives store outcome counts. *server.Metrics implements it;
+// a nil Observer disables counting.
+type Observer interface {
+	ObserveDiskHit()
+	ObserveDiskMiss()
+	ObserveDiskReject()
+}
+
+// Store is a content-addressed directory of compiled graphs. Methods are
+// safe for concurrent use by multiple goroutines and multiple processes:
+// writes publish atomically via rename, and reads verify digests, so the
+// worst interleaving is a spurious miss.
+type Store struct {
+	dir string
+	obs Observer
+}
+
+// Open creates (if needed) and returns the store rooted at dir.
+func Open(dir string, obs Observer) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &Store{dir: dir, obs: obs}, nil
+}
+
+// Dir reports the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// SetObserver attaches the outcome observer. The serving layer's metrics
+// are constructed after the store is opened, so attachment is late-bound;
+// call before the store sees traffic (not synchronized with Get/Put).
+func (s *Store) SetObserver(obs Observer) { s.obs = obs }
+
+// path addresses an artifact: one subdirectory per lowering keeps tagged
+// and ordered graphs of the same program from colliding in listings, and
+// the basename is the full source hash.
+func (s *Store) path(lowering string, src graphio.Digest) string {
+	return filepath.Join(s.dir, lowering, src.String()+".tyrg")
+}
+
+// Get loads the artifact for (lowering, src) if present and verified.
+// The boolean reports a usable hit; on any verification failure the
+// artifact is deleted and (nil, false) is returned so the caller compiles
+// fresh.
+func (s *Store) Get(lowering string, src graphio.Digest) (*dfg.Graph, bool) {
+	p := s.path(lowering, src)
+	data, err := os.ReadFile(p)
+	if err != nil {
+		if s.obs != nil {
+			s.obs.ObserveDiskMiss()
+		}
+		return nil, false
+	}
+	g, gotSrc, err := graphio.Decode(data)
+	if err != nil || gotSrc != src {
+		// Corrupt bytes, or a valid artifact for a different program
+		// sitting under this name — either way it is not trusted, and
+		// keeping it would re-reject on every lookup.
+		os.Remove(p)
+		if s.obs != nil {
+			s.obs.ObserveDiskReject()
+		}
+		return nil, false
+	}
+	if s.obs != nil {
+		s.obs.ObserveDiskHit()
+	}
+	return g, true
+}
+
+// Put writes g as the artifact for (lowering, src). Best-effort: a full
+// disk or permission error costs future hits, not correctness, so callers
+// may ignore the returned error after logging it.
+func (s *Store) Put(lowering string, src graphio.Digest, g *dfg.Graph) error {
+	p := s.path(lowering, src)
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return err
+	}
+	return graphio.WriteFile(p, g, src)
+}

@@ -1,0 +1,157 @@
+package cachedir_test
+
+import (
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/compile"
+	"repro/internal/dfg"
+	"repro/internal/graphio"
+	"repro/internal/prog"
+	"repro/internal/server/cachedir"
+)
+
+// countObs counts store outcomes for assertions.
+type countObs struct {
+	hits, misses, rejects atomic.Int64
+}
+
+func (o *countObs) ObserveDiskHit()    { o.hits.Add(1) }
+func (o *countObs) ObserveDiskMiss()   { o.misses.Add(1) }
+func (o *countObs) ObserveDiskReject() { o.rejects.Add(1) }
+
+// testGraph compiles one bundled kernel and derives its store address the
+// same way the server's graph cache does.
+func testGraph(t *testing.T) (*dfg.Graph, graphio.Digest) {
+	t.Helper()
+	app := apps.Dmv(6, 5, 1)
+	g, err := compile.Tagged(app.Prog, compile.Options{EntryArgs: app.Args})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, graphio.HashSource("tagged", prog.Format(app.Prog), app.Args)
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	obs := &countObs{}
+	s, err := cachedir.Open(filepath.Join(t.TempDir(), "cache"), obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, src := testGraph(t)
+
+	if _, ok := s.Get("tagged", src); ok {
+		t.Fatal("hit on an empty store")
+	}
+	if got := obs.misses.Load(); got != 1 {
+		t.Fatalf("misses = %d, want 1", got)
+	}
+	if err := s.Put("tagged", src, g); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get("tagged", src)
+	if !ok {
+		t.Fatal("miss after Put")
+	}
+	if obs.hits.Load() != 1 || obs.rejects.Load() != 0 {
+		t.Fatalf("hits=%d rejects=%d, want 1/0", obs.hits.Load(), obs.rejects.Load())
+	}
+	// The loaded graph must be byte-identical under re-encoding: the store
+	// returns exactly what was compiled, not an approximation.
+	if want, have := graphio.Encode(g, src), graphio.Encode(got, src); string(want) != string(have) {
+		t.Fatal("graph loaded from store re-encodes differently")
+	}
+	// The two lowerings address disjoint artifacts even for one source hash.
+	if _, ok := s.Get("ordered", src); ok {
+		t.Fatal("tagged artifact served for an ordered lookup")
+	}
+}
+
+func TestCorruptArtifactRejectedAndDeleted(t *testing.T) {
+	obs := &countObs{}
+	dir := filepath.Join(t.TempDir(), "cache")
+	s, err := cachedir.Open(dir, obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, src := testGraph(t)
+	if err := s.Put("tagged", src, g); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip one payload byte on disk — a poisoned or torn artifact.
+	p := filepath.Join(dir, "tagged", src.String()+".tyrg")
+	data, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xFF
+	if err := os.WriteFile(p, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, ok := s.Get("tagged", src); ok {
+		t.Fatal("corrupt artifact served as a hit")
+	}
+	if obs.rejects.Load() != 1 {
+		t.Fatalf("rejects = %d, want 1", obs.rejects.Load())
+	}
+	if _, err := os.Stat(p); !os.IsNotExist(err) {
+		t.Fatalf("corrupt artifact not deleted (stat err: %v)", err)
+	}
+	// The next lookup is a clean miss, not another reject.
+	if _, ok := s.Get("tagged", src); ok {
+		t.Fatal("hit after deletion")
+	}
+	if obs.misses.Load() != 1 {
+		t.Fatalf("misses = %d, want 1", obs.misses.Load())
+	}
+}
+
+func TestWrongSourceHashRejected(t *testing.T) {
+	obs := &countObs{}
+	dir := filepath.Join(t.TempDir(), "cache")
+	s, err := cachedir.Open(dir, obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, src := testGraph(t)
+
+	// A structurally valid artifact renamed over another key: the embedded
+	// source hash disagrees with the address, so it must not be trusted.
+	other := graphio.HashSource("tagged", "some other program", nil)
+	p := filepath.Join(dir, "tagged", other.String()+".tyrg")
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(p, graphio.Encode(g, src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, ok := s.Get("tagged", other); ok {
+		t.Fatal("artifact with mismatched source hash served as a hit")
+	}
+	if obs.rejects.Load() != 1 {
+		t.Fatalf("rejects = %d, want 1", obs.rejects.Load())
+	}
+	if _, err := os.Stat(p); !os.IsNotExist(err) {
+		t.Fatal("mismatched artifact not deleted")
+	}
+}
+
+func TestNilObserver(t *testing.T) {
+	s, err := cachedir.Open(filepath.Join(t.TempDir(), "cache"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, src := testGraph(t)
+	if err := s.Put("tagged", src, g); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("tagged", src); !ok {
+		t.Fatal("miss after Put with nil observer")
+	}
+}

@@ -45,7 +45,7 @@ func main() {
 		progs[k] = p
 	}
 	stats := NewMetrics()
-	c := NewGraphCache(capacity, stats)
+	c := NewGraphCache(capacity, stats, nil)
 
 	// inflight[k] counts goroutines currently inside the build function
 	// for key k; the single-flight contract says it never exceeds 1.

@@ -27,6 +27,16 @@ func goldenMetrics() *Metrics {
 	m.cacheHits.Add(3)
 	m.cacheMisses.Add(2)
 	m.ObserveEviction()
+	m.SetGraphCacheSize(5)
+	m.ObserveDiskHit()
+	m.ObserveDiskHit()
+	m.ObserveDiskMiss()
+	m.ObserveDiskReject()
+	m.ObserveFleetPartial()
+	m.ObserveFleetPartial()
+	m.ObserveFleetPartial()
+	m.ObserveFleetReshed()
+	m.ObserveFleetPeerFailure()
 	m.ObserveDuration("/v1/run", 3*time.Millisecond)
 	m.ObserveDuration("/v1/run", 700*time.Millisecond)
 	m.ObserveDuration("/v1/sweep", 80*time.Millisecond)

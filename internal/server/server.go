@@ -19,12 +19,15 @@ import (
 	"repro/internal/api"
 	"repro/internal/apps"
 	"repro/internal/benchreg"
+	"repro/internal/cache"
 	"repro/internal/cancel"
 	"repro/internal/compile"
+	"repro/internal/fleet"
 	"repro/internal/harness"
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/prog"
+	"repro/internal/server/cachedir"
 )
 
 // Config sizes the service. Zero values select sensible defaults.
@@ -51,6 +54,21 @@ type Config struct {
 	// threshold, sampling, capture depth); zero values select the
 	// internal/obs defaults.
 	Flight obs.Config
+	// DiskCache, when set, spills the compiled-graph LRU to a
+	// content-addressed on-disk artifact store (tyr-graph/v1 files), so
+	// restarts and co-located fleet peers skip recompiles. Nil keeps the
+	// cache memory-only.
+	DiskCache *cachedir.Store
+	// Peers, when non-empty, puts this instance in fleet-coordinator mode:
+	// full-grid /v1/sweep requests are split into cell-range partials and
+	// fanned out to these tyrd instances (host:port), with this instance
+	// executing its own share and absorbing any failed partials.
+	Peers []string
+	// PartialTimeout bounds each remote partial attempt (default 60s).
+	PartialTimeout time.Duration
+	// PeerRetries bounds re-sheds to remaining peers before a failed
+	// partial is forced local (default 1).
+	PeerRetries int
 }
 
 func (c Config) withDefaults() Config {
@@ -84,6 +102,7 @@ type Server struct {
 	graphs *GraphCache
 	stats  *Metrics
 	flight *obs.FlightRecorder
+	fleet  *fleet.Coordinator // nil unless Config.Peers is set
 	log    *slog.Logger
 }
 
@@ -91,13 +110,25 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	stats := NewMetrics()
+	if cfg.DiskCache != nil {
+		// The store is opened before the server exists, so its outcome
+		// counters are attached here.
+		cfg.DiskCache.SetObserver(stats)
+	}
 	return &Server{
 		cfg:    cfg,
 		pool:   NewPool(cfg.Workers, cfg.QueueDepth, stats),
-		graphs: NewGraphCache(cfg.GraphCacheSize, stats),
+		graphs: NewGraphCache(cfg.GraphCacheSize, stats, cfg.DiskCache),
 		stats:  stats,
 		flight: obs.NewFlightRecorder(cfg.Flight),
-		log:    cfg.Logger,
+		fleet: fleet.New(fleet.Config{
+			Peers:          cfg.Peers,
+			PartialTimeout: cfg.PartialTimeout,
+			PeerRetries:    cfg.PeerRetries,
+			Obs:            stats,
+			Logger:         cfg.Logger,
+		}),
+		log: cfg.Logger,
 	}
 }
 
@@ -158,7 +189,11 @@ func (s *Server) observe(next http.Handler) http.Handler {
 		var t *obs.RequestTrace
 		id := ""
 		if observable(r) {
-			t = s.flight.Start(r.Method, r.URL.Path)
+			// An inbound Tyr-Trace-Id (validated: hex, bounded length) is
+			// adopted rather than replaced — a fleet peer serving a sweep
+			// partial records it under the coordinator's trace ID, so one
+			// ID indexes the whole distributed request across instances.
+			t = s.flight.StartWithID(r.Method, r.URL.Path, r.Header.Get("Tyr-Trace-Id"))
 			id = t.ID()
 			r = r.WithContext(obs.NewContext(r.Context(), t))
 		} else {
@@ -455,11 +490,88 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// sweepCell is one cell of the apps-major sweep grid.
+type sweepCell struct {
+	app *apps.App
+	sys string
+}
+
+// sweepGrid materializes the request's kernel x system grid in apps-major
+// order — cell index = appIdx*len(systems)+sysIdx, the coordinate system
+// the fleet coordinator partitions over (every instance derives the same
+// grid from the same request fields, so a cell index means the same cell
+// everywhere).
+func sweepGrid(req *api.SweepRequest, scale apps.Scale) (cells []sweepCell, systems []string) {
+	suite := apps.Suite(scale)
+	sel := suite
+	if len(req.Apps) > 0 {
+		sel = sel[:0:0]
+		for _, name := range req.Apps {
+			sel = append(sel, apps.Find(suite, name))
+		}
+	}
+	systems = req.Systems
+	if len(systems) == 0 {
+		systems = harness.Systems
+	}
+	cells = make([]sweepCell, 0, len(sel)*len(systems))
+	for _, app := range sel {
+		for _, sys := range systems {
+			cells = append(cells, sweepCell{app: app, sys: sys})
+		}
+	}
+	return cells, systems
+}
+
+// runSweepCells executes a slice of grid cells sequentially on the calling
+// goroutine (a pool worker), returning one RunStats per cell in order.
+func (s *Server) runSweepCells(t *obs.RequestTrace, flag *cancel.Flag, req *api.SweepRequest, cc *cache.Config, cells []sweepCell) ([]metrics.RunStats, error) {
+	tracer := t.Tracer()
+	runs := make([]metrics.RunStats, 0, len(cells))
+	for _, cell := range cells {
+		if flag.Stopped() {
+			return nil, cancel.ErrStopped
+		}
+		sc := harness.SysConfig{
+			IssueWidth: req.IssueWidth,
+			Tags:       req.Tags,
+			Cache:      cc,
+			Stop:       flag,
+			Compiler:   s.spanGraphs(t),
+			Tracer:     tracer,
+			TraceID:    t.ID(),
+		}
+		// One capture ring, reset per cell: a retained sweep keeps
+		// the engine trace of its final (or failing) cell rather
+		// than an unreadable splice of every cell's tail.
+		if tracer != nil {
+			tracer.Reset()
+		}
+		run := t.StartSpan("run "+cell.app.Name+"/"+cell.sys, obs.RootSpan)
+		rs, err := harness.Run(cell.app, cell.sys, sc)
+		s.endStage(t, run, "run")
+		if err != nil {
+			return nil, fmt.Errorf("%s/%s: %w", cell.app.Name, cell.sys, err)
+		}
+		t.SetAttr(run, "cycles", rs.Cycles)
+		t.SetAttr(run, "peak_tags", int64(rs.PeakTags))
+		s.stats.ObserveRun(rs.System, rs.Cycles)
+		runs = append(runs, rs)
+	}
+	return runs, nil
+}
+
 // handleSweep runs the kernel x system grid as ONE pool job executing cells
 // sequentially. Fanning the cells out as separate jobs could deadlock the
 // bounded queue (a sweep occupying every worker while its own cells wait in
 // the queue), so a sweep costs exactly one worker and the grid order stays
 // deterministic.
+//
+// With peers configured, a full-grid sweep instead runs through the fleet
+// coordinator — still inside the one pool job: peer partials are I/O waits
+// on goroutines, and all engine work on this instance stays on this
+// worker. Requests carrying an explicit cell range are always executed
+// locally (they ARE the fanned-out partials), so fan-out cannot recurse.
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	t := obs.FromContext(r.Context())
 	adm := t.StartSpan("admission", obs.RootSpan)
@@ -480,17 +592,17 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
-	suite := apps.Suite(scale)
-	sel := suite
-	if len(req.Apps) > 0 {
-		sel = sel[:0:0]
-		for _, name := range req.Apps {
-			sel = append(sel, apps.Find(suite, name))
-		}
+	cells, systems := sweepGrid(&req, scale)
+	start, end := req.CellStart, len(cells)
+	if req.CellCount > 0 {
+		end = req.CellStart + req.CellCount
 	}
-	systems := req.Systems
-	if len(systems) == 0 {
-		systems = harness.Systems
+	if start > len(cells) || end > len(cells) {
+		s.endStage(t, adm, "admission")
+		s.writeError(w, r, http.StatusBadRequest, &api.ValidationError{Fields: []api.FieldError{
+			{Field: "cell_start", Message: fmt.Sprintf("range [%d, %d) exceeds the %d-cell grid", start, end, len(cells))},
+		}})
+		return
 	}
 	// Build the cache config once, up front: a bad spec fails the request
 	// instead of silently degrading every cell to flat memory.
@@ -508,43 +620,23 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	release := cancel.WatchContext(ctx, flag)
 	defer release()
 
+	distributed := s.fleet != nil && req.CellStart == 0 && req.CellCount == 0 && len(cells) > 1
+
 	var runs []metrics.RunStats
 	var runErr error
 	if err := s.submit(t, func() {
-		tracer := t.Tracer()
-		for _, app := range sel {
-			for _, sys := range systems {
-				if flag.Stopped() {
-					runErr = cancel.ErrStopped
-					return
-				}
-				sc := harness.SysConfig{
-					IssueWidth: req.IssueWidth,
-					Tags:       req.Tags,
-					Cache:      cc,
-					Stop:       flag,
-					Compiler:   s.spanGraphs(t),
-					Tracer:     tracer,
-					TraceID:    t.ID(),
-				}
-				// One capture ring, reset per cell: a retained sweep keeps
-				// the engine trace of its final (or failing) cell rather
-				// than an unreadable splice of every cell's tail.
-				if tracer != nil {
-					tracer.Reset()
-				}
-				run := t.StartSpan("run "+app.Name+"/"+sys, obs.RootSpan)
-				rs, err := harness.Run(app, sys, sc)
-				s.endStage(t, run, "run")
-				if err != nil {
-					runErr = fmt.Errorf("%s/%s: %w", app.Name, sys, err)
-					return
-				}
-				t.SetAttr(run, "cycles", rs.Cycles)
-				t.SetAttr(run, "peak_tags", int64(rs.PeakTags))
-				s.stats.ObserveRun(rs.System, rs.Cycles)
-				runs = append(runs, rs)
-			}
+		runRange := func(a, b int) ([]metrics.RunStats, error) {
+			return s.runSweepCells(t, flag, &req, cc, cells[a:b])
+		}
+		if distributed {
+			runs, runErr = s.fleet.Run(ctx, t, len(cells), func(cellStart, cellCount int) api.SweepRequest {
+				partial := req
+				partial.CellStart = cellStart
+				partial.CellCount = cellCount
+				return partial
+			}, runRange)
+		} else {
+			runs, runErr = runRange(start, end)
 		}
 	}); err != nil {
 		s.writeSubmitError(w, r, err)
