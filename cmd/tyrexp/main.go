@@ -6,7 +6,7 @@
 //	tyrexp [-exp fig12] [-scale small] [-width 128] [-tags 64] [-json out.json]
 //	tyrexp trace -app dmv -system tyr [-trace trace.json] [-profile]
 //	tyrexp trace -validate trace.json
-//	tyrexp bench [-scale small] [-out BENCH_pr4.json]
+//	tyrexp bench [-scale small] [-shards 1,2,4,8] [-out BENCH_pr4.json]
 //	tyrexp benchdiff [-tolerance 1.15] old.json new.json
 //	tyrexp locality [-scale small] [-csv dir] [-json out.json] [-assert]
 //	tyrexp flight [-id trace_id] [-validate] dump.json
@@ -26,7 +26,9 @@
 // structurally checks the dump including every embedded Chrome trace.
 // The bench subcommand times every kernel on every system and writes a
 // machine-readable benchmark summary (gmean cycles and wall-clock per
-// system); benchdiff compares two summaries and exits nonzero when any
+// system); -shards additionally sweeps the tagged engines at each listed
+// worker-shard count, recorded as extra sys@sN entries plus a speedup
+// table. benchdiff compares two summaries and exits nonzero when any
 // system's wall-clock regressed past the tolerance (the CI perf gate).
 //
 // Every subcommand also takes -cpuprofile/-memprofile to capture pprof
@@ -40,6 +42,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strconv"
 	"strings"
 	"time"
 
@@ -296,8 +300,16 @@ func runLocality(args []string) {
 	}
 }
 
+// shardedSystems is the slice of harness.Systems the -shards sweep
+// applies to: the two engines that accept core.Config.Shards.
+var shardedSystems = []string{harness.SysUnordered, harness.SysTyr}
+
 // runBench times every kernel on every system and writes the summary
-// (schema: internal/benchreg).
+// (schema: internal/benchreg). With -shards, the tagged engines are
+// additionally swept at each listed worker-shard count and recorded
+// under their own summary names (sys@sN) — benchdiff against a pre-shard
+// baseline still gates the plain entries, since the comparator ignores
+// systems with no baseline.
 func runBench(args []string) {
 	fs := flag.NewFlagSet("tyrexp bench", flag.ExitOnError)
 	scale := cliflags.RegisterScale(fs, "small")
@@ -329,7 +341,46 @@ func runBench(args []string) {
 		}
 	}
 
-	doc := benchreg.Summarize(*scale, harness.Systems, tel.Snapshot())
+	// The shard sweep detaches the cache: an attached memory model forces
+	// the engine serial (see core.Config.Shards), which would make the
+	// sweep a no-op. The plain entries above use a passthrough hierarchy
+	// with zero timing impact, so gmean cycles stay comparable anyway —
+	// and the strict-cycles benchdiff gate checks exactly that.
+	var shardRuns []metrics.RunStats
+	var shardNames []string
+	if len(machine.Shards) > 0 {
+		fmt.Println()
+		for _, app := range suite {
+			for _, sys := range shardedSystems {
+				for _, n := range machine.Shards {
+					rs, err := harness.Run(app, sys, harness.SysConfig{
+						IssueWidth: machine.Width, Tags: machine.Tags, Shards: n,
+					})
+					if err != nil {
+						fatalf("%s/%s shards=%d: %v", app.Name, sys, n, err)
+					}
+					rs.System = fmt.Sprintf("%s@s%d", sys, n)
+					rs.Trace = nil // dropped like harness.Telemetry.Record does, to keep the file compact
+					shardRuns = append(shardRuns, rs)
+					fmt.Printf("%-8s %-14s %10s cycles  %8.2fms\n", app.Name, rs.System,
+						metrics.FormatCount(rs.Cycles), float64(rs.WallNS)/1e6)
+				}
+			}
+		}
+		for _, sys := range shardedSystems {
+			for _, n := range machine.Shards {
+				shardNames = append(shardNames, fmt.Sprintf("%s@s%d", sys, n))
+			}
+		}
+	}
+
+	doc := benchreg.Summarize(*scale, append(append([]string(nil), harness.Systems...), shardNames...),
+		append(tel.Snapshot(), shardRuns...))
+	doc.Note = fmt.Sprintf("GOMAXPROCS=%d NumCPU=%d", runtime.GOMAXPROCS(0), runtime.NumCPU())
+	if len(machine.Shards) > 0 {
+		doc.Note += fmt.Sprintf("; shard sweep -shards %s on the tagged engines (sys@sN entries, cache detached)",
+			machine.Shards.String())
+	}
 	f, err := os.Create(*out)
 	if err != nil {
 		fatalf("%v", err)
@@ -353,6 +404,28 @@ func runBench(args []string) {
 			fmt.Sprintf("%.1f", s.MeanAMAT))
 	}
 	fmt.Print(tb.String())
+
+	if len(machine.Shards) > 0 {
+		wall := make(map[string]int64, len(doc.Systems))
+		for _, s := range doc.Systems {
+			wall[s.System] = s.WallNS
+		}
+		fmt.Println()
+		st := &metrics.Table{Headers: []string{"system", "shards", "wall-clock", "speedup vs @s1"}}
+		for _, sys := range shardedSystems {
+			base := wall[sys+"@s1"]
+			for _, n := range machine.Shards {
+				w := wall[fmt.Sprintf("%s@s%d", sys, n)]
+				speedup := "n/a"
+				if base > 0 && w > 0 {
+					speedup = fmt.Sprintf("%.2fx", float64(base)/float64(w))
+				}
+				st.Add(sys, strconv.Itoa(n), fmt.Sprintf("%.1fms", float64(w)/1e6), speedup)
+			}
+		}
+		fmt.Print(st.String())
+		fmt.Printf("(%s)\n", doc.Note)
+	}
 	fmt.Printf("wrote benchmark summary to %s\n", *out)
 }
 

@@ -118,6 +118,11 @@ type Request struct {
 	TracePoints int            `json:"trace_points,omitempty"`
 	SkipCheck   bool           `json:"skip_check,omitempty"`
 	Sanitize    bool           `json:"sanitize,omitempty"`
+	// Shards splits the tagged engines (tyr/unordered) across worker
+	// goroutines; results are bit-identical to the sequential run. Other
+	// systems, and runs with a tracer, sanitizer, or cache attached, are
+	// serial regardless. 0 or 1 = sequential.
+	Shards int `json:"shards,omitempty"`
 	// MaxCycles overrides the engine's runaway budget.
 	MaxCycles int64 `json:"max_cycles,omitempty"`
 	// TimeoutMS bounds the run's wall clock; the service cancels the
@@ -218,6 +223,7 @@ func (r *Request) Validate() error {
 		"global_tags":  int64(r.GlobalTags),
 		"queue_cap":    int64(r.QueueCap),
 		"load_latency": int64(r.LoadLatency),
+		"shards":       int64(r.Shards),
 		"max_cycles":   r.MaxCycles,
 		"timeout_ms":   r.TimeoutMS,
 	})
@@ -249,6 +255,7 @@ func (r *Request) SysConfig() (harness.SysConfig, error) {
 		TracePoints: r.TracePoints,
 		SkipCheck:   r.SkipCheck,
 		Sanitize:    r.Sanitize,
+		Shards:      r.Shards,
 		MaxCycles:   r.MaxCycles,
 	}, nil
 }

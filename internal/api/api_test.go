@@ -36,6 +36,7 @@ func TestRequestRoundTrip(t *testing.T) {
 		Cache:       &CacheSpec{L1: "sets=16,ways=2,line=4,lat=1", MSHRs: 4, Passthrough: true},
 		TracePoints: -1,
 		Sanitize:    true,
+		Shards:      4,
 		MaxCycles:   1 << 20,
 		TimeoutMS:   5000,
 	}
@@ -89,6 +90,7 @@ func TestValidateCollectsAllFieldErrors(t *testing.T) {
 		Scale:      "huge",
 		App:        "dmv",
 		IssueWidth: -1,
+		Shards:     -2,
 		TimeoutMS:  -5,
 		Cache:      &CacheSpec{L1: "sets=banana"},
 	}
@@ -97,7 +99,7 @@ func TestValidateCollectsAllFieldErrors(t *testing.T) {
 	if !errors.As(err, &ve) {
 		t.Fatalf("err = %v, want *ValidationError", err)
 	}
-	want := []string{"version", "system", "scale", "issue_width", "timeout_ms", "cache"}
+	want := []string{"version", "system", "scale", "issue_width", "shards", "timeout_ms", "cache"}
 	got := map[string]bool{}
 	for _, f := range ve.Fields {
 		got[f.Field] = true
@@ -137,6 +139,7 @@ func TestSysConfigConversion(t *testing.T) {
 		App: "dmv", System: "tyr",
 		IssueWidth: 32, Tags: 4, GlobalTags: 8, QueueCap: 2,
 		LoadLatency: 7, TracePoints: 128, SkipCheck: true, Sanitize: true,
+		Shards:    4,
 		MaxCycles: 999,
 		Cache:     &CacheSpec{MemLatency: 50, MSHRs: 2},
 	}
@@ -147,7 +150,7 @@ func TestSysConfigConversion(t *testing.T) {
 	want := harness.SysConfig{
 		IssueWidth: 32, Tags: 4, GlobalTags: 8, QueueCap: 2,
 		LoadLatency: 7, TracePoints: 128, SkipCheck: true, Sanitize: true,
-		MaxCycles: 999, Cache: sc.Cache,
+		Shards: 4, MaxCycles: 999, Cache: sc.Cache,
 	}
 	if sc.Cache == nil || sc.Cache.MemLatency != 50 || sc.Cache.MSHRs != 2 {
 		t.Errorf("cache spec not applied: %+v", sc.Cache)

@@ -22,8 +22,12 @@ const Schema = "tyr-bench/v1"
 
 // Doc is one benchmark summary file.
 type Doc struct {
-	Schema  string   `json:"schema"`
-	Scale   string   `json:"scale"`
+	Schema string `json:"schema"`
+	Scale  string `json:"scale"`
+	// Note records host conditions the numbers depend on — GOMAXPROCS and
+	// the shard sweep, chiefly — so a wall-clock comparison across files
+	// can be judged. It never enters the comparison itself.
+	Note    string   `json:"note,omitempty"`
 	Systems []System `json:"systems"`
 	// Runs carries the full per-run telemetry behind the summary.
 	Runs []metrics.RunStats `json:"runs,omitempty"`

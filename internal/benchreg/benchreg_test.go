@@ -97,6 +97,7 @@ func TestCompareScaleMismatch(t *testing.T) {
 
 func TestLoadRoundTrip(t *testing.T) {
 	d := doc("small", sys("a", 100e6, 500))
+	d.Note = "GOMAXPROCS=8; shard sweep -shards 1,2,4,8"
 	data, err := json.MarshalIndent(d, "", "  ")
 	if err != nil {
 		t.Fatal(err)
@@ -109,7 +110,7 @@ func TestLoadRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got.Systems[0] != d.Systems[0] || got.Scale != d.Scale {
+	if got.Systems[0] != d.Systems[0] || got.Scale != d.Scale || got.Note != d.Note {
 		t.Fatalf("round trip mismatch: %+v", got)
 	}
 }

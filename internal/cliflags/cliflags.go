@@ -12,6 +12,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
+	"strings"
 
 	"repro/internal/api"
 )
@@ -62,16 +64,61 @@ func DeprecatedAlias(fs *flag.FlagSet, old, canonical string) {
 		old, fmt.Sprintf("deprecated alias for -%s", canonical))
 }
 
-// Machine groups the system-selection flags: -width and -tags, plus
-// -system (with the deprecated -sys alias) when defSystem is non-empty.
+// ShardList is the -shards value: one or more worker-shard counts. Tools
+// that run a single simulation (tyrsim, tyrc) take one count via
+// ShardCount; tyrexp bench sweeps the whole list. The zero value means
+// "unset" — one shard, sequential execution.
+type ShardList []int
+
+func (s *ShardList) String() string {
+	parts := make([]string, len(*s))
+	for i, n := range *s {
+		parts[i] = strconv.Itoa(n)
+	}
+	return strings.Join(parts, ",")
+}
+
+// Set parses a comma-separated list of positive shard counts.
+func (s *ShardList) Set(v string) error {
+	var out []int
+	for _, f := range strings.Split(v, ",") {
+		f = strings.TrimSpace(f)
+		n, err := strconv.Atoi(f)
+		if err != nil || n < 1 {
+			return fmt.Errorf("shard count %q: want a positive integer", f)
+		}
+		out = append(out, n)
+	}
+	*s = out
+	return nil
+}
+
+// Machine groups the system-selection flags: -width, -tags, and -shards,
+// plus -system (with the deprecated -sys alias) when defSystem is
+// non-empty.
 type Machine struct {
 	System string
 	Width  int
 	Tags   int
+	Shards ShardList
+}
+
+// ShardCount resolves -shards for tools that run one simulation: the
+// single listed count, 1 when the flag was not used, and an error when a
+// sweep list was given.
+func (m *Machine) ShardCount() (int, error) {
+	switch len(m.Shards) {
+	case 0:
+		return 1, nil
+	case 1:
+		return m.Shards[0], nil
+	}
+	return 0, fmt.Errorf("-shards takes a single count here (got %s); lists are for tyrexp bench sweeps", m.Shards.String())
 }
 
 // RegisterMachine registers the machine group on fs. Tools that sweep all
-// systems (tyrexp experiments) pass defSystem "" to get only -width/-tags.
+// systems (tyrexp experiments) pass defSystem "" to get only
+// -width/-tags/-shards.
 func RegisterMachine(fs *flag.FlagSet, defSystem string) *Machine {
 	m := &Machine{}
 	if defSystem != "" {
@@ -80,6 +127,7 @@ func RegisterMachine(fs *flag.FlagSet, defSystem string) *Machine {
 	}
 	fs.IntVar(&m.Width, "width", 128, "issue width")
 	fs.IntVar(&m.Tags, "tags", 64, "TYR tags per local tag space")
+	fs.Var(&m.Shards, "shards", "worker shards for the tagged engines, bit-identical to sequential (default 1; tyrexp bench takes a comma list to sweep)")
 	return m
 }
 

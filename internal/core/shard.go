@@ -1,0 +1,877 @@
+package core
+
+// Sharded execution: the machine's cycle loop split across worker
+// goroutines that own disjoint subsets of the graph's concurrent blocks.
+//
+// The design target is bit-identity with the sequential loop in run(),
+// achieved by splitting each cycle into two data-parallel phases around a
+// serial scheduling walk (DESIGN.md §11):
+//
+//   - Deliver phase (parallel): each worker drains its inbound SPSC
+//     mailboxes in global key order — every producer pushes with ascending
+//     keys, so a linear merge across rings reconstructs the sequential
+//     outbox order exactly — then its calendar queue, whose keys carry the
+//     delayed bit and therefore sort after all mailbox traffic, matching
+//     the sequential outbox-then-delayed drain. Stores, tag maps, and
+//     store-occupancy peaks are owner-exclusive.
+//
+//   - Barrier A (coordinator): deliver-phase deltas fold into the machine
+//     totals, completion lists merge by key into the exact sequential
+//     ready order, and allocate-completion emissions are re-keyed in
+//     merged order so next cycle delivers them before any fire-phase
+//     emission — the position the sequential outbox gives them.
+//
+//   - Scheduling walk (coordinator, workers parked): the sequential fire
+//     loop skeleton over ready[readyHead:] under the issue budget.
+//     Order-sensitive ops — allocate/free (tag pools are LIFO and tag
+//     values leak into data through extractTag) and load/store (the
+//     memory image mutates) — fire inline through the unmodified fire()
+//     in engine.go, with emissions rerouted by the m.sh redirect. Pure
+//     compute ops are dispatched to their owner with a reserved
+//     emission-key range, so the keys of everything emitted this cycle
+//     are totally ordered by walk position.
+//
+//   - Fire phase (parallel): workers execute their dispatched firings in
+//     walk order, pushing keyed tokens into per-consumer mailboxes.
+//
+//   - Barrier B (coordinator): fire-phase deltas fold, the sequentially
+//     first error (by walk position) is selected if any, and the cycle
+//     closes exactly as in run(): ipcHist, sumLive, peakLive, trace.
+//
+// The one reported value that is not reconstructed exactly is
+// Spaces[].PeakLiveTokens (per-block live peaks), which the sequential
+// machine samples at every emission; under sharding it is tracked at
+// phase granularity instead. It is deterministic for a fixed shard count
+// and excluded from the digest surfaces.
+
+import (
+	"fmt"
+
+	"repro/internal/cancel"
+	"repro/internal/cq"
+	"repro/internal/dfg"
+	"repro/internal/shard"
+)
+
+const (
+	// maxShards caps the worker count; graphs rarely have more concurrent
+	// blocks than this, and the all-pairs mailbox mesh is quadratic.
+	maxShards = 64
+
+	// shardRingCap sizes each SPSC mailbox ring; overflow spills to a
+	// slice the consumer reads after the phase barrier, so capacity is a
+	// throughput knob, not a correctness bound.
+	shardRingCap = 512
+
+	// delayedBit marks keys of tokens surfacing from the calendar queues.
+	// The sequential loop drains the outbox before the delayed queue, so
+	// delayed deliveries must sort after every mailbox key of the cycle.
+	delayedBit = uint64(1) << 63
+)
+
+// Worker phase ids carried through the barrier gates.
+const (
+	phaseDeliver uint32 = iota
+	phaseFire
+	phaseExit
+)
+
+// stoken is a keyed in-flight token: key is its global delivery position
+// within the cycle.
+type stoken struct {
+	key uint64
+	t   token
+}
+
+// completion is one instance that became ready during a deliver phase,
+// keyed by the delivering token for the barrier merge.
+type completion struct {
+	key uint64
+	ref fireRef
+}
+
+// allocEmit is a deliver-phase allocate-completion emission awaiting a
+// coordinator key: ord is the delivering token's key and sub its fan-out
+// index, so the barrier merge reproduces the sequential append order.
+type allocEmit struct {
+	ord uint64
+	sub uint32
+	t   token
+}
+
+// sfire is one dispatched firing: a compute-op instance the owner shard
+// executes in the fire phase. base is the first of its reserved emission
+// keys; pos is the scheduling-walk position, used to pick the
+// sequentially-first error and the last Result-node write of a cycle.
+type sfire struct {
+	ref  fireRef
+	base uint64
+	pos  uint64
+}
+
+// sharder is the coordinator state for one sharded run.
+type sharder struct {
+	m   *machine
+	n   int
+	bar *shard.Barrier
+
+	owner   []int32  // node id -> owning worker
+	maxEmit []uint64 // node id -> upper bound on emissions per firing
+
+	workers []shardWorker
+
+	// rings[p][c] carries tokens from producer p to consumer worker c;
+	// producers are the n workers plus the coordinator at index n. Every
+	// producer pushes in ascending key order.
+	rings [][]*shard.Ring[stoken]
+
+	// nextKey is the next emission key of the current cycle; delayedSeq
+	// globally orders calendar-queue pushes and is never reset.
+	nextKey    uint64
+	delayedSeq uint64
+
+	// walkErr is an error from an inline firing, at walk position
+	// walkPos; barrier B weighs it against the workers' errors.
+	walkErr error
+	walkPos uint64
+}
+
+// shardWorker owns one partition's blocks: their token stores and tag
+// maps (indexed into the shared machine, touched only by phase), its own
+// calendar queue, and per-phase delta accumulators the coordinator folds
+// at the barriers.
+type shardWorker struct {
+	id int
+	m  *machine
+	sh *sharder
+
+	in   []*shard.Ring[stoken] // one per producer (n workers + coordinator)
+	outs []*shard.Ring[stoken] // one per consumer worker
+
+	delayed    cq.Queue[stoken]
+	delayedLen int // pending after this phase's Take, read at barrier A
+
+	fireQ []sfire
+
+	completions []completion
+	compHead    int
+	allocEmits  []allocEmit
+	aeHead      int
+
+	// Per-phase deltas, folded and zeroed by the coordinator.
+	live        int64
+	liveByBlock []int64
+	frame       int64
+	cross       int64
+	fired       int64
+
+	fireVals []int64
+
+	hasResult bool
+	resultVal int64
+	resultPos uint64
+
+	// err is the worker's first error of the phase; errOrd is the token
+	// key (deliver) or walk position (fire) it occurred at, so the
+	// coordinator returns the sequentially-first error.
+	err    error
+	errOrd uint64
+}
+
+// runSharded executes the machine across n shard workers, n > 1. The
+// coordinator goroutine (this one) runs the scheduling walk and all
+// order-sensitive state; workers run delivery and compute firings.
+func (m *machine) runSharded(n int) (Result, error) {
+	sh := newSharder(m, n)
+	m.sh = sh
+	sh.start()
+	return sh.run()
+}
+
+func newSharder(m *machine, n int) *sharder {
+	g := m.g
+	sh := &sharder{m: m, n: n, bar: shard.NewBarrier(n)}
+	var blockOwner []int
+	if len(m.cfg.ShardWeights) >= len(g.Blocks) {
+		blockOwner = shard.PartitionWeighted(m.cfg.ShardWeights[:len(g.Blocks)], n)
+	} else {
+		blockOwner = shard.Partition(len(g.Blocks), n)
+	}
+	sh.owner = make([]int32, len(g.Nodes))
+	sh.maxEmit = make([]uint64, len(g.Nodes))
+	for i := range g.Nodes {
+		nd := &g.Nodes[i]
+		sh.owner[i] = int32(blockOwner[nd.Block])
+		me := uint64(1) // changeTagDyn's dynamic destination
+		for _, outs := range nd.Outs {
+			me += uint64(len(outs))
+		}
+		sh.maxEmit[i] = me
+	}
+	sh.rings = make([][]*shard.Ring[stoken], n+1)
+	for p := range sh.rings {
+		sh.rings[p] = make([]*shard.Ring[stoken], n)
+		for c := range sh.rings[p] {
+			sh.rings[p][c] = shard.NewRing[stoken](shardRingCap)
+		}
+	}
+	sh.workers = make([]shardWorker, n)
+	for i := range sh.workers {
+		w := &sh.workers[i]
+		w.id = i
+		w.m = m
+		w.sh = sh
+		w.liveByBlock = make([]int64, len(g.Blocks))
+		w.fireVals = make([]int64, len(m.fireVals))
+		w.in = make([]*shard.Ring[stoken], n+1)
+		for p := 0; p <= n; p++ {
+			w.in[p] = sh.rings[p][i]
+		}
+		w.outs = sh.rings[i]
+	}
+	return sh
+}
+
+// start launches the worker goroutines; they park on their barrier gates
+// until the coordinator releases the first phase.
+func (sh *sharder) start() {
+	for i := range sh.workers {
+		go sh.workers[i].loop()
+	}
+}
+
+// shutdown retires the workers; after it returns no worker touches the
+// machine again.
+func (sh *sharder) shutdown() {
+	sh.bar.Release(phaseExit)
+	sh.bar.Wait()
+}
+
+// run is the coordinator's cycle loop — the sharded twin of machine.run,
+// with the same statement order wherever state it shares with the
+// sequential loop is touched.
+//
+//tyr:cycleloop
+//tyr:hotpath
+func (sh *sharder) run() (Result, error) {
+	m := sh.m
+	rootTag, err := m.allocRoot()
+	if err != nil {
+		sh.shutdown()
+		return Result{}, err
+	}
+	for _, inj := range m.g.Entries {
+		m.emit(dfg.InvalidNode, inj.To, rootTag, inj.Val)
+	}
+
+	for {
+		if m.cfg.Stop.Stopped() {
+			sh.shutdown()
+			return Result{}, fmt.Errorf("core: run stopped at cycle %d: %w", m.cycle, cancel.ErrStopped)
+		}
+		// Deliver phase: every shard drains its mailboxes, then its
+		// calendar queue, in global key order.
+		sh.bar.Release(phaseDeliver)
+		sh.bar.Wait()
+
+		// Barrier A: fold deliver deltas, surface the first deliver
+		// error, and merge completions into the sequential ready order
+		// (after any wakes the previous walk appended to nextReady).
+		if err := sh.foldDeliver(); err != nil {
+			sh.shutdown()
+			return Result{}, err
+		}
+		if m.cfg.Stop.Stopped() {
+			// A stop that landed mid-phase may have truncated delivery;
+			// never let that masquerade as quiescence.
+			sh.shutdown()
+			return Result{}, fmt.Errorf("core: run stopped at cycle %d: %w", m.cycle, cancel.ErrStopped)
+		}
+		if m.readyHead == len(m.ready) {
+			m.ready = m.ready[:0]
+			m.readyHead = 0
+		}
+		m.ready = append(m.ready, m.nextReady...)
+		m.nextReady = m.nextReady[:0]
+
+		// Re-key this phase's allocate-completion emissions first: the
+		// sequential loop appends them to the outbox during delivery, so
+		// next cycle must see them before any fire-phase emission.
+		sh.nextKey = 0
+		sh.routeAllocEmits()
+
+		if m.readyHead == len(m.ready) {
+			if sh.delayedOutstanding() > 0 {
+				// Stalled on memory: burn an idle cycle.
+				m.cycle++
+				m.ipcHist[0]++
+				m.sumLive += m.live
+				sh.notePeakByBlock()
+				m.samplePoint()
+				continue
+			}
+			break
+		}
+		if m.cycle >= m.cfg.MaxCycles {
+			sh.shutdown()
+			return Result{}, fmt.Errorf("core: exceeded MaxCycles=%d (runaway program?)", m.cfg.MaxCycles)
+		}
+
+		firedThisCycle := sh.walk()
+
+		// Fire phase: owners execute the dispatched compute firings.
+		sh.bar.Release(phaseFire)
+		sh.bar.Wait()
+
+		// Barrier B: fold fire deltas and pick the sequentially-first
+		// error across the walk and all workers.
+		if err := sh.foldFire(); err != nil {
+			sh.shutdown()
+			return Result{}, err
+		}
+
+		m.cycle++
+		m.ipcHist[firedThisCycle]++
+		m.sumLive += m.live
+		if m.live > m.peakLive {
+			m.peakLive = m.live
+		}
+		sh.notePeakByBlock()
+		m.samplePoint()
+	}
+
+	sh.shutdown()
+	return m.finish()
+}
+
+// route queues one coordinator emission (entry injection or inline-fire
+// output) for next cycle's delivery, keyed in walk order. Called from the
+// m.sh redirect in machine.emit, which does the live accounting.
+//
+//tyr:hotpath
+func (sh *sharder) route(src dfg.NodeID, to dfg.Port, tag uint64, val int64) {
+	sh.rings[sh.n][sh.owner[to.Node]].Push(stoken{key: sh.nextKey, t: token{to: to, src: src, tag: tag, val: val}})
+	sh.nextKey++
+}
+
+// routeDelayed queues a delayed emission (the multi-cycle memory path)
+// into the destination owners' calendar queues, in walk order. Only
+// inline load/store firings reach this, so the coordinator is the sole
+// calendar-queue producer. Mirrors emitAllDelayed's accounting.
+//
+//tyr:hotpath
+func (sh *sharder) routeDelayed(n *dfg.Node, out int, tag uint64, val int64, due int64) {
+	m := sh.m
+	for _, d := range n.Outs[out] {
+		w := &sh.workers[sh.owner[d.Node]]
+		w.delayed.Push(due, stoken{key: delayedBit | sh.delayedSeq, t: token{to: d, src: n.ID, tag: tag, val: val}})
+		sh.delayedSeq++
+		m.live++
+		blk := m.g.Nodes[d.Node].Block
+		m.liveByBlock[blk]++
+		if m.liveByBlock[blk] > m.peakByBlock[blk] {
+			m.peakByBlock[blk] = m.liveByBlock[blk]
+		}
+	}
+}
+
+// foldDeliver folds every worker's deliver-phase deltas into the machine
+// totals, returns the first deliver error in global token order, and
+// merges the completion lists.
+//
+//tyr:hotpath
+func (sh *sharder) foldDeliver() error {
+	m := sh.m
+	var firstErr error
+	var firstOrd uint64
+	for i := range sh.workers {
+		w := &sh.workers[i]
+		m.live += w.live
+		w.live = 0
+		for b, d := range w.liveByBlock {
+			if d != 0 {
+				m.liveByBlock[b] += d
+				w.liveByBlock[b] = 0
+			}
+		}
+		m.frameTokens += w.frame
+		w.frame = 0
+		m.crossTokens += w.cross
+		w.cross = 0
+		if w.err != nil {
+			if firstErr == nil || w.errOrd < firstOrd {
+				firstErr, firstOrd = w.err, w.errOrd
+			}
+			w.err = nil
+		}
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+	sh.mergeCompletions()
+	return nil
+}
+
+// mergeCompletions appends every worker's completions to nextReady in
+// ascending key order — the exact order the sequential deliver loop
+// appends them. Keys are unique (one per delivered token), so a linear
+// min-scan merge is deterministic.
+//
+//tyr:hotpath
+func (sh *sharder) mergeCompletions() {
+	m := sh.m
+	for {
+		best := -1
+		var bestKey uint64
+		for i := range sh.workers {
+			w := &sh.workers[i]
+			if w.compHead == len(w.completions) {
+				continue
+			}
+			if k := w.completions[w.compHead].key; best < 0 || k < bestKey {
+				best, bestKey = i, k
+			}
+		}
+		if best < 0 {
+			break
+		}
+		w := &sh.workers[best]
+		m.nextReady = append(m.nextReady, w.completions[w.compHead].ref)
+		w.compHead++
+	}
+	for i := range sh.workers {
+		w := &sh.workers[i]
+		w.completions = w.completions[:0]
+		w.compHead = 0
+	}
+}
+
+// routeAllocEmits re-keys the deliver phase's allocate-completion
+// emissions in merged (ord, sub) order and queues them for next cycle.
+// The emitting workers already did the live accounting at deliver time,
+// exactly where the sequential machine accounts them.
+//
+//tyr:hotpath
+func (sh *sharder) routeAllocEmits() {
+	for {
+		best := -1
+		var bo uint64
+		var bs uint32
+		for i := range sh.workers {
+			w := &sh.workers[i]
+			if w.aeHead == len(w.allocEmits) {
+				continue
+			}
+			e := &w.allocEmits[w.aeHead]
+			if best < 0 || e.ord < bo || (e.ord == bo && e.sub < bs) {
+				best, bo, bs = i, e.ord, e.sub
+			}
+		}
+		if best < 0 {
+			break
+		}
+		w := &sh.workers[best]
+		t := w.allocEmits[w.aeHead].t
+		sh.rings[sh.n][sh.owner[t.to.Node]].Push(stoken{key: sh.nextKey, t: t})
+		sh.nextKey++
+		w.aeHead++
+	}
+	for i := range sh.workers {
+		w := &sh.workers[i]
+		w.allocEmits = w.allocEmits[:0]
+		w.aeHead = 0
+	}
+}
+
+// delayedOutstanding sums the workers' calendar-queue backlogs as of the
+// deliver phase — the sharded twin of the sequential loop's
+// delayed.Len() check when ready is empty.
+//
+//tyr:hotpath
+func (sh *sharder) delayedOutstanding() int {
+	total := 0
+	for i := range sh.workers {
+		total += sh.workers[i].delayedLen
+	}
+	return total
+}
+
+// notePeakByBlock tracks per-block live peaks at phase granularity — the
+// one accounting the parallel phases cannot reproduce at emission
+// granularity. Deterministic for a fixed shard count; excluded from the
+// digest surfaces (see Result.Spaces).
+//
+//tyr:hotpath
+func (sh *sharder) notePeakByBlock() {
+	m := sh.m
+	for b, v := range m.liveByBlock {
+		if v > m.peakByBlock[b] {
+			m.peakByBlock[b] = v
+		}
+	}
+}
+
+// walk runs the sequential fire loop skeleton over the ready deque:
+// order-sensitive ops fire inline through the unmodified machine.fire,
+// compute ops are dispatched to their owner with a reserved emission-key
+// range. Budget and fired-per-cycle counts are therefore exact. An inline
+// error stops the walk; already-dispatched firings still execute (the
+// sequential loop executed everything before the erroring position too),
+// and barrier B returns whichever error is sequentially first.
+//
+//tyr:hotpath
+func (sh *sharder) walk() int {
+	m := sh.m
+	sh.walkErr = nil
+	budget := m.cfg.IssueWidth
+	firedThisCycle := 0
+	idx := m.readyHead
+	pos := uint64(0)
+	for budget > 0 && idx < len(m.ready) {
+		ref := m.ready[idx]
+		idx++
+		n := &m.g.Nodes[ref.node]
+		switch n.Op {
+		case dfg.OpAllocate, dfg.OpFree, dfg.OpLoad, dfg.OpStore:
+			// Tag-pool and memory ops: serial semantics, inline. The
+			// workers are parked, so touching their stores (allocate
+			// wakes) is race-free.
+			slot, err := m.fire(ref)
+			if err != nil {
+				sh.walkErr, sh.walkPos = err, pos
+			}
+			if slot {
+				budget--
+				firedThisCycle++
+			}
+		default:
+			w := &sh.workers[sh.owner[ref.node]]
+			w.fireQ = append(w.fireQ, sfire{ref: ref, base: sh.nextKey, pos: pos})
+			sh.nextKey += sh.maxEmit[ref.node]
+			budget--
+			firedThisCycle++
+		}
+		pos++
+		if sh.walkErr != nil {
+			break
+		}
+	}
+	m.readyHead = idx
+	if m.readyHead > 64 && m.readyHead*2 >= len(m.ready) {
+		kept := copy(m.ready, m.ready[m.readyHead:])
+		m.ready = m.ready[:kept]
+		m.readyHead = 0
+	}
+	return firedThisCycle
+}
+
+// foldFire folds every worker's fire-phase deltas, resolves the Result
+// node's last write of the cycle, and returns the sequentially-first
+// error across the inline walk and all workers.
+//
+//tyr:hotpath
+func (sh *sharder) foldFire() error {
+	m := sh.m
+	firstErr := sh.walkErr
+	firstOrd := sh.walkPos
+	haveRes := false
+	var resPos uint64
+	var resVal int64
+	for i := range sh.workers {
+		w := &sh.workers[i]
+		m.live += w.live
+		w.live = 0
+		for b, d := range w.liveByBlock {
+			if d != 0 {
+				m.liveByBlock[b] += d
+				w.liveByBlock[b] = 0
+			}
+		}
+		m.frameTokens += w.frame
+		w.frame = 0
+		m.crossTokens += w.cross
+		w.cross = 0
+		m.fired += w.fired
+		w.fired = 0
+		if w.hasResult {
+			if !haveRes || w.resultPos > resPos {
+				haveRes, resPos, resVal = true, w.resultPos, w.resultVal
+			}
+			w.hasResult = false
+		}
+		if w.err != nil {
+			if firstErr == nil || w.errOrd < firstOrd {
+				firstErr, firstOrd = w.err, w.errOrd
+			}
+			w.err = nil
+		}
+	}
+	if haveRes {
+		m.resultVal = resVal
+	}
+	return firstErr
+}
+
+// loop is one shard worker's gated cycle loop: park on the phase gate,
+// run the phase, arrive at the barrier. The coordinator makes every
+// scheduling decision between phases; the worker polls the run's cancel
+// flag each phase so a stopped run parks within a cycle (the coordinator
+// turns the stop into cancel.ErrStopped at its next check).
+//
+//tyr:cycleloop
+func (w *shardWorker) loop() {
+	for {
+		phase := w.sh.bar.Gate(w.id)
+		if phase == phaseExit {
+			w.sh.bar.Arrive()
+			return
+		}
+		if !w.m.cfg.Stop.Stopped() {
+			if phase == phaseDeliver {
+				w.deliverPhase()
+			} else {
+				w.firePhase()
+			}
+		}
+		w.sh.bar.Arrive()
+	}
+}
+
+// deliverPhase drains the worker's inbound mailboxes in global key order
+// (each ring is ascending by construction, so a linear min-scan merge
+// suffices), then its calendar queue — whose keys carry the delayed bit
+// and thus sort after all mailbox traffic, exactly like the sequential
+// outbox-then-delayed drain.
+//
+//tyr:hotpath
+func (w *shardWorker) deliverPhase() {
+	for {
+		best := -1
+		var bestKey uint64
+		for p := range w.in {
+			if s, ok := w.in[p].Peek(); ok {
+				if best < 0 || s.key < bestKey {
+					best, bestKey = p, s.key
+				}
+			}
+		}
+		if best < 0 {
+			break
+		}
+		s, _ := w.in[best].Pop()
+		if w.err == nil {
+			if err := w.deliver(s.t, s.key); err != nil {
+				w.err, w.errOrd = err, s.key
+			}
+		}
+	}
+	for p := range w.in {
+		w.in[p].Reset()
+	}
+	if w.delayed.Len() > 0 {
+		for _, s := range w.delayed.Take(w.m.cycle) {
+			if w.err == nil {
+				if err := w.deliver(s.t, s.key); err != nil {
+					w.err, w.errOrd = err, s.key
+				}
+			}
+		}
+	}
+	w.delayedLen = w.delayed.Len()
+}
+
+// deliver is the worker-side twin of machine.deliver: same store
+// protocol, same error text, with completions collected under the
+// delivering token's key and live accounting in worker-local deltas. The
+// sanitizer and per-tag accounting branches are absent — both force
+// serial execution.
+//
+//tyr:hotpath
+func (w *shardWorker) deliver(t token, key uint64) error {
+	m := w.m
+	nid := t.to.Node
+	n := &m.g.Nodes[nid]
+	ws := &m.stores[nid]
+	slot := ws.lookup(t.tag)
+	if slot < 0 {
+		slot = ws.insert(t.tag)
+		if occ := int32(ws.len()); occ > m.storePeak[nid] {
+			m.storePeak[nid] = occ
+		}
+	}
+	if ws.has(slot, t.to.In) {
+		return fmt.Errorf("core: token collision at %s %q port %d tag %#x (free barrier violated?)",
+			n.Op, n.Label, t.to.In, t.tag)
+	}
+	if n.ConstIn[t.to.In].Valid {
+		return fmt.Errorf("core: token delivered to const-bound port %d of %q", t.to.In, n.Label)
+	}
+	ws.set(slot, t.to.In)
+	ws.valSlice(slot)[t.to.In] = t.val
+	ws.need[slot]--
+
+	if n.Op == dfg.OpAllocate {
+		w.deliverAllocate(nid, t.tag, slot, key)
+		return nil
+	}
+	if ws.need[slot] == 0 && !ws.queued(slot) {
+		ws.setFlag(slot, wsQueued)
+		w.completions = append(w.completions, completion{key: key, ref: fireRef{node: nid, tag: t.tag}})
+	}
+	return nil
+}
+
+// deliverAllocate is the worker-side twin of machine.deliverAllocate.
+// The popped path's control emission cannot be keyed locally — its
+// position in next cycle's delivery order is global — so it is collected
+// for the coordinator to re-key at barrier A; its live accounting happens
+// here, where the sequential machine accounts it.
+//
+//tyr:hotpath
+func (w *shardWorker) deliverAllocate(nid dfg.NodeID, tag uint64, slot int32, key uint64) {
+	m := w.m
+	n := &m.g.Nodes[nid]
+	ws := &m.stores[nid]
+	if ws.popped(slot) {
+		if ws.has(slot, allocReadyPort) {
+			for i, d := range n.Outs[dfg.AllocCtrlOut] {
+				w.allocEmits = append(w.allocEmits, allocEmit{ord: key, sub: uint32(i),
+					t: token{to: d, src: n.ID, tag: tag, val: 0}})
+				w.live++
+				w.liveByBlock[m.g.Nodes[d.Node].Block]++
+				w.frame++
+			}
+			w.live--
+			w.liveByBlock[n.Block]--
+			ws.delSlot(slot)
+		}
+		return
+	}
+	if !ws.has(slot, allocRequestPort) {
+		return // ready arrived first; wait for the request
+	}
+	if ws.parked(slot) {
+		// A ready token may unblock a starved allocate under TYR. The
+		// parked ref stays on the coordinator's pending list; wakeRefs
+		// skips queued slots, so this cannot double-schedule.
+		ws.clearFlag(slot, wsParked)
+	}
+	if !ws.queued(slot) {
+		ws.setFlag(slot, wsQueued)
+		w.completions = append(w.completions, completion{key: key, ref: fireRef{node: nid, tag: tag}})
+	}
+}
+
+// firePhase executes the walk's dispatched firings in walk order.
+//
+//tyr:hotpath
+func (w *shardWorker) firePhase() {
+	for i := range w.fireQ {
+		if w.err != nil {
+			break
+		}
+		f := &w.fireQ[i]
+		if err := w.fire(f); err != nil {
+			w.err, w.errOrd = err, f.pos
+		}
+	}
+	w.fireQ = w.fireQ[:0]
+}
+
+// fire is the worker-side twin of machine.fire for the dispatched compute
+// ops — same operand protocol, same emission order, same error text. The
+// order-sensitive ops (allocate, free, load, store) never reach here;
+// they fire inline on the coordinator.
+//
+//tyr:hotpath
+func (w *shardWorker) fire(f *sfire) error {
+	m := w.m
+	n := &m.g.Nodes[f.ref.node]
+	ws := &m.stores[f.ref.node]
+	slot := ws.lookup(f.ref.tag)
+	if slot < 0 {
+		return fmt.Errorf("core: fire of missing instance %q tag %#x", n.Label, f.ref.tag)
+	}
+	ws.clearFlag(slot, wsQueued)
+
+	v := w.fireVals[:ws.nIn]
+	copy(v, ws.valSlice(slot))
+	consumed := int64(m.info[f.ref.node].needInit)
+	w.live -= consumed
+	w.liveByBlock[n.Block] -= consumed
+	ws.delSlot(slot)
+	w.fired++
+
+	key := f.base
+	switch n.Op {
+	case dfg.OpBin:
+		out, err := dfg.EvalBin(n.Bin, v[0], v[1])
+		if err != nil {
+			return fmt.Errorf("core: %q: %w", n.Label, err)
+		}
+		w.emitAll(n, 0, f.ref.tag, out, &key, false)
+	case dfg.OpSelect:
+		out := v[2]
+		if v[0] != 0 {
+			out = v[1]
+		}
+		w.emitAll(n, 0, f.ref.tag, out, &key, false)
+	case dfg.OpSteer:
+		out := dfg.SteerFalseOut
+		if v[0] != 0 {
+			out = dfg.SteerTrueOut
+		}
+		w.emitAll(n, out, f.ref.tag, v[1], &key, false)
+		w.emitAll(n, dfg.SteerCtrlOut, f.ref.tag, 0, &key, false)
+	case dfg.OpJoin, dfg.OpForward:
+		if f.ref.node == m.g.Result {
+			w.hasResult = true
+			w.resultVal = v[0]
+			w.resultPos = f.pos
+		}
+		w.emitAll(n, 0, f.ref.tag, v[0], &key, false)
+	case dfg.OpGate:
+		w.emitAll(n, 0, f.ref.tag, v[1], &key, false)
+	case dfg.OpExtractTag:
+		w.emitAll(n, 0, f.ref.tag, int64(f.ref.tag), &key, false)
+	case dfg.OpChangeTag:
+		newTag := uint64(v[0])
+		w.emitAll(n, dfg.CTDataOut, newTag, v[1], &key, true)
+		w.emitAll(n, dfg.CTCtrlOut, f.ref.tag, 0, &key, false)
+	case dfg.OpChangeTagDyn:
+		newTag := uint64(v[0])
+		w.emit(n.ID, dfg.DecodePort(v[2]), newTag, v[1], &key)
+		w.cross++
+		w.emitAll(n, dfg.CTCtrlOut, f.ref.tag, 0, &key, false)
+	default:
+		return fmt.Errorf("core: op %s not executable on the tagged machine", n.Op)
+	}
+	return nil
+}
+
+// emit pushes one keyed token into the destination owner's mailbox,
+// mirroring machine.emit's accounting in worker-local deltas.
+//
+//tyr:hotpath
+func (w *shardWorker) emit(src dfg.NodeID, to dfg.Port, tag uint64, val int64, key *uint64) {
+	w.outs[w.sh.owner[to.Node]].Push(stoken{key: *key, t: token{to: to, src: src, tag: tag, val: val}})
+	*key++
+	w.live++
+	w.liveByBlock[w.m.g.Nodes[to.Node].Block]++
+}
+
+// emitAll is the worker-side twin of machine.emitAll; the caller resolves
+// the cross/frame classification, which in engine.go depends only on the
+// (op, out-port) pair.
+//
+//tyr:hotpath
+func (w *shardWorker) emitAll(n *dfg.Node, out int, tag uint64, val int64, key *uint64, cross bool) {
+	for _, d := range n.Outs[out] {
+		w.emit(n.ID, d, tag, val, key)
+		if cross {
+			w.cross++
+		} else {
+			w.frame++
+		}
+	}
+}

@@ -1,0 +1,223 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/compile"
+	"repro/internal/dfg"
+	"repro/internal/mem"
+)
+
+// normalizeShardResult zeroes the one field sharding reports at coarser
+// granularity — Spaces[].PeakLiveTokens is sampled per emission on the
+// sequential machine but per phase under shards (see shard.go) — so the
+// rest of the Result can be compared bit-for-bit.
+func normalizeShardResult(r Result) Result {
+	spaces := make([]SpaceStats, len(r.Spaces))
+	copy(spaces, r.Spaces)
+	for i := range spaces {
+		spaces[i].PeakLiveTokens = 0
+	}
+	r.Spaces = spaces
+	return r
+}
+
+// TestShardedMatchesSequential is the heart of the sharding contract:
+// every kernel × policy × shard count must reproduce the sequential
+// machine's Result — cycles, fired, result value, peaks, IPC histogram,
+// trace, token classification — and final memory image exactly.
+func TestShardedMatchesSequential(t *testing.T) {
+	type kernel struct {
+		name  string
+		g     *dfg.Graph
+		im    func() *mem.Image
+		check func(im *mem.Image, result int64) error
+	}
+	kernels := []kernel{
+		{name: "nest", g: compileNested(t, 12, 9), im: mem.NewImage},
+	}
+	for _, app := range []*apps.App{apps.Smv(40, 3, 4, 9), apps.Histogram(96, 8, 5)} {
+		g, err := compile.Tagged(app.Prog, compile.Options{EntryArgs: app.Args})
+		if err != nil {
+			t.Fatalf("%s: %v", app.Name, err)
+		}
+		kernels = append(kernels, kernel{name: app.Name, g: g, im: app.NewImage, check: app.Check})
+	}
+
+	configs := []struct {
+		name string
+		cfg  Config
+	}{
+		{"tyr/t2", Config{Policy: PolicyTyr, TagsPerBlock: 2}},
+		{"tyr/t8", Config{Policy: PolicyTyr, TagsPerBlock: 8}},
+		{"tyr/t64", Config{Policy: PolicyTyr, TagsPerBlock: 64}},
+		{"tyr/t8/lat7", Config{Policy: PolicyTyr, TagsPerBlock: 8, LoadLatency: 7}},
+		{"tyr/t8/w4", Config{Policy: PolicyTyr, TagsPerBlock: 8, IssueWidth: 4}},
+		{"unordered", Config{Policy: PolicyGlobalUnlimited}},
+		{"nogate/t512", Config{Policy: PolicyLocalNoGate, TagsPerBlock: 512}},
+		{"kbound/t4", Config{Policy: PolicyKBound, TagsPerBlock: 4}},
+	}
+
+	for _, k := range kernels {
+		for _, tc := range configs {
+			imSeq := k.im()
+			want, err := Run(k.g, imSeq, tc.cfg)
+			if err != nil {
+				t.Fatalf("%s/%s sequential: %v", k.name, tc.name, err)
+			}
+			if !want.Completed {
+				t.Fatalf("%s/%s sequential did not complete: %v", k.name, tc.name, want.Deadlock)
+			}
+			wantNorm := normalizeShardResult(want)
+			for _, shards := range []int{2, 3, 4, 8} {
+				cfg := tc.cfg
+				cfg.Shards = shards
+				imShd := k.im()
+				got, err := Run(k.g, imShd, cfg)
+				if err != nil {
+					t.Fatalf("%s/%s shards=%d: %v", k.name, tc.name, shards, err)
+				}
+				if !reflect.DeepEqual(normalizeShardResult(got), wantNorm) {
+					t.Errorf("%s/%s shards=%d: result diverges from sequential\n got: %+v\nwant: %+v",
+						k.name, tc.name, shards, got, want)
+				}
+				if !imSeq.Equal(imShd) {
+					t.Errorf("%s/%s shards=%d: final memory diverges: %v",
+						k.name, tc.name, shards, imShd.Diff(imSeq, 5))
+				}
+				if k.check != nil {
+					if err := k.check(imShd, got.ResultValue); err != nil {
+						t.Errorf("%s/%s shards=%d: wrong answer: %v", k.name, tc.name, shards, err)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestShardedDeadlockMatches: a run that deadlocks must produce the exact
+// same deadlock report — cycle, live tokens, starved allocates in the
+// same order — under any shard count.
+func TestShardedDeadlockMatches(t *testing.T) {
+	g := compileNested(t, 64, 64)
+	cfg := Config{Policy: PolicyGlobalBounded, GlobalTags: 8}
+	want, err := Run(g, mem.NewImage(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !want.Deadlocked {
+		t.Fatal("expected the bounded-global run to deadlock")
+	}
+	for _, shards := range []int{2, 4, 8} {
+		scfg := cfg
+		scfg.Shards = shards
+		got, err := Run(g, mem.NewImage(), scfg)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if !reflect.DeepEqual(normalizeShardResult(got), normalizeShardResult(want)) {
+			t.Errorf("shards=%d: deadlock report diverges\n got: %+v\nwant: %+v", shards, got.Deadlock, want.Deadlock)
+		}
+	}
+}
+
+// TestShardedErrorMatches: a run that fails must fail with the exact
+// error the sequential machine reports (the sequentially-first one).
+func TestShardedErrorMatches(t *testing.T) {
+	g := compileNested(t, 6, 6)
+	cfg := Config{Policy: PolicyTyr, TagsPerBlock: 4, MaxCycles: 10}
+	_, err := Run(g, mem.NewImage(), cfg)
+	if err == nil {
+		t.Fatal("expected a MaxCycles error")
+	}
+	for _, shards := range []int{2, 4} {
+		scfg := cfg
+		scfg.Shards = shards
+		_, serr := Run(g, mem.NewImage(), scfg)
+		if serr == nil {
+			t.Fatalf("shards=%d: expected a MaxCycles error", shards)
+		}
+		if serr.Error() != err.Error() {
+			t.Errorf("shards=%d: error %q, sequential says %q", shards, serr, err)
+		}
+	}
+}
+
+// TestShardSerialClamp: serial-only features must silently force one
+// worker rather than diverge or race.
+func TestShardSerialClamp(t *testing.T) {
+	g := compileNested(t, 8, 8)
+	if got := (Config{Shards: 4, CheckInvariants: true}).effectiveShards(8); got != 1 {
+		t.Errorf("CheckInvariants: effectiveShards = %d, want 1", got)
+	}
+	if got := (Config{Shards: 4, Sanitize: true}).effectiveShards(8); got != 1 {
+		t.Errorf("Sanitize: effectiveShards = %d, want 1", got)
+	}
+	if got := (Config{Shards: 7}).effectiveShards(3); got != 3 {
+		t.Errorf("block clamp: effectiveShards = %d, want 3", got)
+	}
+	if got := (Config{Shards: 1000}).effectiveShards(2000); got != maxShards {
+		t.Errorf("max clamp: effectiveShards = %d, want %d", got, maxShards)
+	}
+	// And the clamped path must still run correctly end to end.
+	res, err := Run(g, mem.NewImage(), Config{Policy: PolicyTyr, TagsPerBlock: 4, Shards: 4, CheckInvariants: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatalf("clamped run did not complete: %v", res.Deadlock)
+	}
+}
+
+// TestShardWeightedPartitionMatches: a weighted assignment changes which
+// worker owns which block — never the result.
+func TestShardWeightedPartitionMatches(t *testing.T) {
+	g := compileNested(t, 10, 10)
+	cfg := Config{Policy: PolicyTyr, TagsPerBlock: 8}
+	want, err := Run(g, mem.NewImage(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	weights := make([]int64, len(g.Blocks))
+	for i := range weights {
+		weights[i] = int64((i*7)%5) * 100
+	}
+	scfg := cfg
+	scfg.Shards = 3
+	scfg.ShardWeights = weights
+	got, err := Run(g, mem.NewImage(), scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(normalizeShardResult(got), normalizeShardResult(want)) {
+		t.Errorf("weighted shards=3 diverges from sequential\n got: %+v\nwant: %+v", got, want)
+	}
+}
+
+// BenchmarkShardOverhead pins the cost of the sharding plumbing when it
+// is configured but resolves to one worker: Shards=1 takes the sequential
+// loop verbatim (effectiveShards short-circuits), so the two must be
+// within noise of each other.
+func BenchmarkShardOverhead(b *testing.B) {
+	p := nestedLoopProgram(24, 24)
+	g, err := compile.Tagged(p, compile.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, bench := range []struct {
+		name   string
+		shards int
+	}{{"unsharded", 0}, {"shards=1", 1}} {
+		b.Run(bench.name, func(b *testing.B) {
+			cfg := Config{Policy: PolicyTyr, TagsPerBlock: 16, Shards: bench.shards}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Run(g, mem.NewImage(), cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

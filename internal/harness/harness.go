@@ -76,6 +76,14 @@ type SysConfig struct {
 	// for the graph machines, dynamic instructions for the interpreter-
 	// driven baselines (vN, seqdf). Zero keeps the engine default.
 	MaxCycles int64
+	// Shards splits the tagged engines (tyr/unordered) across worker
+	// goroutines with results bit-identical to the single-goroutine run
+	// (core.Config.Shards); runs with a Tracer, Sanitize, or Cache
+	// attached are forced serial by the engine. The other systems are
+	// serial by construction (vN and seqdf interpret one instruction
+	// stream; ordered's FIFO discipline is the serialization under
+	// study) and ignore the setting. 0 or 1 = sequential.
+	Shards int
 	// Compiler, when non-nil, supplies compiled graphs in place of the
 	// default compile calls — the serving layer injects its LRU cache of
 	// compiled graphs here. Implementations must return graphs that are
@@ -301,6 +309,7 @@ func runSystem(app *apps.App, system string, cfg SysConfig) (metrics.RunStats, e
 			Sanitize:    cfg.Sanitize,
 			Tracer:      cfg.Tracer,
 			Stop:        cfg.Stop,
+			Shards:      cfg.Shards,
 		}
 		if system == SysTyr {
 			ecfg.Policy = core.PolicyTyr

@@ -1,0 +1,182 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/cache"
+	"repro/internal/mem"
+	"repro/internal/metrics"
+)
+
+// The sharding equivalence suite is the store-equivalence grid's shards
+// dimension: every tagged-engine combo must digest identically whether the
+// run is sequential or split across 2, 4, or 8 shard workers. Sharded
+// runs cannot attach a tracer (event streams are ordered at sub-cycle
+// granularity, so the engine forces them serial — that clamp is itself a
+// covered combo below), so the digest here is the tracer-less subset of
+// runStatsDigest.
+//
+// TestShardGoldenRace additionally pins one kernel x tags x shards grid
+// against committed digests (testdata/shard_golden.json), and is the
+// slice CI runs under the race detector. Regenerate after an intentional
+// semantic change with:
+//
+//	TYR_UPDATE_GOLDEN=1 go test ./internal/harness -run TestShardGoldenRace
+const shardGoldenPath = "testdata/shard_golden.json"
+
+// shardStatsDigest flattens every deterministic field of a harness run
+// that does not require a tracer. Spaces are not part of RunStats, so the
+// one shard-granularity field (core SpaceStats.PeakLiveTokens) never
+// enters harness digests.
+func shardStatsDigest(rs metrics.RunStats, im *mem.Image) string {
+	return fmt.Sprintf(
+		"completed=%v deadlocked=%v cycles=%d fired=%d peaklive=%d meanlive=%v peaktags=%d ipc=%s trace=%s note=%q cache=%s image=%016x",
+		rs.Completed, rs.Deadlocked, rs.Cycles, rs.Fired, rs.PeakLive, rs.MeanLive,
+		rs.PeakTags, histDigest(rs.IPCHist), traceDigest(rs.Trace), rs.Note,
+		cacheDigest(rs.Cache), im.Checksum())
+}
+
+// shardCombos is the tagged-engine slice of the equivalence grid: the two
+// systems Shards applies to, across tag budgets, the delayed-delivery
+// path, a deadlocking pool, and one serial-clamped (cache-attached) combo
+// proving the clamp changes nothing.
+func shardCombos() []equivCombo {
+	var out []equivCombo
+	add := func(key, sys string, cfg SysConfig) {
+		out = append(out, equivCombo{key: key, sys: sys, cfg: cfg})
+	}
+	add("unordered", SysUnordered, SysConfig{})
+	add("unordered/global=8", SysUnordered, SysConfig{GlobalTags: 8, SkipCheck: true})
+	for _, tags := range []int{2, 4, 8, 64} {
+		add(fmt.Sprintf("tyr/tags=%d", tags), SysTyr, SysConfig{Tags: tags})
+	}
+	add("tyr/tags=8/lat=4", SysTyr, SysConfig{Tags: 8, LoadLatency: 4})
+	cc := cache.DefaultConfig()
+	add("tyr/tags=8/cache", SysTyr, SysConfig{Tags: 8, Cache: &cc})
+	return out
+}
+
+// TestShardEquivalence sweeps every tiny kernel through the tagged combo
+// grid at 2, 4, and 8 shards and demands digest equality with the
+// sequential run.
+func TestShardEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential grid is slow; skipped with -short")
+	}
+	for _, app := range apps.Suite(apps.ScaleTiny) {
+		for _, combo := range shardCombos() {
+			cfg := combo.cfg
+			var imSeq *mem.Image
+			cfg.imageSink = &imSeq
+			rs, err := Run(app, combo.sys, cfg)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", app.Name, combo.key, err)
+			}
+			want := shardStatsDigest(rs, imSeq)
+			for _, shards := range []int{2, 4, 8} {
+				scfg := combo.cfg
+				scfg.Shards = shards
+				var imShd *mem.Image
+				scfg.imageSink = &imShd
+				srs, err := Run(app, combo.sys, scfg)
+				if err != nil {
+					t.Fatalf("%s/%s shards=%d: %v", app.Name, combo.key, shards, err)
+				}
+				if got := shardStatsDigest(srs, imShd); got != want {
+					t.Errorf("%s/%s shards=%d: digest diverged from sequential\n  seq: %s\n  got: %s",
+						app.Name, combo.key, shards, want, got)
+				}
+			}
+		}
+	}
+}
+
+// shardGoldenGrid is the committed-golden slice: one kernel, the tagged
+// machine at its smallest and largest tag budget, at every shard count
+// CI exercises (1 included: the sequential loop must match its own
+// golden, so a sharded divergence cannot hide behind a stale file).
+func shardGoldenGrid(t *testing.T) map[string]string {
+	t.Helper()
+	app := apps.Suite(apps.ScaleTiny)[0]
+	digests := make(map[string]string)
+	for _, tags := range []int{2, 64} {
+		for _, shards := range []int{1, 2, 4, 8} {
+			cfg := SysConfig{Tags: tags, Shards: shards}
+			var im *mem.Image
+			cfg.imageSink = &im
+			rs, err := Run(app, SysTyr, cfg)
+			if err != nil {
+				t.Fatalf("tags=%d shards=%d: %v", tags, shards, err)
+			}
+			key := fmt.Sprintf("%s/tyr/tags=%d/shards=%d", app.Name, tags, shards)
+			digests[key] = shardStatsDigest(rs, im)
+		}
+	}
+	return digests
+}
+
+// TestShardGoldenRace compares the shard grid against committed golden
+// digests. Sharded runs must be bit-identical not just to today's
+// sequential run but to the recorded one — and the grid is small enough
+// for CI to run it under -race on every PR.
+func TestShardGoldenRace(t *testing.T) {
+	got := shardGoldenGrid(t)
+
+	if os.Getenv("TYR_UPDATE_GOLDEN") != "" {
+		again := shardGoldenGrid(t)
+		for k, v := range got {
+			if again[k] != v {
+				t.Fatalf("nondeterministic digest for %s:\n  %s\n  %s", k, v, again[k])
+			}
+		}
+		keys := make([]string, 0, len(got))
+		for k := range got {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		ordered := make(map[string]string, len(got))
+		for _, k := range keys {
+			ordered[k] = got[k]
+		}
+		data, err := json.MarshalIndent(ordered, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(shardGoldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(shardGoldenPath, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d golden digests to %s", len(got), shardGoldenPath)
+		return
+	}
+
+	data, err := os.ReadFile(shardGoldenPath)
+	if err != nil {
+		t.Fatalf("missing golden file (generate with TYR_UPDATE_GOLDEN=1): %v", err)
+	}
+	var want map[string]string
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatalf("corrupt golden file: %v", err)
+	}
+	if len(want) != len(got) {
+		t.Errorf("combo count changed: golden has %d, run produced %d", len(want), len(got))
+	}
+	for key, w := range want {
+		g, ok := got[key]
+		if !ok {
+			t.Errorf("%s: combo missing from sweep", key)
+			continue
+		}
+		if g != w {
+			t.Errorf("%s: digest diverged\n  golden: %s\n  got:    %s", key, w, g)
+		}
+	}
+}

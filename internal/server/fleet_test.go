@@ -168,16 +168,27 @@ func TestDistributedSweepSurvivesPeerFailure(t *testing.T) {
 		Peers:          []string{peerAddr(healthy), peerAddr(broken)},
 		PartialTimeout: 10 * time.Second,
 	})
-	got, _ := sweepOn(t, coordTS, req)
-
-	gotN, wantN := normalizeRuns(got.Runs), normalizeRuns(want.Runs)
-	a, _ := json.Marshal(gotN)
+	// Which executor pulls each partial is a scheduling race at tiny
+	// scale: the coordinator's local loop drains the same work queue as
+	// the peer workers and can empty it before the broken peer's
+	// goroutine runs. Every sweep must match the single-instance result,
+	// but the failure metrics only move on a sweep whose broken peer
+	// actually received work — so sweep until one did (the first pass
+	// almost always suffices; the CI fleet smoke uses the same loop).
+	wantN := normalizeRuns(want.Runs)
 	b, _ := json.Marshal(wantN)
-	if string(a) != string(b) {
-		t.Errorf("sweep with a failing peer differs from single-instance:\ngot:  %s\nwant: %s", a, b)
-	}
-
 	m := coord.Metrics()
+	for attempt := 0; attempt < 10; attempt++ {
+		got, _ := sweepOn(t, coordTS, req)
+		gotN := normalizeRuns(got.Runs)
+		a, _ := json.Marshal(gotN)
+		if string(a) != string(b) {
+			t.Fatalf("sweep with a failing peer differs from single-instance:\ngot:  %s\nwant: %s", a, b)
+		}
+		if m.fleetPeerFails.Load() > 0 {
+			break
+		}
+	}
 	if m.fleetPeerFails.Load() == 0 {
 		t.Error("broken peer produced no peer-failure count")
 	}

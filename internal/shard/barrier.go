@@ -1,0 +1,63 @@
+package shard
+
+import "sync/atomic"
+
+// Barrier coordinates one coordinator goroutine and n worker goroutines
+// through a phase protocol: the coordinator Releases a phase id to every
+// worker's gate, each worker runs the phase and Arrives, and the last
+// arrival wakes the coordinator's Wait. Workers park on channel receives
+// between phases (no spinning — the simulation should share cores
+// politely), and every operation is allocation-free after construction.
+type Barrier struct {
+	workers int32
+	arrived atomic.Int32
+	coord   chan struct{}
+	gates   []chan uint32
+}
+
+// NewBarrier returns a barrier for n workers plus one coordinator.
+func NewBarrier(n int) *Barrier {
+	b := &Barrier{workers: int32(n), coord: make(chan struct{}, 1)}
+	b.gates = make([]chan uint32, n)
+	for i := range b.gates {
+		b.gates[i] = make(chan uint32, 1)
+	}
+	return b
+}
+
+// Release opens every worker's gate with the next phase id. Coordinator
+// side; must not be called again before Wait returns.
+//
+//tyr:hotpath
+func (b *Barrier) Release(phase uint32) {
+	for _, g := range b.gates {
+		g <- phase
+	}
+}
+
+// Gate parks worker w until the coordinator releases the next phase and
+// returns its id.
+//
+//tyr:hotpath
+func (b *Barrier) Gate(w int) uint32 {
+	return <-b.gates[w]
+}
+
+// Arrive marks one worker done with the current phase; the last arrival
+// wakes the coordinator.
+//
+//tyr:hotpath
+func (b *Barrier) Arrive() {
+	if b.arrived.Add(1) == b.workers {
+		b.coord <- struct{}{}
+	}
+}
+
+// Wait parks the coordinator until every worker has arrived, then re-arms
+// the barrier for the next phase.
+//
+//tyr:hotpath
+func (b *Barrier) Wait() {
+	<-b.coord
+	b.arrived.Store(0)
+}

@@ -1,0 +1,80 @@
+package shard
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// TestBarrierPhaseProtocol runs a coordinator against n workers through a
+// sequence of phases and checks that every worker observes every phase id
+// in order, with full separation: no worker enters phase k+1 before all
+// workers finished phase k.
+func TestBarrierPhaseProtocol(t *testing.T) {
+	const workers = 4
+	const phases = 1000
+	b := NewBarrier(workers)
+	var inPhase atomic.Int32
+	errs := make(chan string, workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			for want := uint32(0); ; want++ {
+				phase := b.Gate(w)
+				if phase == ^uint32(0) {
+					b.Arrive()
+					return
+				}
+				if phase != want {
+					errs <- "phase out of order"
+					b.Arrive()
+					return
+				}
+				if n := inPhase.Add(1); n > workers {
+					errs <- "more workers in a phase than exist"
+				}
+				inPhase.Add(-1)
+				b.Arrive()
+			}
+		}(w)
+	}
+	for p := uint32(0); p < phases; p++ {
+		b.Release(p)
+		b.Wait()
+		select {
+		case msg := <-errs:
+			t.Fatal(msg)
+		default:
+		}
+	}
+	b.Release(^uint32(0))
+	b.Wait()
+}
+
+// TestBarrierSteadyStateAllocFree pins the barrier hot path: a full
+// release/arrive round allocates nothing.
+func TestBarrierSteadyStateAllocFree(t *testing.T) {
+	const workers = 3
+	b := NewBarrier(workers)
+	stop := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			for {
+				if b.Gate(w) == ^uint32(0) {
+					b.Arrive()
+					return
+				}
+				b.Arrive()
+			}
+		}(w)
+	}
+	round := func() {
+		b.Release(1)
+		b.Wait()
+	}
+	round() // warm up scheduler state
+	if allocs := testing.AllocsPerRun(200, round); allocs != 0 {
+		t.Fatalf("barrier round allocated %.1f times, want 0", allocs)
+	}
+	b.Release(^uint32(0))
+	b.Wait()
+	close(stop)
+}

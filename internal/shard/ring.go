@@ -1,0 +1,111 @@
+package shard
+
+import "sync/atomic"
+
+// Ring is a bounded single-producer/single-consumer ring mailbox with an
+// unbounded overflow spill. The ring portion is lock-free: Push and Pop
+// may run concurrently on distinct goroutines, synchronized only by the
+// atomic cursors.
+//
+// When a Push finds the ring full it appends to the producer-owned spill
+// slice — and keeps spilling until the consumer calls Reset, so FIFO order
+// is preserved across the overflow. Spilled entries and Reset require the
+// producer and consumer to be phase-separated (no concurrent Push): the
+// engine's cycle barrier provides that, making overflow a capacity
+// question, never a correctness one. In steady state neither path
+// allocates: the ring buffer is fixed and the spill keeps its capacity.
+type Ring[T any] struct {
+	buf  []T
+	mask uint64
+
+	// head is the consumer cursor (next unread slot), tail the producer
+	// cursor (next write). tail-head is the ring occupancy.
+	head atomic.Uint64
+	tail atomic.Uint64
+
+	// spill holds overflow pushes; spillHead is the consumer's read
+	// cursor into it. Both sides touch spill only under external
+	// synchronization (the phase barrier).
+	spill     []T
+	spillHead int
+}
+
+// NewRing returns a ring with the given capacity, rounded up to a power
+// of two (minimum 2).
+func NewRing[T any](capacity int) *Ring[T] {
+	size := 2
+	for size < capacity {
+		size *= 2
+	}
+	return &Ring[T]{buf: make([]T, size), mask: uint64(size - 1)}
+}
+
+// Cap reports the ring capacity (excluding the spill).
+func (r *Ring[T]) Cap() int { return len(r.buf) }
+
+// Push appends v. Safe concurrently with Pop while the ring has room;
+// once it overflows into the spill, the consumer may only observe the
+// spilled entries after synchronizing with the producer.
+//
+//tyr:hotpath
+func (r *Ring[T]) Push(v T) {
+	t := r.tail.Load()
+	if len(r.spill) > 0 || t-r.head.Load() >= uint64(len(r.buf)) {
+		r.spill = append(r.spill, v)
+		return
+	}
+	r.buf[t&r.mask] = v
+	r.tail.Store(t + 1)
+}
+
+// Pop removes and returns the oldest entry, in push order across the ring
+// and the spill. The second result is false when the mailbox is empty.
+//
+//tyr:hotpath
+func (r *Ring[T]) Pop() (T, bool) {
+	h := r.head.Load()
+	if h != r.tail.Load() {
+		v := r.buf[h&r.mask]
+		r.head.Store(h + 1)
+		return v, true
+	}
+	if r.spillHead < len(r.spill) {
+		v := r.spill[r.spillHead]
+		r.spillHead++
+		return v, true
+	}
+	var zero T
+	return zero, false
+}
+
+// Peek returns the oldest entry without removing it. The second result is
+// false when the mailbox is empty.
+//
+//tyr:hotpath
+func (r *Ring[T]) Peek() (T, bool) {
+	h := r.head.Load()
+	if h != r.tail.Load() {
+		return r.buf[h&r.mask], true
+	}
+	if r.spillHead < len(r.spill) {
+		return r.spill[r.spillHead], true
+	}
+	var zero T
+	return zero, false
+}
+
+// Len reports the number of unread entries (ring plus spill). Exact only
+// when producer and consumer are phase-separated.
+func (r *Ring[T]) Len() int {
+	return int(r.tail.Load()-r.head.Load()) + len(r.spill) - r.spillHead
+}
+
+// Reset retires the drained spill so subsequent pushes use the ring
+// again, keeping the spill's capacity. Must only be called when the
+// producer is parked (between phases) and the mailbox fully drained.
+//
+//tyr:hotpath
+func (r *Ring[T]) Reset() {
+	r.spill = r.spill[:0]
+	r.spillHead = 0
+}

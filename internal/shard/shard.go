@@ -1,0 +1,67 @@
+// Package shard provides the building blocks for sharded simulation: a
+// bounded SPSC ring mailbox for cross-shard token traffic, a parking
+// barrier for the coordinator/worker phase protocol, and deterministic
+// block→shard partitioners.
+//
+// The engine (internal/core) splits a run across P worker goroutines, each
+// owning a disjoint subset of the graph's concurrent blocks — and with
+// them the blocks' token stores, tag maps, and calendar queues. Tokens
+// crossing a block boundary travel through one Ring per (producer,
+// consumer) pair, carrying a key that reconstructs the sequential delivery
+// order; the Barrier separates the deliver and fire phases so every ring
+// has exactly one goroutine on each end at any moment. DESIGN.md §11 walks
+// through the protocol and the bit-identity argument.
+package shard
+
+// Partition assigns nBlocks concurrent blocks to nShards shards round-robin
+// by block id: owner[b] = b % nShards. Deterministic, and balanced when
+// blocks carry similar work.
+func Partition(nBlocks, nShards int) []int {
+	owner := make([]int, nBlocks)
+	for b := range owner {
+		owner[b] = b % nShards
+	}
+	return owner
+}
+
+// PartitionWeighted assigns blocks to shards by longest-processing-time
+// greedy bin packing: blocks are placed on the least-loaded shard in
+// decreasing weight order, with ties broken by lower block id (then lower
+// shard id), so the assignment is deterministic. Weights are expected
+// work per block — per-block fire counts from an internal/trace profile.
+// Non-positive weights count as zero.
+func PartitionWeighted(weights []int64, nShards int) []int {
+	n := len(weights)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	// Insertion sort by (weight desc, id asc): n is the block count of a
+	// graph, small enough that simplicity beats sort.Slice's closure.
+	for i := 1; i < n; i++ {
+		b := order[i]
+		j := i - 1
+		for j >= 0 && weights[order[j]] < weights[b] {
+			order[j+1] = order[j]
+			j--
+		}
+		order[j+1] = b
+	}
+	owner := make([]int, n)
+	load := make([]int64, nShards)
+	for _, b := range order {
+		best := 0
+		for s := 1; s < nShards; s++ {
+			if load[s] < load[best] {
+				best = s
+			}
+		}
+		owner[b] = best
+		w := weights[b]
+		if w < 0 {
+			w = 0
+		}
+		load[best] += w
+	}
+	return owner
+}

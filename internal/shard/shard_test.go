@@ -1,0 +1,53 @@
+package shard
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestPartitionRoundRobin(t *testing.T) {
+	got := Partition(7, 3)
+	want := []int{0, 1, 2, 0, 1, 2, 0}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Partition(7,3) = %v, want %v", got, want)
+	}
+	if got := Partition(2, 4); !reflect.DeepEqual(got, []int{0, 1}) {
+		t.Fatalf("Partition(2,4) = %v", got)
+	}
+}
+
+func TestPartitionWeightedBalances(t *testing.T) {
+	// One heavy block and several light ones: LPT puts the heavy block
+	// alone and spreads the rest.
+	weights := []int64{100, 10, 10, 10, 10, 10}
+	owner := PartitionWeighted(weights, 2)
+	load := make([]int64, 2)
+	for b, s := range owner {
+		load[s] += weights[b]
+	}
+	if load[0] != 100 || load[1] != 50 {
+		t.Fatalf("loads = %v, want [100 50] (owner=%v)", load, owner)
+	}
+}
+
+func TestPartitionWeightedDeterministic(t *testing.T) {
+	weights := []int64{5, 5, 5, 5, 3, 3, 0, -1}
+	a := PartitionWeighted(weights, 3)
+	b := PartitionWeighted(weights, 3)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same input gave %v then %v", a, b)
+	}
+	// Equal weights tie-break by block id: block 0 is placed first.
+	if a[0] != 0 {
+		t.Fatalf("heaviest-first placement should start at shard 0, got %v", a)
+	}
+}
+
+func TestPartitionWeightedMoreShardsThanBlocks(t *testing.T) {
+	owner := PartitionWeighted([]int64{4, 2}, 8)
+	for b, s := range owner {
+		if s < 0 || s >= 8 {
+			t.Fatalf("block %d assigned to invalid shard %d", b, s)
+		}
+	}
+}
