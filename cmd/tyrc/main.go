@@ -157,7 +157,7 @@ func main() {
 	// invocation and a curl against tyrd's /v1/run mean the same
 	// simulation. The source was already parsed (and optionally optimized)
 	// above for the emit/vet paths, so resolve the app from p directly
-	// rather than re-parsing through req.ResolveApp.
+	// rather than re-parsing through the plan's ResolveApp.
 	shards, err := machine.ShardCount()
 	if err != nil {
 		fail(err)
@@ -166,17 +166,16 @@ func main() {
 		System:     machine.System,
 		IssueWidth: machine.Width,
 		Tags:       machine.Tags,
-		Shards:     shards,
+		Exec:       &api.ExecSpec{Shards: shards},
+		Source:     string(src),
 		Args:       args,
 		Cache:      cacheFlags.Spec(),
 	}
-	if !api.KnownSystem(req.System) {
-		fail(fmt.Errorf("unknown system %q", req.System))
-	}
-	cfg, err := req.SysConfig()
+	plan, err := req.Plan()
 	if err != nil {
 		fail(err)
 	}
+	cfg := plan.Cfg
 	app, err := apps.FromProgram("", p, args)
 	if err != nil {
 		fail(err)

@@ -215,17 +215,15 @@ func runTrace(args []string) {
 		App: *appName, Scale: *scale, System: machine.System,
 		IssueWidth: machine.Width, Tags: machine.Tags,
 	}
-	if err := req.Validate(); err != nil {
-		fatalf("%v", err)
-	}
-	app, err := req.ResolveApp()
+	plan, err := req.Plan()
 	if err != nil {
 		fatalf("%v", err)
 	}
-	cfg, err := req.SysConfig()
+	app, err := plan.ResolveApp()
 	if err != nil {
 		fatalf("%v", err)
 	}
+	cfg := plan.Cfg
 	rec := trace.NewRecorder(0)
 	cfg.Tracer = rec
 	rs, err := harness.Run(app, req.System, cfg)
@@ -304,12 +302,18 @@ func runLocality(args []string) {
 // applies to: the two engines that accept core.Config.Shards.
 var shardedSystems = []string{harness.SysUnordered, harness.SysTyr}
 
+// batchedSystems is the slice the -batch sweep applies to: the graph
+// engines with a lockstep batcher (harness.RunBatch).
+var batchedSystems = []string{harness.SysOrdered, harness.SysUnordered, harness.SysTyr}
+
 // runBench times every kernel on every system and writes the summary
 // (schema: internal/benchreg). With -shards, the tagged engines are
 // additionally swept at each listed worker-shard count and recorded
-// under their own summary names (sys@sN) — benchdiff against a pre-shard
-// baseline still gates the plain entries, since the comparator ignores
-// systems with no baseline.
+// under their own summary names (sys@sN); with -batch, the graph engines
+// are swept at each listed lockstep width and recorded as sys@bN with
+// requests/sec (N duplicate runs over the batch's wall-clock) — benchdiff
+// against an older baseline still gates the plain entries, since the
+// comparator ignores systems with no baseline.
 func runBench(args []string) {
 	fs := flag.NewFlagSet("tyrexp bench", flag.ExitOnError)
 	scale := cliflags.RegisterScale(fs, "small")
@@ -374,12 +378,63 @@ func runBench(args []string) {
 		}
 	}
 
-	doc := benchreg.Summarize(*scale, append(append([]string(nil), harness.Systems...), shardNames...),
-		append(tel.Snapshot(), shardRuns...))
+	// The batch sweep runs B duplicate instances of each kernel in one
+	// lockstep batch (harness.RunBatch) — the duplicate-workload serving
+	// scenario — and records every instance under sys@bN, so Summarize's
+	// req/s for that entry is B instances over the batch's wall-clock.
+	var batchRuns []metrics.RunStats
+	var batchNames []string
+	if len(machine.Batch) > 0 {
+		fmt.Println()
+		for _, app := range suite {
+			for _, sys := range batchedSystems {
+				for _, b := range machine.Batch {
+					items := make([]harness.BatchItem, b)
+					for i := range items {
+						items[i] = harness.BatchItem{App: app, System: sys, Cfg: harness.SysConfig{
+							IssueWidth: machine.Width, Tags: machine.Tags, Batch: b,
+						}}
+					}
+					outs, err := harness.RunBatch(items)
+					if err != nil {
+						fatalf("%s/%s batch=%d: %v", app.Name, sys, b, err)
+					}
+					var wall int64
+					for i, out := range outs {
+						if out.Err != nil {
+							fatalf("%s/%s batch=%d instance %d: %v", app.Name, sys, b, i, out.Err)
+						}
+						rs := out.Stats
+						rs.System = fmt.Sprintf("%s@b%d", sys, b)
+						rs.Trace = nil
+						batchRuns = append(batchRuns, rs)
+						wall += rs.WallNS
+					}
+					fmt.Printf("%-8s %-14s %10s cycles  %8.2fms  %8.1f req/s\n", app.Name,
+						fmt.Sprintf("%s@b%d", sys, b), metrics.FormatCount(outs[0].Stats.Cycles),
+						float64(wall)/1e6, float64(b)/(float64(wall)/1e9))
+				}
+			}
+		}
+		for _, sys := range batchedSystems {
+			for _, b := range machine.Batch {
+				batchNames = append(batchNames, fmt.Sprintf("%s@b%d", sys, b))
+			}
+		}
+	}
+
+	names := append(append([]string(nil), harness.Systems...), shardNames...)
+	names = append(names, batchNames...)
+	doc := benchreg.Summarize(*scale, names,
+		append(append(tel.Snapshot(), shardRuns...), batchRuns...))
 	doc.Note = fmt.Sprintf("GOMAXPROCS=%d NumCPU=%d", runtime.GOMAXPROCS(0), runtime.NumCPU())
 	if len(machine.Shards) > 0 {
 		doc.Note += fmt.Sprintf("; shard sweep -shards %s on the tagged engines (sys@sN entries, cache detached)",
 			machine.Shards.String())
+	}
+	if len(machine.Batch) > 0 {
+		doc.Note += fmt.Sprintf("; lockstep batch sweep -batch %s on the graph engines (sys@bN entries, req/s = N duplicates / batch wall)",
+			machine.Batch.String())
 	}
 	f, err := os.Create(*out)
 	if err != nil {
@@ -395,10 +450,11 @@ func runBench(args []string) {
 		fatalf("%v", werr)
 	}
 	fmt.Println()
-	tb := &metrics.Table{Headers: []string{"system", "gmean cycles", "wall-clock", "L1 miss", "L2 miss", "AMAT"}}
+	tb := &metrics.Table{Headers: []string{"system", "gmean cycles", "wall-clock", "req/s", "L1 miss", "L2 miss", "AMAT"}}
 	for _, s := range doc.Systems {
 		tb.Add(s.System, metrics.FormatCount(int64(s.GmeanCycles)),
 			fmt.Sprintf("%.1fms", float64(s.WallNS)/1e6),
+			fmt.Sprintf("%.1f", s.ReqPerSec),
 			fmt.Sprintf("%.1f%%", s.L1MissRate*100),
 			fmt.Sprintf("%.1f%%", s.L2MissRate*100),
 			fmt.Sprintf("%.1f", s.MeanAMAT))
@@ -424,6 +480,28 @@ func runBench(args []string) {
 			}
 		}
 		fmt.Print(st.String())
+		fmt.Printf("(%s)\n", doc.Note)
+	}
+
+	if len(machine.Batch) > 0 {
+		rps := make(map[string]float64, len(doc.Systems))
+		for _, s := range doc.Systems {
+			rps[s.System] = s.ReqPerSec
+		}
+		fmt.Println()
+		bt := &metrics.Table{Headers: []string{"system", "batch", "req/s", "speedup vs @b1"}}
+		for _, sys := range batchedSystems {
+			base := rps[sys+"@b1"]
+			for _, b := range machine.Batch {
+				r := rps[fmt.Sprintf("%s@b%d", sys, b)]
+				speedup := "n/a"
+				if base > 0 && r > 0 {
+					speedup = fmt.Sprintf("%.2fx", r/base)
+				}
+				bt.Add(sys, strconv.Itoa(b), fmt.Sprintf("%.1f", r), speedup)
+			}
+		}
+		fmt.Print(bt.String())
 		fmt.Printf("(%s)\n", doc.Note)
 	}
 	fmt.Printf("wrote benchmark summary to %s\n", *out)
@@ -452,6 +530,11 @@ func runBenchdiff(args []string) {
 	if err != nil {
 		fatalf("%v", err)
 	}
+	// Print both artifacts' host notes up front: wall-clock comparisons
+	// across GOMAXPROCS or sweep settings are only judgeable with the
+	// conditions side by side.
+	fmt.Printf("baseline %s: %s\n", fs.Arg(0), noteOrUnstamped(oldDoc.Note))
+	fmt.Printf("new      %s: %s\n", fs.Arg(1), noteOrUnstamped(newDoc.Note))
 	tb := &metrics.Table{Headers: []string{"system", "old wall", "new wall", "ratio", "gmean cycles"}}
 	for _, d := range rep.Deltas {
 		cyc := "unchanged"
@@ -476,4 +559,13 @@ func runBenchdiff(args []string) {
 		os.Exit(1)
 	}
 	fmt.Println("benchdiff: PASS")
+}
+
+// noteOrUnstamped renders a bench document's host-conditions note,
+// flagging older artifacts that predate note stamping.
+func noteOrUnstamped(note string) string {
+	if note == "" {
+		return "(no host note; artifact predates note stamping)"
+	}
+	return note
 }

@@ -117,24 +117,25 @@ func main() {
 	}
 
 	// The flags assemble a tyr-api/v1 request — the same surface a curl
-	// against tyrd speaks — and the request resolves the workload and the
-	// harness configuration.
+	// against tyrd speaks — and the request's Plan resolves the workload
+	// and the harness configuration.
 	req := api.Request{
 		App:        *appName,
 		Scale:      *scale,
 		System:     machine.System,
 		IssueWidth: machine.Width,
 		Tags:       machine.Tags,
-		Shards:     shards,
+		Exec:       &api.ExecSpec{Shards: shards},
 		GlobalTags: *globalTags,
 		SkipCheck:  *globalTags > 0, // a deadlocked run has no output to validate
 		Cache:      cacheFlags.Spec(),
 	}
-	if err := req.Validate(); err != nil {
+	plan, err := req.Plan()
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "tyrsim: %v\n", err)
 		os.Exit(2)
 	}
-	app, err := req.ResolveApp()
+	app, err := plan.ResolveApp()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tyrsim: %v\n", err)
 		os.Exit(2)
@@ -174,11 +175,7 @@ func main() {
 		return
 	}
 
-	cfg, err := req.SysConfig()
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "tyrsim: %v\n", err)
-		os.Exit(2)
-	}
+	cfg := plan.Cfg
 	if *graphPath != "" {
 		if machine.System == harness.SysVN || machine.System == harness.SysSeqDF {
 			fmt.Fprintf(os.Stderr, "tyrsim: -graph needs a graph system (ordered, unordered, tyr), not %s\n", machine.System)

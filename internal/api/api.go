@@ -84,6 +84,27 @@ func (s *CacheSpec) Config() (*cache.Config, error) {
 	return &cc, nil
 }
 
+// ExecSpec is the versioned execution block of a request: how the
+// simulation is scheduled, as opposed to what machine it models. New
+// scheduling knobs land here rather than growing top-level scalars one
+// PR at a time.
+type ExecSpec struct {
+	// Shards splits the tagged engines (tyr/unordered) across worker
+	// goroutines; results are bit-identical to the sequential run. Other
+	// systems, and runs with a tracer, sanitizer, or cache attached, are
+	// serial regardless. 0 or 1 = sequential.
+	Shards int `json:"shards,omitempty"`
+	// Batch is the lockstep batch width B: the server may coalesce up to
+	// B queued requests that share this request's compiled graph into one
+	// batch job, each instance's result bit-identical to a solo run.
+	// 0 or 1 = no batching; the server's own -batch setting caps it.
+	Batch int `json:"batch,omitempty"`
+	// DeadlineMS bounds the run's wall clock; the service cancels the
+	// engine at the deadline and reports 504. Zero means the server
+	// default.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+}
+
 // Request is one simulation: a workload on a system under a machine
 // configuration. The zero values of all optional fields select the paper's
 // defaults, so the minimal valid request is {"system":"tyr","app":"dmv"}.
@@ -118,17 +139,47 @@ type Request struct {
 	TracePoints int            `json:"trace_points,omitempty"`
 	SkipCheck   bool           `json:"skip_check,omitempty"`
 	Sanitize    bool           `json:"sanitize,omitempty"`
-	// Shards splits the tagged engines (tyr/unordered) across worker
-	// goroutines; results are bit-identical to the sequential run. Other
-	// systems, and runs with a tracer, sanitizer, or cache attached, are
-	// serial regardless. 0 or 1 = sequential.
-	Shards int `json:"shards,omitempty"`
 	// MaxCycles overrides the engine's runaway budget.
 	MaxCycles int64 `json:"max_cycles,omitempty"`
-	// TimeoutMS bounds the run's wall clock; the service cancels the
-	// engine at the deadline and reports 504. Zero means the server
-	// default.
+
+	// Exec groups the scheduling knobs (shards, batch, deadline_ms).
+	Exec *ExecSpec `json:"exec,omitempty"`
+
+	// Shards is the deprecated top-level spelling of exec.shards; it
+	// still decodes (a validation failure's 400 body carries a
+	// deprecation note), but setting both to different values is an
+	// error.
+	Shards int `json:"shards,omitempty"`
+	// TimeoutMS is the deprecated top-level spelling of exec.deadline_ms,
+	// under the same back-compat rules as Shards.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// ExecShards resolves the effective shard count across the exec block and
+// the deprecated top-level field (Validate rejects a conflict).
+func (r *Request) ExecShards() int {
+	if r.Exec != nil && r.Exec.Shards != 0 {
+		return r.Exec.Shards
+	}
+	return r.Shards
+}
+
+// ExecBatch resolves the effective lockstep batch width (exec block only;
+// batch never had a top-level spelling).
+func (r *Request) ExecBatch() int {
+	if r.Exec != nil {
+		return r.Exec.Batch
+	}
+	return 0
+}
+
+// ExecDeadlineMS resolves the effective wall-clock bound across the exec
+// block and the deprecated top-level field.
+func (r *Request) ExecDeadlineMS() int64 {
+	if r.Exec != nil && r.Exec.DeadlineMS != 0 {
+		return r.Exec.DeadlineMS
+	}
+	return r.TimeoutMS
 }
 
 // RunResult is the outcome of one /v1/run request: the uniform
@@ -151,9 +202,11 @@ type FieldError struct {
 func (e FieldError) Error() string { return e.Field + ": " + e.Message }
 
 // ValidationError aggregates every invalid field of a request, so a client
-// sees all problems at once.
+// sees all problems at once. Notes carry non-fatal advisories (deprecated
+// spellings) that ride along on the structured 400 body.
 type ValidationError struct {
 	Fields []FieldError `json:"fields"`
+	Notes  []string     `json:"notes,omitempty"`
 }
 
 func (e *ValidationError) Error() string {
@@ -217,7 +270,7 @@ func (r *Request) Validate() error {
 			errs = append(errs, FieldError{"source", err.Error()})
 		}
 	}
-	checkNonNegative(&errs, map[string]int64{
+	fields := map[string]int64{
 		"issue_width":  int64(r.IssueWidth),
 		"tags":         int64(r.Tags),
 		"global_tags":  int64(r.GlobalTags),
@@ -226,48 +279,95 @@ func (r *Request) Validate() error {
 		"shards":       int64(r.Shards),
 		"max_cycles":   r.MaxCycles,
 		"timeout_ms":   r.TimeoutMS,
-	})
+	}
+	if r.Exec != nil {
+		fields["exec.shards"] = int64(r.Exec.Shards)
+		fields["exec.batch"] = int64(r.Exec.Batch)
+		fields["exec.deadline_ms"] = r.Exec.DeadlineMS
+	}
+	checkNonNegative(&errs, fields)
+	var notes []string
+	if r.Shards != 0 {
+		notes = append(notes, `top-level "shards" is deprecated; use exec.shards`)
+		if r.Exec != nil && r.Exec.Shards != 0 && r.Exec.Shards != r.Shards {
+			errs = append(errs, FieldError{"shards", fmt.Sprintf("conflicts with exec.shards (%d vs %d)", r.Shards, r.Exec.Shards)})
+		}
+	}
+	if r.TimeoutMS != 0 {
+		notes = append(notes, `top-level "timeout_ms" is deprecated; use exec.deadline_ms`)
+		if r.Exec != nil && r.Exec.DeadlineMS != 0 && r.Exec.DeadlineMS != r.TimeoutMS {
+			errs = append(errs, FieldError{"timeout_ms", fmt.Sprintf("conflicts with exec.deadline_ms (%d vs %d)", r.TimeoutMS, r.Exec.DeadlineMS)})
+		}
+	}
 	if _, err := r.Cache.Config(); err != nil {
 		errs = append(errs, FieldError{"cache", err.Error()})
 	}
 	if len(errs) > 0 {
-		return &ValidationError{Fields: errs}
+		return &ValidationError{Fields: errs, Notes: notes}
 	}
 	return nil
 }
 
-// SysConfig converts a validated request into the harness configuration.
-// Per-call plumbing (Stop, Telemetry, Tracer, Compiler) is left for the
-// caller to attach.
-func (r *Request) SysConfig() (harness.SysConfig, error) {
+// Plan is the one validated execution plan every tool consumes (tyrd,
+// tyrsim, tyrc, tyrexp via internal/cliflags): the harness configuration
+// with the exec block resolved, the scheduling knobs spelled out, and the
+// workload resolvers — replacing the former SysConfig()/ResolveApp()
+// bridge sprawl so new exec knobs surface in exactly one place.
+type Plan struct {
+	// Cfg is the harness configuration (exec.shards and exec.batch
+	// resolved into Cfg.Shards/Cfg.Batch). Per-call plumbing (Stop,
+	// Telemetry, Tracer, Compiler) is left for the caller to attach.
+	Cfg harness.SysConfig
+	// Shards, Batch, and DeadlineMS are the resolved exec knobs;
+	// DeadlineMS zero means the server or CLI default.
+	Shards     int
+	Batch      int
+	DeadlineMS int64
+
+	req *Request
+}
+
+// Plan validates the request and converts it into the execution plan. The
+// returned error is the same *ValidationError Validate reports.
+func (r *Request) Plan() (*Plan, error) {
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
 	cc, err := r.Cache.Config()
 	if err != nil {
-		return harness.SysConfig{}, err
+		return nil, err
 	}
-	return harness.SysConfig{
-		IssueWidth:  r.IssueWidth,
-		Tags:        r.Tags,
-		BlockTags:   r.BlockTags,
-		GlobalTags:  r.GlobalTags,
-		QueueCap:    r.QueueCap,
-		LoadLatency: r.LoadLatency,
-		Cache:       cc,
-		TracePoints: r.TracePoints,
-		SkipCheck:   r.SkipCheck,
-		Sanitize:    r.Sanitize,
-		Shards:      r.Shards,
-		MaxCycles:   r.MaxCycles,
+	return &Plan{
+		Cfg: harness.SysConfig{
+			IssueWidth:  r.IssueWidth,
+			Tags:        r.Tags,
+			BlockTags:   r.BlockTags,
+			GlobalTags:  r.GlobalTags,
+			QueueCap:    r.QueueCap,
+			LoadLatency: r.LoadLatency,
+			Cache:       cc,
+			TracePoints: r.TracePoints,
+			SkipCheck:   r.SkipCheck,
+			Sanitize:    r.Sanitize,
+			Shards:      r.ExecShards(),
+			Batch:       r.ExecBatch(),
+			MaxCycles:   r.MaxCycles,
+		},
+		Shards:     r.ExecShards(),
+		Batch:      r.ExecBatch(),
+		DeadlineMS: r.ExecDeadlineMS(),
+		req:        r,
 	}, nil
 }
 
-// ResolveApp materializes the request's workload: a suite kernel at the
-// requested scale, or the inline source wrapped via apps.FromProgram (which
-// runs the reference interpreter once to build the validation oracle).
-// The oracle run is unbounded; it is the CLI entry point, where the user's
-// own program runs on the user's own machine. Services must use
-// ResolveAppBound instead.
-func (r *Request) ResolveApp() (*apps.App, error) {
-	return r.ResolveAppBound(nil, 0)
+// ResolveApp materializes the plan's workload: a suite kernel at the
+// requested scale, or the inline source wrapped via apps.FromProgram
+// (which runs the reference interpreter once to build the validation
+// oracle). The oracle run is unbounded; it is the CLI entry point, where
+// the user's own program runs on the user's own machine. Services must
+// use ResolveAppBound instead.
+func (p *Plan) ResolveApp() (*apps.App, error) {
+	return p.ResolveAppBound(nil, 0)
 }
 
 // ResolveAppBound is ResolveApp with the inline-source oracle run bounded:
@@ -277,16 +377,17 @@ func (r *Request) ResolveApp() (*apps.App, error) {
 // unaffected — their oracles are precomputed. The oracle run is CPU-bound
 // on user input, so tyrd resolves sources on a pool worker through this
 // entry point, never on a request goroutine through ResolveApp.
-func (r *Request) ResolveAppBound(stop *cancel.Flag, maxSteps int64) (*apps.App, error) {
+func (p *Plan) ResolveAppBound(stop *cancel.Flag, maxSteps int64) (*apps.App, error) {
+	r := p.req
 	if r.Source != "" {
-		p, err := prog.Parse(r.Source)
+		pr, err := prog.Parse(r.Source)
 		if err != nil {
 			return nil, err
 		}
 		if r.Optimize {
-			p = prog.Optimize(p)
+			pr = prog.Optimize(pr)
 		}
-		return apps.FromProgramConfig("", p, prog.RunConfig{
+		return apps.FromProgramConfig("", pr, prog.RunConfig{
 			Args:     r.Args,
 			MaxSteps: maxSteps,
 			Stop:     stop,
@@ -438,4 +539,7 @@ type ErrorBody struct {
 	TraceID string `json:"trace_id,omitempty"`
 	// Fields carries per-field detail for validation failures.
 	Fields []FieldError `json:"fields,omitempty"`
+	// Notes carries non-fatal advisories (e.g. deprecated request
+	// spellings) alongside a validation failure.
+	Notes []string `json:"notes,omitempty"`
 }

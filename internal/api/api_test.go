@@ -36,9 +36,8 @@ func TestRequestRoundTrip(t *testing.T) {
 		Cache:       &CacheSpec{L1: "sets=16,ways=2,line=4,lat=1", MSHRs: 4, Passthrough: true},
 		TracePoints: -1,
 		Sanitize:    true,
-		Shards:      4,
+		Exec:        &ExecSpec{Shards: 4, Batch: 8, DeadlineMS: 5000},
 		MaxCycles:   1 << 20,
-		TimeoutMS:   5000,
 	}
 	data, err := json.Marshal(in)
 	if err != nil {
@@ -134,23 +133,24 @@ func TestValidateBadSource(t *testing.T) {
 	}
 }
 
-func TestSysConfigConversion(t *testing.T) {
+func TestPlanConversion(t *testing.T) {
 	r := Request{
 		App: "dmv", System: "tyr",
 		IssueWidth: 32, Tags: 4, GlobalTags: 8, QueueCap: 2,
 		LoadLatency: 7, TracePoints: 128, SkipCheck: true, Sanitize: true,
-		Shards:    4,
+		Exec:      &ExecSpec{Shards: 4, Batch: 16, DeadlineMS: 2500},
 		MaxCycles: 999,
 		Cache:     &CacheSpec{MemLatency: 50, MSHRs: 2},
 	}
-	sc, err := r.SysConfig()
+	plan, err := r.Plan()
 	if err != nil {
 		t.Fatal(err)
 	}
+	sc := plan.Cfg
 	want := harness.SysConfig{
 		IssueWidth: 32, Tags: 4, GlobalTags: 8, QueueCap: 2,
 		LoadLatency: 7, TracePoints: 128, SkipCheck: true, Sanitize: true,
-		Shards: 4, MaxCycles: 999, Cache: sc.Cache,
+		Shards: 4, Batch: 16, MaxCycles: 999, Cache: sc.Cache,
 	}
 	if sc.Cache == nil || sc.Cache.MemLatency != 50 || sc.Cache.MSHRs != 2 {
 		t.Errorf("cache spec not applied: %+v", sc.Cache)
@@ -158,11 +158,85 @@ func TestSysConfigConversion(t *testing.T) {
 	if !reflect.DeepEqual(sc, want) {
 		t.Errorf("conversion mismatch:\n got %+v\nwant %+v", sc, want)
 	}
+	if plan.Shards != 4 || plan.Batch != 16 || plan.DeadlineMS != 2500 {
+		t.Errorf("exec knobs not resolved: shards=%d batch=%d deadline=%d",
+			plan.Shards, plan.Batch, plan.DeadlineMS)
+	}
+}
+
+// TestExecBackCompat pins the deprecated top-level spellings: they still
+// decode and resolve, and the exec block wins whenever both are set.
+func TestExecBackCompat(t *testing.T) {
+	var r Request
+	if err := json.Unmarshal([]byte(`{"system":"tyr","app":"dmv","shards":4,"timeout_ms":100}`), &r); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatalf("deprecated spellings must stay valid: %v", err)
+	}
+	if r.ExecShards() != 4 || r.ExecDeadlineMS() != 100 {
+		t.Errorf("top-level fields did not resolve: shards=%d deadline=%d",
+			r.ExecShards(), r.ExecDeadlineMS())
+	}
+
+	// Agreeing values coexist; the exec block is simply authoritative.
+	r.Exec = &ExecSpec{Shards: 4, DeadlineMS: 100}
+	if err := r.Validate(); err != nil {
+		t.Fatalf("agreeing exec and top-level values rejected: %v", err)
+	}
+
+	// Conflicting nonzero values are a hard 400, not a silent pick.
+	r.Exec = &ExecSpec{Shards: 8}
+	err := r.Validate()
+	var ve *ValidationError
+	if !errors.As(err, &ve) {
+		t.Fatalf("conflicting shards: err = %v, want *ValidationError", err)
+	}
+	fields := map[string]bool{}
+	for _, f := range ve.Fields {
+		fields[f.Field] = true
+	}
+	if !fields["shards"] {
+		t.Errorf("conflict error missing shards field: %v", ve)
+	}
+	// The rejection carries the migration guidance as notes.
+	found := false
+	for _, n := range ve.Notes {
+		if strings.Contains(n, "exec.shards") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("validation error carries no deprecation note: %v", ve.Notes)
+	}
+}
+
+// TestExecBatchResolution pins that batch has no top-level spelling: it
+// resolves from the exec block alone.
+func TestExecBatchResolution(t *testing.T) {
+	r := Request{System: "tyr", App: "dmv"}
+	if r.ExecBatch() != 0 {
+		t.Errorf("no exec block: batch = %d, want 0", r.ExecBatch())
+	}
+	r.Exec = &ExecSpec{Batch: 8}
+	if r.ExecBatch() != 8 {
+		t.Errorf("batch = %d, want 8", r.ExecBatch())
+	}
+	r.Exec.Batch = -1
+	err := r.Validate()
+	var ve *ValidationError
+	if !errors.As(err, &ve) {
+		t.Fatalf("negative exec.batch: err = %v, want *ValidationError", err)
+	}
 }
 
 func TestResolveAppSuiteKernel(t *testing.T) {
 	r := Request{App: "tc", Scale: "tiny", System: "vN"}
-	app, err := r.ResolveApp()
+	plan, err := r.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := plan.ResolveApp()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,18 +247,15 @@ func TestResolveAppSuiteKernel(t *testing.T) {
 
 func TestResolveAppInlineSourceRunsEndToEnd(t *testing.T) {
 	r := Request{Source: testSource, System: "tyr", Tags: 4}
-	if err := r.Validate(); err != nil {
-		t.Fatal(err)
-	}
-	app, err := r.ResolveApp()
+	plan, err := r.Plan()
 	if err != nil {
 		t.Fatal(err)
 	}
-	sc, err := r.SysConfig()
+	app, err := plan.ResolveApp()
 	if err != nil {
 		t.Fatal(err)
 	}
-	rs, err := harness.Run(app, r.System, sc)
+	rs, err := harness.Run(app, r.System, plan.Cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -198,20 +269,28 @@ func TestResolveAppInlineSourceRunsEndToEnd(t *testing.T) {
 // and maxSteps bounds its dynamic instructions. Suite kernels ignore both.
 func TestResolveAppBound(t *testing.T) {
 	src := Request{Source: testSource, System: "tyr"}
+	srcPlan, err := src.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	stopped := &cancel.Flag{}
 	stopped.Stop()
-	if _, err := src.ResolveAppBound(stopped, 0); !errors.Is(err, cancel.ErrStopped) {
+	if _, err := srcPlan.ResolveAppBound(stopped, 0); !errors.Is(err, cancel.ErrStopped) {
 		t.Errorf("stopped flag: err = %v, want cancel.ErrStopped", err)
 	}
 
-	if _, err := src.ResolveAppBound(nil, 1); err == nil ||
+	if _, err := srcPlan.ResolveAppBound(nil, 1); err == nil ||
 		!strings.Contains(err.Error(), "budget") {
 		t.Errorf("maxSteps=1: err = %v, want a budget error", err)
 	}
 
 	kernel := Request{App: "tc", Scale: "tiny", System: "vN"}
-	if _, err := kernel.ResolveAppBound(stopped, 1); err != nil {
+	kernelPlan, err := kernel.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := kernelPlan.ResolveAppBound(stopped, 1); err != nil {
 		t.Errorf("suite kernel with bounds: %v (the oracle is precomputed, not run)", err)
 	}
 }
@@ -232,19 +311,24 @@ func FuzzRequestDecodeValidate(f *testing.F) {
 	f.Add(`{"system":"tyr","app":"dmv"}`)
 	f.Add(`{"version":"tyr-api/v1","system":"vN","source":"program \"x\" entry main"}`)
 	f.Add(`{"system":"ordered","app":"tc","scale":"tiny","cache":{"l1":"sets=8"}}`)
+	f.Add(`{"system":"tyr","app":"dmv","exec":{"shards":2,"batch":4,"deadline_ms":100}}`)
+	f.Add(`{"system":"tyr","app":"dmv","shards":3,"exec":{"shards":2}}`)
 	f.Add(`{"system":[1,2],"app":5}`)
 	f.Fuzz(func(t *testing.T, data string) {
 		var r Request
 		if err := json.Unmarshal([]byte(data), &r); err != nil {
 			return
 		}
-		// Validate and the converters must never panic on any decodable
-		// request; a valid request must convert cleanly.
+		// Validate, the exec resolvers, and Plan must never panic on any
+		// decodable request; a valid request must plan cleanly.
+		_ = r.ExecShards()
+		_ = r.ExecBatch()
+		_ = r.ExecDeadlineMS()
 		if err := r.Validate(); err != nil {
 			return
 		}
-		if _, err := r.SysConfig(); err != nil {
-			t.Errorf("valid request failed SysConfig: %v", err)
+		if _, err := r.Plan(); err != nil {
+			t.Errorf("valid request failed Plan: %v", err)
 		}
 	})
 }

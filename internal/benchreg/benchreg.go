@@ -44,6 +44,11 @@ type System struct {
 	L1MissRate float64 `json:"l1_miss_rate"`
 	L2MissRate float64 `json:"l2_miss_rate"`
 	MeanAMAT   float64 `json:"mean_amat"`
+	// ReqPerSec is simulation throughput in requests per second (runs
+	// divided by summed wall-clock), the headline number for the batched
+	// sys@bN entries of `tyrexp bench -batch`. Host-dependent like WallNS;
+	// never part of the cycle-identity comparison.
+	ReqPerSec float64 `json:"req_per_sec,omitempty"`
 }
 
 // Load reads and validates a benchmark summary file.
@@ -101,6 +106,9 @@ func Summarize(scale string, systems []string, runs []metrics.RunStats) *Doc {
 			continue
 		}
 		bs := System{System: sys, GmeanCycles: metrics.Gmean(perSys[sys]), WallNS: wall[sys]}
+		if wall[sys] > 0 {
+			bs.ReqPerSec = float64(len(perSys[sys])) / (float64(wall[sys]) / 1e9)
+		}
 		if a := agg[sys]; a != nil && a.l1Acc > 0 {
 			bs.L1MissRate = float64(a.l1Miss) / float64(a.l1Acc)
 			bs.MeanAMAT = a.amatSum / float64(a.n)

@@ -167,6 +167,15 @@ type Config struct {
 	// Empty or short assigns blocks round-robin. Either way the
 	// assignment — and therefore the result — is deterministic.
 	ShardWeights []int64
+
+	// BatchSize is the lockstep batch width B: how many independent
+	// instances of one compiled graph a single worker advances together
+	// (see RunBatch and DESIGN.md §12). Run itself ignores it — batching
+	// is explicit via RunBatch — but the field carries the knob through
+	// the config plumbing (api exec.batch → harness.SysConfig.Batch →
+	// here), so callers grouping work can read one canonical place.
+	// 0 or 1 means no batching.
+	BatchSize int
 }
 
 const (

@@ -159,15 +159,13 @@ type machine struct {
 	resultVal int64
 }
 
-// Run executes a tagged dataflow graph against the memory image (mutated in
-// place). Deadlock is a reportable outcome, not an error; errors indicate
-// program or machine bugs (out-of-bounds access, token collisions, ...).
-func Run(g *dfg.Graph, im *mem.Image, cfg Config) (Result, error) {
-	cfg = cfg.withDefaults()
+// validateConfig rejects policy configurations no run can execute. Shared
+// by Run and RunBatch; cfg must already carry its defaults.
+func validateConfig(cfg Config) error {
 	switch cfg.Policy {
 	case PolicyTyr, PolicyLocalNoGate, PolicyKBound:
 		if cfg.TagsPerBlock < 2 {
-			return Result{}, fmt.Errorf("core: %v needs at least 2 tags per block (got %d)", cfg.Policy, cfg.TagsPerBlock)
+			return fmt.Errorf("core: %v needs at least 2 tags per block (got %d)", cfg.Policy, cfg.TagsPerBlock)
 		}
 		// Validate in sorted order so the reported block is deterministic
 		// when several are misconfigured.
@@ -179,13 +177,24 @@ func Run(g *dfg.Graph, im *mem.Image, cfg Config) (Result, error) {
 		sort.Strings(names)
 		for _, name := range names {
 			if n := cfg.BlockTags[name]; n < 2 {
-				return Result{}, fmt.Errorf("core: block %q needs at least 2 tags (got %d)", name, n)
+				return fmt.Errorf("core: block %q needs at least 2 tags (got %d)", name, n)
 			}
 		}
 	case PolicyGlobalBounded:
 		if cfg.GlobalTags < 1 {
-			return Result{}, fmt.Errorf("core: bounded global policy needs at least 1 tag (got %d)", cfg.GlobalTags)
+			return fmt.Errorf("core: bounded global policy needs at least 1 tag (got %d)", cfg.GlobalTags)
 		}
+	}
+	return nil
+}
+
+// Run executes a tagged dataflow graph against the memory image (mutated in
+// place). Deadlock is a reportable outcome, not an error; errors indicate
+// program or machine bugs (out-of-bounds access, token collisions, ...).
+func Run(g *dfg.Graph, im *mem.Image, cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	if err := validateConfig(cfg); err != nil {
+		return Result{}, err
 	}
 	m, err := newMachine(g, im, cfg)
 	if err != nil {
@@ -197,12 +206,87 @@ func Run(g *dfg.Graph, im *mem.Image, cfg Config) (Result, error) {
 	return m.run()
 }
 
+// graphPlan caches the firing metadata every machine derives from the
+// graph and the memory image's region layout: per-node constant prefills,
+// presence-bitset widths, tail-recursion reserves, and region indices.
+// The plan is read-only after construction, so one plan is shared by every
+// instance of a lockstep batch — the dispatch-amortization half of the
+// batch design (DESIGN.md §12) — and built fresh per run on the serial
+// path.
+type graphPlan struct {
+	info   []nodeInfo
+	memIdx []int // graph region -> image region
+	maxIn  int
+}
+
+// planFor derives the plan for one graph/image pairing.
+func planFor(g *dfg.Graph, im *mem.Image) (*graphPlan, error) {
+	p := &graphPlan{
+		info:   make([]nodeInfo, len(g.Nodes)),
+		memIdx: make([]int, len(g.MemNames)),
+	}
+	for i, name := range g.MemNames {
+		idx, ok := im.Index(name)
+		if !ok {
+			return nil, fmt.Errorf("core: memory image missing region %q", name)
+		}
+		p.memIdx[i] = idx
+	}
+	for i := range g.Nodes {
+		n := &g.Nodes[i]
+		ni := &p.info[i]
+		ni.constVals = make([]int64, n.NIn)
+		ni.words = (n.NIn + 63) / 64
+		for port := 0; port < n.NIn; port++ {
+			if n.ConstIn[port].Valid {
+				ni.constVals[port] = n.ConstIn[port].V
+			} else {
+				ni.needInit++
+			}
+		}
+		switch n.Op {
+		case dfg.OpAllocate:
+			if n.External && g.Blocks[n.Space].TailRecursive {
+				ni.reserve = 1
+			}
+		case dfg.OpLoad, dfg.OpStore:
+			ni.memIdx = p.memIdx[n.Region]
+		}
+		if n.NIn > p.maxIn {
+			p.maxIn = n.NIn
+		}
+	}
+	return p, nil
+}
+
+// matches reports whether im maps the graph's regions exactly as the plan
+// recorded — the condition for sharing the plan with another instance.
+func (p *graphPlan) matches(g *dfg.Graph, im *mem.Image) bool {
+	for i, name := range g.MemNames {
+		idx, ok := im.Index(name)
+		if !ok || idx != p.memIdx[i] {
+			return false
+		}
+	}
+	return true
+}
+
 func newMachine(g *dfg.Graph, im *mem.Image, cfg Config) (*machine, error) {
+	p, err := planFor(g, im)
+	if err != nil {
+		return nil, err
+	}
+	return newMachineFromPlan(g, im, cfg, p), nil
+}
+
+// newMachineFromPlan builds one machine's per-instance state around a
+// (possibly shared) read-only plan.
+func newMachineFromPlan(g *dfg.Graph, im *mem.Image, cfg Config, p *graphPlan) *machine {
 	m := &machine{
 		g:       g,
 		im:      im,
 		cfg:     cfg,
-		info:    make([]nodeInfo, len(g.Nodes)),
+		info:    p.info,
 		stores:  make([]waitStore, len(g.Nodes)),
 		ipcHist: make([]int64, cfg.IssueWidth+1),
 	}
@@ -220,42 +304,11 @@ func newMachine(g *dfg.Graph, im *mem.Image, cfg Config) (*machine, error) {
 	}
 	m.rec = cfg.Tracer
 
-	memIdx := make([]int, len(g.MemNames))
-	for i, name := range g.MemNames {
-		idx, ok := im.Index(name)
-		if !ok {
-			return nil, fmt.Errorf("core: memory image missing region %q", name)
-		}
-		memIdx[i] = idx
-	}
-
-	maxIn := 0
 	for i := range g.Nodes {
-		n := &g.Nodes[i]
-		ni := &m.info[i]
-		ni.constVals = make([]int64, n.NIn)
-		ni.words = (n.NIn + 63) / 64
-		for p := 0; p < n.NIn; p++ {
-			if n.ConstIn[p].Valid {
-				ni.constVals[p] = n.ConstIn[p].V
-			} else {
-				ni.needInit++
-			}
-		}
-		switch n.Op {
-		case dfg.OpAllocate:
-			if n.External && g.Blocks[n.Space].TailRecursive {
-				ni.reserve = 1
-			}
-		case dfg.OpLoad, dfg.OpStore:
-			ni.memIdx = memIdx[n.Region]
-		}
-		m.stores[i].init(n.NIn, ni.words, ni.needInit, ni.constVals)
-		if n.NIn > maxIn {
-			maxIn = n.NIn
-		}
+		ni := &p.info[i]
+		m.stores[i].init(g.Nodes[i].NIn, ni.words, ni.needInit, ni.constVals)
 	}
-	m.fireVals = make([]int64, maxIn)
+	m.fireVals = make([]int64, p.maxIn)
 
 	nspaces := len(g.Blocks)
 	m.inUse = make([]int, nspaces)
@@ -309,7 +362,7 @@ func newMachine(g *dfg.Graph, im *mem.Image, cfg Config) (*machine, error) {
 		}
 		m.poolLocal[s] = pool
 	}
-	return m, nil
+	return m
 }
 
 // allocRoot takes the tag for the root context.
@@ -944,94 +997,127 @@ func (m *machine) fireAllocateKBound(ref fireRef, n *dfg.Node, slot int32) (bool
 	return true, nil
 }
 
+// start allocates the root context and injects the entry tokens: the
+// machine's state at cycle zero, before the first stepCycle.
+func (m *machine) start() error {
+	rootTag, err := m.allocRoot()
+	if err != nil {
+		return err
+	}
+	for _, inj := range m.g.Entries {
+		m.emit(dfg.InvalidNode, inj.To, rootTag, inj.Val)
+	}
+	return nil
+}
+
+// stopErr is the cancellation outcome every driver of stepCycle reports.
+func (m *machine) stopErr() error {
+	return fmt.Errorf("core: run stopped at cycle %d: %w", m.cycle, cancel.ErrStopped)
+}
+
+// stepCycle advances the machine by exactly one simulated cycle: deliver
+// last cycle's tokens, promote completions into the ready flow, and fire
+// up to IssueWidth instances. It reports done=true when the machine has
+// quiesced (nothing ready, nothing in flight) — the caller then calls
+// finish. Splitting the cycle out of run is what lets a batch driver
+// interleave B machines in lockstep (batch.go) while the serial loop
+// stays a thin wrapper; the caller owns the cancel poll, exactly where
+// the old loop polled it.
+//
+//tyr:hotpath
+func (m *machine) stepCycle() (bool, error) {
+	// Deliver last cycle's tokens; completions join the ready flow.
+	// The outbox is double-buffered: deliveries append new tokens to
+	// the spare while the previous cycle's batch drains.
+	box := m.outbox
+	m.outbox = m.outboxSpare[:0]
+	for _, t := range box {
+		if err := m.deliver(t); err != nil {
+			return false, err
+		}
+	}
+	m.outboxSpare = box
+	if m.delayed.Len() > 0 {
+		for _, t := range m.delayed.Take(m.cycle) {
+			if err := m.deliver(t); err != nil {
+				return false, err
+			}
+		}
+	}
+	if m.readyHead == len(m.ready) {
+		m.ready = m.ready[:0]
+		m.readyHead = 0
+	}
+	m.ready = append(m.ready, m.nextReady...)
+	m.nextReady = m.nextReady[:0]
+
+	if m.readyHead == len(m.ready) {
+		if m.delayed.Len() > 0 {
+			// Stalled on memory: burn an idle cycle.
+			m.cycle++
+			m.ipcHist[0]++
+			m.sumLive += m.live
+			m.samplePoint()
+			return false, nil
+		}
+		return true, nil
+	}
+	if m.cycle >= m.cfg.MaxCycles {
+		return false, fmt.Errorf("core: exceeded MaxCycles=%d (runaway program?)", m.cfg.MaxCycles)
+	}
+
+	budget := m.cfg.IssueWidth
+	firedThisCycle := 0
+	idx := m.readyHead
+	for budget > 0 && idx < len(m.ready) {
+		ref := m.ready[idx]
+		idx++
+		slot, err := m.fire(ref)
+		if err != nil {
+			return false, err
+		}
+		if slot {
+			budget--
+			firedThisCycle++
+		}
+	}
+	m.readyHead = idx
+	if m.readyHead > 64 && m.readyHead*2 >= len(m.ready) {
+		n := copy(m.ready, m.ready[m.readyHead:])
+		m.ready = m.ready[:n]
+		m.readyHead = 0
+	}
+
+	m.cycle++
+	m.ipcHist[firedThisCycle]++
+	m.sumLive += m.live
+	if m.live > m.peakLive {
+		m.peakLive = m.live
+	}
+	m.samplePoint()
+	return false, nil
+}
+
 // run is the main cycle loop.
 //
 //tyr:cycleloop
 //tyr:hotpath
 func (m *machine) run() (Result, error) {
-	rootTag, err := m.allocRoot()
-	if err != nil {
+	if err := m.start(); err != nil {
 		return Result{}, err
 	}
-	for _, inj := range m.g.Entries {
-		m.emit(dfg.InvalidNode, inj.To, rootTag, inj.Val)
-	}
-
 	for {
 		if m.cfg.Stop.Stopped() {
-			return Result{}, fmt.Errorf("core: run stopped at cycle %d: %w", m.cycle, cancel.ErrStopped)
+			return Result{}, m.stopErr()
 		}
-		// Deliver last cycle's tokens; completions join the ready flow.
-		// The outbox is double-buffered: deliveries append new tokens to
-		// the spare while the previous cycle's batch drains.
-		box := m.outbox
-		m.outbox = m.outboxSpare[:0]
-		for _, t := range box {
-			if err := m.deliver(t); err != nil {
-				return Result{}, err
-			}
+		done, err := m.stepCycle()
+		if err != nil {
+			return Result{}, err
 		}
-		m.outboxSpare = box
-		if m.delayed.Len() > 0 {
-			for _, t := range m.delayed.Take(m.cycle) {
-				if err := m.deliver(t); err != nil {
-					return Result{}, err
-				}
-			}
-		}
-		if m.readyHead == len(m.ready) {
-			m.ready = m.ready[:0]
-			m.readyHead = 0
-		}
-		m.ready = append(m.ready, m.nextReady...)
-		m.nextReady = m.nextReady[:0]
-
-		if m.readyHead == len(m.ready) {
-			if m.delayed.Len() > 0 {
-				// Stalled on memory: burn an idle cycle.
-				m.cycle++
-				m.ipcHist[0]++
-				m.sumLive += m.live
-				m.samplePoint()
-				continue
-			}
+		if done {
 			break
 		}
-		if m.cycle >= m.cfg.MaxCycles {
-			return Result{}, fmt.Errorf("core: exceeded MaxCycles=%d (runaway program?)", m.cfg.MaxCycles)
-		}
-
-		budget := m.cfg.IssueWidth
-		firedThisCycle := 0
-		idx := m.readyHead
-		for budget > 0 && idx < len(m.ready) {
-			ref := m.ready[idx]
-			idx++
-			slot, err := m.fire(ref)
-			if err != nil {
-				return Result{}, err
-			}
-			if slot {
-				budget--
-				firedThisCycle++
-			}
-		}
-		m.readyHead = idx
-		if m.readyHead > 64 && m.readyHead*2 >= len(m.ready) {
-			n := copy(m.ready, m.ready[m.readyHead:])
-			m.ready = m.ready[:n]
-			m.readyHead = 0
-		}
-
-		m.cycle++
-		m.ipcHist[firedThisCycle]++
-		m.sumLive += m.live
-		if m.live > m.peakLive {
-			m.peakLive = m.live
-		}
-		m.samplePoint()
 	}
-
 	return m.finish()
 }
 

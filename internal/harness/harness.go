@@ -84,6 +84,12 @@ type SysConfig struct {
 	// stream; ordered's FIFO discipline is the serialization under
 	// study) and ignore the setting. 0 or 1 = sequential.
 	Shards int
+	// Batch is the lockstep batch width B for callers that group several
+	// runs of one compiled graph into a single worker (RunBatch, the
+	// serving coalescer). Run itself ignores it — a single run has
+	// nothing to batch with — but the field carries the knob through the
+	// one config surface (api exec.batch → here). 0 or 1 = no batching.
+	Batch int
 	// Compiler, when non-nil, supplies compiled graphs in place of the
 	// default compile calls — the serving layer injects its LRU cache of
 	// compiled graphs here. Implementations must return graphs that are
@@ -269,12 +275,7 @@ func runSystem(app *apps.App, system string, cfg SysConfig) (metrics.RunStats, e
 		if err != nil {
 			return rs, err
 		}
-		ocfg := ordered.Config{
-			IssueWidth: cfg.IssueWidth, QueueCap: cfg.QueueCap,
-			LoadLatency: cfg.LoadLatency, MaxCycles: cfg.MaxCycles,
-			TracePoints: cfg.TracePoints,
-			Tracer:      cfg.Tracer, Stop: cfg.Stop,
-		}
+		ocfg := orderedConfigFor(cfg)
 		if hier != nil {
 			ocfg.Memory = hier
 		}
@@ -287,12 +288,7 @@ func runSystem(app *apps.App, system string, cfg SysConfig) (metrics.RunStats, e
 				return rs, fmt.Errorf("harness: %s on %s produced wrong output: %w", app.Name, system, err)
 			}
 		}
-		rs.Completed = res.Completed
-		rs.Cycles, rs.Fired = res.Cycles, res.Fired
-		rs.PeakLive, rs.MeanLive = res.PeakLive, res.MeanLive
-		rs.IPCHist = res.IPCHist
-		rs.Trace = convertTrace(res.Trace)
-		rs.Note = res.Note
+		fillOrderedStats(&rs, res)
 		attachCache(&rs, hier)
 		return rs, nil
 
@@ -301,26 +297,7 @@ func runSystem(app *apps.App, system string, cfg SysConfig) (metrics.RunStats, e
 		if err != nil {
 			return rs, err
 		}
-		ecfg := core.Config{
-			IssueWidth:  cfg.IssueWidth,
-			LoadLatency: cfg.LoadLatency,
-			MaxCycles:   cfg.MaxCycles,
-			TracePoints: cfg.TracePoints,
-			Sanitize:    cfg.Sanitize,
-			Tracer:      cfg.Tracer,
-			Stop:        cfg.Stop,
-			Shards:      cfg.Shards,
-		}
-		if system == SysTyr {
-			ecfg.Policy = core.PolicyTyr
-			ecfg.TagsPerBlock = cfg.Tags
-			ecfg.BlockTags = cfg.BlockTags
-		} else if cfg.GlobalTags > 0 {
-			ecfg.Policy = core.PolicyGlobalBounded
-			ecfg.GlobalTags = cfg.GlobalTags
-		} else {
-			ecfg.Policy = core.PolicyGlobalUnlimited
-		}
+		ecfg := coreConfigFor(system, cfg)
 		im := app.NewImage()
 		if cfg.imageSink != nil {
 			*cfg.imageSink = im
@@ -339,18 +316,9 @@ func runSystem(app *apps.App, system string, cfg SysConfig) (metrics.RunStats, e
 		if err != nil {
 			return rs, err
 		}
-		rs.Completed = res.Completed
-		rs.Deadlocked = res.Deadlocked
-		rs.Cycles, rs.Fired = res.Cycles, res.Fired
-		rs.PeakLive, rs.MeanLive = res.PeakLive, res.MeanLive
-		rs.IPCHist = res.IPCHist
-		rs.Trace = convertCoreTrace(res.Trace)
-		rs.PeakTags = res.PeakTags
-		rs.Note = res.Note
+		fillCoreStats(&rs, res)
 		attachCache(&rs, hier)
 		if res.Deadlocked {
-			rs.Note = res.Note + "; " + res.Deadlock.String()
-			rs.Deadlock = convertDeadlock(res.Deadlock)
 			return rs, nil
 		}
 		if !cfg.SkipCheck {
@@ -361,6 +329,72 @@ func runSystem(app *apps.App, system string, cfg SysConfig) (metrics.RunStats, e
 		return rs, nil
 	}
 	return rs, fmt.Errorf("harness: unknown system %q", system)
+}
+
+// coreConfigFor translates the harness config into the tagged engine's
+// config for a system (tyr or unordered), minus the per-run memory
+// hierarchy (which is built against each run's own image).
+func coreConfigFor(system string, cfg SysConfig) core.Config {
+	ecfg := core.Config{
+		IssueWidth:  cfg.IssueWidth,
+		LoadLatency: cfg.LoadLatency,
+		MaxCycles:   cfg.MaxCycles,
+		TracePoints: cfg.TracePoints,
+		Sanitize:    cfg.Sanitize,
+		Tracer:      cfg.Tracer,
+		Stop:        cfg.Stop,
+		Shards:      cfg.Shards,
+		BatchSize:   cfg.Batch,
+	}
+	if system == SysTyr {
+		ecfg.Policy = core.PolicyTyr
+		ecfg.TagsPerBlock = cfg.Tags
+		ecfg.BlockTags = cfg.BlockTags
+	} else if cfg.GlobalTags > 0 {
+		ecfg.Policy = core.PolicyGlobalBounded
+		ecfg.GlobalTags = cfg.GlobalTags
+	} else {
+		ecfg.Policy = core.PolicyGlobalUnlimited
+	}
+	return ecfg
+}
+
+// orderedConfigFor translates the harness config into the FIFO machine's
+// config, minus the per-run memory hierarchy.
+func orderedConfigFor(cfg SysConfig) ordered.Config {
+	return ordered.Config{
+		IssueWidth: cfg.IssueWidth, QueueCap: cfg.QueueCap,
+		LoadLatency: cfg.LoadLatency, MaxCycles: cfg.MaxCycles,
+		TracePoints: cfg.TracePoints,
+		Tracer:      cfg.Tracer, Stop: cfg.Stop,
+	}
+}
+
+// fillCoreStats copies a tagged-engine result into the uniform record,
+// including the deadlock post-mortem when the run deadlocked.
+func fillCoreStats(rs *metrics.RunStats, res core.Result) {
+	rs.Completed = res.Completed
+	rs.Deadlocked = res.Deadlocked
+	rs.Cycles, rs.Fired = res.Cycles, res.Fired
+	rs.PeakLive, rs.MeanLive = res.PeakLive, res.MeanLive
+	rs.IPCHist = res.IPCHist
+	rs.Trace = convertCoreTrace(res.Trace)
+	rs.PeakTags = res.PeakTags
+	rs.Note = res.Note
+	if res.Deadlocked {
+		rs.Note = res.Note + "; " + res.Deadlock.String()
+		rs.Deadlock = convertDeadlock(res.Deadlock)
+	}
+}
+
+// fillOrderedStats copies a FIFO-machine result into the uniform record.
+func fillOrderedStats(rs *metrics.RunStats, res ordered.Result) {
+	rs.Completed = res.Completed
+	rs.Cycles, rs.Fired = res.Cycles, res.Fired
+	rs.PeakLive, rs.MeanLive = res.PeakLive, res.MeanLive
+	rs.IPCHist = res.IPCHist
+	rs.Trace = convertTrace(res.Trace)
+	rs.Note = res.Note
 }
 
 // convertTrace adapts any engine's state-point slice to the uniform trace

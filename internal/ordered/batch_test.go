@@ -1,0 +1,81 @@
+package ordered
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/cancel"
+	"repro/internal/mem"
+)
+
+// TestOrderedBatchBitIdentical: every instance of a lockstep batch — with
+// heterogeneous queue capacities, widths, and latencies — matches a serial
+// run of that instance alone, bit for bit.
+func TestOrderedBatchBitIdentical(t *testing.T) {
+	g := compileSum(t, 40)
+	cfgs := []Config{
+		{},
+		{QueueCap: 2},
+		{QueueCap: 16, IssueWidth: 4},
+		{LoadLatency: 5},
+		{QueueCap: 3, LoadLatency: 2, IssueWidth: 2},
+	}
+	insts := make([]BatchInstance, len(cfgs))
+	for i, cfg := range cfgs {
+		insts[i] = BatchInstance{Cfg: cfg, Im: mem.NewImage()}
+	}
+	outs, err := RunBatch(g, insts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, cfg := range cfgs {
+		want, werr := Run(g, mem.NewImage(), cfg)
+		if werr != nil {
+			t.Fatalf("serial instance %d: %v", i, werr)
+		}
+		if outs[i].Err != nil {
+			t.Fatalf("batch instance %d: %v", i, outs[i].Err)
+		}
+		if !reflect.DeepEqual(outs[i].Res, want) {
+			t.Errorf("instance %d: batched Result diverged from serial\n  batch:  %+v\n  serial: %+v",
+				i, outs[i].Res, want)
+		}
+	}
+}
+
+// TestOrderedBatchPerInstanceStop: a pre-armed stop flag cancels exactly
+// its instance; batchmates complete.
+func TestOrderedBatchPerInstanceStop(t *testing.T) {
+	g := compileSum(t, 30)
+	stopped := &cancel.Flag{}
+	stopped.Stop()
+	insts := []BatchInstance{
+		{Cfg: Config{}, Im: mem.NewImage()},
+		{Cfg: Config{Stop: stopped}, Im: mem.NewImage()},
+	}
+	outs, err := RunBatch(g, insts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(outs[1].Err, cancel.ErrStopped) {
+		t.Errorf("stopped instance err = %v, want ErrStopped", outs[1].Err)
+	}
+	if outs[0].Err != nil || !outs[0].Res.Completed {
+		t.Errorf("instance 0: err=%v completed=%v, want completion", outs[0].Err, outs[0].Res.Completed)
+	}
+}
+
+func TestOrderedBatchRejectsEmptyAndInvalid(t *testing.T) {
+	g := compileSum(t, 4)
+	if _, err := RunBatch(g, nil); err == nil {
+		t.Error("empty batch: want error")
+	}
+	insts := []BatchInstance{
+		{Cfg: Config{}, Im: mem.NewImage()},
+		{Cfg: Config{QueueCap: 1}, Im: mem.NewImage()},
+	}
+	if _, err := RunBatch(g, insts); err == nil {
+		t.Error("invalid instance config: want error")
+	}
+}

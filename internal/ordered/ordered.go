@@ -222,51 +222,47 @@ type machine struct {
 //tyr:hotpath
 func (m *machine) pidx(p dfg.Port) int32 { return m.portBase[p.Node] + int32(p.In) }
 
-// Run executes an ordered (ModeOrdered) graph against the memory image.
-func Run(g *dfg.Graph, im *mem.Image, cfg Config) (Result, error) {
-	cfg = cfg.withDefaults()
+// validateConfig rejects configurations the FIFO machine cannot run.
+func validateConfig(cfg Config) error {
 	if cfg.QueueCap < 2 {
-		return Result{}, fmt.Errorf("ordered: queue capacity must be at least 2 (got %d)", cfg.QueueCap)
+		return fmt.Errorf("ordered: queue capacity must be at least 2 (got %d)", cfg.QueueCap)
 	}
-	m := &machine{
-		g:         g,
-		im:        im,
-		cfg:       cfg,
-		queues:    make([][]fifo, len(g.Nodes)),
-		dirty:     &dirtySet{marked: make([]bool, len(g.Nodes))},
-		nextDirty: &dirtySet{marked: make([]bool, len(g.Nodes))},
-		ipcHist:   make([]int64, cfg.IssueWidth+1),
-		rec:       cfg.Tracer,
-	}
-	m.portBase = make([]int32, len(g.Nodes))
-	nports := int32(0)
-	maxIn := 0
+	return nil
+}
+
+// graphPlan is the read-only per-graph metadata a machine consults while
+// firing: the flattened port index, the producers-of wake-up lists, and
+// the graph-region → image-region mapping. One plan is built per graph
+// and shared by every instance of a lockstep batch (RunBatch), so
+// dispatch metadata stays hot across instances.
+type graphPlan struct {
+	portBase    []int32
+	nports      int32
+	maxIn       int
+	producersOf [][]dfg.NodeID
+	memIdx      []int
+}
+
+// planFor builds the shared plan for a graph against a memory image's
+// region layout.
+func planFor(g *dfg.Graph, im *mem.Image) (*graphPlan, error) {
+	p := &graphPlan{portBase: make([]int32, len(g.Nodes))}
 	for i := range g.Nodes {
-		m.portBase[i] = nports
-		nports += int32(g.Nodes[i].NIn)
-		if g.Nodes[i].NIn > maxIn {
-			maxIn = g.Nodes[i].NIn
+		p.portBase[i] = p.nports
+		p.nports += int32(g.Nodes[i].NIn)
+		if g.Nodes[i].NIn > p.maxIn {
+			p.maxIn = g.Nodes[i].NIn
 		}
 	}
-	m.stagedN = make([]int32, nports)
-	m.inFlight = make([]int32, nports)
-	m.lastDue = make([]int64, nports)
-	m.vals = make([]int64, maxIn)
-	if cfg.TracePoints > 0 {
-		m.traceStride = 1
-	}
-	m.memIdx = make([]int, len(g.MemNames))
+	p.memIdx = make([]int, len(g.MemNames))
 	for i, name := range g.MemNames {
 		idx, ok := im.Index(name)
 		if !ok {
-			return Result{}, fmt.Errorf("ordered: memory image missing region %q", name)
+			return nil, fmt.Errorf("ordered: memory image missing region %q", name)
 		}
-		m.memIdx[i] = idx
+		p.memIdx[i] = idx
 	}
 	producers := make([]map[dfg.NodeID]bool, len(g.Nodes))
-	for i := range g.Nodes {
-		m.queues[i] = make([]fifo, g.Nodes[i].NIn)
-	}
 	for i := range g.Nodes {
 		for _, dests := range g.Nodes[i].Outs {
 			for _, d := range dests {
@@ -277,27 +273,90 @@ func Run(g *dfg.Graph, im *mem.Image, cfg Config) (Result, error) {
 			}
 		}
 	}
-	m.producersOf = make([][]dfg.NodeID, len(g.Nodes))
+	p.producersOf = make([][]dfg.NodeID, len(g.Nodes))
 	for i, set := range producers {
 		//tyr:nondet-ok -- set flattened here, sorted immediately below
-		for p := range set {
-			m.producersOf[i] = append(m.producersOf[i], p)
+		for pr := range set {
+			p.producersOf[i] = append(p.producersOf[i], pr)
 		}
 		// Sorted so wake-up order (and thus the dirty list) never depends
 		// on map iteration.
-		sortNodeIDs(m.producersOf[i])
+		sortNodeIDs(p.producersOf[i])
 	}
-	for _, inj := range g.Entries {
+	return p, nil
+}
+
+// matches reports whether another image's region layout resolves
+// identically under this plan, so the plan may be shared with it.
+func (p *graphPlan) matches(g *dfg.Graph, im *mem.Image) bool {
+	if len(p.memIdx) != len(g.MemNames) {
+		return false
+	}
+	for i, name := range g.MemNames {
+		idx, ok := im.Index(name)
+		if !ok || idx != p.memIdx[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// newMachineFromPlan wires a machine's mutable state (queues, staged
+// buffers, counters) around the shared read-only plan.
+func newMachineFromPlan(g *dfg.Graph, im *mem.Image, cfg Config, p *graphPlan) *machine {
+	m := &machine{
+		g:           g,
+		im:          im,
+		cfg:         cfg,
+		queues:      make([][]fifo, len(g.Nodes)),
+		dirty:       &dirtySet{marked: make([]bool, len(g.Nodes))},
+		nextDirty:   &dirtySet{marked: make([]bool, len(g.Nodes))},
+		ipcHist:     make([]int64, cfg.IssueWidth+1),
+		rec:         cfg.Tracer,
+		portBase:    p.portBase,
+		producersOf: p.producersOf,
+		memIdx:      p.memIdx,
+	}
+	m.stagedN = make([]int32, p.nports)
+	m.inFlight = make([]int32, p.nports)
+	m.lastDue = make([]int64, p.nports)
+	m.vals = make([]int64, p.maxIn)
+	if cfg.TracePoints > 0 {
+		m.traceStride = 1
+	}
+	for i := range g.Nodes {
+		m.queues[i] = make([]fifo, g.Nodes[i].NIn)
+	}
+	return m
+}
+
+// start injects the graph's entry tokens, arming the initial dirty set.
+func (m *machine) start() {
+	for _, inj := range m.g.Entries {
 		m.queues[inj.To.Node][inj.To.In].push(inj.Val)
 		m.live++
 		m.dirty.add(inj.To.Node)
 		if m.rec != nil {
 			m.rec.Record(trace.Event{Kind: trace.KindDeliver,
 				Node: int32(inj.To.Node), Src: trace.NoNode,
-				Block: int32(g.Nodes[inj.To.Node].Block),
+				Block: int32(m.g.Nodes[inj.To.Node].Block),
 				Port:  int16(inj.To.In), Val: inj.Val})
 		}
 	}
+}
+
+// Run executes an ordered (ModeOrdered) graph against the memory image.
+func Run(g *dfg.Graph, im *mem.Image, cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	if err := validateConfig(cfg); err != nil {
+		return Result{}, err
+	}
+	p, err := planFor(g, im)
+	if err != nil {
+		return Result{}, err
+	}
+	m := newMachineFromPlan(g, im, cfg, p)
+	m.start()
 	return m.run()
 }
 
@@ -555,7 +614,88 @@ func (m *machine) fireNode(nid dfg.NodeID) error {
 	return nil
 }
 
-// run is the machine's main loop: one iteration per simulated cycle,
+// stopErr is the error a cancelled run returns; split out so the loop's
+// normal path carries no formatting.
+func (m *machine) stopErr() error {
+	return fmt.Errorf("ordered: run stopped at cycle %d: %w", m.cycle, cancel.ErrStopped)
+}
+
+// stepCycle advances the machine by exactly one simulated cycle and
+// reports whether the machine has quiesced. Drivers (the serial run loop
+// and the lockstep batch runner) own cancel polling and termination;
+// keeping the step allocation-free keeps both drivers on the fast path.
+//
+//tyr:hotpath
+func (m *machine) stepCycle() (bool, error) {
+	if len(m.dirty.list) == 0 && m.delayed.Len() == 0 {
+		return true, nil
+	}
+	for _, p := range m.delayed.Take(m.cycle) {
+		m.queues[p.to.Node][p.to.In].push(p.val)
+		m.inFlight[m.pidx(p.to)]--
+		m.dirty.add(p.to.Node)
+		if m.rec != nil {
+			m.rec.Record(trace.Event{Cycle: m.cycle, Kind: trace.KindDeliver,
+				Node: int32(p.to.Node), Src: int32(p.src),
+				Block: int32(m.g.Nodes[p.to.Node].Block),
+				Port:  int16(p.to.In), Val: p.val})
+		}
+	}
+	if m.cycle >= m.cfg.MaxCycles {
+		return false, fmt.Errorf("ordered: exceeded MaxCycles=%d", m.cfg.MaxCycles)
+	}
+
+	// Deterministic candidate order: the dirty list holds the same
+	// set the seed kept as map keys; sorting it in place restores the
+	// seed's candidate order without a per-cycle allocation.
+	candidates := m.dirty.list
+	sortNodeIDs(candidates)
+
+	budget := m.cfg.IssueWidth
+	firedThisCycle := 0
+	for _, nid := range candidates {
+		if budget == 0 {
+			m.nextDirty.add(nid) // retry next cycle
+			continue
+		}
+		if !m.ready(nid) {
+			continue
+		}
+		if err := m.fireNode(nid); err != nil {
+			return false, err
+		}
+		budget--
+		firedThisCycle++
+	}
+
+	// Deliver staged tokens, unwinding their staged-count reservations.
+	for _, p := range m.staged {
+		m.queues[p.to.Node][p.to.In].push(p.val)
+		m.stagedN[m.pidx(p.to)] = 0
+		m.nextDirty.add(p.to.Node)
+		if m.rec != nil {
+			m.rec.Record(trace.Event{Cycle: m.cycle, Kind: trace.KindDeliver,
+				Node: int32(p.to.Node), Src: int32(p.src),
+				Block: int32(m.g.Nodes[p.to.Node].Block),
+				Port:  int16(p.to.In), Val: p.val})
+		}
+	}
+	m.staged = m.staged[:0]
+
+	m.dirty.clear()
+	m.dirty, m.nextDirty = m.nextDirty, m.dirty
+
+	m.cycle++
+	m.ipcHist[firedThisCycle]++
+	m.sumLive += m.live
+	if m.live > m.peakLive {
+		m.peakLive = m.live
+	}
+	m.samplePoint()
+	return false, nil
+}
+
+// run is the machine's serial driver: one stepCycle per simulated cycle,
 // polling the cancel flag at every cycle boundary, allocation-free in
 // steady state.
 //
@@ -564,75 +704,16 @@ func (m *machine) fireNode(nid dfg.NodeID) error {
 func (m *machine) run() (Result, error) {
 	for {
 		if m.cfg.Stop.Stopped() {
-			return Result{}, fmt.Errorf("ordered: run stopped at cycle %d: %w", m.cycle, cancel.ErrStopped)
+			return Result{}, m.stopErr()
 		}
-		if len(m.dirty.list) == 0 && m.delayed.Len() == 0 {
+		done, err := m.stepCycle()
+		if err != nil {
+			return Result{}, err
+		}
+		if done {
 			break
 		}
-		for _, p := range m.delayed.Take(m.cycle) {
-			m.queues[p.to.Node][p.to.In].push(p.val)
-			m.inFlight[m.pidx(p.to)]--
-			m.dirty.add(p.to.Node)
-			if m.rec != nil {
-				m.rec.Record(trace.Event{Cycle: m.cycle, Kind: trace.KindDeliver,
-					Node: int32(p.to.Node), Src: int32(p.src),
-					Block: int32(m.g.Nodes[p.to.Node].Block),
-					Port:  int16(p.to.In), Val: p.val})
-			}
-		}
-		if m.cycle >= m.cfg.MaxCycles {
-			return Result{}, fmt.Errorf("ordered: exceeded MaxCycles=%d", m.cfg.MaxCycles)
-		}
-
-		// Deterministic candidate order: the dirty list holds the same
-		// set the seed kept as map keys; sorting it in place restores the
-		// seed's candidate order without a per-cycle allocation.
-		candidates := m.dirty.list
-		sortNodeIDs(candidates)
-
-		budget := m.cfg.IssueWidth
-		firedThisCycle := 0
-		for _, nid := range candidates {
-			if budget == 0 {
-				m.nextDirty.add(nid) // retry next cycle
-				continue
-			}
-			if !m.ready(nid) {
-				continue
-			}
-			if err := m.fireNode(nid); err != nil {
-				return Result{}, err
-			}
-			budget--
-			firedThisCycle++
-		}
-
-		// Deliver staged tokens, unwinding their staged-count reservations.
-		for _, p := range m.staged {
-			m.queues[p.to.Node][p.to.In].push(p.val)
-			m.stagedN[m.pidx(p.to)] = 0
-			m.nextDirty.add(p.to.Node)
-			if m.rec != nil {
-				m.rec.Record(trace.Event{Cycle: m.cycle, Kind: trace.KindDeliver,
-					Node: int32(p.to.Node), Src: int32(p.src),
-					Block: int32(m.g.Nodes[p.to.Node].Block),
-					Port:  int16(p.to.In), Val: p.val})
-			}
-		}
-		m.staged = m.staged[:0]
-
-		m.dirty.clear()
-		m.dirty, m.nextDirty = m.nextDirty, m.dirty
-
-		m.cycle++
-		m.ipcHist[firedThisCycle]++
-		m.sumLive += m.live
-		if m.live > m.peakLive {
-			m.peakLive = m.live
-		}
-		m.samplePoint()
 	}
-
 	return m.finish()
 }
 

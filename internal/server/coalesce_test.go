@@ -1,0 +1,302 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/api"
+)
+
+// runResp is one concurrent /v1/run outcome collected by fireRuns.
+type runResp struct {
+	status int
+	result api.RunResult
+	body   string
+}
+
+// fireRuns posts every request concurrently and returns the responses in
+// request order.
+func fireRuns(t *testing.T, ts *httptest.Server, reqs []api.Request) []runResp {
+	t.Helper()
+	out := make([]runResp, len(reqs))
+	var wg sync.WaitGroup
+	for i, req := range reqs {
+		wg.Add(1)
+		go func(i int, req api.Request) {
+			defer wg.Done()
+			resp, body := postJSON(t, ts.Client(), ts.URL+"/v1/run", req)
+			out[i].status = resp.StatusCode
+			out[i].body = string(body)
+			if resp.StatusCode == http.StatusOK {
+				if err := json.Unmarshal(body, &out[i].result); err != nil {
+					t.Errorf("request %d: bad result: %v", i, err)
+				}
+			}
+		}(i, req)
+	}
+	wg.Wait()
+	return out
+}
+
+func kernelReq(app, system string) api.Request {
+	return api.Request{App: app, Scale: "tiny", System: system}
+}
+
+// TestCoalesceFormsBatches: N concurrent identical-graph requests form at
+// most ceil(N/B) batches, every response is a completed checked run, and
+// each batched result is bit-identical (same simulated cycles) to an
+// opted-out solo run on the same server.
+func TestCoalesceFormsBatches(t *testing.T) {
+	srv, ts := newTestServer(t, Config{
+		Workers: 2, QueueDepth: 64,
+		BatchSize: 8, BatchWindow: 5 * time.Second,
+	})
+
+	const n = 16
+	reqs := make([]api.Request, n)
+	for i := range reqs {
+		reqs[i] = kernelReq("tc", "tyr")
+	}
+	resps := fireRuns(t, ts, reqs)
+	for i, r := range resps {
+		if r.status != http.StatusOK {
+			t.Fatalf("request %d: status %d: %s", i, r.status, r.body)
+		}
+		if !r.result.Stats.Completed || !r.result.Checked {
+			t.Errorf("request %d: not completed+checked: %+v", i, r.result.Stats)
+		}
+	}
+
+	m := srv.Metrics()
+	if formed := m.batchFormed.Load(); formed < 1 || formed > 2 {
+		t.Errorf("batches formed = %d, want 1..ceil(%d/8)=2", formed, n)
+	}
+	if size := m.batchSize.Load(); size != n {
+		t.Errorf("coalesced instances = %d, want %d (every request batched)", size, n)
+	}
+
+	// exec.batch=1 opts out: the solo run must report the same simulated
+	// cycle count as its batched twins — batching is bit-identical.
+	solo := kernelReq("tc", "tyr")
+	solo.Exec = &api.ExecSpec{Batch: 1}
+	formedBefore := m.batchFormed.Load()
+	resp, body := postJSON(t, ts.Client(), ts.URL+"/v1/run", solo)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("solo run: status %d: %s", resp.StatusCode, body)
+	}
+	var soloRes api.RunResult
+	if err := json.Unmarshal(body, &soloRes); err != nil {
+		t.Fatal(err)
+	}
+	if m.batchFormed.Load() != formedBefore {
+		t.Error("exec.batch=1 request was coalesced; it must take the solo path")
+	}
+	for i, r := range resps {
+		if r.result.Stats.Cycles != soloRes.Stats.Cycles {
+			t.Errorf("request %d: batched cycles %d != solo cycles %d (bit-identity broken)",
+				i, r.result.Stats.Cycles, soloRes.Stats.Cycles)
+		}
+	}
+}
+
+// TestCoalesceNeverMixesGraphs: requests for different compiled graphs
+// (different kernels, or different lowerings of one kernel) never share a
+// batch, while tyr and unordered — one tagged lowering — co-batch freely.
+func TestCoalesceNeverMixesGraphs(t *testing.T) {
+	// Each sub-case fires two groups of 4 on a width-4 server (or one
+	// group of 8 on a width-8 server): every expected batch fills
+	// completely, so the formed-batch count is deterministic — no window
+	// timing involved.
+	cases := []struct {
+		name       string
+		width      int
+		a, b       api.Request
+		wantFormed int64
+	}{
+		{"different kernels", 4, kernelReq("tc", "tyr"), kernelReq("dmv", "tyr"), 2},
+		{"different lowerings", 4, kernelReq("tc", "tyr"), kernelReq("tc", "ordered"), 2},
+		{"tagged policies co-batch", 8, kernelReq("tc", "tyr"), kernelReq("tc", "unordered"), 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			srv, ts := newTestServer(t, Config{
+				Workers: 2, QueueDepth: 64,
+				BatchSize: tc.width, BatchWindow: 5 * time.Second,
+			})
+			reqs := make([]api.Request, 8)
+			for i := range reqs {
+				if i < 4 {
+					reqs[i] = tc.a
+				} else {
+					reqs[i] = tc.b
+				}
+			}
+			for i, r := range fireRuns(t, ts, reqs) {
+				if r.status != http.StatusOK {
+					t.Fatalf("request %d: status %d: %s", i, r.status, r.body)
+				}
+			}
+			m := srv.Metrics()
+			if formed := m.batchFormed.Load(); formed != tc.wantFormed {
+				t.Errorf("batches formed = %d, want %d", formed, tc.wantFormed)
+			}
+			if full := m.counter(m.batchFlush, "full").Load(); full != tc.wantFormed {
+				t.Errorf("full flushes = %d, want %d (no batch should wait for the window)", full, tc.wantFormed)
+			}
+		})
+	}
+}
+
+// TestCoalesceDeadlineIsolated: a member whose deadline fires mid-batch
+// 504s alone; its batchmates complete normally.
+func TestCoalesceDeadlineIsolated(t *testing.T) {
+	srv, ts := newTestServer(t, Config{
+		Workers: 2, QueueDepth: 64,
+		BatchSize: 4, BatchWindow: 5 * time.Second,
+	})
+
+	// The victim enqueues first with a 1ms deadline; once its flag is
+	// provably set, three batchmates arrive and the fourth fills the
+	// batch. The engine retires the stopped instance without advancing it
+	// while the other three run to completion.
+	victim := kernelReq("tc", "tyr")
+	victim.Exec = &api.ExecSpec{DeadlineMS: 1}
+	victimDone := make(chan runResp, 1)
+	go func() {
+		resp, body := postJSON(t, ts.Client(), ts.URL+"/v1/run", victim)
+		victimDone <- runResp{status: resp.StatusCode, body: string(body)}
+	}()
+	waitFor(t, "victim parked in its forming batch", func() bool { return srv.batch.pending() == 1 })
+	time.Sleep(20 * time.Millisecond) // 1ms deadline long expired
+
+	mates := fireRuns(t, ts, []api.Request{
+		kernelReq("tc", "tyr"), kernelReq("tc", "tyr"), kernelReq("tc", "tyr"),
+	})
+	for i, r := range mates {
+		if r.status != http.StatusOK {
+			t.Errorf("batchmate %d: status %d, want 200: %s", i, r.status, r.body)
+		}
+		if !r.result.Stats.Completed || !r.result.Checked {
+			t.Errorf("batchmate %d: not completed+checked: %+v", i, r.result.Stats)
+		}
+	}
+	v := <-victimDone
+	if v.status != http.StatusGatewayTimeout {
+		t.Errorf("victim: status %d, want 504: %s", v.status, v.body)
+	}
+	m := srv.Metrics()
+	if formed := m.batchFormed.Load(); formed != 1 {
+		t.Errorf("batches formed = %d, want 1 (victim and mates co-batched)", formed)
+	}
+	if size := m.batchSize.Load(); size != 4 {
+		t.Errorf("coalesced instances = %d, want 4", size)
+	}
+}
+
+// TestCoalesceWorkConserving: a window expiry with every worker busy does
+// NOT flush a shallow batch — the group keeps forming (flushing could not
+// start it any sooner) and dispatches once a worker frees up.
+func TestCoalesceWorkConserving(t *testing.T) {
+	srv, ts := newTestServer(t, Config{
+		Workers: 1, QueueDepth: 64,
+		BatchSize: 4, BatchWindow: time.Millisecond,
+	})
+
+	// Occupy the only worker so the pool stays backlogged.
+	release := make(chan struct{})
+	if err := srv.pool.Submit(func() { <-release }); err != nil {
+		t.Fatal(err)
+	}
+	defer close(release)
+
+	const n = 2
+	results := make(chan runResp, n)
+	for i := 0; i < n; i++ {
+		go func() {
+			resp, body := postJSON(t, ts.Client(), ts.URL+"/v1/run", kernelReq("tc", "tyr"))
+			results <- runResp{status: resp.StatusCode, body: string(body)}
+		}()
+	}
+	waitFor(t, "requests parked in the forming batch", func() bool { return srv.batch.pending() == n })
+
+	// Many windows pass; the backlogged pool must keep the group forming.
+	time.Sleep(20 * time.Millisecond)
+	m := srv.Metrics()
+	if formed := m.batchFormed.Load(); formed != 0 {
+		t.Fatalf("batch flushed shallow while the pool was backlogged (formed=%d)", formed)
+	}
+	if got := srv.batch.pending(); got != n {
+		t.Fatalf("pending = %d, want %d (group must keep forming)", got, n)
+	}
+
+	release <- struct{}{} // unblock; the sentinel job finishes
+	for i := 0; i < n; i++ {
+		r := <-results
+		if r.status != http.StatusOK {
+			t.Errorf("request: status %d, want 200: %s", r.status, r.body)
+		}
+	}
+	if formed := m.batchFormed.Load(); formed != 1 {
+		t.Errorf("batches formed = %d, want 1", formed)
+	}
+	if windowed := m.counter(m.batchFlush, "window").Load(); windowed != 1 {
+		t.Errorf("window flushes = %d, want 1 (dispatch reason stays window)", windowed)
+	}
+	if size := m.batchSize.Load(); size != n {
+		t.Errorf("coalesced instances = %d, want %d", size, n)
+	}
+}
+
+// TestCoalesceDrainFlushesPartial: shutdown dispatches a forming partial
+// batch instead of stranding its parked requests.
+func TestCoalesceDrainFlushesPartial(t *testing.T) {
+	srv := New(Config{
+		Workers: 2, QueueDepth: 64,
+		BatchSize: 8, BatchWindow: time.Minute,
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	const n = 3
+	results := make(chan runResp, n)
+	for i := 0; i < n; i++ {
+		go func() {
+			resp, body := postJSON(t, ts.Client(), ts.URL+"/v1/run", kernelReq("tc", "tyr"))
+			results <- runResp{status: resp.StatusCode, body: string(body)}
+		}()
+	}
+	waitFor(t, "partial batch formed", func() bool { return srv.batch.pending() == n })
+
+	// Close flushes the partial (batch width 8, only 3 members) and then
+	// drains the pool; the parked requests must all complete.
+	srv.Close()
+	for i := 0; i < n; i++ {
+		r := <-results
+		if r.status != http.StatusOK {
+			t.Errorf("drained request: status %d, want 200: %s", r.status, r.body)
+		}
+	}
+	m := srv.Metrics()
+	if drained := m.counter(m.batchFlush, "drain").Load(); drained != 1 {
+		t.Errorf("drain flushes = %d, want 1", drained)
+	}
+	if size := m.batchSize.Load(); size != n {
+		t.Errorf("coalesced instances = %d, want %d", size, n)
+	}
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

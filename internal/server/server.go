@@ -69,6 +69,17 @@ type Config struct {
 	// PeerRetries bounds re-sheds to remaining peers before a failed
 	// partial is forced local (default 1).
 	PeerRetries int
+	// BatchSize is the lockstep batch width B: up to B queued /v1/run
+	// requests sharing one compiled graph coalesce into a single pool job
+	// that advances all instances together (DESIGN.md §12), and sweep
+	// cells sharing a graph co-batch the same way. 0 or 1 disables
+	// coalescing. Each request's exec.batch can lower (never raise) its
+	// own batch's width; exec.batch=1 opts a request out entirely.
+	BatchSize int
+	// BatchWindow bounds how long the first request of a forming batch
+	// waits for batchmates before the partial batch runs anyway
+	// (default 2ms when BatchSize enables coalescing).
+	BatchWindow time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -90,6 +101,9 @@ func (c Config) withDefaults() Config {
 	if c.OracleMaxSteps <= 0 {
 		c.OracleMaxSteps = 1 << 32
 	}
+	if c.BatchSize > 1 && c.BatchWindow <= 0 {
+		c.BatchWindow = 2 * time.Millisecond
+	}
 	return c
 }
 
@@ -103,6 +117,7 @@ type Server struct {
 	stats  *Metrics
 	flight *obs.FlightRecorder
 	fleet  *fleet.Coordinator // nil unless Config.Peers is set
+	batch  *Coalescer         // nil unless Config.BatchSize enables coalescing
 	log    *slog.Logger
 }
 
@@ -115,7 +130,7 @@ func New(cfg Config) *Server {
 		// counters are attached here.
 		cfg.DiskCache.SetObserver(stats)
 	}
-	return &Server{
+	s := &Server{
 		cfg:    cfg,
 		pool:   NewPool(cfg.Workers, cfg.QueueDepth, stats),
 		graphs: NewGraphCache(cfg.GraphCacheSize, stats, cfg.DiskCache),
@@ -130,6 +145,10 @@ func New(cfg Config) *Server {
 		}),
 		log: cfg.Logger,
 	}
+	if cfg.BatchSize > 1 {
+		s.batch = newCoalescer(s, cfg.BatchSize, cfg.BatchWindow)
+	}
+	return s
 }
 
 // Metrics exposes the counter set (shared with the pool and graph cache).
@@ -138,9 +157,13 @@ func (s *Server) Metrics() *Metrics { return s.stats }
 // Flight exposes the flight recorder (shared with the debug handler).
 func (s *Server) Flight() *obs.FlightRecorder { return s.flight }
 
-// Close drains the worker pool: queued and executing jobs finish, new
-// submissions fail. Call after http.Server.Shutdown.
-func (s *Server) Close() { s.pool.Close() }
+// Close drains the service: forming batches flush so their parked
+// requests finish, then the worker pool drains — queued and executing
+// jobs complete, new submissions fail. Call after http.Server.Shutdown.
+func (s *Server) Close() {
+	s.batch.Close()
+	s.pool.Close()
+}
 
 // Handler returns the v1 route table wrapped in request observation
 // (trace IDs, spans, flight recording) and logging.
@@ -249,6 +272,10 @@ func (s *Server) writeError(w http.ResponseWriter, r *http.Request, code int, er
 	var ve *api.ValidationError
 	if errors.As(err, &ve) {
 		body.Fields = ve.Fields
+		// Deprecation notes (e.g. top-level "shards" vs exec.shards) ride
+		// the structured error body so clients migrating the API surface
+		// see the guidance on the same 400 that rejected them.
+		body.Notes = ve.Notes
 	}
 	writeJSON(w, code, body)
 }
@@ -422,24 +449,28 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
-	if err := req.Validate(); err != nil {
-		s.endStage(t, adm, "admission")
-		s.writeError(w, r, http.StatusBadRequest, err)
-		return
-	}
-	sc, err := req.SysConfig()
+	plan, err := req.Plan()
 	if err != nil {
+		// Validation failures (including the deprecation-note-carrying
+		// exec conflicts) are 400s; anything else Plan rejects is a
+		// well-formed but unbuildable request, a 422.
+		code := http.StatusUnprocessableEntity
+		var ve *api.ValidationError
+		if errors.As(err, &ve) {
+			code = http.StatusBadRequest
+		}
 		s.endStage(t, adm, "admission")
-		s.writeError(w, r, http.StatusUnprocessableEntity, err)
+		s.writeError(w, r, code, err)
 		return
 	}
 	s.endStage(t, adm, "admission")
 
-	ctx, cancelCtx := context.WithTimeout(r.Context(), s.timeout(req.TimeoutMS))
+	ctx, cancelCtx := context.WithTimeout(r.Context(), s.timeout(plan.DeadlineMS))
 	defer cancelCtx()
 	flag := &cancel.Flag{}
 	release := cancel.WatchContext(ctx, flag)
 	defer release()
+	sc := plan.Cfg
 	sc.Stop = flag
 	sc.Compiler = s.spanGraphs(t)
 	sc.Tracer = t.Tracer()
@@ -447,7 +478,17 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 
 	var rs metrics.RunStats
 	var runErr error
-	if err := s.submit(t, func() {
+	if bw, ok := s.batch.enqueue(t, &req, plan, sc); ok {
+		// Coalesced path: the request parks until its batch's single pool
+		// job delivers this instance's outcome (bit-identical to running
+		// it alone). A deadline firing mid-batch retires only this
+		// instance — batchmates keep running.
+		if err := bw.await(); err != nil {
+			s.writeSubmitError(w, r, err)
+			return
+		}
+		rs, runErr = bw.out.Stats, bw.out.Err
+	} else if err := s.submit(t, func() {
 		if flag.Stopped() { // deadline passed while queued: skip the compile
 			runErr = cancel.ErrStopped
 			return
@@ -458,7 +499,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		// input — on the request goroutine it would be uncancellable work
 		// outside the pool's concurrency bound.
 		res := t.StartSpan("resolve", obs.RootSpan)
-		app, err := req.ResolveAppBound(flag, s.cfg.OracleMaxSteps)
+		app, err := plan.ResolveAppBound(flag, s.cfg.OracleMaxSteps)
 		s.endStage(t, res, "resolve")
 		if err != nil {
 			runErr = err
@@ -525,8 +566,16 @@ func sweepGrid(req *api.SweepRequest, scale apps.Scale) (cells []sweepCell, syst
 
 // runSweepCells executes a slice of grid cells sequentially on the calling
 // goroutine (a pool worker), returning one RunStats per cell in order.
+// With coalescing enabled, cells sharing a compiled graph (the same
+// kernel on co-batchable systems — tyr and unordered share the tagged
+// lowering) advance together in lockstep batches instead, unless an
+// engine trace capture is configured: the capture ring is per-request,
+// and batch instances must not share a tracer.
 func (s *Server) runSweepCells(t *obs.RequestTrace, flag *cancel.Flag, req *api.SweepRequest, cc *cache.Config, cells []sweepCell) ([]metrics.RunStats, error) {
 	tracer := t.Tracer()
+	if s.cfg.BatchSize > 1 && tracer == nil {
+		return s.runSweepCellsBatched(t, flag, req, cc, cells)
+	}
 	runs := make([]metrics.RunStats, 0, len(cells))
 	for _, cell := range cells {
 		if flag.Stopped() {
@@ -557,6 +606,60 @@ func (s *Server) runSweepCells(t *obs.RequestTrace, flag *cancel.Flag, req *api.
 		t.SetAttr(run, "peak_tags", int64(rs.PeakTags))
 		s.stats.ObserveRun(rs.System, rs.Cycles)
 		runs = append(runs, rs)
+	}
+	return runs, nil
+}
+
+// runSweepCellsBatched is runSweepCells with graph-sharing cells grouped
+// into lockstep batches (still on this one pool worker — the batch IS
+// the job, so the sweep's one-worker cost model holds). Results scatter
+// back to grid-cell order, and each cell's stats are bit-identical to
+// its sequential run.
+func (s *Server) runSweepCellsBatched(t *obs.RequestTrace, flag *cancel.Flag, req *api.SweepRequest, cc *cache.Config, cells []sweepCell) ([]metrics.RunStats, error) {
+	keys := make([]string, len(cells))
+	systems := make([]string, len(cells))
+	for i, cell := range cells {
+		lowering := "tagged"
+		if cell.sys == harness.SysOrdered {
+			lowering = "ordered"
+		}
+		keys[i] = lowering + ":" + sourceHash(lowering, cell.app).String()
+		systems[i] = cell.sys
+	}
+	runs := make([]metrics.RunStats, len(cells))
+	for _, group := range harness.BatchGroups(keys, systems, s.cfg.BatchSize) {
+		if flag.Stopped() {
+			return nil, cancel.ErrStopped
+		}
+		items := make([]harness.BatchItem, len(group))
+		for j, i := range group {
+			items[j] = harness.BatchItem{App: cells[i].app, System: cells[i].sys, Cfg: harness.SysConfig{
+				IssueWidth: req.IssueWidth,
+				Tags:       req.Tags,
+				Cache:      cc,
+				Stop:       flag,
+				Compiler:   s.spanGraphs(t),
+				TraceID:    t.ID(),
+			}}
+		}
+		label := cells[group[0]].app.Name + "/" + cells[group[0]].sys
+		run := t.StartSpan(fmt.Sprintf("run %s x%d", label, len(group)), obs.RootSpan)
+		outs, err := harness.RunBatch(items)
+		s.endStage(t, run, "run")
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", label, err)
+		}
+		t.SetAttr(run, "batch", int64(len(group)))
+		if len(group) > 1 {
+			s.stats.ObserveBatch(len(group), "sweep")
+		}
+		for j, i := range group {
+			if outs[j].Err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", cells[i].app.Name, cells[i].sys, outs[j].Err)
+			}
+			s.stats.ObserveRun(outs[j].Stats.System, outs[j].Stats.Cycles)
+			runs[i] = outs[j].Stats
+		}
 	}
 	return runs, nil
 }
